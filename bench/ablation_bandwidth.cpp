@@ -1,0 +1,44 @@
+// Ablation of the bench encoder bandwidth (DESIGN.md §6.10): the RFF
+// projection stddev (×1/√n) controls per-model capacity. The sharp library
+// default (1.0×) makes k = 1 saturate the achievable quality so extra
+// models cannot help; the smoother 0.3× reproduces the paper's Table 1
+// regime where clustering pays. This bench prints the grid that choice came
+// from.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace reghd;
+  bench::print_header(
+      "Ablation — encoder bandwidth vs model count",
+      "Test MSE on airfoil/ccpp-like workloads; bandwidth in units of the\n"
+      "1/√n auto default. The k-gain column is the Table 1 quantity.");
+
+  for (const std::string& name : {std::string("airfoil"), std::string("ccpp")}) {
+    const bench::Workload workload = bench::make_workload(name, 0xAB0BD);
+    std::cout << "workload: " << name << "\n";
+    util::Table table({"bandwidth", "RegHD-1 MSE", "RegHD-8 MSE", "k-gain (1 -> 8)"});
+    for (const double factor : {1.0, 0.5, 0.3}) {
+      double mse[2] = {0.0, 0.0};
+      int idx = 0;
+      for (const std::size_t k : {1u, 8u}) {
+        auto cfg = bench::reghd_config(k);
+        bench::set_smooth_encoder(cfg, workload.train.num_features(), factor);
+        core::RegHDPipeline pipeline(cfg);
+        mse[idx++] = bench::fit_and_score(pipeline, workload);
+      }
+      table.add_row({util::Table::cell(factor, 1) + "x", util::Table::cell(mse[0], 2),
+                     util::Table::cell(mse[1], 2),
+                     util::Table::cell_percent(100.0 * (mse[0] - mse[1]) / mse[0])});
+    }
+    std::cout << table << '\n';
+  }
+  std::cout << "Sharper kernels lift k = 1 toward the noise floor and erase the\n"
+               "multi-model gain; the paper's weak Eq. 1 encoder sits in the smooth\n"
+               "regime, which is why its Table 1 shows consistent k-gains.\n";
+  return 0;
+}

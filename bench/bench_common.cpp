@@ -1,0 +1,58 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace reghd::bench {
+
+Workload make_workload(const std::string& dataset_name, std::uint64_t seed) {
+  return make_workload(data::make_paper_dataset(dataset_name, seed), seed);
+}
+
+Workload make_workload(data::Dataset dataset, std::uint64_t seed, std::size_t max_train) {
+  Workload w;
+  w.name = dataset.name();
+  util::Rng rng(seed ^ 0xB46C);
+  data::TrainTestSplit split = data::train_test_split(dataset, 0.25, rng);
+  if (split.train.size() > max_train) {
+    w.capped_from = split.train.size();
+    std::vector<std::size_t> head(max_train);
+    std::iota(head.begin(), head.end(), 0);  // split is already shuffled
+    split.train = split.train.subset(head);
+  }
+  w.train = std::move(split.train);
+  w.test = std::move(split.test);
+  return w;
+}
+
+core::PipelineConfig reghd_config(std::size_t models, std::size_t dim, std::uint64_t seed) {
+  core::PipelineConfig cfg;
+  cfg.reghd.models = models;
+  cfg.reghd.dim = dim;
+  cfg.reghd.seed = seed;
+  cfg.reghd.max_epochs = 40;
+  cfg.reghd.patience = 6;
+  return cfg;
+}
+
+double fit_and_score(model::Regressor& learner, const Workload& workload) {
+  learner.fit(workload.train);
+  const std::vector<double> predictions = learner.predict_batch(workload.test);
+  return util::mse(predictions, workload.test.targets());
+}
+
+void set_smooth_encoder(core::PipelineConfig& cfg, std::size_t features, double factor) {
+  cfg.encoder.projection_stddev = factor / std::sqrt(static_cast<double>(features));
+}
+
+void print_header(const std::string& experiment, const std::string& description) {
+  std::cout << util::section_banner(experiment) << description << "\n\n";
+}
+
+}  // namespace reghd::bench

@@ -1,0 +1,67 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index) and prints
+// it with util::Table / util::SeriesChart so bench_output.txt reads like the
+// paper. EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Protocol shared by all benches: synthetic dataset (DESIGN.md §3
+// substitution) → deterministic 75/25 train/test split → fit → test MSE.
+// Training sets are optionally capped (large CCPP/wine runs) — the cap is
+// printed whenever it binds, never silent.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::bench {
+
+/// Default hyperspace dimensionality for the quality benches. The paper's
+/// Table 2 shows ≤0.3% quality loss at D = 2k vs 4k; 2k halves bench time.
+inline constexpr std::size_t kQualityDim = 2048;
+
+/// Upper bound on training samples per dataset in the quality benches.
+inline constexpr std::size_t kMaxTrainSamples = 3000;
+
+/// One prepared benchmark workload.
+struct Workload {
+  std::string name;
+  data::Dataset train;
+  data::Dataset test;
+  std::size_t capped_from = 0;  ///< Original train size if the cap bound, else 0.
+};
+
+/// Builds the named paper workload: synthesize, split 75/25, cap training.
+[[nodiscard]] Workload make_workload(const std::string& dataset_name, std::uint64_t seed);
+
+/// Builds a workload from an arbitrary dataset (toy tasks).
+[[nodiscard]] Workload make_workload(data::Dataset dataset, std::uint64_t seed,
+                                     std::size_t max_train = kMaxTrainSamples);
+
+/// Constructs a RegHD pipeline with the bench-standard settings; callers
+/// override fields of the returned config before constructing when needed.
+[[nodiscard]] core::PipelineConfig reghd_config(std::size_t models,
+                                                std::size_t dim = kQualityDim,
+                                                std::uint64_t seed = 0xBE7C4);
+
+/// Fits the learner on the workload's training split and returns test MSE.
+[[nodiscard]] double fit_and_score(model::Regressor& learner, const Workload& workload);
+
+/// Applies the bench-standard encoder bandwidth: `factor`/√n, smoother than
+/// the library's 1/√n auto default. The paper's Eq. 1 encoder is a
+/// low-capacity map, and its Table 1 k-trend (more models → better quality)
+/// requires per-model capacity to be the binding constraint; a smoother
+/// kernel reproduces that regime while keeping RFF's quality. Chosen by grid
+/// search over {0.3, 0.5, 1.0}×auto (see bench/ablation_design).
+void set_smooth_encoder(core::PipelineConfig& cfg, std::size_t features,
+                        double factor = 0.3);
+
+/// Prints the standard bench header (binary name, what it reproduces).
+void print_header(const std::string& experiment, const std::string& description);
+
+}  // namespace reghd::bench

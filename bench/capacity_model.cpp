@@ -1,0 +1,56 @@
+// §2.3 capacity-model reproduction: the worked example ("D = 100,000 and
+// T = 0.5 identifies P = 10,000 patterns with 5.7% error"), the closed-form
+// false-positive surface (Eq. 4), and a Monte-Carlo cross-check.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hdc/capacity.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace reghd;
+  bench::print_header("§2.3 — hypervector capacity model (Eq. 4)",
+                      "Closed form vs Monte-Carlo; inversion to max pattern count.");
+
+  {
+    hdc::CapacityQuery q;
+    q.dimension = 100000;
+    q.patterns = 10000;
+    q.threshold = 0.5;
+    std::cout << "paper worked example: D=100k, T=0.5, P=10k -> false-positive rate "
+              << util::Table::cell_percent(100.0 * hdc::false_positive_probability(q))
+              << "  (paper: 5.7%)\n\n";
+  }
+
+  util::Table surface({"D", "P", "T", "closed form", "monte carlo (3k trials)"});
+  util::Rng rng(0xCAFAC17);
+  struct Case {
+    std::size_t d;
+    std::size_t p;
+    double t;
+  };
+  for (const Case c : {Case{2000, 200, 0.5}, Case{2000, 500, 0.5}, Case{4000, 400, 0.5},
+                       Case{2000, 200, 0.3}, Case{1000, 400, 0.4}}) {
+    hdc::CapacityQuery q;
+    q.dimension = c.d;
+    q.patterns = c.p;
+    q.threshold = c.t;
+    const double closed = hdc::false_positive_probability(q);
+    const double mc = hdc::simulate_false_positive_rate(q, 3000, rng);
+    surface.add_row({std::to_string(c.d), std::to_string(c.p), util::Table::cell(c.t, 1),
+                     util::Table::cell_percent(100.0 * closed, 2),
+                     util::Table::cell_percent(100.0 * mc, 2)});
+  }
+  std::cout << surface << '\n';
+
+  util::Table inversion({"D", "T", "max P at 5.7% error"});
+  for (const std::size_t d : {1000u, 4000u, 10000u, 100000u}) {
+    inversion.add_row({std::to_string(d), "0.5",
+                       std::to_string(hdc::max_patterns(d, 0.5, 0.057))});
+  }
+  std::cout << inversion
+            << "\nCapacity grows linearly in D — the motivation for multi-model RegHD\n"
+               "instead of ever-larger single hypervectors (§2.4).\n";
+  return 0;
+}

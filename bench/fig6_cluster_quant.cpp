@@ -1,0 +1,65 @@
+// Figure 6 reproduction: regression quality with and without cluster
+// quantization. Three variants of RegHD-8:
+//  * integer clusters (full-precision cosine search),
+//  * the proposed framework (binary Hamming search over per-epoch snapshots,
+//    integer updates — §3.1 / Eq. 9),
+//  * naive one-shot binarization (the paper's foil: binary clusters frozen
+//    at initialization).
+//
+// Paper claims: the framework matches integer quality (≤0.3% loss) while
+// naive binarization loses significantly; the framework may need slightly
+// more iterations.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace reghd;
+  bench::print_header("Figure 6 — cluster quantization",
+                      "RegHD-8 on multi-regime + ccpp-like workloads.");
+
+  struct Variant {
+    const char* label;
+    core::ClusterMode mode;
+    core::ClusterInit init;
+  };
+  const Variant variants[] = {
+      {"integer clusters (cosine)", core::ClusterMode::kFullPrecision,
+       core::ClusterInit::kFarthestPoint},
+      {"quantized framework (Hamming)", core::ClusterMode::kQuantized,
+       core::ClusterInit::kFarthestPoint},
+      {"naive binarization (frozen)", core::ClusterMode::kNaiveBinary,
+       core::ClusterInit::kRandom},
+  };
+
+  const bench::Workload workloads[] = {
+      bench::make_workload(data::make_multimodal_task(2000, 4, 8, 0xF166, 0.05), 0xF166),
+      bench::make_workload("ccpp", 0xF166),
+  };
+
+  for (const auto& workload : workloads) {
+    std::cout << "workload: " << workload.name << "\n";
+    util::Table table({"variant", "test MSE", "quality loss vs integer", "epochs"});
+    double reference = 0.0;
+    for (const auto& v : variants) {
+      auto cfg = bench::reghd_config(8);
+      cfg.reghd.cluster_mode = v.mode;
+      cfg.reghd.cluster_init = v.init;
+      core::RegHDPipeline pipeline(cfg);
+      const double mse = bench::fit_and_score(pipeline, workload);
+      if (reference == 0.0) {
+        reference = mse;
+      }
+      table.add_row({v.label, util::Table::cell(mse),
+                     util::Table::cell_percent(100.0 * (mse - reference) / reference),
+                     std::to_string(pipeline.report().epochs_run)});
+    }
+    std::cout << table << '\n';
+  }
+  std::cout << "Paper reference: framework ≈ integer quality (≤0.3% loss), naive\n"
+               "binarization significantly worse; framework may add a few epochs.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Wall-clock microbenchmarks (google-benchmark) of the computational
+// kernels, complementing the analytic cost model with measured host-CPU
+// numbers: similarity search (cosine vs Hamming), the §3.2 prediction dots,
+// encoding, and end-to-end train/predict steps.
+#include <benchmark/benchmark.h>
+
+#include "core/multi_model.hpp"
+#include "hdc/encoding.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/random_hv.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace reghd;
+
+hdc::EncodedSample make_sample(std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  hdc::EncodedSample s;
+  s.real = hdc::random_gaussian(dim, rng);
+  s.bipolar = s.real.sign();
+  s.binary = s.bipolar.pack();
+  double n2 = 0.0;
+  for (const double v : s.real.values()) {
+    n2 += v * v;
+  }
+  s.real_norm2 = n2;
+  s.real_norm = std::sqrt(n2);
+  return s;
+}
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const hdc::RealHV a = hdc::random_gaussian(dim, rng);
+  const hdc::RealHV b = hdc::random_gaussian(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::cosine(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(1024)->Arg(4096)->Arg(10000);
+
+void BM_HammingSimilarity(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const hdc::BinaryHV a = hdc::random_binary(dim, rng);
+  const hdc::BinaryHV b = hdc::random_binary(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::hamming_similarity(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_HammingSimilarity)->Arg(1024)->Arg(4096)->Arg(10000);
+
+void BM_DotRealReal(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  const hdc::RealHV m = hdc::random_gaussian(dim, rng);
+  const hdc::EncodedSample q = make_sample(dim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::dot(m, q.real));
+  }
+}
+BENCHMARK(BM_DotRealReal)->Arg(4096);
+
+void BM_DotRealBinary(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  const hdc::RealHV m = hdc::random_gaussian(dim, rng);
+  const hdc::EncodedSample q = make_sample(dim, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::dot(m, q.binary));
+  }
+}
+BENCHMARK(BM_DotRealBinary)->Arg(4096);
+
+void BM_DotBinaryBinary(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hdc::EncodedSample a = make_sample(dim, 7);
+  const hdc::EncodedSample b = make_sample(dim, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::bipolar_dot(a.binary, b.binary));
+  }
+}
+BENCHMARK(BM_DotBinaryBinary)->Arg(4096);
+
+void BM_EncodeRff(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::EncoderConfig cfg;
+  cfg.kind = hdc::EncoderKind::kRffProjection;
+  cfg.input_dim = 10;
+  cfg.dim = dim;
+  const auto encoder = hdc::make_encoder(cfg);
+  util::Rng rng(9);
+  std::vector<double> features(10);
+  for (double& f : features) {
+    f = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->encode_real(features));
+  }
+}
+BENCHMARK(BM_EncodeRff)->Arg(1024)->Arg(4096);
+
+void BM_EncodeNonlinearEq1(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::EncoderConfig cfg;
+  cfg.kind = hdc::EncoderKind::kNonlinearFeature;
+  cfg.input_dim = 10;
+  cfg.dim = dim;
+  const auto encoder = hdc::make_encoder(cfg);
+  util::Rng rng(10);
+  std::vector<double> features(10);
+  for (double& f : features) {
+    f = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->encode_real(features));
+  }
+}
+BENCHMARK(BM_EncodeNonlinearEq1)->Arg(1024)->Arg(4096);
+
+void BM_MultiModelTrainStep(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::RegHDConfig cfg;
+  cfg.dim = 4096;
+  cfg.models = k;
+  core::MultiModelRegressor model(cfg);
+  const hdc::EncodedSample s = make_sample(4096, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.train_step(s, 1.0));
+  }
+}
+BENCHMARK(BM_MultiModelTrainStep)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_MultiModelPredict(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::RegHDConfig cfg;
+  cfg.dim = 4096;
+  cfg.models = k;
+  core::MultiModelRegressor model(cfg);
+  const hdc::EncodedSample s = make_sample(4096, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(s));
+  }
+}
+BENCHMARK(BM_MultiModelPredict)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_MultiModelPredictQuantized(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::RegHDConfig cfg;
+  cfg.dim = 4096;
+  cfg.models = k;
+  cfg.cluster_mode = core::ClusterMode::kQuantized;
+  cfg.query_precision = core::QueryPrecision::kBinary;
+  cfg.model_precision = core::ModelPrecision::kBinary;
+  core::MultiModelRegressor model(cfg);
+  const hdc::EncodedSample s = make_sample(4096, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(s));
+  }
+}
+BENCHMARK(BM_MultiModelPredictQuantized)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

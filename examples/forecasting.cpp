@@ -1,0 +1,106 @@
+// Time-series forecasting with RegHD — the intro's "prediction, forecasting"
+// use case: autoregressive sliding-window regression on a synthetic sensor
+// signal (two seasonal components + trend + noise), compared against a naive
+// persistence forecaster and evaluated across horizons.
+//
+//   ./forecasting [--window 24] [--horizon 6] [--samples 4000]
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "core/reghd.hpp"
+#include "util/args.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace reghd;
+
+/// Synthetic sensor trace: daily + weekly seasonality, slow trend, noise.
+std::vector<double> make_signal(std::size_t length, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> signal(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const double x = static_cast<double>(t);
+    signal[t] = 10.0 + 0.002 * x + 3.0 * std::sin(2.0 * std::numbers::pi * x / 24.0) +
+                1.5 * std::sin(2.0 * std::numbers::pi * x / 168.0) +
+                rng.normal(0.0, 0.3);
+  }
+  return signal;
+}
+
+/// Sliding-window supervised view: features = the last `window` readings
+/// relative to the window's final value, target = the *change* from that
+/// value to the reading `horizon` steps ahead. Differencing keeps both
+/// features and target inside the training distribution even when the
+/// signal trends — kernel regressors cannot extrapolate an unbounded level.
+data::Dataset windowed(const std::vector<double>& signal, std::size_t window,
+                       std::size_t horizon) {
+  data::Dataset out;
+  out.set_name("forecast");
+  std::vector<double> features(window);
+  for (std::size_t t = window; t + horizon <= signal.size(); ++t) {
+    const double anchor = signal[t - 1];
+    for (std::size_t k = 0; k < window; ++k) {
+      features[k] = signal[t - window + k] - anchor;
+    }
+    out.add_sample(features, signal[t + horizon - 1] - anchor);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto window = static_cast<std::size_t>(args.get_int("window", 24));
+  const auto horizon_max = static_cast<std::size_t>(args.get_int("horizon", 6));
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 4000));
+
+  const std::vector<double> signal = make_signal(samples, 321);
+
+  std::cout << "autoregressive RegHD forecaster (window " << window << "), vs the\n"
+            << "persistence baseline (\"tomorrow equals today\"):\n\n";
+  util::Table table({"horizon", "RegHD MSE", "persistence MSE", "improvement"});
+
+  for (std::size_t horizon = 1; horizon <= horizon_max; horizon += (horizon == 1 ? 2 : 3)) {
+    const data::Dataset dataset = windowed(signal, window, horizon);
+    // Chronological split: train on the first 80%, test on the rest (no
+    // shuffling — leakage across time would flatter the model).
+    const std::size_t split_at = dataset.size() * 8 / 10;
+    std::vector<std::size_t> train_idx(split_at);
+    std::vector<std::size_t> test_idx(dataset.size() - split_at);
+    for (std::size_t i = 0; i < split_at; ++i) {
+      train_idx[i] = i;
+    }
+    for (std::size_t i = split_at; i < dataset.size(); ++i) {
+      test_idx[i - split_at] = i;
+    }
+    const data::Dataset train = dataset.subset(train_idx);
+    const data::Dataset test = dataset.subset(test_idx);
+
+    core::PipelineConfig cfg;
+    cfg.reghd.models = 4;
+    cfg.reghd.dim = 2048;
+    cfg.reghd.seed = 321;
+    core::RegHDPipeline model(cfg);
+    model.fit(train);
+    const std::vector<double> predictions = model.predict_batch(test);
+    const double model_mse = util::mse(predictions, test.targets());
+
+    // Persistence in delta space: "no change from the last reading" = 0.
+    const std::vector<double> persistence(test.size(), 0.0);
+    const double naive_mse = util::mse(persistence, test.targets());
+
+    table.add_row({std::to_string(horizon), util::Table::cell(model_mse, 3),
+                   util::Table::cell(naive_mse, 3),
+                   util::Table::cell_ratio(naive_mse / model_mse)});
+  }
+  std::cout << table
+            << "\nRegHD exploits the seasonal structure the persistence forecaster\n"
+               "cannot, and the gap widens with the horizon.\n";
+  return 0;
+}

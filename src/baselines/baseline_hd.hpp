@@ -1,0 +1,60 @@
+// Baseline-HD (paper ref. [18], Mitrokhin et al.): regression emulated with
+// HD *classification*. The target range is discretized into bins, one class
+// hypervector per bin; training bundles encoded samples into their bin's
+// hypervector (with perceptron-style corrective refinement); prediction
+// returns the center of the most similar bin.
+//
+// This is the paper's Table 1 "Baseline-HD" row. Its two structural
+// handicaps — output quantization error (range²/12·bins² at best) and the
+// need for hundreds of class hypervectors to get precision — are exactly
+// what RegHD's native regression removes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/scaler.hpp"
+#include "hdc/encoding.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+struct BaselineHdConfig {
+  std::size_t dim = 4096;
+  std::size_t bins = 64;        ///< Output classes (the paper's approach needs hundreds).
+  std::size_t epochs = 20;      ///< Corrective-refinement passes.
+  std::uint64_t seed = 21;
+  hdc::EncoderKind encoder = hdc::EncoderKind::kRffProjection;
+};
+
+class BaselineHd final : public model::Regressor {
+ public:
+  explicit BaselineHd(BaselineHdConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "Baseline-HD"; }
+
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+  /// Bin index a target value falls into (clamped to the training range).
+  [[nodiscard]] std::size_t bin_of(double target) const;
+
+  /// Representative output of one bin (its center).
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  [[nodiscard]] std::size_t num_bins() const noexcept { return config_.bins; }
+
+ private:
+  [[nodiscard]] std::size_t classify(const hdc::EncodedSample& sample) const;
+
+  BaselineHdConfig config_;
+  data::StandardScaler feature_scaler_;
+  std::unique_ptr<hdc::Encoder> encoder_;
+  std::vector<hdc::RealHV> class_hvs_;
+  double target_min_ = 0.0;
+  double target_max_ = 1.0;
+};
+
+}  // namespace reghd::baselines

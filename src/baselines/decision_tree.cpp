@@ -1,0 +1,161 @@
+#include "baselines/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace reghd::baselines {
+
+DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
+  REGHD_CHECK(config_.max_depth >= 1, "max_depth must be at least 1");
+  REGHD_CHECK(config_.min_samples_leaf >= 1, "min_samples_leaf must be at least 1");
+  REGHD_CHECK(config_.min_samples_split >= 2, "min_samples_split must be at least 2");
+  REGHD_CHECK(config_.min_impurity_decrease >= 0.0,
+              "min_impurity_decrease must be non-negative");
+}
+
+namespace {
+
+/// Mean of targets over indices[begin, end).
+double subset_mean(const data::Dataset& d, const std::vector<std::size_t>& idx,
+                   std::size_t begin, std::size_t end) {
+  double acc = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    acc += d.target(idx[i]);
+  }
+  return acc / static_cast<double>(end - begin);
+}
+
+/// Sum of squared errors about the subset mean.
+double subset_sse(const data::Dataset& d, const std::vector<std::size_t>& idx,
+                  std::size_t begin, std::size_t end) {
+  const double mean = subset_mean(d, idx, begin, end);
+  double acc = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double e = d.target(idx[i]) - mean;
+    acc += e * e;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::size_t DecisionTree::build(const data::Dataset& train, std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end, std::size_t depth) {
+  const std::size_t count = end - begin;
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[node_index].depth = depth;
+  nodes_[node_index].value = subset_mean(train, indices, begin, end);
+
+  if (depth >= config_.max_depth || count < config_.min_samples_split) {
+    return node_index;
+  }
+
+  const double parent_sse = subset_sse(train, indices, begin, end);
+  if (parent_sse <= 0.0) {
+    return node_index;  // pure node
+  }
+
+  // Best split: minimize left SSE + right SSE using the incremental
+  // left/right sum decomposition over each sorted feature.
+  double best_gain = config_.min_impurity_decrease;
+  std::size_t best_feature = static_cast<std::size_t>(-1);
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> column(count);  // (feature value, target)
+  for (std::size_t f = 0; f < train.num_features(); ++f) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t sample = indices[begin + i];
+      column[i] = {train.row(sample)[f], train.target(sample)};
+    }
+    std::sort(column.begin(), column.end());
+
+    double total_sum = 0.0;
+    double total_sq = 0.0;
+    for (const auto& [_, y] : column) {
+      total_sum += y;
+      total_sq += y * y;
+    }
+
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      const double y = column[i].second;
+      left_sum += y;
+      left_sq += y * y;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      if (column[i].first == column[i + 1].first) {
+        continue;  // cannot split between equal values
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double left_sse = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = parent_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature == static_cast<std::size_t>(-1)) {
+    return node_index;  // no admissible split
+  }
+
+  // Partition indices[begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t s) { return train.row(s)[best_feature] <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(std::distance(indices.begin(), mid_it));
+  REGHD_INTERNAL_CHECK(mid > begin && mid < end, "degenerate partition in tree build");
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const std::size_t left_child = build(train, indices, begin, mid, depth + 1);
+  nodes_[node_index].left = left_child;
+  const std::size_t right_child = build(train, indices, mid, end, depth + 1);
+  nodes_[node_index].right = right_child;
+  return node_index;
+}
+
+void DecisionTree::fit(const data::Dataset& train) {
+  REGHD_CHECK(!train.empty(), "decision tree requires a non-empty training set");
+  nodes_.clear();
+  std::vector<std::size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(train, indices, 0, train.size(), 0);
+}
+
+double DecisionTree::predict(std::span<const double> features) const {
+  REGHD_CHECK(!nodes_.empty(), "decision tree must be fitted before prediction");
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf()) {
+    const Node& n = nodes_[node];
+    REGHD_CHECK(n.feature < features.size(),
+                "prediction row has too few features for this tree");
+    node = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].value;
+}
+
+std::size_t DecisionTree::depth() const noexcept {
+  std::size_t d = 0;
+  for (const Node& n : nodes_) {
+    d = std::max(d, n.depth);
+  }
+  return d;
+}
+
+}  // namespace reghd::baselines

@@ -1,0 +1,62 @@
+// CART regression tree baseline (Table 1 "Decision Tree").
+//
+// Greedy binary splitting on variance reduction with exact best-split search
+// over sorted feature values; leaves predict the mean of their samples.
+// Depth, leaf size, and minimum-improvement knobs match the usual
+// scikit-learn surface the paper's grid search tunes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 4;
+  std::size_t min_samples_split = 8;
+  double min_impurity_decrease = 0.0;  ///< Absolute SSE-reduction threshold.
+};
+
+class DecisionTree final : public model::Regressor {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "DecisionTree"; }
+
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+  /// Number of nodes (internal + leaves) in the fitted tree.
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Depth of the fitted tree (root = 0; empty tree = 0).
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+ private:
+  struct Node {
+    // Internal node when feature != npos; leaf otherwise.
+    std::size_t feature = static_cast<std::size_t>(-1);
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double value = 0.0;  ///< Leaf prediction.
+    std::size_t depth = 0;
+
+    [[nodiscard]] bool is_leaf() const noexcept {
+      return feature == static_cast<std::size_t>(-1);
+    }
+  };
+
+  std::size_t build(const data::Dataset& train, std::vector<std::size_t>& indices,
+                    std::size_t begin, std::size_t end, std::size_t depth);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace reghd::baselines

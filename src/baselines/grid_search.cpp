@@ -1,0 +1,39 @@
+#include "baselines/grid_search.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+
+GridSearchResult grid_search(
+    const std::function<std::unique_ptr<model::Regressor>(std::size_t)>& factory,
+    std::size_t candidates, const data::Dataset& train, double validation_fraction,
+    std::uint64_t seed) {
+  REGHD_CHECK(candidates >= 1, "grid search requires at least one candidate");
+  REGHD_CHECK(factory != nullptr, "grid search requires a candidate factory");
+
+  util::Rng rng(seed);
+  const data::TrainTestSplit split = data::train_test_split(train, validation_fraction, rng);
+
+  GridSearchResult result;
+  result.val_mse.reserve(candidates);
+  result.best_val_mse = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < candidates; ++c) {
+    std::unique_ptr<model::Regressor> learner = factory(c);
+    REGHD_CHECK(learner != nullptr, "grid search factory returned null for candidate " << c);
+    learner->fit(split.train);
+    const std::vector<double> predictions = learner->predict_batch(split.test);
+    const double mse = util::mse(predictions, split.test.targets());
+    result.val_mse.push_back(mse);
+    if (mse < result.best_val_mse) {
+      result.best_val_mse = mse;
+      result.best_index = c;
+    }
+  }
+  return result;
+}
+
+}  // namespace reghd::baselines

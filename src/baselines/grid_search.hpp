@@ -1,0 +1,57 @@
+// Hyper-parameter grid search (§4.2: "the common practice of the grid
+// search to identify the best hyper-parameters for each model").
+//
+// Candidates are produced by a factory function over an index; each is
+// fitted on a held-out split of the training data and scored by validation
+// MSE. The caller refits the winning candidate on the full training set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+struct GridSearchResult {
+  std::size_t best_index = 0;
+  double best_val_mse = 0.0;
+  std::vector<double> val_mse;  ///< Per-candidate validation MSE.
+};
+
+/// Fits each of `candidates` learners from `factory` on an internal split of
+/// `train` and returns their validation scores. Deterministic in `seed`.
+[[nodiscard]] GridSearchResult grid_search(
+    const std::function<std::unique_ptr<model::Regressor>(std::size_t)>& factory,
+    std::size_t candidates, const data::Dataset& train, double validation_fraction,
+    std::uint64_t seed);
+
+/// Trivial mean predictor — the sanity floor every real learner must beat.
+class MeanPredictor final : public model::Regressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "Mean"; }
+
+  void fit(const data::Dataset& train) override {
+    double acc = 0.0;
+    for (const double y : train.targets()) {
+      acc += y;
+    }
+    mean_ = train.empty() ? 0.0 : acc / static_cast<double>(train.size());
+    fitted_ = true;
+  }
+
+  [[nodiscard]] double predict(std::span<const double> /*features*/) const override {
+    return mean_;
+  }
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+ private:
+  double mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace reghd::baselines

@@ -1,0 +1,63 @@
+#include "baselines/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace reghd::baselines {
+
+KnnRegressor::KnnRegressor(KnnConfig config) : config_(config) {
+  REGHD_CHECK(config_.k >= 1, "kNN requires k >= 1");
+}
+
+void KnnRegressor::fit(const data::Dataset& train) {
+  REGHD_CHECK(!train.empty(), "kNN requires a non-empty training set");
+  data::Dataset scaled = train;
+  feature_scaler_.fit(scaled);
+  feature_scaler_.transform(scaled);
+
+  num_features_ = scaled.num_features();
+  features_.assign(scaled.features_flat().begin(), scaled.features_flat().end());
+  targets_.assign(scaled.targets().begin(), scaled.targets().end());
+}
+
+double KnnRegressor::predict(std::span<const double> features) const {
+  REGHD_CHECK(!targets_.empty(), "kNN must be fitted before prediction");
+  const std::vector<double> q = feature_scaler_.transform_row(features);
+
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, double>> dist_target(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const double* row = features_.data() + i * num_features_;
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < num_features_; ++j) {
+      const double d = row[j] - q[j];
+      d2 += d * d;
+    }
+    dist_target[i] = {d2, targets_[i]};
+  }
+  const std::size_t k = std::min(config_.k, targets_.size());
+  std::partial_sort(dist_target.begin(),
+                    dist_target.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist_target.end());
+
+  if (!config_.distance_weighted) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      acc += dist_target[i].second;
+    }
+    return acc / static_cast<double>(k);
+  }
+
+  double weighted = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(dist_target[i].first) + 1e-9);
+    weighted += w * dist_target[i].second;
+    weight_sum += w;
+  }
+  return weighted / weight_sum;
+}
+
+}  // namespace reghd::baselines

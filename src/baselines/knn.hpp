@@ -1,0 +1,43 @@
+// k-nearest-neighbours regression baseline.
+//
+// Not in the paper's Table 1, but the natural sanity comparator for a
+// similarity-based learner: RegHD is, at heart, a compressed similarity
+// search — kNN is the uncompressed one. Brute-force Euclidean search over
+// standardized features with optional inverse-distance weighting.
+#pragma once
+
+#include <vector>
+
+#include "data/scaler.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+struct KnnConfig {
+  std::size_t k = 5;
+  /// Weight neighbours by 1/(distance + ε) instead of uniformly.
+  bool distance_weighted = true;
+};
+
+class KnnRegressor final : public model::Regressor {
+ public:
+  explicit KnnRegressor(KnnConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "kNN"; }
+
+  /// Stores the (standardized) training set.
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+  [[nodiscard]] std::size_t training_size() const noexcept { return targets_.size(); }
+
+ private:
+  KnnConfig config_;
+  data::StandardScaler feature_scaler_;
+  std::size_t num_features_ = 0;
+  std::vector<double> features_;  // row-major standardized training features
+  std::vector<double> targets_;
+};
+
+}  // namespace reghd::baselines

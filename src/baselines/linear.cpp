@@ -1,0 +1,79 @@
+#include "baselines/linear.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/matrix.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+
+LinearRegression::LinearRegression(LinearConfig config) : config_(config) {
+  REGHD_CHECK(config_.l2 >= 0.0, "l2 must be non-negative");
+  REGHD_CHECK(config_.learning_rate > 0.0, "learning_rate must be positive");
+  REGHD_CHECK(config_.epochs >= 1, "epochs must be at least 1");
+}
+
+void LinearRegression::fit(const data::Dataset& train) {
+  REGHD_CHECK(train.size() >= 2, "linear regression requires at least two samples");
+
+  data::Dataset scaled = train;
+  feature_scaler_.fit(scaled);
+  feature_scaler_.transform(scaled);
+  target_scaler_.fit(scaled);
+  target_scaler_.transform(scaled);
+
+  const std::size_t n = scaled.num_features();
+  weights_.assign(n + 1, 0.0);
+
+  if (!config_.use_sgd) {
+    // Design matrix with a trailing 1s column for the bias.
+    util::Matrix a(scaled.size(), n + 1);
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      const auto row = scaled.row(i);
+      for (std::size_t k = 0; k < n; ++k) {
+        a(i, k) = row[k];
+      }
+      a(i, n) = 1.0;
+    }
+    // Small positive floor on λ keeps the Gram matrix positive definite
+    // even with collinear features.
+    const double lambda = std::max(config_.l2, 1e-9);
+    weights_ = util::ridge_solve(a, scaled.targets(), lambda);
+    return;
+  }
+
+  util::Rng rng(config_.seed);
+  std::vector<std::size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      const auto row = scaled.row(i);
+      double pred = weights_[n];
+      for (std::size_t k = 0; k < n; ++k) {
+        pred += weights_[k] * row[k];
+      }
+      const double err = scaled.target(i) - pred;
+      const double step = config_.learning_rate * err;
+      for (std::size_t k = 0; k < n; ++k) {
+        weights_[k] += step * row[k] - config_.learning_rate * config_.l2 * weights_[k];
+      }
+      weights_[n] += step;
+    }
+  }
+}
+
+double LinearRegression::predict(std::span<const double> features) const {
+  REGHD_CHECK(!weights_.empty(), "linear regression must be fitted before prediction");
+  const std::vector<double> x = feature_scaler_.transform_row(features);
+  const std::size_t n = x.size();
+  REGHD_CHECK(weights_.size() == n + 1, "feature count mismatch at prediction");
+  double pred = weights_[n];
+  for (std::size_t k = 0; k < n; ++k) {
+    pred += weights_[k] * x[k];
+  }
+  return target_scaler_.inverse_value(pred);
+}
+
+}  // namespace reghd::baselines

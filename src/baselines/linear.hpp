@@ -1,0 +1,46 @@
+// Linear regression baseline (the paper's Table 1 "Logistic Regression" row
+// — for continuous targets the scikit-learn practice it references reduces
+// to a regularized linear model).
+//
+// Two solvers: closed-form ridge via the normal equations (default; exact),
+// and SGD (for the streaming comparison). Features and target are
+// standardized internally.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scaler.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+struct LinearConfig {
+  double l2 = 1e-3;          ///< Ridge strength (normal-equations solver).
+  bool use_sgd = false;      ///< Use SGD instead of the closed form.
+  double learning_rate = 0.01;
+  std::size_t epochs = 50;
+  std::uint64_t seed = 1;
+};
+
+class LinearRegression final : public model::Regressor {
+ public:
+  explicit LinearRegression(LinearConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "LinearRegression"; }
+
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+  /// Learned weights in standardized feature space (bias last).
+  [[nodiscard]] std::span<const double> weights() const noexcept { return weights_; }
+
+ private:
+  LinearConfig config_;
+  data::StandardScaler feature_scaler_;
+  data::TargetScaler target_scaler_;
+  std::vector<double> weights_;  ///< n feature weights + bias.
+};
+
+}  // namespace reghd::baselines

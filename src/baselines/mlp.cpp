@@ -1,0 +1,192 @@
+#include "baselines/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/early_stopping.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  REGHD_CHECK(!config_.hidden.empty(), "MLP requires at least one hidden layer");
+  for (const std::size_t h : config_.hidden) {
+    REGHD_CHECK(h >= 1, "hidden layer width must be positive");
+  }
+  REGHD_CHECK(config_.learning_rate > 0.0, "learning_rate must be positive");
+  REGHD_CHECK(config_.momentum >= 0.0 && config_.momentum < 1.0,
+              "momentum must lie in [0,1)");
+  REGHD_CHECK(config_.max_epochs >= 1, "max_epochs must be at least 1");
+  REGHD_CHECK(config_.patience >= 1, "patience must be at least 1");
+  REGHD_CHECK(config_.validation_fraction > 0.0 && config_.validation_fraction < 0.5,
+              "validation_fraction must lie in (0, 0.5)");
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.w.size() + layer.b.size();
+  }
+  return total;
+}
+
+double Mlp::forward(std::span<const double> x,
+                    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current(x.begin(), x.end());
+  if (activations != nullptr) {
+    activations->clear();
+  }
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const bool is_output = li + 1 == layers_.size();
+    std::vector<double> next(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* row = layer.w.data() + o * layer.in;
+      double z = layer.b[o];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        z += row[i] * current[i];
+      }
+      next[o] = is_output ? z : std::max(z, 0.0);  // ReLU on hidden layers
+    }
+    current = std::move(next);
+    if (activations != nullptr) {
+      activations->push_back(current);
+    }
+  }
+  return current[0];
+}
+
+void Mlp::backward_and_update(std::span<const double> x,
+                              const std::vector<std::vector<double>>& activations,
+                              double error) {
+  // delta of the output layer for L = ½(y − ŷ)²: dL/dz_out = −error.
+  std::vector<double> delta = {-error};
+
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const std::span<const double> input =
+        li == 0 ? x : std::span<const double>(activations[li - 1]);
+
+    // Propagate delta to the previous layer before mutating weights.
+    std::vector<double> prev_delta;
+    if (li > 0) {
+      prev_delta.assign(layer.in, 0.0);
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        const double* row = layer.w.data() + o * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i) {
+          prev_delta[i] += row[i] * delta[o];
+        }
+      }
+      // ReLU derivative of the previous layer's activation.
+      const std::vector<double>& prev_act = activations[li - 1];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        if (prev_act[i] <= 0.0) {
+          prev_delta[i] = 0.0;
+        }
+      }
+    }
+
+    // SGD with momentum + L2 on this layer.
+    const double lr = config_.learning_rate;
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double* row = layer.w.data() + o * layer.in;
+      double* vrow = layer.vw.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        const double grad = delta[o] * input[i] + config_.l2 * row[i];
+        vrow[i] = config_.momentum * vrow[i] - lr * grad;
+        row[i] += vrow[i];
+      }
+      layer.vb[o] = config_.momentum * layer.vb[o] - lr * delta[o];
+      layer.b[o] += layer.vb[o];
+    }
+
+    delta = std::move(prev_delta);
+  }
+}
+
+void Mlp::fit(const data::Dataset& train) {
+  REGHD_CHECK(train.size() >= 8, "MLP fit requires at least 8 samples");
+
+  data::Dataset scaled = train;
+  feature_scaler_.fit(scaled);
+  feature_scaler_.transform(scaled);
+  target_scaler_.fit(scaled);
+  target_scaler_.transform(scaled);
+
+  util::Rng rng(config_.seed);
+  util::Rng split_rng = rng.split();
+  util::Rng init_rng = rng.split();
+  util::Rng order_rng = rng.split();
+
+  const data::TrainTestSplit split =
+      data::train_test_split(scaled, config_.validation_fraction, split_rng);
+
+  // He initialization.
+  layers_.clear();
+  std::size_t in = scaled.num_features();
+  std::vector<std::size_t> widths = config_.hidden;
+  widths.push_back(1);
+  for (const std::size_t out : widths) {
+    Layer layer;
+    layer.in = in;
+    layer.out = out;
+    layer.w.resize(in * out);
+    layer.b.assign(out, 0.0);
+    layer.vw.assign(in * out, 0.0);
+    layer.vb.assign(out, 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (double& w : layer.w) {
+      w = init_rng.normal(0.0, scale);
+    }
+    layers_.push_back(std::move(layer));
+    in = out;
+  }
+
+  std::vector<std::size_t> order(split.train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  core::EarlyStopper stopper(1e-3, config_.patience);
+  std::vector<std::vector<double>> activations;
+
+  // Keep the best weights seen on validation.
+  std::vector<Layer> best_layers = layers_;
+  double best_val = std::numeric_limits<double>::infinity();
+
+  epochs_run_ = 0;
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    order_rng.shuffle(order);
+    for (const std::size_t i : order) {
+      const auto x = split.train.row(i);
+      const double pred = forward(x, &activations);
+      const double error = split.train.target(i) - pred;
+      backward_and_update(x, activations, error);
+    }
+    ++epochs_run_;
+
+    double val_sq = 0.0;
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      const double e = forward(split.test.row(i), nullptr) - split.test.target(i);
+      val_sq += e * e;
+    }
+    const double val_mse = val_sq / static_cast<double>(split.test.size());
+    if (val_mse < best_val) {
+      best_val = val_mse;
+      best_layers = layers_;
+    }
+    if (stopper.update(val_mse)) {
+      break;
+    }
+  }
+  layers_ = std::move(best_layers);
+}
+
+double Mlp::predict(std::span<const double> features) const {
+  REGHD_CHECK(!layers_.empty(), "MLP must be fitted before prediction");
+  const std::vector<double> x = feature_scaler_.transform_row(features);
+  return target_scaler_.inverse_value(forward(x, nullptr));
+}
+
+}  // namespace reghd::baselines

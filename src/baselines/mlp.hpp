@@ -1,0 +1,70 @@
+// Feed-forward neural network baseline (the paper's Table 1 / Fig. 8 "DNN"):
+// input → hidden layers (ReLU) → linear output, trained with mini-batch SGD
+// with momentum on MSE loss and early stopping on a validation split.
+// Implemented from scratch — no external ML dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scaler.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {128, 64};
+  // Per-sample SGD: high momentum compounds with correlated consecutive
+  // samples and diverges; 0.5 with a modest rate is stable across the
+  // evaluation datasets.
+  double learning_rate = 0.005;
+  double momentum = 0.5;
+  double l2 = 1e-4;
+  std::size_t max_epochs = 200;
+  std::size_t patience = 10;
+  double validation_fraction = 0.15;
+  std::uint64_t seed = 7;
+};
+
+class Mlp final : public model::Regressor {
+ public:
+  explicit Mlp(MlpConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "DNN"; }
+
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+  /// Number of epochs the last fit actually ran (consumed by the Fig. 8
+  /// efficiency bench, which feeds measured epoch counts into the cost
+  /// model).
+  [[nodiscard]] std::size_t epochs_run() const noexcept { return epochs_run_; }
+
+  /// Total trainable parameters for the current topology.
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> w;   // out × in, row-major
+    std::vector<double> b;   // out
+    std::vector<double> vw;  // momentum buffers
+    std::vector<double> vb;
+  };
+
+  [[nodiscard]] double forward(std::span<const double> x,
+                               std::vector<std::vector<double>>* activations) const;
+  void backward_and_update(std::span<const double> x,
+                           const std::vector<std::vector<double>>& activations,
+                           double error);
+
+  MlpConfig config_;
+  data::StandardScaler feature_scaler_;
+  data::TargetScaler target_scaler_;
+  std::vector<Layer> layers_;
+  std::size_t epochs_run_ = 0;
+};
+
+}  // namespace reghd::baselines

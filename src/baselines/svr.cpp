@@ -1,0 +1,125 @@
+#include "baselines/svr.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+
+Svr::Svr(SvrConfig config) : config_(config) {
+  REGHD_CHECK(config_.epsilon >= 0.0, "epsilon must be non-negative");
+  REGHD_CHECK(config_.c > 0.0, "C must be positive");
+  REGHD_CHECK(config_.learning_rate > 0.0, "learning_rate must be positive");
+  REGHD_CHECK(config_.epochs >= 1, "epochs must be at least 1");
+  REGHD_CHECK(config_.rbf_features >= 1, "rbf_features must be positive");
+  REGHD_CHECK(config_.gamma >= 0.0, "gamma must be non-negative (0 = auto)");
+}
+
+std::vector<double> Svr::lift(std::span<const double> x) const {
+  if (config_.kernel == SvrKernel::kLinear) {
+    return std::vector<double>(x.begin(), x.end());
+  }
+  // Random Fourier features: z_j = √(2/m)·cos(ω_j·x + b_j), with
+  // ω ~ N(0, 2γ·I) approximating exp(−γ‖x−x'‖²).
+  const std::size_t m = config_.rbf_features;
+  const std::size_t n = x.size();
+  std::vector<double> z(m);
+  const double scale = std::sqrt(2.0 / static_cast<double>(m));
+  for (std::size_t j = 0; j < m; ++j) {
+    const double* row = omega_.data() + j * n;
+    double dot = phase_[j];
+    for (std::size_t k = 0; k < n; ++k) {
+      dot += row[k] * x[k];
+    }
+    z[j] = scale * std::cos(dot);
+  }
+  return z;
+}
+
+void Svr::fit(const data::Dataset& train) {
+  REGHD_CHECK(train.size() >= 2, "SVR requires at least two samples");
+
+  data::Dataset scaled = train;
+  feature_scaler_.fit(scaled);
+  feature_scaler_.transform(scaled);
+  target_scaler_.fit(scaled);
+  target_scaler_.transform(scaled);
+
+  const std::size_t n = scaled.num_features();
+  util::Rng rng(config_.seed);
+
+  if (config_.kernel == SvrKernel::kRbf) {
+    const double gamma = config_.gamma > 0.0
+                             ? config_.gamma
+                             : 1.0 / (2.0 * static_cast<double>(n));  // auto bandwidth
+    const double omega_std = std::sqrt(2.0 * gamma);
+    omega_.resize(config_.rbf_features * n);
+    for (double& w : omega_) {
+      w = rng.normal(0.0, omega_std);
+    }
+    phase_.resize(config_.rbf_features);
+    for (double& b : phase_) {
+      b = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    }
+  } else {
+    omega_.clear();
+    phase_.clear();
+  }
+
+  const std::size_t lifted_dim =
+      config_.kernel == SvrKernel::kRbf ? config_.rbf_features : n;
+  weights_.assign(lifted_dim, 0.0);
+  bias_ = 0.0;
+
+  // Pre-lift all rows once.
+  std::vector<std::vector<double>> lifted(scaled.size());
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    lifted[i] = lift(scaled.row(i));
+  }
+
+  std::vector<std::size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Pegasos-style SGD on  λ/2‖w‖² + max(0, |y − f(x)| − ε), λ = 1/C.
+  const double lambda = 1.0 / config_.c;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    // 1/√(1+epoch) decay keeps early progress fast and the tail stable.
+    const double lr = config_.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (const std::size_t i : order) {
+      const std::vector<double>& z = lifted[i];
+      double pred = bias_;
+      for (std::size_t k = 0; k < z.size(); ++k) {
+        pred += weights_[k] * z[k];
+      }
+      const double residual = scaled.target(i) - pred;
+      // Subgradient of the ε-insensitive loss.
+      double g = 0.0;
+      if (residual > config_.epsilon) {
+        g = -1.0;
+      } else if (residual < -config_.epsilon) {
+        g = 1.0;
+      }
+      for (std::size_t k = 0; k < z.size(); ++k) {
+        weights_[k] -= lr * (g * z[k] + lambda * weights_[k]);
+      }
+      bias_ -= lr * g;
+    }
+  }
+}
+
+double Svr::predict(std::span<const double> features) const {
+  REGHD_CHECK(!weights_.empty(), "SVR must be fitted before prediction");
+  const std::vector<double> x = feature_scaler_.transform_row(features);
+  const std::vector<double> z = lift(x);
+  double pred = bias_;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    pred += weights_[k] * z[k];
+  }
+  return target_scaler_.inverse_value(pred);
+}
+
+}  // namespace reghd::baselines

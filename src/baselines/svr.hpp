@@ -1,0 +1,61 @@
+// Support vector regression baseline (Table 1 "SVR").
+//
+// Primal ε-insensitive SVR trained by SGD. Two kernels:
+//  * linear — weights directly on standardized features;
+//  * rbf    — approximated with random Fourier features (Rahimi–Recht),
+//             which turns kernel SVR into a linear problem in a randomized
+//             feature space. This mirrors the encoder theme of the paper:
+//             RegHD's nonlinear encoding is itself an RFF-style map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scaler.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::baselines {
+
+enum class SvrKernel : std::uint8_t { kLinear = 0, kRbf = 1 };
+
+struct SvrConfig {
+  SvrKernel kernel = SvrKernel::kRbf;
+  double epsilon = 0.05;      ///< ε-insensitive tube half-width (standardized units).
+  double c = 100.0;           ///< Inverse regularization strength.
+  double learning_rate = 0.02;
+  std::size_t epochs = 60;
+  // RBF approximation.
+  std::size_t rbf_features = 256;
+  /// RBF kernel exp(−γ‖x−x'‖²). 0 (default) auto-scales to 1/(2·n_features)
+  /// — pairwise distances² between standardized samples grow linearly in the
+  /// feature count, so a fixed γ over-sharpens high-dimensional data.
+  double gamma = 0.0;
+  std::uint64_t seed = 11;
+};
+
+class Svr final : public model::Regressor {
+ public:
+  explicit Svr(SvrConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "SVR"; }
+
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+ private:
+  /// Maps a standardized row into the (possibly randomized) feature space.
+  [[nodiscard]] std::vector<double> lift(std::span<const double> x) const;
+
+  SvrConfig config_;
+  data::StandardScaler feature_scaler_;
+  data::TargetScaler target_scaler_;
+  // RFF parameters (rbf kernel only).
+  std::vector<double> omega_;  // rbf_features × n, row-major
+  std::vector<double> phase_;  // rbf_features
+  // Linear model in the lifted space (+ bias).
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace reghd::baselines

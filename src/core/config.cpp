@@ -1,0 +1,77 @@
+#include "core/config.hpp"
+
+#include "util/check.hpp"
+
+namespace reghd::core {
+
+std::string to_string(ClusterMode mode) {
+  switch (mode) {
+    case ClusterMode::kFullPrecision:
+      return "full-precision";
+    case ClusterMode::kQuantized:
+      return "quantized";
+    case ClusterMode::kNaiveBinary:
+      return "naive-binary";
+  }
+  REGHD_INTERNAL_CHECK(false, "unhandled ClusterMode " << static_cast<int>(mode));
+}
+
+std::string to_string(QueryPrecision precision) {
+  switch (precision) {
+    case QueryPrecision::kReal:
+      return "integer-query";
+    case QueryPrecision::kBinary:
+      return "binary-query";
+  }
+  REGHD_INTERNAL_CHECK(false, "unhandled QueryPrecision " << static_cast<int>(precision));
+}
+
+std::string to_string(ModelPrecision precision) {
+  switch (precision) {
+    case ModelPrecision::kReal:
+      return "integer-model";
+    case ModelPrecision::kBinary:
+      return "binary-model";
+    case ModelPrecision::kTernary:
+      return "ternary-model";
+  }
+  REGHD_INTERNAL_CHECK(false, "unhandled ModelPrecision " << static_cast<int>(precision));
+}
+
+std::string to_string(UpdateRule rule) {
+  switch (rule) {
+    case UpdateRule::kConfidenceWeighted:
+      return "confidence-weighted";
+    case UpdateRule::kWinnerOnly:
+      return "winner-only";
+  }
+  REGHD_INTERNAL_CHECK(false, "unhandled UpdateRule " << static_cast<int>(rule));
+}
+
+std::string to_string(ClusterInit init) {
+  switch (init) {
+    case ClusterInit::kRandom:
+      return "random";
+    case ClusterInit::kFarthestPoint:
+      return "farthest-point";
+  }
+  REGHD_INTERNAL_CHECK(false, "unhandled ClusterInit " << static_cast<int>(init));
+}
+
+std::string PredictionMode::to_string() const {
+  return core::to_string(query) + "/" + core::to_string(model);
+}
+
+void RegHDConfig::validate() const {
+  REGHD_CHECK(dim >= 64, "RegHD dimensionality must be at least 64, got " << dim);
+  REGHD_CHECK(models >= 1, "RegHD requires at least one model");
+  REGHD_CHECK(learning_rate > 0.0, "learning rate must be positive, got " << learning_rate);
+  REGHD_CHECK(max_epochs >= 1, "max_epochs must be at least 1");
+  REGHD_CHECK(patience >= 1, "patience must be at least 1");
+  REGHD_CHECK(tolerance >= 0.0, "tolerance must be non-negative");
+  REGHD_CHECK(softmax_temperature > 0.0, "softmax temperature must be positive");
+  REGHD_CHECK(error_clip >= 0.0, "error_clip must be non-negative (0 disables)");
+  // requantize_interval: any value is valid (0 = per-epoch).
+}
+
+}  // namespace reghd::core

@@ -1,0 +1,42 @@
+// Early-stopping rule shared by the core trainers: stop when the validation
+// MSE has not improved by at least `tolerance` (relative) for `patience`
+// consecutive epochs — the paper's "minor changes on the model during a few
+// consecutive iterations" criterion, measured on held-out error.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace reghd::core {
+
+class EarlyStopper {
+ public:
+  EarlyStopper(double tolerance, std::size_t patience) noexcept
+      : tolerance_(tolerance), patience_(patience) {}
+
+  /// Feeds one end-of-epoch validation MSE; returns true when training
+  /// should stop.
+  bool update(double val_mse) noexcept {
+    if (val_mse < best_ * (1.0 - tolerance_)) {
+      best_ = val_mse;
+      stall_ = 0;
+      return false;
+    }
+    if (val_mse < best_) {
+      best_ = val_mse;  // still track the best, even if below tolerance
+    }
+    ++stall_;
+    return stall_ >= patience_;
+  }
+
+  [[nodiscard]] double best() const noexcept { return best_; }
+  [[nodiscard]] std::size_t stall() const noexcept { return stall_; }
+
+ private:
+  double tolerance_;
+  std::size_t patience_;
+  double best_ = std::numeric_limits<double>::infinity();
+  std::size_t stall_ = 0;
+};
+
+}  // namespace reghd::core

@@ -1,0 +1,32 @@
+#include "core/encoded.hpp"
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace reghd::core {
+
+EncodedDataset EncodedDataset::from(const hdc::Encoder& encoder,
+                                    const data::Dataset& dataset) {
+  REGHD_CHECK(dataset.num_features() == encoder.input_dim(),
+              "dataset has " << dataset.num_features() << " features, encoder expects "
+                             << encoder.input_dim());
+  EncodedDataset out;
+  out.samples_.resize(dataset.size());
+  out.targets_.assign(dataset.targets().begin(), dataset.targets().end());
+  // Encoding is embarrassingly parallel (the encoder is immutable and each
+  // sample writes a disjoint slot); block assignment keeps it deterministic.
+  util::parallel_for(dataset.size(), [&](std::size_t i) {
+    out.samples_[i] = encoder.encode(dataset.row(i));
+  });
+  return out;
+}
+
+void EncodedDataset::add(hdc::EncodedSample sample, double target) {
+  REGHD_CHECK(samples_.empty() || sample.real.dim() == dim(),
+              "encoded sample dimensionality " << sample.real.dim()
+                                               << " does not match dataset dim " << dim());
+  samples_.push_back(std::move(sample));
+  targets_.push_back(target);
+}
+
+}  // namespace reghd::core

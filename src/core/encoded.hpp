@@ -1,0 +1,45 @@
+// Pre-encoded dataset: the in-memory form the core learners train on.
+//
+// Encoding is deterministic and independent of the model state, so every
+// sample is mapped into hyperspace exactly once and reused across training
+// epochs — the same structure a hardware implementation uses (the encoder
+// block streams each input once per pass; iterative epochs replay the
+// encoded buffer).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hdc/encoding.hpp"
+
+namespace reghd::core {
+
+class EncodedDataset {
+ public:
+  EncodedDataset() = default;
+
+  /// Encodes every row of `dataset` with `encoder`. Throws if the feature
+  /// counts disagree.
+  static EncodedDataset from(const hdc::Encoder& encoder, const data::Dataset& dataset);
+
+  void add(hdc::EncodedSample sample, double target);
+
+  [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return targets_.empty(); }
+
+  /// Hyperspace dimensionality; 0 when empty.
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return samples_.empty() ? 0 : samples_.front().real.dim();
+  }
+
+  [[nodiscard]] const hdc::EncodedSample& sample(std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] double target(std::size_t i) const { return targets_[i]; }
+  [[nodiscard]] std::span<const double> targets() const noexcept { return targets_; }
+
+ private:
+  std::vector<hdc::EncodedSample> samples_;
+  std::vector<double> targets_;
+};
+
+}  // namespace reghd::core

@@ -1,0 +1,77 @@
+// Hyperdimensional classification.
+//
+// "The application of all existing HD algorithms is mainly in
+// classification" (§5) — RegHD generalizes that machinery to regression.
+// This class provides the classification side with the same substrate: one
+// class hypervector per label, single-pass bundling of encoded samples,
+// then perceptron-style corrective refinement (the iterative HD training of
+// the paper's refs. [19][23]), with optional quantized (Hamming) inference.
+//
+// It is also the engine behind baselines::BaselineHd (regression emulated by
+// classifying discretized outputs), and usable on its own for the
+// gesture/biosignal workloads the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/encoded.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace reghd::core {
+
+struct HdClassifierConfig {
+  std::size_t dim = 4096;
+  std::size_t classes = 2;
+  std::size_t max_epochs = 20;
+  /// Stop when validation accuracy fails to improve for this many epochs.
+  std::size_t patience = 5;
+  /// Hamming inference over binary class snapshots instead of cosine.
+  bool quantized = false;
+  std::uint64_t seed = 0xC1A55ULL;
+
+  void validate() const;
+};
+
+/// Telemetry of a classifier fit.
+struct HdClassifierReport {
+  std::size_t epochs_run = 0;
+  bool converged = false;
+  double best_val_accuracy = 0.0;
+  std::vector<double> val_accuracy_history;
+};
+
+class HdClassifier {
+ public:
+  explicit HdClassifier(HdClassifierConfig config);
+
+  /// Trains on encoded samples with integer labels in [0, classes).
+  /// `val` drives early stopping and best-epoch restore.
+  HdClassifierReport fit(const EncodedDataset& train, std::span<const std::size_t> labels,
+                         const EncodedDataset& val, std::span<const std::size_t> val_labels);
+
+  /// Most similar class for one encoded sample.
+  [[nodiscard]] std::size_t predict(const hdc::EncodedSample& sample) const;
+
+  /// Similarity of the sample to every class hypervector.
+  [[nodiscard]] std::vector<double> scores(const hdc::EncodedSample& sample) const;
+
+  /// Fraction of correct predictions on an encoded set.
+  [[nodiscard]] double accuracy(const EncodedDataset& data,
+                                std::span<const std::size_t> labels) const;
+
+  [[nodiscard]] const HdClassifierConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const hdc::RealHV& class_hv(std::size_t c) const { return class_hvs_[c]; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+ private:
+  void requantize();
+
+  HdClassifierConfig config_;
+  std::vector<hdc::RealHV> class_hvs_;
+  std::vector<hdc::BinaryHV> class_snapshots_;
+  bool fitted_ = false;
+};
+
+}  // namespace reghd::core

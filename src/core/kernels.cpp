@@ -1,0 +1,96 @@
+#include "core/kernels.hpp"
+
+#include <cmath>
+
+namespace reghd::core {
+
+void RegressionModel::requantize() {
+  binary = accumulator.sign_packed();
+  double abs_sum = 0.0;
+  for (const double v : accumulator.values()) {
+    abs_sum += std::abs(v);
+  }
+  const std::size_t dim = accumulator.dim();
+  gamma = dim > 0 ? abs_sum / static_cast<double>(dim) : 0.0;
+
+  // Ternary snapshot: dead-zone components below kTernaryThreshold·γ.
+  ternary_mask = hdc::BinaryHV(dim);
+  const double threshold = kTernaryThreshold * gamma;
+  double kept_sum = 0.0;
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double mag = std::abs(accumulator[j]);
+    if (mag >= threshold) {
+      ternary_mask.set_bit(j, true);
+      kept_sum += mag;
+      ++kept;
+    }
+  }
+  gamma_ternary = kept > 0 ? kept_sum / static_cast<double>(kept) : 0.0;
+}
+
+double predict_dot(const RegressionModel& model, const hdc::EncodedSample& query,
+                   PredictionMode mode) {
+  const auto d = static_cast<double>(model.accumulator.dim());
+  REGHD_CHECK(d > 0, "predict_dot on an empty model");
+  if (mode.model == ModelPrecision::kReal) {
+    if (mode.query == QueryPrecision::kReal) {
+      return hdc::dot(model.accumulator, query.real) / d;  // full precision
+    }
+    return hdc::dot(model.accumulator, query.binary) / d;  // binary query, multiply-free
+  }
+  if (mode.model == ModelPrecision::kTernary) {
+    // Ternary model: dead-zone components contribute nothing; survivors
+    // carry ±γ_t.
+    if (mode.query == QueryPrecision::kReal) {
+      return model.gamma_ternary *
+             hdc::masked_dot(query.real, model.binary, model.ternary_mask) / d;
+    }
+    return model.gamma_ternary *
+           static_cast<double>(
+               hdc::masked_bipolar_dot(model.binary, query.binary, model.ternary_mask)) /
+           d;
+  }
+  // Binary model: popcount-class kernels scaled by γ.
+  if (mode.query == QueryPrecision::kReal) {
+    return model.gamma * hdc::dot(query.real, model.binary) / d;
+  }
+  return model.gamma * static_cast<double>(hdc::bipolar_dot(model.binary, query.binary)) / d;
+}
+
+void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSample& sample,
+                        double coeff, QueryPrecision precision) {
+  if (precision == QueryPrecision::kReal) {
+    hdc::add_scaled(accumulator, sample.real, coeff);
+  } else {
+    hdc::add_scaled(accumulator, sample.bipolar, coeff);
+  }
+}
+
+double raw_query_dot(const hdc::RealHV& accumulator, const hdc::EncodedSample& query,
+                     QueryPrecision precision) {
+  if (precision == QueryPrecision::kReal) {
+    return hdc::dot(accumulator, query.real);
+  }
+  return hdc::dot(accumulator, query.binary);
+}
+
+double update_normalizer(const hdc::EncodedSample& sample, QueryPrecision precision) {
+  if (precision == QueryPrecision::kBinary) {
+    return 1.0;
+  }
+  const double n2 = sample.real_norm2;
+  if (n2 <= 0.0) {
+    return 0.0;  // degenerate all-zero encoding: skip the update
+  }
+  return static_cast<double>(sample.real.dim()) / n2;
+}
+
+double query_norm2(const hdc::EncodedSample& query, QueryPrecision precision) {
+  if (precision == QueryPrecision::kReal) {
+    return query.real_norm2;
+  }
+  return static_cast<double>(query.binary.dim());
+}
+
+}  // namespace reghd::core

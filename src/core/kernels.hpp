@@ -1,0 +1,71 @@
+// Shared prediction/update kernels used by both the single-model and
+// multi-model regressors.
+//
+// Prediction normalization: all prediction dot products are divided by the
+// dimensionality D, i.e. ŷ contributions are (1/D)·M·Q. This makes the
+// learning rate α dimension-independent (an update M += α·err·S changes the
+// sample's own prediction by ≈ α·err regardless of D) and keeps the paper's
+// nominal α values stable across the Table 2 dimensionality sweep.
+#pragma once
+
+#include "core/config.hpp"
+#include "hdc/encoding.hpp"
+#include "hdc/ops.hpp"
+
+namespace reghd::core {
+
+/// State of one regression model: the integer accumulator M, its binary
+/// snapshot M^b, the ternary mask (QuantHD extension), and the calibration
+/// scales fitted at quantization time (§3.2; map popcount scores back to
+/// accumulator units).
+struct RegressionModel {
+  hdc::RealHV accumulator;
+  hdc::BinaryHV binary;
+  double gamma = 0.0;  ///< mean_j |M_j| — the binary-snapshot scale.
+
+  /// Ternary snapshot: bit j of `ternary_mask` is set iff |M_j| clears the
+  /// threshold; signs come from `binary`. `gamma_ternary` is the mean |M_j|
+  /// over the surviving components.
+  hdc::BinaryHV ternary_mask;
+  double gamma_ternary = 0.0;
+
+  /// Fraction of mean |M_j| below which a component is masked out of the
+  /// ternary snapshot (QuantHD's dead-zone width).
+  static constexpr double kTernaryThreshold = 0.6;
+
+  explicit RegressionModel(std::size_t dim)
+      : accumulator(dim), binary(dim), ternary_mask(dim) {}
+  RegressionModel() = default;
+
+  /// Refreshes binary + ternary snapshots and both scales from the
+  /// accumulator.
+  void requantize();
+};
+
+/// Normalized prediction dot of one model against one encoded query, at the
+/// configured precision (the four §3.2 kernels).
+[[nodiscard]] double predict_dot(const RegressionModel& model, const hdc::EncodedSample& query,
+                                 PredictionMode mode);
+
+/// Accumulator update M += coeff·S with the sample taken at the given query
+/// precision (real encoder output vs bipolar sign vector).
+void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSample& sample,
+                        double coeff, QueryPrecision precision);
+
+/// Normalization factor D/‖S‖² that turns the LMS update into normalized
+/// LMS: with it, an update α·err changes the sample's own (1/D)·M·S
+/// prediction by exactly α·err regardless of encoder output scale. For
+/// bipolar/binary queries ‖S‖² = D and the factor is exactly 1 — i.e. the
+/// paper's literal update rule (Eqs. 2, 7) is recovered.
+[[nodiscard]] double update_normalizer(const hdc::EncodedSample& sample,
+                                       QueryPrecision precision);
+
+/// Raw (unnormalized) dot of a real accumulator against the query at the
+/// given precision; used where the caller owns normalization (cosine).
+[[nodiscard]] double raw_query_dot(const hdc::RealHV& accumulator,
+                                   const hdc::EncodedSample& query, QueryPrecision precision);
+
+/// Squared norm of the query at the given precision (bipolar: exactly D).
+[[nodiscard]] double query_norm2(const hdc::EncodedSample& query, QueryPrecision precision);
+
+}  // namespace reghd::core

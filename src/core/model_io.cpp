@@ -1,0 +1,199 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/serialize.hpp"
+
+namespace reghd::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52474844;  // "RGHD"
+constexpr std::uint32_t kVersion = 1;
+
+/// Reads a byte-backed enum and validates it against its maximum value —
+/// a corrupted file must never produce an out-of-range enum (undefined
+/// behaviour in downstream switches).
+template <typename Enum>
+Enum read_enum(std::istream& in, std::uint8_t max_value, const char* what) {
+  const auto raw = util::read_scalar<std::uint8_t>(in);
+  if (raw > max_value) {
+    throw std::runtime_error(std::string("model_io: invalid ") + what + " value " +
+                             std::to_string(raw));
+  }
+  return static_cast<Enum>(raw);
+}
+
+void write_encoder_config(std::ostream& out, const hdc::EncoderConfig& cfg) {
+  util::write_scalar<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.kind));
+  util::write_scalar<std::uint64_t>(out, cfg.input_dim);
+  util::write_scalar<std::uint64_t>(out, cfg.dim);
+  util::write_scalar<std::uint64_t>(out, cfg.seed);
+  util::write_scalar<double>(out, cfg.projection_stddev);
+  util::write_scalar<std::uint64_t>(out, cfg.levels);
+  util::write_scalar<double>(out, cfg.level_min);
+  util::write_scalar<double>(out, cfg.level_max);
+}
+
+hdc::EncoderConfig read_encoder_config(std::istream& in) {
+  hdc::EncoderConfig cfg;
+  cfg.kind = read_enum<hdc::EncoderKind>(in, 3, "encoder kind");
+  cfg.input_dim = util::read_scalar<std::uint64_t>(in);
+  cfg.dim = util::read_scalar<std::uint64_t>(in);
+  cfg.seed = util::read_scalar<std::uint64_t>(in);
+  cfg.projection_stddev = util::read_scalar<double>(in);
+  cfg.levels = util::read_scalar<std::uint64_t>(in);
+  cfg.level_min = util::read_scalar<double>(in);
+  cfg.level_max = util::read_scalar<double>(in);
+  if (cfg.input_dim > (1ULL << 20) || cfg.dim > (1ULL << 24) ||
+      cfg.levels > (1ULL << 20) ||
+      static_cast<std::uint64_t>(cfg.input_dim) * cfg.dim > (1ULL << 28)) {
+    throw std::runtime_error("model_io: implausible encoder dimensions — corrupt stream");
+  }
+  return cfg;
+}
+
+void write_reghd_config(std::ostream& out, const RegHDConfig& cfg) {
+  util::write_scalar<std::uint64_t>(out, cfg.dim);
+  util::write_scalar<std::uint64_t>(out, cfg.models);
+  util::write_scalar<double>(out, cfg.learning_rate);
+  util::write_scalar<std::uint64_t>(out, cfg.max_epochs);
+  util::write_scalar<std::uint64_t>(out, cfg.patience);
+  util::write_scalar<double>(out, cfg.tolerance);
+  util::write_scalar<double>(out, cfg.softmax_temperature);
+  util::write_scalar<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.cluster_mode));
+  util::write_scalar<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.query_precision));
+  util::write_scalar<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.model_precision));
+  util::write_scalar<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.update_rule));
+  util::write_scalar<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.cluster_init));
+  util::write_scalar<std::uint8_t>(out, cfg.normalize_similarities ? 1 : 0);
+  util::write_scalar<std::uint64_t>(out, cfg.requantize_interval);
+  util::write_scalar<double>(out, cfg.error_clip);
+  util::write_scalar<std::uint64_t>(out, cfg.seed);
+}
+
+RegHDConfig read_reghd_config(std::istream& in) {
+  RegHDConfig cfg;
+  cfg.dim = util::read_scalar<std::uint64_t>(in);
+  cfg.models = util::read_scalar<std::uint64_t>(in);
+  cfg.learning_rate = util::read_scalar<double>(in);
+  cfg.max_epochs = util::read_scalar<std::uint64_t>(in);
+  cfg.patience = util::read_scalar<std::uint64_t>(in);
+  cfg.tolerance = util::read_scalar<double>(in);
+  cfg.softmax_temperature = util::read_scalar<double>(in);
+  cfg.cluster_mode = read_enum<ClusterMode>(in, 2, "cluster mode");
+  cfg.query_precision = read_enum<QueryPrecision>(in, 1, "query precision");
+  cfg.model_precision = read_enum<ModelPrecision>(in, 2, "model precision");
+  cfg.update_rule = read_enum<UpdateRule>(in, 1, "update rule");
+  cfg.cluster_init = read_enum<ClusterInit>(in, 1, "cluster init");
+  cfg.normalize_similarities = util::read_scalar<std::uint8_t>(in) != 0;
+  cfg.requantize_interval = util::read_scalar<std::uint64_t>(in);
+  cfg.error_clip = util::read_scalar<double>(in);
+  cfg.seed = util::read_scalar<std::uint64_t>(in);
+  // Sanity bounds before any allocation: a corrupted size field must fail
+  // here, not inside a multi-gigabyte vector construction.
+  if (cfg.dim > (1ULL << 24) || cfg.models > (1ULL << 16)) {
+    throw std::runtime_error("model_io: implausible model dimensions — corrupt stream");
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+void save_pipeline(std::ostream& out, const RegHDPipeline& pipeline) {
+  REGHD_CHECK(pipeline.fitted(), "cannot save an unfitted pipeline");
+  util::write_header(out, kMagic, kVersion);
+
+  const PipelineConfig& cfg = pipeline.config();
+  write_encoder_config(out, cfg.encoder);
+  write_reghd_config(out, cfg.reghd);
+  util::write_scalar<std::uint8_t>(out, cfg.standardize_features ? 1 : 0);
+  util::write_scalar<std::uint8_t>(out, cfg.standardize_target ? 1 : 0);
+  util::write_scalar<double>(out, cfg.validation_fraction);
+
+  // Scalers.
+  if (cfg.standardize_features) {
+    util::write_vector<double>(out, pipeline.feature_scaler().means());
+    util::write_vector<double>(out, pipeline.feature_scaler().stddevs());
+  }
+  if (cfg.standardize_target) {
+    util::write_scalar<double>(out, pipeline.target_scaler().mean());
+    util::write_scalar<double>(out, pipeline.target_scaler().stddev());
+  }
+
+  // Learned state: cluster and model accumulators.
+  const MultiModelRegressor& reg = pipeline.regressor();
+  util::write_scalar<std::uint64_t>(out, reg.num_models());
+  for (std::size_t i = 0; i < reg.num_models(); ++i) {
+    util::write_vector<double>(out, reg.cluster(i).accumulator.values());
+    util::write_vector<double>(out, reg.model(i).accumulator.values());
+  }
+  if (!out.good()) {
+    throw std::runtime_error("model_io: stream error while saving pipeline");
+  }
+}
+
+RegHDPipeline load_pipeline(std::istream& in) {
+  util::read_header(in, kMagic, kVersion);
+
+  PipelineConfig cfg;
+  cfg.encoder = read_encoder_config(in);
+  cfg.reghd = read_reghd_config(in);
+  cfg.standardize_features = util::read_scalar<std::uint8_t>(in) != 0;
+  cfg.standardize_target = util::read_scalar<std::uint8_t>(in) != 0;
+  cfg.validation_fraction = util::read_scalar<double>(in);
+
+  RegHDPipeline pipeline(cfg);
+
+  if (cfg.standardize_features) {
+    auto means = util::read_vector<double>(in);
+    auto stddevs = util::read_vector<double>(in);
+    pipeline.mutable_feature_scaler().set_params(std::move(means), std::move(stddevs));
+  }
+  if (cfg.standardize_target) {
+    const double mean = util::read_scalar<double>(in);
+    const double stddev = util::read_scalar<double>(in);
+    pipeline.mutable_target_scaler().set_params(mean, stddev);
+  }
+
+  auto regressor = std::make_unique<MultiModelRegressor>(cfg.reghd);
+  const auto k = util::read_scalar<std::uint64_t>(in);
+  if (k != cfg.reghd.models) {
+    throw std::runtime_error("model_io: stored model count does not match configuration");
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    auto cluster_values = util::read_vector<double>(in);
+    auto model_values = util::read_vector<double>(in);
+    if (cluster_values.size() != cfg.reghd.dim || model_values.size() != cfg.reghd.dim) {
+      throw std::runtime_error("model_io: stored hypervector dimensionality mismatch");
+    }
+    regressor->mutable_clusters()[i].accumulator = hdc::RealHV(std::move(cluster_values));
+    regressor->mutable_models()[i].accumulator = hdc::RealHV(std::move(model_values));
+  }
+  // Re-derive binary snapshots, γ scales, and cached norms.
+  regressor->requantize();
+
+  pipeline.restore(cfg.encoder, std::move(regressor));
+  return pipeline;
+}
+
+void save_pipeline_file(const std::string& path, const RegHDPipeline& pipeline) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("model_io: cannot open '" + path + "' for writing");
+  }
+  save_pipeline(out, pipeline);
+}
+
+RegHDPipeline load_pipeline_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("model_io: cannot open '" + path + "' for reading");
+  }
+  return load_pipeline(in);
+}
+
+}  // namespace reghd::core

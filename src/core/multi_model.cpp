@@ -1,0 +1,377 @@
+#include "core/multi_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/early_stopping.hpp"
+#include "hdc/random_hv.hpp"
+#include "util/check.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::core {
+
+MultiModelRegressor::MultiModelRegressor(const RegHDConfig& config) : config_(config) {
+  config_.validate();
+  reset();
+}
+
+void MultiModelRegressor::reset() {
+  util::Rng rng(config_.seed);
+  util::Rng cluster_rng = rng.split();
+
+  models_.assign(config_.models, RegressionModel(config_.dim));
+  clusters_.clear();
+  clusters_.reserve(config_.models);
+  for (std::size_t i = 0; i < config_.models; ++i) {
+    ClusterCenter c;
+    // Paper §2.4: cluster hypervectors initialized to random binary values.
+    c.accumulator = hdc::random_bipolar(config_.dim, cluster_rng).to_real();
+    c.norm2 = static_cast<double>(config_.dim);
+    c.requantize();
+    clusters_.push_back(std::move(c));
+  }
+  for (auto& m : models_) {
+    m.requantize();
+  }
+}
+
+std::vector<double> MultiModelRegressor::similarities(
+    const hdc::EncodedSample& sample) const {
+  REGHD_CHECK(sample.real.dim() == config_.dim,
+              "sample dim " << sample.real.dim() << " != configured dim " << config_.dim);
+  std::vector<double> sims(clusters_.size());
+  switch (config_.cluster_mode) {
+    case ClusterMode::kFullPrecision: {
+      // Eq. 5 cosine over the integer centers, query at its configured
+      // precision. Query norm is cached; cluster norms are maintained
+      // incrementally.
+      const double qn2 = query_norm2(sample, config_.query_precision);
+      const double qn = std::sqrt(qn2);
+      for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        const double cn = std::sqrt(clusters_[i].norm2);
+        if (cn == 0.0 || qn == 0.0) {
+          sims[i] = 0.0;
+          continue;
+        }
+        sims[i] =
+            raw_query_dot(clusters_[i].accumulator, sample, config_.query_precision) / (cn * qn);
+      }
+      break;
+    }
+    case ClusterMode::kQuantized:
+    case ClusterMode::kNaiveBinary: {
+      // §3.1: Hamming similarity of binary snapshots against the binary
+      // query; range [−1, 1] matches the cosine scale.
+      for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        sims[i] = hdc::hamming_similarity(clusters_[i].binary, sample.binary);
+      }
+      break;
+    }
+  }
+  return sims;
+}
+
+std::size_t MultiModelRegressor::assign_cluster(const hdc::EncodedSample& sample) const {
+  const auto sims = similarities(sample);
+  return static_cast<std::size_t>(
+      std::distance(sims.begin(), std::max_element(sims.begin(), sims.end())));
+}
+
+std::vector<double> MultiModelRegressor::confidences_from(std::vector<double> sims) const {
+  if (config_.normalize_similarities && sims.size() > 1) {
+    double mean = 0.0;
+    for (const double s : sims) {
+      mean += s;
+    }
+    mean /= static_cast<double>(sims.size());
+    double var = 0.0;
+    for (const double s : sims) {
+      var += (s - mean) * (s - mean);
+    }
+    var /= static_cast<double>(sims.size());
+    const double inv_std = 1.0 / (std::sqrt(var) + 1e-12);
+    for (double& s : sims) {
+      s = (s - mean) * inv_std;
+    }
+  }
+  util::softmax_inplace(sims, config_.softmax_temperature);
+  return sims;
+}
+
+double MultiModelRegressor::predict(const hdc::EncodedSample& sample) const {
+  const auto conf = confidences_from(similarities(sample));
+  const PredictionMode mode = config_.prediction_mode();
+  double y = 0.0;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    y += conf[i] * predict_dot(models_[i], sample, mode);
+  }
+  return y;
+}
+
+PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSample& sample) const {
+  PredictionDetail detail;
+  detail.similarities = similarities(sample);
+  detail.confidences = confidences_from(detail.similarities);
+  detail.best_cluster = static_cast<std::size_t>(std::distance(
+      detail.similarities.begin(),
+      std::max_element(detail.similarities.begin(), detail.similarities.end())));
+  const PredictionMode mode = config_.prediction_mode();
+  detail.model_outputs.resize(models_.size());
+  detail.prediction = 0.0;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    detail.model_outputs[i] = predict_dot(models_[i], sample, mode);
+    detail.prediction += detail.confidences[i] * detail.model_outputs[i];
+  }
+  return detail;
+}
+
+std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dataset) const {
+  std::vector<double> out;
+  out.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out.push_back(predict(dataset.sample(i)));
+  }
+  return out;
+}
+
+double MultiModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
+  REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double e = predict(dataset.sample(i)) - dataset.target(i);
+    acc += e * e;
+  }
+  return acc / static_cast<double>(dataset.size());
+}
+
+double MultiModelRegressor::train_step(const hdc::EncodedSample& sample, double target) {
+  const auto sims = similarities(sample);
+  const auto conf = confidences_from(sims);
+  // The training error is always measured against the integer models being
+  // updated (paper §3.2: binary snapshots are regenerated from the integer
+  // model per epoch/batch; computing the error from an epoch-frozen snapshot
+  // would keep it constant and destabilize the accumulation). Binary kernels
+  // apply at inference via predict().
+  const PredictionMode mode{config_.query_precision, ModelPrecision::kReal};
+
+  // Eq. 6: confidence-weighted prediction.
+  double prediction = 0.0;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    prediction += conf[i] * predict_dot(models_[i], sample, mode);
+  }
+  double error = target - prediction;
+  if (config_.error_clip > 0.0) {
+    error = std::clamp(error, -config_.error_clip, config_.error_clip);
+  }
+
+  // Eq. 7: model updates on the integer accumulators.
+  const std::size_t winner = static_cast<std::size_t>(
+      std::distance(sims.begin(), std::max_element(sims.begin(), sims.end())));
+  const double normalizer = update_normalizer(sample, config_.query_precision);
+  if (config_.update_rule == UpdateRule::kConfidenceWeighted) {
+    // Mixture-normalized LMS: dividing by Σδ'² makes the joint update move
+    // this sample's blended prediction by exactly α·err, independent of how
+    // soft the confidences are (for one-hot confidence this is Eq. 7
+    // verbatim).
+    double conf_sq = 0.0;
+    for (const double c : conf) {
+      conf_sq += c * c;
+    }
+    const double mix_norm = conf_sq > 0.0 ? 1.0 / conf_sq : 0.0;
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      const double coeff = config_.learning_rate * error * conf[i] * normalizer * mix_norm;
+      if (coeff != 0.0) {
+        update_accumulator(models_[i].accumulator, sample, coeff, config_.query_precision);
+      }
+    }
+  } else {
+    update_accumulator(models_[winner].accumulator, sample,
+                       config_.learning_rate * error * normalizer, config_.query_precision);
+  }
+
+  // Eq. 8 / Eq. 9: cluster update on the winning center's integer
+  // accumulator. The paper's Eq. 9 updates the integer copy with the
+  // integer-encoded input even when similarity search is binary; frozen in
+  // the naive-binarization foil.
+  if (config_.cluster_mode != ClusterMode::kNaiveBinary) {
+    ClusterCenter& c = clusters_[winner];
+    const double weight = 1.0 - sims[winner];
+    if (weight != 0.0) {
+      // Maintain ‖C‖² incrementally: ‖C + w·S‖² = ‖C‖² + 2w·(C·S) + w²·‖S‖².
+      const double dot_cs = hdc::dot(c.accumulator, sample.real);
+      hdc::add_scaled(c.accumulator, sample.real, weight);
+      c.norm2 += 2.0 * weight * dot_cs + weight * weight * sample.real_norm2;
+      c.norm2 = std::max(c.norm2, 0.0);
+    }
+  }
+  return prediction;
+}
+
+void MultiModelRegressor::sparsify(double fraction) {
+  REGHD_CHECK(fraction >= 0.0 && fraction < 1.0,
+              "sparsity fraction must lie in [0,1), got " << fraction);
+  if (fraction == 0.0) {
+    return;
+  }
+  const auto keep_from = static_cast<std::size_t>(
+      fraction * static_cast<double>(config_.dim));
+  std::vector<double> magnitudes(config_.dim);
+  for (auto& m : models_) {
+    for (std::size_t j = 0; j < config_.dim; ++j) {
+      magnitudes[j] = std::abs(m.accumulator[j]);
+    }
+    // Threshold at the `fraction` quantile of |M_j| for this model.
+    std::nth_element(magnitudes.begin(),
+                     magnitudes.begin() + static_cast<std::ptrdiff_t>(keep_from),
+                     magnitudes.end());
+    const double threshold = magnitudes[keep_from];
+    for (std::size_t j = 0; j < config_.dim; ++j) {
+      if (std::abs(m.accumulator[j]) < threshold) {
+        m.accumulator[j] = 0.0;
+      }
+    }
+    m.requantize();
+  }
+}
+
+double MultiModelRegressor::model_sparsity() const {
+  std::size_t zeros = 0;
+  for (const auto& m : models_) {
+    for (const double v : m.accumulator.values()) {
+      zeros += v == 0.0 ? 1 : 0;
+    }
+  }
+  return static_cast<double>(zeros) /
+         static_cast<double>(models_.size() * config_.dim);
+}
+
+void MultiModelRegressor::decay_models(double factor) {
+  REGHD_CHECK(factor > 0.0 && factor <= 1.0,
+              "decay factor must lie in (0,1], got " << factor);
+  if (factor == 1.0) {
+    return;
+  }
+  for (auto& m : models_) {
+    hdc::scale(m.accumulator, factor);
+  }
+}
+
+void MultiModelRegressor::init_clusters_from_samples(const EncodedDataset& train) {
+  // Farthest-point sampling on bipolar encodings: the first center is a
+  // seeded-random sample; each next center is the sample with the smallest
+  // maximum similarity to the centers chosen so far. O(k·N) Hamming passes.
+  util::Rng rng(config_.seed ^ 0x494E4954ULL);  // "INIT"
+  const std::size_t n = train.size();
+  std::vector<std::size_t> chosen;
+  chosen.reserve(config_.models);
+  chosen.push_back(static_cast<std::size_t>(rng.uniform_index(n)));
+
+  std::vector<double> max_sim(n, -2.0);
+  while (chosen.size() < config_.models) {
+    const hdc::BinaryHV& last = train.sample(chosen.back()).binary;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_sim[i] = std::max(max_sim[i], hdc::hamming_similarity(train.sample(i).binary, last));
+    }
+    std::size_t best = 0;
+    double best_score = 2.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (max_sim[i] < best_score) {
+        best_score = max_sim[i];
+        best = i;
+      }
+    }
+    chosen.push_back(best);
+  }
+
+  for (std::size_t c = 0; c < config_.models; ++c) {
+    ClusterCenter& center = clusters_[c];
+    center.accumulator = train.sample(chosen[c]).bipolar.to_real();
+    center.norm2 = static_cast<double>(config_.dim);
+    center.requantize();
+  }
+}
+
+void MultiModelRegressor::requantize() {
+  for (auto& m : models_) {
+    m.requantize();
+  }
+  for (auto& c : clusters_) {
+    c.requantize();
+    // Recompute the cached norm exactly to null incremental drift.
+    double norm2 = 0.0;
+    for (const double v : c.accumulator.values()) {
+      norm2 += v * v;
+    }
+    c.norm2 = norm2;
+  }
+}
+
+TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
+                                        const EncodedDataset& val) {
+  REGHD_CHECK(!train.empty(), "cannot fit on an empty training set");
+  REGHD_CHECK(!val.empty(), "multi-model fit requires a validation set for early stopping");
+  REGHD_CHECK(train.dim() == config_.dim,
+              "training data dim " << train.dim() << " != configured dim " << config_.dim);
+
+  reset();
+  if (config_.cluster_init == ClusterInit::kFarthestPoint && config_.models > 1) {
+    init_clusters_from_samples(train);
+  }
+  util::Rng rng(config_.seed ^ 0x45504F4348ULL);  // "EPOCH"
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainingReport report;
+  EarlyStopper stopper(config_.tolerance, config_.patience);
+  std::vector<RegressionModel> best_models = models_;
+  std::vector<ClusterCenter> best_clusters = clusters_;
+  double best_val = std::numeric_limits<double>::infinity();
+
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double online_sq_err = 0.0;
+    std::size_t since_requantize = 0;
+    for (const std::size_t i : order) {
+      const hdc::EncodedSample& s = train.sample(i);
+      const double y = train.target(i);
+      const double before = train_step(s, y);  // returns the pre-update prediction
+      online_sq_err += (y - before) * (y - before);
+      if (config_.requantize_interval > 0 &&
+          ++since_requantize >= config_.requantize_interval) {
+        requantize();
+        since_requantize = 0;
+      }
+    }
+    requantize();
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_mse = online_sq_err / static_cast<double>(train.size());
+    record.val_mse = evaluate_mse(val);
+    report.history.push_back(record);
+    report.epochs_run = epoch + 1;
+
+    if (record.val_mse < best_val) {
+      best_val = record.val_mse;
+      best_models = models_;
+      best_clusters = clusters_;
+    }
+    if (stopper.update(record.val_mse)) {
+      report.converged = true;
+      report.stop_reason = "validation MSE stabilized";
+      break;
+    }
+  }
+  if (!report.converged) {
+    report.stop_reason = "reached max_epochs";
+  }
+  // Keep the best validation-epoch state, not the last one.
+  models_ = std::move(best_models);
+  clusters_ = std::move(best_clusters);
+  report.best_val_mse = stopper.best();
+  return report;
+}
+
+}  // namespace reghd::core

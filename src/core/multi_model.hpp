@@ -1,0 +1,127 @@
+// Multi-model RegHD regression — the paper's primary contribution
+// (§2.4, Eqs. 5–8) with the quantization framework of §3 (Eqs. 9, Fig. 5).
+//
+// State: k cluster hypervectors C_i (random ±1 initialization, integer
+// accumulators thereafter) and k regression models M_i (zero-initialized
+// accumulators). Per training pair (S, y):
+//
+//   1. similarities  δ_i = δ(S, C_i)            (Eq. 5 — cosine, or Hamming
+//                                                over binary snapshots in
+//                                                quantized-cluster mode)
+//   2. confidences   δ'_i = softmax(δ / τ)      (normalization block)
+//   3. prediction    ŷ = Σ_i δ'_i·(1/D)·M_i·S   (Eq. 6)
+//   4. model update  M_i += α·(y−ŷ)·δ'_i·S      (Eq. 7, confidence-weighted;
+//                                                winner-only mode available)
+//   5. cluster update, l = argmax δ:
+//                    C_l += (1−δ_l)·S           (Eq. 8; Eq. 9's dual-copy
+//                                                form in quantized mode)
+//
+// End of each epoch re-binarizes the quantized snapshots (C^b from C, M^b
+// and γ from M). Training iterates until validation MSE stabilizes.
+// Prediction (Eq. 6) runs steps 1–3 with the configured §3.2 kernel.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/encoded.hpp"
+#include "core/kernels.hpp"
+#include "core/training.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+
+/// State of one cluster center: the integer accumulator C, its binary
+/// snapshot C^b, and the cached squared norm for O(1) cosine updates.
+struct ClusterCenter {
+  hdc::RealHV accumulator;
+  hdc::BinaryHV binary;
+  double norm2 = 0.0;
+
+  /// Refreshes the binary snapshot from the accumulator.
+  void requantize() { binary = accumulator.sign_packed(); }
+};
+
+/// Per-sample introspection of a prediction (the paper highlights model
+/// interpretability; this exposes it).
+struct PredictionDetail {
+  double prediction = 0.0;
+  std::vector<double> similarities;   ///< δ_i per cluster.
+  std::vector<double> confidences;    ///< δ'_i (softmax).
+  std::vector<double> model_outputs;  ///< (1/D)·M_i·S per model.
+  std::size_t best_cluster = 0;       ///< argmax δ.
+};
+
+class MultiModelRegressor {
+ public:
+  /// Validates and stores the configuration; allocates k zero models and k
+  /// random ±1 cluster centers drawn from config.seed.
+  explicit MultiModelRegressor(const RegHDConfig& config);
+
+  /// Iterative training with early stopping on `val`. Re-initializes all
+  /// state first, so fit() is idempotent for a fixed config.
+  TrainingReport fit(const EncodedDataset& train, const EncodedDataset& val);
+
+  /// One online training step (used by fit and by the streaming example).
+  /// Returns the pre-update prediction for the sample.
+  double train_step(const hdc::EncodedSample& sample, double target);
+
+  /// End-of-epoch snapshot refresh; called automatically inside fit().
+  void requantize();
+
+  /// Eq. 6 prediction with the configured kernels.
+  [[nodiscard]] double predict(const hdc::EncodedSample& sample) const;
+
+  /// Prediction plus all intermediate quantities.
+  [[nodiscard]] PredictionDetail predict_detail(const hdc::EncodedSample& sample) const;
+
+  [[nodiscard]] std::vector<double> predict_batch(const EncodedDataset& dataset) const;
+
+  [[nodiscard]] double evaluate_mse(const EncodedDataset& dataset) const;
+
+  /// δ_i for every cluster (Eq. 5 / Hamming in quantized mode).
+  [[nodiscard]] std::vector<double> similarities(const hdc::EncodedSample& sample) const;
+
+  /// Index of the most similar cluster.
+  [[nodiscard]] std::size_t assign_cluster(const hdc::EncodedSample& sample) const;
+
+  [[nodiscard]] const RegHDConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_models() const noexcept { return models_.size(); }
+  [[nodiscard]] const RegressionModel& model(std::size_t i) const { return models_[i]; }
+  [[nodiscard]] const ClusterCenter& cluster(std::size_t i) const { return clusters_[i]; }
+
+  /// Mutable access for deserialization (model_io) and white-box tests.
+  [[nodiscard]] std::vector<RegressionModel>& mutable_models() noexcept { return models_; }
+  [[nodiscard]] std::vector<ClusterCenter>& mutable_clusters() noexcept { return clusters_; }
+
+  /// Re-initializes clusters and models from the configured seed.
+  void reset();
+
+  /// Magnitude pruning of the regression models (SparseHD/QuantHD-style,
+  /// the orthogonal optimization the paper cites in §5): zeroes the
+  /// `fraction` smallest-|M_j| components of every model accumulator and
+  /// refreshes the binary snapshots. Sparse models cut inference memory
+  /// traffic and multiplies proportionally (see bench/extension_sparsity).
+  void sparsify(double fraction);
+
+  /// Fraction of exactly-zero components across all model accumulators.
+  [[nodiscard]] double model_sparsity() const;
+
+  /// Multiplies every model accumulator by `factor` ∈ (0, 1] — exponential
+  /// forgetting for non-stationary streams (used by OnlineRegHD).
+  void decay_models(double factor);
+
+ private:
+  /// Softmax over the similarity vector at the configured temperature.
+  [[nodiscard]] std::vector<double> confidences_from(std::vector<double> sims) const;
+
+  /// Farthest-point cluster seeding from the training data (ClusterInit::
+  /// kFarthestPoint).
+  void init_clusters_from_samples(const EncodedDataset& train);
+
+  RegHDConfig config_;
+  std::vector<RegressionModel> models_;
+  std::vector<ClusterCenter> clusters_;
+};
+
+}  // namespace reghd::core

@@ -1,0 +1,91 @@
+#include "core/online.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace reghd::core {
+
+OnlineRegHD::OnlineRegHD(OnlineConfig config, std::size_t num_features)
+    : config_(std::move(config)), feature_stats_(num_features) {
+  REGHD_CHECK(num_features > 0, "online learner requires at least one feature");
+  REGHD_CHECK(config_.decay > 0.0 && config_.decay <= 1.0,
+              "decay must lie in (0,1], got " << config_.decay);
+  config_.reghd.validate();
+  config_.encoder.input_dim = num_features;
+  config_.encoder.dim = config_.reghd.dim;
+  encoder_ = hdc::make_encoder(config_.encoder);
+  model_ = std::make_unique<MultiModelRegressor>(config_.reghd);
+}
+
+hdc::EncodedSample OnlineRegHD::encode(std::span<const double> features) const {
+  REGHD_CHECK(features.size() == feature_stats_.size(),
+              "reading has " << features.size() << " features, stream expects "
+                             << feature_stats_.size());
+  if (!config_.adaptive_scaling) {
+    return encoder_->encode(features);
+  }
+  std::vector<double> scaled(features.size());
+  for (std::size_t k = 0; k < features.size(); ++k) {
+    const double sd = feature_stats_[k].stddev();
+    scaled[k] = sd > 0.0 ? (features[k] - feature_stats_[k].mean()) / sd : 0.0;
+  }
+  return encoder_->encode(scaled);
+}
+
+double OnlineRegHD::scale_target(double y) const {
+  if (!config_.adaptive_scaling) {
+    return y;
+  }
+  const double sd = target_stats_.stddev();
+  return sd > 0.0 ? (y - target_stats_.mean()) / sd : 0.0;
+}
+
+double OnlineRegHD::unscale_target(double y_scaled) const {
+  if (!config_.adaptive_scaling) {
+    return y_scaled;
+  }
+  const double sd = target_stats_.stddev();
+  return sd > 0.0 ? y_scaled * sd + target_stats_.mean()
+                  : target_stats_.mean();
+}
+
+double OnlineRegHD::predict(std::span<const double> features) const {
+  REGHD_CHECK(features.size() == feature_stats_.size(),
+              "reading has " << features.size() << " features, stream expects "
+                             << feature_stats_.size());
+  if (config_.adaptive_scaling && seen_ < config_.warmup) {
+    // Cold start: running statistics are not trustworthy yet.
+    return target_stats_.count() > 0 ? target_stats_.mean() : 0.0;
+  }
+  return unscale_target(model_->predict(encode(features)));
+}
+
+double OnlineRegHD::update(std::span<const double> features, double target) {
+  const double prediction = predict(features);
+
+  // Consume the label: update statistics first so the very first readings
+  // produce usable scales, then train.
+  if (config_.adaptive_scaling) {
+    for (std::size_t k = 0; k < features.size(); ++k) {
+      feature_stats_[k].add(features[k]);
+    }
+    target_stats_.add(target);
+  }
+  ++seen_;
+  if (config_.adaptive_scaling && seen_ <= config_.warmup) {
+    return prediction;  // still warming up; no model update yet
+  }
+
+  if (config_.decay < 1.0) {
+    model_->decay_models(config_.decay);
+  }
+  model_->train_step(encode(features), scale_target(target));
+  if (config_.requantize_every > 0 && ++since_requantize_ >= config_.requantize_every) {
+    model_->requantize();
+    since_requantize_ = 0;
+  }
+  return prediction;
+}
+
+}  // namespace reghd::core

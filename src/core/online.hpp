@@ -1,0 +1,84 @@
+// OnlineRegHD — streaming regression for non-stationary IoT data.
+//
+// The paper motivates RegHD with real-time learning on embedded devices
+// (§1, §3); this wrapper packages the pieces a deployment needs around
+// MultiModelRegressor::train_step:
+//
+//  * anytime feature/target standardization from running statistics (no
+//    offline scaler fit);
+//  * predict-then-train ("prequential") updates, returning each prediction
+//    in original target units before the label is consumed;
+//  * periodic binary-snapshot refresh (the paper's batch-level
+//    re-binarization) without epoch boundaries;
+//  * optional exponential forgetting (accumulator decay) so the model tracks
+//    concept drift instead of averaging over it.
+//
+// The underlying model is accessible for persistence or inspection.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/multi_model.hpp"
+#include "hdc/encoding.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::core {
+
+struct OnlineConfig {
+  RegHDConfig reghd;
+  hdc::EncoderConfig encoder;  ///< input_dim set at construction; dim forced to reghd.dim.
+
+  /// Refresh binary snapshots every this many updates (0 disables; only
+  /// meaningful for quantized cluster/model modes).
+  std::size_t requantize_every = 256;
+
+  /// Accumulator decay applied once per update; 1.0 disables. 0.999 ≈ a
+  /// forgetting horizon of ~1000 samples.
+  double decay = 1.0;
+
+  /// Standardize features/target with running statistics. When false, raw
+  /// units flow straight into the encoder.
+  bool adaptive_scaling = true;
+
+  /// Updates before scaling statistics are trusted; until then predictions
+  /// are the running target mean (cold-start guard).
+  std::size_t warmup = 10;
+};
+
+class OnlineRegHD {
+ public:
+  /// `num_features` fixes the stream's input width.
+  OnlineRegHD(OnlineConfig config, std::size_t num_features);
+
+  /// Predict-then-train on one labelled reading. Returns the prediction
+  /// made *before* the label was used (original units) — the prequential
+  /// protocol.
+  double update(std::span<const double> features, double target);
+
+  /// Prediction only (original units).
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] std::size_t samples_seen() const noexcept { return seen_; }
+
+  [[nodiscard]] const MultiModelRegressor& model() const noexcept { return *model_; }
+  [[nodiscard]] MultiModelRegressor& mutable_model() noexcept { return *model_; }
+  [[nodiscard]] const OnlineConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Standardizes one reading with the running statistics.
+  [[nodiscard]] hdc::EncodedSample encode(std::span<const double> features) const;
+  [[nodiscard]] double scale_target(double y) const;
+  [[nodiscard]] double unscale_target(double y_scaled) const;
+
+  OnlineConfig config_;
+  std::unique_ptr<hdc::Encoder> encoder_;
+  std::unique_ptr<MultiModelRegressor> model_;
+  std::vector<util::RunningStats> feature_stats_;
+  util::RunningStats target_stats_;
+  std::size_t seen_ = 0;
+  std::size_t since_requantize_ = 0;
+};
+
+}  // namespace reghd::core

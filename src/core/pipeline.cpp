@@ -1,0 +1,140 @@
+#include "core/pipeline.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace reghd::core {
+
+RegHDPipeline::RegHDPipeline(PipelineConfig config) : config_(std::move(config)) {
+  config_.reghd.validate();
+  REGHD_CHECK(config_.validation_fraction > 0.0 && config_.validation_fraction < 0.5,
+              "validation_fraction must lie in (0, 0.5), got " << config_.validation_fraction);
+  config_.encoder.dim = config_.reghd.dim;
+}
+
+std::string RegHDPipeline::name() const {
+  std::ostringstream oss;
+  oss << "RegHD-" << config_.reghd.models;
+  if (config_.reghd.cluster_mode == ClusterMode::kQuantized) {
+    oss << "-qc";
+  } else if (config_.reghd.cluster_mode == ClusterMode::kNaiveBinary) {
+    oss << "-naive";
+  }
+  const PredictionMode mode = config_.reghd.prediction_mode();
+  if (!(mode == PredictionMode::full_precision())) {
+    oss << (mode.query == QueryPrecision::kBinary ? "-bq" : "-iq");
+    switch (mode.model) {
+      case ModelPrecision::kReal:
+        oss << "im";
+        break;
+      case ModelPrecision::kBinary:
+        oss << "bm";
+        break;
+      case ModelPrecision::kTernary:
+        oss << "tm";
+        break;
+    }
+  }
+  return oss.str();
+}
+
+void RegHDPipeline::fit(const data::Dataset& train) {
+  REGHD_CHECK(train.size() >= 8, "pipeline fit requires at least 8 samples, got "
+                                     << train.size());
+
+  // Work on a scaled copy; fitting statistics come from the full provided
+  // training set (the held-out validation part below is only for the
+  // stopping rule, not a reported test set).
+  data::Dataset scaled = train;
+  if (config_.standardize_features) {
+    feature_scaler_.fit(scaled);
+    feature_scaler_.transform(scaled);
+  }
+  if (config_.standardize_target) {
+    target_scaler_.fit(scaled);
+    target_scaler_.transform(scaled);
+  }
+
+  config_.encoder.input_dim = scaled.num_features();
+  config_.encoder.dim = config_.reghd.dim;
+  encoder_ = hdc::make_encoder(config_.encoder);
+
+  util::Rng split_rng(config_.reghd.seed ^ 0x53504C4954ULL);  // "SPLIT"
+  const data::TrainTestSplit split =
+      data::train_test_split(scaled, config_.validation_fraction, split_rng);
+
+  const EncodedDataset train_enc = EncodedDataset::from(*encoder_, split.train);
+  const EncodedDataset val_enc = EncodedDataset::from(*encoder_, split.test);
+
+  regressor_ = std::make_unique<MultiModelRegressor>(config_.reghd);
+  report_ = regressor_->fit(train_enc, val_enc);
+}
+
+hdc::EncodedSample RegHDPipeline::encode_row(std::span<const double> features) const {
+  REGHD_CHECK(encoder_ != nullptr, "pipeline must be fitted before prediction");
+  if (config_.standardize_features) {
+    const std::vector<double> scaled = feature_scaler_.transform_row(features);
+    return encoder_->encode(scaled);
+  }
+  return encoder_->encode(features);
+}
+
+double RegHDPipeline::predict(std::span<const double> features) const {
+  REGHD_CHECK(regressor_ != nullptr, "pipeline must be fitted before prediction");
+  const double y_scaled = regressor_->predict(encode_row(features));
+  return config_.standardize_target ? target_scaler_.inverse_value(y_scaled) : y_scaled;
+}
+
+PredictionDetail RegHDPipeline::predict_detail(std::span<const double> features) const {
+  REGHD_CHECK(regressor_ != nullptr, "pipeline must be fitted before prediction");
+  PredictionDetail detail = regressor_->predict_detail(encode_row(features));
+  if (config_.standardize_target) {
+    detail.prediction = target_scaler_.inverse_value(detail.prediction);
+    for (double& out : detail.model_outputs) {
+      out = target_scaler_.inverse_value(out);
+    }
+  }
+  return detail;
+}
+
+double RegHDPipeline::evaluate_mse(const data::Dataset& dataset) const {
+  REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double e = predict(dataset.row(i)) - dataset.target(i);
+    acc += e * e;
+  }
+  return acc / static_cast<double>(dataset.size());
+}
+
+const TrainingReport& RegHDPipeline::report() const {
+  REGHD_CHECK(report_.has_value(), "pipeline has no training report before fit()");
+  return *report_;
+}
+
+const MultiModelRegressor& RegHDPipeline::regressor() const {
+  REGHD_CHECK(regressor_ != nullptr, "pipeline must be fitted first");
+  return *regressor_;
+}
+
+MultiModelRegressor& RegHDPipeline::mutable_regressor() {
+  REGHD_CHECK(regressor_ != nullptr, "pipeline must be fitted or restored first");
+  return *regressor_;
+}
+
+const hdc::Encoder& RegHDPipeline::encoder() const {
+  REGHD_CHECK(encoder_ != nullptr, "pipeline must be fitted first");
+  return *encoder_;
+}
+
+void RegHDPipeline::restore(hdc::EncoderConfig encoder_config,
+                            std::unique_ptr<MultiModelRegressor> regressor) {
+  REGHD_CHECK(regressor != nullptr, "restore requires a regressor");
+  config_.encoder = encoder_config;
+  encoder_ = hdc::make_encoder(config_.encoder);
+  regressor_ = std::move(regressor);
+  report_.reset();
+}
+
+}  // namespace reghd::core

@@ -1,0 +1,101 @@
+// RegHDPipeline — the library's main user-facing entry point.
+//
+// Wraps the full RegHD stack behind the uniform Regressor interface:
+// feature standardization → target standardization → similarity-preserving
+// encoding → multi-model hyperdimensional regression, with predictions
+// mapped back to original target units. Examples, benches, and grid search
+// all drive RegHD through this class.
+//
+//   core::PipelineConfig cfg;
+//   cfg.reghd.models = 8;
+//   core::RegHDPipeline reghd(cfg);
+//   reghd.fit(train);
+//   double y = reghd.predict(features);
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/multi_model.hpp"
+#include "core/training.hpp"
+#include "data/scaler.hpp"
+#include "hdc/encoding.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::core {
+
+struct PipelineConfig {
+  /// Encoder settings. input_dim may be left 0 — it is inferred from the
+  /// training data; dim is forced to reghd.dim.
+  hdc::EncoderConfig encoder;
+
+  RegHDConfig reghd;
+
+  bool standardize_features = true;
+  bool standardize_target = true;
+
+  /// Fraction of the training data held out for early stopping.
+  double validation_fraction = 0.15;
+};
+
+class RegHDPipeline final : public model::Regressor {
+ public:
+  explicit RegHDPipeline(PipelineConfig config);
+
+  RegHDPipeline(RegHDPipeline&&) = default;
+  RegHDPipeline& operator=(RegHDPipeline&&) = default;
+
+  /// "RegHD-<k>", optionally suffixed by quantization mode.
+  [[nodiscard]] std::string name() const override;
+
+  /// Fits scalers, builds the encoder, encodes, and trains the multi-model
+  /// regressor with an internal train/validation split.
+  void fit(const data::Dataset& train) override;
+
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+
+  /// Per-model introspection for one input (original feature units).
+  [[nodiscard]] PredictionDetail predict_detail(std::span<const double> features) const;
+
+  /// MSE over a dataset in original target units.
+  [[nodiscard]] double evaluate_mse(const data::Dataset& dataset) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return regressor_ != nullptr; }
+
+  /// Training telemetry of the last fit(). Throws if not fitted.
+  [[nodiscard]] const TrainingReport& report() const;
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+  /// Trained components (for tests, serialization, and power users).
+  [[nodiscard]] const MultiModelRegressor& regressor() const;
+  [[nodiscard]] const hdc::Encoder& encoder() const;
+  [[nodiscard]] const data::StandardScaler& feature_scaler() const noexcept {
+    return feature_scaler_;
+  }
+  [[nodiscard]] const data::TargetScaler& target_scaler() const noexcept {
+    return target_scaler_;
+  }
+
+  /// Serialization hooks used by model_io.
+  [[nodiscard]] data::StandardScaler& mutable_feature_scaler() noexcept {
+    return feature_scaler_;
+  }
+  [[nodiscard]] data::TargetScaler& mutable_target_scaler() noexcept { return target_scaler_; }
+  void restore(hdc::EncoderConfig encoder_config,
+               std::unique_ptr<MultiModelRegressor> regressor);
+  [[nodiscard]] MultiModelRegressor& mutable_regressor();
+
+ private:
+  [[nodiscard]] hdc::EncodedSample encode_row(std::span<const double> features) const;
+
+  PipelineConfig config_;
+  data::StandardScaler feature_scaler_;
+  data::TargetScaler target_scaler_;
+  std::unique_ptr<hdc::Encoder> encoder_;
+  std::unique_ptr<MultiModelRegressor> regressor_;
+  std::optional<TrainingReport> report_;
+};
+
+}  // namespace reghd::core

@@ -1,0 +1,25 @@
+// Umbrella header: include this to get the entire RegHD public API.
+//
+//   #include "core/reghd.hpp"
+//
+//   reghd::core::PipelineConfig cfg;
+//   cfg.reghd.models = 8;              // RegHD-8
+//   cfg.reghd.dim = 4096;              // D
+//   reghd::core::RegHDPipeline model(cfg);
+//   model.fit(train);                  // reghd::data::Dataset
+//   double y = model.predict(features);
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+#pragma once
+
+#include "core/config.hpp"         // IWYU pragma: export
+#include "core/encoded.hpp"        // IWYU pragma: export
+#include "core/hd_classifier.hpp"  // IWYU pragma: export
+#include "core/hd_clustering.hpp"  // IWYU pragma: export
+#include "core/model_io.hpp"       // IWYU pragma: export
+#include "core/multi_model.hpp"    // IWYU pragma: export
+#include "core/online.hpp"         // IWYU pragma: export
+#include "core/pipeline.hpp"       // IWYU pragma: export
+#include "core/single_model.hpp"   // IWYU pragma: export
+#include "core/training.hpp"       // IWYU pragma: export

@@ -1,0 +1,129 @@
+#include "core/single_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "core/early_stopping.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+
+SingleModelRegressor::SingleModelRegressor(const RegHDConfig& config) : config_(config) {
+  config_.validate();
+  model_ = RegressionModel(config_.dim);
+}
+
+void SingleModelRegressor::reset() { model_ = RegressionModel(config_.dim); }
+
+void SingleModelRegressor::train_step(const hdc::EncodedSample& sample, double target) {
+  REGHD_CHECK(sample.real.dim() == config_.dim,
+              "sample dim " << sample.real.dim() << " != model dim " << config_.dim);
+  // The training error is always computed against the integer model being
+  // updated (paper §3.2: M ← M + α(y − ŷ)·S updates the integer model). A
+  // binary prediction mode only affects inference; using its epoch-frozen
+  // snapshot for ŷ here would hold the error constant across an epoch and
+  // destabilize the accumulation.
+  const PredictionMode train_mode{config_.query_precision, ModelPrecision::kReal};
+  const double prediction = predict_dot(model_, sample, train_mode);
+  double error = target - prediction;
+  if (config_.error_clip > 0.0) {
+    error = std::clamp(error, -config_.error_clip, config_.error_clip);
+  }
+  update_accumulator(model_.accumulator, sample,
+                     config_.learning_rate * error * update_normalizer(sample, config_.query_precision),
+                     config_.query_precision);
+}
+
+double SingleModelRegressor::predict(const hdc::EncodedSample& sample) const {
+  return predict_dot(model_, sample, config_.prediction_mode());
+}
+
+std::vector<double> SingleModelRegressor::predict_batch(const EncodedDataset& dataset) const {
+  std::vector<double> out;
+  out.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out.push_back(predict(dataset.sample(i)));
+  }
+  return out;
+}
+
+double SingleModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
+  REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double e = predict(dataset.sample(i)) - dataset.target(i);
+    acc += e * e;
+  }
+  return acc / static_cast<double>(dataset.size());
+}
+
+TrainingReport SingleModelRegressor::fit(const EncodedDataset& train,
+                                         const EncodedDataset& val) {
+  REGHD_CHECK(!train.empty(), "cannot fit on an empty training set");
+  REGHD_CHECK(!val.empty(), "single-model fit requires a validation set for early stopping");
+  REGHD_CHECK(train.dim() == config_.dim,
+              "training data dim " << train.dim() << " != configured dim " << config_.dim);
+
+  reset();
+  util::Rng rng(config_.seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainingReport report;
+  EarlyStopper stopper(config_.tolerance, config_.patience);
+
+  const PredictionMode train_mode{config_.query_precision, ModelPrecision::kReal};
+  RegressionModel best_model = model_;
+  double best_val = std::numeric_limits<double>::infinity();
+
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double online_sq_err = 0.0;
+    for (const std::size_t i : order) {
+      const hdc::EncodedSample& s = train.sample(i);
+      const double y = train.target(i);
+      const double prediction = predict_dot(model_, s, train_mode);
+      double error = y - prediction;
+      online_sq_err += error * error;
+      if (config_.error_clip > 0.0) {
+        error = std::clamp(error, -config_.error_clip, config_.error_clip);
+      }
+      update_accumulator(model_.accumulator, s,
+                         config_.learning_rate * error *
+                             update_normalizer(s, config_.query_precision),
+                         config_.query_precision);
+    }
+    // End-of-epoch binary snapshot refresh (a no-op cost-wise for the
+    // full-precision mode, but keeps binary prediction modes current).
+    model_.requantize();
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_mse = online_sq_err / static_cast<double>(train.size());
+    record.val_mse = evaluate_mse(val);
+    report.history.push_back(record);
+    report.epochs_run = epoch + 1;
+
+    if (record.val_mse < best_val) {
+      best_val = record.val_mse;
+      best_model = model_;
+    }
+    if (stopper.update(record.val_mse)) {
+      report.converged = true;
+      report.stop_reason = "validation MSE stabilized";
+      break;
+    }
+  }
+  if (!report.converged) {
+    report.stop_reason = "reached max_epochs";
+  }
+  // Keep the best validation-epoch model, not the last one.
+  model_ = std::move(best_model);
+  report.best_val_mse = stopper.best();
+  return report;
+}
+
+}  // namespace reghd::core

@@ -1,0 +1,58 @@
+// Single-model RegHD regression (paper §2.3, Eq. 2).
+//
+// One model hypervector M, initialized to zero. For each training pair
+// (S, y): predict ŷ = (1/D)·M·S, then update M ← M + α·(y − ŷ)·S. Training
+// iterates epochs until the validation MSE stabilizes.
+//
+// This learner exists both as the k = 1 baseline of the multi-model
+// experiments (Fig. 3) and as the pedagogical core of the algorithm; its
+// hypervector-capacity limitation on multi-modal tasks (§2.3, Eq. 4) is what
+// motivates MultiModelRegressor.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/encoded.hpp"
+#include "core/kernels.hpp"
+#include "core/training.hpp"
+
+namespace reghd::core {
+
+class SingleModelRegressor {
+ public:
+  /// Uses dim, learning_rate, the epoch/stopping fields, and the
+  /// query/model precisions of `config`; `models` and the cluster fields
+  /// are ignored. Throws on invalid config.
+  explicit SingleModelRegressor(const RegHDConfig& config);
+
+  /// Iterative training (paper's "iterative learning") with early stopping
+  /// on `val`. Resets the model first.
+  TrainingReport fit(const EncodedDataset& train, const EncodedDataset& val);
+
+  /// One single-pass online step (encode-train-discard); exposed for the
+  /// streaming example and the single-pass-vs-iterative experiment.
+  void train_step(const hdc::EncodedSample& sample, double target);
+
+  /// ŷ = (1/D)·M·S at the configured prediction precision.
+  [[nodiscard]] double predict(const hdc::EncodedSample& sample) const;
+
+  [[nodiscard]] std::vector<double> predict_batch(const EncodedDataset& dataset) const;
+
+  /// Mean squared error over an encoded dataset.
+  [[nodiscard]] double evaluate_mse(const EncodedDataset& dataset) const;
+
+  [[nodiscard]] const RegressionModel& model() const noexcept { return model_; }
+  [[nodiscard]] const RegHDConfig& config() const noexcept { return config_; }
+
+  /// Re-derives the binary snapshot from the accumulator (done automatically
+  /// at each epoch boundary during fit()).
+  void requantize() { model_.requantize(); }
+
+  /// Resets M to zero.
+  void reset();
+
+ private:
+  RegHDConfig config_;
+  RegressionModel model_;
+};
+
+}  // namespace reghd::core

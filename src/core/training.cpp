@@ -1,0 +1,14 @@
+#include "core/training.hpp"
+
+#include <sstream>
+
+namespace reghd::core {
+
+std::string TrainingReport::summary() const {
+  std::ostringstream oss;
+  oss << "epochs=" << epochs_run << " converged=" << (converged ? "yes" : "no")
+      << " best_val_mse=" << best_val_mse << " (" << stop_reason << ")";
+  return oss.str();
+}
+
+}  // namespace reghd::core

@@ -1,0 +1,30 @@
+// Training telemetry: per-epoch records and the final report returned by
+// every fit() in the core library. The learning-curve figures (Fig. 3,
+// Fig. 6) are rendered directly from these records.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace reghd::core {
+
+/// One epoch of iterative training.
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double train_mse = 0.0;  ///< MSE of the online predictions made during the epoch.
+  double val_mse = 0.0;    ///< End-of-epoch MSE on the held-out validation set.
+};
+
+/// Result of an iterative fit.
+struct TrainingReport {
+  std::vector<EpochRecord> history;
+  std::size_t epochs_run = 0;
+  bool converged = false;  ///< True if stopping was triggered by the patience rule.
+  double best_val_mse = 0.0;
+  std::string stop_reason;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace reghd::core

@@ -1,0 +1,134 @@
+#include "data/csv.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace reghd::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, delimiter)) {
+    cells.push_back(cell);
+  }
+  // Trailing delimiter produces a final empty cell that getline drops; that
+  // is acceptable for the numeric tables this loader targets.
+  return cells;
+}
+
+double parse_cell(const std::string& cell, std::size_t line_no, std::size_t col) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(cell, &pos);
+    // Allow trailing whitespace only.
+    for (std::size_t i = pos; i < cell.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(cell[i]))) {
+        throw std::invalid_argument("trailing garbage");
+      }
+    }
+    return v;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error("csv: non-numeric cell '" + cell + "' at line " +
+                             std::to_string(line_no) + ", column " + std::to_string(col + 1));
+  }
+}
+
+}  // namespace
+
+Dataset load_csv(std::istream& in, const std::string& name, const CsvOptions& options) {
+  Dataset dataset;
+  dataset.set_name(name);
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_skipped = !options.has_header;
+  std::vector<double> features;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") {
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!header_skipped) {
+      header_skipped = true;
+      continue;
+    }
+    const auto cells = split_line(line, options.delimiter);
+    if (cells.empty()) {
+      continue;
+    }
+    REGHD_CHECK(cells.size() >= 2,
+                "csv line " << line_no << " has " << cells.size()
+                            << " columns; need at least one feature plus the target");
+
+    const auto width = static_cast<int>(cells.size());
+    int target_col = options.target_column;
+    if (target_col < 0) {
+      target_col += width;
+    }
+    if (target_col < 0 || target_col >= width) {
+      throw std::runtime_error("csv: target column out of range at line " +
+                               std::to_string(line_no));
+    }
+
+    features.clear();
+    double target = 0.0;
+    for (int c = 0; c < width; ++c) {
+      const double v = parse_cell(cells[static_cast<std::size_t>(c)], line_no,
+                                  static_cast<std::size_t>(c));
+      if (c == target_col) {
+        target = v;
+      } else {
+        features.push_back(v);
+      }
+    }
+    dataset.add_sample(features, target);
+  }
+
+  if (dataset.empty()) {
+    throw std::runtime_error("csv: no data rows in input for dataset '" + name + "'");
+  }
+  return dataset;
+}
+
+Dataset load_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("csv: cannot open file '" + path + "'");
+  }
+  // Derive the dataset name from the file stem.
+  std::string name = path;
+  if (const auto slash = name.find_last_of("/\\"); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return load_csv(in, name, options);
+}
+
+void save_csv(std::ostream& out, const Dataset& dataset) {
+  for (std::size_t k = 0; k < dataset.num_features(); ++k) {
+    out << 'f' << k << ',';
+  }
+  out << "target\n";
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (const double v : dataset.row(i)) {
+      out << v << ',';
+    }
+    out << dataset.target(i) << '\n';
+  }
+}
+
+}  // namespace reghd::data

@@ -1,0 +1,35 @@
+// CSV loading for user-supplied datasets.
+//
+// The paper evaluates on seven public datasets; this repository synthesizes
+// equivalents (see synthetic.hpp) but accepts the real CSVs through this
+// loader so results can be regenerated on the original data when available.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace reghd::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Column index of the regression target; negative counts from the end
+  /// (−1 = last column, the common convention for these datasets).
+  int target_column = -1;
+};
+
+/// Parses numeric CSV content from a stream. Non-numeric cells raise
+/// std::runtime_error with row/column context. Empty lines are skipped.
+[[nodiscard]] Dataset load_csv(std::istream& in, const std::string& name,
+                               const CsvOptions& options = {});
+
+/// Opens and parses a CSV file; throws std::runtime_error if unreadable.
+[[nodiscard]] Dataset load_csv_file(const std::string& path,
+                                    const CsvOptions& options = {});
+
+/// Writes a dataset as CSV (features then target, with a header).
+void save_csv(std::ostream& out, const Dataset& dataset);
+
+}  // namespace reghd::data

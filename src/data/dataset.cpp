@@ -1,0 +1,98 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace reghd::data {
+
+Dataset::Dataset(std::string name, std::size_t num_features, std::vector<double> features,
+                 std::vector<double> targets)
+    : name_(std::move(name)),
+      num_features_(num_features),
+      features_(std::move(features)),
+      targets_(std::move(targets)) {
+  REGHD_CHECK(num_features_ > 0, "dataset requires at least one feature");
+  REGHD_CHECK(features_.size() == targets_.size() * num_features_,
+              "feature matrix size " << features_.size() << " does not equal samples×features = "
+                                     << targets_.size() * num_features_);
+}
+
+void Dataset::add_sample(std::span<const double> features, double target) {
+  if (num_features_ == 0) {
+    REGHD_CHECK(!features.empty(), "first sample must define the feature count");
+    num_features_ = features.size();
+  }
+  REGHD_CHECK(features.size() == num_features_,
+              "sample has " << features.size() << " features, dataset expects "
+                            << num_features_);
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.name_ = name_;
+  out.num_features_ = num_features_;
+  out.features_.reserve(indices.size() * num_features_);
+  out.targets_.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    REGHD_CHECK(i < size(), "subset index " << i << " out of range (size " << size() << ")");
+    const auto r = row(i);
+    out.features_.insert(out.features_.end(), r.begin(), r.end());
+    out.targets_.push_back(targets_[i]);
+  }
+  return out;
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  *this = subset(order);
+}
+
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                util::Rng& rng) {
+  REGHD_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+              "test_fraction must lie in (0,1), got " << test_fraction);
+  REGHD_CHECK(dataset.size() >= 2, "cannot split a dataset with fewer than two samples");
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  auto test_count = static_cast<std::size_t>(test_fraction * static_cast<double>(order.size()));
+  test_count = std::clamp<std::size_t>(test_count, 1, order.size() - 1);
+
+  const std::span<const std::size_t> all(order);
+  TrainTestSplit split{dataset.subset(all.subspan(test_count)),
+                       dataset.subset(all.subspan(0, test_count))};
+  return split;
+}
+
+TrainTestSplit k_fold_split(const Dataset& dataset, std::size_t folds,
+                            std::size_t fold_index, util::Rng& rng) {
+  REGHD_CHECK(folds >= 2, "k-fold requires at least two folds");
+  REGHD_CHECK(fold_index < folds, "fold index " << fold_index << " out of range for " << folds
+                                                << " folds");
+  REGHD_CHECK(dataset.size() >= folds, "dataset smaller than fold count");
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> test_idx;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i % folds == fold_index) {
+      test_idx.push_back(order[i]);
+    } else {
+      train_idx.push_back(order[i]);
+    }
+  }
+  return TrainTestSplit{dataset.subset(train_idx), dataset.subset(test_idx)};
+}
+
+}  // namespace reghd::data

@@ -1,0 +1,79 @@
+// Dataset container and split/shuffle utilities.
+//
+// A Dataset is a row-major feature matrix plus a target vector; all loaders
+// (CSV, synthetic generators) produce this shape and all learners consume
+// it. Rows are exposed as spans — no per-sample allocation on hot paths.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace reghd::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates a named dataset; `features` is row-major with
+  /// `targets.size() * num_features` entries.
+  Dataset(std::string name, std::size_t num_features, std::vector<double> features,
+          std::vector<double> targets);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return targets_.empty(); }
+  [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+
+  /// Feature row of sample i.
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return std::span<const double>(features_.data() + i * num_features_, num_features_);
+  }
+
+  [[nodiscard]] std::span<double> mutable_row(std::size_t i) {
+    return std::span<double>(features_.data() + i * num_features_, num_features_);
+  }
+
+  [[nodiscard]] double target(std::size_t i) const noexcept { return targets_[i]; }
+  [[nodiscard]] double& mutable_target(std::size_t i) noexcept { return targets_[i]; }
+
+  [[nodiscard]] std::span<const double> targets() const noexcept { return targets_; }
+  [[nodiscard]] std::span<const double> features_flat() const noexcept { return features_; }
+
+  /// Appends one sample.
+  void add_sample(std::span<const double> features, double target);
+
+  /// Returns a dataset containing the given rows (indices may repeat).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// In-place deterministic shuffle of sample order.
+  void shuffle(util::Rng& rng);
+
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  std::size_t num_features_ = 0;
+  std::vector<double> features_;  // row-major size() × num_features_
+  std::vector<double> targets_;
+};
+
+/// A train/test partition of one dataset.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Splits a dataset with a deterministic shuffle; `test_fraction` in (0, 1).
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                              util::Rng& rng);
+
+/// K-fold partition: returns the (train, validation) datasets of fold
+/// `fold_index` out of `folds` after a deterministic shuffle.
+[[nodiscard]] TrainTestSplit k_fold_split(const Dataset& dataset, std::size_t folds,
+                                          std::size_t fold_index, util::Rng& rng);
+
+}  // namespace reghd::data

@@ -1,0 +1,108 @@
+#include "data/scaler.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::data {
+
+void StandardScaler::fit(const Dataset& dataset) {
+  REGHD_CHECK(!dataset.empty(), "cannot fit scaler on an empty dataset");
+  const std::size_t n = dataset.num_features();
+  std::vector<util::RunningStats> stats(n);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto r = dataset.row(i);
+    for (std::size_t k = 0; k < n; ++k) {
+      stats[k].add(r[k]);
+    }
+  }
+  mean_.resize(n);
+  stddev_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    mean_[k] = stats[k].mean();
+    const double sd = stats[k].stddev();
+    stddev_[k] = sd > 0.0 ? sd : 1.0;  // constant feature → map to zero
+  }
+}
+
+void StandardScaler::transform(Dataset& dataset) const {
+  REGHD_CHECK(fitted(), "scaler must be fitted before transform");
+  REGHD_CHECK(dataset.num_features() == mean_.size(),
+              "dataset has " << dataset.num_features() << " features, scaler was fit on "
+                             << mean_.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    auto r = dataset.mutable_row(i);
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      r[k] = (r[k] - mean_[k]) / stddev_[k];
+    }
+  }
+}
+
+std::vector<double> StandardScaler::transform_row(std::span<const double> features) const {
+  REGHD_CHECK(fitted(), "scaler must be fitted before transform");
+  REGHD_CHECK(features.size() == mean_.size(),
+              "row has " << features.size() << " features, scaler was fit on " << mean_.size());
+  std::vector<double> out(features.size());
+  for (std::size_t k = 0; k < features.size(); ++k) {
+    out[k] = (features[k] - mean_[k]) / stddev_[k];
+  }
+  return out;
+}
+
+void StandardScaler::set_params(std::vector<double> means, std::vector<double> stddevs) {
+  REGHD_CHECK(means.size() == stddevs.size(),
+              "scaler parameter length mismatch: " << means.size() << " vs " << stddevs.size());
+  REGHD_CHECK(!means.empty(), "scaler parameters must be non-empty");
+  for (const double sd : stddevs) {
+    REGHD_CHECK(sd > 0.0, "scaler stddev must be positive, got " << sd);
+  }
+  mean_ = std::move(means);
+  stddev_ = std::move(stddevs);
+}
+
+void TargetScaler::set_params(double mean, double stddev) {
+  REGHD_CHECK(stddev > 0.0, "target scaler stddev must be positive, got " << stddev);
+  mean_ = mean;
+  stddev_ = stddev;
+  fitted_ = true;
+}
+
+void TargetScaler::fit(const Dataset& dataset) {
+  REGHD_CHECK(!dataset.empty(), "cannot fit target scaler on an empty dataset");
+  util::RunningStats stats;
+  for (const double y : dataset.targets()) {
+    stats.add(y);
+  }
+  mean_ = stats.mean();
+  const double sd = stats.stddev();
+  stddev_ = sd > 0.0 ? sd : 1.0;
+  fitted_ = true;
+}
+
+void TargetScaler::transform(Dataset& dataset) const {
+  REGHD_CHECK(fitted_, "target scaler must be fitted before transform");
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    dataset.mutable_target(i) = transform_value(dataset.target(i));
+  }
+}
+
+double TargetScaler::transform_value(double y) const {
+  REGHD_CHECK(fitted_, "target scaler must be fitted before transform");
+  return (y - mean_) / stddev_;
+}
+
+double TargetScaler::inverse_value(double y_scaled) const {
+  REGHD_CHECK(fitted_, "target scaler must be fitted before inverse");
+  return y_scaled * stddev_ + mean_;
+}
+
+std::vector<double> TargetScaler::inverse(std::span<const double> scaled) const {
+  std::vector<double> out(scaled.size());
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    out[i] = inverse_value(scaled[i]);
+  }
+  return out;
+}
+
+}  // namespace reghd::data

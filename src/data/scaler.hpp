@@ -1,0 +1,69 @@
+// Feature and target scaling.
+//
+// The HD encoders expect standardized inputs (the RFF bandwidth and the
+// ID-level range both assume roughly unit-scale features), and RegHD's
+// learning rate is calibrated for standardized targets. Scalers are fit on
+// the training split only and applied to both splits — the test suite pins
+// that no test-split statistics leak into the fit.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace reghd::data {
+
+/// Per-feature standardization to zero mean / unit variance. Constant
+/// features map to zero.
+class StandardScaler {
+ public:
+  /// Learns per-feature mean and standard deviation from `dataset`.
+  void fit(const Dataset& dataset);
+
+  /// Applies the learned transform in place. Throws if not fitted or the
+  /// feature count differs.
+  void transform(Dataset& dataset) const;
+
+  /// Transforms one feature row out of place.
+  [[nodiscard]] std::vector<double> transform_row(std::span<const double> features) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] std::span<const double> means() const noexcept { return mean_; }
+  [[nodiscard]] std::span<const double> stddevs() const noexcept { return stddev_; }
+
+  /// Restores previously-fitted parameters (deserialization).
+  void set_params(std::vector<double> means, std::vector<double> stddevs);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+/// Target standardization: y → (y − mean)/stddev, with exact inversion for
+/// reporting predictions in original units.
+class TargetScaler {
+ public:
+  void fit(const Dataset& dataset);
+
+  void transform(Dataset& dataset) const;
+
+  [[nodiscard]] double transform_value(double y) const;
+  [[nodiscard]] double inverse_value(double y_scaled) const;
+
+  /// Inverse-transforms a whole prediction vector.
+  [[nodiscard]] std::vector<double> inverse(std::span<const double> scaled) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+  /// Restores previously-fitted parameters (deserialization).
+  void set_params(double mean, double stddev);
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace reghd::data

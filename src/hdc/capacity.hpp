@@ -1,0 +1,50 @@
+// Hypervector capacity model (paper §2.3, Eqs. 3–4).
+//
+// When a model hypervector M is the superposition of P near-orthogonal
+// patterns, querying M with one stored pattern Q yields signal δ(S_λ, Q) = D
+// plus a noise term: the sum of P−1 independent bipolar dot products, each a
+// shifted binomial with variance D. The decision rule δ(M, Q)/D > T then has
+// a false-positive probability for an *unstored* query of
+//
+//     Pr(Z > T·√(D/P)) = (1/√2π) ∫_{T√(D/P)}^∞ e^{−t²/2} dt
+//
+// (Eq. 4). This module evaluates that model and inverts it, quantifying when
+// a single model hypervector saturates — the motivation for multi-model
+// regression. A Monte-Carlo validator cross-checks the closed form in tests.
+#pragma once
+
+#include <cstddef>
+
+#include "util/random.hpp"
+
+namespace reghd::hdc {
+
+/// Parameters of the capacity question: dimension D, number of superposed
+/// patterns P, and the normalized decision threshold T ∈ (0, 1).
+struct CapacityQuery {
+  std::size_t dimension = 10'000;
+  std::size_t patterns = 1'000;
+  double threshold = 0.5;
+};
+
+/// Eq. 4: false-positive probability that a random (unstored) query appears
+/// stored in a P-pattern superposition.
+[[nodiscard]] double false_positive_probability(const CapacityQuery& query);
+
+/// Largest pattern count P such that the false-positive probability stays at
+/// or below `max_error`. Returns 0 if even P = 1 exceeds it.
+[[nodiscard]] std::size_t max_patterns(std::size_t dimension, double threshold,
+                                       double max_error);
+
+/// Smallest dimension D that stores `patterns` patterns with false-positive
+/// probability at most `max_error` at the given threshold.
+[[nodiscard]] std::size_t min_dimension(std::size_t patterns, double threshold,
+                                        double max_error);
+
+/// Monte-Carlo estimate of the same probability: superposes `patterns`
+/// random bipolar vectors and measures how often a fresh random query clears
+/// the threshold. Used to validate the closed form.
+[[nodiscard]] double simulate_false_positive_rate(const CapacityQuery& query,
+                                                  std::size_t trials, util::Rng& rng);
+
+}  // namespace reghd::hdc

@@ -1,0 +1,290 @@
+#include "hdc/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hdc/ops.hpp"
+#include "hdc/random_hv.hpp"
+#include "util/random.hpp"
+
+namespace reghd::hdc {
+
+std::string to_string(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kNonlinearFeature:
+      return "nonlinear";
+    case EncoderKind::kRffProjection:
+      return "rff";
+    case EncoderKind::kIdLevel:
+      return "idlevel";
+    case EncoderKind::kTemporal:
+      return "temporal";
+  }
+  REGHD_INTERNAL_CHECK(false, "unhandled EncoderKind " << static_cast<int>(kind));
+}
+
+EncoderKind encoder_kind_from_string(const std::string& name) {
+  if (name == "nonlinear") {
+    return EncoderKind::kNonlinearFeature;
+  }
+  if (name == "rff") {
+    return EncoderKind::kRffProjection;
+  }
+  if (name == "idlevel") {
+    return EncoderKind::kIdLevel;
+  }
+  if (name == "temporal") {
+    return EncoderKind::kTemporal;
+  }
+  throw std::invalid_argument("unknown encoder kind '" + name +
+                              "' (expected nonlinear, rff, idlevel, or temporal)");
+}
+
+Encoder::Encoder(EncoderConfig config) : config_(config) {
+  REGHD_CHECK(config_.input_dim > 0, "encoder requires input_dim > 0");
+  REGHD_CHECK(config_.dim > 0, "encoder requires dim > 0");
+}
+
+void Encoder::check_features(std::span<const double> features) const {
+  REGHD_CHECK(features.size() == config_.input_dim,
+              "feature count " << features.size() << " does not match encoder input_dim "
+                               << config_.input_dim);
+}
+
+EncodedSample Encoder::encode(std::span<const double> features) const {
+  EncodedSample out;
+  out.real = encode_real(features);
+  out.bipolar = out.real.sign();
+  out.binary = out.bipolar.pack();
+  double norm2 = 0.0;
+  for (const double v : out.real.values()) {
+    norm2 += v * v;
+  }
+  out.real_norm2 = norm2;
+  out.real_norm = std::sqrt(norm2);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// NonlinearFeatureEncoder (Eq. 1)
+// ---------------------------------------------------------------------------
+
+NonlinearFeatureEncoder::NonlinearFeatureEncoder(EncoderConfig config)
+    : Encoder(config) {
+  util::Rng rng(config_.seed);
+  util::Rng base_rng = rng.split();
+  util::Rng phase_rng = rng.split();
+  bases_ = random_bipolar_set(config_.input_dim, config_.dim, base_rng);
+  phase_.resize(config_.dim);
+  cos_phase_.resize(config_.dim);
+  sin_phase_.resize(config_.dim);
+  for (std::size_t j = 0; j < config_.dim; ++j) {
+    phase_[j] = phase_rng.phase();
+    cos_phase_[j] = std::cos(phase_[j]);
+    sin_phase_[j] = std::sin(phase_[j]);
+  }
+}
+
+RealHV NonlinearFeatureEncoder::encode_real(std::span<const double> features) const {
+  check_features(features);
+  const std::size_t d = config_.dim;
+  const std::size_t n = config_.input_dim;
+
+  // Factored Eq. 1:
+  //   H_j = cos(b_j)·g_j − sin(b_j)·s,
+  //   g_j = Σ_k B_{k,j} · (sin 2f_k)/2,   s = Σ_k sin²f_k.
+  std::vector<double> g(d, 0.0);
+  double s = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double half_sin2 = 0.5 * std::sin(2.0 * features[k]);
+    const double sinf = std::sin(features[k]);
+    s += sinf * sinf;
+    const auto base = bases_[k].values();
+    for (std::size_t j = 0; j < d; ++j) {
+      g[j] += base[j] > 0 ? half_sin2 : -half_sin2;
+    }
+  }
+
+  RealHV out(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    out[j] = cos_phase_[j] * g[j] - sin_phase_[j] * s;
+  }
+  return out;
+}
+
+RealHV NonlinearFeatureEncoder::encode_reference(std::span<const double> features) const {
+  check_features(features);
+  RealHV out(config_.dim);
+  for (std::size_t k = 0; k < config_.input_dim; ++k) {
+    const auto base = bases_[k].values();
+    for (std::size_t j = 0; j < config_.dim; ++j) {
+      const double arg = features[k] * static_cast<double>(base[j]);
+      out[j] += std::cos(arg + phase_[j]) * std::sin(arg);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RffProjectionEncoder
+// ---------------------------------------------------------------------------
+
+RffProjectionEncoder::RffProjectionEncoder(EncoderConfig config) : Encoder(config) {
+  REGHD_CHECK(config_.projection_stddev >= 0.0,
+              "projection stddev must be non-negative, got " << config_.projection_stddev);
+  const double stddev =
+      config_.projection_stddev > 0.0
+          ? config_.projection_stddev
+          : 1.0 / std::sqrt(static_cast<double>(config_.input_dim));  // auto bandwidth
+  util::Rng rng(config_.seed);
+  util::Rng proj_rng = rng.split();
+  util::Rng phase_rng = rng.split();
+  projection_.resize(config_.dim * config_.input_dim);
+  for (double& w : projection_) {
+    w = proj_rng.normal(0.0, stddev);
+  }
+  phase_.resize(config_.dim);
+  for (double& b : phase_) {
+    b = phase_rng.phase();
+  }
+}
+
+RealHV RffProjectionEncoder::encode_real(std::span<const double> features) const {
+  check_features(features);
+  const std::size_t d = config_.dim;
+  const std::size_t n = config_.input_dim;
+  RealHV out(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double* row = projection_.data() + j * n;
+    double z = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      z += row[k] * features[k];
+    }
+    out[j] = std::cos(z + phase_[j]) * std::sin(z);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IdLevelEncoder
+// ---------------------------------------------------------------------------
+
+IdLevelEncoder::IdLevelEncoder(EncoderConfig config) : Encoder(config) {
+  REGHD_CHECK(config_.levels >= 2, "ID-level encoding requires at least two levels");
+  REGHD_CHECK(config_.level_min < config_.level_max,
+              "level range must be non-empty: [" << config_.level_min << ", "
+                                                 << config_.level_max << ")");
+  util::Rng rng(config_.seed);
+  util::Rng id_rng = rng.split();
+  util::Rng level_rng = rng.split();
+
+  feature_ids_.reserve(config_.input_dim);
+  for (std::size_t k = 0; k < config_.input_dim; ++k) {
+    feature_ids_.push_back(random_binary(config_.dim, id_rng));
+  }
+
+  // Progressive level vectors: L_0 is random; L_{i+1} flips dim/(levels−1)
+  // fresh positions of L_i, so Hamming(L_a, L_b) grows linearly with |a−b|.
+  level_hvs_.reserve(config_.levels);
+  level_hvs_.push_back(random_binary(config_.dim, level_rng));
+  const std::size_t flips_per_step =
+      std::max<std::size_t>(1, config_.dim / (config_.levels - 1));
+  std::vector<std::size_t> positions(config_.dim);
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    positions[i] = i;
+  }
+  level_rng.shuffle(positions);
+  std::size_t cursor = 0;
+  for (std::size_t lvl = 1; lvl < config_.levels; ++lvl) {
+    BinaryHV next = level_hvs_.back();
+    for (std::size_t f = 0; f < flips_per_step && cursor < positions.size(); ++f, ++cursor) {
+      next.set_bit(positions[cursor], !next.bit(positions[cursor]));
+    }
+    level_hvs_.push_back(std::move(next));
+  }
+}
+
+std::size_t IdLevelEncoder::level_index(double value) const noexcept {
+  const double clamped = std::clamp(value, config_.level_min, config_.level_max);
+  const double t = (clamped - config_.level_min) / (config_.level_max - config_.level_min);
+  const auto idx = static_cast<std::size_t>(t * static_cast<double>(config_.levels - 1) + 0.5);
+  return std::min(idx, config_.levels - 1);
+}
+
+RealHV IdLevelEncoder::encode_real(std::span<const double> features) const {
+  check_features(features);
+  RealHV out(config_.dim);
+  for (std::size_t k = 0; k < config_.input_dim; ++k) {
+    const BinaryHV bound = xor_bind(feature_ids_[k], level_hvs_[level_index(features[k])]);
+    add_scaled(out, bound, 1.0);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TemporalEncoder
+// ---------------------------------------------------------------------------
+
+TemporalEncoder::TemporalEncoder(EncoderConfig config) : Encoder(config) {
+  REGHD_CHECK(config_.levels >= 2, "temporal encoding requires at least two levels");
+  REGHD_CHECK(config_.level_min < config_.level_max,
+              "level range must be non-empty: [" << config_.level_min << ", "
+                                                 << config_.level_max << ")");
+  util::Rng rng(config_.seed);
+  util::Rng level_rng = rng.split();
+
+  // Progressive level ladder (same construction as IdLevelEncoder): nearby
+  // levels share most bits.
+  level_hvs_.reserve(config_.levels);
+  level_hvs_.push_back(random_binary(config_.dim, level_rng));
+  const std::size_t flips_per_step =
+      std::max<std::size_t>(1, config_.dim / (config_.levels - 1));
+  std::vector<std::size_t> positions(config_.dim);
+  for (std::size_t i = 0; i < config_.dim; ++i) {
+    positions[i] = i;
+  }
+  level_rng.shuffle(positions);
+  std::size_t cursor = 0;
+  for (std::size_t lvl = 1; lvl < config_.levels; ++lvl) {
+    BinaryHV next = level_hvs_.back();
+    for (std::size_t f = 0; f < flips_per_step && cursor < positions.size(); ++f, ++cursor) {
+      next.set_bit(positions[cursor], !next.bit(positions[cursor]));
+    }
+    level_hvs_.push_back(std::move(next));
+  }
+}
+
+std::size_t TemporalEncoder::level_index(double value) const noexcept {
+  const double clamped = std::clamp(value, config_.level_min, config_.level_max);
+  const double t = (clamped - config_.level_min) / (config_.level_max - config_.level_min);
+  const auto idx = static_cast<std::size_t>(t * static_cast<double>(config_.levels - 1) + 0.5);
+  return std::min(idx, config_.levels - 1);
+}
+
+RealHV TemporalEncoder::encode_real(std::span<const double> features) const {
+  check_features(features);
+  RealHV out(config_.dim);
+  for (std::size_t t = 0; t < features.size(); ++t) {
+    // ρᵗ binds the element to its window position.
+    const BinaryHV rotated = permute(level_hvs_[level_index(features[t])], t);
+    add_scaled(out, rotated, 1.0);
+  }
+  return out;
+}
+
+std::unique_ptr<Encoder> make_encoder(const EncoderConfig& config) {
+  switch (config.kind) {
+    case EncoderKind::kNonlinearFeature:
+      return std::make_unique<NonlinearFeatureEncoder>(config);
+    case EncoderKind::kRffProjection:
+      return std::make_unique<RffProjectionEncoder>(config);
+    case EncoderKind::kIdLevel:
+      return std::make_unique<IdLevelEncoder>(config);
+    case EncoderKind::kTemporal:
+      return std::make_unique<TemporalEncoder>(config);
+  }
+  throw std::invalid_argument("unknown EncoderKind value " +
+                              std::to_string(static_cast<int>(config.kind)));
+}
+
+}  // namespace reghd::hdc

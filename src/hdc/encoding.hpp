@@ -1,0 +1,194 @@
+// Similarity-preserving encoders: the mapping from an n-dimensional feature
+// vector into D-dimensional hyperspace (paper §2.2).
+//
+// Three encoders are provided:
+//
+//  * NonlinearFeatureEncoder — the paper's Eq. 1, literally:
+//        H_j = Σ_k cos(f_k·B_{k,j} + b_j) · sin(f_k·B_{k,j})
+//    with random bipolar base hypervectors B_k and a random phase vector b.
+//    Because B_{k,j} = ±1, the sum factors exactly as
+//        H_j = cos(b_j) · Σ_k B_{k,j}·(sin 2f_k)/2  −  sin(b_j) · Σ_k sin²f_k
+//    which turns the O(n·D) trigonometric evaluation into 2n trig calls, one
+//    ±1 projection, and one fused axpy. encode_reference() keeps the direct
+//    form; the test suite pins their equality to float tolerance.
+//
+//  * RffProjectionEncoder — the random-Fourier-feature variant used across
+//    the HD-learning literature: H_j = cos(w_j·F + b_j)·sin(w_j·F) with
+//    Gaussian projection rows w_j. Richer than Eq. 1 (full-rank random
+//    projection rather than a projection of a fixed 1-D transform); this is
+//    the library default for the quality experiments.
+//
+//  * IdLevelEncoder — the classic ID–level record encoding (feature
+//    identities bound to quantized feature levels, bundled by accumulation),
+//    provided for the Baseline-HD comparator and as a categorical-friendly
+//    alternative.
+//
+// All encoders are deterministic functions of (config, seed). encode()
+// returns the three coupled representations RegHD consumes: the real-valued
+// encoder output ("integer query" of §3.2), its ±1 sign vector S, and the
+// packed binary form S^b.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace reghd::hdc {
+
+/// One encoded data point in all three coupled representations.
+struct EncodedSample {
+  RealHV real;        ///< Pre-binarization encoder output.
+  BipolarHV bipolar;  ///< S = sign(real) ∈ {−1,+1}^D.
+  BinaryHV binary;    ///< S^b — packed form of S.
+  double real_norm = 0.0;   ///< ‖real‖, cached for cosine similarity.
+  double real_norm2 = 0.0;  ///< ‖real‖², cached for incremental norm updates.
+};
+
+/// Which encoder implementation to construct.
+enum class EncoderKind : std::uint8_t {
+  kNonlinearFeature = 0,  ///< Paper Eq. 1.
+  kRffProjection = 1,     ///< Gaussian random-Fourier-feature encoder.
+  kIdLevel = 2,           ///< Classic ID–level record encoding.
+  kTemporal = 3,          ///< Permutation-bound sequence (sliding-window) encoding.
+};
+
+/// Returns a stable lowercase name ("nonlinear", "rff", "idlevel",
+/// "temporal").
+[[nodiscard]] std::string to_string(EncoderKind kind);
+
+/// Parses the names accepted by to_string(); throws on anything else.
+[[nodiscard]] EncoderKind encoder_kind_from_string(const std::string& name);
+
+/// Encoder construction parameters. A config plus nothing else fully
+/// determines the encoder (used for model serialization).
+struct EncoderConfig {
+  EncoderKind kind = EncoderKind::kRffProjection;
+  std::size_t input_dim = 0;   ///< n — feature count; must be set.
+  std::size_t dim = 4096;      ///< D — hyperspace dimensionality.
+  std::uint64_t seed = 0x9D0C0FFEEULL;
+
+  // RffProjection only: stddev of the Gaussian projection rows. Acts as an
+  // inverse kernel bandwidth. 0 (the default) auto-scales to 1/√input_dim,
+  // which keeps the projected phase z = w·F at unit variance for
+  // standardized features regardless of the feature count — larger values
+  // sharpen the kernel toward memorization, smaller ones flatten it toward
+  // a linear fit.
+  double projection_stddev = 0.0;
+
+  // IdLevel only: number of quantization levels and the feature range the
+  // levels span (features are clamped into [level_min, level_max]).
+  std::size_t levels = 64;
+  double level_min = -3.0;
+  double level_max = 3.0;
+};
+
+/// Abstract encoder interface.
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+
+  /// Hyperspace dimensionality D.
+  [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+
+  /// Expected feature count n.
+  [[nodiscard]] std::size_t input_dim() const noexcept { return config_.input_dim; }
+
+  /// The construction parameters (sufficient to reconstruct this encoder).
+  [[nodiscard]] const EncoderConfig& config() const noexcept { return config_; }
+
+  /// Maps features to the real-valued hypervector. Throws if
+  /// features.size() != input_dim().
+  [[nodiscard]] virtual RealHV encode_real(std::span<const double> features) const = 0;
+
+  /// Maps features to all three coupled representations.
+  [[nodiscard]] EncodedSample encode(std::span<const double> features) const;
+
+ protected:
+  explicit Encoder(EncoderConfig config);
+
+  void check_features(std::span<const double> features) const;
+
+  EncoderConfig config_;
+};
+
+/// Paper Eq. 1. See file comment for the exact factorization used.
+class NonlinearFeatureEncoder final : public Encoder {
+ public:
+  explicit NonlinearFeatureEncoder(EncoderConfig config);
+
+  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
+
+  /// Direct, unfactored evaluation of Eq. 1 — O(n·D) trig calls. Exposed for
+  /// the equivalence test and as executable documentation of the formula.
+  [[nodiscard]] RealHV encode_reference(std::span<const double> features) const;
+
+ private:
+  std::vector<BipolarHV> bases_;    ///< B_k, one per feature.
+  std::vector<double> phase_;      ///< b_j.
+  std::vector<double> cos_phase_;  ///< cos(b_j), precomputed.
+  std::vector<double> sin_phase_;  ///< sin(b_j), precomputed.
+};
+
+/// Random-Fourier-feature encoder: H_j = cos(w_j·F + b_j)·sin(w_j·F).
+class RffProjectionEncoder final : public Encoder {
+ public:
+  explicit RffProjectionEncoder(EncoderConfig config);
+
+  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
+
+ private:
+  // Projection stored row-major: projection_[j*n + k] = w_{j,k}.
+  std::vector<double> projection_;
+  std::vector<double> phase_;
+};
+
+/// ID–level record encoding: each feature k has a random ID hypervector and
+/// each quantization level a level hypervector; level vectors are generated
+/// by progressive bit flips so nearby levels stay similar. The record is the
+/// accumulation over features of bind(ID_k, Level(f_k)).
+class IdLevelEncoder final : public Encoder {
+ public:
+  explicit IdLevelEncoder(EncoderConfig config);
+
+  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
+
+  /// Index of the quantization level for a (possibly out-of-range) value.
+  [[nodiscard]] std::size_t level_index(double value) const noexcept;
+
+ private:
+  std::vector<BinaryHV> feature_ids_;
+  std::vector<BinaryHV> level_hvs_;
+};
+
+/// Permutation-bound temporal encoding for sliding windows (classic HDC
+/// sequence encoding, e.g. language/biosignal work the paper cites in §5):
+/// each window element is quantized to a level hypervector and rotated by
+/// its position — ρᵗ(L(x_t)) — then all positions are bundled. Rotation
+/// makes the encoding order-sensitive (the same values in a different order
+/// land elsewhere in hyperspace) while nearby levels stay similar.
+/// input_dim is the window length; `levels`/`level_min`/`level_max`
+/// quantize the elements.
+class TemporalEncoder final : public Encoder {
+ public:
+  explicit TemporalEncoder(EncoderConfig config);
+
+  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
+
+  /// Index of the quantization level for a (possibly out-of-range) value.
+  [[nodiscard]] std::size_t level_index(double value) const noexcept;
+
+ private:
+  std::vector<BinaryHV> level_hvs_;
+};
+
+/// Factory: constructs the encoder named by config.kind.
+[[nodiscard]] std::unique_ptr<Encoder> make_encoder(const EncoderConfig& config);
+
+}  // namespace reghd::hdc

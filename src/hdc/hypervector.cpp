@@ -1,0 +1,77 @@
+#include "hdc/hypervector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace reghd::hdc {
+
+BipolarHV RealHV::sign() const {
+  std::vector<std::int8_t> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out[i] = data_[i] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return BipolarHV(std::move(out));
+}
+
+BinaryHV RealHV::sign_packed() const {
+  BinaryHV out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i] >= 0.0) {
+      out.words_[i >> 6] |= 1ULL << (i & 63);
+    }
+  }
+  return out;
+}
+
+BipolarHV::BipolarHV(std::vector<std::int8_t> values) : data_(std::move(values)) {
+  for (const std::int8_t v : data_) {
+    REGHD_CHECK(v == 1 || v == -1,
+                "bipolar component must be ±1, got " << static_cast<int>(v));
+  }
+}
+
+BinaryHV BipolarHV::pack() const {
+  BinaryHV out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i] > 0) {
+      out.words_[i >> 6] |= 1ULL << (i & 63);
+    }
+  }
+  return out;
+}
+
+RealHV BipolarHV::to_real() const {
+  std::vector<double> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out[i] = static_cast<double>(data_[i]);
+  }
+  return RealHV(std::move(out));
+}
+
+BinaryHV::BinaryHV(std::size_t dim) : dim_(dim), words_((dim + 63) / 64, 0ULL) {}
+
+std::size_t BinaryHV::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+BipolarHV BinaryHV::unpack() const {
+  std::vector<std::int8_t> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out[i] = bit(i) ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return BipolarHV(std::move(out));
+}
+
+RealHV BinaryHV::to_real() const {
+  std::vector<double> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out[i] = bit(i) ? 1.0 : -1.0;
+  }
+  return RealHV(std::move(out));
+}
+
+}  // namespace reghd::hdc

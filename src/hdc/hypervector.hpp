@@ -1,0 +1,160 @@
+// Hypervector value types.
+//
+// RegHD manipulates three representations of a D-dimensional hypervector:
+//
+//  * RealHV    — dense double components. Used for the pre-binarization
+//                encoder output, the integer/accumulator models M, and the
+//                integer cluster centers C (the paper's "integer" vectors —
+//                high-precision accumulators as opposed to binary ones).
+//  * BipolarHV — dense ±1 components (int8). The paper's encoded sample
+//                S ∈ {−1,+1}^D; the cheap form for model updates M += c·S.
+//  * BinaryHV  — bit-packed {0,1}^D (64 dims per machine word, bit 1 ⇔ +1).
+//                The quantized form of §3: Hamming-distance similarity and
+//                multiply-free dot products via XOR + popcount.
+//
+// Conversions preserve the bipolar interpretation: bit b encodes component
+// 2b − 1, so Hamming distance h between two BinaryHVs and the bipolar dot
+// product d of the corresponding BipolarHVs obey d = D − 2h exactly. The
+// test suite pins this identity.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace reghd::hdc {
+
+class BipolarHV;
+class BinaryHV;
+
+/// Dense real-valued hypervector.
+class RealHV {
+ public:
+  RealHV() = default;
+
+  /// Zero-initialized hypervector of the given dimensionality.
+  explicit RealHV(std::size_t dim) : data_(dim, 0.0) {}
+
+  /// Adopts existing component values.
+  explicit RealHV(std::vector<double> values) : data_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] double& operator[](std::size_t i) noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<const double> values() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> values() noexcept { return data_; }
+
+  /// Resets every component to zero without changing the dimensionality.
+  void clear() noexcept { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// Component-wise sign binarization to ±1; zero maps to +1 so the result
+  /// is always a valid bipolar vector.
+  [[nodiscard]] BipolarHV sign() const;
+
+  /// Sign binarization straight to the packed form.
+  [[nodiscard]] BinaryHV sign_packed() const;
+
+  bool operator==(const RealHV&) const = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dense ±1 hypervector stored as int8 components.
+class BipolarHV {
+ public:
+  BipolarHV() = default;
+
+  /// All-(+1) hypervector of the given dimensionality.
+  explicit BipolarHV(std::size_t dim) : data_(dim, +1) {}
+
+  /// Adopts component values; every element must be +1 or −1.
+  explicit BipolarHV(std::vector<std::int8_t> values);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::int8_t operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Sets component i to +1 or −1.
+  void set(std::size_t i, std::int8_t value) {
+    REGHD_CHECK(value == 1 || value == -1, "bipolar component must be ±1, got "
+                                               << static_cast<int>(value));
+    data_[i] = value;
+  }
+
+  [[nodiscard]] std::span<const std::int8_t> values() const noexcept { return data_; }
+
+  /// Packs into the bit representation (bit 1 ⇔ +1).
+  [[nodiscard]] BinaryHV pack() const;
+
+  /// Widens to a real hypervector.
+  [[nodiscard]] RealHV to_real() const;
+
+  bool operator==(const BipolarHV&) const = default;
+
+ private:
+  std::vector<std::int8_t> data_;
+};
+
+/// Bit-packed binary hypervector; bit 1 encodes bipolar +1, bit 0 encodes −1.
+/// Unused bits in the final word are kept at zero so whole-word popcount
+/// operations need no masking.
+class BinaryHV {
+ public:
+  BinaryHV() = default;
+
+  /// All-zero-bit (all −1 bipolar) hypervector of the given dimensionality.
+  explicit BinaryHV(std::size_t dim);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return dim_ == 0; }
+
+  /// Number of 64-bit storage words.
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  [[nodiscard]] bool bit(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set_bit(std::size_t i, bool value) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Bipolar value of component i: +1 for a set bit, −1 otherwise.
+  [[nodiscard]] int bipolar(std::size_t i) const noexcept { return bit(i) ? +1 : -1; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// Unpacks to the dense ±1 representation.
+  [[nodiscard]] BipolarHV unpack() const;
+
+  /// Widens to a real ±1 hypervector.
+  [[nodiscard]] RealHV to_real() const;
+
+  bool operator==(const BinaryHV&) const = default;
+
+ private:
+  friend class RealHV;
+  friend class BipolarHV;
+
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace reghd::hdc

@@ -1,0 +1,237 @@
+#include "hdc/ops.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace reghd::hdc {
+
+namespace {
+
+void check_dims(std::size_t a, std::size_t b, const char* op) {
+  REGHD_CHECK(a == b, op << ": dimension mismatch " << a << " vs " << b);
+}
+
+}  // namespace
+
+double dot(const RealHV& a, const RealHV& b) {
+  check_dims(a.dim(), b.dim(), "dot(real,real)");
+  double acc = 0.0;
+  const auto va = a.values();
+  const auto vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    acc += va[i] * vb[i];
+  }
+  return acc;
+}
+
+double dot(const RealHV& a, const BipolarHV& b) {
+  check_dims(a.dim(), b.dim(), "dot(real,bipolar)");
+  double acc = 0.0;
+  const auto va = a.values();
+  const auto vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    acc += vb[i] > 0 ? va[i] : -va[i];
+  }
+  return acc;
+}
+
+double dot(const RealHV& a, const BinaryHV& b) {
+  check_dims(a.dim(), b.dim(), "dot(real,binary)");
+  double acc = 0.0;
+  const auto va = a.values();
+  const auto words = b.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    const std::size_t base = w << 6;
+    const std::size_t limit = std::min<std::size_t>(64, va.size() - base);
+    for (std::size_t j = 0; j < limit; ++j) {
+      acc += (bits & 1ULL) ? va[base + j] : -va[base + j];
+      bits >>= 1;
+    }
+  }
+  return acc;
+}
+
+std::int64_t bipolar_dot(const BinaryHV& a, const BinaryHV& b) {
+  check_dims(a.dim(), b.dim(), "bipolar_dot(binary,binary)");
+  const auto h = static_cast<std::int64_t>(hamming_distance(a, b));
+  return static_cast<std::int64_t>(a.dim()) - 2 * h;
+}
+
+std::int64_t bipolar_dot(const BipolarHV& a, const BipolarHV& b) {
+  check_dims(a.dim(), b.dim(), "bipolar_dot(bipolar,bipolar)");
+  std::int64_t acc = 0;
+  const auto va = a.values();
+  const auto vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    acc += static_cast<std::int64_t>(va[i]) * static_cast<std::int64_t>(vb[i]);
+  }
+  return acc;
+}
+
+std::int64_t masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
+                                const BinaryHV& mask) {
+  check_dims(a.dim(), b.dim(), "masked_bipolar_dot");
+  check_dims(a.dim(), mask.dim(), "masked_bipolar_dot(mask)");
+  const auto wa = a.words();
+  const auto wb = b.words();
+  const auto wm = mask.words();
+  std::int64_t agree = 0;
+  std::int64_t active = 0;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    const std::uint64_t m = wm[i];
+    agree += std::popcount(~(wa[i] ^ wb[i]) & m);
+    active += std::popcount(m);
+  }
+  return 2 * agree - active;
+}
+
+double masked_dot(const RealHV& a, const BinaryHV& signs, const BinaryHV& mask) {
+  check_dims(a.dim(), signs.dim(), "masked_dot");
+  check_dims(a.dim(), mask.dim(), "masked_dot(mask)");
+  const auto va = a.values();
+  const auto ws = signs.words();
+  const auto wm = mask.words();
+  double acc = 0.0;
+  for (std::size_t w = 0; w < wm.size(); ++w) {
+    std::uint64_t active = wm[w];
+    const std::uint64_t sign_bits = ws[w];
+    const std::size_t base = w << 6;
+    while (active != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(active));
+      active &= active - 1;  // clear lowest set bit
+      const double v = va[base + j];
+      acc += (sign_bits >> j) & 1ULL ? v : -v;
+    }
+  }
+  return acc;
+}
+
+std::size_t hamming_distance(const BinaryHV& a, const BinaryHV& b) {
+  check_dims(a.dim(), b.dim(), "hamming_distance");
+  std::size_t total = 0;
+  const auto wa = a.words();
+  const auto wb = b.words();
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
+  }
+  return total;
+}
+
+double hamming_similarity(const BinaryHV& a, const BinaryHV& b) {
+  REGHD_CHECK(a.dim() > 0, "hamming_similarity of empty vectors");
+  const auto h = static_cast<double>(hamming_distance(a, b));
+  return 1.0 - 2.0 * h / static_cast<double>(a.dim());
+}
+
+double norm(const RealHV& a) { return std::sqrt(dot(a, a)); }
+
+double cosine(const RealHV& a, const RealHV& b) {
+  check_dims(a.dim(), b.dim(), "cosine(real,real)");
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  return dot(a, b) / (na * nb);
+}
+
+double cosine(const RealHV& a, const BipolarHV& b) {
+  check_dims(a.dim(), b.dim(), "cosine(real,bipolar)");
+  const double na = norm(a);
+  if (na == 0.0 || a.dim() == 0) {
+    return 0.0;
+  }
+  return dot(a, b) / (na * std::sqrt(static_cast<double>(a.dim())));
+}
+
+double cosine(const RealHV& a, const BinaryHV& b) {
+  check_dims(a.dim(), b.dim(), "cosine(real,binary)");
+  const double na = norm(a);
+  if (na == 0.0 || a.dim() == 0) {
+    return 0.0;
+  }
+  return dot(a, b) / (na * std::sqrt(static_cast<double>(a.dim())));
+}
+
+void add_scaled(RealHV& a, const RealHV& b, double c) {
+  check_dims(a.dim(), b.dim(), "add_scaled(real,real)");
+  const auto vb = b.values();
+  const auto va = a.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    va[i] += c * vb[i];
+  }
+}
+
+void add_scaled(RealHV& a, const BipolarHV& b, double c) {
+  check_dims(a.dim(), b.dim(), "add_scaled(real,bipolar)");
+  const auto vb = b.values();
+  const auto va = a.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    va[i] += vb[i] > 0 ? c : -c;
+  }
+}
+
+void add_scaled(RealHV& a, const BinaryHV& b, double c) {
+  check_dims(a.dim(), b.dim(), "add_scaled(real,binary)");
+  const auto va = a.values();
+  const auto words = b.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    const std::size_t base = w << 6;
+    const std::size_t limit = std::min<std::size_t>(64, va.size() - base);
+    for (std::size_t j = 0; j < limit; ++j) {
+      va[base + j] += (bits & 1ULL) ? c : -c;
+      bits >>= 1;
+    }
+  }
+}
+
+void scale(RealHV& a, double c) {
+  for (double& v : a.values()) {
+    v *= c;
+  }
+}
+
+BinaryHV xor_bind(const BinaryHV& a, const BinaryHV& b) {
+  check_dims(a.dim(), b.dim(), "xor_bind");
+  // In the bipolar view, component-wise multiplication corresponds to XNOR
+  // of the bits: (+1)(+1)=+1 ↔ 1 xnor 1 = 1. We implement XNOR and keep the
+  // trailing padding bits zeroed.
+  BinaryHV out(a.dim());
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    out.set_bit(i, a.bit(i) == b.bit(i));
+  }
+  return out;
+}
+
+BinaryHV permute(const BinaryHV& a, std::size_t shift) {
+  const std::size_t d = a.dim();
+  REGHD_CHECK(d > 0, "permute of empty vector");
+  BinaryHV out(d);
+  const std::size_t s = shift % d;
+  for (std::size_t i = 0; i < d; ++i) {
+    out.set_bit((i + s) % d, a.bit(i));
+  }
+  return out;
+}
+
+BinaryHV majority(const std::vector<BinaryHV>& vectors) {
+  REGHD_CHECK(!vectors.empty(), "majority of no vectors");
+  const std::size_t d = vectors.front().dim();
+  std::vector<std::int64_t> counts(d, 0);
+  for (const auto& v : vectors) {
+    check_dims(v.dim(), d, "majority");
+    for (std::size_t i = 0; i < d; ++i) {
+      counts[i] += v.bit(i) ? 1 : -1;
+    }
+  }
+  BinaryHV out(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    out.set_bit(i, counts[i] >= 0);
+  }
+  return out;
+}
+
+}  // namespace reghd::hdc

@@ -1,0 +1,106 @@
+// Hypervector algebra: similarity metrics, accumulation, binding, bundling,
+// and permutation.
+//
+// These free functions are the computational kernels of RegHD. The quantized
+// fast paths (Hamming distance, sign-masked accumulation) are exact algebraic
+// counterparts of the full-precision operations on bipolar data:
+//
+//   bipolar_dot(a, b)      = D − 2 · hamming_distance(a, b)
+//   hamming_similarity     = bipolar_dot / D = cosine of the bipolar vectors
+//   dot(real, binary)      = Σ_j ±real_j, the multiply-free dot of §3.2
+//
+// Dimension mismatches are precondition violations and throw.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace reghd::hdc {
+
+// ---------------------------------------------------------------------------
+// Dot products
+// ---------------------------------------------------------------------------
+
+/// Full-precision dot product.
+[[nodiscard]] double dot(const RealHV& a, const RealHV& b);
+
+/// Dot of a real vector with a dense ±1 vector (model · encoded sample).
+[[nodiscard]] double dot(const RealHV& a, const BipolarHV& b);
+
+/// Multiply-free dot of a real vector with a packed binary vector under the
+/// bipolar interpretation: Σ_j (bit_j ? +a_j : −a_j). This is the paper's
+/// "binary query – integer model" / "integer query – binary model" kernel.
+[[nodiscard]] double dot(const RealHV& a, const BinaryHV& b);
+
+/// Bipolar dot of two packed vectors: D − 2·hamming. Integer-exact.
+[[nodiscard]] std::int64_t bipolar_dot(const BinaryHV& a, const BinaryHV& b);
+
+/// Bipolar dot of two dense ±1 vectors.
+[[nodiscard]] std::int64_t bipolar_dot(const BipolarHV& a, const BipolarHV& b);
+
+/// Masked bipolar dot: Σ over dims where mask is set of a_j·b_j (bipolar
+/// interpretation). The ternary-model kernel: dead-zone components carry a
+/// zero weight. Computed word-wise: 2·popcount(XNOR(a,b) ∧ mask) − |mask|.
+[[nodiscard]] std::int64_t masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
+                                              const BinaryHV& mask);
+
+/// Masked signed accumulation: Σ over dims where mask is set of
+/// (signs_j ? +a_j : −a_j). The ternary-model kernel for real queries.
+[[nodiscard]] double masked_dot(const RealHV& a, const BinaryHV& signs,
+                                const BinaryHV& mask);
+
+// ---------------------------------------------------------------------------
+// Distances and similarities
+// ---------------------------------------------------------------------------
+
+/// Number of differing components.
+[[nodiscard]] std::size_t hamming_distance(const BinaryHV& a, const BinaryHV& b);
+
+/// Hamming-based similarity in [−1, 1]: 1 − 2·hamming/D. Equals the cosine
+/// similarity of the corresponding bipolar vectors (paper §3.1's efficient
+/// similarity).
+[[nodiscard]] double hamming_similarity(const BinaryHV& a, const BinaryHV& b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm(const RealHV& a);
+
+/// Cosine similarity (Eq. 5). Returns 0 if either vector is all-zero.
+[[nodiscard]] double cosine(const RealHV& a, const RealHV& b);
+
+/// Cosine of a real vector against a dense ±1 vector (‖b‖ = √D).
+[[nodiscard]] double cosine(const RealHV& a, const BipolarHV& b);
+
+/// Cosine of a real vector against a packed ±1 vector (‖b‖ = √D).
+[[nodiscard]] double cosine(const RealHV& a, const BinaryHV& b);
+
+// ---------------------------------------------------------------------------
+// Accumulation (model updates)
+// ---------------------------------------------------------------------------
+
+/// a += c · b for each of the sample representations. These implement the
+/// paper's update rules (Eqs. 2, 7, 8, 9).
+void add_scaled(RealHV& a, const RealHV& b, double c);
+void add_scaled(RealHV& a, const BipolarHV& b, double c);
+void add_scaled(RealHV& a, const BinaryHV& b, double c);
+
+/// a *= c.
+void scale(RealHV& a, double c);
+
+// ---------------------------------------------------------------------------
+// Classic HDC structure operations (used by the ID-level encoder and the
+// Baseline-HD comparator)
+// ---------------------------------------------------------------------------
+
+/// XOR binding of packed vectors (bipolar component-wise multiplication).
+[[nodiscard]] BinaryHV xor_bind(const BinaryHV& a, const BinaryHV& b);
+
+/// Circular rotation by `shift` positions (ρ-permutation).
+[[nodiscard]] BinaryHV permute(const BinaryHV& a, std::size_t shift);
+
+/// Majority bundling of an odd or even number of packed vectors; ties on an
+/// even count break toward 1 deterministically.
+[[nodiscard]] BinaryHV majority(const std::vector<BinaryHV>& vectors);
+
+}  // namespace reghd::hdc

@@ -1,0 +1,48 @@
+// The uniform regressor interface implemented by RegHD and by every baseline
+// (MLP, linear, decision tree, SVR, Baseline-HD). The benchmark harness and
+// grid search drive all learners through this interface.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace reghd::model {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  Regressor(const Regressor&) = delete;
+  Regressor& operator=(const Regressor&) = delete;
+
+  /// Human-readable learner name ("RegHD-8", "DNN", "DecisionTree", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on the dataset (raw feature units; learners own any scaling).
+  virtual void fit(const data::Dataset& train) = 0;
+
+  /// Predicts the target for one feature row. Requires a prior fit().
+  [[nodiscard]] virtual double predict(std::span<const double> features) const = 0;
+
+  /// Predicts every row of a dataset. The default loops over predict();
+  /// learners with a cheaper batch path may override.
+  [[nodiscard]] virtual std::vector<double> predict_batch(const data::Dataset& dataset) const {
+    std::vector<double> out;
+    out.reserve(dataset.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      out.push_back(predict(dataset.row(i)));
+    }
+    return out;
+  }
+
+ protected:
+  Regressor() = default;
+  // Concrete learners may be movable (e.g. returned from loaders).
+  Regressor(Regressor&&) = default;
+  Regressor& operator=(Regressor&&) = default;
+};
+
+}  // namespace reghd::model

@@ -1,0 +1,95 @@
+#include "perf/device_profile.hpp"
+
+namespace reghd::perf {
+
+double DeviceProfile::energy_uj(const OpCount& ops) const noexcept {
+  const double pj =
+      pj_float_mul * static_cast<double>(ops.float_mul) +
+      pj_float_add * static_cast<double>(ops.float_add) +
+      pj_float_div * static_cast<double>(ops.float_div) +
+      pj_float_trig * static_cast<double>(ops.float_trig) +
+      pj_float_exp * static_cast<double>(ops.float_exp) +
+      pj_float_sqrt * static_cast<double>(ops.float_sqrt) +
+      pj_int_mul * static_cast<double>(ops.int_mul) +
+      pj_int_add * static_cast<double>(ops.int_add) +
+      pj_int_cmp * static_cast<double>(ops.int_cmp) +
+      pj_xor_word * static_cast<double>(ops.xor_word) +
+      pj_popcount_word * static_cast<double>(ops.popcount_word) +
+      pj_mem_read_word * static_cast<double>(ops.mem_read_word) +
+      pj_mem_write_word * static_cast<double>(ops.mem_write_word);
+  return pj * 1e-6;
+}
+
+double DeviceProfile::time_ms(const OpCount& ops) const noexcept {
+  const double ns =
+      ns_float_mul * static_cast<double>(ops.float_mul) +
+      ns_float_add * static_cast<double>(ops.float_add) +
+      ns_float_div * static_cast<double>(ops.float_div) +
+      ns_float_trig * static_cast<double>(ops.float_trig) +
+      ns_float_exp * static_cast<double>(ops.float_exp) +
+      ns_float_sqrt * static_cast<double>(ops.float_sqrt) +
+      ns_int_mul * static_cast<double>(ops.int_mul) +
+      ns_int_add * static_cast<double>(ops.int_add) +
+      ns_int_cmp * static_cast<double>(ops.int_cmp) +
+      ns_xor_word * static_cast<double>(ops.xor_word) +
+      ns_popcount_word * static_cast<double>(ops.popcount_word) +
+      ns_mem_read_word * static_cast<double>(ops.mem_read_word) +
+      ns_mem_write_word * static_cast<double>(ops.mem_write_word);
+  return ns * 1e-6;
+}
+
+double DeviceProfile::energy_delay(const OpCount& ops) const noexcept {
+  return energy_uj(ops) * time_ms(ops);
+}
+
+const DeviceProfile& fpga_kintex7() {
+  static const DeviceProfile profile = [] {
+    DeviceProfile p;
+    p.name = "kintex7-fpga";
+    // Defaults above are already FPGA-flavoured (DSP-bound multiplies, wide
+    // LUT adders, wide BRAM); nothing to override.
+    return p;
+  }();
+  return profile;
+}
+
+const DeviceProfile& embedded_cpu() {
+  static const DeviceProfile profile = [] {
+    DeviceProfile p;
+    p.name = "cortex-a53";
+    // A 1.4 GHz in-order quad core with NEON: ~0.18 ns per SIMD-amortized
+    // float op, less headroom between op classes than an FPGA, costlier
+    // memory per word.
+    p.ns_float_mul = 0.2;
+    p.ns_float_add = 0.18;
+    p.ns_float_div = 2.5;
+    p.ns_float_trig = 8.0;
+    p.ns_float_exp = 10.0;
+    p.ns_float_sqrt = 2.0;
+    p.ns_int_mul = 0.2;
+    p.ns_int_add = 0.09;
+    p.ns_int_cmp = 0.09;
+    p.ns_xor_word = 0.09;
+    p.ns_popcount_word = 0.18;
+    p.ns_mem_read_word = 0.3;
+    p.ns_mem_write_word = 0.3;
+
+    p.pj_float_mul = 15.0;
+    p.pj_float_add = 8.0;
+    p.pj_float_div = 40.0;
+    p.pj_float_trig = 120.0;
+    p.pj_float_exp = 150.0;
+    p.pj_float_sqrt = 35.0;
+    p.pj_int_mul = 12.0;
+    p.pj_int_add = 4.0;
+    p.pj_int_cmp = 3.0;
+    p.pj_xor_word = 4.0;
+    p.pj_popcount_word = 6.0;
+    p.pj_mem_read_word = 25.0;
+    p.pj_mem_write_word = 28.0;
+    return p;
+  }();
+  return profile;
+}
+
+}  // namespace reghd::perf

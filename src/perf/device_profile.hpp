@@ -1,0 +1,76 @@
+// Device profiles: mapping operation tallies to time and energy.
+//
+// A profile assigns each primitive op an energy (picojoules) and an
+// effective throughput cost (nanoseconds per op, amortizing the device's
+// parallelism: an FPGA issuing hundreds of narrow adds per cycle has a far
+// smaller ns/op for int_add than for a deep floating multiply). Absolute
+// values are order-of-magnitude figures from the accelerator literature
+// (Horowitz ISSCC'14 energy table; Kintex-7-class DSP/LUT throughput); the
+// reproduction relies only on their *ratios*, which is also all the paper
+// reports.
+#pragma once
+
+#include <string>
+
+#include "perf/op_count.hpp"
+
+namespace reghd::perf {
+
+/// Per-op costs for one device.
+struct DeviceProfile {
+  std::string name;
+
+  // Energy per op, picojoules.
+  double pj_float_mul = 3.7;
+  double pj_float_add = 0.9;
+  double pj_float_div = 7.0;
+  double pj_float_trig = 18.0;
+  double pj_float_exp = 20.0;
+  double pj_float_sqrt = 8.0;
+  double pj_int_mul = 3.1;
+  double pj_int_add = 0.1;
+  double pj_int_cmp = 0.05;
+  double pj_xor_word = 0.2;
+  double pj_popcount_word = 0.4;
+  double pj_mem_read_word = 5.0;
+  double pj_mem_write_word = 5.5;
+
+  // Effective time per op, nanoseconds (inverse of sustained throughput).
+  // FPGA-flavoured defaults: multiplies are DSP-slice-bound (~125 GMAC/s on
+  // a Kintex-7-class part), while narrow adds/compares/bit ops map to wide
+  // LUT fabric with an order of magnitude more parallelism, and operands
+  // stream from wide on-chip BRAM.
+  double ns_float_mul = 0.008;
+  double ns_float_add = 0.0015;
+  double ns_float_div = 0.1;
+  double ns_float_trig = 0.5;
+  double ns_float_exp = 0.8;
+  double ns_float_sqrt = 0.12;
+  double ns_int_mul = 0.006;
+  double ns_int_add = 0.0008;
+  double ns_int_cmp = 0.0008;
+  double ns_xor_word = 0.0005;
+  double ns_popcount_word = 0.001;
+  double ns_mem_read_word = 0.002;
+  double ns_mem_write_word = 0.002;
+
+  /// Total energy of a tally, in microjoules.
+  [[nodiscard]] double energy_uj(const OpCount& ops) const noexcept;
+
+  /// Total time of a tally, in milliseconds.
+  [[nodiscard]] double time_ms(const OpCount& ops) const noexcept;
+
+  /// Energy-delay convenience: energy·time (µJ·ms).
+  [[nodiscard]] double energy_delay(const OpCount& ops) const noexcept;
+};
+
+/// Kintex-7-class FPGA accelerator profile (the paper's efficiency
+/// platform): massive parallelism on narrow integer/bit ops, expensive
+/// deep-pipeline transcendentals.
+[[nodiscard]] const DeviceProfile& fpga_kintex7();
+
+/// ARM Cortex-A53-class embedded CPU profile (the paper's Raspberry Pi 3B+):
+/// flatter ratios between op classes, higher memory cost.
+[[nodiscard]] const DeviceProfile& embedded_cpu();
+
+}  // namespace reghd::perf

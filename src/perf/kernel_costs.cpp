@@ -1,0 +1,257 @@
+#include "perf/kernel_costs.hpp"
+
+namespace reghd::perf {
+
+namespace {
+
+/// Packed words for D dimensions.
+std::uint64_t words(std::size_t dim) { return (dim + 63) / 64; }
+
+}  // namespace
+
+OpCount cost_encode_rff(std::size_t features, std::size_t dim) {
+  OpCount c;
+  const auto n = static_cast<std::uint64_t>(features);
+  const auto d = static_cast<std::uint64_t>(dim);
+  c.float_mul = d * n + d;       // projection rows + cos·sin product
+  c.float_add = d * n + d;       // projection accumulate + phase add
+  c.float_trig = 2 * d;          // cos and sin per dimension
+  c.int_cmp = d;                 // sign binarization
+  c.mem_read_word = d * n + n + d;  // weights + features + phases
+  c.mem_write_word = d + words(dim);  // real output + packed output
+  return c;
+}
+
+OpCount cost_encode_nonlinear(std::size_t features, std::size_t dim) {
+  OpCount c;
+  const auto n = static_cast<std::uint64_t>(features);
+  const auto d = static_cast<std::uint64_t>(dim);
+  c.float_trig = 2 * n;          // sin(2f), sin(f) per feature
+  c.float_mul = 2 * n + 2 * d;   // per-feature scaling + cos(b)·g, sin(b)·s
+  c.float_add = d * n + d + n;   // ±1 projection adds + combine + s accumulation
+  c.int_cmp = d;                 // sign binarization
+  c.mem_read_word = n * words(dim) + n + 2 * d;  // packed bases + features + phase tables
+  c.mem_write_word = d + words(dim);
+  return c;
+}
+
+OpCount cost_cosine_real(std::size_t dim) {
+  OpCount c;
+  const auto d = static_cast<std::uint64_t>(dim);
+  c.float_mul = d + 1;   // dot + norm-product scale
+  c.float_add = d;
+  c.float_div = 1;
+  c.mem_read_word = 2 * d;
+  return c;
+}
+
+OpCount cost_hamming(std::size_t dim) {
+  OpCount c;
+  const auto w = words(dim);
+  c.xor_word = w;
+  c.popcount_word = w;
+  c.int_add = w;         // accumulate popcounts
+  c.float_mul = 1;       // map distance to similarity scale
+  c.float_add = 1;
+  c.mem_read_word = 2 * w;
+  return c;
+}
+
+OpCount cost_dot_real_real(std::size_t dim) {
+  OpCount c;
+  const auto d = static_cast<std::uint64_t>(dim);
+  c.float_mul = d;
+  c.float_add = d;
+  c.mem_read_word = 2 * d;
+  return c;
+}
+
+OpCount cost_dot_real_binary(std::size_t dim) {
+  OpCount c;
+  const auto d = static_cast<std::uint64_t>(dim);
+  c.float_add = d;             // sign-conditional accumulate, multiply-free
+  c.mem_read_word = d + words(dim);
+  return c;
+}
+
+OpCount cost_dot_binary_binary(std::size_t dim) {
+  OpCount c = cost_hamming(dim);
+  c.float_mul += 1;  // calibration scale γ
+  c.float_add += 1;
+  return c;
+}
+
+OpCount cost_softmax(std::size_t models) {
+  OpCount c;
+  const auto k = static_cast<std::uint64_t>(models);
+  c.float_exp = k;
+  c.float_add = k;      // sum
+  c.float_div = k;      // normalize
+  c.int_cmp = k;        // max-logit scan for stability
+  return c;
+}
+
+OpCount cost_accumulator_update(std::size_t dim, Precision sample) {
+  OpCount c;
+  const auto d = static_cast<std::uint64_t>(dim);
+  if (sample == Precision::kReal) {
+    c.float_mul = d;
+    c.float_add = d;
+    c.mem_read_word = 2 * d;
+  } else {
+    c.float_add = d;  // ±c add
+    c.mem_read_word = d + words(dim);
+  }
+  c.mem_write_word = d;
+  return c;
+}
+
+OpCount cost_binarize(std::size_t dim) {
+  OpCount c;
+  c.int_cmp = static_cast<std::uint64_t>(dim);
+  c.mem_read_word = static_cast<std::uint64_t>(dim);
+  c.mem_write_word = words(dim);
+  return c;
+}
+
+OpCount reghd_encode_sample(const RegHDKernelShape& shape) {
+  return shape.rff_encoder ? cost_encode_rff(shape.features, shape.dim)
+                           : cost_encode_nonlinear(shape.features, shape.dim);
+}
+
+OpCount reghd_infer_sample(const RegHDKernelShape& shape) {
+  OpCount c = reghd_encode_sample(shape);
+  const auto k = static_cast<std::uint64_t>(shape.models);
+
+  // Similarity search against all k cluster centers.
+  const OpCount sim = shape.quantized_cluster ? cost_hamming(shape.dim)
+                                              : cost_cosine_real(shape.dim);
+  c += sim * k;
+
+  c += cost_softmax(shape.models);
+
+  // Prediction dots, one per model.
+  OpCount dot_cost;
+  if (shape.query == Precision::kReal && shape.model == Precision::kReal) {
+    dot_cost = cost_dot_real_real(shape.dim);
+  } else if (shape.query == Precision::kBinary && shape.model == Precision::kBinary) {
+    dot_cost = cost_dot_binary_binary(shape.dim);
+  } else {
+    dot_cost = cost_dot_real_binary(shape.dim);
+  }
+  c += dot_cost * k;
+
+  // Confidence-weighted accumulation of the k partial predictions.
+  OpCount mix;
+  mix.float_mul = k;
+  mix.float_add = k;
+  c += mix;
+  return c;
+}
+
+OpCount reghd_train_sample(const RegHDKernelShape& shape) {
+  OpCount c = reghd_infer_sample(shape);
+  const auto k = static_cast<std::uint64_t>(shape.models);
+
+  // Error + per-model learning-rate scaling.
+  OpCount err;
+  err.float_add = 1;
+  err.float_mul = k;  // α·err·confidence per model
+  c += err;
+
+  // Integer-model updates (always at the configured query precision) and
+  // the argmax cluster update.
+  c += cost_accumulator_update(shape.dim, shape.query) * k;
+
+  OpCount argmax;
+  argmax.int_cmp = k;
+  c += argmax;
+  c += cost_accumulator_update(shape.dim, shape.query);  // C_l += (1−δ)·S
+  OpCount w;
+  w.float_add = 1;  // 1 − δ
+  c += w;
+  return c;
+}
+
+OpCount reghd_train_epoch(const RegHDKernelShape& shape, std::size_t samples) {
+  OpCount c = reghd_train_sample(shape) * static_cast<std::uint64_t>(samples);
+  const auto k = static_cast<std::uint64_t>(shape.models);
+  if (shape.quantized_cluster) {
+    c += cost_binarize(shape.dim) * k;  // refresh C^b from C
+  }
+  if (shape.model == Precision::kBinary) {
+    c += cost_binarize(shape.dim) * k;  // refresh M^b from M
+    OpCount gamma;                      // per-model calibration scale γ = mean|M_j|
+    gamma.float_add = static_cast<std::uint64_t>(shape.dim);
+    gamma.float_div = 1;
+    c += gamma * k;
+  }
+  return c;
+}
+
+OpCount reghd_train_total(const RegHDKernelShape& shape, std::size_t samples,
+                          std::size_t epochs) {
+  return reghd_train_epoch(shape, samples) * static_cast<std::uint64_t>(epochs);
+}
+
+OpCount mlp_infer_sample(const MlpKernelShape& shape) {
+  OpCount c;
+  const auto layers = {
+      std::pair{shape.inputs, shape.hidden1},
+      std::pair{shape.hidden1, shape.hidden2},
+      std::pair{shape.hidden2, std::size_t{1}},
+  };
+  for (const auto& [in, out] : layers) {
+    const auto in64 = static_cast<std::uint64_t>(in);
+    const auto out64 = static_cast<std::uint64_t>(out);
+    c.float_mul += in64 * out64;
+    c.float_add += in64 * out64 + out64;  // accumulate + bias
+    c.int_cmp += out64;                   // ReLU
+    c.mem_read_word += in64 * out64 + in64 + out64;
+    c.mem_write_word += out64;
+  }
+  return c;
+}
+
+OpCount mlp_train_sample(const MlpKernelShape& shape) {
+  // Backward pass ≈ 2× the forward multiply-accumulate volume (delta
+  // propagation + weight-gradient outer products), plus the SGD update
+  // touching every parameter.
+  OpCount fwd = mlp_infer_sample(shape);
+  OpCount c = fwd + fwd * 2;
+
+  const std::uint64_t params =
+      static_cast<std::uint64_t>(shape.inputs) * shape.hidden1 + shape.hidden1 +
+      static_cast<std::uint64_t>(shape.hidden1) * shape.hidden2 + shape.hidden2 +
+      static_cast<std::uint64_t>(shape.hidden2) + 1;
+  OpCount update;
+  update.float_mul = params;       // lr·grad
+  update.float_add = params;       // w −= …
+  update.mem_read_word = params;
+  update.mem_write_word = params;
+  c += update;
+  return c;
+}
+
+OpCount mlp_train_total(const MlpKernelShape& shape, std::size_t samples,
+                        std::size_t epochs) {
+  return mlp_train_sample(shape) *
+         (static_cast<std::uint64_t>(samples) * static_cast<std::uint64_t>(epochs));
+}
+
+OpCount baseline_hd_infer_sample(std::size_t features, std::size_t dim, std::size_t bins) {
+  OpCount c = cost_encode_rff(features, dim);
+  c += cost_cosine_real(dim) * static_cast<std::uint64_t>(bins);
+  OpCount argmax;
+  argmax.int_cmp = static_cast<std::uint64_t>(bins);
+  c += argmax;
+  return c;
+}
+
+OpCount baseline_hd_train_sample(std::size_t features, std::size_t dim, std::size_t bins) {
+  OpCount c = baseline_hd_infer_sample(features, dim, bins);
+  c += cost_accumulator_update(dim, Precision::kBinary) * 2;  // add right, subtract wrong
+  return c;
+}
+
+}  // namespace reghd::perf

@@ -1,0 +1,127 @@
+// Analytic operation tallies for every RegHD and baseline kernel.
+//
+// Each function returns the exact primitive-op count of one kernel
+// invocation as implemented in this repository (the unit tests pin the
+// formulas against hand counts and scaling laws). Composite helpers assemble
+// per-sample, per-epoch, and end-to-end training/inference tallies that the
+// Fig. 8 / Fig. 9 / Table 2 benches convert to time and energy through a
+// DeviceProfile.
+//
+// Notation: D = hypervector dimensionality, W = ⌈D/64⌉ packed words,
+// n = input features, k = number of cluster/regression models.
+#pragma once
+
+#include <cstddef>
+
+#include "perf/op_count.hpp"
+
+namespace reghd::perf {
+
+/// Precision of the query vector entering a similarity/dot kernel.
+enum class Precision { kReal, kBinary };
+
+// ---------------------------------------------------------------------------
+// Primitive kernels
+// ---------------------------------------------------------------------------
+
+/// RFF encoder (cos(w·F + b)·sin(w·F)): D·(n mul + n add) projection plus
+/// 2 trig + 1 mul per dimension, plus the sign binarization.
+[[nodiscard]] OpCount cost_encode_rff(std::size_t features, std::size_t dim);
+
+/// Factored Eq. 1 encoder: 2 trig per feature, one ±1 projection (n·D
+/// conditional adds), one fused axpy per dimension.
+[[nodiscard]] OpCount cost_encode_nonlinear(std::size_t features, std::size_t dim);
+
+/// Cosine similarity of a real query against one real cluster center, with
+/// the query norm amortized across the k clusters and cluster norms cached
+/// (both true in the implementation).
+[[nodiscard]] OpCount cost_cosine_real(std::size_t dim);
+
+/// Hamming similarity of packed vectors: W xor + W popcount + accumulate.
+[[nodiscard]] OpCount cost_hamming(std::size_t dim);
+
+/// Full-precision dot product (real · real).
+[[nodiscard]] OpCount cost_dot_real_real(std::size_t dim);
+
+/// Multiply-free dot of a real vector against a packed ±1 vector.
+[[nodiscard]] OpCount cost_dot_real_binary(std::size_t dim);
+
+/// Popcount dot of two packed vectors plus the calibration scale.
+[[nodiscard]] OpCount cost_dot_binary_binary(std::size_t dim);
+
+/// Softmax over k confidences.
+[[nodiscard]] OpCount cost_softmax(std::size_t models);
+
+/// One model/cluster accumulator update M += c·S with the sample at the
+/// given precision (real: fused multiply-add per dim; binary: ±c add).
+[[nodiscard]] OpCount cost_accumulator_update(std::size_t dim, Precision sample);
+
+/// Re-binarization of one accumulator (sign compare + packed write).
+[[nodiscard]] OpCount cost_binarize(std::size_t dim);
+
+// ---------------------------------------------------------------------------
+// RegHD composites
+// ---------------------------------------------------------------------------
+
+/// Static shape of a RegHD configuration for cost purposes.
+struct RegHDKernelShape {
+  std::size_t dim = 4096;
+  std::size_t models = 8;    ///< k
+  std::size_t features = 10; ///< n
+  bool quantized_cluster = false;  ///< Hamming search instead of cosine.
+  Precision query = Precision::kReal;
+  Precision model = Precision::kReal;
+  bool rff_encoder = true;  ///< false → factored Eq. 1 encoder.
+};
+
+/// Cost of encoding one input (both the real and packed forms are produced).
+[[nodiscard]] OpCount reghd_encode_sample(const RegHDKernelShape& shape);
+
+/// One inference: encode + k similarities + softmax + k prediction dots +
+/// weighted accumulation.
+[[nodiscard]] OpCount reghd_infer_sample(const RegHDKernelShape& shape);
+
+/// One training step: inference + error + k confidence-weighted model
+/// updates + argmax cluster update.
+[[nodiscard]] OpCount reghd_train_sample(const RegHDKernelShape& shape);
+
+/// One epoch over `samples` points, including the end-of-epoch
+/// re-binarization of quantized clusters/models when enabled.
+[[nodiscard]] OpCount reghd_train_epoch(const RegHDKernelShape& shape, std::size_t samples);
+
+/// Full training: `epochs` epochs over `samples` points.
+[[nodiscard]] OpCount reghd_train_total(const RegHDKernelShape& shape, std::size_t samples,
+                                        std::size_t epochs);
+
+// ---------------------------------------------------------------------------
+// Baseline composites
+// ---------------------------------------------------------------------------
+
+/// MLP shape: input → hidden… → 1 output, ReLU activations.
+struct MlpKernelShape {
+  std::size_t inputs = 10;
+  std::size_t hidden1 = 128;
+  std::size_t hidden2 = 64;
+};
+
+/// Forward pass of one sample.
+[[nodiscard]] OpCount mlp_infer_sample(const MlpKernelShape& shape);
+
+/// Forward + backward + SGD weight update for one sample (the standard
+/// ~3× forward-pass cost plus the parameter update traffic).
+[[nodiscard]] OpCount mlp_train_sample(const MlpKernelShape& shape);
+
+[[nodiscard]] OpCount mlp_train_total(const MlpKernelShape& shape, std::size_t samples,
+                                      std::size_t epochs);
+
+/// Baseline-HD (discretized HD classification regression, paper ref. [18]):
+/// encode + `bins` full-precision similarity searches.
+[[nodiscard]] OpCount baseline_hd_infer_sample(std::size_t features, std::size_t dim,
+                                               std::size_t bins);
+
+/// Baseline-HD training step: inference + two class-hypervector updates
+/// (subtract from wrong bin, add to right bin).
+[[nodiscard]] OpCount baseline_hd_train_sample(std::size_t features, std::size_t dim,
+                                               std::size_t bins);
+
+}  // namespace reghd::perf

@@ -1,0 +1,68 @@
+#include "perf/op_count.hpp"
+
+#include <sstream>
+
+namespace reghd::perf {
+
+OpCount& OpCount::operator+=(const OpCount& other) noexcept {
+  float_mul += other.float_mul;
+  float_add += other.float_add;
+  float_div += other.float_div;
+  float_trig += other.float_trig;
+  float_exp += other.float_exp;
+  float_sqrt += other.float_sqrt;
+  int_mul += other.int_mul;
+  int_add += other.int_add;
+  int_cmp += other.int_cmp;
+  xor_word += other.xor_word;
+  popcount_word += other.popcount_word;
+  mem_read_word += other.mem_read_word;
+  mem_write_word += other.mem_write_word;
+  return *this;
+}
+
+OpCount OpCount::operator+(const OpCount& other) const noexcept {
+  OpCount out = *this;
+  out += other;
+  return out;
+}
+
+OpCount& OpCount::operator*=(std::uint64_t times) noexcept {
+  float_mul *= times;
+  float_add *= times;
+  float_div *= times;
+  float_trig *= times;
+  float_exp *= times;
+  float_sqrt *= times;
+  int_mul *= times;
+  int_add *= times;
+  int_cmp *= times;
+  xor_word *= times;
+  popcount_word *= times;
+  mem_read_word *= times;
+  mem_write_word *= times;
+  return *this;
+}
+
+OpCount OpCount::operator*(std::uint64_t times) const noexcept {
+  OpCount out = *this;
+  out *= times;
+  return out;
+}
+
+std::uint64_t OpCount::total() const noexcept {
+  return float_mul + float_add + float_div + float_trig + float_exp + float_sqrt + int_mul +
+         int_add + int_cmp + xor_word + popcount_word + mem_read_word + mem_write_word;
+}
+
+std::string OpCount::to_string() const {
+  std::ostringstream oss;
+  oss << "fmul=" << float_mul << " fadd=" << float_add << " fdiv=" << float_div
+      << " ftrig=" << float_trig << " fexp=" << float_exp << " fsqrt=" << float_sqrt
+      << " imul=" << int_mul << " iadd=" << int_add << " icmp=" << int_cmp
+      << " xorw=" << xor_word << " popw=" << popcount_word << " rdw=" << mem_read_word
+      << " wrw=" << mem_write_word;
+  return oss.str();
+}
+
+}  // namespace reghd::perf

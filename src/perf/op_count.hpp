@@ -1,0 +1,58 @@
+// Operation accounting.
+//
+// The paper reports training/inference speedup and energy efficiency on a
+// Kintex-7 FPGA and a Raspberry Pi — hardware this reproduction replaces
+// with a deterministic op-level cost model (DESIGN.md §3). An OpCount is the
+// exact tally of primitive operations a kernel executes; device profiles
+// (device_profile.hpp) map tallies to time and energy. All of the paper's
+// efficiency claims are *ratios*, which op-count ratios under a fixed
+// profile reproduce faithfully: the mechanisms the paper credits
+// (eliminating cosine similarity, multiply-free dot products, popcount
+// Hamming search, linear scaling in k·D) are precisely changes in these
+// tallies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace reghd::perf {
+
+/// Tally of primitive operations. Word-granular entries count 64-bit words.
+struct OpCount {
+  // Floating-point (or wide fixed-point on FPGA) arithmetic.
+  std::uint64_t float_mul = 0;
+  std::uint64_t float_add = 0;
+  std::uint64_t float_div = 0;
+  std::uint64_t float_trig = 0;  ///< sin/cos evaluations (CORDIC on FPGA).
+  std::uint64_t float_exp = 0;   ///< exp evaluations (softmax, RBF).
+  std::uint64_t float_sqrt = 0;
+
+  // Narrow integer arithmetic.
+  std::uint64_t int_mul = 0;
+  std::uint64_t int_add = 0;
+  std::uint64_t int_cmp = 0;
+
+  // Bit-level word operations (64 dims per word).
+  std::uint64_t xor_word = 0;
+  std::uint64_t popcount_word = 0;
+
+  // Memory traffic in 64-bit words.
+  std::uint64_t mem_read_word = 0;
+  std::uint64_t mem_write_word = 0;
+
+  OpCount& operator+=(const OpCount& other) noexcept;
+  [[nodiscard]] OpCount operator+(const OpCount& other) const noexcept;
+
+  /// Scales every tally by a repetition count (samples, epochs, models).
+  OpCount& operator*=(std::uint64_t times) noexcept;
+  [[nodiscard]] OpCount operator*(std::uint64_t times) const noexcept;
+
+  /// Total primitive operations (unweighted; diagnostic only).
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const OpCount&) const = default;
+};
+
+}  // namespace reghd::perf

@@ -1,0 +1,139 @@
+#include "sim/accelerator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace reghd::sim {
+
+namespace {
+
+/// ⌈a/b⌉ for cycle math.
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+void AccelResources::validate() const {
+  REGHD_CHECK(clock_mhz > 0.0, "clock must be positive");
+  REGHD_CHECK(mac_units >= 1, "need at least one MAC unit");
+  REGHD_CHECK(add_lanes >= 1, "need at least one add lane");
+  REGHD_CHECK(popcount_bits >= 64, "popcount tree must cover at least one word");
+  REGHD_CHECK(xor_word_lanes >= 1, "need at least one XOR lane");
+  REGHD_CHECK(cordic_units >= 1, "need at least one CORDIC unit");
+  REGHD_CHECK(cordic_latency >= 1 && divider_latency >= 1, "latencies must be positive");
+}
+
+std::size_t StageCycles::initiation_interval() const noexcept {
+  return std::max({encode, search, confidence, predict, update, std::size_t{1}});
+}
+
+std::string StageCycles::bottleneck() const {
+  const std::size_t ii = initiation_interval();
+  if (encode == ii) {
+    return "encode";
+  }
+  if (search == ii) {
+    return "search";
+  }
+  if (confidence == ii) {
+    return "confidence";
+  }
+  if (predict == ii) {
+    return "predict";
+  }
+  return "update";
+}
+
+AcceleratorModel::AcceleratorModel(perf::RegHDKernelShape shape, AccelResources resources)
+    : shape_(shape), resources_(resources) {
+  resources_.validate();
+  REGHD_CHECK(shape_.dim >= 64, "accelerator model requires dim >= 64");
+  REGHD_CHECK(shape_.models >= 1, "accelerator model requires at least one model");
+  REGHD_CHECK(shape_.features >= 1, "accelerator model requires at least one feature");
+}
+
+StageCycles AcceleratorModel::sample_cycles(bool training) const {
+  const std::size_t d = shape_.dim;
+  const std::size_t k = shape_.models;
+  const std::size_t n = shape_.features;
+  const std::size_t words = ceil_div(d, 64);
+  const AccelResources& r = resources_;
+
+  StageCycles c;
+
+  // --- Encode ---------------------------------------------------------
+  if (shape_.rff_encoder) {
+    // D rows of an n-wide MAC each, on the DSP array, plus 2 CORDIC
+    // evaluations per dimension (cos & sin, pipelined II = 1 per unit).
+    c.encode = ceil_div(d * n, r.mac_units) +
+               r.cordic_latency + ceil_div(2 * d, r.cordic_units);
+  } else {
+    // Factored Eq. 1: 2n CORDIC calls, one ±1 broadcast-add pass per
+    // feature over the LUT adders, and a 2-MAC combine per dimension.
+    c.encode = r.cordic_latency + ceil_div(2 * n, r.cordic_units) +
+               ceil_div(n * d, r.add_lanes) + ceil_div(2 * d, r.mac_units);
+  }
+
+  // --- Similarity search ------------------------------------------------
+  if (shape_.quantized_cluster) {
+    // k Hamming searches: XOR word streams + the popcount reduction tree.
+    c.search = ceil_div(k * words, r.xor_word_lanes) + ceil_div(k * d, r.popcount_bits);
+  } else {
+    // k cosine similarities: k·D MACs + one division per cluster.
+    c.search = ceil_div(k * d, r.mac_units) + r.divider_latency + k;
+  }
+
+  // --- Confidence (softmax over k) --------------------------------------
+  c.confidence = r.cordic_latency + ceil_div(k, r.cordic_units) + r.divider_latency + k;
+
+  // --- Predict -----------------------------------------------------------
+  if (shape_.query == perf::Precision::kBinary && shape_.model == perf::Precision::kBinary) {
+    c.predict = ceil_div(k * words, r.xor_word_lanes) + ceil_div(k * d, r.popcount_bits);
+  } else if (shape_.query == perf::Precision::kReal &&
+             shape_.model == perf::Precision::kReal) {
+    c.predict = ceil_div(k * d, r.mac_units);
+  } else {
+    // Multiply-free signed accumulation on the LUT adders.
+    c.predict = ceil_div(k * d, r.add_lanes);
+  }
+
+  // --- Update (training only) -------------------------------------------
+  if (training) {
+    const std::size_t model_updates =
+        shape_.query == perf::Precision::kReal
+            ? ceil_div(k * d, r.mac_units)   // α·err·Q_j fused MACs
+            : ceil_div(k * d, r.add_lanes);  // ±α·err adds
+    const std::size_t cluster_update =
+        shape_.query == perf::Precision::kReal ? ceil_div(d, r.mac_units)
+                                               : ceil_div(d, r.add_lanes);
+    c.update = model_updates + cluster_update;
+  }
+  return c;
+}
+
+StageCycles AcceleratorModel::train_sample_cycles() const { return sample_cycles(true); }
+
+StageCycles AcceleratorModel::infer_sample_cycles() const { return sample_cycles(false); }
+
+double AcceleratorModel::throughput_samples_per_sec(bool training) const {
+  const StageCycles c = sample_cycles(training);
+  const double cycles_per_sample = static_cast<double>(c.initiation_interval());
+  return resources_.clock_mhz * 1e6 / cycles_per_sample;
+}
+
+double AcceleratorModel::latency_us(bool training) const {
+  const StageCycles c = sample_cycles(training);
+  return static_cast<double>(c.total()) / resources_.clock_mhz;
+}
+
+double AcceleratorModel::training_time_ms(std::size_t samples, std::size_t epochs) const {
+  const StageCycles c = train_sample_cycles();
+  // Pipelined: II per sample plus one pipeline fill per epoch.
+  const double cycles =
+      static_cast<double>(epochs) *
+      (static_cast<double>(samples) * static_cast<double>(c.initiation_interval()) +
+       static_cast<double>(c.total()));
+  return cycles / (resources_.clock_mhz * 1e3);
+}
+
+}  // namespace reghd::sim

@@ -1,0 +1,95 @@
+// Cycle-approximate model of the RegHD FPGA datapath (§4.1: Verilog on a
+// Kintex-7 KC705).
+//
+// Where perf/kernel_costs counts primitive operations and prices them
+// per-op, this model reflects how the paper's accelerator actually executes
+// them: fixed hardware resources (MAC units on DSP slices, wide LUT adder
+// trees, a popcount reduction tree, a few CORDIC units for
+// transcendentals), with each pipeline *stage* consuming ⌈work/lanes⌉
+// cycles. A sample flows through five stages —
+//
+//   encode → similarity search → confidence → predict → update (training)
+//
+// — and the accelerator pipelines consecutive samples, so sustained
+// throughput is set by the slowest stage (the initiation interval) while
+// single-sample latency is the sum. This exposes the design trade-offs the
+// paper exploits: quantized clustering turns the DSP-bound search stage
+// into a popcount-tree pass, and binary queries empty the MAC array out of
+// the predict/update stages.
+//
+// The model is deliberately stage-granular rather than RTL-exact: it
+// answers "which stage is the bottleneck, and by what factor do the §3
+// optimizations relieve it", which is what the paper's Figs. 8–9 measure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "perf/kernel_costs.hpp"  // RegHDKernelShape, Precision
+
+namespace reghd::sim {
+
+/// Hardware resource budget of the accelerator instance.
+struct AccelResources {
+  double clock_mhz = 200.0;
+
+  std::size_t mac_units = 128;        ///< DSP multiply-accumulates per cycle.
+  std::size_t add_lanes = 512;        ///< Narrow adds/compares per cycle (LUT fabric).
+  std::size_t popcount_bits = 2048;   ///< Bits reduced by the popcount tree per cycle.
+  std::size_t xor_word_lanes = 32;    ///< 64-bit XOR words per cycle.
+  std::size_t cordic_units = 4;       ///< Transcendental (sin/cos/exp) units.
+  std::size_t cordic_latency = 16;    ///< Cycles per CORDIC evaluation (pipelined II = 1).
+  std::size_t divider_latency = 24;   ///< Cycles for one division (II = 1 thereafter).
+
+  /// Validates the budget; throws std::invalid_argument on nonsense.
+  void validate() const;
+};
+
+/// Cycle counts of one sample's pass, per pipeline stage.
+struct StageCycles {
+  std::size_t encode = 0;
+  std::size_t search = 0;
+  std::size_t confidence = 0;
+  std::size_t predict = 0;
+  std::size_t update = 0;  ///< Zero during inference.
+
+  /// Single-sample latency (stages are sequential for one sample).
+  [[nodiscard]] std::size_t total() const noexcept {
+    return encode + search + confidence + predict + update;
+  }
+
+  /// Initiation interval of the pipelined datapath: the slowest stage.
+  [[nodiscard]] std::size_t initiation_interval() const noexcept;
+
+  /// Name of the bottleneck stage.
+  [[nodiscard]] std::string bottleneck() const;
+};
+
+/// The datapath model: shape × resources → cycles/throughput/latency.
+class AcceleratorModel {
+ public:
+  AcceleratorModel(perf::RegHDKernelShape shape, AccelResources resources);
+
+  [[nodiscard]] StageCycles train_sample_cycles() const;
+  [[nodiscard]] StageCycles infer_sample_cycles() const;
+
+  /// Sustained pipelined throughput in samples/second.
+  [[nodiscard]] double throughput_samples_per_sec(bool training) const;
+
+  /// Single-sample latency in microseconds.
+  [[nodiscard]] double latency_us(bool training) const;
+
+  /// End-to-end training time for `samples`·`epochs` pipelined passes, ms.
+  [[nodiscard]] double training_time_ms(std::size_t samples, std::size_t epochs) const;
+
+  [[nodiscard]] const perf::RegHDKernelShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] const AccelResources& resources() const noexcept { return resources_; }
+
+ private:
+  [[nodiscard]] StageCycles sample_cycles(bool training) const;
+
+  perf::RegHDKernelShape shape_;
+  AccelResources resources_;
+};
+
+}  // namespace reghd::sim

@@ -1,0 +1,63 @@
+// Lightweight precondition checking for the RegHD library.
+//
+// Library entry points validate their arguments with REGHD_CHECK and throw
+// std::invalid_argument on violation; internal invariants use
+// REGHD_INTERNAL_CHECK and throw std::logic_error. Both carry the failing
+// expression and source location so that a violation is diagnosable from the
+// exception message alone.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace reghd::util {
+
+/// Builds the exception message for a failed check.
+[[nodiscard]] inline std::string check_message(const char* expr, const char* file, int line,
+                                               const std::string& detail) {
+  std::ostringstream oss;
+  oss << "check failed: (" << expr << ") at " << file << ':' << line;
+  if (!detail.empty()) {
+    oss << " — " << detail;
+  }
+  return oss.str();
+}
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
+                                                const std::string& detail) {
+  throw std::invalid_argument(check_message(expr, file, line, detail));
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file, int line,
+                                           const std::string& detail) {
+  throw std::logic_error(check_message(expr, file, line, detail));
+}
+
+}  // namespace reghd::util
+
+/// Validates a user-facing precondition; throws std::invalid_argument on failure.
+#define REGHD_CHECK(expr, detail)                                                      \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      ::reghd::util::throw_invalid_argument(#expr, __FILE__, __LINE__,                 \
+                                            [&] {                                      \
+                                              std::ostringstream reghd_oss_;           \
+                                              reghd_oss_ << detail;                    \
+                                              return reghd_oss_.str();                 \
+                                            }());                                      \
+    }                                                                                  \
+  } while (false)
+
+/// Validates an internal invariant; throws std::logic_error on failure.
+#define REGHD_INTERNAL_CHECK(expr, detail)                                             \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      ::reghd::util::throw_logic_error(#expr, __FILE__, __LINE__,                      \
+                                       [&] {                                           \
+                                         std::ostringstream reghd_oss_;                \
+                                         reghd_oss_ << detail;                         \
+                                         return reghd_oss_.str();                      \
+                                       }());                                           \
+    }                                                                                  \
+  } while (false)

@@ -1,0 +1,146 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace reghd::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  REGHD_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  REGHD_CHECK(a.cols() == x.size(),
+              "matvec: matrix has " << a.cols() << " columns, vector has " << x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      acc += a(r, c) * x[c];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = i; j < a.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) {
+        acc += a(r, i) * a(r, j);
+      }
+      g(i, j) = acc;
+      g(j, i) = acc;
+    }
+  }
+  return g;
+}
+
+std::vector<double> at_b(const Matrix& a, std::span<const double> b) {
+  REGHD_CHECK(a.rows() == b.size(),
+              "at_b: matrix has " << a.rows() << " rows, vector has " << b.size());
+  std::vector<double> v(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      v[c] += a(r, c) * b[r];
+    }
+  }
+  return v;
+}
+
+std::vector<double> cholesky_solve(const Matrix& s, std::span<const double> b) {
+  REGHD_CHECK(s.rows() == s.cols(), "cholesky_solve requires a square matrix");
+  REGHD_CHECK(s.rows() == b.size(), "cholesky_solve: dimension mismatch");
+  const std::size_t n = s.rows();
+
+  // Lower-triangular factor L with S = L·Lᵀ.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = s(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        acc -= l(i, k) * l(j, k);
+      }
+      if (i == j) {
+        if (acc <= 0.0) {
+          throw std::runtime_error("cholesky_solve: matrix is not positive definite");
+        }
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+
+  // Forward substitution: L·y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= l(i, k) * y[k];
+    }
+    y[i] = acc / l(i, i);
+  }
+
+  // Back substitution: Lᵀ·x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= l(k, ii) * x[k];
+    }
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> ridge_solve(const Matrix& a, std::span<const double> b, double lambda) {
+  REGHD_CHECK(lambda >= 0.0, "ridge lambda must be non-negative, got " << lambda);
+  Matrix g = gram(a);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    g(i, i) += lambda;
+  }
+  const std::vector<double> rhs = at_b(a, b);
+  return cholesky_solve(g, rhs);
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  REGHD_CHECK(x.size() == y.size(), "fit_line requires equal-length ranges");
+  REGHD_CHECK(!x.empty(), "fit_line of empty ranges");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom <= 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  return fit;
+}
+
+}  // namespace reghd::util

@@ -1,0 +1,67 @@
+// Small dense linear algebra: just enough for the closed-form ridge
+// regression baseline (normal equations via Cholesky) and the binary-model
+// calibration fits. Not a general matrix library — matrices here are tiny
+// (n_features × n_features), so clarity beats blocking.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace reghd::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A·x. Dimension mismatches throw.
+[[nodiscard]] std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// C = Aᵀ·A (Gram matrix), the normal-equations left side.
+[[nodiscard]] Matrix gram(const Matrix& a);
+
+/// v = Aᵀ·b, the normal-equations right side.
+[[nodiscard]] std::vector<double> at_b(const Matrix& a, std::span<const double> b);
+
+/// Solves S·x = b for symmetric positive-definite S via Cholesky
+/// factorization. Throws std::runtime_error if S is not positive definite.
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& s, std::span<const double> b);
+
+/// Ordinary least squares with L2 (ridge) regularization:
+/// argmin ‖A·x − b‖² + λ‖x‖². λ = 0 gives plain OLS (A must then have full
+/// column rank).
+[[nodiscard]] std::vector<double> ridge_solve(const Matrix& a, std::span<const double> b,
+                                              double lambda);
+
+/// Simple 1-D least squares fit y ≈ slope·x + intercept; returns
+/// {slope, intercept}. Degenerate x (constant) yields slope 0.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+}  // namespace reghd::util

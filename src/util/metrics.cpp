@@ -1,0 +1,87 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace reghd::util {
+
+namespace {
+
+void check_shapes(std::span<const double> predictions, std::span<const double> targets) {
+  REGHD_CHECK(predictions.size() == targets.size(),
+              "prediction/target length mismatch: " << predictions.size() << " vs "
+                                                    << targets.size());
+  REGHD_CHECK(!predictions.empty(), "metrics require at least one sample");
+}
+
+}  // namespace
+
+double mse(std::span<const double> predictions, std::span<const double> targets) {
+  check_shapes(predictions, targets);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double e = predictions[i] - targets[i];
+    acc += e * e;
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double rmse(std::span<const double> predictions, std::span<const double> targets) {
+  return std::sqrt(mse(predictions, targets));
+}
+
+double mae(std::span<const double> predictions, std::span<const double> targets) {
+  check_shapes(predictions, targets);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    acc += std::abs(predictions[i] - targets[i]);
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double r2(std::span<const double> predictions, std::span<const double> targets) {
+  check_shapes(predictions, targets);
+  double target_mean = 0.0;
+  for (const double t : targets) {
+    target_mean += t;
+  }
+  target_mean /= static_cast<double>(targets.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double e = targets[i] - predictions[i];
+    const double d = targets[i] - target_mean;
+    ss_res += e * e;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) {
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double quality_loss_percent(double mse_value, double reference_mse) {
+  REGHD_CHECK(reference_mse > 0.0, "reference MSE must be positive, got " << reference_mse);
+  return 100.0 * (mse_value - reference_mse) / reference_mse;
+}
+
+std::string RegressionMetrics::to_string() const {
+  std::ostringstream oss;
+  oss << "mse=" << mse << " rmse=" << rmse << " mae=" << mae << " r2=" << r2;
+  return oss.str();
+}
+
+RegressionMetrics evaluate_regression(std::span<const double> predictions,
+                                      std::span<const double> targets) {
+  RegressionMetrics m;
+  m.mse = mse(predictions, targets);
+  m.rmse = std::sqrt(m.mse);
+  m.mae = mae(predictions, targets);
+  m.r2 = r2(predictions, targets);
+  return m;
+}
+
+}  // namespace reghd::util

@@ -1,0 +1,47 @@
+// Regression quality metrics.
+//
+// The paper reports quality as test-set mean squared error (Table 1) and as
+// relative "quality loss" percentages (Table 2, Figs. 6–7). This module
+// provides both, plus the usual companions (RMSE, MAE, R²) used by the test
+// suite to sanity-check the learners.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reghd::util {
+
+/// Mean squared error between predictions and targets.
+[[nodiscard]] double mse(std::span<const double> predictions, std::span<const double> targets);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(std::span<const double> predictions, std::span<const double> targets);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> predictions, std::span<const double> targets);
+
+/// Coefficient of determination R². 1 is perfect; 0 matches predicting the
+/// mean; negative is worse than the mean predictor. Returns 0 when the
+/// targets are constant and predictions match them exactly, −infinity-free.
+[[nodiscard]] double r2(std::span<const double> predictions, std::span<const double> targets);
+
+/// Relative quality loss in percent: 100 · (mse − reference_mse) / reference_mse.
+/// This is the paper's Table 2 / Fig. 7 "quality loss" measure.
+[[nodiscard]] double quality_loss_percent(double mse_value, double reference_mse);
+
+/// Bundle of all metrics for one evaluation, plus a formatted summary.
+struct RegressionMetrics {
+  double mse = 0.0;
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes all metrics in one pass over the data.
+[[nodiscard]] RegressionMetrics evaluate_regression(std::span<const double> predictions,
+                                                    std::span<const double> targets);
+
+}  // namespace reghd::util

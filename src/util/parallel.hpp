@@ -1,0 +1,70 @@
+// Minimal data-parallel helper.
+//
+// Batch encoding dominates the wall-clock of training on a host CPU (one
+// RFF projection per sample); parallel_for spreads an index range across a
+// fixed thread count with deterministic work assignment — thread t handles
+// the contiguous block [t·⌈n/T⌉, (t+1)·⌈n/T⌉) — so results are independent
+// of scheduling and bit-identical to the serial run.
+//
+// The callable must be safe to invoke concurrently on distinct indices
+// (no shared mutable state beyond disjoint output slots).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace reghd::util {
+
+/// Invokes fn(i) for every i in [0, count), using up to `threads` workers
+/// (0 = hardware concurrency). Exceptions from workers are rethrown (the
+/// first one encountered, by block order) after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
+  if (count == 0) {
+    return;
+  }
+  std::size_t worker_count = threads != 0
+                                 ? threads
+                                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  worker_count = std::min(worker_count, count);
+
+  if (worker_count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  const std::size_t block = (count + worker_count - 1) / worker_count;
+  std::vector<std::exception_ptr> errors(worker_count);
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t t = 0; t < worker_count; ++t) {
+    workers.emplace_back([&, t] {
+      const std::size_t begin = t * block;
+      const std::size_t end = std::min(begin + block, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (const auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace reghd::util

@@ -1,0 +1,184 @@
+// Deterministic random number generation for RegHD.
+//
+// All randomness in the library flows through these generators so that every
+// experiment is bit-reproducible from an explicit 64-bit seed. Two engines
+// are provided:
+//
+//  * SplitMix64 — a tiny, fast, statistically solid stream generator used for
+//    seeding and for simple draws.
+//  * Xoshiro256ss — the workhorse generator (xoshiro256**), used wherever a
+//    long period and good equidistribution matter (base hypervectors,
+//    dataset synthesis).
+//
+// On top of the engines, Rng offers the distributions RegHD needs: uniform
+// reals/integers, standard normals (Box–Muller with caching), Bernoulli,
+// Rademacher (±1), and random phase draws.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace reghd::util {
+
+/// SplitMix64: Steele, Lea & Flood's 64-bit mix generator. Primarily used to
+/// expand one user seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: Blackman & Vigna's all-purpose 64-bit generator.
+/// Period 2^256 − 1; passes BigCrush.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from one seed via SplitMix64, as
+  /// the xoshiro authors recommend.
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.next();
+    }
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Distribution front-end over Xoshiro256ss. Cheap to copy; copies diverge
+/// independently from the copied state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : engine_(seed) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() noexcept { return engine_.next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    // 53 high-quality mantissa bits → [0,1) with full double resolution.
+    return static_cast<double>(engine_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    REGHD_CHECK(n > 0, "uniform_index requires a non-empty range");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = engine_.next();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    REGHD_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+  }
+
+  /// Standard normal via Box–Muller; caches the second variate.
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    // Guard against log(0); uniform() can return exactly 0.
+    while (u1 <= 0.0) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_ = radius * std::sin(angle);
+    has_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Rademacher draw: ±1 with equal probability.
+  int rademacher() noexcept { return (engine_.next() & 1ULL) ? 1 : -1; }
+
+  /// Uniform phase in [0, 2π).
+  double phase() noexcept { return uniform(0.0, 2.0 * std::numbers::pi); }
+
+  /// Derives an independent child generator; successive calls yield distinct
+  /// streams. Used to give each subsystem (encoder, clusters, dataset) its
+  /// own stream from one experiment seed.
+  Rng split() noexcept { return Rng(engine_.next() ^ 0x5851f42d4c957f2dULL); }
+
+  /// Fisher–Yates shuffle of an indexable container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = c.size();
+    if (n < 2) {
+      return;
+    }
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(uniform_index(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  Xoshiro256ss engine_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace reghd::util

@@ -1,0 +1,119 @@
+// Minimal binary serialization for model persistence.
+//
+// Format: little-endian fixed-width scalars, length-prefixed containers, and
+// a magic/version header written by the model classes. Only trivially
+// copyable scalar types go through the raw paths; everything else composes
+// from them. Readers validate stream state and fail with std::runtime_error
+// rather than silently truncating.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace reghd::util {
+
+namespace detail {
+
+inline void require_good(std::istream& in, const char* what) {
+  if (!in.good()) {
+    throw std::runtime_error(std::string("serialization: truncated or corrupt stream while reading ") +
+                             what);
+  }
+}
+
+}  // namespace detail
+
+/// Writes one scalar value.
+template <typename T>
+  requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+void write_scalar(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Reads one scalar value.
+template <typename T>
+  requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+[[nodiscard]] T read_scalar(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  detail::require_good(in, "scalar");
+  return value;
+}
+
+/// Writes a vector of scalars with a 64-bit length prefix.
+template <typename T>
+  requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+void write_vector(std::ostream& out, std::span<const T> values) {
+  write_scalar<std::uint64_t>(out, values.size());
+  if (!values.empty()) {
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+}
+
+/// Reads a length-prefixed vector of scalars. Lengths above 2 GiB of
+/// payload are rejected up front — a corrupted prefix must fail cleanly
+/// instead of attempting a giant allocation.
+template <typename T>
+  requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
+[[nodiscard]] std::vector<T> read_vector(std::istream& in) {
+  const auto n = read_scalar<std::uint64_t>(in);
+  constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 28;  // 256 MiB
+  if (n * sizeof(T) > kMaxPayloadBytes) {
+    throw std::runtime_error("serialization: vector length " + std::to_string(n) +
+                             " exceeds the sanity bound — corrupt stream");
+  }
+  std::vector<T> values(n);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    detail::require_good(in, "vector payload");
+  }
+  return values;
+}
+
+/// Writes a length-prefixed UTF-8 string.
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_scalar<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Reads a length-prefixed string.
+[[nodiscard]] inline std::string read_string(std::istream& in) {
+  const auto n = read_scalar<std::uint64_t>(in);
+  std::string s(n, '\0');
+  if (n > 0) {
+    in.read(s.data(), static_cast<std::streamsize>(n));
+    detail::require_good(in, "string payload");
+  }
+  return s;
+}
+
+/// Writes a 4-byte magic tag + version; read side validates both.
+inline void write_header(std::ostream& out, std::uint32_t magic, std::uint32_t version) {
+  write_scalar(out, magic);
+  write_scalar(out, version);
+}
+
+/// Validates magic and returns the stored version if it is ≤ max_version.
+inline std::uint32_t read_header(std::istream& in, std::uint32_t magic,
+                                 std::uint32_t max_version) {
+  const auto got_magic = read_scalar<std::uint32_t>(in);
+  if (got_magic != magic) {
+    throw std::runtime_error("serialization: bad magic tag — not a RegHD model file");
+  }
+  const auto version = read_scalar<std::uint32_t>(in);
+  if (version == 0 || version > max_version) {
+    throw std::runtime_error("serialization: unsupported format version " +
+                             std::to_string(version));
+  }
+  return version;
+}
+
+}  // namespace reghd::util

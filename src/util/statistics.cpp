@@ -1,0 +1,191 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace reghd::util {
+
+double mean(std::span<const double> values) {
+  REGHD_CHECK(!values.empty(), "mean of empty range");
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  REGHD_CHECK(values.size() >= 2, "variance requires at least two values");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double quantile(std::span<const double> values, double q) {
+  REGHD_CHECK(!values.empty(), "quantile of empty range");
+  REGHD_CHECK(q >= 0.0 && q <= 1.0, "quantile fraction must lie in [0,1], got " << q);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  REGHD_CHECK(a.size() == b.size(), "pearson requires equal-length ranges, got "
+                                        << a.size() << " vs " << b.size());
+  REGHD_CHECK(a.size() >= 2, "pearson requires at least two samples");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+double min_value(std::span<const double> values) {
+  REGHD_CHECK(!values.empty(), "min of empty range");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  REGHD_CHECK(!values.empty(), "max of empty range");
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<double> softmax(std::span<const double> logits, double temperature) {
+  std::vector<double> out(logits.begin(), logits.end());
+  softmax_inplace(out, temperature);
+  return out;
+}
+
+void softmax_inplace(std::span<double> logits, double temperature) {
+  REGHD_CHECK(!logits.empty(), "softmax of empty range");
+  REGHD_CHECK(temperature > 0.0, "softmax temperature must be positive, got " << temperature);
+  const double inv_t = 1.0 / temperature;
+  double max_logit = logits[0];
+  for (const double v : logits) {
+    max_logit = std::max(max_logit, v);
+  }
+  double sum = 0.0;
+  for (double& v : logits) {
+    v = std::exp((v - max_logit) * inv_t);
+    sum += v;
+  }
+  for (double& v : logits) {
+    v /= sum;
+  }
+}
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double normal_tail(double x) { return 0.5 * std::erfc(x / std::numbers::sqrt2); }
+
+double normal_quantile(double p) {
+  REGHD_CHECK(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got " << p);
+
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e / normal_pdf(x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace reghd::util

@@ -1,0 +1,82 @@
+// Scalar statistics used across RegHD: moments, quantiles, correlation,
+// softmax, and the standard normal distribution functions that back the
+// hypervector capacity model (paper Eq. 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace reghd::util {
+
+/// Arithmetic mean. Empty input is a precondition violation.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n−1 denominator). Requires at least two values.
+[[nodiscard]] double variance(std::span<const double> values);
+
+/// Unbiased sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Median (average of middle pair for even n).
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Minimum / maximum of a non-empty range.
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+/// Numerically-stable softmax: exponentials are shifted by the maximum
+/// logit. `temperature` divides the logits; smaller values sharpen the
+/// distribution (temperature → 0 approaches argmax one-hot).
+[[nodiscard]] std::vector<double> softmax(std::span<const double> logits,
+                                          double temperature = 1.0);
+
+/// In-place softmax variant to avoid allocation on hot paths.
+void softmax_inplace(std::span<double> logits, double temperature = 1.0);
+
+/// Standard normal probability density function.
+[[nodiscard]] double normal_pdf(double x);
+
+/// Standard normal cumulative distribution function Φ(x).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Upper tail Q(x) = 1 − Φ(x) = (1/√2π) ∫ₓ^∞ e^(−t²/2) dt — the integral in
+/// the paper's Eq. 4 false-positive model.
+[[nodiscard]] double normal_tail(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |error| < 1e-9 over (0, 1)).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Streaming mean/variance accumulator (Welford). Suitable for one-pass
+/// dataset standardization and convergence tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace reghd::util

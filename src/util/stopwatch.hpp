@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for the benchmark harness and trainer telemetry.
+#pragma once
+
+#include <chrono>
+
+namespace reghd::util {
+
+/// Monotonic stopwatch. Starts on construction; restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_milliseconds() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+  [[nodiscard]] double elapsed_microseconds() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace reghd::util

@@ -1,0 +1,133 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace reghd::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  REGHD_CHECK(!header_.empty(), "table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  REGHD_CHECK(row.size() == header_.size(), "row width " << row.size()
+                                                         << " does not match header width "
+                                                         << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell(double value, int precision) {
+  std::ostringstream oss;
+  if (std::abs(value) >= 1e6 || (value != 0.0 && std::abs(value) < 1e-3)) {
+    oss << std::scientific << std::setprecision(precision) << value;
+  } else {
+    oss << std::fixed << std::setprecision(precision) << value;
+  }
+  return oss.str();
+}
+
+std::string Table::cell_ratio(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value << 'x';
+  return oss.str();
+}
+
+std::string Table::cell_percent(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value << '%';
+  return oss.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    oss << '\n';
+  };
+
+  emit_row(header_);
+  oss << '|';
+  for (const std::size_t w : widths) {
+    oss << std::string(w + 2, '-') << '|';
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_string();
+}
+
+SeriesChart::SeriesChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void SeriesChart::add_series(std::string name,
+                             std::vector<std::pair<std::string, double>> points) {
+  REGHD_CHECK(!points.empty(), "series '" << name << "' has no points");
+  series_.push_back({std::move(name), std::move(points)});
+}
+
+std::string SeriesChart::to_string() const {
+  std::ostringstream oss;
+  oss << title_ << "  [x: " << x_label_ << ", y: " << y_label_ << "]\n";
+
+  double max_abs = 0.0;
+  std::size_t label_width = 0;
+  std::size_t name_width = 0;
+  for (const auto& s : series_) {
+    name_width = std::max(name_width, s.name.size());
+    for (const auto& [label, value] : s.points) {
+      max_abs = std::max(max_abs, std::abs(value));
+      label_width = std::max(label_width, label.size());
+    }
+  }
+  constexpr int kBarWidth = 40;
+
+  for (const auto& s : series_) {
+    oss << "  series: " << s.name << '\n';
+    for (const auto& [label, value] : s.points) {
+      const int bar =
+          max_abs > 0.0
+              ? static_cast<int>(std::lround(std::abs(value) / max_abs * kBarWidth))
+              : 0;
+      oss << "    " << std::left << std::setw(static_cast<int>(label_width)) << label << "  "
+          << std::right << std::setw(12) << Table::cell(value) << "  "
+          << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+    }
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const SeriesChart& chart) {
+  return os << chart.to_string();
+}
+
+std::string section_banner(const std::string& title) {
+  const std::string bar(std::max<std::size_t>(title.size() + 8, 60), '=');
+  std::ostringstream oss;
+  oss << '\n' << bar << '\n' << "==  " << title << '\n' << bar << '\n';
+  return oss.str();
+}
+
+}  // namespace reghd::util

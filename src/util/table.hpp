@@ -1,0 +1,73 @@
+// Plain-text report rendering for the benchmark harness.
+//
+// Every paper table is printed as an aligned ASCII table and every figure as
+// a labelled series block (optionally with a unicode bar/line sketch), so
+// that `bench_output.txt` is directly comparable with the paper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reghd::util {
+
+/// Column-aligned ASCII table. Cells are strings; use cell(double) for
+/// consistent numeric formatting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` significant decimal digits.
+  [[nodiscard]] static std::string cell(double value, int precision = 4);
+
+  /// Formats as a multiplier, e.g. "5.60x".
+  [[nodiscard]] static std::string cell_ratio(double value, int precision = 2);
+
+  /// Formats as a percentage, e.g. "0.3%".
+  [[nodiscard]] static std::string cell_percent(double value, int precision = 1);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named data series for "figure" reproduction: prints values and a
+/// proportional unicode bar per point so trends are visible in a terminal.
+class SeriesChart {
+ public:
+  SeriesChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a series of (x label, y value) points.
+  void add_series(std::string name, std::vector<std::pair<std::string, double>> points);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const SeriesChart& chart);
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<std::string, double>> points;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+/// Prints a section banner used between experiments in bench output.
+[[nodiscard]] std::string section_banner(const std::string& title);
+
+}  // namespace reghd::util

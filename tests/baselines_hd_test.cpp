@@ -1,0 +1,126 @@
+// Tests for the Baseline-HD comparator: regression emulated with HD
+// classification over discretized output bins (paper ref. [18]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baseline_hd.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+namespace {
+
+BaselineHdConfig small_config(std::size_t bins = 16) {
+  BaselineHdConfig cfg;
+  cfg.dim = 1024;
+  cfg.bins = bins;
+  cfg.epochs = 10;
+  return cfg;
+}
+
+TEST(BaselineHdTest, BinMappingCoversTrainingRangeUniformly) {
+  data::Dataset d;
+  for (int i = 0; i <= 100; ++i) {
+    const double f[] = {static_cast<double>(i)};
+    d.add_sample(f, static_cast<double>(i));  // targets 0..100
+  }
+  BaselineHd model(small_config(10));
+  model.fit(d);
+  EXPECT_EQ(model.bin_of(0.0), 0u);
+  EXPECT_EQ(model.bin_of(100.0), 9u);
+  EXPECT_EQ(model.bin_of(55.0), 5u);
+  // Out-of-range targets clamp.
+  EXPECT_EQ(model.bin_of(-10.0), 0u);
+  EXPECT_EQ(model.bin_of(1000.0), 9u);
+  // Centers are midpoints.
+  EXPECT_NEAR(model.bin_center(0), 5.0, 1e-9);
+  EXPECT_NEAR(model.bin_center(9), 95.0, 1e-9);
+}
+
+TEST(BaselineHdTest, PredictionsAreAlwaysBinCenters) {
+  const data::Dataset d = data::make_sine_task(400, 3);
+  BaselineHd model(small_config(8));
+  model.fit(d);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double p = model.predict(d.row(i));
+    bool is_center = false;
+    for (std::size_t b = 0; b < model.num_bins(); ++b) {
+      if (std::abs(p - model.bin_center(b)) < 1e-9) {
+        is_center = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_center) << "prediction " << p << " is not a bin center";
+  }
+}
+
+TEST(BaselineHdTest, LearnsCoarseStructureOfSine) {
+  const data::Dataset d = data::make_sine_task(800, 5, 0.02);
+  util::Rng rng(5);
+  const data::TrainTestSplit split = data::train_test_split(d, 0.25, rng);
+  BaselineHd model(small_config(16));
+  model.fit(split.train);
+  const std::vector<double> pred = model.predict_batch(split.test);
+  const double mse = util::mse(pred, split.test.targets());
+  // Target variance ≈ 0.9: Baseline-HD must beat the mean predictor...
+  EXPECT_LT(mse, 0.6);
+  // ...but cannot beat its own discretization floor (bin width² / 12).
+  const double width = (model.bin_center(1) - model.bin_center(0));
+  EXPECT_GT(mse, width * width / 12.0 * 0.5);
+}
+
+TEST(BaselineHdTest, MoreBinsReduceDiscretizationError) {
+  const data::Dataset d = data::make_sine_task(800, 7, 0.02);
+  util::Rng rng(7);
+  const data::TrainTestSplit split = data::train_test_split(d, 0.25, rng);
+  BaselineHd coarse(small_config(4));
+  BaselineHd fine(small_config(32));
+  coarse.fit(split.train);
+  fine.fit(split.train);
+  const double mse_coarse =
+      util::mse(coarse.predict_batch(split.test), split.test.targets());
+  const double mse_fine = util::mse(fine.predict_batch(split.test), split.test.targets());
+  EXPECT_LT(mse_fine, mse_coarse);
+}
+
+TEST(BaselineHdTest, ConstantTargetHandled) {
+  data::Dataset d;
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const double f[] = {rng.normal()};
+    d.add_sample(f, 42.0);
+  }
+  BaselineHd model(small_config(8));
+  model.fit(d);
+  const double x[] = {0.0};
+  EXPECT_NEAR(model.predict(x), 42.0, 1.0);
+}
+
+TEST(BaselineHdTest, DeterministicForFixedSeed) {
+  const data::Dataset d = data::make_sine_task(300, 11);
+  BaselineHd m1(small_config());
+  BaselineHd m2(small_config());
+  m1.fit(d);
+  m2.fit(d);
+  EXPECT_DOUBLE_EQ(m1.predict(d.row(0)), m2.predict(d.row(0)));
+}
+
+TEST(BaselineHdTest, ConfigValidationAndMisuse) {
+  BaselineHdConfig cfg;
+  cfg.bins = 1;
+  EXPECT_THROW(BaselineHd{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.dim = 8;
+  EXPECT_THROW(BaselineHd{cfg}, std::invalid_argument);
+
+  BaselineHd model(small_config());
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)model.bin_center(99), std::invalid_argument);
+}
+
+TEST(BaselineHdTest, NameIsStable) { EXPECT_EQ(BaselineHd().name(), "Baseline-HD"); }
+
+}  // namespace
+}  // namespace reghd::baselines

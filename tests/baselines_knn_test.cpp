@@ -1,0 +1,117 @@
+// Tests for the kNN regression baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/knn.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+namespace {
+
+TEST(KnnTest, OneNearestNeighbourMemorizesTrainingSet) {
+  data::Dataset d;
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double f[] = {rng.normal(), rng.normal()};
+    d.add_sample(f, rng.normal(0.0, 5.0));
+  }
+  KnnConfig cfg;
+  cfg.k = 1;
+  KnnRegressor knn(cfg);
+  knn.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(knn.predict(d.row(i)), d.target(i), 1e-9);
+  }
+}
+
+TEST(KnnTest, LearnsSmoothFunction) {
+  const data::Dataset d = data::make_sine_task(1000, 3, 0.02);
+  util::Rng rng(3);
+  const data::TrainTestSplit split = data::train_test_split(d, 0.25, rng);
+  KnnRegressor knn;
+  knn.fit(split.train);
+  const std::vector<double> pred = knn.predict_batch(split.test);
+  EXPECT_LT(util::mse(pred, split.test.targets()), 0.05);  // variance ≈ 0.9
+}
+
+TEST(KnnTest, LargerKSmoothsNoise) {
+  // On noisy data with a constant mean, k=25 averages noise much better
+  // than k=1.
+  util::Rng rng(5);
+  data::Dataset train;
+  data::Dataset test;
+  for (int i = 0; i < 1200; ++i) {
+    const double f[] = {rng.uniform(), rng.uniform()};
+    (i < 1000 ? train : test).add_sample(f, 3.0 + rng.normal(0.0, 1.0));
+  }
+  KnnConfig k1;
+  k1.k = 1;
+  KnnConfig k25;
+  k25.k = 25;
+  KnnRegressor sharp(k1);
+  KnnRegressor smooth(k25);
+  sharp.fit(train);
+  smooth.fit(train);
+  const double mse_sharp = util::mse(sharp.predict_batch(test), test.targets());
+  const double mse_smooth = util::mse(smooth.predict_batch(test), test.targets());
+  // Theory: k=1 doubles the noise variance (≈2.0), k=25 approaches it
+  // (≈1.04 for uniform weights; distance weighting is slightly above).
+  EXPECT_LT(mse_smooth, 0.65 * mse_sharp);
+}
+
+TEST(KnnTest, DistanceWeightingFavoursCloserNeighbours) {
+  data::Dataset d;
+  // Two training points; the query sits near the first.
+  const double a[] = {0.0};
+  const double b[] = {10.0};
+  d.add_sample(a, 1.0);
+  d.add_sample(b, 9.0);
+  KnnConfig weighted_cfg;
+  weighted_cfg.k = 2;
+  weighted_cfg.distance_weighted = true;
+  KnnConfig uniform_cfg;
+  uniform_cfg.k = 2;
+  uniform_cfg.distance_weighted = false;
+  KnnRegressor weighted(weighted_cfg);
+  KnnRegressor uniform(uniform_cfg);
+  weighted.fit(d);
+  uniform.fit(d);
+  const double q[] = {1.0};
+  EXPECT_DOUBLE_EQ(uniform.predict(q), 5.0);
+  EXPECT_LT(weighted.predict(q), 4.0);  // pulled toward the near neighbour
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamps) {
+  data::Dataset d;
+  const double f[] = {0.0};
+  d.add_sample(f, 2.0);
+  d.add_sample(f, 4.0);
+  KnnConfig cfg;
+  cfg.k = 100;
+  cfg.distance_weighted = false;
+  KnnRegressor knn(cfg);
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(f), 3.0);
+}
+
+TEST(KnnTest, ErrorsOnMisuse) {
+  KnnConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(KnnRegressor{cfg}, std::invalid_argument);
+  KnnRegressor knn;
+  EXPECT_THROW((void)knn.predict(std::vector<double>{1.0}), std::invalid_argument);
+  data::Dataset empty;
+  EXPECT_THROW(knn.fit(empty), std::invalid_argument);
+}
+
+TEST(KnnTest, NameAndSize) {
+  KnnRegressor knn;
+  EXPECT_EQ(knn.name(), "kNN");
+  const data::Dataset d = data::make_friedman1(100, 7);
+  knn.fit(d);
+  EXPECT_EQ(knn.training_size(), 100u);
+}
+
+}  // namespace
+}  // namespace reghd::baselines

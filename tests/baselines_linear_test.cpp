@@ -1,0 +1,105 @@
+// Tests for the linear regression baseline (closed-form ridge and SGD).
+#include <gtest/gtest.h>
+
+#include "baselines/linear.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+namespace {
+
+data::Dataset linear_dataset(std::size_t n, double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset d;
+  d.set_name("linear");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    const double x2 = rng.normal();
+    const double f[] = {x0, x1, x2};
+    d.add_sample(f, 3.0 * x0 - 2.0 * x1 + 0.5 * x2 + 10.0 + rng.normal(0.0, noise));
+  }
+  return d;
+}
+
+TEST(LinearRegressionTest, RecoversNoiselessLinearFunction) {
+  const data::Dataset d = linear_dataset(200, 0.0, 1);
+  LinearRegression model;
+  model.fit(d);
+  util::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const double x[] = {rng.normal(), rng.normal(), rng.normal()};
+    const double expected = 3.0 * x[0] - 2.0 * x[1] + 0.5 * x[2] + 10.0;
+    EXPECT_NEAR(model.predict(x), expected, 0.05);
+  }
+}
+
+TEST(LinearRegressionTest, RobustToLabelNoise) {
+  const data::Dataset train = linear_dataset(500, 1.0, 3);
+  const data::Dataset test = linear_dataset(200, 0.0, 4);
+  LinearRegression model;
+  model.fit(train);
+  const std::vector<double> pred = model.predict_batch(test);
+  EXPECT_LT(util::mse(pred, test.targets()), 0.1);  // noise averages out
+}
+
+TEST(LinearRegressionTest, SgdPathApproachesClosedForm) {
+  const data::Dataset d = linear_dataset(400, 0.1, 5);
+  LinearConfig sgd_cfg;
+  sgd_cfg.use_sgd = true;
+  sgd_cfg.epochs = 100;
+  sgd_cfg.learning_rate = 0.02;
+  LinearRegression sgd(sgd_cfg);
+  LinearRegression exact;
+  sgd.fit(d);
+  exact.fit(d);
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const double x[] = {rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(sgd.predict(x), exact.predict(x), 0.5);
+  }
+}
+
+TEST(LinearRegressionTest, HandlesCollinearFeaturesViaRidgeFloor) {
+  // Duplicate feature columns make plain OLS singular; the ridge floor must
+  // keep the solve well-posed.
+  util::Rng rng(7);
+  data::Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal();
+    const double f[] = {x, x};  // perfectly collinear
+    d.add_sample(f, 2.0 * x);
+  }
+  LinearConfig cfg;
+  cfg.l2 = 0.0;  // exercise the internal floor
+  LinearRegression model(cfg);
+  model.fit(d);
+  const double x[] = {1.0, 1.0};
+  EXPECT_NEAR(model.predict(x), 2.0, 0.1);
+}
+
+TEST(LinearRegressionTest, WeightsExposedAfterFit) {
+  const data::Dataset d = linear_dataset(100, 0.0, 9);
+  LinearRegression model;
+  model.fit(d);
+  EXPECT_EQ(model.weights().size(), 4u);  // 3 features + bias
+}
+
+TEST(LinearRegressionTest, ErrorsOnMisuse) {
+  LinearRegression model;
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0}), std::invalid_argument);
+  LinearConfig bad;
+  bad.l2 = -1.0;
+  EXPECT_THROW(LinearRegression{bad}, std::invalid_argument);
+  data::Dataset one;
+  const double f[] = {1.0};
+  one.add_sample(f, 1.0);
+  EXPECT_THROW(model.fit(one), std::invalid_argument);
+}
+
+TEST(LinearRegressionTest, NameIsStable) {
+  EXPECT_EQ(LinearRegression().name(), "LinearRegression");
+}
+
+}  // namespace
+}  // namespace reghd::baselines

@@ -1,0 +1,112 @@
+// Tests for the MLP ("DNN") baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/mlp.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+namespace {
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  // y = x₀² + sin(3x₁): impossible for a linear model, easy for a small MLP.
+  util::Rng rng(1);
+  data::Dataset train;
+  data::Dataset test;
+  for (int i = 0; i < 1500; ++i) {
+    const double x0 = rng.uniform(-2.0, 2.0);
+    const double x1 = rng.uniform(-2.0, 2.0);
+    const double f[] = {x0, x1};
+    const double y = x0 * x0 + std::sin(3.0 * x1);
+    (i < 1200 ? train : test).add_sample(f, y);
+  }
+  MlpConfig cfg;
+  cfg.hidden = {32, 16};
+  cfg.max_epochs = 150;
+  Mlp model(cfg);
+  model.fit(train);
+  const std::vector<double> pred = model.predict_batch(test);
+  const double mse = util::mse(pred, test.targets());
+  // Target variance is ≈ 2.3; the MLP must explain most of it.
+  EXPECT_LT(mse, 0.25);
+  EXPECT_GE(model.epochs_run(), 5u);
+}
+
+TEST(MlpTest, BeatsMeanPredictorOnFriedman) {
+  const data::Dataset d = data::make_friedman1(1000, 3);
+  util::Rng rng(3);
+  const data::TrainTestSplit split = data::train_test_split(d, 0.25, rng);
+  MlpConfig cfg;
+  cfg.hidden = {64, 32};
+  Mlp model(cfg);
+  model.fit(split.train);
+  const std::vector<double> pred = model.predict_batch(split.test);
+  EXPECT_LT(util::mse(pred, split.test.targets()), 10.0);  // mean predictor ≈ 25
+}
+
+TEST(MlpTest, DeterministicForFixedSeed) {
+  const data::Dataset d = data::make_friedman1(400, 5);
+  MlpConfig cfg;
+  cfg.hidden = {16};
+  cfg.max_epochs = 20;
+  Mlp m1(cfg);
+  Mlp m2(cfg);
+  m1.fit(d);
+  m2.fit(d);
+  EXPECT_DOUBLE_EQ(m1.predict(d.row(0)), m2.predict(d.row(0)));
+}
+
+TEST(MlpTest, ParameterCountMatchesTopology) {
+  const data::Dataset d = data::make_friedman1(200, 7);
+  MlpConfig cfg;
+  cfg.hidden = {20, 10};
+  cfg.max_epochs = 2;
+  Mlp model(cfg);
+  model.fit(d);
+  // (10·20+20) + (20·10+10) + (10·1+1) = 220 + 210 + 11.
+  EXPECT_EQ(model.parameter_count(), 441u);
+}
+
+TEST(MlpTest, EarlyStoppingBoundsEpochs) {
+  const data::Dataset d = data::make_friedman1(500, 9);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.max_epochs = 500;
+  cfg.patience = 3;
+  Mlp model(cfg);
+  model.fit(d);
+  EXPECT_LE(model.epochs_run(), 500u);
+  EXPECT_GE(model.epochs_run(), 4u);
+}
+
+TEST(MlpTest, ConfigValidation) {
+  MlpConfig cfg;
+  cfg.hidden = {};
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.hidden = {0};
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.momentum = 1.0;
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.learning_rate = -0.1;
+  EXPECT_THROW(Mlp{cfg}, std::invalid_argument);
+}
+
+TEST(MlpTest, ErrorsOnMisuse) {
+  Mlp model;
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0}), std::invalid_argument);
+  data::Dataset tiny;
+  const double f[] = {1.0};
+  tiny.add_sample(f, 1.0);
+  EXPECT_THROW(model.fit(tiny), std::invalid_argument);
+}
+
+TEST(MlpTest, NameIsDnn) { EXPECT_EQ(Mlp().name(), "DNN"); }
+
+}  // namespace
+}  // namespace reghd::baselines

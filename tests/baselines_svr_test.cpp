@@ -1,0 +1,128 @@
+// Tests for the support vector regression baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/svr.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+namespace {
+
+TEST(SvrTest, LinearKernelRecoversLine) {
+  util::Rng rng(1);
+  data::Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    const double f[] = {x0, x1};
+    d.add_sample(f, 2.0 * x0 - x1 + 3.0);
+  }
+  SvrConfig cfg;
+  cfg.kernel = SvrKernel::kLinear;
+  cfg.epochs = 120;
+  Svr model(cfg);
+  model.fit(d);
+  util::Rng probe(2);
+  for (int i = 0; i < 10; ++i) {
+    const double x[] = {probe.normal(), probe.normal()};
+    const double expected = 2.0 * x[0] - x[1] + 3.0;
+    // ε-insensitive loss tolerates a tube around the target.
+    EXPECT_NEAR(model.predict(x), expected, 0.5);
+  }
+}
+
+TEST(SvrTest, RbfKernelLearnsSine) {
+  util::Rng rng(3);
+  data::Dataset train;
+  data::Dataset test;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 3.0);
+    const double f[] = {x};
+    const double y = std::sin(2.0 * x);
+    (i < 800 ? train : test).add_sample(f, y);
+  }
+  SvrConfig cfg;
+  cfg.kernel = SvrKernel::kRbf;
+  cfg.rbf_features = 256;
+  cfg.gamma = 1.0;
+  cfg.epochs = 120;
+  Svr model(cfg);
+  model.fit(train);
+  const std::vector<double> pred = model.predict_batch(test);
+  EXPECT_LT(util::mse(pred, test.targets()), 0.1);  // target variance ≈ 0.5
+}
+
+TEST(SvrTest, RbfBeatsLinearOnNonlinearTask) {
+  util::Rng rng(5);
+  data::Dataset d;
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    const double f[] = {x};
+    d.add_sample(f, x * x);  // symmetric: useless for a linear model
+  }
+  SvrConfig lin_cfg;
+  lin_cfg.kernel = SvrKernel::kLinear;
+  SvrConfig rbf_cfg;
+  rbf_cfg.kernel = SvrKernel::kRbf;
+  rbf_cfg.gamma = 1.0;
+  Svr linear(lin_cfg);
+  Svr rbf(rbf_cfg);
+  linear.fit(d);
+  rbf.fit(d);
+  const std::vector<double> p_lin = linear.predict_batch(d);
+  const std::vector<double> p_rbf = rbf.predict_batch(d);
+  EXPECT_LT(util::mse(p_rbf, d.targets()), 0.5 * util::mse(p_lin, d.targets()));
+}
+
+TEST(SvrTest, DeterministicForFixedSeed) {
+  const data::Dataset d = data::make_friedman1(300, 7);
+  Svr m1;
+  Svr m2;
+  m1.fit(d);
+  m2.fit(d);
+  EXPECT_DOUBLE_EQ(m1.predict(d.row(0)), m2.predict(d.row(0)));
+}
+
+TEST(SvrTest, EpsilonTubeToleratesSmallNoise) {
+  // With a wide tube, a noisy constant signal should fit to ~the mean and
+  // not chase noise.
+  util::Rng rng(9);
+  data::Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double f[] = {rng.normal()};
+    d.add_sample(f, 5.0 + rng.normal(0.0, 0.05));
+  }
+  SvrConfig cfg;
+  cfg.kernel = SvrKernel::kLinear;
+  cfg.epsilon = 0.5;
+  Svr model(cfg);
+  model.fit(d);
+  const double x[] = {0.0};
+  EXPECT_NEAR(model.predict(x), 5.0, 0.5);
+}
+
+TEST(SvrTest, ConfigValidationAndMisuse) {
+  SvrConfig cfg;
+  cfg.epsilon = -0.1;
+  EXPECT_THROW(Svr{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.c = 0.0;
+  EXPECT_THROW(Svr{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.gamma = -0.5;
+  EXPECT_THROW(Svr{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.rbf_features = 0;
+  EXPECT_THROW(Svr{cfg}, std::invalid_argument);
+
+  Svr model;
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(SvrTest, NameIsStable) { EXPECT_EQ(Svr().name(), "SVR"); }
+
+}  // namespace
+}  // namespace reghd::baselines

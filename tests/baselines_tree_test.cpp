@@ -1,0 +1,135 @@
+// Tests for the CART regression tree baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/decision_tree.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::baselines {
+namespace {
+
+TEST(DecisionTreeTest, FitsAStepFunctionExactly) {
+  data::Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i) / 100.0;
+    const double f[] = {x};
+    d.add_sample(f, x < 0.5 ? 1.0 : 5.0);
+  }
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 2;
+  cfg.min_samples_leaf = 1;
+  cfg.min_samples_split = 2;
+  DecisionTree tree(cfg);
+  tree.fit(d);
+  const double lo[] = {0.2};
+  const double hi[] = {0.9};
+  EXPECT_DOUBLE_EQ(tree.predict(lo), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(hi), 5.0);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeafEarly) {
+  data::Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    const double f[] = {static_cast<double>(i)};
+    d.add_sample(f, 7.0);  // constant target ⇒ root is pure
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const double x[] = {25.0};
+  EXPECT_DOUBLE_EQ(tree.predict(x), 7.0);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  const data::Dataset d = data::make_friedman1(500, 1);
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  cfg.min_samples_leaf = 1;
+  DecisionTree tree(cfg);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTreeTest, RespectsMinSamplesLeaf) {
+  data::Dataset d;
+  util::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const double f[] = {rng.uniform()};
+    d.add_sample(f, rng.uniform());
+  }
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 20;
+  cfg.min_samples_leaf = 10;
+  cfg.min_samples_split = 20;
+  DecisionTree tree(cfg);
+  tree.fit(d);
+  // 40 samples with ≥10 per leaf bounds the leaf count at 4 (7 nodes).
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(DecisionTreeTest, DeeperTreesFitBetterOnTrain) {
+  const data::Dataset d = data::make_friedman1(600, 5);
+  DecisionTreeConfig shallow_cfg;
+  shallow_cfg.max_depth = 2;
+  DecisionTreeConfig deep_cfg;
+  deep_cfg.max_depth = 10;
+  deep_cfg.min_samples_leaf = 2;
+  deep_cfg.min_samples_split = 4;
+  DecisionTree shallow(shallow_cfg);
+  DecisionTree deep(deep_cfg);
+  shallow.fit(d);
+  deep.fit(d);
+  const std::vector<double> p_shallow = shallow.predict_batch(d);
+  const std::vector<double> p_deep = deep.predict_batch(d);
+  EXPECT_LT(util::mse(p_deep, d.targets()), util::mse(p_shallow, d.targets()));
+}
+
+TEST(DecisionTreeTest, GeneralizesOnFriedman) {
+  const data::Dataset d = data::make_friedman1(1200, 7);
+  util::Rng rng(7);
+  const data::TrainTestSplit split = data::train_test_split(d, 0.25, rng);
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 8;
+  cfg.min_samples_leaf = 4;
+  DecisionTree tree(cfg);
+  tree.fit(split.train);
+  const std::vector<double> pred = tree.predict_batch(split.test);
+  EXPECT_LT(util::mse(pred, split.test.targets()), 15.0);  // mean predictor ≈ 25
+}
+
+TEST(DecisionTreeTest, MinImpurityDecreaseStopsWeakSplits) {
+  util::Rng rng(9);
+  data::Dataset d;
+  for (int i = 0; i < 200; ++i) {
+    const double f[] = {rng.uniform()};
+    d.add_sample(f, rng.normal(0.0, 0.01));  // almost pure noise
+  }
+  DecisionTreeConfig cfg;
+  cfg.min_impurity_decrease = 1.0;  // huge threshold: no split is worth it
+  DecisionTree tree(cfg);
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTreeTest, ConfigValidationAndMisuse) {
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 0;
+  EXPECT_THROW(DecisionTree{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.min_samples_split = 1;
+  EXPECT_THROW(DecisionTree{cfg}, std::invalid_argument);
+
+  DecisionTree tree;
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}), std::invalid_argument);
+  data::Dataset empty;
+  EXPECT_THROW(tree.fit(empty), std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, NameIsStable) { EXPECT_EQ(DecisionTree().name(), "DecisionTree"); }
+
+}  // namespace
+}  // namespace reghd::baselines

@@ -1,0 +1,62 @@
+// Tests for the shared early-stopping rule.
+#include <gtest/gtest.h>
+
+#include "core/early_stopping.hpp"
+
+namespace reghd::core {
+namespace {
+
+TEST(EarlyStopperTest, StopsAfterPatienceWithoutImprovement) {
+  EarlyStopper stopper(1e-3, 3);
+  EXPECT_FALSE(stopper.update(1.0));   // establishes best
+  EXPECT_FALSE(stopper.update(1.0));   // stall 1
+  EXPECT_FALSE(stopper.update(1.0));   // stall 2
+  EXPECT_TRUE(stopper.update(1.0));    // stall 3 → stop
+}
+
+TEST(EarlyStopperTest, SufficientImprovementResetsPatience) {
+  EarlyStopper stopper(1e-3, 2);
+  EXPECT_FALSE(stopper.update(1.0));
+  EXPECT_FALSE(stopper.update(1.0));        // stall 1
+  EXPECT_FALSE(stopper.update(0.5));        // big improvement → reset
+  EXPECT_EQ(stopper.stall(), 0u);
+  EXPECT_FALSE(stopper.update(0.5));        // stall 1 again
+  EXPECT_TRUE(stopper.update(0.5));         // stall 2 → stop
+}
+
+TEST(EarlyStopperTest, SubToleranceImprovementCountsAsStall) {
+  EarlyStopper stopper(0.01, 2);
+  EXPECT_FALSE(stopper.update(1.0));
+  // 0.5% improvement < 1% tolerance: still a stall, but best is tracked.
+  EXPECT_FALSE(stopper.update(0.995));
+  EXPECT_EQ(stopper.stall(), 1u);
+  EXPECT_DOUBLE_EQ(stopper.best(), 0.995);
+  EXPECT_TRUE(stopper.update(0.994));
+  EXPECT_DOUBLE_EQ(stopper.best(), 0.994);
+}
+
+TEST(EarlyStopperTest, BestTracksMinimumSeen) {
+  EarlyStopper stopper(1e-3, 10);
+  (void)stopper.update(3.0);
+  (void)stopper.update(1.0);
+  (void)stopper.update(2.0);
+  EXPECT_DOUBLE_EQ(stopper.best(), 1.0);
+}
+
+TEST(EarlyStopperTest, PatienceOneStopsOnFirstStall) {
+  EarlyStopper stopper(1e-3, 1);
+  EXPECT_FALSE(stopper.update(1.0));
+  EXPECT_TRUE(stopper.update(1.0));
+}
+
+TEST(EarlyStopperTest, MonotoneImprovementNeverStops) {
+  EarlyStopper stopper(1e-3, 2);
+  double v = 100.0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(stopper.update(v));
+    v *= 0.9;
+  }
+}
+
+}  // namespace
+}  // namespace reghd::core

@@ -1,0 +1,72 @@
+// Tests for the pre-encoded dataset container.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/encoded.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoding.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+namespace {
+
+std::unique_ptr<hdc::Encoder> make_encoder_for(std::size_t input_dim, std::size_t dim) {
+  hdc::EncoderConfig cfg;
+  cfg.input_dim = input_dim;
+  cfg.dim = dim;
+  cfg.seed = 9;
+  return hdc::make_encoder(cfg);
+}
+
+TEST(EncodedDatasetTest, FromEncodesEveryRowInOrder) {
+  const data::Dataset d = data::make_friedman1(50, 3);
+  const auto encoder = make_encoder_for(d.num_features(), 512);
+  const EncodedDataset enc = EncodedDataset::from(*encoder, d);
+  ASSERT_EQ(enc.size(), d.size());
+  EXPECT_EQ(enc.dim(), 512u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(enc.target(i), d.target(i));
+    // Samples must equal a direct encode of the same row (parallel
+    // encoding is bit-identical to serial).
+    const hdc::EncodedSample direct = encoder->encode(d.row(i));
+    EXPECT_EQ(enc.sample(i).real, direct.real);
+    EXPECT_EQ(enc.sample(i).binary, direct.binary);
+  }
+}
+
+TEST(EncodedDatasetTest, FromRejectsFeatureMismatch) {
+  const data::Dataset d = data::make_friedman1(20, 5);  // 10 features
+  const auto encoder = make_encoder_for(4, 512);
+  EXPECT_THROW((void)EncodedDataset::from(*encoder, d), std::invalid_argument);
+}
+
+TEST(EncodedDatasetTest, AddEnforcesConsistentDimensionality) {
+  EncodedDataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.dim(), 0u);
+
+  const auto enc512 = make_encoder_for(3, 512);
+  const auto enc256 = make_encoder_for(3, 256);
+  const std::vector<double> row = {0.1, 0.2, 0.3};
+  ds.add(enc512->encode(row), 1.5);
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.dim(), 512u);
+  EXPECT_DOUBLE_EQ(ds.target(0), 1.5);
+  EXPECT_THROW(ds.add(enc256->encode(row), 2.0), std::invalid_argument);
+  EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(EncodedDatasetTest, TargetsSpanMatchesIndividualAccess) {
+  const data::Dataset d = data::make_sine_task(30, 7);
+  const auto encoder = make_encoder_for(1, 256);
+  const EncodedDataset enc = EncodedDataset::from(*encoder, d);
+  const auto targets = enc.targets();
+  ASSERT_EQ(targets.size(), enc.size());
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    EXPECT_DOUBLE_EQ(targets[i], enc.target(i));
+  }
+}
+
+}  // namespace
+}  // namespace reghd::core

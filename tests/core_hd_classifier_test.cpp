@@ -1,0 +1,160 @@
+// Tests for the HD classifier.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "core/hd_classifier.hpp"
+#include "data/scaler.hpp"
+#include "hdc/encoding.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+namespace {
+
+/// Labelled Gaussian blobs on separated lattice centers.
+struct Task {
+  EncodedDataset train;
+  std::vector<std::size_t> train_labels;
+  EncodedDataset val;
+  std::vector<std::size_t> val_labels;
+  EncodedDataset test;
+  std::vector<std::size_t> test_labels;
+  std::unique_ptr<hdc::Encoder> encoder;
+};
+
+Task make_task(std::size_t classes, double spread, std::uint64_t seed,
+               std::size_t dim = 1024) {
+  constexpr std::size_t kFeatures = 3;
+  util::Rng rng(seed);
+
+  data::Dataset raw;
+  std::vector<std::size_t> labels;
+  std::vector<double> x(kFeatures);
+  for (std::size_t i = 0; i < 900; ++i) {
+    const auto c = static_cast<std::size_t>(rng.uniform_index(classes));
+    for (std::size_t k = 0; k < kFeatures; ++k) {
+      const double center = (c & (1u << k)) ? 2.0 : -2.0;
+      x[k] = center + rng.normal(0.0, spread);
+    }
+    raw.add_sample(x, 0.0);
+    labels.push_back(c);
+  }
+  data::StandardScaler scaler;
+  scaler.fit(raw);
+  scaler.transform(raw);
+
+  hdc::EncoderConfig cfg;
+  cfg.input_dim = kFeatures;
+  cfg.dim = dim;
+  cfg.seed = seed;
+  Task task;
+  task.encoder = hdc::make_encoder(cfg);
+
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const hdc::EncodedSample s = task.encoder->encode(raw.row(i));
+    if (i % 5 == 0) {
+      task.test.add(s, 0.0);
+      task.test_labels.push_back(labels[i]);
+    } else if (i % 5 == 1) {
+      task.val.add(s, 0.0);
+      task.val_labels.push_back(labels[i]);
+    } else {
+      task.train.add(s, 0.0);
+      task.train_labels.push_back(labels[i]);
+    }
+  }
+  return task;
+}
+
+HdClassifierConfig config_for(std::size_t classes, std::size_t dim = 1024) {
+  HdClassifierConfig cfg;
+  cfg.dim = dim;
+  cfg.classes = classes;
+  return cfg;
+}
+
+TEST(HdClassifierTest, SeparatedBlobsClassifiedAccurately) {
+  Task task = make_task(4, 0.5, 7);
+  HdClassifier clf(config_for(4));
+  const HdClassifierReport report =
+      clf.fit(task.train, task.train_labels, task.val, task.val_labels);
+  EXPECT_GT(report.best_val_accuracy, 0.95);
+  EXPECT_GT(clf.accuracy(task.test, task.test_labels), 0.95);
+}
+
+TEST(HdClassifierTest, QuantizedInferenceStaysAccurate) {
+  Task task = make_task(4, 0.5, 11);
+  auto cfg = config_for(4);
+  cfg.quantized = true;
+  HdClassifier clf(cfg);
+  clf.fit(task.train, task.train_labels, task.val, task.val_labels);
+  EXPECT_GT(clf.accuracy(task.test, task.test_labels), 0.9);
+}
+
+TEST(HdClassifierTest, IterativeRefinementBeatsSinglePassOnHardTask) {
+  // Overlapping blobs: the perceptron passes must improve on the bundled
+  // initialization (Fig. 3a's iterative-learning claim, classification side).
+  Task task = make_task(8, 1.5, 13);
+  auto cfg = config_for(8);
+  cfg.max_epochs = 15;
+  HdClassifier clf(cfg);
+  const HdClassifierReport report =
+      clf.fit(task.train, task.train_labels, task.val, task.val_labels);
+  ASSERT_GE(report.val_accuracy_history.size(), 2u);
+  EXPECT_GE(report.best_val_accuracy, report.val_accuracy_history.front());
+  EXPECT_GE(report.epochs_run, 2u);
+}
+
+TEST(HdClassifierTest, ScoresAreBoundedAndArgmaxMatchesPredict) {
+  Task task = make_task(4, 0.5, 17);
+  HdClassifier clf(config_for(4));
+  clf.fit(task.train, task.train_labels, task.val, task.val_labels);
+  const auto s = clf.scores(task.test.sample(0));
+  ASSERT_EQ(s.size(), 4u);
+  for (const double v : s) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(clf.predict(task.test.sample(0)),
+            static_cast<std::size_t>(
+                std::distance(s.begin(), std::max_element(s.begin(), s.end()))));
+}
+
+TEST(HdClassifierTest, DeterministicForFixedInputs) {
+  Task task = make_task(3, 0.6, 19);
+  HdClassifier a(config_for(3));
+  HdClassifier b(config_for(3));
+  a.fit(task.train, task.train_labels, task.val, task.val_labels);
+  b.fit(task.train, task.train_labels, task.val, task.val_labels);
+  for (std::size_t i = 0; i < task.test.size(); ++i) {
+    EXPECT_EQ(a.predict(task.test.sample(i)), b.predict(task.test.sample(i)));
+  }
+}
+
+TEST(HdClassifierTest, ValidatesConfigurationAndInput) {
+  auto cfg = config_for(1);
+  EXPECT_THROW(HdClassifier{cfg}, std::invalid_argument);
+  cfg = config_for(2);
+  cfg.dim = 8;
+  EXPECT_THROW(HdClassifier{cfg}, std::invalid_argument);
+
+  Task task = make_task(2, 0.5, 23);
+  HdClassifier clf(config_for(2));
+  // Out-of-range label.
+  std::vector<std::size_t> bad_labels = task.train_labels;
+  bad_labels[0] = 99;
+  EXPECT_THROW((void)clf.fit(task.train, bad_labels, task.val, task.val_labels),
+               std::invalid_argument);
+  // Label-count mismatch.
+  std::vector<std::size_t> short_labels(task.train.size() - 1, 0);
+  EXPECT_THROW((void)clf.fit(task.train, short_labels, task.val, task.val_labels),
+               std::invalid_argument);
+  // Empty validation set.
+  EXPECT_THROW(
+      (void)clf.fit(task.train, task.train_labels, EncodedDataset{}, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reghd::core

@@ -1,0 +1,173 @@
+// Tests for the standalone HD clusterer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/hd_clustering.hpp"
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoding.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+namespace {
+
+/// Encoded blob dataset with exact ground-truth labels: blob centers are
+/// placed on guaranteed-separated lattice points, so the labels are not
+/// reconstructed but known by construction.
+struct BlobTask {
+  EncodedDataset data;
+  std::vector<std::size_t> truth;
+  std::unique_ptr<hdc::Encoder> encoder;
+};
+
+BlobTask make_blobs(std::size_t samples, std::size_t regimes, std::uint64_t seed,
+                    std::size_t dim = 1024) {
+  constexpr std::size_t kFeatures = 3;
+  // Centers on the corners of a cube of side 4 (within-blob σ = 0.5):
+  // minimum center distance 4 ⇒ 8σ separation.
+  std::vector<std::array<double, kFeatures>> centers;
+  for (std::size_t r = 0; r < regimes; ++r) {
+    centers.push_back({r & 1 ? 2.0 : -2.0, r & 2 ? 2.0 : -2.0, r & 4 ? 2.0 : -2.0});
+  }
+
+  util::Rng rng(seed);
+  data::Dataset raw;
+  std::vector<std::size_t> truth;
+  std::vector<double> x(kFeatures);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto r = static_cast<std::size_t>(rng.uniform_index(regimes));
+    for (std::size_t k = 0; k < kFeatures; ++k) {
+      x[k] = centers[r][k] + rng.normal(0.0, 0.5);
+    }
+    raw.add_sample(x, 0.0);  // targets unused for clustering
+    truth.push_back(r);
+  }
+  data::StandardScaler scaler;
+  scaler.fit(raw);
+  scaler.transform(raw);
+
+  hdc::EncoderConfig cfg;
+  cfg.input_dim = kFeatures;
+  cfg.dim = dim;
+  cfg.seed = seed;
+  BlobTask task;
+  task.encoder = hdc::make_encoder(cfg);
+  task.data = EncodedDataset::from(*task.encoder, raw);
+  task.truth = std::move(truth);
+  return task;
+}
+
+/// Cluster purity: fraction of samples whose cluster's majority truth label
+/// matches their own.
+double purity(const std::vector<std::size_t>& assignments,
+              const std::vector<std::size_t>& truth, std::size_t clusters) {
+  std::map<std::size_t, std::map<std::size_t, std::size_t>> counts;
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    ++counts[assignments[i]][truth[i]];
+  }
+  std::size_t majority_total = 0;
+  for (const auto& [cluster, label_counts] : counts) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : label_counts) {
+      best = std::max(best, count);
+    }
+    majority_total += best;
+  }
+  (void)clusters;
+  return static_cast<double>(majority_total) / static_cast<double>(assignments.size());
+}
+
+HdClusteringConfig config_for(std::size_t clusters, std::size_t dim = 1024) {
+  HdClusteringConfig cfg;
+  cfg.dim = dim;
+  cfg.clusters = clusters;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(HdClusteringTest, RecoversWellSeparatedBlobs) {
+  const BlobTask task = make_blobs(600, 4, 7);
+  HdClustering clustering(config_for(4));
+  const HdClusteringReport report = clustering.fit(task.data);
+  ASSERT_EQ(report.assignments.size(), 600u);
+  EXPECT_GT(purity(report.assignments, task.truth, 4), 0.9);
+  EXPECT_GT(report.cohesion, 0.3);
+}
+
+TEST(HdClusteringTest, QuantizedModeAlsoRecoversBlobs) {
+  const BlobTask task = make_blobs(600, 4, 11);
+  auto cfg = config_for(4);
+  cfg.mode = ClusterMode::kQuantized;
+  HdClustering clustering(cfg);
+  const HdClusteringReport report = clustering.fit(task.data);
+  EXPECT_GT(purity(report.assignments, task.truth, 4), 0.85);
+}
+
+TEST(HdClusteringTest, AssignMatchesFitAssignments) {
+  const BlobTask task = make_blobs(300, 3, 13);
+  HdClustering clustering(config_for(3));
+  const HdClusteringReport report = clustering.fit(task.data);
+  for (std::size_t i = 0; i < task.data.size(); ++i) {
+    EXPECT_EQ(clustering.assign(task.data.sample(i)), report.assignments[i]);
+  }
+}
+
+TEST(HdClusteringTest, ConvergesAndReportsEpochs) {
+  const BlobTask task = make_blobs(500, 3, 17);
+  HdClustering clustering(config_for(3));
+  const HdClusteringReport report = clustering.fit(task.data);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.epochs_run, config_for(3).max_epochs);
+  EXPECT_GE(report.epochs_run, 2u);
+}
+
+TEST(HdClusteringTest, MoreClustersIncreaseCohesion) {
+  const BlobTask task = make_blobs(600, 6, 19);
+  HdClustering few(config_for(2));
+  HdClustering many(config_for(6));
+  const double cohesion_few = few.fit(task.data).cohesion;
+  const double cohesion_many = many.fit(task.data).cohesion;
+  EXPECT_GT(cohesion_many, cohesion_few);
+}
+
+TEST(HdClusteringTest, SimilaritiesBoundedAndSized) {
+  const BlobTask task = make_blobs(200, 3, 23);
+  HdClustering clustering(config_for(3));
+  clustering.fit(task.data);
+  const auto sims = clustering.similarities(task.data.sample(0));
+  ASSERT_EQ(sims.size(), 3u);
+  for (const double s : sims) {
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(HdClusteringTest, DeterministicForFixedSeed) {
+  const BlobTask task = make_blobs(300, 4, 29);
+  HdClustering a(config_for(4));
+  HdClustering b(config_for(4));
+  EXPECT_EQ(a.fit(task.data).assignments, b.fit(task.data).assignments);
+}
+
+TEST(HdClusteringTest, ValidatesConfigurationAndInput) {
+  auto cfg = config_for(0);
+  EXPECT_THROW(HdClustering{cfg}, std::invalid_argument);
+  cfg = config_for(2);
+  cfg.dim = 8;
+  EXPECT_THROW(HdClustering{cfg}, std::invalid_argument);
+  cfg = config_for(2);
+  cfg.reassignment_tolerance = 1.5;
+  EXPECT_THROW(HdClustering{cfg}, std::invalid_argument);
+
+  HdClustering clustering(config_for(2));
+  EXPECT_THROW((void)clustering.fit(EncodedDataset{}), std::invalid_argument);
+  const BlobTask task = make_blobs(100, 2, 31, 512);
+  EXPECT_THROW((void)clustering.fit(task.data), std::invalid_argument);  // dim mismatch
+}
+
+}  // namespace
+}  // namespace reghd::core

@@ -1,0 +1,100 @@
+// Corruption robustness of the model file format: a loader facing a
+// damaged file must throw a typed exception — never crash, hang, or return
+// a silently-wrong model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/model_io.hpp"
+#include "data/synthetic.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+namespace {
+
+std::string serialized_model() {
+  static const std::string bytes = [] {
+    const data::Dataset d = data::make_friedman1(300, 5);
+    PipelineConfig cfg;
+    cfg.reghd.dim = 512;
+    cfg.reghd.models = 2;
+    cfg.reghd.max_epochs = 5;
+    RegHDPipeline pipeline(cfg);
+    pipeline.fit(d);
+    std::stringstream buf;
+    save_pipeline(buf, pipeline);
+    return buf.str();
+  }();
+  return bytes;
+}
+
+TEST(ModelIoFuzzTest, IntactBytesLoad) {
+  std::stringstream in(serialized_model());
+  EXPECT_NO_THROW((void)load_pipeline(in));
+}
+
+class TruncationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncationSweep, TruncatedFilesThrow) {
+  const std::string full = serialized_model();
+  const auto keep = static_cast<std::size_t>(GetParam() * static_cast<double>(full.size()));
+  std::stringstream in(full.substr(0, keep));
+  EXPECT_THROW((void)load_pipeline(in), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeepFractions, TruncationSweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99));
+
+TEST(ModelIoFuzzTest, RandomByteFlipsNeverCrash) {
+  // Flip one byte at a time across many positions. Structural fields
+  // usually make the load throw; flips inside the float payload may load
+  // fine (and that is acceptable — checksums are out of scope) but must
+  // never crash or hang.
+  const std::string full = serialized_model();
+  util::Rng rng(99);
+  std::size_t loaded = 0;
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string corrupted = full;
+    // Half the flips target the structural prefix (header/config/lengths) —
+    // the payload is megabytes of doubles, so purely uniform positions
+    // would almost never exercise the validation paths.
+    const auto pos = static_cast<std::size_t>(
+        trial % 2 == 0 ? rng.uniform_index(std::min<std::size_t>(120, corrupted.size()))
+                       : rng.uniform_index(corrupted.size()));
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ static_cast<char>(1 + rng.uniform_index(255)));
+    std::stringstream in(corrupted);
+    try {
+      const RegHDPipeline p = load_pipeline(in);
+      ++loaded;  // payload flip: structurally valid
+    } catch (const std::exception&) {
+      ++rejected;  // typed failure: the contract
+    }
+  }
+  EXPECT_EQ(loaded + rejected, 60u);
+  EXPECT_GT(rejected, 0u);  // at least some flips hit structural fields
+}
+
+TEST(ModelIoFuzzTest, HeaderCorruptionAlwaysRejected) {
+  std::string corrupted = serialized_model();
+  corrupted[0] = static_cast<char>(corrupted[0] ^ 0x55);  // magic byte
+  std::stringstream in(corrupted);
+  EXPECT_THROW((void)load_pipeline(in), std::runtime_error);
+}
+
+TEST(ModelIoFuzzTest, GiganticLengthPrefixRejected) {
+  // Overwrite the model-count field region with huge values: the reader
+  // must fail on validation or truncated payload, not attempt a huge
+  // allocation loop that "succeeds".
+  std::string corrupted = serialized_model();
+  // The count sits after the fixed-size config block; saturating a span of
+  // bytes guarantees some length/count prefix goes enormous.
+  for (std::size_t i = 8; i < 48 && i < corrupted.size(); ++i) {
+    corrupted[i] = static_cast<char>(0xFF);
+  }
+  std::stringstream in(corrupted);
+  EXPECT_THROW((void)load_pipeline(in), std::exception);
+}
+
+}  // namespace
+}  // namespace reghd::core

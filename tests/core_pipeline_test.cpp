@@ -1,0 +1,231 @@
+// Tests for RegHDPipeline (the user-facing API) and model serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/model_io.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd::core {
+namespace {
+
+PipelineConfig small_config(std::size_t models = 4, std::size_t dim = 1024) {
+  PipelineConfig cfg;
+  cfg.reghd.models = models;
+  cfg.reghd.dim = dim;
+  cfg.reghd.seed = 7;
+  cfg.reghd.max_epochs = 30;
+  return cfg;
+}
+
+data::TrainTestSplit friedman_split(std::uint64_t seed = 3) {
+  const data::Dataset d = data::make_friedman1(1200, seed);
+  util::Rng rng(seed);
+  return data::train_test_split(d, 0.25, rng);
+}
+
+TEST(PipelineTest, FitPredictInOriginalUnits) {
+  const auto split = friedman_split();
+  RegHDPipeline pipeline(small_config());
+  pipeline.fit(split.train);
+  EXPECT_TRUE(pipeline.fitted());
+
+  // Friedman targets live roughly in [0, 30]; predictions must be in
+  // original units, not standardized ones.
+  const std::vector<double> predictions = pipeline.predict_batch(split.test);
+  double mean_pred = 0.0;
+  for (const double p : predictions) {
+    mean_pred += p;
+  }
+  mean_pred /= static_cast<double>(predictions.size());
+  EXPECT_GT(mean_pred, 5.0);
+  EXPECT_LT(mean_pred, 25.0);
+
+  const double mse = util::mse(predictions, split.test.targets());
+  // Mean-predictor MSE ≈ 25 on this task; the pipeline must beat it well.
+  EXPECT_LT(mse, 12.0);
+  EXPECT_NEAR(pipeline.evaluate_mse(split.test), mse, 1e-9);
+}
+
+TEST(PipelineTest, NamesEncodeConfiguration) {
+  EXPECT_EQ(RegHDPipeline(small_config(8)).name(), "RegHD-8");
+  auto cfg = small_config(2);
+  cfg.reghd.cluster_mode = ClusterMode::kQuantized;
+  EXPECT_EQ(RegHDPipeline(cfg).name(), "RegHD-2-qc");
+  cfg = small_config(4);
+  cfg.reghd.query_precision = QueryPrecision::kBinary;
+  cfg.reghd.model_precision = ModelPrecision::kBinary;
+  EXPECT_EQ(RegHDPipeline(cfg).name(), "RegHD-4-bqbm");
+}
+
+TEST(PipelineTest, ReportAvailableAfterFit) {
+  const auto split = friedman_split(5);
+  RegHDPipeline pipeline(small_config());
+  EXPECT_THROW((void)pipeline.report(), std::invalid_argument);
+  pipeline.fit(split.train);
+  EXPECT_GE(pipeline.report().epochs_run, 1u);
+}
+
+TEST(PipelineTest, PredictDetailInOriginalUnits) {
+  const auto split = friedman_split(7);
+  RegHDPipeline pipeline(small_config());
+  pipeline.fit(split.train);
+  const PredictionDetail detail = pipeline.predict_detail(split.test.row(0));
+  EXPECT_NEAR(detail.prediction, pipeline.predict(split.test.row(0)), 1e-9);
+  ASSERT_EQ(detail.confidences.size(), 4u);
+}
+
+TEST(PipelineTest, UnfittedUseThrows) {
+  RegHDPipeline pipeline(small_config());
+  const std::vector<double> row(10, 0.0);
+  EXPECT_THROW((void)pipeline.predict(row), std::invalid_argument);
+  EXPECT_THROW((void)pipeline.regressor(), std::invalid_argument);
+  EXPECT_THROW((void)pipeline.encoder(), std::invalid_argument);
+}
+
+TEST(PipelineTest, ValidatesConfigAtConstruction) {
+  auto cfg = small_config();
+  cfg.validation_fraction = 0.9;
+  EXPECT_THROW(RegHDPipeline{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.reghd.models = 0;
+  EXPECT_THROW(RegHDPipeline{cfg}, std::invalid_argument);
+}
+
+TEST(PipelineTest, RequiresMinimumTrainingData) {
+  RegHDPipeline pipeline(small_config());
+  data::Dataset tiny;
+  const double f[] = {1.0};
+  tiny.add_sample(f, 1.0);
+  EXPECT_THROW(pipeline.fit(tiny), std::invalid_argument);
+}
+
+TEST(PipelineTest, DeterministicForFixedSeeds) {
+  const auto split = friedman_split(11);
+  RegHDPipeline p1(small_config());
+  RegHDPipeline p2(small_config());
+  p1.fit(split.train);
+  p2.fit(split.train);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(p1.predict(split.test.row(i)), p2.predict(split.test.row(i)));
+  }
+}
+
+TEST(PipelineTest, WorksWithoutStandardization) {
+  auto cfg = small_config();
+  cfg.standardize_features = false;
+  cfg.standardize_target = false;
+  // Friedman features are already in [0,1]; unstandardized learning should
+  // still beat the mean, just in raw units.
+  const auto split = friedman_split(13);
+  RegHDPipeline pipeline(cfg);
+  pipeline.fit(split.train);
+  EXPECT_LT(pipeline.evaluate_mse(split.test), 26.0);
+}
+
+class PipelineEncoderKinds : public ::testing::TestWithParam<hdc::EncoderKind> {};
+
+TEST_P(PipelineEncoderKinds, EndToEndLearnsWithEveryEncoder) {
+  auto cfg = small_config(4, 2048);
+  cfg.encoder.kind = GetParam();
+  const auto split = friedman_split(31);
+  RegHDPipeline pipeline(cfg);
+  pipeline.fit(split.train);
+  // Mean-predictor MSE ≈ 25 on Friedman; every encoder must clearly beat it
+  // (the weaker discrete encoders by a smaller margin).
+  EXPECT_LT(pipeline.evaluate_mse(split.test), 18.0) << hdc::to_string(GetParam());
+}
+
+TEST_P(PipelineEncoderKinds, SerializationRoundTripsForEveryEncoder) {
+  auto cfg = small_config(2, 512);
+  cfg.encoder.kind = GetParam();
+  const auto split = friedman_split(37);
+  RegHDPipeline original(cfg);
+  original.fit(split.train);
+  std::stringstream buffer;
+  save_pipeline(buffer, original);
+  const RegHDPipeline restored = load_pipeline(buffer);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(restored.predict(split.test.row(i)),
+                     original.predict(split.test.row(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PipelineEncoderKinds,
+                         ::testing::Values(hdc::EncoderKind::kNonlinearFeature,
+                                           hdc::EncoderKind::kRffProjection,
+                                           hdc::EncoderKind::kIdLevel,
+                                           hdc::EncoderKind::kTemporal),
+                         [](const auto& info) { return hdc::to_string(info.param); });
+
+TEST(ModelIoTest, RoundTripPreservesPredictionsExactly) {
+  const auto split = friedman_split(17);
+  RegHDPipeline original(small_config(4, 512));
+  original.fit(split.train);
+
+  std::stringstream buffer;
+  save_pipeline(buffer, original);
+  const RegHDPipeline restored = load_pipeline(buffer);
+
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.predict(split.test.row(i)),
+                     original.predict(split.test.row(i)));
+  }
+  EXPECT_EQ(restored.name(), original.name());
+}
+
+TEST(ModelIoTest, RoundTripPreservesQuantizedConfigurations) {
+  auto cfg = small_config(4, 512);
+  cfg.reghd.cluster_mode = ClusterMode::kQuantized;
+  cfg.reghd.query_precision = QueryPrecision::kBinary;
+  cfg.reghd.model_precision = ModelPrecision::kBinary;
+  const auto split = friedman_split(19);
+  RegHDPipeline original(cfg);
+  original.fit(split.train);
+
+  std::stringstream buffer;
+  save_pipeline(buffer, original);
+  const RegHDPipeline restored = load_pipeline(buffer);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(restored.predict(split.test.row(i)),
+                     original.predict(split.test.row(i)));
+  }
+}
+
+TEST(ModelIoTest, RejectsUnfittedPipelines) {
+  RegHDPipeline pipeline(small_config());
+  std::stringstream buffer;
+  EXPECT_THROW(save_pipeline(buffer, pipeline), std::invalid_argument);
+}
+
+TEST(ModelIoTest, RejectsCorruptStreams) {
+  std::stringstream garbage("this is not a model file");
+  EXPECT_THROW((void)load_pipeline(garbage), std::runtime_error);
+
+  // Valid header, truncated payload.
+  const auto split = friedman_split(23);
+  RegHDPipeline original(small_config(2, 512));
+  original.fit(split.train);
+  std::stringstream buffer;
+  save_pipeline(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_pipeline(truncated), std::runtime_error);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const auto split = friedman_split(29);
+  RegHDPipeline original(small_config(2, 512));
+  original.fit(split.train);
+  const std::string path = ::testing::TempDir() + "/reghd_model.bin";
+  save_pipeline_file(path, original);
+  const RegHDPipeline restored = load_pipeline_file(path);
+  EXPECT_DOUBLE_EQ(restored.predict(split.test.row(0)), original.predict(split.test.row(0)));
+  EXPECT_THROW((void)load_pipeline_file("/nonexistent/model.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reghd::core

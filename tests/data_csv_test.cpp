@@ -1,0 +1,101 @@
+// Tests for CSV loading/saving.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv.hpp"
+
+namespace reghd::data {
+namespace {
+
+TEST(CsvLoadTest, ParsesHeaderAndLastColumnTarget) {
+  std::istringstream in("a,b,target\n1,2,10\n3,4,20\n");
+  const Dataset d = load_csv(in, "demo");
+  EXPECT_EQ(d.name(), "demo");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.row(1)[1], 4.0);
+  EXPECT_DOUBLE_EQ(d.target(1), 20.0);
+}
+
+TEST(CsvLoadTest, HeaderlessAndCustomTargetColumn) {
+  std::istringstream in("10,1,2\n20,3,4\n");
+  CsvOptions opts;
+  opts.has_header = false;
+  opts.target_column = 0;
+  const Dataset d = load_csv(in, "front-target", opts);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.target(0), 10.0);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.row(1)[1], 4.0);
+}
+
+TEST(CsvLoadTest, SkipsEmptyLinesAndHandlesCrlf) {
+  std::istringstream in("a,t\r\n1,2\r\n\r\n3,4\r\n");
+  const Dataset d = load_csv(in, "crlf");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.target(1), 4.0);
+}
+
+TEST(CsvLoadTest, AlternateDelimiter) {
+  std::istringstream in("a;t\n1.5;2.5\n");
+  CsvOptions opts;
+  opts.delimiter = ';';
+  const Dataset d = load_csv(in, "semi", opts);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(d.target(0), 2.5);
+}
+
+TEST(CsvLoadTest, NonNumericCellReportsLocation) {
+  std::istringstream in("a,t\n1,oops\n");
+  try {
+    (void)load_csv(in, "bad");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("oops"), std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CsvLoadTest, RejectsEmptyAndSingleColumnInputs) {
+  std::istringstream empty("header,t\n");
+  EXPECT_THROW((void)load_csv(empty, "empty"), std::runtime_error);
+  std::istringstream one_col("t\n5\n");
+  EXPECT_THROW((void)load_csv(one_col, "one"), std::invalid_argument);
+}
+
+TEST(CsvLoadTest, TargetColumnOutOfRange) {
+  std::istringstream in("a,t\n1,2\n");
+  CsvOptions opts;
+  opts.target_column = 5;
+  EXPECT_THROW((void)load_csv(in, "oob", opts), std::runtime_error);
+}
+
+TEST(CsvRoundTripTest, SaveThenLoadPreservesData) {
+  Dataset original;
+  original.set_name("rt");
+  for (int i = 0; i < 10; ++i) {
+    const double f[] = {i * 0.5, i * -1.25};
+    original.add_sample(f, i * 3.0);
+  }
+  std::stringstream buffer;
+  save_csv(buffer, original);
+  const Dataset restored = load_csv(buffer, "rt");
+  ASSERT_EQ(restored.size(), original.size());
+  ASSERT_EQ(restored.num_features(), original.num_features());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.target(i), original.target(i));
+    for (std::size_t k = 0; k < original.num_features(); ++k) {
+      EXPECT_DOUBLE_EQ(restored.row(i)[k], original.row(i)[k]);
+    }
+  }
+}
+
+TEST(CsvFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_csv_file("/nonexistent/path/data.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reghd::data

@@ -1,0 +1,144 @@
+// Tests for the dataset container, splits, and k-fold partitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "util/random.hpp"
+
+namespace reghd::data {
+namespace {
+
+Dataset toy_dataset(std::size_t n) {
+  Dataset d;
+  d.set_name("toy");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f[] = {static_cast<double>(i), static_cast<double>(2 * i)};
+    d.add_sample(f, static_cast<double>(10 * i));
+  }
+  return d;
+}
+
+TEST(DatasetTest, ConstructionFromFlatBuffers) {
+  const Dataset d("named", 2, {1.0, 2.0, 3.0, 4.0}, {10.0, 20.0});
+  EXPECT_EQ(d.name(), "named");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.target(1), 20.0);
+}
+
+TEST(DatasetTest, ConstructionRejectsShapeMismatch) {
+  EXPECT_THROW(Dataset("bad", 2, {1.0, 2.0, 3.0}, {10.0, 20.0}), std::invalid_argument);
+  EXPECT_THROW(Dataset("bad", 0, {}, {}), std::invalid_argument);
+}
+
+TEST(DatasetTest, AddSampleDefinesAndEnforcesWidth) {
+  Dataset d;
+  const double f2[] = {1.0, 2.0};
+  d.add_sample(f2, 5.0);
+  EXPECT_EQ(d.num_features(), 2u);
+  const double f3[] = {1.0, 2.0, 3.0};
+  EXPECT_THROW(d.add_sample(f3, 6.0), std::invalid_argument);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DatasetTest, SubsetSelectsAndRepeats) {
+  const Dataset d = toy_dataset(5);
+  const std::vector<std::size_t> idx = {4, 0, 4};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.target(0), 40.0);
+  EXPECT_DOUBLE_EQ(s.target(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.target(2), 40.0);
+  EXPECT_DOUBLE_EQ(s.row(0)[1], 8.0);
+}
+
+TEST(DatasetTest, SubsetRejectsOutOfRange) {
+  const Dataset d = toy_dataset(3);
+  const std::vector<std::size_t> idx = {3};
+  EXPECT_THROW((void)d.subset(idx), std::invalid_argument);
+}
+
+TEST(DatasetTest, ShuffleIsPermutationOfRows) {
+  Dataset d = toy_dataset(50);
+  util::Rng rng(5);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 50u);
+  std::multiset<double> targets(d.targets().begin(), d.targets().end());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(targets.count(static_cast<double>(10 * i)), 1u);
+    // Feature/target pairing must survive shuffling.
+    const double t = d.target(i);
+    EXPECT_DOUBLE_EQ(d.row(i)[0], t / 10.0);
+  }
+}
+
+TEST(TrainTestSplitTest, SizesAndDisjointness) {
+  const Dataset d = toy_dataset(100);
+  util::Rng rng(7);
+  const TrainTestSplit split = train_test_split(d, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::multiset<double> all(split.train.targets().begin(), split.train.targets().end());
+  all.insert(split.test.targets().begin(), split.test.targets().end());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(all.count(static_cast<double>(10 * i)), 1u);
+  }
+}
+
+TEST(TrainTestSplitTest, AtLeastOneSampleEachSide) {
+  const Dataset d = toy_dataset(3);
+  util::Rng rng(9);
+  const TrainTestSplit split = train_test_split(d, 0.01, rng);
+  EXPECT_GE(split.test.size(), 1u);
+  EXPECT_GE(split.train.size(), 1u);
+}
+
+TEST(TrainTestSplitTest, RejectsBadInputs) {
+  const Dataset d = toy_dataset(10);
+  util::Rng rng(11);
+  EXPECT_THROW((void)train_test_split(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)train_test_split(d, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)train_test_split(toy_dataset(1), 0.5, rng), std::invalid_argument);
+}
+
+TEST(TrainTestSplitTest, DeterministicForFixedSeed) {
+  const Dataset d = toy_dataset(40);
+  util::Rng a(13);
+  util::Rng b(13);
+  const TrainTestSplit s1 = train_test_split(d, 0.3, a);
+  const TrainTestSplit s2 = train_test_split(d, 0.3, b);
+  ASSERT_EQ(s1.test.size(), s2.test.size());
+  for (std::size_t i = 0; i < s1.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.test.target(i), s2.test.target(i));
+  }
+}
+
+TEST(KFoldTest, FoldsPartitionTheDataset) {
+  const Dataset d = toy_dataset(23);
+  constexpr std::size_t kFolds = 4;
+  std::multiset<double> covered;
+  for (std::size_t f = 0; f < kFolds; ++f) {
+    util::Rng rng(17);  // same seed per fold → consistent partition
+    const TrainTestSplit split = k_fold_split(d, kFolds, f, rng);
+    EXPECT_EQ(split.train.size() + split.test.size(), 23u);
+    covered.insert(split.test.targets().begin(), split.test.targets().end());
+  }
+  // Every sample appears in exactly one validation fold.
+  for (std::size_t i = 0; i < 23; ++i) {
+    EXPECT_EQ(covered.count(static_cast<double>(10 * i)), 1u);
+  }
+}
+
+TEST(KFoldTest, RejectsBadParameters) {
+  const Dataset d = toy_dataset(10);
+  util::Rng rng(19);
+  EXPECT_THROW((void)k_fold_split(d, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)k_fold_split(d, 3, 3, rng), std::invalid_argument);
+  EXPECT_THROW((void)k_fold_split(toy_dataset(2), 3, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reghd::data

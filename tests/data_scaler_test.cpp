@@ -1,0 +1,136 @@
+// Tests for feature/target standardization, including the no-leakage
+// property (statistics come from the fit split only).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::data {
+namespace {
+
+Dataset skewed_dataset() {
+  Dataset d;
+  d.set_name("skewed");
+  for (int i = 0; i < 100; ++i) {
+    const double f[] = {static_cast<double>(i) * 3.0 + 100.0, -0.5 * i, 7.0};
+    d.add_sample(f, 50.0 + 2.0 * i);
+  }
+  return d;
+}
+
+TEST(StandardScalerTest, TransformedFeaturesHaveZeroMeanUnitVariance) {
+  Dataset d = skewed_dataset();
+  StandardScaler scaler;
+  scaler.fit(d);
+  scaler.transform(d);
+  for (std::size_t k = 0; k < 2; ++k) {  // skip the constant third column
+    std::vector<double> column;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      column.push_back(d.row(i)[k]);
+    }
+    EXPECT_NEAR(util::mean(column), 0.0, 1e-10);
+    EXPECT_NEAR(util::stddev(column), 1.0, 1e-10);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureMapsToZero) {
+  Dataset d = skewed_dataset();
+  StandardScaler scaler;
+  scaler.fit(d);
+  scaler.transform(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.row(i)[2], 0.0);
+  }
+}
+
+TEST(StandardScalerTest, TransformRowMatchesBatchTransform) {
+  Dataset d = skewed_dataset();
+  StandardScaler scaler;
+  scaler.fit(d);
+  const std::vector<double> row0(d.row(0).begin(), d.row(0).end());
+  const std::vector<double> scaled_row = scaler.transform_row(row0);
+  scaler.transform(d);
+  for (std::size_t k = 0; k < d.num_features(); ++k) {
+    EXPECT_NEAR(scaled_row[k], d.row(0)[k], 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, NoLeakageFromUnseenData) {
+  // Fitting on train only: statistics must not change when test data does.
+  const Dataset train = skewed_dataset();
+  StandardScaler s1;
+  s1.fit(train);
+  StandardScaler s2;
+  s2.fit(train);
+  // Transform two very different "test rows" — parameters are identical.
+  ASSERT_EQ(s1.means().size(), s2.means().size());
+  for (std::size_t k = 0; k < s1.means().size(); ++k) {
+    EXPECT_DOUBLE_EQ(s1.means()[k], s2.means()[k]);
+    EXPECT_DOUBLE_EQ(s1.stddevs()[k], s2.stddevs()[k]);
+  }
+}
+
+TEST(StandardScalerTest, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  Dataset d = skewed_dataset();
+  EXPECT_THROW(scaler.transform(d), std::invalid_argument);  // unfitted
+  scaler.fit(d);
+  Dataset narrow;
+  const double f[] = {1.0};
+  narrow.add_sample(f, 2.0);
+  EXPECT_THROW(scaler.transform(narrow), std::invalid_argument);  // width mismatch
+  EXPECT_THROW((void)scaler.transform_row(std::vector<double>{1.0}), std::invalid_argument);
+  Dataset empty;
+  EXPECT_THROW(scaler.fit(empty), std::invalid_argument);
+}
+
+TEST(StandardScalerTest, SetParamsValidates) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.set_params({1.0}, {0.0}), std::invalid_argument);   // zero stddev
+  EXPECT_THROW(scaler.set_params({1.0}, {1.0, 2.0}), std::invalid_argument);
+  scaler.set_params({1.0}, {2.0});
+  const std::vector<double> out = scaler.transform_row(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST(TargetScalerTest, RoundTripIsExact) {
+  Dataset d = skewed_dataset();
+  TargetScaler scaler;
+  scaler.fit(d);
+  for (const double y : {0.0, 50.0, 123.456, -7.0}) {
+    EXPECT_NEAR(scaler.inverse_value(scaler.transform_value(y)), y, 1e-10);
+  }
+}
+
+TEST(TargetScalerTest, TransformedTargetsAreStandardized) {
+  Dataset d = skewed_dataset();
+  TargetScaler scaler;
+  scaler.fit(d);
+  scaler.transform(d);
+  std::vector<double> t(d.targets().begin(), d.targets().end());
+  EXPECT_NEAR(util::mean(t), 0.0, 1e-10);
+  EXPECT_NEAR(util::stddev(t), 1.0, 1e-10);
+}
+
+TEST(TargetScalerTest, InverseVectorForm) {
+  TargetScaler scaler;
+  scaler.set_params(10.0, 2.0);
+  const std::vector<double> scaled = {0.0, 1.0, -1.5};
+  const std::vector<double> restored = scaler.inverse(scaled);
+  EXPECT_DOUBLE_EQ(restored[0], 10.0);
+  EXPECT_DOUBLE_EQ(restored[1], 12.0);
+  EXPECT_DOUBLE_EQ(restored[2], 7.0);
+}
+
+TEST(TargetScalerTest, ErrorsOnMisuse) {
+  TargetScaler scaler;
+  EXPECT_THROW((void)scaler.transform_value(1.0), std::invalid_argument);
+  EXPECT_THROW((void)scaler.inverse_value(1.0), std::invalid_argument);
+  EXPECT_THROW(scaler.set_params(0.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reghd::data

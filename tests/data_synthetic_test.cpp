@@ -1,0 +1,243 @@
+// Tests for the synthetic workload generators, including the calibration
+// properties the Table 1 substitution relies on (DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/synthetic.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::data {
+namespace {
+
+TEST(PaperDatasetsTest, AllSevenNamesProduceMatchingShapes) {
+  struct Expected {
+    const char* name;
+    std::size_t samples;
+    std::size_t features;
+  };
+  // Shapes of the original public datasets.
+  const Expected expected[] = {
+      {"diabetes", 442, 10}, {"boston", 506, 13},  {"airfoil", 1503, 5},
+      {"wine", 4898, 11},    {"facebook", 500, 18}, {"ccpp", 9568, 4},
+      {"forest", 517, 12},
+  };
+  ASSERT_EQ(paper_dataset_names().size(), 7u);
+  for (const auto& e : expected) {
+    const Dataset d = make_paper_dataset(e.name, 1);
+    EXPECT_EQ(d.size(), e.samples) << e.name;
+    EXPECT_EQ(d.num_features(), e.features) << e.name;
+    EXPECT_EQ(d.name(), e.name);
+  }
+}
+
+TEST(PaperDatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW((void)paper_dataset_spec("mnist"), std::invalid_argument);
+}
+
+TEST(PaperDatasetsTest, DeterministicInSeed) {
+  const Dataset a = make_paper_dataset("boston", 42);
+  const Dataset b = make_paper_dataset("boston", 42);
+  const Dataset c = make_paper_dataset("boston", 43);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.target(i), b.target(i));
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a.target(i) != c.target(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PaperDatasetsTest, TargetLocationAndScaleMatchSpec) {
+  for (const std::string& name : paper_dataset_names()) {
+    const SyntheticSpec spec = paper_dataset_spec(name);
+    const Dataset d = make_paper_dataset(name, 3);
+    std::vector<double> t(d.targets().begin(), d.targets().end());
+    const double m = util::mean(t);
+    const double sd = util::stddev(t);
+    if (spec.zero_inflation == 0.0 && spec.tail_power == 1.0) {
+      EXPECT_NEAR(m, spec.target_offset, 0.15 * spec.target_scale) << name;
+      // Total stddev = scale·√(1 + noise²).
+      const double expected_sd =
+          spec.target_scale * std::sqrt(1.0 + spec.noise_stddev * spec.noise_stddev);
+      EXPECT_NEAR(sd, expected_sd, 0.2 * expected_sd) << name;
+    } else {
+      EXPECT_GT(sd, 0.0) << name;
+    }
+  }
+}
+
+TEST(PaperDatasetsTest, ForestIsZeroInflated) {
+  const SyntheticSpec spec = paper_dataset_spec("forest");
+  const Dataset d = make_paper_dataset("forest", 5);
+  const double floor = spec.target_offset - spec.target_scale;
+  std::size_t at_floor = 0;
+  for (const double y : d.targets()) {
+    EXPECT_GE(y, floor - 1e-9);
+    if (std::abs(y - floor) < 1e-9) {
+      ++at_floor;
+    }
+  }
+  const double fraction = static_cast<double>(at_floor) / static_cast<double>(d.size());
+  EXPECT_GT(fraction, spec.zero_inflation * 0.7);
+}
+
+TEST(TeacherDatasetTest, NoiseFloorIsRespected) {
+  // With zero noise, the target is a deterministic function of the features:
+  // two draws with the same seed agree, and the target variance comes
+  // entirely from the teacher.
+  SyntheticSpec spec;
+  spec.name = "clean";
+  spec.samples = 300;
+  spec.features = 4;
+  spec.noise_stddev = 0.0;
+  spec.target_scale = 2.0;
+  const Dataset d = make_teacher_dataset(spec, 9);
+  std::vector<double> t(d.targets().begin(), d.targets().end());
+  // Teacher output was standardized before scaling: stddev ≈ target_scale.
+  EXPECT_NEAR(util::stddev(t), 2.0, 0.05);
+}
+
+TEST(TeacherDatasetTest, CorrelatedFeaturesActuallyCorrelate) {
+  SyntheticSpec spec;
+  spec.name = "corr";
+  spec.samples = 2000;
+  spec.features = 2;
+  spec.feature_correlation = 0.8;
+  const Dataset d = make_teacher_dataset(spec, 13);
+  std::vector<double> f0;
+  std::vector<double> f1;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    f0.push_back(d.row(i)[0]);
+    f1.push_back(d.row(i)[1]);
+  }
+  EXPECT_GT(util::pearson(f0, f1), 0.6);
+
+  spec.feature_correlation = 0.0;
+  const Dataset ind = make_teacher_dataset(spec, 13);
+  f0.clear();
+  f1.clear();
+  for (std::size_t i = 0; i < ind.size(); ++i) {
+    f0.push_back(ind.row(i)[0]);
+    f1.push_back(ind.row(i)[1]);
+  }
+  EXPECT_LT(std::abs(util::pearson(f0, f1)), 0.1);
+}
+
+TEST(TeacherDatasetTest, ValidatesSpec) {
+  SyntheticSpec spec;
+  spec.samples = 2;
+  EXPECT_THROW((void)make_teacher_dataset(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.feature_correlation = 1.0;
+  EXPECT_THROW((void)make_teacher_dataset(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.target_scale = 0.0;
+  EXPECT_THROW((void)make_teacher_dataset(spec, 1), std::invalid_argument);
+  spec = {};
+  spec.tail_power = 0.5;
+  EXPECT_THROW((void)make_teacher_dataset(spec, 1), std::invalid_argument);
+}
+
+TEST(TeacherDatasetTest, RegimeStructureSeparatesFeatureSpace) {
+  SyntheticSpec spec;
+  spec.name = "regimes";
+  spec.samples = 2000;
+  spec.features = 3;
+  spec.noise_stddev = 0.0;
+  spec.regimes = 4;
+  spec.regime_separation = 3.0;
+  const Dataset with = make_teacher_dataset(spec, 21);
+  spec.regimes = 1;
+  const Dataset without = make_teacher_dataset(spec, 21);
+
+  auto feature_variance = [](const Dataset& d) {
+    std::vector<double> f0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      f0.push_back(d.row(i)[0]);
+    }
+    return util::variance(f0);
+  };
+  // Regime centers at 3σ spread add ≈ separation² to the feature variance.
+  EXPECT_GT(feature_variance(with), 3.0 * feature_variance(without));
+}
+
+TEST(TeacherDatasetTest, RegimeSpecsAreDeterministic) {
+  SyntheticSpec spec;
+  spec.name = "regimes";
+  spec.samples = 200;
+  spec.features = 4;
+  spec.regimes = 3;
+  const Dataset a = make_teacher_dataset(spec, 33);
+  const Dataset b = make_teacher_dataset(spec, 33);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.target(i), b.target(i));
+  }
+  spec.regimes = 0;
+  EXPECT_THROW((void)make_teacher_dataset(spec, 33), std::invalid_argument);
+}
+
+TEST(PaperDatasetsTest, AllSpecsDeclareRegimeStructure) {
+  // Every Table 1 workload mixes latent sub-populations (DESIGN.md §6.11) —
+  // the heterogeneity the multi-model experiments rely on.
+  for (const std::string& name : paper_dataset_names()) {
+    EXPECT_GE(paper_dataset_spec(name).regimes, 4u) << name;
+  }
+}
+
+TEST(SineTaskTest, FollowsTheFormulaUpToNoise) {
+  const Dataset d = make_sine_task(500, 7, 0.0);
+  EXPECT_EQ(d.num_features(), 1u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double x = d.row(i)[0];
+    EXPECT_GE(x, -std::numbers::pi);
+    EXPECT_LT(x, std::numbers::pi);
+    EXPECT_NEAR(d.target(i), std::sin(4.0 * x) + 0.5 * x, 1e-12);
+  }
+}
+
+TEST(MultimodalTaskTest, RegimesAreSeparatedInFeatureSpace) {
+  const Dataset d = make_multimodal_task(600, 3, 4, 11, 0.01);
+  EXPECT_EQ(d.size(), 600u);
+  EXPECT_EQ(d.num_features(), 3u);
+  // Feature variance across the dataset must far exceed within-regime
+  // variance (0.6² per the generator) — i.e. the regimes are distinct blobs.
+  std::vector<double> f0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    f0.push_back(d.row(i)[0]);
+  }
+  EXPECT_GT(util::variance(f0), 2.0 * 0.36);
+}
+
+TEST(MultimodalTaskTest, ValidatesParameters) {
+  EXPECT_THROW((void)make_multimodal_task(1, 3, 4, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_multimodal_task(100, 3, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_multimodal_task(100, 0, 4, 1), std::invalid_argument);
+}
+
+TEST(Friedman1Test, MatchesClosedFormWithoutNoise) {
+  const Dataset d = make_friedman1(200, 3, 0.0);
+  EXPECT_EQ(d.num_features(), 10u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto x = d.row(i);
+    const double expected = 10.0 * std::sin(std::numbers::pi * x[0] * x[1]) +
+                            20.0 * (x[2] - 0.5) * (x[2] - 0.5) + 10.0 * x[3] + 5.0 * x[4];
+    EXPECT_NEAR(d.target(i), expected, 1e-12);
+  }
+}
+
+TEST(Friedman1Test, FeaturesAreInUnitCube) {
+  const Dataset d = make_friedman1(300, 5);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (const double v : d.row(i)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reghd::data

@@ -1,0 +1,145 @@
+// Tests for the hypervector capacity model (paper §2.3, Eq. 4), including
+// the paper's worked example and a Monte-Carlo cross-check of the closed
+// form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/capacity.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::hdc {
+namespace {
+
+TEST(CapacityTest, PaperWorkedExample) {
+  // "using D=100,000 and T=0.5, we can identify P=10,000 patterns with 5.7%
+  // error" — Q(0.5·√10) = Q(1.5811) ≈ 0.0569.
+  CapacityQuery q;
+  q.dimension = 100000;
+  q.patterns = 10000;
+  q.threshold = 0.5;
+  EXPECT_NEAR(false_positive_probability(q), 0.057, 0.001);
+}
+
+TEST(CapacityTest, ErrorGrowsWithPatternCount) {
+  CapacityQuery q;
+  q.dimension = 10000;
+  q.threshold = 0.5;
+  double prev = 0.0;
+  for (const std::size_t p : {10u, 100u, 1000u, 10000u}) {
+    q.patterns = p;
+    const double err = false_positive_probability(q);
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(CapacityTest, ErrorShrinksWithDimension) {
+  CapacityQuery q;
+  q.patterns = 1000;
+  q.threshold = 0.5;
+  double prev = 1.0;
+  for (const std::size_t d : {1000u, 4000u, 16000u, 64000u}) {
+    q.dimension = d;
+    const double err = false_positive_probability(q);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(CapacityTest, HigherThresholdLowersError) {
+  CapacityQuery q;
+  q.dimension = 10000;
+  q.patterns = 1000;
+  q.threshold = 0.3;
+  const double loose = false_positive_probability(q);
+  q.threshold = 0.7;
+  const double tight = false_positive_probability(q);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(CapacityTest, RejectsInvalidQueries) {
+  CapacityQuery q;
+  q.dimension = 0;
+  EXPECT_THROW((void)false_positive_probability(q), std::invalid_argument);
+  q = {};
+  q.patterns = 0;
+  EXPECT_THROW((void)false_positive_probability(q), std::invalid_argument);
+  q = {};
+  q.threshold = 1.5;
+  EXPECT_THROW((void)false_positive_probability(q), std::invalid_argument);
+}
+
+TEST(CapacityInversionTest, MaxPatternsIsConsistentWithForwardModel) {
+  const std::size_t p = max_patterns(100000, 0.5, 0.057);
+  // The paper's example: ≈10k patterns at 5.7% error.
+  EXPECT_NEAR(static_cast<double>(p), 10000.0, 300.0);
+
+  // Forward-evaluating at the returned P must respect the error budget.
+  CapacityQuery q;
+  q.dimension = 100000;
+  q.patterns = p;
+  q.threshold = 0.5;
+  EXPECT_LE(false_positive_probability(q), 0.0575);
+}
+
+TEST(CapacityInversionTest, MinDimensionIsConsistentWithForwardModel) {
+  const std::size_t d = min_dimension(10000, 0.5, 0.057);
+  EXPECT_NEAR(static_cast<double>(d), 100000.0, 3000.0);
+  CapacityQuery q;
+  q.dimension = d;
+  q.patterns = 10000;
+  q.threshold = 0.5;
+  EXPECT_LE(false_positive_probability(q), 0.0575);
+}
+
+TEST(CapacityInversionTest, ZeroWhenBudgetUnreachable) {
+  // A tiny dimension cannot store anything at a strict error budget.
+  EXPECT_EQ(max_patterns(4, 0.5, 0.001), 0u);
+}
+
+// Monte-Carlo agreement sweep (validates the binomial→normal model the
+// paper's Eq. 4 relies on).
+struct McCase {
+  std::size_t dimension;
+  std::size_t patterns;
+  double threshold;
+};
+
+class CapacityMonteCarloTest : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(CapacityMonteCarloTest, ClosedFormMatchesSimulation) {
+  const McCase c = GetParam();
+  CapacityQuery q;
+  q.dimension = c.dimension;
+  q.patterns = c.patterns;
+  q.threshold = c.threshold;
+
+  const double predicted = false_positive_probability(q);
+  util::Rng rng(c.dimension * 7919 + c.patterns);
+  constexpr std::size_t kTrials = 3000;
+  const double simulated = simulate_false_positive_rate(q, kTrials, rng);
+
+  // Binomial confidence band around the prediction (4σ) plus a small floor
+  // for model error at low trial counts.
+  const double sigma = std::sqrt(predicted * (1.0 - predicted) / kTrials);
+  EXPECT_NEAR(simulated, predicted, 4.0 * sigma + 0.01)
+      << "D=" << c.dimension << " P=" << c.patterns << " T=" << c.threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, CapacityMonteCarloTest,
+                         ::testing::Values(McCase{2000, 200, 0.5},
+                                           McCase{2000, 500, 0.5},
+                                           McCase{4000, 400, 0.5},
+                                           McCase{2000, 200, 0.3},
+                                           McCase{1000, 400, 0.4}));
+
+TEST(CapacitySimulationTest, RejectsZeroTrials) {
+  CapacityQuery q;
+  util::Rng rng(1);
+  EXPECT_THROW((void)simulate_false_positive_rate(q, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reghd::hdc

@@ -1,0 +1,230 @@
+// Tests for the similarity-preserving encoders (paper §2.2), including the
+// exact equivalence of the factored Eq. 1 fast path with the literal
+// formula, and the similarity-preservation property across all encoders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hdc/encoding.hpp"
+#include "hdc/ops.hpp"
+#include "util/random.hpp"
+
+namespace reghd::hdc {
+namespace {
+
+EncoderConfig base_config(EncoderKind kind, std::size_t input_dim = 6,
+                          std::size_t dim = 1024) {
+  EncoderConfig cfg;
+  cfg.kind = kind;
+  cfg.input_dim = input_dim;
+  cfg.dim = dim;
+  cfg.seed = 99;
+  return cfg;
+}
+
+std::vector<double> random_features(std::size_t n, util::Rng& rng) {
+  std::vector<double> f(n);
+  for (double& v : f) {
+    v = rng.normal();
+  }
+  return f;
+}
+
+TEST(EncoderKindTest, NameRoundTrip) {
+  for (const auto kind : {EncoderKind::kNonlinearFeature, EncoderKind::kRffProjection,
+                          EncoderKind::kIdLevel}) {
+    EXPECT_EQ(encoder_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)encoder_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(NonlinearEncoderTest, FactoredFormMatchesLiteralEquationOne) {
+  const NonlinearFeatureEncoder enc(base_config(EncoderKind::kNonlinearFeature, 5, 512));
+  util::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::vector<double> f = random_features(5, rng);
+    const RealHV fast = enc.encode_real(f);
+    const RealHV reference = enc.encode_reference(f);
+    ASSERT_EQ(fast.dim(), reference.dim());
+    for (std::size_t j = 0; j < fast.dim(); ++j) {
+      EXPECT_NEAR(fast[j], reference[j], 1e-9);
+    }
+  }
+}
+
+TEST(NonlinearEncoderTest, ZeroInputGivesDeterministicBias) {
+  // f = 0 ⇒ every term cos(b_j)·sin(0) = 0 ⇒ H = 0.
+  const NonlinearFeatureEncoder enc(base_config(EncoderKind::kNonlinearFeature, 4, 256));
+  const RealHV h = enc.encode_real(std::vector<double>(4, 0.0));
+  for (std::size_t j = 0; j < h.dim(); ++j) {
+    EXPECT_NEAR(h[j], 0.0, 1e-12);
+  }
+}
+
+class EncoderSuite : public ::testing::TestWithParam<EncoderKind> {
+ protected:
+  std::unique_ptr<Encoder> make(std::size_t input_dim = 6, std::size_t dim = 2048) const {
+    return make_encoder(base_config(GetParam(), input_dim, dim));
+  }
+};
+
+TEST_P(EncoderSuite, DeterministicForFixedConfig) {
+  const auto enc1 = make();
+  const auto enc2 = make();
+  util::Rng rng(3);
+  const std::vector<double> f = random_features(6, rng);
+  EXPECT_EQ(enc1->encode_real(f).values().size(), 2048u);
+  const RealHV a = enc1->encode_real(f);
+  const RealHV b = enc2->encode_real(f);
+  for (std::size_t j = 0; j < a.dim(); ++j) {
+    EXPECT_DOUBLE_EQ(a[j], b[j]);
+  }
+}
+
+TEST_P(EncoderSuite, DifferentSeedsProduceDifferentMaps) {
+  auto cfg = base_config(GetParam());
+  const auto enc1 = make_encoder(cfg);
+  cfg.seed += 1;
+  const auto enc2 = make_encoder(cfg);
+  util::Rng rng(5);
+  const std::vector<double> f = random_features(6, rng);
+  EXPECT_NE(enc1->encode_real(f), enc2->encode_real(f));
+}
+
+TEST_P(EncoderSuite, RejectsWrongFeatureCount) {
+  const auto enc = make();
+  EXPECT_THROW((void)enc->encode_real(std::vector<double>(5, 0.0)), std::invalid_argument);
+  EXPECT_THROW((void)enc->encode(std::vector<double>(7, 0.0)), std::invalid_argument);
+}
+
+TEST_P(EncoderSuite, EncodedSampleRepresentationsAreCoupled) {
+  const auto enc = make();
+  util::Rng rng(7);
+  const EncodedSample s = enc->encode(random_features(6, rng));
+  EXPECT_EQ(s.bipolar, s.real.sign());
+  EXPECT_EQ(s.binary, s.bipolar.pack());
+  double norm2 = 0.0;
+  for (const double v : s.real.values()) {
+    norm2 += v * v;
+  }
+  EXPECT_NEAR(s.real_norm2, norm2, 1e-9);
+  EXPECT_NEAR(s.real_norm, std::sqrt(norm2), 1e-9);
+}
+
+// The commonsense principle of §2.2: closer inputs map to more similar
+// hypervectors; far-apart inputs map toward orthogonality.
+TEST_P(EncoderSuite, SimilarityDecreasesWithInputDistance) {
+  const auto enc = make(6, 4096);
+  util::Rng rng(11);
+  double near_sum = 0.0;
+  double mid_sum = 0.0;
+  double far_sum = 0.0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<double> x = random_features(6, rng);
+    auto perturb = [&](double eps) {
+      std::vector<double> y = x;
+      for (double& v : y) {
+        v += eps * rng.normal();
+      }
+      return enc->encode(y);
+    };
+    const EncodedSample ex = enc->encode(x);
+    near_sum += cosine(ex.real, perturb(0.05).real);
+    mid_sum += cosine(ex.real, perturb(0.5).real);
+    far_sum += cosine(ex.real, perturb(5.0).real);
+  }
+  EXPECT_GT(near_sum / kTrials, mid_sum / kTrials);
+  EXPECT_GT(mid_sum / kTrials, far_sum / kTrials);
+  EXPECT_GT(near_sum / kTrials, 0.8);  // tiny perturbation ⇒ nearly identical
+}
+
+TEST_P(EncoderSuite, BinaryRepresentationPreservesSimilarityToo) {
+  const auto enc = make(6, 4096);
+  util::Rng rng(13);
+  const std::vector<double> x = random_features(6, rng);
+  std::vector<double> near = x;
+  near[0] += 0.05;
+  std::vector<double> far = x;
+  for (double& v : far) {
+    v += 3.0 * rng.normal();
+  }
+  const EncodedSample ex = enc->encode(x);
+  const double sim_near = hamming_similarity(ex.binary, enc->encode(near).binary);
+  const double sim_far = hamming_similarity(ex.binary, enc->encode(far).binary);
+  EXPECT_GT(sim_near, sim_far);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EncoderSuite,
+                         ::testing::Values(EncoderKind::kNonlinearFeature,
+                                           EncoderKind::kRffProjection,
+                                           EncoderKind::kIdLevel,
+                                           EncoderKind::kTemporal),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(IdLevelEncoderTest, LevelIndexQuantizesAndClamps) {
+  auto cfg = base_config(EncoderKind::kIdLevel, 3, 256);
+  cfg.levels = 11;
+  cfg.level_min = -1.0;
+  cfg.level_max = 1.0;
+  const IdLevelEncoder enc(cfg);
+  EXPECT_EQ(enc.level_index(-1.0), 0u);
+  EXPECT_EQ(enc.level_index(0.0), 5u);
+  EXPECT_EQ(enc.level_index(1.0), 10u);
+  EXPECT_EQ(enc.level_index(-100.0), 0u);   // clamped
+  EXPECT_EQ(enc.level_index(100.0), 10u);   // clamped
+}
+
+TEST(IdLevelEncoderTest, NearbyLevelsShareMoreBitsThanDistantOnes) {
+  auto cfg = base_config(EncoderKind::kIdLevel, 1, 2048);
+  cfg.levels = 32;
+  cfg.level_min = -3.0;
+  cfg.level_max = 3.0;
+  const IdLevelEncoder enc(cfg);
+  const EncodedSample lo = enc.encode(std::vector<double>{-2.9});
+  const EncodedSample lo2 = enc.encode(std::vector<double>{-2.5});
+  const EncodedSample hi = enc.encode(std::vector<double>{2.9});
+  EXPECT_GT(cosine(lo.real, lo2.real), cosine(lo.real, hi.real));
+}
+
+TEST(EncoderConfigTest, FactoryValidatesConfiguration) {
+  EncoderConfig cfg;  // input_dim = 0
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+  cfg.input_dim = 4;
+  cfg.dim = 0;
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+  cfg = base_config(EncoderKind::kIdLevel);
+  cfg.levels = 1;
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+  cfg = base_config(EncoderKind::kIdLevel);
+  cfg.level_min = 2.0;
+  cfg.level_max = 1.0;
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+  cfg = base_config(EncoderKind::kRffProjection);
+  cfg.projection_stddev = -1.0;
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+}
+
+TEST(RffEncoderTest, ExplicitBandwidthOverridesAuto) {
+  auto cfg = base_config(EncoderKind::kRffProjection, 4, 1024);
+  cfg.projection_stddev = 0.0;  // auto
+  const auto auto_enc = make_encoder(cfg);
+  cfg.projection_stddev = 2.0;
+  const auto sharp_enc = make_encoder(cfg);
+  util::Rng rng(17);
+  const std::vector<double> x = random_features(4, rng);
+  std::vector<double> y = x;
+  for (double& v : y) {
+    v += 0.3 * rng.normal();
+  }
+  // The sharper kernel must separate the pair more.
+  const double sim_auto =
+      cosine(auto_enc->encode(x).real, auto_enc->encode(y).real);
+  const double sim_sharp =
+      cosine(sharp_enc->encode(x).real, sharp_enc->encode(y).real);
+  EXPECT_GT(sim_auto, sim_sharp);
+}
+
+}  // namespace
+}  // namespace reghd::hdc

@@ -1,0 +1,118 @@
+// Tests for the permutation-bound temporal (sequence) encoder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hdc/encoding.hpp"
+#include "hdc/ops.hpp"
+#include "util/random.hpp"
+
+namespace reghd::hdc {
+namespace {
+
+EncoderConfig temporal_config(std::size_t window = 8, std::size_t dim = 2048) {
+  EncoderConfig cfg;
+  cfg.kind = EncoderKind::kTemporal;
+  cfg.input_dim = window;
+  cfg.dim = dim;
+  cfg.seed = 42;
+  cfg.levels = 32;
+  cfg.level_min = -3.0;
+  cfg.level_max = 3.0;
+  return cfg;
+}
+
+std::vector<double> random_window(std::size_t n, util::Rng& rng) {
+  std::vector<double> w(n);
+  for (double& v : w) {
+    v = rng.normal();
+  }
+  return w;
+}
+
+TEST(TemporalEncoderTest, FactoryAndNameRoundTrip) {
+  EXPECT_EQ(encoder_kind_from_string("temporal"), EncoderKind::kTemporal);
+  EXPECT_EQ(to_string(EncoderKind::kTemporal), "temporal");
+  const auto enc = make_encoder(temporal_config());
+  EXPECT_EQ(enc->dim(), 2048u);
+  EXPECT_EQ(enc->input_dim(), 8u);
+}
+
+TEST(TemporalEncoderTest, OrderSensitivity) {
+  // The same values in a different order must land far away — this is what
+  // the position permutation adds over plain bundling.
+  const auto enc = make_encoder(temporal_config());
+  util::Rng rng(1);
+  const std::vector<double> window = {-2.0, -1.0, 0.0, 1.0, 2.0, 1.0, 0.0, -1.0};
+  std::vector<double> reversed(window.rbegin(), window.rend());
+  const double self_sim = cosine(enc->encode(window).real, enc->encode(window).real);
+  const double rev_sim = cosine(enc->encode(window).real, enc->encode(reversed).real);
+  EXPECT_NEAR(self_sim, 1.0, 1e-12);
+  EXPECT_LT(rev_sim, 0.8);
+}
+
+TEST(TemporalEncoderTest, SmallValueChangesStaySimilar) {
+  const auto enc = make_encoder(temporal_config());
+  util::Rng rng(3);
+  const std::vector<double> window = random_window(8, rng);
+  std::vector<double> nudged = window;
+  for (double& v : nudged) {
+    v += 0.05;
+  }
+  std::vector<double> scrambled = window;
+  for (double& v : scrambled) {
+    v = rng.normal() * 2.0;
+  }
+  const EncodedSample base = enc->encode(window);
+  EXPECT_GT(cosine(base.real, enc->encode(nudged).real),
+            cosine(base.real, enc->encode(scrambled).real));
+  EXPECT_GT(cosine(base.real, enc->encode(nudged).real), 0.7);
+}
+
+TEST(TemporalEncoderTest, SingleChangedPositionMovesSimilarityProportionally) {
+  // Changing one of w positions perturbs ≈ 1/w of the bundled mass.
+  const auto enc = make_encoder(temporal_config(8));
+  util::Rng rng(5);
+  const std::vector<double> window = random_window(8, rng);
+  std::vector<double> one_changed = window;
+  one_changed[3] = -window[3] + 1.0;  // move to a distant level
+  const double sim = cosine(enc->encode(window).real, enc->encode(one_changed).real);
+  EXPECT_GT(sim, 0.6);   // 7 of 8 positions intact
+  EXPECT_LT(sim, 0.99);  // but the change is visible
+}
+
+TEST(TemporalEncoderTest, LevelIndexClampsAndQuantizes) {
+  const TemporalEncoder enc(temporal_config());
+  EXPECT_EQ(enc.level_index(-3.0), 0u);
+  EXPECT_EQ(enc.level_index(3.0), 31u);
+  EXPECT_EQ(enc.level_index(-100.0), 0u);
+  EXPECT_EQ(enc.level_index(0.0), 16u);
+}
+
+TEST(TemporalEncoderTest, DeterministicAndSeedSensitive) {
+  const auto a = make_encoder(temporal_config());
+  const auto b = make_encoder(temporal_config());
+  auto cfg = temporal_config();
+  cfg.seed += 1;
+  const auto c = make_encoder(cfg);
+  util::Rng rng(7);
+  const std::vector<double> window = random_window(8, rng);
+  EXPECT_EQ(a->encode_real(window), b->encode_real(window));
+  EXPECT_NE(a->encode_real(window), c->encode_real(window));
+}
+
+TEST(TemporalEncoderTest, ValidatesConfiguration) {
+  auto cfg = temporal_config();
+  cfg.levels = 1;
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+  cfg = temporal_config();
+  cfg.level_min = 1.0;
+  cfg.level_max = -1.0;
+  EXPECT_THROW((void)make_encoder(cfg), std::invalid_argument);
+  const auto enc = make_encoder(temporal_config(8));
+  EXPECT_THROW((void)enc->encode_real(std::vector<double>(7, 0.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reghd::hdc

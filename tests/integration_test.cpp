@@ -1,0 +1,134 @@
+// End-to-end integration tests: every learner through the uniform Regressor
+// interface on shared synthetic workloads, checking the cross-learner
+// orderings the paper's Table 1 relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "baselines/baseline_hd.hpp"
+#include "baselines/decision_tree.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/grid_search.hpp"
+#include "baselines/linear.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/svr.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "util/metrics.hpp"
+#include "util/random.hpp"
+
+namespace reghd {
+namespace {
+
+std::map<std::string, double> run_all_learners(const data::Dataset& dataset,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  const data::TrainTestSplit split = data::train_test_split(dataset, 0.25, rng);
+
+  std::vector<std::unique_ptr<model::Regressor>> learners;
+  learners.push_back(std::make_unique<baselines::MeanPredictor>());
+  learners.push_back(std::make_unique<baselines::LinearRegression>());
+  {
+    baselines::MlpConfig cfg;
+    cfg.hidden = {64, 32};
+    cfg.max_epochs = 80;
+    learners.push_back(std::make_unique<baselines::Mlp>(cfg));
+  }
+  {
+    baselines::DecisionTreeConfig cfg;
+    cfg.max_depth = 8;
+    learners.push_back(std::make_unique<baselines::DecisionTree>(cfg));
+  }
+  learners.push_back(std::make_unique<baselines::Svr>());
+  learners.push_back(std::make_unique<baselines::KnnRegressor>());
+  {
+    baselines::BaselineHdConfig cfg;
+    cfg.dim = 2048;
+    cfg.bins = 16;
+    learners.push_back(std::make_unique<baselines::BaselineHd>(cfg));
+  }
+  {
+    core::PipelineConfig cfg;
+    cfg.reghd.models = 8;
+    cfg.reghd.dim = 2048;
+    learners.push_back(std::make_unique<core::RegHDPipeline>(cfg));
+  }
+
+  std::map<std::string, double> mse_by_name;
+  for (auto& learner : learners) {
+    learner->fit(split.train);
+    const std::vector<double> pred = learner->predict_batch(split.test);
+    mse_by_name[learner->name()] = util::mse(pred, split.test.targets());
+  }
+  return mse_by_name;
+}
+
+TEST(IntegrationTest, EveryLearnerBeatsTheMeanOnFriedman) {
+  const auto mse = run_all_learners(data::make_friedman1(1500, 42), 42);
+  const double floor = mse.at("Mean");
+  for (const auto& [name, value] : mse) {
+    if (name == "Mean") {
+      continue;
+    }
+    EXPECT_LT(value, floor) << name << " failed to beat the mean predictor";
+  }
+}
+
+TEST(IntegrationTest, RegHDIsCompetitiveAndBeatsBaselineHd) {
+  // The paper's Table 1 headline orderings: RegHD ≈ the strong baselines,
+  // and far better than Baseline-HD's discretized regression.
+  const auto mse = run_all_learners(data::make_friedman1(1500, 43), 43);
+  EXPECT_LT(mse.at("RegHD-8"), mse.at("Baseline-HD"));
+  EXPECT_LT(mse.at("RegHD-8"), 2.0 * mse.at("DNN"));
+}
+
+TEST(IntegrationTest, NonlinearLearnersBeatLinearOnMultimodalData) {
+  const data::Dataset d = data::make_multimodal_task(1500, 4, 6, 44, 0.05);
+  const auto mse = run_all_learners(d, 44);
+  EXPECT_LT(mse.at("RegHD-8"), mse.at("LinearRegression"));
+  EXPECT_LT(mse.at("DNN"), mse.at("LinearRegression"));
+}
+
+TEST(IntegrationTest, PaperDatasetGeneratorEndToEnd) {
+  // One full Table-1-style column on the synthetic "boston": shapes hold —
+  // everything beats the mean; RegHD beats Baseline-HD.
+  const auto mse = run_all_learners(data::make_paper_dataset("boston", 45), 45);
+  const double floor = mse.at("Mean");
+  EXPECT_LT(mse.at("RegHD-8"), floor);
+  EXPECT_LT(mse.at("DNN"), floor);
+  EXPECT_LT(mse.at("RegHD-8"), mse.at("Baseline-HD"));
+}
+
+TEST(IntegrationTest, FullRunIsDeterministic) {
+  const data::Dataset d = data::make_paper_dataset("diabetes", 46);
+  const auto a = run_all_learners(d, 46);
+  const auto b = run_all_learners(d, 46);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, value] : a) {
+    EXPECT_DOUBLE_EQ(value, b.at(name)) << name;
+  }
+}
+
+TEST(IntegrationTest, MoreModelsHelpOnMultimodalData) {
+  // Table 1's k-sweep shape on a strongly clustered task:
+  // RegHD-8 ≪ RegHD-1.
+  const data::Dataset d = data::make_multimodal_task(1500, 4, 8, 47, 0.05);
+  util::Rng rng(47);
+  const data::TrainTestSplit split = data::train_test_split(d, 0.25, rng);
+
+  auto run_k = [&](std::size_t k) {
+    core::PipelineConfig cfg;
+    cfg.reghd.models = k;
+    cfg.reghd.dim = 2048;
+    core::RegHDPipeline pipeline(cfg);
+    pipeline.fit(split.train);
+    return pipeline.evaluate_mse(split.test);
+  };
+  const double mse1 = run_k(1);
+  const double mse8 = run_k(8);
+  EXPECT_LT(mse8, 0.7 * mse1);
+}
+
+}  // namespace
+}  // namespace reghd

@@ -1,0 +1,51 @@
+// Tests for the Regressor interface contract itself.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "model/regressor.hpp"
+
+namespace reghd::model {
+namespace {
+
+/// Minimal stub: predicts feature[0] doubled, counts calls.
+class StubRegressor final : public Regressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "Stub"; }
+
+  void fit(const data::Dataset& train) override { fitted_samples_ = train.size(); }
+
+  [[nodiscard]] double predict(std::span<const double> features) const override {
+    ++predict_calls_;
+    return 2.0 * features[0];
+  }
+
+  std::size_t fitted_samples_ = 0;
+  mutable std::size_t predict_calls_ = 0;
+};
+
+TEST(RegressorInterfaceTest, DefaultPredictBatchLoopsOverPredict) {
+  data::Dataset d;
+  for (int i = 0; i < 7; ++i) {
+    const double f[] = {static_cast<double>(i)};
+    d.add_sample(f, 0.0);
+  }
+  StubRegressor stub;
+  stub.fit(d);
+  EXPECT_EQ(stub.fitted_samples_, 7u);
+
+  const std::vector<double> out = stub.predict_batch(d);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(stub.predict_calls_, 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 2.0 * i);
+  }
+}
+
+TEST(RegressorInterfaceTest, PredictBatchOnEmptyDatasetIsEmpty) {
+  StubRegressor stub;
+  EXPECT_TRUE(stub.predict_batch(data::Dataset{}).empty());
+  EXPECT_EQ(stub.predict_calls_, 0u);
+}
+
+}  // namespace
+}  // namespace reghd::model

@@ -1,0 +1,71 @@
+// Tests for the device profiles and the energy/latency mapping.
+#include <gtest/gtest.h>
+
+#include "perf/device_profile.hpp"
+
+namespace reghd::perf {
+namespace {
+
+OpCount float_heavy() {
+  OpCount c;
+  c.float_mul = 1000;
+  c.float_add = 1000;
+  return c;
+}
+
+OpCount bit_heavy() {
+  // Same 1000-dimension workload expressed as packed word operations
+  // (1000/64 ≈ 16 words).
+  OpCount c;
+  c.xor_word = 16;
+  c.popcount_word = 16;
+  c.int_add = 16;
+  return c;
+}
+
+TEST(DeviceProfileTest, EnergyAndTimeArePositiveAndLinear) {
+  const DeviceProfile& fpga = fpga_kintex7();
+  const OpCount c = float_heavy();
+  const double e1 = fpga.energy_uj(c);
+  const double t1 = fpga.time_ms(c);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_NEAR(fpga.energy_uj(c * 3), 3.0 * e1, 1e-12);
+  EXPECT_NEAR(fpga.time_ms(c * 3), 3.0 * t1, 1e-12);
+}
+
+TEST(DeviceProfileTest, ZeroOpsCostNothing) {
+  const OpCount none;
+  EXPECT_DOUBLE_EQ(fpga_kintex7().energy_uj(none), 0.0);
+  EXPECT_DOUBLE_EQ(embedded_cpu().time_ms(none), 0.0);
+}
+
+TEST(DeviceProfileTest, BitLevelKernelsAreFarCheaperThanFloat) {
+  // This ratio is the mechanism behind the paper's §3 efficiency claims.
+  const DeviceProfile& fpga = fpga_kintex7();
+  EXPECT_GT(fpga.energy_uj(float_heavy()) / fpga.energy_uj(bit_heavy()), 50.0);
+  EXPECT_GT(fpga.time_ms(float_heavy()) / fpga.time_ms(bit_heavy()), 50.0);
+}
+
+TEST(DeviceProfileTest, ProfilesAreDistinctAndNamed) {
+  EXPECT_EQ(fpga_kintex7().name, "kintex7-fpga");
+  EXPECT_EQ(embedded_cpu().name, "cortex-a53");
+  // The embedded CPU is slower on the same float workload.
+  EXPECT_GT(embedded_cpu().time_ms(float_heavy()), fpga_kintex7().time_ms(float_heavy()));
+}
+
+TEST(DeviceProfileTest, TrigAndExpDominatePerOpCosts) {
+  const DeviceProfile& fpga = fpga_kintex7();
+  EXPECT_GT(fpga.pj_float_trig, fpga.pj_float_mul);
+  EXPECT_GT(fpga.pj_float_exp, fpga.pj_float_add);
+  EXPECT_GT(fpga.ns_float_trig, fpga.ns_int_add);
+}
+
+TEST(DeviceProfileTest, EnergyDelayProduct) {
+  const OpCount c = float_heavy();
+  const DeviceProfile& fpga = fpga_kintex7();
+  EXPECT_NEAR(fpga.energy_delay(c), fpga.energy_uj(c) * fpga.time_ms(c), 1e-12);
+}
+
+}  // namespace
+}  // namespace reghd::perf

@@ -1,0 +1,201 @@
+// Tests for the analytic kernel cost formulas: hand-counted values, scaling
+// laws, and the qualitative orderings the paper's efficiency results rest on.
+#include <gtest/gtest.h>
+
+#include "perf/device_profile.hpp"
+#include "perf/kernel_costs.hpp"
+
+namespace reghd::perf {
+namespace {
+
+TEST(PrimitiveCostTest, HammingCountsWords) {
+  const OpCount c = cost_hamming(4096);
+  EXPECT_EQ(c.xor_word, 64u);       // 4096/64
+  EXPECT_EQ(c.popcount_word, 64u);
+  EXPECT_EQ(c.int_add, 64u);
+  EXPECT_EQ(c.float_mul, 1u);       // similarity rescale
+  const OpCount odd = cost_hamming(100);
+  EXPECT_EQ(odd.xor_word, 2u);      // ⌈100/64⌉
+}
+
+TEST(PrimitiveCostTest, CosineVsHammingGap) {
+  // §3.1: the Hamming path eliminates D multiplies; it must be dramatically
+  // cheaper on the FPGA profile.
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double cosine_t = fpga.time_ms(cost_cosine_real(4096));
+  const double hamming_t = fpga.time_ms(cost_hamming(4096));
+  EXPECT_GT(cosine_t / hamming_t, 20.0);
+}
+
+TEST(PrimitiveCostTest, DotKernelsOrderedByPrecision) {
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double full = fpga.time_ms(cost_dot_real_real(4096));
+  const double bin_query = fpga.time_ms(cost_dot_real_binary(4096));
+  const double bin_bin = fpga.time_ms(cost_dot_binary_binary(4096));
+  EXPECT_GT(full, bin_query);   // multiply-free beats full precision
+  EXPECT_GT(bin_query, bin_bin);  // popcount beats element accumulation
+}
+
+TEST(PrimitiveCostTest, AccumulatorUpdatePrecisions) {
+  const OpCount real = cost_accumulator_update(1024, Precision::kReal);
+  const OpCount binary = cost_accumulator_update(1024, Precision::kBinary);
+  EXPECT_EQ(real.float_mul, 1024u);
+  EXPECT_EQ(binary.float_mul, 0u);  // ±c adds only
+  EXPECT_EQ(binary.float_add, 1024u);
+}
+
+TEST(PrimitiveCostTest, SoftmaxAndBinarizeShapes) {
+  const OpCount sm = cost_softmax(8);
+  EXPECT_EQ(sm.float_exp, 8u);
+  EXPECT_EQ(sm.float_div, 8u);
+  const OpCount bz = cost_binarize(4096);
+  EXPECT_EQ(bz.int_cmp, 4096u);
+  EXPECT_EQ(bz.mem_write_word, 64u);
+}
+
+TEST(EncoderCostTest, RffDominatedByProjection) {
+  const OpCount c = cost_encode_rff(10, 4096);
+  EXPECT_EQ(c.float_mul, 10u * 4096u + 4096u);
+  EXPECT_EQ(c.float_trig, 2u * 4096u);
+  // The factored Eq. 1 encoder needs only 2n trig calls.
+  const OpCount nl = cost_encode_nonlinear(10, 4096);
+  EXPECT_EQ(nl.float_trig, 20u);
+  EXPECT_LT(nl.float_mul, c.float_mul);
+}
+
+TEST(RegHDCompositeTest, InferenceScalesLinearlyInModels) {
+  RegHDKernelShape shape;
+  shape.dim = 2048;
+  shape.features = 10;
+  shape.models = 2;
+  const OpCount k2 = reghd_infer_sample(shape);
+  shape.models = 8;
+  const OpCount k8 = reghd_infer_sample(shape);
+  shape.models = 32;
+  const OpCount k32 = reghd_infer_sample(shape);
+
+  const OpCount encode = reghd_encode_sample(shape);
+  // Subtract the k-independent encoder; the remainder must scale ~k.
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double t2 = fpga.time_ms(k2) - fpga.time_ms(encode);
+  const double t8 = fpga.time_ms(k8) - fpga.time_ms(encode);
+  const double t32 = fpga.time_ms(k32) - fpga.time_ms(encode);
+  EXPECT_NEAR(t8 / t2, 4.0, 0.2);
+  EXPECT_NEAR(t32 / t8, 4.0, 0.2);
+}
+
+TEST(RegHDCompositeTest, QuantizedClusterIsCheaperToTrain) {
+  // Paper-standard hardware shape: Eq. 1 encoder, binary query (Fig. 9's
+  // training comparison) — there the cosine search is the dominant cost the
+  // quantization removes.
+  RegHDKernelShape full;
+  full.models = 8;
+  full.rff_encoder = false;
+  full.query = Precision::kBinary;
+  RegHDKernelShape quant = full;
+  quant.quantized_cluster = true;
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double t_full = fpga.time_ms(reghd_train_epoch(full, 1000));
+  const double t_quant = fpga.time_ms(reghd_train_epoch(quant, 1000));
+  EXPECT_GT(t_full / t_quant, 1.2);  // Fig. 9's ~1.9× lives here
+  const double e_full = fpga.energy_uj(reghd_train_epoch(full, 1000));
+  const double e_quant = fpga.energy_uj(reghd_train_epoch(quant, 1000));
+  EXPECT_GT(e_full / e_quant, 1.2);
+}
+
+TEST(RegHDCompositeTest, BinaryQueryBinaryModelIsCheapestInference) {
+  RegHDKernelShape full;
+  full.models = 8;
+  full.quantized_cluster = true;
+  RegHDKernelShape bq_im = full;
+  bq_im.query = Precision::kBinary;
+  RegHDKernelShape bq_bm = bq_im;
+  bq_bm.model = Precision::kBinary;
+
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double t_full = fpga.time_ms(reghd_infer_sample(full));
+  const double t_bq = fpga.time_ms(reghd_infer_sample(bq_im));
+  const double t_bb = fpga.time_ms(reghd_infer_sample(bq_bm));
+  EXPECT_GT(t_full, t_bq);
+  EXPECT_GT(t_bq, t_bb);
+}
+
+TEST(RegHDCompositeTest, TrainTotalIsEpochsTimesEpoch) {
+  RegHDKernelShape shape;
+  const OpCount epoch = reghd_train_epoch(shape, 500);
+  EXPECT_EQ(reghd_train_total(shape, 500, 7), epoch * 7);
+}
+
+TEST(RegHDCompositeTest, RequantizeCostsAppearOnlyWhenEnabled) {
+  RegHDKernelShape shape;
+  shape.models = 4;
+  const OpCount plain = reghd_train_epoch(shape, 100);
+  shape.quantized_cluster = true;
+  const OpCount with_cluster_quant = reghd_train_epoch(shape, 100);
+  EXPECT_GT(with_cluster_quant.int_cmp, plain.int_cmp);
+  shape.model = Precision::kBinary;
+  const OpCount with_model_quant = reghd_train_epoch(shape, 100);
+  EXPECT_GT(with_model_quant.int_cmp, with_cluster_quant.int_cmp);
+}
+
+TEST(MlpCostTest, ForwardPassHandCount) {
+  MlpKernelShape shape;
+  shape.inputs = 10;
+  shape.hidden1 = 20;
+  shape.hidden2 = 5;
+  const OpCount fwd = mlp_infer_sample(shape);
+  EXPECT_EQ(fwd.float_mul, 10u * 20u + 20u * 5u + 5u * 1u);
+}
+
+TEST(MlpCostTest, TrainingIsSeveralTimesForward) {
+  MlpKernelShape shape;
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double fwd = fpga.time_ms(mlp_infer_sample(shape));
+  const double train = fpga.time_ms(mlp_train_sample(shape));
+  EXPECT_GT(train / fwd, 2.5);
+  EXPECT_LT(train / fwd, 6.0);
+}
+
+TEST(FigureEightShapeTest, RegHDTrainsFasterThanDnnEndToEnd) {
+  // The Fig. 8 headline (≈5.6× training speedup) combines a cheaper
+  // per-iteration step with far fewer iterations to convergence. With
+  // representative epoch counts (RegHD ≈ 20, DNN ≈ 100+) the end-to-end
+  // FPGA-profile ratio must be a healthy multiple.
+  RegHDKernelShape reghd;
+  reghd.dim = 4096;
+  reghd.models = 8;
+  reghd.features = 10;
+  reghd.quantized_cluster = true;
+  reghd.query = Precision::kBinary;
+  reghd.rff_encoder = false;
+  MlpKernelShape dnn;
+  dnn.inputs = 10;
+  dnn.hidden1 = 128;
+  dnn.hidden2 = 64;
+
+  constexpr std::size_t kSamples = 1000;
+  const DeviceProfile& fpga = fpga_kintex7();
+  const double t_reghd = fpga.time_ms(reghd_train_total(reghd, kSamples, 20));
+  const double t_dnn = fpga.time_ms(mlp_train_total(dnn, kSamples, 100));
+  EXPECT_GT(t_dnn / t_reghd, 2.0);
+  const double e_reghd = fpga.energy_uj(reghd_train_total(reghd, kSamples, 20));
+  const double e_dnn = fpga.energy_uj(mlp_train_total(dnn, kSamples, 100));
+  EXPECT_GT(e_dnn / e_reghd, 2.0);
+}
+
+TEST(BaselineHdCostTest, ScalesWithBinCount) {
+  const OpCount few = baseline_hd_infer_sample(10, 4096, 8);
+  const OpCount many = baseline_hd_infer_sample(10, 4096, 256);
+  EXPECT_GT(many.float_mul, few.float_mul);
+  const DeviceProfile& fpga = fpga_kintex7();
+  // Baseline-HD with the hundreds of bins it needs costs more than RegHD-8
+  // inference — the paper's §5 inefficiency argument.
+  RegHDKernelShape reghd;
+  reghd.dim = 4096;
+  reghd.models = 8;
+  reghd.features = 10;
+  EXPECT_GT(fpga.time_ms(many), fpga.time_ms(reghd_infer_sample(reghd)));
+}
+
+}  // namespace
+}  // namespace reghd::perf

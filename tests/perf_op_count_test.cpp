@@ -1,0 +1,78 @@
+// Tests for the operation tally arithmetic.
+#include <gtest/gtest.h>
+
+#include "perf/op_count.hpp"
+
+namespace reghd::perf {
+namespace {
+
+TEST(OpCountTest, DefaultIsZero) {
+  const OpCount c;
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(OpCountTest, AdditionIsFieldwise) {
+  OpCount a;
+  a.float_mul = 3;
+  a.popcount_word = 2;
+  OpCount b;
+  b.float_mul = 4;
+  b.int_add = 5;
+  const OpCount sum = a + b;
+  EXPECT_EQ(sum.float_mul, 7u);
+  EXPECT_EQ(sum.popcount_word, 2u);
+  EXPECT_EQ(sum.int_add, 5u);
+  EXPECT_EQ(sum.total(), 14u);
+}
+
+TEST(OpCountTest, PlusEqualsAccumulates) {
+  OpCount a;
+  a.mem_read_word = 10;
+  OpCount b;
+  b.mem_read_word = 5;
+  b.mem_write_word = 2;
+  a += b;
+  EXPECT_EQ(a.mem_read_word, 15u);
+  EXPECT_EQ(a.mem_write_word, 2u);
+}
+
+TEST(OpCountTest, ScalarMultiplicationScalesEveryField) {
+  OpCount a;
+  a.float_mul = 2;
+  a.float_add = 3;
+  a.xor_word = 1;
+  const OpCount scaled = a * 10;
+  EXPECT_EQ(scaled.float_mul, 20u);
+  EXPECT_EQ(scaled.float_add, 30u);
+  EXPECT_EQ(scaled.xor_word, 10u);
+  EXPECT_EQ((a * 0).total(), 0u);
+  EXPECT_EQ(a * 1, a);
+}
+
+TEST(OpCountTest, MultiplicationDistributesOverAddition) {
+  OpCount a;
+  a.int_add = 3;
+  OpCount b;
+  b.int_add = 4;
+  b.float_trig = 1;
+  EXPECT_EQ((a + b) * 5, a * 5 + b * 5);
+}
+
+TEST(OpCountTest, ToStringListsNonZeroFields) {
+  OpCount a;
+  a.float_trig = 42;
+  const std::string s = a.to_string();
+  EXPECT_NE(s.find("ftrig=42"), std::string::npos);
+}
+
+TEST(OpCountTest, EqualityIsFieldwise) {
+  OpCount a;
+  a.int_cmp = 1;
+  OpCount b;
+  EXPECT_NE(a, b);
+  b.int_cmp = 1;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace reghd::perf

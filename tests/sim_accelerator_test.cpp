@@ -1,0 +1,162 @@
+// Tests for the cycle-approximate accelerator datapath model.
+#include <gtest/gtest.h>
+
+#include "perf/device_profile.hpp"
+#include "sim/accelerator.hpp"
+
+namespace reghd::sim {
+namespace {
+
+perf::RegHDKernelShape paper_shape() {
+  perf::RegHDKernelShape shape;
+  shape.dim = 4096;
+  shape.models = 8;
+  shape.features = 10;
+  shape.rff_encoder = false;  // the paper's Eq. 1 hardware encoder
+  return shape;
+}
+
+TEST(AcceleratorModelTest, StagesArePositiveAndUpdateOnlyWhenTraining) {
+  const AcceleratorModel model(paper_shape(), AccelResources{});
+  const StageCycles train = model.train_sample_cycles();
+  const StageCycles infer = model.infer_sample_cycles();
+  EXPECT_GT(train.encode, 0u);
+  EXPECT_GT(train.search, 0u);
+  EXPECT_GT(train.predict, 0u);
+  EXPECT_GT(train.update, 0u);
+  EXPECT_EQ(infer.update, 0u);
+  EXPECT_EQ(infer.encode, train.encode);
+  EXPECT_EQ(infer.search, train.search);
+}
+
+TEST(AcceleratorModelTest, InitiationIntervalIsSlowestStage) {
+  const AcceleratorModel model(paper_shape(), AccelResources{});
+  const StageCycles c = model.train_sample_cycles();
+  const std::size_t ii = c.initiation_interval();
+  EXPECT_GE(ii, c.encode);
+  EXPECT_GE(ii, c.search);
+  EXPECT_GE(ii, c.confidence);
+  EXPECT_GE(ii, c.predict);
+  EXPECT_GE(ii, c.update);
+  EXPECT_LE(ii, c.total());
+  EXPECT_FALSE(c.bottleneck().empty());
+}
+
+TEST(AcceleratorModelTest, QuantizedClusteringRelievesTheSearchStage) {
+  // §3.1's entire point: the cosine search occupies the DSP array; the
+  // Hamming search runs in the popcount tree — a large cycle reduction.
+  auto shape = paper_shape();
+  const AcceleratorModel full(shape, AccelResources{});
+  shape.quantized_cluster = true;
+  const AcceleratorModel quant(shape, AccelResources{});
+  EXPECT_GT(full.train_sample_cycles().search,
+            4 * quant.train_sample_cycles().search);
+}
+
+TEST(AcceleratorModelTest, BinaryQueryEmptiesTheMacArrayFromUpdates) {
+  auto shape = paper_shape();
+  shape.quantized_cluster = true;
+  const AcceleratorModel real_query(shape, AccelResources{});
+  shape.query = perf::Precision::kBinary;
+  const AcceleratorModel binary_query(shape, AccelResources{});
+  // Updates move from 128 MAC units to 512 add lanes: ≥ ~4× fewer cycles.
+  EXPECT_GT(real_query.train_sample_cycles().update,
+            2 * binary_query.train_sample_cycles().update);
+}
+
+TEST(AcceleratorModelTest, ThroughputScalesWithTheBottleneckResource) {
+  // The full-precision configuration is MAC-bound; doubling the MAC array
+  // should roughly double training throughput.
+  AccelResources small;
+  AccelResources big = small;
+  big.mac_units *= 2;
+  const AcceleratorModel slow(paper_shape(), small);
+  const AcceleratorModel fast(paper_shape(), big);
+  const double ratio = fast.throughput_samples_per_sec(true) /
+                       slow.throughput_samples_per_sec(true);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(AcceleratorModelTest, ClockScalesTimeLinearly) {
+  AccelResources base;
+  AccelResources faster = base;
+  faster.clock_mhz = 2.0 * base.clock_mhz;
+  const AcceleratorModel a(paper_shape(), base);
+  const AcceleratorModel b(paper_shape(), faster);
+  EXPECT_NEAR(a.latency_us(true) / b.latency_us(true), 2.0, 1e-9);
+  EXPECT_NEAR(b.throughput_samples_per_sec(false) / a.throughput_samples_per_sec(false),
+              2.0, 1e-9);
+}
+
+TEST(AcceleratorModelTest, CyclesGrowWithModelCountAndDimension) {
+  auto shape = paper_shape();
+  const AcceleratorModel k8(shape, AccelResources{});
+  shape.models = 32;
+  const AcceleratorModel k32(shape, AccelResources{});
+  EXPECT_GT(k32.train_sample_cycles().total(), k8.train_sample_cycles().total());
+
+  shape.models = 8;
+  shape.dim = 1024;
+  const AcceleratorModel d1k(shape, AccelResources{});
+  EXPECT_LT(d1k.train_sample_cycles().total(), k8.train_sample_cycles().total());
+}
+
+TEST(AcceleratorModelTest, TrainingTimeAccountsForPipelining) {
+  const AcceleratorModel model(paper_shape(), AccelResources{});
+  const StageCycles c = model.train_sample_cycles();
+  const double t = model.training_time_ms(1000, 10);
+  // Pipelined time must be far below the sequential sum of latencies...
+  const double sequential_ms =
+      10.0 * 1000.0 * static_cast<double>(c.total()) / (200.0 * 1e3);
+  EXPECT_LT(t, sequential_ms);
+  // ...but at least samples × II.
+  const double floor_ms =
+      10.0 * 1000.0 * static_cast<double>(c.initiation_interval()) / (200.0 * 1e3);
+  EXPECT_GE(t, floor_ms);
+}
+
+TEST(AcceleratorModelTest, AgreesWithOpCountModelOnQuantizationOrdering) {
+  // The two efficiency substrates (stage-cycle and op-count) must agree on
+  // every §3 claim's direction for the paper shapes.
+  auto full = paper_shape();
+  auto quant = full;
+  quant.quantized_cluster = true;
+  auto bqbm = quant;
+  bqbm.query = perf::Precision::kBinary;
+  bqbm.model = perf::Precision::kBinary;
+
+  const perf::DeviceProfile& fpga = perf::fpga_kintex7();
+  const auto op_time = [&](const perf::RegHDKernelShape& s) {
+    return fpga.time_ms(perf::reghd_train_sample(s));
+  };
+  const auto cycle_time = [&](const perf::RegHDKernelShape& s) {
+    return AcceleratorModel(s, AccelResources{}).latency_us(true);
+  };
+  EXPECT_GT(op_time(full), op_time(quant));
+  EXPECT_GT(cycle_time(full), cycle_time(quant));
+  EXPECT_GT(op_time(quant), op_time(bqbm));
+  EXPECT_GT(cycle_time(quant), cycle_time(bqbm));
+}
+
+TEST(AcceleratorModelTest, ValidatesInputs) {
+  AccelResources bad;
+  bad.clock_mhz = 0.0;
+  EXPECT_THROW(AcceleratorModel(paper_shape(), bad), std::invalid_argument);
+  bad = AccelResources{};
+  bad.mac_units = 0;
+  EXPECT_THROW(AcceleratorModel(paper_shape(), bad), std::invalid_argument);
+  bad = AccelResources{};
+  bad.popcount_bits = 32;
+  EXPECT_THROW(AcceleratorModel(paper_shape(), bad), std::invalid_argument);
+
+  auto shape = paper_shape();
+  shape.dim = 32;
+  EXPECT_THROW(AcceleratorModel(shape, AccelResources{}), std::invalid_argument);
+  shape = paper_shape();
+  shape.models = 0;
+  EXPECT_THROW(AcceleratorModel(shape, AccelResources{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reghd::sim

@@ -1,0 +1,147 @@
+// Tests for the small dense linear algebra used by the baselines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/random.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RejectsZeroDimensions) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(MatvecTest, HandComputed) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const std::vector<double> x = {5.0, 6.0};
+  const std::vector<double> y = matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(MatvecTest, RejectsDimensionMismatch) {
+  Matrix a(2, 2);
+  EXPECT_THROW((void)matvec(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(GramTest, SymmetricAndCorrect) {
+  Matrix a(3, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(2, 0) = 3.0;
+  a(0, 1) = 4.0;
+  a(1, 1) = 5.0;
+  a(2, 1) = 6.0;
+  const Matrix g = gram(a);
+  EXPECT_DOUBLE_EQ(g(0, 0), 14.0);   // 1+4+9
+  EXPECT_DOUBLE_EQ(g(1, 1), 77.0);   // 16+25+36
+  EXPECT_DOUBLE_EQ(g(0, 1), 32.0);   // 4+10+18
+  EXPECT_DOUBLE_EQ(g(1, 0), g(0, 1));
+}
+
+TEST(CholeskyTest, SolvesKnownSpdSystem) {
+  // S = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2].
+  Matrix s(2, 2);
+  s(0, 0) = 4.0;
+  s(0, 1) = 2.0;
+  s(1, 0) = 2.0;
+  s(1, 1) = 3.0;
+  const std::vector<double> x = cholesky_solve(s, std::vector<double>{10.0, 9.0});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix s(2, 2);
+  s(0, 0) = 1.0;
+  s(0, 1) = 2.0;
+  s(1, 0) = 2.0;
+  s(1, 1) = 1.0;  // eigenvalues 3, −1
+  EXPECT_THROW((void)cholesky_solve(s, std::vector<double>{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(RidgeTest, RecoversExactCoefficientsWithoutNoise) {
+  // y = 2x₀ − 3x₁ + 0.5, 50 random rows, λ → 0.
+  Rng rng(3);
+  Matrix a(50, 3);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    a(i, 0) = x0;
+    a(i, 1) = x1;
+    a(i, 2) = 1.0;
+    b[i] = 2.0 * x0 - 3.0 * x1 + 0.5;
+  }
+  const std::vector<double> w = ridge_solve(a, b, 1e-10);
+  EXPECT_NEAR(w[0], 2.0, 1e-6);
+  EXPECT_NEAR(w[1], -3.0, 1e-6);
+  EXPECT_NEAR(w[2], 0.5, 1e-6);
+}
+
+TEST(RidgeTest, RegularizationShrinksWeights) {
+  Rng rng(5);
+  Matrix a(30, 2);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const double x = rng.normal();
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = 4.0 * x;
+  }
+  const std::vector<double> w_small = ridge_solve(a, b, 1e-8);
+  const std::vector<double> w_large = ridge_solve(a, b, 1e3);
+  EXPECT_LT(std::abs(w_large[0]), std::abs(w_small[0]));
+}
+
+TEST(RidgeTest, RejectsNegativeLambda) {
+  Matrix a(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  EXPECT_THROW((void)ridge_solve(a, std::vector<double>{1.0, 2.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(FitLineTest, ExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, ConstantXFallsBackToMean) {
+  const std::vector<double> x = {2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+}  // namespace
+}  // namespace reghd::util

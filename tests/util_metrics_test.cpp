@@ -1,0 +1,83 @@
+// Tests for regression quality metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(MseTest, HandComputed) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> truth = {1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(mse(pred, truth), (0.0 + 1.0 + 4.0) / 3.0);
+}
+
+TEST(MseTest, ZeroForPerfectPrediction) {
+  const std::vector<double> v = {1.5, -2.0, 0.25};
+  EXPECT_DOUBLE_EQ(mse(v, v), 0.0);
+}
+
+TEST(MseTest, RejectsMismatchedAndEmpty) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)mse(a, b), std::invalid_argument);
+  EXPECT_THROW((void)mse(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(RmseMaeTest, ConsistentWithMse) {
+  const std::vector<double> pred = {0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> truth = {2.0, -2.0, 2.0, -2.0};
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), 2.0);
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 2.0);
+}
+
+TEST(MaeTest, LessSensitiveToOutliersThanRmse) {
+  const std::vector<double> pred = {0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> truth = {0.0, 0.0, 0.0, 10.0};
+  EXPECT_LT(mae(pred, truth), rmse(pred, truth));
+}
+
+TEST(R2Test, OneForPerfectZeroForMeanNegativeForWorse) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(r2(mean_pred, truth), 0.0);
+  const std::vector<double> bad = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_LT(r2(bad, truth), 0.0);
+}
+
+TEST(R2Test, ConstantTargetEdgeCases) {
+  const std::vector<double> truth = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);  // exact match
+  const std::vector<double> off = {3.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2(off, truth), 0.0);  // imperfect on constant target
+}
+
+TEST(QualityLossTest, PaperStyleRelativeLoss) {
+  // 0.3% loss as reported for cluster quantization (Fig. 6).
+  EXPECT_NEAR(quality_loss_percent(1.003, 1.0), 0.3, 1e-9);
+  EXPECT_DOUBLE_EQ(quality_loss_percent(2.0, 1.0), 100.0);
+  EXPECT_LT(quality_loss_percent(0.9, 1.0), 0.0);  // improvement is negative loss
+}
+
+TEST(QualityLossTest, RejectsNonPositiveReference) {
+  EXPECT_THROW((void)quality_loss_percent(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(EvaluateRegressionTest, BundlesAllMetricsConsistently) {
+  const std::vector<double> pred = {1.0, 2.0, 2.5};
+  const std::vector<double> truth = {1.5, 2.5, 2.0};
+  const RegressionMetrics m = evaluate_regression(pred, truth);
+  EXPECT_DOUBLE_EQ(m.mse, mse(pred, truth));
+  EXPECT_DOUBLE_EQ(m.rmse, std::sqrt(m.mse));
+  EXPECT_DOUBLE_EQ(m.mae, mae(pred, truth));
+  EXPECT_DOUBLE_EQ(m.r2, r2(pred, truth));
+  EXPECT_FALSE(m.to_string().empty());
+}
+
+}  // namespace
+}  // namespace reghd::util

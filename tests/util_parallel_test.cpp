@@ -1,0 +1,84 @@
+// Tests for the data-parallel helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ResultsMatchSerialExecution) {
+  constexpr std::size_t kN = 5000;
+  std::vector<double> serial(kN);
+  std::vector<double> parallel(kN);
+  const auto work = [](std::size_t i) {
+    double acc = 0.0;
+    for (int j = 0; j < 50; ++j) {
+      acc += std::sin(static_cast<double>(i) + j);
+    }
+    return acc;
+  };
+  for (std::size_t i = 0; i < kN; ++i) {
+    serial[i] = work(i);
+  }
+  parallel_for(kN, [&](std::size_t i) { parallel[i] = work(i); }, 8);
+  EXPECT_EQ(parallel, serial);  // bit-identical, not just approximately equal
+}
+
+TEST(ParallelForTest, HandlesEdgeCounts) {
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { calls.fetch_add(1); }, 4);
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(1, [&](std::size_t) { calls.fetch_add(1); }, 4);
+  EXPECT_EQ(calls.load(), 1);
+  // More threads than items.
+  calls = 0;
+  parallel_for(3, [&](std::size_t) { calls.fetch_add(1); }, 16);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelForTest, SingleThreadPathIsSerial) {
+  std::vector<std::size_t> order;
+  parallel_for(100, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, WorkerExceptionsPropagate) {
+  EXPECT_THROW(
+      parallel_for(
+          1000,
+          [](std::size_t i) {
+            if (i == 777) {
+              throw std::runtime_error("boom");
+            }
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ZeroThreadsMeansHardwareConcurrency) {
+  std::vector<std::atomic<int>> visits(256);
+  parallel_for(256, [&](std::size_t i) { visits[i].fetch_add(1); }, 0);
+  for (auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace reghd::util

@@ -1,0 +1,241 @@
+// Tests for the deterministic RNG stack (SplitMix64, xoshiro256**, Rng).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceFromZeroSeed) {
+  // Reference values of SplitMix64 seeded with 0 (from the published
+  // reference implementation).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, DeterministicForFixedSeed) {
+  Xoshiro256ss a(12345);
+  Xoshiro256ss b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256Test, NoShortCycles) {
+  Xoshiro256ss gen(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(gen.next());
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // no repeats in 10k draws
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(19);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double sum_cu = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+    sum_cu += z * z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+  EXPECT_NEAR(sum_cu / kN, 0.0, 0.05);  // symmetry
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal(5.0, 2.0);
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksProbability) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, RademacherBalanced) {
+  Rng rng(41);
+  int sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const int r = rng.rademacher();
+    ASSERT_TRUE(r == 1 || r == -1);
+    sum += r;
+  }
+  EXPECT_NEAR(static_cast<double>(sum) / kN, 0.0, 0.02);
+}
+
+TEST(RngTest, PhaseWithinTwoPi) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const double p = rng.phase();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 2.0 * std::numbers::pi);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(47);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Children differ from each other and from the parent's continued stream.
+  EXPECT_NE(child1.bits(), child2.bits());
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(53);
+  Rng b(53);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ca.bits(), cb.bits());
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleHandlesTinyContainers) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ShuffleIsUniformOverPositions) {
+  // Each element should land in each position with probability ~1/n.
+  constexpr int kN = 5;
+  constexpr int kTrials = 60000;
+  std::array<std::array<int, kN>, kN> counts{};
+  Rng rng(67);
+  for (int t = 0; t < kTrials; ++t) {
+    std::array<int, kN> v{};
+    std::iota(v.begin(), v.end(), 0);
+    rng.shuffle(v);
+    for (int pos = 0; pos < kN; ++pos) {
+      ++counts[static_cast<std::size_t>(v[static_cast<std::size_t>(pos)])]
+              [static_cast<std::size_t>(pos)];
+    }
+  }
+  for (const auto& row : counts) {
+    for (const int c : row) {
+      EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.02);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reghd::util

@@ -1,0 +1,91 @@
+// Tests for the binary serialization primitives.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/serialize.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrips) {
+  std::stringstream buf;
+  write_scalar<double>(buf, 3.14159);
+  write_scalar<std::uint64_t>(buf, 0xDEADBEEFULL);
+  write_scalar<std::uint8_t>(buf, 7);
+  write_scalar<std::int32_t>(buf, -42);
+  EXPECT_DOUBLE_EQ(read_scalar<double>(buf), 3.14159);
+  EXPECT_EQ(read_scalar<std::uint64_t>(buf), 0xDEADBEEFULL);
+  EXPECT_EQ(read_scalar<std::uint8_t>(buf), 7);
+  EXPECT_EQ(read_scalar<std::int32_t>(buf), -42);
+}
+
+TEST(SerializeTest, VectorRoundTrips) {
+  std::stringstream buf;
+  const std::vector<double> values = {1.5, -2.25, 0.0, 1e300};
+  write_vector<double>(buf, values);
+  EXPECT_EQ(read_vector<double>(buf), values);
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrips) {
+  std::stringstream buf;
+  write_vector<double>(buf, std::vector<double>{});
+  EXPECT_TRUE(read_vector<double>(buf).empty());
+}
+
+TEST(SerializeTest, StringRoundTrips) {
+  std::stringstream buf;
+  write_string(buf, "hyperdimensional");
+  write_string(buf, "");
+  EXPECT_EQ(read_string(buf), "hyperdimensional");
+  EXPECT_EQ(read_string(buf), "");
+}
+
+TEST(SerializeTest, TruncatedStreamThrows) {
+  std::stringstream buf;
+  write_scalar<double>(buf, 1.0);
+  std::stringstream truncated(buf.str().substr(0, 4));
+  EXPECT_THROW((void)read_scalar<double>(truncated), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedVectorPayloadThrows) {
+  std::stringstream buf;
+  write_vector<double>(buf, std::vector<double>{1.0, 2.0, 3.0});
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() - 8));
+  EXPECT_THROW((void)read_vector<double>(truncated), std::runtime_error);
+}
+
+TEST(SerializeTest, HeaderValidatesMagicAndVersion) {
+  std::stringstream ok;
+  write_header(ok, 0x52474844, 2);
+  EXPECT_EQ(read_header(ok, 0x52474844, 3), 2u);
+
+  std::stringstream bad_magic;
+  write_header(bad_magic, 0x12345678, 1);
+  EXPECT_THROW((void)read_header(bad_magic, 0x52474844, 3), std::runtime_error);
+
+  std::stringstream future;
+  write_header(future, 0x52474844, 9);
+  EXPECT_THROW((void)read_header(future, 0x52474844, 3), std::runtime_error);
+
+  std::stringstream zero;
+  write_header(zero, 0x52474844, 0);
+  EXPECT_THROW((void)read_header(zero, 0x52474844, 3), std::runtime_error);
+}
+
+TEST(SerializeTest, MixedPayloadSequence) {
+  std::stringstream buf;
+  write_header(buf, 0xABCD0001, 1);
+  write_string(buf, "model");
+  write_vector<double>(buf, std::vector<double>{0.5});
+  write_scalar<std::uint8_t>(buf, 1);
+
+  EXPECT_EQ(read_header(buf, 0xABCD0001, 1), 1u);
+  EXPECT_EQ(read_string(buf), "model");
+  EXPECT_EQ(read_vector<double>(buf), std::vector<double>{0.5});
+  EXPECT_EQ(read_scalar<std::uint8_t>(buf), 1);
+}
+
+}  // namespace
+}  // namespace reghd::util

@@ -1,0 +1,190 @@
+// Tests for scalar statistics: moments, quantiles, softmax, and the normal
+// distribution functions behind the capacity model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(MeanVarianceTest, HandComputedValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(MeanVarianceTest, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)mean(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(MedianQuantileTest, OddAndEvenLengths) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(MedianQuantileTest, QuantileInterpolatesLinearly) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(MedianQuantileTest, QuantileRejectsOutOfRangeFraction) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW((void)quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(PearsonTest, PerfectPositiveAndNegativeCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y_pos = {2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> y_neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideYieldsZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> c = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(MinMaxTest, FindsExtremes) {
+  const std::vector<double> v = {3.0, -1.5, 7.25, 0.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.5);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.25);
+}
+
+TEST(SoftmaxTest, SumsToOneAndPreservesOrder) {
+  const std::vector<double> logits = {1.0, 3.0, 2.0};
+  const std::vector<double> p = softmax(logits);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  const std::vector<double> a = softmax(std::vector<double>{1.0, 2.0, 3.0});
+  const std::vector<double> b = softmax(std::vector<double>{101.0, 102.0, 103.0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, StableForExtremeLogits) {
+  const std::vector<double> p = softmax(std::vector<double>{1e4, 0.0, -1e4});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(p[2]));
+}
+
+TEST(SoftmaxTest, TemperatureSharpensTowardArgmax) {
+  const std::vector<double> logits = {0.1, 0.2, 0.15};
+  const std::vector<double> soft = softmax(logits, 1.0);
+  const std::vector<double> sharp = softmax(logits, 0.01);
+  EXPECT_GT(sharp[1], soft[1]);
+  // Runner-up logit is 0.05/0.01 = 5 nats behind: p ≈ 1/(1 + e⁻⁵ + e⁻¹⁰).
+  EXPECT_NEAR(sharp[1], 1.0, 1e-2);
+}
+
+TEST(SoftmaxTest, RejectsBadInputs) {
+  EXPECT_THROW((void)softmax(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)softmax(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)softmax(std::vector<double>{1.0}, -1.0), std::invalid_argument);
+}
+
+TEST(NormalDistTest, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalDistTest, TailComplementsCdf) {
+  for (const double x : {-3.0, -1.0, 0.0, 0.5, 2.5}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_tail(x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalDistTest, PdfIntegratesToCdfNumerically) {
+  // Trapezoidal integration of the pdf over [−5, 1] should match Φ(1).
+  double acc = 0.0;
+  const double h = 1e-4;
+  for (double x = -5.0; x < 1.0; x += h) {
+    acc += 0.5 * (normal_pdf(x) + normal_pdf(x + h)) * h;
+  }
+  EXPECT_NEAR(acc, normal_cdf(1.0), 1e-5);
+}
+
+TEST(NormalDistTest, QuantileInvertsCdf) {
+  for (const double p : {0.001, 0.025, 0.2, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(NormalDistTest, QuantileRejectsBoundaries) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  Rng rng(5);
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    values.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mean(values), 1e-10);
+  EXPECT_NEAR(stats.variance(), variance(values), 1e-8);
+  EXPECT_DOUBLE_EQ(stats.min(), min_value(values));
+  EXPECT_DOUBLE_EQ(stats.max(), max_value(values));
+  EXPECT_EQ(stats.count(), values.size());
+}
+
+TEST(RunningStatsTest, VarianceZeroForFewObservations) {
+  RunningStats stats;
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSinglePass) {
+  Rng rng(9);
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1.0, 4.0);
+    (i < 200 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(2.0);
+  a.merge(b);  // empty ← non-empty
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  RunningStats c;
+  a.merge(c);  // non-empty ← empty
+  EXPECT_EQ(a.count(), 2u);
+}
+
+}  // namespace
+}  // namespace reghd::util

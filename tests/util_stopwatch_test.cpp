@@ -1,0 +1,48 @@
+// Tests for the wall-clock stopwatch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = watch.elapsed_milliseconds();
+  EXPECT_GE(ms, 18.0);   // scheduler slack downward is impossible, allow jitter
+  EXPECT_LT(ms, 2000.0);  // sanity upper bound
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = watch.elapsed_seconds();
+  const double ms = watch.elapsed_milliseconds();
+  const double us = watch.elapsed_microseconds();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3 * 0.5 + 1.0);
+  EXPECT_NEAR(us, s * 1e6, s * 1e6 * 0.5 + 1000.0);
+}
+
+TEST(StopwatchTest, RestartResetsOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.restart();
+  EXPECT_LT(watch.elapsed_milliseconds(), 15.0);
+}
+
+TEST(StopwatchTest, MonotoneNonDecreasing) {
+  Stopwatch watch;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.elapsed_microseconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace reghd::util

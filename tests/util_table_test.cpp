@@ -1,0 +1,86 @@
+// Tests for the report rendering (tables and series charts).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(TableTest, RendersAlignedColumnsWithSeparator) {
+  Table t({"name", "mse"});
+  t.add_row({"DNN", "14.6"});
+  t.add_row({"RegHD-32", "15.8"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("RegHD-32"), std::string::npos);
+  EXPECT_NE(s.find("|----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TableTest, NumericCellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(0.0), "0.0000");
+  // Very large and very small values switch to scientific notation.
+  EXPECT_NE(Table::cell(1.5e7).find('e'), std::string::npos);
+  EXPECT_NE(Table::cell(1.5e-7).find('e'), std::string::npos);
+}
+
+TEST(TableTest, RatioAndPercentCells) {
+  EXPECT_EQ(Table::cell_ratio(5.6), "5.60x");
+  EXPECT_EQ(Table::cell_percent(0.3), "0.3%");
+  EXPECT_EQ(Table::cell_percent(12.34, 2), "12.34%");
+}
+
+TEST(TableTest, StreamsViaOperator) {
+  Table t({"x"});
+  t.add_row({"1"});
+  std::ostringstream oss;
+  oss << t;
+  EXPECT_EQ(oss.str(), t.to_string());
+}
+
+TEST(SeriesChartTest, RendersAllSeriesAndLabels) {
+  SeriesChart chart("Fig 3a", "epoch", "mse");
+  chart.add_series("single-model", {{"1", 10.0}, {"2", 5.0}});
+  chart.add_series("multi-model", {{"1", 8.0}, {"2", 2.0}});
+  const std::string s = chart.to_string();
+  EXPECT_NE(s.find("Fig 3a"), std::string::npos);
+  EXPECT_NE(s.find("single-model"), std::string::npos);
+  EXPECT_NE(s.find("multi-model"), std::string::npos);
+  EXPECT_NE(s.find("epoch"), std::string::npos);
+}
+
+TEST(SeriesChartTest, BarLengthProportionalToValue) {
+  SeriesChart chart("t", "x", "y");
+  chart.add_series("s", {{"big", 10.0}, {"small", 1.0}});
+  const std::string s = chart.to_string();
+  const auto count_hashes_after = [&](const std::string& label) {
+    const auto pos = s.find(label);
+    const auto eol = s.find('\n', pos);
+    return static_cast<long>(std::count(s.begin() + static_cast<long>(pos),
+                                        s.begin() + static_cast<long>(eol), '#'));
+  };
+  EXPECT_GT(count_hashes_after("big"), count_hashes_after("small") * 5);
+}
+
+TEST(SeriesChartTest, RejectsEmptySeries) {
+  SeriesChart chart("t", "x", "y");
+  EXPECT_THROW(chart.add_series("empty", {}), std::invalid_argument);
+}
+
+TEST(SectionBannerTest, ContainsTitle) {
+  const std::string banner = section_banner("Table 1");
+  EXPECT_NE(banner.find("Table 1"), std::string::npos);
+  EXPECT_NE(banner.find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reghd::util

@@ -1,0 +1,200 @@
+// reghd — command-line front end for training, evaluating, and serving RegHD
+// models on CSV data.
+//
+//   reghd train   --csv data.csv --out model.bin [--models 8] [--dim 4096]
+//                 [--alpha 0.15] [--quantized] [--binary-query] [--binary-model]
+//                 [--test-fraction 0.25] [--seed 42] [--target-col -1]
+//   reghd eval    --csv data.csv --model model.bin [--target-col -1]
+//   reghd predict --csv data.csv --model model.bin [--target-col -1]
+//                 (prints one prediction per input row)
+//   reghd info    --model model.bin
+//   reghd synth   --dataset boston --out boston.csv [--seed 1]
+//                 (writes one of the built-in synthetic workloads as CSV)
+//
+// Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/reghd.hpp"
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+#include "util/args.hpp"
+#include "util/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace reghd;
+
+int usage(const std::string& program) {
+  std::cerr << "usage:\n"
+            << "  " << program << " train   --csv FILE --out MODEL [options]\n"
+            << "  " << program << " eval    --csv FILE --model MODEL\n"
+            << "  " << program << " predict --csv FILE --model MODEL\n"
+            << "  " << program << " info    --model MODEL\n"
+            << "  " << program << " synth   --dataset NAME --out FILE\n"
+            << "train options: --models K --dim D --alpha LR --quantized\n"
+            << "  --binary-query --binary-model --test-fraction F --seed S\n"
+            << "common: --target-col N (negative counts from the end; default -1)\n";
+  return 1;
+}
+
+data::Dataset load(const util::Args& args) {
+  data::CsvOptions opts;
+  opts.target_column = static_cast<int>(args.get_int("target-col", -1));
+  return data::load_csv_file(args.get_string("csv", ""), opts);
+}
+
+int cmd_train(const util::Args& args) {
+  const std::string out_path = args.get_string("out", "");
+  if (!args.has("csv") || out_path.empty()) {
+    std::cerr << "train: --csv and --out are required\n";
+    return 1;
+  }
+  data::Dataset dataset = load(args);
+
+  core::PipelineConfig cfg;
+  cfg.reghd.models = static_cast<std::size_t>(args.get_int("models", 8));
+  cfg.reghd.dim = static_cast<std::size_t>(args.get_int("dim", 4096));
+  cfg.reghd.learning_rate = args.get_double("alpha", 0.15);
+  cfg.reghd.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (args.get_bool("quantized", false)) {
+    cfg.reghd.cluster_mode = core::ClusterMode::kQuantized;
+  }
+  if (args.get_bool("binary-query", false)) {
+    cfg.reghd.query_precision = core::QueryPrecision::kBinary;
+  }
+  if (args.get_bool("binary-model", false)) {
+    cfg.reghd.model_precision = core::ModelPrecision::kBinary;
+  }
+
+  const double test_fraction = args.get_double("test-fraction", 0.25);
+  util::Rng rng(cfg.reghd.seed);
+  const data::TrainTestSplit split = data::train_test_split(dataset, test_fraction, rng);
+
+  core::RegHDPipeline pipeline(cfg);
+  pipeline.fit(split.train);
+  std::cout << "trained " << pipeline.name() << " on " << split.train.size()
+            << " samples: " << pipeline.report().summary() << "\n";
+
+  const std::vector<double> predictions = pipeline.predict_batch(split.test);
+  const util::RegressionMetrics metrics =
+      util::evaluate_regression(predictions, split.test.targets());
+  std::cout << "held-out test (" << split.test.size() << " samples): "
+            << metrics.to_string() << "\n";
+
+  core::save_pipeline_file(out_path, pipeline);
+  std::cout << "model written to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_eval(const util::Args& args) {
+  if (!args.has("csv") || !args.has("model")) {
+    std::cerr << "eval: --csv and --model are required\n";
+    return 1;
+  }
+  const core::RegHDPipeline pipeline =
+      core::load_pipeline_file(args.get_string("model", ""));
+  const data::Dataset dataset = load(args);
+  const std::vector<double> predictions = pipeline.predict_batch(dataset);
+  const util::RegressionMetrics metrics =
+      util::evaluate_regression(predictions, dataset.targets());
+  std::cout << pipeline.name() << " on " << dataset.name() << " (" << dataset.size()
+            << " samples): " << metrics.to_string() << "\n";
+  return 0;
+}
+
+int cmd_predict(const util::Args& args) {
+  if (!args.has("csv") || !args.has("model")) {
+    std::cerr << "predict: --csv and --model are required\n";
+    return 1;
+  }
+  const core::RegHDPipeline pipeline =
+      core::load_pipeline_file(args.get_string("model", ""));
+  const data::Dataset dataset = load(args);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    std::cout << pipeline.predict(dataset.row(i)) << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const util::Args& args) {
+  if (!args.has("model")) {
+    std::cerr << "info: --model is required\n";
+    return 1;
+  }
+  const core::RegHDPipeline pipeline =
+      core::load_pipeline_file(args.get_string("model", ""));
+  const core::PipelineConfig& cfg = pipeline.config();
+  util::Table table({"field", "value"});
+  table.add_row({"name", pipeline.name()});
+  table.add_row({"dimensionality D", std::to_string(cfg.reghd.dim)});
+  table.add_row({"models k", std::to_string(cfg.reghd.models)});
+  table.add_row({"encoder", hdc::to_string(cfg.encoder.kind)});
+  table.add_row({"input features", std::to_string(cfg.encoder.input_dim)});
+  table.add_row({"cluster mode", core::to_string(cfg.reghd.cluster_mode)});
+  table.add_row({"prediction mode", cfg.reghd.prediction_mode().to_string()});
+  table.add_row({"update rule", core::to_string(cfg.reghd.update_rule)});
+  table.add_row({"learning rate", util::Table::cell(cfg.reghd.learning_rate, 3)});
+  table.add_row({"model sparsity",
+                 util::Table::cell_percent(100.0 * pipeline.regressor().model_sparsity())});
+  std::cout << table;
+  return 0;
+}
+
+int cmd_synth(const util::Args& args) {
+  const std::string out_path = args.get_string("out", "");
+  const std::string name = args.get_string("dataset", "");
+  if (name.empty() || out_path.empty()) {
+    std::cerr << "synth: --dataset and --out are required; datasets:";
+    for (const auto& n : data::paper_dataset_names()) {
+      std::cerr << ' ' << n;
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const data::Dataset dataset = data::make_paper_dataset(name, seed);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "synth: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  data::save_csv(out, dataset);
+  std::cout << "wrote " << dataset.size() << " samples x " << dataset.num_features()
+            << " features to " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.positional().empty()) {
+    return usage(args.program());
+  }
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "train") {
+      return cmd_train(args);
+    }
+    if (command == "eval") {
+      return cmd_eval(args);
+    }
+    if (command == "predict") {
+      return cmd_predict(args);
+    }
+    if (command == "info") {
+      return cmd_info(args);
+    }
+    if (command == "synth") {
+      return cmd_synth(args);
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(args.program());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
