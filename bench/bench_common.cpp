@@ -1,8 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
 
 #include "data/synthetic.hpp"
 #include "util/metrics.hpp"
@@ -53,6 +55,129 @@ void set_smooth_encoder(core::PipelineConfig& cfg, std::size_t features, double 
 
 void print_header(const std::string& experiment, const std::string& description) {
   std::cout << util::section_banner(experiment) << description << "\n\n";
+}
+
+JsonValue JsonValue::number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+JsonValue JsonValue::integer(std::int64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kInteger;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::object() { return JsonValue{}; }
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  members_.emplace_back(key, JsonValue::object());
+  return members_.back().second;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonValue::write(std::string& out, int indent) const {
+  switch (kind_) {
+    case Kind::kNumber: {
+      std::ostringstream oss;
+      oss.precision(12);
+      oss << num_;
+      out += oss.str();
+      return;
+    }
+    case Kind::kInteger:
+      out += std::to_string(int_);
+      return;
+    case Kind::kString:
+      write_escaped(out, str_);
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      const std::string pad(static_cast<std::size_t>(indent + 2), ' ');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        write_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent + 2);
+        if (i + 1 < members_.size()) {
+          out += ',';
+        }
+        out += '\n';
+      }
+      out += std::string(static_cast<std::size_t>(indent), ' ');
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::str() const {
+  std::string out;
+  write(out, 0);
+  return out;
+}
+
+bool write_json_file(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << value.str() << "\n";
+  std::cout << "wrote " << path << "\n";
+  return true;
 }
 
 }  // namespace reghd::bench

@@ -11,8 +11,10 @@
 // printed whenever it binds, never silent.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -63,5 +65,40 @@ void set_smooth_encoder(core::PipelineConfig& cfg, std::size_t features,
 
 /// Prints the standard bench header (binary name, what it reproduces).
 void print_header(const std::string& experiment, const std::string& description);
+
+/// Minimal ordered JSON emitter for machine-readable bench artifacts
+/// (BENCH_*.json). Supports the value shapes the benches need — numbers,
+/// strings, booleans, and nested objects — preserving insertion order so the
+/// files diff cleanly between runs.
+class JsonValue {
+ public:
+  static JsonValue number(double v);
+  static JsonValue integer(std::int64_t v);
+  static JsonValue string(std::string v);
+  static JsonValue boolean(bool v);
+  static JsonValue object();
+
+  /// Object member access; creates the key on first use (object kind only).
+  JsonValue& operator[](const std::string& key);
+
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Kind { kNumber, kInteger, kString, kBool, kObject };
+  void write(std::string& out, int indent) const;
+
+  Kind kind_ = Kind::kObject;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Writes `value` to `path` (with trailing newline); prints the destination
+/// to stdout. Returns false and prints to stderr when the file cannot be
+/// opened.
+bool write_json_file(const std::string& path, const JsonValue& value);
 
 }  // namespace reghd::bench

@@ -2,13 +2,30 @@
 // kernels, complementing the analytic cost model with measured host-CPU
 // numbers: similarity search (cosine vs Hamming), the §3.2 prediction dots,
 // encoding, and end-to-end train/predict steps.
+//
+// Two modes:
+//  * default           — the google-benchmark suite (BM_* below).
+//  * --json[=PATH]     — hand-rolled kernel timing that emits
+//                        BENCH_kernels.json: ns/op and GB/s for every kernel
+//                        in every available backend (scalar, avx2), the
+//                        seed's pre-SIMD reference loops for speedup
+//                        accounting, and end-to-end batch encode+predict
+//                        throughput.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/encoded.hpp"
 #include "core/multi_model.hpp"
 #include "hdc/encoding.hpp"
+#include "hdc/kernel_backend.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/random_hv.hpp"
+#include "util/fast_trig.hpp"
 #include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -165,6 +182,320 @@ void BM_MultiModelPredictQuantized(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiModelPredictQuantized)->Arg(8)->Arg(32);
 
+// ---------------------------------------------------------------------------
+// --json mode: per-kernel per-backend timing report
+// ---------------------------------------------------------------------------
+
+/// Repeats fn until ~60 ms have elapsed (after one warmup call) and returns
+/// the mean ns per call.
+template <typename F>
+double time_ns(F&& fn) {
+  fn();  // warmup: page in buffers, resolve the backend
+  util::Stopwatch sw;
+  std::size_t iters = 0;
+  double elapsed_ms = 0.0;
+  sw.restart();
+  do {
+    for (int i = 0; i < 8; ++i) {
+      fn();
+    }
+    iters += 8;
+    elapsed_ms = sw.elapsed_milliseconds();
+  } while (elapsed_ms < 60.0);
+  return elapsed_ms * 1e6 / static_cast<double>(iters);
+}
+
+double gb_per_s(double bytes_per_op, double ns_per_op) {
+  return bytes_per_op / ns_per_op;  // B/ns == GB/s
+}
+
+// The seed's pre-SIMD loops, kept verbatim for speedup accounting.
+double seed_dot_real_binary(const hdc::RealHV& a, const hdc::BinaryHV& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    acc += b.bit(i) ? a[i] : -a[i];
+  }
+  return acc;
+}
+
+void seed_add_scaled_binary(hdc::RealHV& a, const hdc::BinaryHV& b, double c) {
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    a[i] += b.bit(i) ? c : -c;
+  }
+}
+
+/// The seed RFF map: serial row dot, then cos(z+b)·sin(z) — two libm trig
+/// calls per component where the current encoder uses one.
+void seed_rff_encode(const std::vector<double>& projection, const std::vector<double>& phase,
+                     const std::vector<double>& features, std::vector<double>& out) {
+  const std::size_t d = phase.size();
+  const std::size_t n = features.size();
+  for (std::size_t j = 0; j < d; ++j) {
+    const double* row = projection.data() + j * n;
+    double z = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      z += row[k] * features[k];
+    }
+    out[j] = std::cos(z + phase[j]) * std::sin(z);
+  }
+}
+
+/// Seed-shaped full-precision predict: naive cosine similarities over the k
+/// cluster accumulators plus naive model dots (2·k·D multiplies per call).
+double seed_predict(const core::MultiModelRegressor& reg, const hdc::EncodedSample& s) {
+  const std::size_t k = reg.num_models();
+  const std::size_t d = s.real.dim();
+  std::vector<double> sims(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto c = reg.cluster(i).accumulator.values();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      acc += c[j] * s.real[j];
+    }
+    const double cn = std::sqrt(reg.cluster(i).norm2);
+    sims[i] = (cn > 0.0 && s.real_norm > 0.0) ? acc / (cn * s.real_norm) : 0.0;
+  }
+  util::softmax_inplace(sims, reg.config().softmax_temperature);
+  double y = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto m = reg.model(i).accumulator.values();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      acc += m[j] * s.real[j];
+    }
+    y += sims[i] * acc / static_cast<double>(d);
+  }
+  return y;
+}
+
+void report_backend(bench::JsonValue& node, const char* field, double bytes_per_op,
+                    double ns) {
+  node[field]["ns_per_op"] = bench::JsonValue::number(ns);
+  node[field]["gb_per_s"] = bench::JsonValue::number(gb_per_s(bytes_per_op, ns));
+}
+
+int run_kernel_json(const std::string& path) {
+  constexpr std::size_t kDim = 4096;
+  constexpr std::size_t kWords = kDim / 64;
+  constexpr std::size_t kFeatures = 10;
+  constexpr std::size_t kRows = 256;
+  constexpr std::size_t kModels = 8;
+
+  util::Rng rng(0xBE7C);
+  const hdc::RealHV ra = hdc::random_gaussian(kDim, rng);
+  const hdc::RealHV rb = hdc::random_gaussian(kDim, rng);
+  const hdc::BipolarHV pa = hdc::random_bipolar(kDim, rng);
+  const hdc::BipolarHV pb = hdc::random_bipolar(kDim, rng);
+  const hdc::BinaryHV ba = hdc::random_binary(kDim, rng);
+  const hdc::BinaryHV bb = hdc::random_binary(kDim, rng);
+  const hdc::BinaryHV mask = hdc::random_binary(kDim, rng);
+  hdc::RealHV accum = hdc::random_gaussian(kDim, rng);
+
+  std::vector<const hdc::KernelBackend*> backends{&hdc::scalar_backend()};
+  if (const hdc::KernelBackend* avx2 = hdc::avx2_backend()) {
+    backends.push_back(avx2);
+  }
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root["dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(kDim));
+  root["active_backend"] = bench::JsonValue::string(hdc::active_backend().name);
+  root["cpu_supports_avx2"] = bench::JsonValue::boolean(hdc::cpu_supports_avx2());
+
+  bench::JsonValue& kernels = root["kernels"];
+
+  const double* pra = ra.values().data();
+  const double* prb = rb.values().data();
+  const std::int8_t* ppa = pa.values().data();
+  const std::int8_t* ppb = pb.values().data();
+  const std::uint64_t* pba = ba.words().data();
+  const std::uint64_t* pbb = bb.words().data();
+  const std::uint64_t* pmask = mask.words().data();
+
+  struct RealKernelCase {
+    const char* name;
+    double bytes;
+    double (*run)(const hdc::KernelBackend&, const double*, const std::int8_t*,
+                  const std::uint64_t*, const std::uint64_t*, const double*, std::size_t);
+  };
+
+  // Seed references first (they anchor the speedup figures).
+  const double seed_drb = time_ns([&] {
+    benchmark::DoNotOptimize(seed_dot_real_binary(ra, ba));
+  });
+  const double seed_asb = time_ns([&] { seed_add_scaled_binary(accum, ba, 0.01); });
+
+  for (const hdc::KernelBackend* kb : backends) {
+    const std::string b = kb->name;
+    double ns;
+
+    ns = time_ns([&] { benchmark::DoNotOptimize(kb->dot_real_real(pra, prb, kDim)); });
+    report_backend(kernels["dot_real_real"], b.c_str(), 2.0 * kDim * 8, ns);
+
+    ns = time_ns([&] { benchmark::DoNotOptimize(kb->dot_real_bipolar(pra, ppa, kDim)); });
+    report_backend(kernels["dot_real_bipolar"], b.c_str(), kDim * 9.0, ns);
+
+    ns = time_ns([&] { benchmark::DoNotOptimize(kb->dot_real_binary(pra, pba, kDim)); });
+    report_backend(kernels["dot_real_binary"], b.c_str(), kDim * 8.0 + kWords * 8.0, ns);
+
+    ns = time_ns(
+        [&] { benchmark::DoNotOptimize(kb->masked_dot(pra, pba, pmask, kDim)); });
+    report_backend(kernels["masked_dot"], b.c_str(), kDim * 8.0 + 2.0 * kWords * 8, ns);
+
+    ns = time_ns([&] { benchmark::DoNotOptimize(kb->hamming(pba, pbb, kWords)); });
+    report_backend(kernels["hamming"], b.c_str(), 2.0 * kWords * 8, ns);
+
+    ns = time_ns(
+        [&] { benchmark::DoNotOptimize(kb->masked_bipolar_dot(pba, pbb, pmask, kWords)); });
+    report_backend(kernels["masked_bipolar_dot"], b.c_str(), 3.0 * kWords * 8, ns);
+
+    ns = time_ns([&] { benchmark::DoNotOptimize(kb->bipolar_dot_dense(ppa, ppb, kDim)); });
+    report_backend(kernels["bipolar_dot_dense"], b.c_str(), 2.0 * kDim, ns);
+
+    double* pacc = accum.values().data();
+    ns = time_ns([&] { kb->add_scaled_real(pacc, prb, 0.01, kDim); });
+    report_backend(kernels["add_scaled_real"], b.c_str(), 3.0 * kDim * 8, ns);
+
+    ns = time_ns([&] { kb->add_scaled_bipolar(pacc, ppa, 0.01, kDim); });
+    report_backend(kernels["add_scaled_bipolar"], b.c_str(), 2.0 * kDim * 8 + kDim, ns);
+
+    ns = time_ns([&] { kb->add_scaled_binary(pacc, pba, 0.01, kDim); });
+    report_backend(kernels["add_scaled_binary"], b.c_str(),
+                   2.0 * kDim * 8 + kWords * 8.0, ns);
+
+    ns = time_ns([&] { kb->scale_real(pacc, 0.999999, kDim); });
+    report_backend(kernels["scale_real"], b.c_str(), 2.0 * kDim * 8, ns);
+
+    // In-place map keeps z in [−½, ½] after the first call — always the
+    // polynomial path, which is what the encoder hits in practice.
+    std::vector<double> trig_z(kDim);
+    std::vector<double> trig_phase(kDim);
+    std::vector<double> trig_sinp(kDim);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      trig_z[j] = rng.normal();
+      trig_phase[j] = rng.phase();
+      trig_sinp[j] = util::fast_sin(trig_phase[j]);
+    }
+    ns = time_ns(
+        [&] { kb->rff_trig_map(trig_z.data(), trig_phase.data(), trig_sinp.data(), kDim); });
+    report_backend(kernels["rff_trig_map"], b.c_str(), 4.0 * kDim * 8, ns);
+  }
+
+  kernels["dot_real_binary"]["seed"]["ns_per_op"] = bench::JsonValue::number(seed_drb);
+  kernels["add_scaled_binary"]["seed"]["ns_per_op"] = bench::JsonValue::number(seed_asb);
+
+  // RFF encode: seed formula (2 trig calls + serial dot) vs current encoder.
+  hdc::EncoderConfig ecfg;
+  ecfg.kind = hdc::EncoderKind::kRffProjection;
+  ecfg.input_dim = kFeatures;
+  ecfg.dim = kDim;
+  const auto encoder = hdc::make_encoder(ecfg);
+  std::vector<double> projection(kDim * kFeatures);
+  std::vector<double> phase(kDim);
+  std::vector<double> features(kFeatures);
+  for (double& w : projection) {
+    w = rng.normal(0.0, 1.0 / std::sqrt(static_cast<double>(kFeatures)));
+  }
+  for (double& p : phase) {
+    p = rng.phase();
+  }
+  for (double& f : features) {
+    f = rng.normal();
+  }
+  std::vector<double> scratch(kDim);
+  const double seed_encode_ns =
+      time_ns([&] { seed_rff_encode(projection, phase, features, scratch); });
+  const double encode_ns =
+      time_ns([&] { benchmark::DoNotOptimize(encoder->encode_real(features)); });
+  kernels["rff_encode"]["seed"]["ns_per_op"] = bench::JsonValue::number(seed_encode_ns);
+  report_backend(kernels["rff_encode"], hdc::active_backend().name,
+                 kDim * kFeatures * 8.0, encode_ns);
+
+  // End-to-end: encode kRows rows and predict each with a k-model regressor,
+  // batched path vs the seed's per-row loops.
+  core::RegHDConfig rcfg;
+  rcfg.dim = kDim;
+  rcfg.models = kModels;
+  core::MultiModelRegressor reg(rcfg);
+  data::Dataset rows("bench", kFeatures, [&] {
+    std::vector<double> flat(kRows * kFeatures);
+    for (double& f : flat) {
+      f = rng.normal();
+    }
+    return flat;
+  }(), std::vector<double>(kRows, 0.0));
+
+  // Train briefly so the models are non-trivial (timing is state-independent,
+  // but an all-zero model lets the compiler skip surprising amounts of work).
+  {
+    const core::EncodedDataset warm = core::EncodedDataset::from(*encoder, rows);
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+      reg.train_step(warm.sample(i), std::sin(static_cast<double>(i)));
+    }
+    reg.requantize();
+  }
+
+  const double e2e_batched_ns = time_ns([&] {
+    const core::EncodedDataset enc = core::EncodedDataset::from(*encoder, rows);
+    benchmark::DoNotOptimize(reg.predict_batch(enc));
+  });
+  const double e2e_seed_ns = time_ns([&] {
+    double sink = 0.0;
+    for (std::size_t i = 0; i < kRows; ++i) {
+      const auto row = rows.row(i);
+      seed_rff_encode(projection, phase,
+                      std::vector<double>(row.begin(), row.end()), scratch);
+      hdc::EncodedSample s;
+      s.real = hdc::RealHV(scratch);
+      s.bipolar = s.real.sign();
+      s.binary = s.bipolar.pack();
+      double n2 = 0.0;
+      for (const double v : scratch) {
+        n2 += v * v;
+      }
+      s.real_norm2 = n2;
+      s.real_norm = std::sqrt(n2);
+      sink += seed_predict(reg, s);
+    }
+    benchmark::DoNotOptimize(sink);
+  });
+
+  bench::JsonValue& e2e = root["end_to_end_encode_predict"];
+  e2e["rows"] = bench::JsonValue::integer(static_cast<std::int64_t>(kRows));
+  e2e["features"] = bench::JsonValue::integer(static_cast<std::int64_t>(kFeatures));
+  e2e["models"] = bench::JsonValue::integer(static_cast<std::int64_t>(kModels));
+  e2e["seed"]["ns_per_row"] = bench::JsonValue::number(e2e_seed_ns / kRows);
+  e2e["batched"]["ns_per_row"] = bench::JsonValue::number(e2e_batched_ns / kRows);
+  e2e["batched"]["rows_per_s"] = bench::JsonValue::number(1e9 * kRows / e2e_batched_ns);
+
+  bench::JsonValue& speedups = root["speedups_vs_seed"];
+  const std::string active = hdc::active_backend().name;
+  const double active_drb_ns =
+      time_ns([&] { benchmark::DoNotOptimize(hdc::dot(ra, ba)); });
+  speedups["dot_real_binary"] = bench::JsonValue::number(seed_drb / active_drb_ns);
+  speedups["rff_encode"] = bench::JsonValue::number(seed_encode_ns / encode_ns);
+  speedups["encode_predict_end_to_end"] =
+      bench::JsonValue::number(e2e_seed_ns / e2e_batched_ns);
+  speedups["active_backend"] = bench::JsonValue::string(active);
+
+  return bench::write_json_file(path, root) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      const std::string path =
+          arg.size() > 7 ? arg.substr(7) : std::string("BENCH_kernels.json");
+      return run_kernel_json(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

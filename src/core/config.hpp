@@ -145,6 +145,12 @@ struct RegHDConfig {
 
   std::uint64_t seed = 0x52E6D5EEDULL;
 
+  /// Worker threads for the batch encode/predict paths; 0 defers to the
+  /// REGHD_THREADS environment variable, else hardware concurrency. A pure
+  /// runtime knob — results are deterministic regardless of the value, and it
+  /// is deliberately not serialized with trained models.
+  std::size_t threads = 0;
+
   [[nodiscard]] PredictionMode prediction_mode() const noexcept {
     return {query_precision, model_precision};
   }

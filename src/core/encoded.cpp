@@ -6,7 +6,7 @@
 namespace reghd::core {
 
 EncodedDataset EncodedDataset::from(const hdc::Encoder& encoder,
-                                    const data::Dataset& dataset) {
+                                    const data::Dataset& dataset, std::size_t threads) {
   REGHD_CHECK(dataset.num_features() == encoder.input_dim(),
               "dataset has " << dataset.num_features() << " features, encoder expects "
                              << encoder.input_dim());
@@ -15,9 +15,10 @@ EncodedDataset EncodedDataset::from(const hdc::Encoder& encoder,
   out.targets_.assign(dataset.targets().begin(), dataset.targets().end());
   // Encoding is embarrassingly parallel (the encoder is immutable and each
   // sample writes a disjoint slot); block assignment keeps it deterministic.
-  util::parallel_for(dataset.size(), [&](std::size_t i) {
-    out.samples_[i] = encoder.encode(dataset.row(i));
-  });
+  util::parallel_for(
+      dataset.size(),
+      [&](std::size_t i) { out.samples_[i] = encoder.encode(dataset.row(i)); },
+      threads);
   return out;
 }
 

@@ -19,9 +19,12 @@ class EncodedDataset {
  public:
   EncodedDataset() = default;
 
-  /// Encodes every row of `dataset` with `encoder`. Throws if the feature
+  /// Encodes every row of `dataset` with `encoder`, parallelized over rows
+  /// with up to `threads` workers (0 = REGHD_THREADS / hardware concurrency;
+  /// results are identical for any thread count). Throws if the feature
   /// counts disagree.
-  static EncodedDataset from(const hdc::Encoder& encoder, const data::Dataset& dataset);
+  static EncodedDataset from(const hdc::Encoder& encoder, const data::Dataset& dataset,
+                             std::size_t threads = 0);
 
   void add(hdc::EncodedSample sample, double target);
 

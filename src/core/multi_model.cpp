@@ -8,6 +8,7 @@
 #include "core/early_stopping.hpp"
 #include "hdc/random_hv.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/statistics.hpp"
 
 namespace reghd::core {
@@ -127,20 +128,23 @@ PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSample& s
   return detail;
 }
 
-std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dataset) const {
-  std::vector<double> out;
-  out.reserve(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    out.push_back(predict(dataset.sample(i)));
-  }
+std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dataset,
+                                                       std::size_t threads) const {
+  std::vector<double> out(dataset.size());
+  util::parallel_for(
+      dataset.size(), [&](std::size_t i) { out[i] = predict(dataset.sample(i)); },
+      threads != 0 ? threads : config_.threads);
   return out;
 }
 
 double MultiModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
   REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
+  const std::vector<double> pred = predict_batch(dataset);
+  // Serial accumulation in index order keeps the MSE bit-identical for any
+  // thread count.
   double acc = 0.0;
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    const double e = predict(dataset.sample(i)) - dataset.target(i);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double e = pred[i] - dataset.target(i);
     acc += e * e;
   }
   return acc / static_cast<double>(dataset.size());

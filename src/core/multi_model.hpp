@@ -75,7 +75,11 @@ class MultiModelRegressor {
   /// Prediction plus all intermediate quantities.
   [[nodiscard]] PredictionDetail predict_detail(const hdc::EncodedSample& sample) const;
 
-  [[nodiscard]] std::vector<double> predict_batch(const EncodedDataset& dataset) const;
+  /// Predicts every sample, parallelized over rows with up to `threads`
+  /// workers (0 = config.threads, then REGHD_THREADS / hardware
+  /// concurrency). Result i equals predict(sample i) for any thread count.
+  [[nodiscard]] std::vector<double> predict_batch(const EncodedDataset& dataset,
+                                                  std::size_t threads = 0) const;
 
   [[nodiscard]] double evaluate_mse(const EncodedDataset& dataset) const;
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace reghd::core {
 
@@ -64,8 +65,10 @@ void RegHDPipeline::fit(const data::Dataset& train) {
   const data::TrainTestSplit split =
       data::train_test_split(scaled, config_.validation_fraction, split_rng);
 
-  const EncodedDataset train_enc = EncodedDataset::from(*encoder_, split.train);
-  const EncodedDataset val_enc = EncodedDataset::from(*encoder_, split.test);
+  const EncodedDataset train_enc =
+      EncodedDataset::from(*encoder_, split.train, config_.reghd.threads);
+  const EncodedDataset val_enc =
+      EncodedDataset::from(*encoder_, split.test, config_.reghd.threads);
 
   regressor_ = std::make_unique<MultiModelRegressor>(config_.reghd);
   report_ = regressor_->fit(train_enc, val_enc);
@@ -98,11 +101,42 @@ PredictionDetail RegHDPipeline::predict_detail(std::span<const double> features)
   return detail;
 }
 
+std::vector<double> RegHDPipeline::predict_batch(const data::Dataset& dataset) const {
+  REGHD_CHECK(regressor_ != nullptr, "pipeline must be fitted before prediction");
+  REGHD_CHECK(encoder_ != nullptr, "pipeline must be fitted before prediction");
+  const std::size_t n = dataset.num_features();
+  REGHD_CHECK(n == encoder_->input_dim(),
+              "dataset has " << n << " features, encoder expects " << encoder_->input_dim());
+
+  // One flat scaled copy of the feature block feeds the row-parallel batch
+  // encoder.
+  std::vector<double> flat(dataset.features_flat().begin(), dataset.features_flat().end());
+  if (config_.standardize_features) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      feature_scaler_.transform_row_inplace(std::span<double>(flat.data() + i * n, n));
+    }
+  }
+  const std::vector<hdc::EncodedSample> samples =
+      encoder_->encode_batch(flat, dataset.size(), config_.reghd.threads);
+
+  std::vector<double> out(dataset.size());
+  util::parallel_for(
+      dataset.size(), [&](std::size_t i) { out[i] = regressor_->predict(samples[i]); },
+      config_.reghd.threads);
+  if (config_.standardize_target) {
+    for (double& y : out) {
+      y = target_scaler_.inverse_value(y);
+    }
+  }
+  return out;
+}
+
 double RegHDPipeline::evaluate_mse(const data::Dataset& dataset) const {
   REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
+  const std::vector<double> pred = predict_batch(dataset);
   double acc = 0.0;
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    const double e = predict(dataset.row(i)) - dataset.target(i);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double e = pred[i] - dataset.target(i);
     acc += e * e;
   }
   return acc / static_cast<double>(dataset.size());

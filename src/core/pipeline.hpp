@@ -55,6 +55,13 @@ class RegHDPipeline final : public model::Regressor {
 
   [[nodiscard]] double predict(std::span<const double> features) const override;
 
+  /// Batched prediction: scales all rows, encodes them in parallel
+  /// (encode_batch), and predicts in parallel — far cheaper than per-row
+  /// predict() calls. Uses config.reghd.threads workers (0 = REGHD_THREADS /
+  /// hardware concurrency); result i equals predict(row i) exactly.
+  [[nodiscard]] std::vector<double> predict_batch(
+      const data::Dataset& dataset) const override;
+
   /// Per-model introspection for one input (original feature units).
   [[nodiscard]] PredictionDetail predict_detail(std::span<const double> features) const;
 
@@ -67,6 +74,11 @@ class RegHDPipeline final : public model::Regressor {
   [[nodiscard]] const TrainingReport& report() const;
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+  /// Runtime override of the batch encode/predict worker count
+  /// (config.reghd.threads; 0 = REGHD_THREADS / hardware concurrency).
+  /// Never affects results, only wall-clock.
+  void set_threads(std::size_t threads) noexcept { config_.reghd.threads = threads; }
 
   /// Trained components (for tests, serialization, and power users).
   [[nodiscard]] const MultiModelRegressor& regressor() const;

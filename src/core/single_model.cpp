@@ -7,6 +7,7 @@
 
 #include "core/early_stopping.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace reghd::core {
@@ -41,20 +42,23 @@ double SingleModelRegressor::predict(const hdc::EncodedSample& sample) const {
   return predict_dot(model_, sample, config_.prediction_mode());
 }
 
-std::vector<double> SingleModelRegressor::predict_batch(const EncodedDataset& dataset) const {
-  std::vector<double> out;
-  out.reserve(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    out.push_back(predict(dataset.sample(i)));
-  }
+std::vector<double> SingleModelRegressor::predict_batch(const EncodedDataset& dataset,
+                                                        std::size_t threads) const {
+  std::vector<double> out(dataset.size());
+  util::parallel_for(
+      dataset.size(), [&](std::size_t i) { out[i] = predict(dataset.sample(i)); },
+      threads != 0 ? threads : config_.threads);
   return out;
 }
 
 double SingleModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
   REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
+  const std::vector<double> pred = predict_batch(dataset);
+  // Serial accumulation in index order keeps the MSE bit-identical for any
+  // thread count.
   double acc = 0.0;
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    const double e = predict(dataset.sample(i)) - dataset.target(i);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double e = pred[i] - dataset.target(i);
     acc += e * e;
   }
   return acc / static_cast<double>(dataset.size());

@@ -50,6 +50,15 @@ std::vector<double> StandardScaler::transform_row(std::span<const double> featur
   return out;
 }
 
+void StandardScaler::transform_row_inplace(std::span<double> features) const {
+  REGHD_CHECK(fitted(), "scaler must be fitted before transform");
+  REGHD_CHECK(features.size() == mean_.size(),
+              "row has " << features.size() << " features, scaler was fit on " << mean_.size());
+  for (std::size_t k = 0; k < features.size(); ++k) {
+    features[k] = (features[k] - mean_[k]) / stddev_[k];
+  }
+}
+
 void StandardScaler::set_params(std::vector<double> means, std::vector<double> stddevs) {
   REGHD_CHECK(means.size() == stddevs.size(),
               "scaler parameter length mismatch: " << means.size() << " vs " << stddevs.size());

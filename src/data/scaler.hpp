@@ -27,6 +27,10 @@ class StandardScaler {
   /// Transforms one feature row out of place.
   [[nodiscard]] std::vector<double> transform_row(std::span<const double> features) const;
 
+  /// Transforms one feature row in place (the allocation-free form for
+  /// batched prediction paths).
+  void transform_row_inplace(std::span<double> features) const;
+
   [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
   [[nodiscard]] std::span<const double> means() const noexcept { return mean_; }
   [[nodiscard]] std::span<const double> stddevs() const noexcept { return stddev_; }

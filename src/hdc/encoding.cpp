@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hdc/kernel_backend.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/random_hv.hpp"
+#include "util/fast_trig.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace reghd::hdc {
@@ -56,12 +59,26 @@ EncodedSample Encoder::encode(std::span<const double> features) const {
   out.real = encode_real(features);
   out.bipolar = out.real.sign();
   out.binary = out.bipolar.pack();
-  double norm2 = 0.0;
-  for (const double v : out.real.values()) {
-    norm2 += v * v;
-  }
+  const auto v = out.real.values();
+  const double norm2 = active_backend().dot_real_real(v.data(), v.data(), v.size());
   out.real_norm2 = norm2;
   out.real_norm = std::sqrt(norm2);
+  return out;
+}
+
+std::vector<EncodedSample> Encoder::encode_batch(std::span<const double> rows_flat,
+                                                 std::size_t num_rows,
+                                                 std::size_t threads) const {
+  const std::size_t n = config_.input_dim;
+  REGHD_CHECK(rows_flat.size() == num_rows * n,
+              "encode_batch: flat buffer of " << rows_flat.size()
+                                              << " doubles does not hold " << num_rows
+                                              << " rows of " << n << " features");
+  std::vector<EncodedSample> out(num_rows);
+  util::parallel_for(
+      num_rows,
+      [&](std::size_t i) { out[i] = encode(rows_flat.subspan(i * n, n)); },
+      threads);
   return out;
 }
 
@@ -95,14 +112,14 @@ RealHV NonlinearFeatureEncoder::encode_real(std::span<const double> features) co
   //   g_j = Σ_k B_{k,j} · (sin 2f_k)/2,   s = Σ_k sin²f_k.
   std::vector<double> g(d, 0.0);
   double s = 0.0;
+  const KernelBackend& kb = active_backend();
   for (std::size_t k = 0; k < n; ++k) {
     const double half_sin2 = 0.5 * std::sin(2.0 * features[k]);
     const double sinf = std::sin(features[k]);
     s += sinf * sinf;
-    const auto base = bases_[k].values();
-    for (std::size_t j = 0; j < d; ++j) {
-      g[j] += base[j] > 0 ? half_sin2 : -half_sin2;
-    }
+    // g += half_sin2 · B_k — the ±1 axpy kernel (multiplying by ±1.0 is
+    // exact, so this matches the branchy form bit-for-bit).
+    kb.add_scaled_bipolar(g.data(), bases_[k].values().data(), half_sin2, d);
   }
 
   RealHV out(d);
@@ -139,13 +156,21 @@ RffProjectionEncoder::RffProjectionEncoder(EncoderConfig config) : Encoder(confi
   util::Rng rng(config_.seed);
   util::Rng proj_rng = rng.split();
   util::Rng phase_rng = rng.split();
-  projection_.resize(config_.dim * config_.input_dim);
-  for (double& w : projection_) {
-    w = proj_rng.normal(0.0, stddev);
+  // Draw weights in (j, k) order — the same stream a row-major fill would
+  // consume, so the per-component weights are unchanged — but store them
+  // transposed for the axpy formulation of the projection.
+  projection_t_.resize(config_.dim * config_.input_dim);
+  for (std::size_t j = 0; j < config_.dim; ++j) {
+    for (std::size_t k = 0; k < config_.input_dim; ++k) {
+      projection_t_[k * config_.dim + j] = proj_rng.normal(0.0, stddev);
+    }
   }
   phase_.resize(config_.dim);
-  for (double& b : phase_) {
-    b = phase_rng.phase();
+  sin_phase_.resize(config_.dim);
+  for (std::size_t j = 0; j < config_.dim; ++j) {
+    phase_[j] = phase_rng.phase();
+    // fast_sin here too, so z = 0 gives sin(b_j) − sin_phase_[j] == 0 exactly.
+    sin_phase_[j] = util::fast_sin(phase_[j]);
   }
 }
 
@@ -153,15 +178,21 @@ RealHV RffProjectionEncoder::encode_real(std::span<const double> features) const
   check_features(features);
   const std::size_t d = config_.dim;
   const std::size_t n = config_.input_dim;
+  const KernelBackend& kb = active_backend();
   RealHV out(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    const double* row = projection_.data() + j * n;
-    double z = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      z += row[k] * features[k];
-    }
-    out[j] = std::cos(z + phase_[j]) * std::sin(z);
+  // Projection as n unit-stride axpys over the transposed weights:
+  //   z_j = Σ_k x_k · w_{j,k}  ⇔  z += x_k · W_t[k, ·] for each feature k.
+  // Each component still accumulates in feature order, so the result is
+  // bit-identical to the naive per-row dot, and add_scaled_real rounds the
+  // same under every kernel backend. Then the trig map: product-to-sum turns
+  // the paper's cos(z+b)·sin(z) into ½·(sin(2z+b) − sin(b)) — one sine per
+  // component, evaluated with util::fast_sin (see fast_trig.hpp; identical
+  // values under every kernel backend).
+  double* z = &out[0];
+  for (std::size_t k = 0; k < n; ++k) {
+    kb.add_scaled_real(z, projection_t_.data() + k * d, features[k], d);
   }
+  kb.rff_trig_map(z, phase_.data(), sin_phase_.data(), d);
   return out;
 }
 
@@ -214,8 +245,10 @@ std::size_t IdLevelEncoder::level_index(double value) const noexcept {
 RealHV IdLevelEncoder::encode_real(std::span<const double> features) const {
   check_features(features);
   RealHV out(config_.dim);
+  BinaryHV bound(config_.dim);  // scratch reused across features — no
+                                // per-feature allocation
   for (std::size_t k = 0; k < config_.input_dim; ++k) {
-    const BinaryHV bound = xor_bind(feature_ids_[k], level_hvs_[level_index(features[k])]);
+    xor_bind_into(bound, feature_ids_[k], level_hvs_[level_index(features[k])]);
     add_scaled(out, bound, 1.0);
   }
   return out;
@@ -264,9 +297,10 @@ std::size_t TemporalEncoder::level_index(double value) const noexcept {
 RealHV TemporalEncoder::encode_real(std::span<const double> features) const {
   check_features(features);
   RealHV out(config_.dim);
+  BinaryHV rotated(config_.dim);  // scratch reused across window positions
   for (std::size_t t = 0; t < features.size(); ++t) {
     // ρᵗ binds the element to its window position.
-    const BinaryHV rotated = permute(level_hvs_[level_index(features[t])], t);
+    permute_into(rotated, level_hvs_[level_index(features[t])], t);
     add_scaled(out, rotated, 1.0);
   }
   return out;

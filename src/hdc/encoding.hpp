@@ -110,6 +110,15 @@ class Encoder {
   /// Maps features to all three coupled representations.
   [[nodiscard]] EncodedSample encode(std::span<const double> features) const;
 
+  /// Encodes `num_rows` feature vectors stored contiguously row-major in
+  /// `rows_flat` (size num_rows · input_dim), parallelized over rows with up
+  /// to `threads` workers (0 = REGHD_THREADS / hardware concurrency).
+  /// Deterministic: result row i equals encode(row i) regardless of thread
+  /// count.
+  [[nodiscard]] std::vector<EncodedSample> encode_batch(
+      std::span<const double> rows_flat, std::size_t num_rows,
+      std::size_t threads = 0) const;
+
  protected:
   explicit Encoder(EncoderConfig config);
 
@@ -144,9 +153,14 @@ class RffProjectionEncoder final : public Encoder {
   [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
 
  private:
-  // Projection stored row-major: projection_[j*n + k] = w_{j,k}.
-  std::vector<double> projection_;
+  // Projection stored transposed (feature-major): projection_t_[k*d + j] =
+  // w_{j,k}. Each feature then contributes one contiguous axpy over the full
+  // hyperspace row — unit-stride for the SIMD add_scaled_real kernel —
+  // instead of d strided short dots.
+  std::vector<double> projection_t_;
   std::vector<double> phase_;
+  std::vector<double> sin_phase_;  ///< sin(b_j), precomputed for the
+                                   ///< product-to-sum form of cos(z+b)·sin(z).
 };
 
 /// ID–level record encoding: each feature k has a random ID hypervector and

@@ -6,11 +6,14 @@
 namespace reghd::hdc {
 
 BipolarHV RealHV::sign() const {
-  std::vector<std::int8_t> out(data_.size());
+  BipolarHV out;
+  out.data_.resize(data_.size());
+  // Branchless select vectorizes; the by-construction ±1 invariant makes the
+  // validating BipolarHV(vector) constructor pass (and its cost) unnecessary.
   for (std::size_t i = 0; i < data_.size(); ++i) {
-    out[i] = data_[i] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+    out.data_[i] = static_cast<std::int8_t>(1 - 2 * static_cast<int>(data_[i] < 0.0));
   }
-  return BipolarHV(std::move(out));
+  return out;
 }
 
 BinaryHV RealHV::sign_packed() const {
@@ -32,7 +35,17 @@ BipolarHV::BipolarHV(std::vector<std::int8_t> values) : data_(std::move(values))
 
 BinaryHV BipolarHV::pack() const {
   BinaryHV out(data_.size());
-  for (std::size_t i = 0; i < data_.size(); ++i) {
+  // Word-at-a-time: accumulate 64 sign bits in a register before one store,
+  // rather than a read-modify-write of the output word per component.
+  const std::size_t full_words = data_.size() / 64;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < 64; ++b) {
+      bits |= static_cast<std::uint64_t>(data_[w * 64 + b] > 0) << b;
+    }
+    out.words_[w] = bits;
+  }
+  for (std::size_t i = full_words * 64; i < data_.size(); ++i) {
     if (data_[i] > 0) {
       out.words_[i >> 6] |= 1ULL << (i & 63);
     }

@@ -101,6 +101,7 @@ class BipolarHV {
   bool operator==(const BipolarHV&) const = default;
 
  private:
+  friend class RealHV;  // sign() writes ±1 directly, skipping re-validation.
   std::vector<std::int8_t> data_;
 };
 
@@ -121,6 +122,11 @@ class BinaryHV {
   [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
 
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Mutable word storage for word-at-a-time kernels (ops.cpp). Callers must
+  /// keep the padding bits of the final word zero — whole-word popcount
+  /// kernels rely on it.
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
 
   [[nodiscard]] bool bit(std::size_t i) const noexcept {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;

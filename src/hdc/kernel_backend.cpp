@@ -1,0 +1,247 @@
+#include "hdc/kernel_backend.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/fast_trig.hpp"
+
+namespace reghd::hdc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable scalar kernels.
+//
+// Sign application is branchless: for b ∈ {0,1}, (b ? +v : −v) equals
+// v with its IEEE-754 sign bit XOR-flipped when b = 0. This adds exactly the
+// same values in exactly the same order as a compare-per-component loop, so
+// the scalar backend is bit-identical to the seed reference implementations
+// — minus the per-bit branch mispredictions that dominated them.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSignBit = 0x8000000000000000ULL;
+
+/// +v when the low bit of `keep` is 1, −v when it is 0.
+inline double apply_sign(double v, std::uint64_t keep) {
+  const std::uint64_t flip = (~keep & 1ULL) << 63;
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^ flip);
+}
+
+double scalar_dot_real_real(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double scalar_dot_real_bipolar(const double* a, const std::int8_t* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // b[i] ∈ {−1,+1}: flip the sign of a[i] when b[i] is negative.
+    const std::uint64_t flip =
+        static_cast<std::uint64_t>(static_cast<std::uint8_t>(b[i]) >> 7) << 63;
+    acc += std::bit_cast<double>(std::bit_cast<std::uint64_t>(a[i]) ^ flip);
+  }
+  return acc;
+}
+
+double scalar_dot_real_binary(const double* a, const std::uint64_t* bits, std::size_t n) {
+  double acc = 0.0;
+  std::size_t i = 0;
+  for (std::size_t w = 0; i + 64 <= n; ++w, i += 64) {
+    const std::uint64_t word = bits[w];
+    for (std::size_t j = 0; j < 64; ++j) {
+      acc += apply_sign(a[i + j], word >> j);
+    }
+  }
+  if (i < n) {
+    const std::uint64_t word = bits[i >> 6];
+    for (std::size_t j = 0; i + j < n; ++j) {
+      acc += apply_sign(a[i + j], word >> j);
+    }
+  }
+  return acc;
+}
+
+double scalar_masked_dot(const double* a, const std::uint64_t* signs,
+                         const std::uint64_t* mask, std::size_t n) {
+  // Iterate set mask bits only — ternary masks are often sparse, and this
+  // preserves the exact accumulation order of the reference loop.
+  double acc = 0.0;
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t active = mask[w];
+    const std::uint64_t sign_bits = signs[w];
+    const std::size_t base = w << 6;
+    while (active != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(active));
+      active &= active - 1;  // clear lowest set bit
+      acc += apply_sign(a[base + j], sign_bits >> j);
+    }
+  }
+  return acc;
+}
+
+std::int64_t scalar_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += std::popcount(a[i] ^ b[i]);
+  }
+  return total;
+}
+
+std::int64_t scalar_masked_bipolar_dot(const std::uint64_t* a, const std::uint64_t* b,
+                                       const std::uint64_t* mask, std::size_t words) {
+  std::int64_t agree = 0;
+  std::int64_t active = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t m = mask[i];
+    agree += std::popcount(~(a[i] ^ b[i]) & m);
+    active += std::popcount(m);
+  }
+  return 2 * agree - active;
+}
+
+std::int64_t scalar_bipolar_dot_dense(const std::int8_t* a, const std::int8_t* b,
+                                      std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]);
+  }
+  return acc;
+}
+
+void scalar_add_scaled_real(double* a, const double* b, double c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] += c * b[i];
+  }
+}
+
+void scalar_add_scaled_bipolar(double* a, const std::int8_t* b, double c, std::size_t n) {
+  const std::uint64_t c_bits = std::bit_cast<std::uint64_t>(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t flip =
+        static_cast<std::uint64_t>(static_cast<std::uint8_t>(b[i]) >> 7) << 63;
+    a[i] += std::bit_cast<double>(c_bits ^ flip);
+  }
+}
+
+void scalar_add_scaled_binary(double* a, const std::uint64_t* bits, double c,
+                              std::size_t n) {
+  const std::uint64_t c_bits = std::bit_cast<std::uint64_t>(c);
+  std::size_t i = 0;
+  for (std::size_t w = 0; i + 64 <= n; ++w, i += 64) {
+    const std::uint64_t word = bits[w];
+    for (std::size_t j = 0; j < 64; ++j) {
+      const std::uint64_t flip = (~(word >> j) & 1ULL) << 63;
+      a[i + j] += std::bit_cast<double>(c_bits ^ flip);
+    }
+  }
+  if (i < n) {
+    const std::uint64_t word = bits[i >> 6];
+    for (std::size_t j = 0; i + j < n; ++j) {
+      const std::uint64_t flip = (~(word >> j) & 1ULL) << 63;
+      a[i + j] += std::bit_cast<double>(c_bits ^ flip);
+    }
+  }
+}
+
+void scalar_scale_real(double* a, double c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] *= c;
+  }
+}
+
+void scalar_rff_trig_map(double* z, const double* phase, const double* sin_phase,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = 0.5 * (util::fast_sin(2.0 * z[i] + phase[i]) - sin_phase[i]);
+  }
+}
+
+constexpr KernelBackend kScalarBackend{
+    "scalar",
+    scalar_dot_real_real,
+    scalar_dot_real_bipolar,
+    scalar_dot_real_binary,
+    scalar_masked_dot,
+    scalar_hamming,
+    scalar_masked_bipolar_dot,
+    scalar_bipolar_dot_dense,
+    scalar_add_scaled_real,
+    scalar_add_scaled_bipolar,
+    scalar_add_scaled_binary,
+    scalar_scale_real,
+    scalar_rff_trig_map,
+};
+
+}  // namespace
+
+const KernelBackend& scalar_backend() noexcept { return kScalarBackend; }
+
+bool cpu_supports_avx2() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+#ifdef REGHD_HAVE_AVX2
+// Defined in kernel_backend_avx2.cpp (compiled with -mavx2 -mfma).
+const KernelBackend* avx2_backend_table() noexcept;
+#endif
+
+const KernelBackend* avx2_backend() noexcept {
+#ifdef REGHD_HAVE_AVX2
+  if (cpu_supports_avx2()) {
+    return avx2_backend_table();
+  }
+#endif
+  return nullptr;
+}
+
+const KernelBackend* backend_by_name(const char* name) noexcept {
+  if (name == nullptr) {
+    return nullptr;
+  }
+  if (std::strcmp(name, "scalar") == 0) {
+    return &kScalarBackend;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    return avx2_backend();
+  }
+  return nullptr;
+}
+
+namespace {
+
+const KernelBackend& resolve_active_backend() noexcept {
+  if (const char* request = std::getenv("REGHD_KERNEL")) {
+    if (const KernelBackend* chosen = backend_by_name(request)) {
+      return *chosen;
+    }
+    std::fprintf(stderr,
+                 "reghd: REGHD_KERNEL=%s is unknown or unavailable on this host; "
+                 "falling back to the scalar backend\n",
+                 request);
+    return kScalarBackend;
+  }
+  if (const KernelBackend* avx2 = avx2_backend()) {
+    return *avx2;
+  }
+  return kScalarBackend;
+}
+
+}  // namespace
+
+const KernelBackend& active_backend() noexcept {
+  static const KernelBackend& backend = resolve_active_backend();
+  return backend;
+}
+
+}  // namespace reghd::hdc

@@ -1,0 +1,92 @@
+// Vectorized kernel backend with runtime CPU dispatch.
+//
+// Every hot hypervector kernel (the §3.2 prediction dots, Hamming popcounts,
+// masked ternary kernels, and the add_scaled accumulation family) exists in
+// two implementations:
+//
+//  * scalar — portable C++, branchless where the seed code branched per bit
+//             (sign application via IEEE-754 sign-bit XOR instead of a
+//             compare per component). Bit-exact with the original reference
+//             loops: identical values are added in identical order.
+//  * avx2   — AVX2+FMA intrinsics compiled in a separate translation unit
+//             with -mavx2 -mfma so the rest of the build stays portable.
+//             Integer kernels are bit-exact with scalar; real kernels use
+//             multiple accumulators and therefore differ only by summation
+//             order (≤ a few ULP).
+//
+// The active backend is resolved exactly once, on first use:
+//   1. REGHD_KERNEL=scalar|avx2 environment override (an unavailable request
+//      falls back to scalar with a warning on stderr);
+//   2. otherwise AVX2 when both the binary carries the code and the CPU
+//      reports the avx2+fma features, else scalar.
+//
+// ops.cpp and encoding.cpp route through active_backend(); tests and the
+// microbench harness grab specific tables via scalar_backend() /
+// avx2_backend() to pin backend-equivalence properties.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reghd::hdc {
+
+/// Table of raw-pointer kernels. `n` counts components; `words` counts
+/// 64-bit storage words of bit-packed operands (padding bits are zero, an
+/// invariant BinaryHV maintains).
+struct KernelBackend {
+  const char* name;
+
+  /// Σ a[i]·b[i].
+  double (*dot_real_real)(const double* a, const double* b, std::size_t n);
+  /// Σ ±a[i] with the sign taken from a dense ±1 vector.
+  double (*dot_real_bipolar)(const double* a, const std::int8_t* b, std::size_t n);
+  /// Σ ±a[i] with the sign taken from packed bits (bit 1 ⇔ +1).
+  double (*dot_real_binary)(const double* a, const std::uint64_t* bits, std::size_t n);
+  /// Σ over mask-set dims of ±a[i], signs from packed bits.
+  double (*masked_dot)(const double* a, const std::uint64_t* signs,
+                       const std::uint64_t* mask, std::size_t n);
+  /// popcount(a XOR b) over whole words.
+  std::int64_t (*hamming)(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words);
+  /// 2·popcount(XNOR(a,b) ∧ mask) − popcount(mask) over whole words.
+  std::int64_t (*masked_bipolar_dot)(const std::uint64_t* a, const std::uint64_t* b,
+                                     const std::uint64_t* mask, std::size_t words);
+  /// Σ a[i]·b[i] over dense ±1 vectors.
+  std::int64_t (*bipolar_dot_dense)(const std::int8_t* a, const std::int8_t* b,
+                                    std::size_t n);
+  /// a[i] += c·b[i].
+  void (*add_scaled_real)(double* a, const double* b, double c, std::size_t n);
+  /// a[i] += ±c, signs from a dense ±1 vector.
+  void (*add_scaled_bipolar)(double* a, const std::int8_t* b, double c, std::size_t n);
+  /// a[i] += ±c, signs from packed bits.
+  void (*add_scaled_binary)(double* a, const std::uint64_t* bits, double c,
+                            std::size_t n);
+  /// a[i] *= c.
+  void (*scale_real)(double* a, double c, std::size_t n);
+  /// In-place RFF trig map: z[i] ← ½·(sin(2·z[i] + phase[i]) − sin_phase[i]),
+  /// with sine evaluated by util::fast_sin. The AVX2 version replays the
+  /// exact per-element operation sequence 4 lanes at a time (its TU is built
+  /// with -ffp-contract=off), so the result is bit-identical to scalar.
+  void (*rff_trig_map)(double* z, const double* phase, const double* sin_phase,
+                       std::size_t n);
+};
+
+/// The portable backend; always available.
+[[nodiscard]] const KernelBackend& scalar_backend() noexcept;
+
+/// The AVX2 backend, or nullptr when the binary was built without AVX2
+/// support or the CPU lacks avx2/fma.
+[[nodiscard]] const KernelBackend* avx2_backend() noexcept;
+
+/// True when the running CPU reports avx2 and fma.
+[[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+/// Resolves a backend by name ("scalar" or "avx2"); returns nullptr for an
+/// unknown name or an unavailable backend. Exposed for tests and benches.
+[[nodiscard]] const KernelBackend* backend_by_name(const char* name) noexcept;
+
+/// The backend every hdc:: kernel routes through. Resolved once, on first
+/// call (REGHD_KERNEL override, then CPU detection); stable thereafter.
+[[nodiscard]] const KernelBackend& active_backend() noexcept;
+
+}  // namespace reghd::hdc

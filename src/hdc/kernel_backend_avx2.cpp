@@ -1,0 +1,397 @@
+// AVX2+FMA implementations of the kernel backend. This translation unit is
+// the only one compiled with -mavx2 -mfma (see src/hdc/CMakeLists.txt); it
+// is entered only after runtime CPUID dispatch confirms the host supports
+// both feature sets, so the rest of the build stays portable x86-64.
+//
+// Sign application from packed bits uses the same IEEE-754 sign-bit XOR as
+// the scalar backend, vectorized four lanes at a time: the bit for lane l of
+// a 4-wide group at offset j is moved to bit 63 with a per-lane variable
+// shift (VPSLLVQ), masked to the sign bit, and XORed into the doubles.
+// Integer kernels are bit-exact with scalar; real kernels accumulate in
+// multiple lanes and so differ from scalar only by summation order.
+#include "hdc/kernel_backend.hpp"
+
+#ifdef REGHD_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/fast_trig.hpp"
+
+namespace reghd::hdc {
+
+namespace {
+
+constexpr std::uint64_t kSignBit = 0x8000000000000000ULL;
+
+inline double apply_sign(double v, std::uint64_t keep) {
+  const std::uint64_t flip = (~keep & 1ULL) << 63;
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^ flip);
+}
+
+inline double hsum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d shuf = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, shuf));
+}
+
+inline std::int64_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i sum = _mm_add_epi32(lo, hi);
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(sum);
+}
+
+/// Loads 4 consecutive int8 ±1 components as a vector of 4 doubles.
+inline __m256d load4_bipolar(const std::int8_t* p) {
+  std::int32_t raw;
+  std::memcpy(&raw, p, sizeof(raw));
+  const __m128i bytes = _mm_cvtsi32_si128(raw);
+  return _mm256_cvtepi32_pd(_mm_cvtepi8_epi32(bytes));
+}
+
+// The lane-constant vectors below are built inside each function (no
+// namespace-scope __m256i: its dynamic initializer would execute AVX
+// instructions at program load, before runtime dispatch can rule them out).
+
+/// Sign-flip masks (bit 63 per lane) for the 4-wide group at bit offset j of
+/// `inverted_word` (= ~bits: flip where the packed bit is 0). Lane l's bit
+/// (j+l) is moved to position 63 with a per-lane shift of 63−l.
+inline __m256d group_flips(std::uint64_t inverted_word, std::size_t j) {
+  const __m256i lane_shifts = _mm256_setr_epi64x(63, 62, 61, 60);
+  const __m256i bits = _mm256_set1_epi64x(static_cast<long long>(inverted_word >> j));
+  const __m256i flips = _mm256_and_si256(_mm256_sllv_epi64(bits, lane_shifts),
+                                         _mm256_set1_epi64x(static_cast<long long>(kSignBit)));
+  return _mm256_castsi256_pd(flips);
+}
+
+/// All-ones lane mask for mask bits j..j+3 of `mask_word`.
+inline __m256d group_mask(std::uint64_t mask_word, std::size_t j) {
+  const __m256i lane_bits = _mm256_setr_epi64x(1, 2, 4, 8);
+  const __m256i bits = _mm256_set1_epi64x(static_cast<long long>(mask_word >> j));
+  return _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(_mm256_and_si256(bits, lane_bits), lane_bits));
+}
+
+double avx2_dot_real_real(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8), _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12), _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc0);
+  }
+  double acc = hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+  for (; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double avx2_dot_real_bipolar(const double* a, const std::int8_t* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), load4_bipolar(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4), load4_bipolar(b + i + 4), acc1);
+  }
+  double acc = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    acc += b[i] > 0 ? a[i] : -a[i];
+  }
+  return acc;
+}
+
+double avx2_dot_real_binary(const double* a, const std::uint64_t* bits, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (std::size_t w = 0; i + 64 <= n; ++w, i += 64) {
+    const std::uint64_t inv = ~bits[w];
+    for (std::size_t j = 0; j < 64; j += 8) {
+      const __m256d v0 = _mm256_loadu_pd(a + i + j);
+      const __m256d v1 = _mm256_loadu_pd(a + i + j + 4);
+      acc0 = _mm256_add_pd(acc0, _mm256_xor_pd(v0, group_flips(inv, j)));
+      acc1 = _mm256_add_pd(acc1, _mm256_xor_pd(v1, group_flips(inv, j + 4)));
+    }
+  }
+  double acc = hsum(_mm256_add_pd(acc0, acc1));
+  if (i < n) {
+    const std::uint64_t word = bits[i >> 6];
+    for (std::size_t j = 0; i + j < n; ++j) {
+      acc += apply_sign(a[i + j], word >> j);
+    }
+  }
+  return acc;
+}
+
+double avx2_masked_dot(const double* a, const std::uint64_t* signs,
+                       const std::uint64_t* mask, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (std::size_t w = 0; i + 64 <= n; ++w, i += 64) {
+    const std::uint64_t m = mask[w];
+    if (m == 0) {
+      continue;
+    }
+    const std::uint64_t inv = ~signs[w];
+    for (std::size_t j = 0; j < 64; j += 8) {
+      const __m256d v0 = _mm256_xor_pd(_mm256_loadu_pd(a + i + j), group_flips(inv, j));
+      const __m256d v1 =
+          _mm256_xor_pd(_mm256_loadu_pd(a + i + j + 4), group_flips(inv, j + 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_and_pd(v0, group_mask(m, j)));
+      acc1 = _mm256_add_pd(acc1, _mm256_and_pd(v1, group_mask(m, j + 4)));
+    }
+  }
+  double acc = hsum(_mm256_add_pd(acc0, acc1));
+  if (i < n) {
+    const std::uint64_t sign_bits = signs[i >> 6];
+    std::uint64_t active = mask[i >> 6];
+    while (active != 0) {
+      const auto j = static_cast<std::size_t>(std::countr_zero(active));
+      active &= active - 1;
+      acc += apply_sign(a[i + j], sign_bits >> j);
+    }
+  }
+  return acc;
+}
+
+std::int64_t avx2_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  // POPCNT (enabled by -mavx2) at one word per cycle; four independent
+  // counters hide the instruction latency. AVX2 has no vector popcount.
+  std::int64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    c0 += std::popcount(a[i] ^ b[i]);
+    c1 += std::popcount(a[i + 1] ^ b[i + 1]);
+    c2 += std::popcount(a[i + 2] ^ b[i + 2]);
+    c3 += std::popcount(a[i + 3] ^ b[i + 3]);
+  }
+  for (; i < words; ++i) {
+    c0 += std::popcount(a[i] ^ b[i]);
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+std::int64_t avx2_masked_bipolar_dot(const std::uint64_t* a, const std::uint64_t* b,
+                                     const std::uint64_t* mask, std::size_t words) {
+  std::int64_t agree = 0;
+  std::int64_t active = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t m = mask[i];
+    agree += std::popcount(~(a[i] ^ b[i]) & m);
+    active += std::popcount(m);
+  }
+  return 2 * agree - active;
+}
+
+std::int64_t avx2_bipolar_dot_dense(const std::int8_t* a, const std::int8_t* b,
+                                    std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i pa = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i pb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pa, pb));
+  }
+  std::int64_t total = hsum_epi32(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]);
+  }
+  return total;
+}
+
+void avx2_add_scaled_real(double* a, const double* b, double c, std::size_t n) {
+  // mul + add (no FMA): each slot must round exactly like the scalar
+  // backend's `a[i] += c * b[i]` so both tables accumulate bit-identically.
+  // The kernel is memory-bound, so the extra rounding step is free.
+  const __m256d cv = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        a + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                             _mm256_mul_pd(cv, _mm256_loadu_pd(b + i))));
+    _mm256_storeu_pd(
+        a + i + 4, _mm256_add_pd(_mm256_loadu_pd(a + i + 4),
+                                 _mm256_mul_pd(cv, _mm256_loadu_pd(b + i + 4))));
+  }
+  for (; i < n; ++i) {
+    a[i] += c * b[i];
+  }
+}
+
+void avx2_add_scaled_bipolar(double* a, const std::int8_t* b, double c, std::size_t n) {
+  const __m256d cv = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(a + i,
+                     _mm256_fmadd_pd(cv, load4_bipolar(b + i), _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] += b[i] > 0 ? c : -c;
+  }
+}
+
+void avx2_add_scaled_binary(double* a, const std::uint64_t* bits, double c,
+                            std::size_t n) {
+  const __m256d cv = _mm256_set1_pd(c);
+  const std::uint64_t c_bits = std::bit_cast<std::uint64_t>(c);
+  std::size_t i = 0;
+  for (std::size_t w = 0; i + 64 <= n; ++w, i += 64) {
+    const std::uint64_t inv = ~bits[w];
+    for (std::size_t j = 0; j < 64; j += 4) {
+      const __m256d incr = _mm256_xor_pd(cv, group_flips(inv, j));
+      _mm256_storeu_pd(a + i + j, _mm256_add_pd(_mm256_loadu_pd(a + i + j), incr));
+    }
+  }
+  if (i < n) {
+    const std::uint64_t word = bits[i >> 6];
+    for (std::size_t j = 0; i + j < n; ++j) {
+      const std::uint64_t flip = (~(word >> j) & 1ULL) << 63;
+      a[i + j] += std::bit_cast<double>(c_bits ^ flip);
+    }
+  }
+}
+
+void avx2_scale_real(double* a, double c, std::size_t n) {
+  const __m256d cv = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(a + i, _mm256_mul_pd(cv, _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] *= c;
+  }
+}
+
+void avx2_rff_trig_map(double* z, const double* phase, const double* sin_phase,
+                       std::size_t n) {
+  // util::fast_sin replayed 4 lanes wide: identical operations in identical
+  // order per element (this TU is compiled with -ffp-contract=off, so the
+  // compiler cannot fuse any of them into FMAs), hence bit-identical to the
+  // scalar kernel. Out-of-range/NaN lanes are redone with the scalar
+  // fallback, which matches fast_sin's own std::sin escape.
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d two_over_pi = _mm256_set1_pd(6.36619772367581382433e-01);
+  const __m256d shift = _mm256_set1_pd(6755399441055744.0);
+  const __m256d pio2_hi = _mm256_set1_pd(1.57079632673412561417e+00);
+  const __m256d pio2_lo = _mm256_set1_pd(6.07710050650619224932e-11);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  const __m256d range = _mm256_set1_pd(1073741824.0);  // 2^30
+  const __m256i one64 = _mm256_set1_epi64x(1);
+  const __m256i two64 = _mm256_set1_epi64x(2);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_add_pd(_mm256_mul_pd(two, _mm256_loadu_pd(z + i)),
+                                    _mm256_loadu_pd(phase + i));
+    const __m256d shifted = _mm256_add_pd(_mm256_mul_pd(x, two_over_pi), shift);
+    const __m256i q = _mm256_castpd_si256(shifted);
+    const __m256d k = _mm256_sub_pd(shifted, shift);
+    const __m256d r = _mm256_sub_pd(_mm256_sub_pd(x, _mm256_mul_pd(k, pio2_hi)),
+                                    _mm256_mul_pd(k, pio2_lo));
+    const __m256d r2 = _mm256_mul_pd(r, r);
+
+    __m256d sp = _mm256_set1_pd(1.58969099521155010221e-10);
+    sp = _mm256_add_pd(_mm256_set1_pd(-2.50507602534068634195e-08),
+                       _mm256_mul_pd(r2, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(2.75573137070700676789e-06),
+                       _mm256_mul_pd(r2, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(-1.98412698298579493134e-04),
+                       _mm256_mul_pd(r2, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(8.33333333332248946124e-03),
+                       _mm256_mul_pd(r2, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(-1.66666666666666324348e-01),
+                       _mm256_mul_pd(r2, sp));
+    const __m256d ps = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(r, r2), sp));
+
+    __m256d cp = _mm256_set1_pd(-1.13596475577881948265e-11);
+    cp = _mm256_add_pd(_mm256_set1_pd(2.08757232129817482790e-09),
+                       _mm256_mul_pd(r2, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(-2.75573143513906633035e-07),
+                       _mm256_mul_pd(r2, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(2.48015872894767294178e-05),
+                       _mm256_mul_pd(r2, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(-1.38888888888741095749e-03),
+                       _mm256_mul_pd(r2, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(4.16666666666666019037e-02),
+                       _mm256_mul_pd(r2, cp));
+    const __m256d pc =
+        _mm256_add_pd(_mm256_sub_pd(_mm256_set1_pd(1.0), _mm256_mul_pd(half, r2)),
+                      _mm256_mul_pd(_mm256_mul_pd(r2, r2), cp));
+
+    const __m256d odd = _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_and_si256(q, one64), one64));
+    __m256d v = _mm256_blendv_pd(ps, pc, odd);
+    const __m256i sign_flip = _mm256_slli_epi64(_mm256_and_si256(q, two64), 62);
+    v = _mm256_xor_pd(v, _mm256_castsi256_pd(sign_flip));
+
+    __m256d out = _mm256_mul_pd(half, _mm256_sub_pd(v, _mm256_loadu_pd(sin_phase + i)));
+
+    const __m256d absx = _mm256_and_pd(x, abs_mask);
+    // NLT_UQ: true when !(|x| < 2^30), which also catches NaN — the same
+    // condition fast_sin uses for its std::sin fallback.
+    const int oor = _mm256_movemask_pd(_mm256_cmp_pd(absx, range, _CMP_NLT_UQ));
+    if (oor != 0) {
+      alignas(32) double xa[4];
+      alignas(32) double oa[4];
+      _mm256_store_pd(xa, x);
+      _mm256_store_pd(oa, out);
+      for (int l = 0; l < 4; ++l) {
+        if ((oor & (1 << l)) != 0) {
+          oa[l] = 0.5 * (std::sin(xa[l]) - sin_phase[i + static_cast<std::size_t>(l)]);
+        }
+      }
+      out = _mm256_load_pd(oa);
+    }
+    _mm256_storeu_pd(z + i, out);
+  }
+  for (; i < n; ++i) {
+    z[i] = 0.5 * (util::fast_sin(2.0 * z[i] + phase[i]) - sin_phase[i]);
+  }
+}
+
+constexpr KernelBackend kAvx2Backend{
+    "avx2",
+    avx2_dot_real_real,
+    avx2_dot_real_bipolar,
+    avx2_dot_real_binary,
+    avx2_masked_dot,
+    avx2_hamming,
+    avx2_masked_bipolar_dot,
+    avx2_bipolar_dot_dense,
+    avx2_add_scaled_real,
+    avx2_add_scaled_bipolar,
+    avx2_add_scaled_binary,
+    avx2_scale_real,
+    avx2_rff_trig_map,
+};
+
+}  // namespace
+
+const KernelBackend* avx2_backend_table() noexcept { return &kAvx2Backend; }
+
+}  // namespace reghd::hdc
+
+#endif  // REGHD_HAVE_AVX2

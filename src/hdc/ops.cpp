@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "hdc/kernel_backend.hpp"
+
 namespace reghd::hdc {
 
 namespace {
@@ -12,111 +14,77 @@ void check_dims(std::size_t a, std::size_t b, const char* op) {
   REGHD_CHECK(a == b, op << ": dimension mismatch " << a << " vs " << b);
 }
 
+/// 64 consecutive bits of the circular d-bit vector `w` starting at bit q
+/// (q < d). Reads never cross the d boundary in one chunk, so the padding
+/// bits of the final word are never picked up.
+std::uint64_t circular_read64(std::span<const std::uint64_t> w, std::size_t d,
+                              std::size_t q) {
+  std::uint64_t out = 0;
+  std::size_t got = 0;
+  while (got < 64) {
+    std::size_t pos = q + got;
+    if (pos >= d) {
+      pos %= d;
+    }
+    const std::size_t word = pos >> 6;
+    const std::size_t off = pos & 63;
+    const std::size_t avail = std::min<std::size_t>(64 - off, d - pos);
+    const std::size_t take = std::min<std::size_t>(64 - got, avail);
+    const std::uint64_t chunk =
+        (w[word] >> off) & (take == 64 ? ~0ULL : ((1ULL << take) - 1));
+    out |= chunk << got;
+    got += take;
+  }
+  return out;
+}
+
 }  // namespace
 
 double dot(const RealHV& a, const RealHV& b) {
   check_dims(a.dim(), b.dim(), "dot(real,real)");
-  double acc = 0.0;
-  const auto va = a.values();
-  const auto vb = b.values();
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    acc += va[i] * vb[i];
-  }
-  return acc;
+  return active_backend().dot_real_real(a.values().data(), b.values().data(), a.dim());
 }
 
 double dot(const RealHV& a, const BipolarHV& b) {
   check_dims(a.dim(), b.dim(), "dot(real,bipolar)");
-  double acc = 0.0;
-  const auto va = a.values();
-  const auto vb = b.values();
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    acc += vb[i] > 0 ? va[i] : -va[i];
-  }
-  return acc;
+  return active_backend().dot_real_bipolar(a.values().data(), b.values().data(), a.dim());
 }
 
 double dot(const RealHV& a, const BinaryHV& b) {
   check_dims(a.dim(), b.dim(), "dot(real,binary)");
-  double acc = 0.0;
-  const auto va = a.values();
-  const auto words = b.words();
-  for (std::size_t w = 0; w < words.size(); ++w) {
-    std::uint64_t bits = words[w];
-    const std::size_t base = w << 6;
-    const std::size_t limit = std::min<std::size_t>(64, va.size() - base);
-    for (std::size_t j = 0; j < limit; ++j) {
-      acc += (bits & 1ULL) ? va[base + j] : -va[base + j];
-      bits >>= 1;
-    }
-  }
-  return acc;
+  return active_backend().dot_real_binary(a.values().data(), b.words().data(), a.dim());
 }
 
 std::int64_t bipolar_dot(const BinaryHV& a, const BinaryHV& b) {
   check_dims(a.dim(), b.dim(), "bipolar_dot(binary,binary)");
-  const auto h = static_cast<std::int64_t>(hamming_distance(a, b));
+  const std::int64_t h = static_cast<std::int64_t>(hamming_distance(a, b));
   return static_cast<std::int64_t>(a.dim()) - 2 * h;
 }
 
 std::int64_t bipolar_dot(const BipolarHV& a, const BipolarHV& b) {
   check_dims(a.dim(), b.dim(), "bipolar_dot(bipolar,bipolar)");
-  std::int64_t acc = 0;
-  const auto va = a.values();
-  const auto vb = b.values();
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    acc += static_cast<std::int64_t>(va[i]) * static_cast<std::int64_t>(vb[i]);
-  }
-  return acc;
+  return active_backend().bipolar_dot_dense(a.values().data(), b.values().data(), a.dim());
 }
 
 std::int64_t masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
                                 const BinaryHV& mask) {
   check_dims(a.dim(), b.dim(), "masked_bipolar_dot");
   check_dims(a.dim(), mask.dim(), "masked_bipolar_dot(mask)");
-  const auto wa = a.words();
-  const auto wb = b.words();
-  const auto wm = mask.words();
-  std::int64_t agree = 0;
-  std::int64_t active = 0;
-  for (std::size_t i = 0; i < wa.size(); ++i) {
-    const std::uint64_t m = wm[i];
-    agree += std::popcount(~(wa[i] ^ wb[i]) & m);
-    active += std::popcount(m);
-  }
-  return 2 * agree - active;
+  return active_backend().masked_bipolar_dot(a.words().data(), b.words().data(),
+                                             mask.words().data(), a.word_count());
 }
 
 double masked_dot(const RealHV& a, const BinaryHV& signs, const BinaryHV& mask) {
   check_dims(a.dim(), signs.dim(), "masked_dot");
   check_dims(a.dim(), mask.dim(), "masked_dot(mask)");
-  const auto va = a.values();
-  const auto ws = signs.words();
-  const auto wm = mask.words();
-  double acc = 0.0;
-  for (std::size_t w = 0; w < wm.size(); ++w) {
-    std::uint64_t active = wm[w];
-    const std::uint64_t sign_bits = ws[w];
-    const std::size_t base = w << 6;
-    while (active != 0) {
-      const auto j = static_cast<std::size_t>(std::countr_zero(active));
-      active &= active - 1;  // clear lowest set bit
-      const double v = va[base + j];
-      acc += (sign_bits >> j) & 1ULL ? v : -v;
-    }
-  }
-  return acc;
+  return active_backend().masked_dot(a.values().data(), signs.words().data(),
+                                     mask.words().data(), a.dim());
 }
 
 std::size_t hamming_distance(const BinaryHV& a, const BinaryHV& b) {
   check_dims(a.dim(), b.dim(), "hamming_distance");
-  std::size_t total = 0;
-  const auto wa = a.words();
-  const auto wb = b.words();
-  for (std::size_t i = 0; i < wa.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
-  }
-  return total;
+  return static_cast<std::size_t>(
+      active_backend().hamming(a.words().data(), b.words().data(), a.word_count()));
 }
 
 double hamming_similarity(const BinaryHV& a, const BinaryHV& b) {
@@ -157,64 +125,73 @@ double cosine(const RealHV& a, const BinaryHV& b) {
 
 void add_scaled(RealHV& a, const RealHV& b, double c) {
   check_dims(a.dim(), b.dim(), "add_scaled(real,real)");
-  const auto vb = b.values();
-  const auto va = a.values();
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    va[i] += c * vb[i];
-  }
+  active_backend().add_scaled_real(a.values().data(), b.values().data(), c, a.dim());
 }
 
 void add_scaled(RealHV& a, const BipolarHV& b, double c) {
   check_dims(a.dim(), b.dim(), "add_scaled(real,bipolar)");
-  const auto vb = b.values();
-  const auto va = a.values();
-  for (std::size_t i = 0; i < va.size(); ++i) {
-    va[i] += vb[i] > 0 ? c : -c;
-  }
+  active_backend().add_scaled_bipolar(a.values().data(), b.values().data(), c, a.dim());
 }
 
 void add_scaled(RealHV& a, const BinaryHV& b, double c) {
   check_dims(a.dim(), b.dim(), "add_scaled(real,binary)");
-  const auto va = a.values();
-  const auto words = b.words();
-  for (std::size_t w = 0; w < words.size(); ++w) {
-    std::uint64_t bits = words[w];
-    const std::size_t base = w << 6;
-    const std::size_t limit = std::min<std::size_t>(64, va.size() - base);
-    for (std::size_t j = 0; j < limit; ++j) {
-      va[base + j] += (bits & 1ULL) ? c : -c;
-      bits >>= 1;
-    }
-  }
+  active_backend().add_scaled_binary(a.values().data(), b.words().data(), c, a.dim());
 }
 
 void scale(RealHV& a, double c) {
-  for (double& v : a.values()) {
-    v *= c;
-  }
+  active_backend().scale_real(a.values().data(), c, a.dim());
 }
 
 BinaryHV xor_bind(const BinaryHV& a, const BinaryHV& b) {
-  check_dims(a.dim(), b.dim(), "xor_bind");
-  // In the bipolar view, component-wise multiplication corresponds to XNOR
-  // of the bits: (+1)(+1)=+1 ↔ 1 xnor 1 = 1. We implement XNOR and keep the
-  // trailing padding bits zeroed.
   BinaryHV out(a.dim());
-  for (std::size_t i = 0; i < a.dim(); ++i) {
-    out.set_bit(i, a.bit(i) == b.bit(i));
-  }
+  xor_bind_into(out, a, b);
   return out;
+}
+
+void xor_bind_into(BinaryHV& out, const BinaryHV& a, const BinaryHV& b) {
+  check_dims(a.dim(), b.dim(), "xor_bind");
+  check_dims(out.dim(), a.dim(), "xor_bind(out)");
+  // In the bipolar view, component-wise multiplication corresponds to XNOR
+  // of the bits: (+1)(+1)=+1 ↔ 1 xnor 1 = 1. Whole-word XNOR, with the
+  // trailing padding bits of the final word re-zeroed.
+  const auto wa = a.words();
+  const auto wb = b.words();
+  const auto wo = out.words();
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    wo[i] = ~(wa[i] ^ wb[i]);
+  }
+  const std::size_t tail = a.dim() & 63;
+  if (tail != 0 && !wo.empty()) {
+    wo.back() &= (1ULL << tail) - 1;
+  }
 }
 
 BinaryHV permute(const BinaryHV& a, std::size_t shift) {
   const std::size_t d = a.dim();
   REGHD_CHECK(d > 0, "permute of empty vector");
   BinaryHV out(d);
-  const std::size_t s = shift % d;
-  for (std::size_t i = 0; i < d; ++i) {
-    out.set_bit((i + s) % d, a.bit(i));
-  }
+  permute_into(out, a, shift);
   return out;
+}
+
+void permute_into(BinaryHV& out, const BinaryHV& a, std::size_t shift) {
+  const std::size_t d = a.dim();
+  REGHD_CHECK(d > 0, "permute of empty vector");
+  check_dims(out.dim(), d, "permute(out)");
+  const std::size_t s = shift % d;
+  // out bit p = a bit ((p − s) mod d): each output word is 64 consecutive
+  // circular bits of a, assembled word-at-a-time instead of bit-by-bit.
+  const auto wa = a.words();
+  const auto wo = out.words();
+  std::size_t q = (d - s) % d;  // source bit index for output bit 0
+  for (std::size_t w = 0; w < wo.size(); ++w) {
+    wo[w] = circular_read64(wa, d, q);
+    q = (q + 64) % d;
+  }
+  const std::size_t tail = d & 63;
+  if (tail != 0) {
+    wo.back() &= (1ULL << tail) - 1;
+  }
 }
 
 BinaryHV majority(const std::vector<BinaryHV>& vectors) {
@@ -223,8 +200,10 @@ BinaryHV majority(const std::vector<BinaryHV>& vectors) {
   std::vector<std::int64_t> counts(d, 0);
   for (const auto& v : vectors) {
     check_dims(v.dim(), d, "majority");
+    const auto words = v.words();
     for (std::size_t i = 0; i < d; ++i) {
-      counts[i] += v.bit(i) ? 1 : -1;
+      // Branchless ±1 from the packed bit.
+      counts[i] += 2 * static_cast<std::int64_t>((words[i >> 6] >> (i & 63)) & 1ULL) - 1;
     }
   }
   BinaryHV out(d);

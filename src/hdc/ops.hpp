@@ -96,8 +96,16 @@ void scale(RealHV& a, double c);
 /// XOR binding of packed vectors (bipolar component-wise multiplication).
 [[nodiscard]] BinaryHV xor_bind(const BinaryHV& a, const BinaryHV& b);
 
+/// In-place xor_bind into a caller-owned buffer (must already have the right
+/// dimensionality) — the allocation-free form for per-feature encoder loops.
+void xor_bind_into(BinaryHV& out, const BinaryHV& a, const BinaryHV& b);
+
 /// Circular rotation by `shift` positions (ρ-permutation).
 [[nodiscard]] BinaryHV permute(const BinaryHV& a, std::size_t shift);
+
+/// In-place permute into a caller-owned buffer of the same dimensionality
+/// (out must not alias a).
+void permute_into(BinaryHV& out, const BinaryHV& a, std::size_t shift);
 
 /// Majority bundling of an odd or even number of packed vectors; ties on an
 /// even count break toward 1 deterministically.

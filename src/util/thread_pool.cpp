@@ -1,0 +1,131 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace reghd::util {
+
+namespace {
+
+// Set while a thread is executing pool work; nested run_blocks calls from
+// inside a block run serially instead of deadlocking on job_mutex_.
+thread_local bool tls_in_pool_job = false;
+
+std::size_t resolve_default_thread_count() {
+  if (const char* env = std::getenv("REGHD_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  static const std::size_t count = resolve_default_thread_count();
+  return count;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t blocks = 0;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+      blocks = job_blocks_;
+    }
+    tls_in_pool_job = true;
+    for (;;) {
+      const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) {
+        break;
+      }
+      (*job)(b);
+    }
+    tls_in_pool_job = false;
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      if (--active_ == 0) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::run_blocks(std::size_t num_blocks,
+                            const std::function<void(std::size_t)>& block) {
+  if (num_blocks == 0) {
+    return;
+  }
+  if (num_blocks == 1 || workers_.empty() || tls_in_pool_job) {
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      block(b);
+    }
+    return;
+  }
+
+  const std::lock_guard<std::mutex> job_lk(job_mutex_);
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    job_ = &block;
+    job_blocks_ = num_blocks;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The caller participates instead of idling on the done latch. The TLS
+  // guard also covers the caller: a nested parallel_for inside a block runs
+  // serially rather than re-entering job_mutex_.
+  tls_in_pool_job = true;
+  for (;;) {
+    const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= num_blocks) {
+      break;
+    }
+    block(b);
+  }
+  tls_in_pool_job = false;
+
+  std::unique_lock<std::mutex> lk(m_);
+  cv_done_.wait(lk, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace reghd::util

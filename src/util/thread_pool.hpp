@@ -1,0 +1,83 @@
+// Persistent worker pool behind util::parallel_for.
+//
+// The seed implementation spawned and joined fresh std::threads on every
+// parallel_for call — tens of microseconds of overhead per batch, paid once
+// per epoch per dataset. This pool starts its workers lazily on first use
+// and keeps them parked on a condition variable between jobs, so a batch
+// dispatch costs one notify + one atomic counter.
+//
+// Work is dispatched as an indexed set of blocks. Block boundaries are fixed
+// by the caller (parallel_for keeps the seed's deterministic contiguous
+// ranges), and blocks are claimed dynamically via an atomic cursor — which
+// OS thread executes a block never affects results because blocks write
+// disjoint state.
+//
+// Thread count: REGHD_THREADS environment variable when set (≥ 1), else
+// std::thread::hardware_concurrency. The pool serializes concurrent
+// run_blocks() callers; a call from inside a worker (nested parallelism)
+// runs serially inline rather than deadlocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reghd::util {
+
+/// Target logical thread count for data-parallel work: REGHD_THREADS when
+/// set to a positive integer, else hardware concurrency (min 1). Resolved
+/// once and cached.
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Starts `threads − 1` workers (the calling thread participates in every
+  /// job, so `threads` is the total parallelism).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total parallelism: workers + the calling thread.
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Executes block(0) … block(num_blocks−1), distributing blocks over the
+  /// workers and the calling thread; returns when every block has finished.
+  /// `block` must not throw (parallel_for wraps exceptions upstream). More
+  /// blocks than threads is fine — blocks are claimed from an atomic cursor.
+  /// Reentrant calls from a pool worker run serially inline.
+  void run_blocks(std::size_t num_blocks, const std::function<void(std::size_t)>& block);
+
+  /// The process-wide pool, lazily constructed with default_thread_count().
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  // Serializes concurrent run_blocks callers so one job is in flight at a time.
+  std::mutex job_mutex_;
+
+  // Protects the job slot + generation; workers park on cv_work_.
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_blocks_ = 0;
+  std::size_t active_ = 0;  // workers that have not finished the current generation
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // Block cursor, claimed lock-free while a job runs.
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace reghd::util

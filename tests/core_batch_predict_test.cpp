@@ -1,0 +1,131 @@
+// Batched encode/predict paths must be exact row-for-row matches of the
+// per-sample paths, for every thread count. These tests pin that property
+// across the encoder batch API, the encoded-dataset builder, both
+// regressors, and the end-user pipeline override.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/encoded.hpp"
+#include "core/multi_model.hpp"
+#include "core/pipeline.hpp"
+#include "core/single_model.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoding.hpp"
+
+namespace reghd::core {
+namespace {
+
+data::Dataset small_task() { return data::make_friedman1(96, 7); }
+
+hdc::EncoderConfig small_encoder_config(std::size_t input_dim) {
+  hdc::EncoderConfig cfg;
+  cfg.kind = hdc::EncoderKind::kRffProjection;
+  cfg.input_dim = input_dim;
+  cfg.dim = 512;
+  return cfg;
+}
+
+RegHDConfig small_reghd_config() {
+  RegHDConfig cfg;
+  cfg.dim = 512;
+  cfg.models = 4;
+  cfg.max_epochs = 4;
+  return cfg;
+}
+
+TEST(EncodeBatchTest, MatchesPerRowEncodeForAnyThreadCount) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  for (const std::size_t threads : {1, 2, 8}) {
+    const std::vector<hdc::EncodedSample> batch =
+        encoder->encode_batch(data.features_flat(), data.size(), threads);
+    ASSERT_EQ(batch.size(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const hdc::EncodedSample one = encoder->encode(data.row(i));
+      EXPECT_EQ(batch[i].real, one.real) << "row " << i << ", threads " << threads;
+      EXPECT_EQ(batch[i].binary, one.binary) << "row " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(EncodeBatchTest, RejectsMismatchedBuffer) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  EXPECT_THROW(encoder->encode_batch(data.features_flat(), data.size() + 1, 1),
+               std::invalid_argument);
+}
+
+TEST(EncodedDatasetTest, FromIsThreadCountInvariant) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  const EncodedDataset one = EncodedDataset::from(*encoder, data, 1);
+  const EncodedDataset many = EncodedDataset::from(*encoder, data, 8);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one.sample(i).real, many.sample(i).real) << "row " << i;
+    EXPECT_EQ(one.target(i), many.target(i)) << "row " << i;
+  }
+}
+
+TEST(RegressorBatchTest, SingleModelBatchMatchesPerSamplePredict) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  const EncodedDataset enc = EncodedDataset::from(*encoder, data);
+
+  SingleModelRegressor reg(small_reghd_config());
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    reg.train_step(enc.sample(i), enc.target(i));
+  }
+  reg.requantize();
+
+  const std::vector<double> serial = reg.predict_batch(enc, 1);
+  const std::vector<double> parallel = reg.predict_batch(enc, 8);
+  EXPECT_EQ(serial, parallel);  // bit-identical
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    EXPECT_EQ(serial[i], reg.predict(enc.sample(i))) << "row " << i;
+  }
+}
+
+TEST(RegressorBatchTest, MultiModelBatchMatchesPerSamplePredict) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  const EncodedDataset enc = EncodedDataset::from(*encoder, data);
+
+  MultiModelRegressor reg(small_reghd_config());
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    reg.train_step(enc.sample(i), enc.target(i));
+  }
+  reg.requantize();
+
+  const std::vector<double> serial = reg.predict_batch(enc, 1);
+  const std::vector<double> parallel = reg.predict_batch(enc, 8);
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    EXPECT_EQ(serial[i], reg.predict(enc.sample(i))) << "row " << i;
+  }
+}
+
+TEST(PipelineBatchTest, PredictBatchMatchesPerRowPredict) {
+  const data::Dataset data = small_task();
+  PipelineConfig cfg;
+  cfg.reghd = small_reghd_config();
+  cfg.encoder = small_encoder_config(0);  // input_dim inferred by fit()
+  RegHDPipeline pipeline(cfg);
+  pipeline.fit(data);
+
+  const std::vector<double> batch = pipeline.predict_batch(data);
+  ASSERT_EQ(batch.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(batch[i], pipeline.predict(data.row(i))) << "row " << i;
+  }
+
+  // Thread count must not change anything.
+  pipeline.set_threads(1);
+  const std::vector<double> serial = pipeline.predict_batch(data);
+  EXPECT_EQ(batch, serial);
+}
+
+}  // namespace
+}  // namespace reghd::core

@@ -1,0 +1,279 @@
+// Backend-equivalence properties for the SIMD kernel dispatch layer.
+//
+// Every kernel in the scalar table is compared against (a) a naive reference
+// loop written independently here, and (b) the AVX2 table when the host can
+// run it. Integer kernels must agree bit-for-bit across backends; real
+// kernels may differ by summation order only, pinned to a 1e-9 relative
+// tolerance. Dimensions cover the packing edge cases: a single component,
+// one bit short of a word, exactly one word, one bit past a word, a
+// non-multiple of 64, and the default D = 4096.
+#include "hdc/kernel_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/random_hv.hpp"
+#include "util/fast_trig.hpp"
+#include "util/random.hpp"
+
+namespace reghd::hdc {
+namespace {
+
+constexpr std::size_t kDims[] = {1, 63, 64, 65, 1000, 4096};
+
+// |x − y| ≤ tol·max(|x|, |y|, 1): relative for large values, absolute near 0.
+void expect_close(double x, double y, double tol = 1e-9) {
+  const double scale = std::max({std::abs(x), std::abs(y), 1.0});
+  EXPECT_NEAR(x, y, tol * scale);
+}
+
+struct TestVectors {
+  RealHV ra, rb;
+  BipolarHV pa, pb;
+  BinaryHV ba, bb, mask;
+};
+
+TestVectors make_vectors(std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TestVectors v;
+  v.ra = random_gaussian(dim, rng);
+  v.rb = random_gaussian(dim, rng);
+  v.pa = random_bipolar(dim, rng);
+  v.pb = random_bipolar(dim, rng);
+  v.ba = random_binary(dim, rng);
+  v.bb = random_binary(dim, rng);
+  v.mask = random_binary(dim, rng);
+  return v;
+}
+
+// Naive references, deliberately written the pedestrian way.
+double ref_dot_real_binary(const RealHV& a, const BinaryHV& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    acc += b.bit(i) ? a[i] : -a[i];
+  }
+  return acc;
+}
+
+double ref_masked_dot(const RealHV& a, const BinaryHV& signs, const BinaryHV& mask) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    if (mask.bit(i)) {
+      acc += signs.bit(i) ? a[i] : -a[i];
+    }
+  }
+  return acc;
+}
+
+std::int64_t ref_hamming(const BinaryHV& a, const BinaryHV& b) {
+  std::int64_t h = 0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    h += a.bit(i) != b.bit(i) ? 1 : 0;
+  }
+  return h;
+}
+
+std::int64_t ref_masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
+                                    const BinaryHV& mask) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    if (mask.bit(i)) {
+      acc += a.bipolar(i) * b.bipolar(i);
+    }
+  }
+  return acc;
+}
+
+class KernelBackendTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelBackendTest, ScalarMatchesNaiveReference) {
+  const std::size_t dim = GetParam();
+  const TestVectors v = make_vectors(dim, 0xBAC0 + dim);
+  const KernelBackend& kb = scalar_backend();
+
+  // The scalar backend sums the same values in the same order as the
+  // reference loops, so these are exact, not approximate.
+  EXPECT_DOUBLE_EQ(kb.dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim),
+                   ref_dot_real_binary(v.ra, v.ba));
+  EXPECT_DOUBLE_EQ(kb.masked_dot(v.ra.values().data(), v.ba.words().data(),
+                                 v.mask.words().data(), dim),
+                   ref_masked_dot(v.ra, v.ba, v.mask));
+  EXPECT_EQ(kb.hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()),
+            ref_hamming(v.ba, v.bb));
+  EXPECT_EQ(kb.masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
+                                  v.mask.words().data(), v.ba.word_count()),
+            ref_masked_bipolar_dot(v.ba, v.bb, v.mask));
+
+  double ref_rr = 0.0;
+  double ref_rp = 0.0;
+  std::int64_t ref_pp = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    ref_rr += v.ra[i] * v.rb[i];
+    ref_rp += v.ra[i] * static_cast<double>(v.pa[i]);
+    ref_pp += static_cast<std::int64_t>(v.pa[i]) * static_cast<std::int64_t>(v.pb[i]);
+  }
+  EXPECT_DOUBLE_EQ(kb.dot_real_real(v.ra.values().data(), v.rb.values().data(), dim),
+                   ref_rr);
+  EXPECT_DOUBLE_EQ(kb.dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim),
+                   ref_rp);
+  EXPECT_EQ(kb.bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim), ref_pp);
+}
+
+TEST_P(KernelBackendTest, Avx2MatchesScalar) {
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+  const std::size_t dim = GetParam();
+  const TestVectors v = make_vectors(dim, 0xA0B2 + dim);
+  const KernelBackend& sc = scalar_backend();
+
+  // Integer kernels: bit-exact across backends.
+  EXPECT_EQ(avx2->hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()),
+            sc.hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()));
+  EXPECT_EQ(avx2->masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
+                                     v.mask.words().data(), v.ba.word_count()),
+            sc.masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
+                                  v.mask.words().data(), v.ba.word_count()));
+  EXPECT_EQ(avx2->bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim),
+            sc.bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim));
+
+  // Real kernels: summation order may differ; values must agree to 1e-9
+  // relative.
+  expect_close(avx2->dot_real_real(v.ra.values().data(), v.rb.values().data(), dim),
+               sc.dot_real_real(v.ra.values().data(), v.rb.values().data(), dim));
+  expect_close(avx2->dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim),
+               sc.dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim));
+  expect_close(avx2->dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim),
+               sc.dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim));
+  expect_close(avx2->masked_dot(v.ra.values().data(), v.ba.words().data(),
+                                v.mask.words().data(), dim),
+               sc.masked_dot(v.ra.values().data(), v.ba.words().data(),
+                             v.mask.words().data(), dim));
+}
+
+TEST_P(KernelBackendTest, Avx2AccumulationMatchesScalar) {
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+  const std::size_t dim = GetParam();
+  const TestVectors v = make_vectors(dim, 0xACC + dim);
+  const double c = 0.37;
+
+  // add_scaled touches each slot independently (no cross-lane accumulation),
+  // so both backends must produce bit-identical results. scale_real likewise.
+  std::vector<double> sc_buf(v.ra.values().begin(), v.ra.values().end());
+  std::vector<double> vx_buf = sc_buf;
+  const KernelBackend& sc = scalar_backend();
+
+  sc.add_scaled_real(sc_buf.data(), v.rb.values().data(), c, dim);
+  avx2->add_scaled_real(vx_buf.data(), v.rb.values().data(), c, dim);
+  EXPECT_EQ(sc_buf, vx_buf);
+
+  sc.add_scaled_bipolar(sc_buf.data(), v.pa.values().data(), c, dim);
+  avx2->add_scaled_bipolar(vx_buf.data(), v.pa.values().data(), c, dim);
+  EXPECT_EQ(sc_buf, vx_buf);
+
+  sc.add_scaled_binary(sc_buf.data(), v.ba.words().data(), c, dim);
+  avx2->add_scaled_binary(vx_buf.data(), v.ba.words().data(), c, dim);
+  EXPECT_EQ(sc_buf, vx_buf);
+
+  sc.scale_real(sc_buf.data(), 0.91, dim);
+  avx2->scale_real(vx_buf.data(), 0.91, dim);
+  EXPECT_EQ(sc_buf, vx_buf);
+}
+
+TEST_P(KernelBackendTest, TrigMapMatchesScalarBitExact) {
+  // The RFF trig map must be bit-identical across backends — the encoder's
+  // binarization would otherwise flip sign bits between REGHD_KERNEL
+  // settings. The scalar kernel itself must match the plain fast_sin formula.
+  const std::size_t dim = GetParam();
+  util::Rng rng(0x7816 + dim);
+  std::vector<double> z(dim);
+  std::vector<double> phase(dim);
+  std::vector<double> sin_phase(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    z[j] = rng.normal(0.0, 3.0);
+    phase[j] = rng.phase();
+    sin_phase[j] = util::fast_sin(phase[j]);
+  }
+  if (dim >= 64) {
+    // Poke lanes into the std::sin fallback path (|2z+b| ≥ 2^30), mixed into
+    // otherwise in-range groups of four.
+    z[1] = 3.0e9;
+    z[17] = -7.5e11;
+  }
+
+  std::vector<double> sc_buf = z;
+  scalar_backend().rff_trig_map(sc_buf.data(), phase.data(), sin_phase.data(), dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_EQ(sc_buf[j], 0.5 * (util::fast_sin(2.0 * z[j] + phase[j]) - sin_phase[j]))
+        << "j = " << j;
+  }
+
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+  std::vector<double> vx_buf = z;
+  avx2->rff_trig_map(vx_buf.data(), phase.data(), sin_phase.data(), dim);
+  EXPECT_EQ(sc_buf, vx_buf);
+}
+
+INSTANTIATE_TEST_SUITE_P(PackingEdgeCases, KernelBackendTest, ::testing::ValuesIn(kDims),
+                         [](const auto& param_info) {
+                           return "dim" + std::to_string(param_info.param);
+                         });
+
+TEST(KernelDispatchTest, BackendByNameResolvesKnownNames) {
+  const KernelBackend* scalar = backend_by_name("scalar");
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_STREQ(scalar->name, "scalar");
+
+  const KernelBackend* avx2 = backend_by_name("avx2");
+  if (cpu_supports_avx2() && avx2_backend() != nullptr) {
+    ASSERT_NE(avx2, nullptr);
+    EXPECT_STREQ(avx2->name, "avx2");
+  } else {
+    EXPECT_EQ(avx2, nullptr);
+  }
+
+  EXPECT_EQ(backend_by_name("sse9"), nullptr);
+  EXPECT_EQ(backend_by_name(""), nullptr);
+}
+
+TEST(KernelDispatchTest, ActiveBackendIsOneOfTheTables) {
+  const std::string name = active_backend().name;
+  EXPECT_TRUE(name == "scalar" || name == "avx2") << "unexpected backend " << name;
+  // REGHD_KERNEL=scalar must force the portable table (the CI scalar job
+  // runs the whole suite this way).
+  if (const char* env = std::getenv("REGHD_KERNEL")) {
+    if (std::string(env) == "scalar") {
+      EXPECT_EQ(&active_backend(), &scalar_backend());
+    }
+  }
+}
+
+TEST(KernelDispatchTest, OpsRouteThroughActiveBackend) {
+  // End-to-end sanity: the ops-layer entry points agree with naive
+  // references regardless of which backend is live.
+  const std::size_t dim = 1000;
+  const TestVectors v = make_vectors(dim, 0x0975);
+  expect_close(dot(v.ra, v.ba), ref_dot_real_binary(v.ra, v.ba));
+  expect_close(masked_dot(v.ra, v.ba, v.mask), ref_masked_dot(v.ra, v.ba, v.mask));
+  EXPECT_EQ(static_cast<std::int64_t>(hamming_distance(v.ba, v.bb)),
+            ref_hamming(v.ba, v.bb));
+  EXPECT_EQ(masked_bipolar_dot(v.ba, v.bb, v.mask),
+            ref_masked_bipolar_dot(v.ba, v.bb, v.mask));
+}
+
+}  // namespace
+}  // namespace reghd::hdc

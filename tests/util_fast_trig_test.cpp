@@ -1,0 +1,62 @@
+#include "util/fast_trig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/random.hpp"
+
+namespace reghd::util {
+namespace {
+
+// sin ∈ [−1, 1], so absolute error is the meaningful scale; ~2 ulp of 1.0.
+constexpr double kTol = 5e-16;
+
+TEST(FastSinTest, MatchesLibmOnEncoderRange) {
+  // The RFF encoder evaluates sin(2z + b) with z a Gaussian projection and
+  // b ∈ [0, 2π) — sweep well past that range densely.
+  for (int i = -300000; i <= 300000; ++i) {
+    const double x = static_cast<double>(i) * 1e-4;  // [−30, 30], step 1e-4
+    ASSERT_NEAR(fast_sin(x), std::sin(x), kTol) << "x = " << x;
+  }
+}
+
+TEST(FastSinTest, MatchesLibmOnRandomWideArguments) {
+  Rng rng(0xFA57);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.normal(0.0, 1e4);
+    ASSERT_NEAR(fast_sin(x), std::sin(x), kTol) << "x = " << x;
+  }
+}
+
+TEST(FastSinTest, ExactAtZeroAndSymmetric) {
+  EXPECT_EQ(fast_sin(0.0), 0.0);
+  EXPECT_EQ(fast_sin(-0.0), -0.0);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(0.0, 10.0);
+    EXPECT_EQ(fast_sin(-x), -fast_sin(x)) << "x = " << x;
+  }
+}
+
+TEST(FastSinTest, QuadrantBoundaries) {
+  const double pi = std::acos(-1.0);
+  for (int k = -16; k <= 16; ++k) {
+    for (const double eps : {-1e-9, 0.0, 1e-9}) {
+      const double x = static_cast<double>(k) * pi / 2.0 + eps;
+      EXPECT_NEAR(fast_sin(x), std::sin(x), kTol) << "x = " << x;
+    }
+  }
+}
+
+TEST(FastSinTest, FallsBackBeyondReductionRange) {
+  for (const double x : {1e10, -3e12, 1e300}) {
+    EXPECT_EQ(fast_sin(x), std::sin(x)) << "x = " << x;
+  }
+  EXPECT_TRUE(std::isnan(fast_sin(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(fast_sin(std::numeric_limits<double>::infinity())));
+}
+
+}  // namespace
+}  // namespace reghd::util

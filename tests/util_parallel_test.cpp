@@ -80,5 +80,88 @@ TEST(ParallelForTest, ZeroThreadsMeansHardwareConcurrency) {
   }
 }
 
+TEST(ParallelForTest, ResultsIdenticalAcrossThreadCounts) {
+  // The load-bearing determinism property: 1, 2, and 8 threads must produce
+  // bit-identical output because block boundaries, not scheduling, decide
+  // who computes what.
+  constexpr std::size_t kN = 4097;  // deliberately not a multiple of any count
+  const auto work = [](std::size_t i) {
+    return std::sin(static_cast<double>(i) * 0.37) / (static_cast<double>(i) + 1.0);
+  };
+  std::vector<std::vector<double>> results;
+  for (const std::size_t threads : {1, 2, 8}) {
+    std::vector<double> out(kN);
+    parallel_for(kN, [&](std::size_t i) { out[i] = work(i); }, threads);
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ParallelForTest, FirstExceptionByBlockOrderWins) {
+  // Two blocks throw; the one owning the lower block index must be the one
+  // rethrown, regardless of which finishes first.
+  constexpr std::size_t kN = 1000;
+  try {
+    parallel_for(
+        kN,
+        [](std::size_t i) {
+          if (i == 10 || i == 990) {
+            throw std::runtime_error("boom at " + std::to_string(i));
+          }
+        },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 10");
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunSeriallyWithoutDeadlock) {
+  // A parallel_for inside a parallel_for must complete (the pool runs the
+  // inner one inline) and still visit every index of both loops.
+  std::vector<std::atomic<int>> visits(64 * 16);
+  parallel_for(
+      64,
+      [&](std::size_t outer) {
+        parallel_for(
+            16, [&](std::size_t inner) { visits[outer * 16 + inner].fetch_add(1); }, 4);
+      },
+      4);
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesManyDispatches) {
+  // The persistent pool is reused across calls; hammer it to shake out
+  // generation-counter bugs (a worker straddling two jobs, a lost wakeup).
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    parallel_for(64, [&](std::size_t) { total.fetch_add(1); }, 4);
+  }
+  EXPECT_EQ(total.load(), 200u * 64u);
+}
+
+TEST(ThreadPoolTest, ThreadCountMatchesConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::atomic<int>> visits(10);
+  pool.run_blocks(10, [&](std::size_t b) { visits[b].fetch_add(1); });
+  for (auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.run_blocks(8, [&](std::size_t b) { order.push_back(b); });
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
 }  // namespace
 }  // namespace reghd::util

@@ -6,10 +6,15 @@
 //                 [--test-fraction 0.25] [--seed 42] [--target-col -1]
 //   reghd eval    --csv data.csv --model model.bin [--target-col -1]
 //   reghd predict --csv data.csv --model model.bin [--target-col -1]
-//                 (prints one prediction per input row)
+//                 (prints one prediction per input row; rows are encoded and
+//                 predicted in parallel via the batched pipeline path)
 //   reghd info    --model model.bin
 //   reghd synth   --dataset boston --out boston.csv [--seed 1]
 //                 (writes one of the built-in synthetic workloads as CSV)
+//
+// train/eval/predict accept --threads N to cap the worker count of the
+// batched encode/predict paths (default: REGHD_THREADS environment variable,
+// else hardware concurrency). Thread count never changes results.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 #include <fstream>
@@ -36,7 +41,9 @@ int usage(const std::string& program) {
             << "  " << program << " synth   --dataset NAME --out FILE\n"
             << "train options: --models K --dim D --alpha LR --quantized\n"
             << "  --binary-query --binary-model --test-fraction F --seed S\n"
-            << "common: --target-col N (negative counts from the end; default -1)\n";
+            << "common: --target-col N (negative counts from the end; default -1)\n"
+            << "  --threads N (batch encode/predict workers; default REGHD_THREADS\n"
+            << "  or hardware concurrency)\n";
   return 1;
 }
 
@@ -59,6 +66,7 @@ int cmd_train(const util::Args& args) {
   cfg.reghd.dim = static_cast<std::size_t>(args.get_int("dim", 4096));
   cfg.reghd.learning_rate = args.get_double("alpha", 0.15);
   cfg.reghd.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.reghd.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   if (args.get_bool("quantized", false)) {
     cfg.reghd.cluster_mode = core::ClusterMode::kQuantized;
   }
@@ -94,8 +102,8 @@ int cmd_eval(const util::Args& args) {
     std::cerr << "eval: --csv and --model are required\n";
     return 1;
   }
-  const core::RegHDPipeline pipeline =
-      core::load_pipeline_file(args.get_string("model", ""));
+  core::RegHDPipeline pipeline = core::load_pipeline_file(args.get_string("model", ""));
+  pipeline.set_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
   const data::Dataset dataset = load(args);
   const std::vector<double> predictions = pipeline.predict_batch(dataset);
   const util::RegressionMetrics metrics =
@@ -110,11 +118,12 @@ int cmd_predict(const util::Args& args) {
     std::cerr << "predict: --csv and --model are required\n";
     return 1;
   }
-  const core::RegHDPipeline pipeline =
-      core::load_pipeline_file(args.get_string("model", ""));
+  core::RegHDPipeline pipeline = core::load_pipeline_file(args.get_string("model", ""));
+  pipeline.set_threads(static_cast<std::size_t>(args.get_int("threads", 0)));
   const data::Dataset dataset = load(args);
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    std::cout << pipeline.predict(dataset.row(i)) << "\n";
+  // One batched call: rows are scaled, encoded, and predicted in parallel.
+  for (const double y : pipeline.predict_batch(dataset)) {
+    std::cout << y << "\n";
   }
   return 0;
 }
