@@ -1,0 +1,102 @@
+// Crash-safe checkpointing for RegHD — the persistence story for the
+// paper's headline use case, real-time learning on embedded devices (§1,
+// §3), where power loss and storage corruption are routine.
+//
+// Two pieces:
+//
+//  * An online checkpoint format (v2 framing, file kind "ONLN") capturing
+//    the COMPLETE state of an OnlineRegHD stream: configuration, running
+//    feature/target statistics (exact Welford accumulators), step counters,
+//    the model/cluster accumulators, AND the binary/ternary snapshots with
+//    their calibration scales. Snapshots are serialized verbatim rather
+//    than re-derived because between requantize boundaries they are
+//    intentionally stale relative to the accumulators — re-deriving them on
+//    load would make a resumed stream diverge from an uninterrupted one.
+//    With everything captured, resume is bit-identical.
+//
+//  * A CheckpointManager that owns a checkpoint directory: atomic writes
+//    (temp file + fsync + rename via util/atomic_file), retention of the
+//    newest K checkpoints, tolerance of crash debris (stray .tmp files),
+//    and recovery that walks checkpoints newest-first, skipping any file
+//    that fails its CRC32C checks or parse, until a valid one loads.
+//
+// Failure model: a torn or corrupted checkpoint is detected (every section
+// and the whole file are checksummed) and skipped; recovery then falls back
+// to the previous checkpoint, trading replayed samples for correctness.
+// tools/checkpoint_torture drives this end to end with injected faults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model_io.hpp"
+#include "core/online.hpp"
+#include "util/fault_injection.hpp"
+
+namespace reghd::core {
+
+/// Serializes the full state of an online learner (format kind "ONLN").
+void save_online_checkpoint(std::ostream& out, const OnlineRegHD& learner);
+
+/// Restores a learner saved by save_online_checkpoint; the result is
+/// bit-identical to the saved one. Throws util::FormatError (typed) on any
+/// corruption; never returns a partially-initialized learner.
+[[nodiscard]] OnlineRegHD load_online_checkpoint(std::istream& in);
+
+struct CheckpointConfig {
+  std::string dir;           ///< Checkpoint directory; created if absent.
+  std::size_t keep_last = 3; ///< Retained checkpoints (≥ 1).
+  std::size_t every = 0;     ///< maybe_save() cadence in updates; 0 = manual only.
+  bool fsync = true;         ///< Durability barrier on every write.
+};
+
+class CheckpointManager {
+ public:
+  /// Creates the directory if needed. Throws util::IoError on failure.
+  explicit CheckpointManager(CheckpointConfig config);
+
+  /// Atomically writes ckpt-<step>.reghd (step = samples_seen), prunes to
+  /// keep_last, and returns the final path. Throws util::IoError if the
+  /// write fails — existing checkpoints are never damaged by a failed save.
+  std::string save(const OnlineRegHD& learner);
+
+  /// Periodic-save hook for update loops: saves when `every` divides the
+  /// learner's samples_seen. Returns the path when a save happened.
+  std::optional<std::string> maybe_save(const OnlineRegHD& learner);
+
+  /// Atomically writes a batch pipeline model as epoch-<step>.reghd
+  /// (periodic saves of long fits via TrainingHooks).
+  std::string save(const RegHDPipeline& pipeline, std::uint64_t step);
+
+  /// Checkpoint files, newest (highest step) first.
+  [[nodiscard]] std::vector<std::string> checkpoints() const;
+
+  /// Loads the newest checkpoint that passes every integrity check; corrupt
+  /// or torn files are skipped. nullopt when nothing is recoverable.
+  [[nodiscard]] std::optional<OnlineRegHD> recover() const;
+
+  /// Pipeline-model variant of recover().
+  [[nodiscard]] std::optional<RegHDPipeline> recover_pipeline() const;
+
+  /// Arms a fault plan for the NEXT save only (crash-safety tests and
+  /// tools/checkpoint_torture inject torn/corrupt writes through here).
+  void set_fault_plan(util::FaultPlan plan) noexcept { next_fault_ = plan; }
+
+  [[nodiscard]] const CheckpointConfig& config() const noexcept { return config_; }
+
+ private:
+  std::string write_checkpoint(const std::string& prefix, std::uint64_t step,
+                               const std::string& bytes);
+
+  /// Removes checkpoints beyond keep_last and any stray .tmp crash debris.
+  void prune() const;
+
+  CheckpointConfig config_;
+  util::FaultPlan next_fault_{};
+};
+
+}  // namespace reghd::core

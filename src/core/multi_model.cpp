@@ -313,7 +313,8 @@ void MultiModelRegressor::requantize() {
 }
 
 TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
-                                        const EncodedDataset& val) {
+                                        const EncodedDataset& val,
+                                        const TrainingHooks* hooks) {
   REGHD_CHECK(!train.empty(), "cannot fit on an empty training set");
   REGHD_CHECK(!val.empty(), "multi-model fit requires a validation set for early stopping");
   REGHD_CHECK(train.dim() == config_.dim,
@@ -361,6 +362,10 @@ TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
       best_val = record.val_mse;
       best_models = models_;
       best_clusters = clusters_;
+    }
+    if (hooks != nullptr && hooks->checkpoint_every > 0 && hooks->on_checkpoint &&
+        (epoch + 1) % hooks->checkpoint_every == 0) {
+      hooks->on_checkpoint(epoch);
     }
     if (stopper.update(record.val_mse)) {
       report.converged = true;

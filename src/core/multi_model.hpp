@@ -59,8 +59,10 @@ class MultiModelRegressor {
   explicit MultiModelRegressor(const RegHDConfig& config);
 
   /// Iterative training with early stopping on `val`. Re-initializes all
-  /// state first, so fit() is idempotent for a fixed config.
-  TrainingReport fit(const EncodedDataset& train, const EncodedDataset& val);
+  /// state first, so fit() is idempotent for a fixed config. `hooks`
+  /// (optional) receives the periodic checkpoint callback.
+  TrainingReport fit(const EncodedDataset& train, const EncodedDataset& val,
+                     const TrainingHooks* hooks = nullptr);
 
   /// One online training step (used by fit and by the streaming example).
   /// Returns the pre-update prediction for the sample.

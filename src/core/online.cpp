@@ -18,6 +18,18 @@ OnlineRegHD::OnlineRegHD(OnlineConfig config, std::size_t num_features)
   model_ = std::make_unique<MultiModelRegressor>(config_.reghd);
 }
 
+void OnlineRegHD::restore_state(std::vector<util::RunningStats> feature_stats,
+                                util::RunningStats target_stats, std::size_t seen,
+                                std::size_t since_requantize) {
+  REGHD_CHECK(feature_stats.size() == feature_stats_.size(),
+              "checkpoint has " << feature_stats.size() << " feature statistics, stream has "
+                                << feature_stats_.size() << " features");
+  feature_stats_ = std::move(feature_stats);
+  target_stats_ = target_stats;
+  seen_ = seen;
+  since_requantize_ = since_requantize;
+}
+
 hdc::EncodedSample OnlineRegHD::encode(std::span<const double> features) const {
   REGHD_CHECK(features.size() == feature_stats_.size(),
               "reading has " << features.size() << " features, stream expects "

@@ -66,6 +66,24 @@ class OnlineRegHD {
   [[nodiscard]] MultiModelRegressor& mutable_model() noexcept { return *model_; }
   [[nodiscard]] const OnlineConfig& config() const noexcept { return config_; }
 
+  /// Streaming-state introspection (checkpointing, tests).
+  [[nodiscard]] std::size_t num_features() const noexcept { return feature_stats_.size(); }
+  [[nodiscard]] const std::vector<util::RunningStats>& feature_stats() const noexcept {
+    return feature_stats_;
+  }
+  [[nodiscard]] const util::RunningStats& target_stats() const noexcept {
+    return target_stats_;
+  }
+  [[nodiscard]] std::size_t since_requantize() const noexcept { return since_requantize_; }
+
+  /// Restores the streaming state captured by a checkpoint
+  /// (core/checkpoint). Together with restoring the regressor's full state
+  /// through mutable_model(), this makes a resumed stream bit-identical to
+  /// one that never stopped. Throws if the feature count differs.
+  void restore_state(std::vector<util::RunningStats> feature_stats,
+                     util::RunningStats target_stats, std::size_t seen,
+                     std::size_t since_requantize);
+
  private:
   /// Standardizes one reading with the running statistics.
   [[nodiscard]] hdc::EncodedSample encode(std::span<const double> features) const;

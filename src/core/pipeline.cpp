@@ -41,6 +41,11 @@ std::string RegHDPipeline::name() const {
 }
 
 void RegHDPipeline::fit(const data::Dataset& train) {
+  static const TrainingHooks kNoHooks{};
+  fit(train, kNoHooks);
+}
+
+void RegHDPipeline::fit(const data::Dataset& train, const TrainingHooks& hooks) {
   REGHD_CHECK(train.size() >= 8, "pipeline fit requires at least 8 samples, got "
                                      << train.size());
 
@@ -71,7 +76,7 @@ void RegHDPipeline::fit(const data::Dataset& train) {
       EncodedDataset::from(*encoder_, split.test, config_.reghd.threads);
 
   regressor_ = std::make_unique<MultiModelRegressor>(config_.reghd);
-  report_ = regressor_->fit(train_enc, val_enc);
+  report_ = regressor_->fit(train_enc, val_enc, &hooks);
 }
 
 hdc::EncodedSample RegHDPipeline::encode_row(std::span<const double> features) const {

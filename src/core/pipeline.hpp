@@ -53,6 +53,11 @@ class RegHDPipeline final : public model::Regressor {
   /// regressor with an internal train/validation split.
   void fit(const data::Dataset& train) override;
 
+  /// fit() with periodic-checkpoint hooks threaded into the epoch loop
+  /// (TrainingHooks). The pipeline is observable (fitted, serializable)
+  /// from inside the callbacks.
+  void fit(const data::Dataset& train, const TrainingHooks& hooks);
+
   [[nodiscard]] double predict(std::span<const double> features) const override;
 
   /// Batched prediction: scales all rows, encodes them in parallel

@@ -13,6 +13,7 @@
 // programs.
 #pragma once
 
+#include "core/checkpoint.hpp"     // IWYU pragma: export
 #include "core/config.hpp"         // IWYU pragma: export
 #include "core/encoded.hpp"        // IWYU pragma: export
 #include "core/hd_classifier.hpp"  // IWYU pragma: export

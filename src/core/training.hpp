@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,19 @@ struct EpochRecord {
   std::size_t epoch = 0;
   double train_mse = 0.0;  ///< MSE of the online predictions made during the epoch.
   double val_mse = 0.0;    ///< End-of-epoch MSE on the held-out validation set.
+};
+
+/// Optional callbacks threaded through iterative training
+/// (MultiModelRegressor::fit / RegHDPipeline::fit). The checkpoint hook
+/// fires after each epoch where (epoch+1) is a multiple of checkpoint_every,
+/// while the model holds exactly the state of the epoch just finished — the
+/// CLI uses it for crash-safe periodic saves of long fits. Note fit() keeps
+/// the best-validation epoch at the end, so the final model may differ from
+/// the last checkpoint (by design: a checkpoint is a recovery point, not the
+/// selected model).
+struct TrainingHooks {
+  std::size_t checkpoint_every = 0;  ///< In epochs; 0 disables.
+  std::function<void(std::size_t epoch)> on_checkpoint;
 };
 
 /// Result of an iterative fit.

@@ -1,0 +1,133 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace reghd::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+#ifndef _WIN32
+
+/// Writes `bytes` to a fresh file descriptor, optionally fsyncing. Throws on
+/// any short or failed write.
+void write_fd(int fd, std::string_view bytes, bool do_fsync, const std::string& path) {
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("atomic_write_file: write to", path);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    throw_errno("atomic_write_file: fsync of", path);
+  }
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return;  // best effort — some filesystems refuse directory fds
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       const AtomicWriteOptions& options) {
+  // Damage the payload through the fault shim first; the write below then
+  // behaves exactly like a real writer that never noticed.
+  FaultResult effective{std::string(bytes), false};
+  if (options.fault.armed()) {
+    effective = apply_fault(bytes, options.fault);
+  }
+
+  const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw_errno("atomic_write_file: cannot create", tmp);
+  }
+  try {
+    write_fd(fd, effective.bytes, options.fsync && !effective.write_failed, tmp);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  if (effective.write_failed) {
+    // Detected mid-write failure: the temp debris stays behind (as after a
+    // real crash) but the final name is never touched.
+    throw IoError("atomic_write_file: injected write failure after " +
+                  std::to_string(effective.bytes.size()) + " bytes for '" + path + "'");
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("atomic_write_file: rename to", path);
+  }
+  if (options.fsync) {
+    fsync_directory(std::filesystem::path(path).parent_path().string());
+  }
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("atomic_write_file: cannot create '" + tmp + "'");
+    }
+    out.write(effective.bytes.data(), static_cast<std::streamsize>(effective.bytes.size()));
+    if (!out.good()) {
+      throw IoError("atomic_write_file: write to '" + tmp + "' failed");
+    }
+  }
+  if (effective.write_failed) {
+    throw IoError("atomic_write_file: injected write failure for '" + path + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("atomic_write_file: rename to '" + path + "': " + ec.message());
+  }
+#endif
+}
+
+std::string read_file_bytes(const std::string& path, std::size_t max_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("read_file_bytes: cannot open '" + path + "'");
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    bytes.append(buffer, static_cast<std::size_t>(in.gcount()));
+    if (bytes.size() > max_bytes) {
+      throw IoError("read_file_bytes: '" + path + "' exceeds the " +
+                    std::to_string(max_bytes) + "-byte bound");
+    }
+  }
+  return bytes;
+}
+
+}  // namespace reghd::util

@@ -1,0 +1,50 @@
+// Crash-safe file replacement: write to a temp file in the same directory,
+// fsync it, rename() over the final name, fsync the directory. A reader can
+// then only ever observe the old complete file or the new complete file —
+// never a torn mixture — and after atomic_write_file returns, the data
+// survives power loss.
+//
+// Fault injection threads through here (util/fault_injection): a FaultPlan
+// damages the byte stream on its way to disk, letting the checkpoint tests
+// and tools/checkpoint_torture manufacture torn, flipped, and short-written
+// files through the exact production write path.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/fault_injection.hpp"
+
+namespace reghd::util {
+
+/// Thrown on any filesystem-level failure (open, write, fsync, rename).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct AtomicWriteOptions {
+  /// fsync file + directory. Tests disable it for speed; production keeps it.
+  bool fsync = true;
+
+  /// Injected fault (tests only). kFailAt aborts before the rename — the
+  /// final name never appears, only a stray ".tmp" file, and IoError is
+  /// thrown. The silent modes (kTruncateAt, kBitFlipAt, kShortWrite) damage
+  /// the bytes but complete the rename, because the simulated writer
+  /// believed the write succeeded.
+  FaultPlan fault;
+};
+
+/// Atomically replaces `path` with `bytes`. Throws IoError on failure; on
+/// failure the previous contents of `path` (if any) are untouched.
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       const AtomicWriteOptions& options = {});
+
+/// Reads a whole file. Throws IoError if it cannot be opened or exceeds
+/// `max_bytes` (damaged metadata must not drive an unbounded read).
+[[nodiscard]] std::string read_file_bytes(const std::string& path,
+                                          std::size_t max_bytes = (1ULL << 30));
+
+}  // namespace reghd::util

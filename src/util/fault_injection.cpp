@@ -1,0 +1,134 @@
+#include "util/fault_injection.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reghd::util {
+
+std::string to_string(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kNone:
+      return "none";
+    case FaultMode::kFailAt:
+      return "fail-at-byte";
+    case FaultMode::kTruncateAt:
+      return "truncate-at-byte";
+    case FaultMode::kBitFlipAt:
+      return "bit-flip-at-byte";
+    case FaultMode::kShortWrite:
+      return "short-write";
+  }
+  return "unknown";
+}
+
+FaultInjectingStreambuf::FaultInjectingStreambuf(std::streambuf* target, FaultPlan plan)
+    : target_(target), plan_(plan) {}
+
+std::streamsize FaultInjectingStreambuf::forward(const char* s, std::streamsize n) {
+  return target_->sputn(s, n);
+}
+
+std::streamsize FaultInjectingStreambuf::xsputn(const char* s, std::streamsize n) {
+  if (n <= 0) {
+    return 0;
+  }
+  const std::size_t begin = count_;
+  const auto un = static_cast<std::size_t>(n);
+
+  switch (plan_.mode) {
+    case FaultMode::kNone:
+      count_ += un;
+      return forward(s, n);
+
+    case FaultMode::kFailAt: {
+      if (failed_) {
+        return 0;  // stream stays broken
+      }
+      if (begin + un <= plan_.at_byte) {
+        count_ += un;
+        return forward(s, n);
+      }
+      // Pass the prefix up to the trigger byte, then refuse the rest.
+      const auto pass = static_cast<std::streamsize>(plan_.at_byte - begin);
+      if (pass > 0) {
+        forward(s, pass);
+      }
+      count_ += un;
+      fired_ = true;
+      failed_ = true;
+      return pass;  // < n → the caller's ostream goes bad
+    }
+
+    case FaultMode::kTruncateAt: {
+      count_ += un;
+      if (begin >= plan_.at_byte) {
+        fired_ = true;
+        return n;  // silently dropped
+      }
+      const auto pass =
+          static_cast<std::streamsize>(std::min<std::size_t>(un, plan_.at_byte - begin));
+      forward(s, pass);
+      if (pass < n) {
+        fired_ = true;
+      }
+      return n;  // claim full success regardless
+    }
+
+    case FaultMode::kBitFlipAt: {
+      count_ += un;
+      if (plan_.at_byte < begin || plan_.at_byte >= begin + un) {
+        return forward(s, n);
+      }
+      std::string chunk(s, un);
+      chunk[plan_.at_byte - begin] =
+          static_cast<char>(chunk[plan_.at_byte - begin] ^
+                            static_cast<char>(1U << (plan_.seed % 8)));
+      fired_ = true;
+      return forward(chunk.data(), n);
+    }
+
+    case FaultMode::kShortWrite: {
+      count_ += un;
+      if (begin + un <= plan_.at_byte) {
+        return forward(s, n);
+      }
+      // Persist only the first half of the chunk from the trigger on, but
+      // report full success — the classic unchecked short write.
+      const std::size_t intact = plan_.at_byte > begin ? plan_.at_byte - begin : 0;
+      const std::size_t damaged = un - intact;
+      const std::size_t kept = intact + damaged / 2;
+      if (kept > 0) {
+        forward(s, static_cast<std::streamsize>(kept));
+      }
+      fired_ = true;
+      return n;
+    }
+  }
+  return 0;
+}
+
+FaultInjectingStreambuf::int_type FaultInjectingStreambuf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return sync() == 0 ? traits_type::not_eof(ch) : traits_type::eof();
+  }
+  const char c = traits_type::to_char_type(ch);
+  return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+}
+
+int FaultInjectingStreambuf::sync() {
+  if (failed_) {
+    return -1;
+  }
+  return target_->pubsync();
+}
+
+FaultResult apply_fault(std::string_view bytes, const FaultPlan& plan) {
+  std::stringstream sink(std::ios::out | std::ios::binary);
+  FaultInjectingStreambuf shim(sink.rdbuf(), plan);
+  std::ostream out(&shim);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return FaultResult{sink.str(), !out.good()};
+}
+
+}  // namespace reghd::util

@@ -1,0 +1,89 @@
+// Deterministic I/O fault injection for crash-safety tests.
+//
+// A FaultInjectingStreambuf wraps any std::streambuf and damages the byte
+// stream flowing through it according to a seeded FaultPlan. The modes model
+// the failure classes an embedded deployment actually sees:
+//
+//  * kFailAt      — bytes [0, at_byte) pass through, then every further write
+//                   reports failure (the caller's stream goes bad). Models
+//                   ENOSPC or power loss *detected* by the writer.
+//  * kTruncateAt  — bytes [0, at_byte) pass through, the rest are silently
+//                   discarded while the sink keeps reporting success. Models
+//                   a torn write the writer cannot see (lying fsync, power
+//                   loss after the write call returned).
+//  * kBitFlipAt   — exactly one seeded bit of the byte at offset at_byte is
+//                   inverted; everything else passes through. Models media
+//                   corruption / bit rot.
+//  * kShortWrite  — once at_byte is reached, every write call silently
+//                   persists only the first half of its chunk. Models an
+//                   unchecked short write() loop.
+//
+// All behaviour is a pure function of (plan, byte offsets), so every failing
+// run replays exactly. Used by the recovery-path unit tests and by
+// tools/checkpoint_torture.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+namespace reghd::util {
+
+enum class FaultMode : std::uint8_t {
+  kNone = 0,
+  kFailAt,
+  kTruncateAt,
+  kBitFlipAt,
+  kShortWrite,
+};
+
+[[nodiscard]] std::string to_string(FaultMode mode);
+
+struct FaultPlan {
+  FaultMode mode = FaultMode::kNone;
+  std::size_t at_byte = 0;   ///< Trigger offset in the output byte stream.
+  std::uint64_t seed = 1;    ///< Selects the flipped bit for kBitFlipAt.
+
+  [[nodiscard]] bool armed() const noexcept { return mode != FaultMode::kNone; }
+};
+
+/// Write-side streambuf filter applying one FaultPlan. Not seekable.
+class FaultInjectingStreambuf final : public std::streambuf {
+ public:
+  /// `target` must outlive this object.
+  FaultInjectingStreambuf(std::streambuf* target, FaultPlan plan);
+
+  /// Bytes the caller attempted to write (pre-fault).
+  [[nodiscard]] std::size_t bytes_seen() const noexcept { return count_; }
+
+  /// True once the plan has damaged (or refused) at least one byte.
+  [[nodiscard]] bool fault_fired() const noexcept { return fired_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+
+ private:
+  /// Forwards `n` bytes to the target; returns bytes accepted by it.
+  std::streamsize forward(const char* s, std::streamsize n);
+
+  std::streambuf* target_;
+  FaultPlan plan_;
+  std::size_t count_ = 0;
+  bool fired_ = false;
+  bool failed_ = false;
+};
+
+/// Routed-through-the-shim damage of an in-memory byte string: what would
+/// the sink contain, and would the writer have seen a failure?
+struct FaultResult {
+  std::string bytes;
+  bool write_failed = false;
+};
+
+[[nodiscard]] FaultResult apply_fault(std::string_view bytes, const FaultPlan& plan);
+
+}  // namespace reghd::util

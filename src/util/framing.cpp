@@ -1,0 +1,182 @@
+#include "util/framing.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+namespace reghd::util {
+
+namespace {
+
+/// Little-endian fixed-width reads over a bounded view. Each helper advances
+/// `cursor` and throws kTruncated when the bytes are not there.
+template <typename T>
+T read_le(std::string_view body, std::size_t& cursor, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (body.size() - cursor < sizeof(T)) {
+    throw FormatError(FormatErrorKind::kTruncated,
+                      std::string("framing: stream ends inside ") + what);
+  }
+  T value{};
+  std::memcpy(&value, body.data() + cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const auto c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    name[static_cast<std::size_t>(i)] = (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string to_string(FormatErrorKind kind) {
+  switch (kind) {
+    case FormatErrorKind::kBadMagic:
+      return "bad-magic";
+    case FormatErrorKind::kBadVersion:
+      return "bad-version";
+    case FormatErrorKind::kBadKind:
+      return "bad-kind";
+    case FormatErrorKind::kTruncated:
+      return "truncated";
+    case FormatErrorKind::kBadSectionLength:
+      return "bad-section-length";
+    case FormatErrorKind::kChecksumMismatch:
+      return "checksum-mismatch";
+    case FormatErrorKind::kMissingSection:
+      return "missing-section";
+    case FormatErrorKind::kBadValue:
+      return "bad-value";
+    case FormatErrorKind::kIo:
+      return "io";
+  }
+  return "unknown";
+}
+
+FormatError::FormatError(FormatErrorKind kind, const std::string& message)
+    : std::runtime_error("[" + to_string(kind) + "] " + message), kind_(kind) {}
+
+SectionWriter::SectionWriter(std::ostream& out, std::uint32_t kind) : out_(out) {
+  write_raw(&kind, sizeof(kind), true);
+}
+
+void SectionWriter::write_raw(const void* data, std::size_t size, bool fold_into_file_crc) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (fold_into_file_crc) {
+    file_crc_.update(data, size);
+  }
+}
+
+void SectionWriter::add(std::uint32_t tag, std::string_view payload) {
+  if (finished_) {
+    throw FormatError(FormatErrorKind::kIo, "framing: add() after finish()");
+  }
+  const auto len = static_cast<std::uint64_t>(payload.size());
+  const std::uint32_t crc = crc32c(payload);
+  write_raw(&tag, sizeof(tag), true);
+  write_raw(&len, sizeof(len), true);
+  write_raw(payload.data(), payload.size(), true);
+  write_raw(&crc, sizeof(crc), true);
+  ++section_count_;
+}
+
+void SectionWriter::finish() {
+  if (finished_) {
+    throw FormatError(FormatErrorKind::kIo, "framing: finish() called twice");
+  }
+  finished_ = true;
+  const std::uint32_t file_crc = file_crc_.value();
+  char payload[8];
+  std::memcpy(payload, &file_crc, 4);
+  std::memcpy(payload + 4, &section_count_, 4);
+  const std::string_view payload_view(payload, sizeof(payload));
+  const std::uint64_t len = sizeof(payload);
+  const std::uint32_t crc = crc32c(payload_view);
+  write_raw(&kEndTag, sizeof(kEndTag), false);
+  write_raw(&len, sizeof(len), false);
+  write_raw(payload, sizeof(payload), false);
+  write_raw(&crc, sizeof(crc), false);
+}
+
+const Section* ParsedFile::find(std::uint32_t tag) const noexcept {
+  for (const Section& s : sections) {
+    if (s.tag == tag) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const Section& ParsedFile::require(std::uint32_t tag) const {
+  const Section* s = find(tag);
+  if (s == nullptr) {
+    throw FormatError(FormatErrorKind::kMissingSection,
+                      "framing: required section '" + tag_name(tag) + "' is absent");
+  }
+  return *s;
+}
+
+ParsedFile parse_sections(std::string_view body, std::size_t max_section_bytes) {
+  ParsedFile file;
+  std::size_t cursor = 0;
+  file.kind = read_le<std::uint32_t>(body, cursor, "file kind");
+
+  while (true) {
+    const std::size_t section_start = cursor;
+    const auto tag = read_le<std::uint32_t>(body, cursor, "section tag");
+    const auto len = read_le<std::uint64_t>(body, cursor, "section length");
+    // Clamp against the bytes actually remaining (payload + its CRC) before
+    // touching memory — a hostile length must fail here.
+    const std::size_t remaining = body.size() - cursor;
+    if (len > max_section_bytes || len + sizeof(std::uint32_t) > remaining) {
+      throw FormatError(FormatErrorKind::kBadSectionLength,
+                        "framing: section '" + tag_name(tag) + "' claims " +
+                            std::to_string(len) + " bytes but only " +
+                            std::to_string(remaining) + " remain");
+    }
+    const std::string_view payload = body.substr(cursor, static_cast<std::size_t>(len));
+    cursor += static_cast<std::size_t>(len);
+    const auto stored_crc = read_le<std::uint32_t>(body, cursor, "section checksum");
+    if (crc32c(payload) != stored_crc) {
+      throw FormatError(FormatErrorKind::kChecksumMismatch,
+                        "framing: section '" + tag_name(tag) + "' fails its CRC32C check");
+    }
+
+    if (tag == kEndTag) {
+      if (payload.size() != 8) {
+        throw FormatError(FormatErrorKind::kBadValue, "framing: malformed trailer payload");
+      }
+      std::uint32_t stored_file_crc = 0;
+      std::uint32_t stored_count = 0;
+      std::memcpy(&stored_file_crc, payload.data(), 4);
+      std::memcpy(&stored_count, payload.data() + 4, 4);
+      if (crc32c(body.substr(0, section_start)) != stored_file_crc) {
+        throw FormatError(FormatErrorKind::kChecksumMismatch,
+                          "framing: file-level CRC32C mismatch — corrupt or torn file");
+      }
+      if (stored_count != file.sections.size()) {
+        throw FormatError(FormatErrorKind::kBadValue,
+                          "framing: trailer records " + std::to_string(stored_count) +
+                              " sections, found " + std::to_string(file.sections.size()));
+      }
+      if (cursor != body.size()) {
+        throw FormatError(FormatErrorKind::kBadValue,
+                          "framing: " + std::to_string(body.size() - cursor) +
+                              " trailing bytes after the trailer");
+      }
+      return file;
+    }
+
+    if (file.find(tag) != nullptr) {
+      throw FormatError(FormatErrorKind::kBadValue,
+                        "framing: duplicate section '" + tag_name(tag) + "'");
+    }
+    file.sections.push_back(Section{tag, std::string(payload)});
+  }
+}
+
+}  // namespace reghd::util

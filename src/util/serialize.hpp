@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <stdexcept>
@@ -25,6 +26,27 @@ inline void require_good(std::istream& in, const char* what) {
     throw std::runtime_error(std::string("serialization: truncated or corrupt stream while reading ") +
                              what);
   }
+}
+
+/// Bytes between the current position and the end of a seekable stream;
+/// nullopt when the stream cannot seek (sockets, filters). Length prefixes
+/// are clamped against this so a hostile prefix fails before any allocation.
+inline std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    in.clear(in.rdstate() & ~std::ios::failbit);
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - pos);
 }
 
 }  // namespace detail
@@ -57,17 +79,24 @@ void write_vector(std::ostream& out, std::span<const T> values) {
   }
 }
 
-/// Reads a length-prefixed vector of scalars. Lengths above 2 GiB of
-/// payload are rejected up front — a corrupted prefix must fail cleanly
-/// instead of attempting a giant allocation.
+/// Reads a length-prefixed vector of scalars. A corrupted prefix must fail
+/// cleanly before any allocation: lengths are checked overflow-free against
+/// the 256 MiB sanity bound AND against the bytes actually remaining in a
+/// seekable stream (a hostile prefix otherwise drives a multi-GB allocation
+/// that only fails on the subsequent truncated read).
 template <typename T>
   requires std::is_trivially_copyable_v<T> && std::is_arithmetic_v<T>
 [[nodiscard]] std::vector<T> read_vector(std::istream& in) {
   const auto n = read_scalar<std::uint64_t>(in);
   constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 28;  // 256 MiB
-  if (n * sizeof(T) > kMaxPayloadBytes) {
+  if (n > kMaxPayloadBytes / sizeof(T)) {
     throw std::runtime_error("serialization: vector length " + std::to_string(n) +
                              " exceeds the sanity bound — corrupt stream");
+  }
+  if (const auto remaining = detail::remaining_bytes(in);
+      remaining && n * sizeof(T) > *remaining) {
+    throw std::runtime_error("serialization: vector length " + std::to_string(n) +
+                             " exceeds the remaining stream size — corrupt stream");
   }
   std::vector<T> values(n);
   if (n > 0) {
@@ -84,9 +113,19 @@ inline void write_string(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-/// Reads a length-prefixed string.
+/// Reads a length-prefixed string, with the same pre-allocation length
+/// validation as read_vector.
 [[nodiscard]] inline std::string read_string(std::istream& in) {
   const auto n = read_scalar<std::uint64_t>(in);
+  constexpr std::uint64_t kMaxStringBytes = 1ULL << 28;  // 256 MiB
+  if (n > kMaxStringBytes) {
+    throw std::runtime_error("serialization: string length " + std::to_string(n) +
+                             " exceeds the sanity bound — corrupt stream");
+  }
+  if (const auto remaining = detail::remaining_bytes(in); remaining && n > *remaining) {
+    throw std::runtime_error("serialization: string length " + std::to_string(n) +
+                             " exceeds the remaining stream size — corrupt stream");
+  }
   std::string s(n, '\0');
   if (n > 0) {
     in.read(s.data(), static_cast<std::streamsize>(n));

@@ -68,8 +68,26 @@ class RunningStats {
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
 
+  /// Raw second central moment Σ(x−mean)² — exposed so checkpoints can
+  /// capture the accumulator exactly (stddev() alone loses bits).
+  [[nodiscard]] double m2() const noexcept { return m2_; }
+
   /// Merges another accumulator (parallel Welford combination).
   void merge(const RunningStats& other) noexcept;
+
+  /// Reconstructs an accumulator from serialized state, bit-exactly
+  /// (core/checkpoint). The fields must come from count()/mean()/m2()/
+  /// min()/max() of a previous instance.
+  [[nodiscard]] static RunningStats restore(std::size_t count, double mean, double m2,
+                                            double min, double max) noexcept {
+    RunningStats s;
+    s.count_ = count;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
 
  private:
   std::size_t count_ = 0;

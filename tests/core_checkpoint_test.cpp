@@ -1,0 +1,211 @@
+// CheckpointManager + online checkpoint format: full-state capture,
+// atomic writes, keep-last-K retention, and recovery that skips every
+// corrupted checkpoint.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "data/synthetic.hpp"
+#include "util/atomic_file.hpp"
+#include "util/framing.hpp"
+
+namespace reghd::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+OnlineConfig small_config() {
+  OnlineConfig cfg;
+  cfg.reghd.dim = 128;
+  cfg.reghd.models = 2;
+  cfg.reghd.cluster_mode = ClusterMode::kQuantized;
+  cfg.requantize_every = 48;
+  cfg.decay = 0.999;
+  return cfg;
+}
+
+OnlineRegHD trained_learner(std::size_t updates) {
+  const data::Dataset d = data::make_friedman1(512, 9);
+  OnlineRegHD learner(small_config(), d.num_features());
+  for (std::size_t i = 0; i < updates && i < d.size(); ++i) {
+    learner.update(d.row(i), d.target(i));
+  }
+  return learner;
+}
+
+std::string serialize(const OnlineRegHD& learner) {
+  std::ostringstream out(std::ios::binary);
+  save_online_checkpoint(out, learner);
+  return out.str();
+}
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("reghd-ckpt-" +
+             std::string(::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  CheckpointConfig config(std::size_t keep_last = 3) {
+    CheckpointConfig cfg;
+    cfg.dir = dir_;
+    cfg.keep_last = keep_last;
+    cfg.fsync = false;  // unit tests don't need durability barriers
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointManagerTest, SaveLoadIsBitIdentical) {
+  // The checkpoint is taken at a step that is NOT a requantize boundary
+  // (173 % 48 != 0), so the binary snapshots are stale relative to the
+  // accumulators — exactly the state a naive "requantize on load" would
+  // corrupt.
+  const OnlineRegHD learner = trained_learner(173);
+  std::istringstream in(serialize(learner), std::ios::binary);
+  const OnlineRegHD restored = load_online_checkpoint(in);
+
+  EXPECT_EQ(restored.samples_seen(), learner.samples_seen());
+  EXPECT_EQ(restored.since_requantize(), learner.since_requantize());
+  EXPECT_EQ(serialize(restored), serialize(learner));
+}
+
+TEST_F(CheckpointManagerTest, RecoverReturnsNewestValid) {
+  CheckpointManager manager(config());
+  OnlineRegHD learner = trained_learner(100);
+  manager.save(learner);
+  const data::Dataset d = data::make_friedman1(512, 9);
+  for (std::size_t i = 100; i < 150; ++i) {
+    learner.update(d.row(i), d.target(i));
+  }
+  manager.save(learner);
+
+  const auto recovered = manager.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->samples_seen(), 150u);
+  EXPECT_EQ(serialize(*recovered), serialize(learner));
+}
+
+TEST_F(CheckpointManagerTest, KeepLastPrunesOldCheckpoints) {
+  CheckpointManager manager(config(2));
+  OnlineRegHD learner = trained_learner(10);
+  const data::Dataset d = data::make_friedman1(512, 9);
+  for (std::size_t i = 10; i < 50; i += 10) {
+    manager.save(learner);
+    for (std::size_t j = i; j < i + 10; ++j) {
+      learner.update(d.row(j), d.target(j));
+    }
+  }
+  manager.save(learner);
+  EXPECT_EQ(manager.checkpoints().size(), 2u);
+  const auto recovered = manager.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->samples_seen(), 50u);
+}
+
+TEST_F(CheckpointManagerTest, MaybeSaveHonorsCadence) {
+  CheckpointConfig cfg = config();
+  cfg.every = 50;
+  CheckpointManager manager(cfg);
+  const data::Dataset d = data::make_friedman1(512, 9);
+  OnlineRegHD learner(small_config(), d.num_features());
+  std::size_t saves = 0;
+  for (std::size_t i = 0; i < 120; ++i) {
+    learner.update(d.row(i), d.target(i));
+    saves += manager.maybe_save(learner).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(saves, 2u);  // steps 50 and 100
+  EXPECT_EQ(manager.checkpoints().size(), 2u);
+}
+
+TEST_F(CheckpointManagerTest, RecoverSkipsCorruptNewest) {
+  CheckpointManager manager(config());
+  OnlineRegHD learner = trained_learner(96);  // requantize boundary: snapshots fresh
+  manager.save(learner);
+  const std::string valid_bytes = serialize(learner);
+
+  const data::Dataset d = data::make_friedman1(512, 9);
+  for (std::size_t i = 96; i < 120; ++i) {
+    learner.update(d.row(i), d.target(i));
+  }
+  // The newest checkpoint lands on storage silently damaged.
+  manager.set_fault_plan({util::FaultMode::kBitFlipAt, 500, 4});
+  manager.save(learner);
+
+  const auto recovered = manager.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->samples_seen(), 96u);  // fell back past the damage
+  EXPECT_EQ(serialize(*recovered), valid_bytes);
+}
+
+TEST_F(CheckpointManagerTest, RecoverEmptyAndAllCorrupt) {
+  CheckpointManager manager(config());
+  EXPECT_FALSE(manager.recover().has_value());
+
+  OnlineRegHD learner = trained_learner(60);
+  manager.set_fault_plan({util::FaultMode::kTruncateAt, 40, 1});
+  manager.save(learner);
+  EXPECT_FALSE(manager.recover().has_value());
+}
+
+TEST_F(CheckpointManagerTest, FailedSaveLeavesExistingCheckpointsIntact) {
+  CheckpointManager manager(config());
+  OnlineRegHD learner = trained_learner(60);
+  manager.save(learner);
+  const auto before = manager.checkpoints();
+
+  manager.set_fault_plan({util::FaultMode::kFailAt, 64, 1});
+  EXPECT_THROW(manager.save(learner), util::IoError);
+  EXPECT_EQ(manager.checkpoints(), before);
+  ASSERT_TRUE(manager.recover().has_value());
+
+  // The armed plan was consumed by the failed save; the next one succeeds.
+  EXPECT_NO_THROW(manager.save(learner));
+}
+
+TEST_F(CheckpointManagerTest, ForeignFilesAndTmpDebrisAreIgnored) {
+  CheckpointManager manager(config());
+  util::atomic_write_file(dir_ + "/notes.txt", "not a checkpoint");
+  util::atomic_write_file(dir_ + "/ckpt-banana.reghd", "bad step");
+  util::atomic_write_file(dir_ + "/ckpt-00000000000000000009.reghd.tmp", "debris");
+  EXPECT_TRUE(manager.checkpoints().empty());
+  EXPECT_FALSE(manager.recover().has_value());
+
+  OnlineRegHD learner = trained_learner(30);
+  manager.save(learner);
+  EXPECT_EQ(manager.checkpoints().size(), 1u);
+  // prune() cleared the crash debris during the save.
+  EXPECT_FALSE(fs::exists(dir_ + "/ckpt-00000000000000000009.reghd.tmp"));
+}
+
+TEST_F(CheckpointManagerTest, PipelineCheckpointsRoundTrip) {
+  PipelineConfig pcfg;
+  pcfg.reghd.dim = 128;
+  pcfg.reghd.models = 2;
+  pcfg.reghd.max_epochs = 3;
+  pcfg.reghd.threads = 1;
+  RegHDPipeline pipeline(pcfg);
+  pipeline.fit(data::make_friedman1(120, 5));
+
+  CheckpointManager manager(config());
+  manager.save(pipeline, 3);
+  const auto recovered = manager.recover_pipeline();
+  ASSERT_TRUE(recovered.has_value());
+  const data::Dataset queries = data::make_friedman1(16, 77);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(recovered->predict(queries.row(i)), pipeline.predict(queries.row(i)));
+  }
+  // Pipeline files don't satisfy online recovery and vice versa.
+  EXPECT_FALSE(manager.recover().has_value());
+}
+
+}  // namespace
+}  // namespace reghd::core

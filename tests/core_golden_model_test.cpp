@@ -1,0 +1,131 @@
+// Golden-file format pinning: the committed blobs under tests/golden/ were
+// written by a past build (tools/make_golden — see DESIGN.md for the
+// regeneration workflow). If loading them, or predicting with them, ever
+// changes, the on-disk format or the numeric semantics drifted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/model_io.hpp"
+#include "util/atomic_file.hpp"
+
+#ifndef REGHD_GOLDEN_DIR
+#error "REGHD_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace reghd::core {
+namespace {
+
+std::string golden(const std::string& name) {
+  return std::string(REGHD_GOLDEN_DIR) + "/" + name;
+}
+
+struct GoldenQueries {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> pipeline_expected;
+  std::vector<double> online_expected;
+};
+
+// operator>> does not portably parse hexfloat (LWG 2381); strtod does.
+double next_double(std::istream& in) {
+  std::string token;
+  EXPECT_TRUE(static_cast<bool>(in >> token)) << "golden text file truncated";
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  EXPECT_EQ(end, token.c_str() + token.size()) << "bad token '" << token << "'";
+  return value;
+}
+
+GoldenQueries load_queries() {
+  GoldenQueries q;
+  std::ifstream qf(golden("queries.txt"));
+  std::ifstream pf(golden("predictions.txt"));
+  EXPECT_TRUE(qf.good() && pf.good()) << "golden text files missing";
+  std::size_t count = 0;
+  std::size_t features = 0;
+  qf >> count >> features;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> row(features);
+    for (double& x : row) {
+      x = next_double(qf);
+    }
+    q.rows.push_back(std::move(row));
+    q.pipeline_expected.push_back(next_double(pf));
+    q.online_expected.push_back(next_double(pf));
+  }
+  return q;
+}
+
+// hexfloat round-trips exactly, so the only slack needed is for kernel
+// reduction-order differences between builds (SIMD vs. scalar backend).
+constexpr double kRelTol = 1e-9;
+
+void expect_close(double actual, double expected, std::size_t i) {
+  EXPECT_NEAR(actual, expected, kRelTol * std::max(1.0, std::abs(expected)))
+      << "query " << i;
+}
+
+TEST(GoldenModelTest, V1PipelineBlobLoadsAndPredicts) {
+  std::istringstream in(util::read_file_bytes(golden("pipeline_v1.reghd")),
+                        std::ios::binary);
+  const RegHDPipeline pipeline = load_pipeline(in);
+  const GoldenQueries q = load_queries();
+  for (std::size_t i = 0; i < q.rows.size(); ++i) {
+    expect_close(pipeline.predict(q.rows[i]), q.pipeline_expected[i], i);
+  }
+}
+
+TEST(GoldenModelTest, V2PipelineBlobLoadsAndPredicts) {
+  std::istringstream in(util::read_file_bytes(golden("pipeline_v2.reghd")),
+                        std::ios::binary);
+  const RegHDPipeline pipeline = load_pipeline(in);
+  const GoldenQueries q = load_queries();
+  for (std::size_t i = 0; i < q.rows.size(); ++i) {
+    expect_close(pipeline.predict(q.rows[i]), q.pipeline_expected[i], i);
+  }
+}
+
+TEST(GoldenModelTest, V1AndV2BlobsDecodeToTheSameModel) {
+  std::istringstream v1(util::read_file_bytes(golden("pipeline_v1.reghd")),
+                        std::ios::binary);
+  std::istringstream v2(util::read_file_bytes(golden("pipeline_v2.reghd")),
+                        std::ios::binary);
+  const RegHDPipeline p1 = load_pipeline(v1);
+  const RegHDPipeline p2 = load_pipeline(v2);
+  const GoldenQueries q = load_queries();
+  for (std::size_t i = 0; i < q.rows.size(); ++i) {
+    // Same process, same backend: exact equality, no tolerance.
+    EXPECT_EQ(p1.predict(q.rows[i]), p2.predict(q.rows[i])) << "query " << i;
+  }
+}
+
+TEST(GoldenModelTest, OnlineCheckpointBlobLoadsAndPredicts) {
+  std::istringstream in(util::read_file_bytes(golden("online_v2.reghd")),
+                        std::ios::binary);
+  const OnlineRegHD learner = load_online_checkpoint(in);
+  EXPECT_EQ(learner.samples_seen(), 200u);
+  const GoldenQueries q = load_queries();
+  for (std::size_t i = 0; i < q.rows.size(); ++i) {
+    expect_close(learner.predict(q.rows[i]), q.online_expected[i], i);
+  }
+}
+
+TEST(GoldenModelTest, OnlineBlobReserializesByteIdentically) {
+  // Load → save must reproduce the file exactly: proof that no field is
+  // dropped, defaulted, or re-derived on the way through.
+  const std::string original = util::read_file_bytes(golden("online_v2.reghd"));
+  std::istringstream in(original, std::ios::binary);
+  const OnlineRegHD learner = load_online_checkpoint(in);
+  std::ostringstream out(std::ios::binary);
+  save_online_checkpoint(out, learner);
+  EXPECT_EQ(out.str(), original);
+}
+
+}  // namespace
+}  // namespace reghd::core

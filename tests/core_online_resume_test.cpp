@@ -1,0 +1,121 @@
+// Online-resume determinism: a stream checkpointed at step N and resumed
+// for M more updates must be indistinguishable — bit for bit — from one
+// that ran N+M updates without interruption.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "data/synthetic.hpp"
+
+namespace reghd::core {
+namespace {
+
+OnlineConfig config(ClusterMode mode) {
+  OnlineConfig cfg;
+  cfg.reghd.dim = 256;
+  cfg.reghd.models = 4;
+  cfg.reghd.cluster_mode = mode;
+  cfg.requantize_every = 80;  // deliberately off-cadence with the split points
+  cfg.decay = 0.9995;
+  return cfg;
+}
+
+std::string serialize(const OnlineRegHD& learner) {
+  std::ostringstream out(std::ios::binary);
+  save_online_checkpoint(out, learner);
+  return out.str();
+}
+
+void expect_resume_identical(const OnlineConfig& cfg, std::size_t n, std::size_t m) {
+  const data::Dataset d = data::make_friedman1(n + m, 31);
+
+  // Uninterrupted reference.
+  OnlineRegHD reference(cfg, d.num_features());
+  for (std::size_t i = 0; i < n + m; ++i) {
+    reference.update(d.row(i), d.target(i));
+  }
+
+  // Checkpoint at N, resume, replay the remaining M.
+  OnlineRegHD first(cfg, d.num_features());
+  for (std::size_t i = 0; i < n; ++i) {
+    first.update(d.row(i), d.target(i));
+  }
+  std::istringstream in(serialize(first), std::ios::binary);
+  OnlineRegHD resumed = load_online_checkpoint(in);
+  ASSERT_EQ(resumed.samples_seen(), n);
+  for (std::size_t i = n; i < n + m; ++i) {
+    resumed.update(d.row(i), d.target(i));
+  }
+
+  // Full-state equality, checked through the serializer (covers
+  // accumulators, snapshots, gammas, running statistics, counters).
+  EXPECT_EQ(serialize(resumed), serialize(reference));
+
+  // And the user-visible contract: identical predictions.
+  const data::Dataset queries = data::make_friedman1(32, 77);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(resumed.predict(queries.row(i)), reference.predict(queries.row(i)))
+        << "query " << i;
+  }
+
+  // Running statistics restored exactly (raw Welford state, not derived
+  // quantities).
+  EXPECT_EQ(resumed.target_stats().count(), reference.target_stats().count());
+  EXPECT_EQ(resumed.target_stats().mean(), reference.target_stats().mean());
+  EXPECT_EQ(resumed.target_stats().m2(), reference.target_stats().m2());
+  for (std::size_t f = 0; f < d.num_features(); ++f) {
+    EXPECT_EQ(resumed.feature_stats()[f].mean(), reference.feature_stats()[f].mean());
+    EXPECT_EQ(resumed.feature_stats()[f].m2(), reference.feature_stats()[f].m2());
+  }
+}
+
+TEST(OnlineResumeTest, QuantizedMidRequantizeInterval) {
+  // N = 130 leaves since_requantize = 50 — stale snapshots must survive the
+  // round trip for the resumed requantize at step 160 to match.
+  expect_resume_identical(config(ClusterMode::kQuantized), 130, 170);
+}
+
+TEST(OnlineResumeTest, QuantizedAtRequantizeBoundary) {
+  expect_resume_identical(config(ClusterMode::kQuantized), 160, 140);
+}
+
+TEST(OnlineResumeTest, FullPrecision) {
+  expect_resume_identical(config(ClusterMode::kFullPrecision), 97, 103);
+}
+
+TEST(OnlineResumeTest, EarlyCheckpointDuringWarmup) {
+  expect_resume_identical(config(ClusterMode::kQuantized), 5, 95);
+}
+
+TEST(OnlineResumeTest, TernaryModelPrecision) {
+  OnlineConfig cfg = config(ClusterMode::kQuantized);
+  cfg.reghd.model_precision = ModelPrecision::kTernary;
+  cfg.reghd.query_precision = QueryPrecision::kBinary;
+  expect_resume_identical(cfg, 111, 89);
+}
+
+TEST(OnlineResumeTest, IdenticalUnderMultipleThreads) {
+  // Thread count is a pure runtime knob; resume determinism must hold with
+  // a parallel kernel pool active.
+#if defined(_WIN32)
+  GTEST_SKIP() << "setenv not available";
+#else
+  ASSERT_EQ(setenv("REGHD_THREADS", "4", 1), 0);
+  OnlineConfig cfg = config(ClusterMode::kQuantized);
+  cfg.reghd.threads = 0;  // defer to REGHD_THREADS
+  expect_resume_identical(cfg, 123, 77);
+  unsetenv("REGHD_THREADS");
+#endif
+}
+
+TEST(OnlineResumeTest, DecayStateSurvivesResume) {
+  OnlineConfig cfg = config(ClusterMode::kQuantized);
+  cfg.decay = 0.99;  // aggressive forgetting amplifies any drift
+  expect_resume_identical(cfg, 64, 136);
+}
+
+}  // namespace
+}  // namespace reghd::core

@@ -1,0 +1,55 @@
+// CRC32C (Castagnoli) — the integrity primitive under the v2 model format.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/crc32c.hpp"
+#include "util/random.hpp"
+
+namespace reghd::util {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / SSE4.2 reference value.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  util::Rng rng(11);
+  std::string data(1000, '\0');
+  for (char& c : data) {
+    c = static_cast<char>(rng.uniform_index(256));
+  }
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{500},
+                                  std::size_t{999}, data.size()}) {
+    Crc32c acc;
+    acc.update(std::string_view(data).substr(0, split));
+    acc.update(std::string_view(data).substr(split));
+    EXPECT_EQ(acc.value(), crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, EverySingleBitFlipChangesTheChecksum) {
+  const std::string data = "the checkpoint integrity primitive";
+  const std::uint32_t clean = crc32c(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = data;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(damaged), clean) << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, ResetStartsOver) {
+  Crc32c acc;
+  acc.update("garbage");
+  acc.reset();
+  acc.update("123456789");
+  EXPECT_EQ(acc.value(), 0xE3069283u);
+}
+
+}  // namespace
+}  // namespace reghd::util

@@ -1,0 +1,103 @@
+// Fault-injection shim: each mode damages the stream exactly as specified,
+// deterministically, and atomic_write_file translates the damage into the
+// right observable outcome (typed failure vs. silently-wrong file).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/fault_injection.hpp"
+
+namespace reghd::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kPayload = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+TEST(FaultInjectionTest, NoneIsTransparent) {
+  const FaultResult r = apply_fault(kPayload, {});
+  EXPECT_EQ(r.bytes, kPayload);
+  EXPECT_FALSE(r.write_failed);
+}
+
+TEST(FaultInjectionTest, FailAtReportsFailureAndStopsWriting) {
+  const FaultResult r = apply_fault(kPayload, {FaultMode::kFailAt, 10, 1});
+  EXPECT_TRUE(r.write_failed);
+  EXPECT_EQ(r.bytes, kPayload.substr(0, 10));
+}
+
+TEST(FaultInjectionTest, TruncateAtClaimsSuccess) {
+  const FaultResult r = apply_fault(kPayload, {FaultMode::kTruncateAt, 10, 1});
+  EXPECT_FALSE(r.write_failed);  // the writer never learns
+  EXPECT_EQ(r.bytes, kPayload.substr(0, 10));
+}
+
+TEST(FaultInjectionTest, BitFlipFlipsExactlyOneSeededBit) {
+  const FaultResult r = apply_fault(kPayload, {FaultMode::kBitFlipAt, 5, 3});
+  EXPECT_FALSE(r.write_failed);
+  ASSERT_EQ(r.bytes.size(), kPayload.size());
+  for (std::size_t i = 0; i < kPayload.size(); ++i) {
+    if (i == 5) {
+      EXPECT_EQ(static_cast<unsigned char>(r.bytes[i] ^ kPayload[i]), 1u << (3 % 8));
+    } else {
+      EXPECT_EQ(r.bytes[i], kPayload[i]) << "byte " << i;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, ShortWriteLosesTail) {
+  const FaultResult r = apply_fault(kPayload, {FaultMode::kShortWrite, 8, 1});
+  EXPECT_FALSE(r.write_failed);
+  EXPECT_LT(r.bytes.size(), kPayload.size());
+  EXPECT_GE(r.bytes.size(), 8u);
+  EXPECT_EQ(r.bytes, kPayload.substr(0, r.bytes.size()));  // a prefix, never garbage
+}
+
+TEST(FaultInjectionTest, Deterministic) {
+  const FaultPlan plan{FaultMode::kBitFlipAt, 17, 42};
+  EXPECT_EQ(apply_fault(kPayload, plan).bytes, apply_fault(kPayload, plan).bytes);
+}
+
+TEST(FaultInjectionTest, StreambufTracksFiring) {
+  std::stringbuf sink;
+  FaultInjectingStreambuf shim(&sink, {FaultMode::kTruncateAt, 4, 1});
+  std::ostream out(&shim);
+  out << "ab";
+  EXPECT_FALSE(shim.fault_fired());
+  out << "cdef";
+  out.flush();
+  EXPECT_TRUE(shim.fault_fired());
+  EXPECT_EQ(shim.bytes_seen(), 6u);
+  EXPECT_EQ(sink.str(), "abcd");
+}
+
+TEST(FaultInjectionTest, AtomicWriteDetectedFailureKeepsOldFile) {
+  const fs::path dir = fs::temp_directory_path() / "reghd-fault-test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "model.bin").string();
+  atomic_write_file(path, "old contents");
+
+  AtomicWriteOptions options;
+  options.fault = {FaultMode::kFailAt, 3, 1};
+  EXPECT_THROW(atomic_write_file(path, "new contents", options), IoError);
+  EXPECT_EQ(read_file_bytes(path), "old contents");  // rename never happened
+  fs::remove_all(dir);
+}
+
+TEST(FaultInjectionTest, AtomicWriteSilentDamageLandsInFile) {
+  const fs::path dir = fs::temp_directory_path() / "reghd-fault-test2";
+  fs::create_directories(dir);
+  const std::string path = (dir / "model.bin").string();
+
+  AtomicWriteOptions options;
+  options.fault = {FaultMode::kTruncateAt, 4, 1};
+  atomic_write_file(path, "full payload", options);  // writer believes success
+  EXPECT_EQ(read_file_bytes(path), "full");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace reghd::util

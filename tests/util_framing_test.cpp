@@ -1,0 +1,111 @@
+// Section framing: the container layer of the v2 format. Round-trips,
+// typed rejection of every corruption class, and forward compatibility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/framing.hpp"
+
+namespace reghd::util {
+namespace {
+
+constexpr std::uint32_t kKind = fourcc("TEST");
+constexpr std::uint32_t kTagA = fourcc("AAAA");
+constexpr std::uint32_t kTagB = fourcc("BBBB");
+
+std::string framed(const std::string& a = "alpha payload",
+                   const std::string& b = "beta") {
+  std::ostringstream out(std::ios::binary);
+  SectionWriter writer(out, kKind);
+  writer.add(kTagA, a);
+  writer.add(kTagB, b);
+  writer.finish();
+  return out.str();
+}
+
+FormatErrorKind kind_of(const std::string& body) {
+  try {
+    (void)parse_sections(body);
+  } catch (const FormatError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "body parsed without error";
+  return FormatErrorKind::kIo;
+}
+
+TEST(FramingTest, RoundTrip) {
+  const ParsedFile file = parse_sections(framed());
+  EXPECT_EQ(file.kind, kKind);
+  ASSERT_EQ(file.sections.size(), 2u);
+  EXPECT_EQ(file.require(kTagA).payload, "alpha payload");
+  EXPECT_EQ(file.require(kTagB).payload, "beta");
+  EXPECT_EQ(file.find(fourcc("ZZZZ")), nullptr);
+  EXPECT_THROW((void)file.require(fourcc("ZZZZ")), FormatError);
+}
+
+TEST(FramingTest, EmptyPayloadAndEmptyFile) {
+  std::ostringstream out(std::ios::binary);
+  SectionWriter writer(out, kKind);
+  writer.add(kTagA, "");
+  writer.finish();
+  const ParsedFile file = parse_sections(out.str());
+  EXPECT_EQ(file.require(kTagA).payload, "");
+
+  std::ostringstream bare(std::ios::binary);
+  SectionWriter none(bare, kKind);
+  none.finish();
+  EXPECT_TRUE(parse_sections(bare.str()).sections.empty());
+}
+
+TEST(FramingTest, EveryTruncationPointIsTyped) {
+  const std::string body = framed();
+  for (std::size_t keep = 0; keep < body.size(); ++keep) {
+    const FormatErrorKind kind = kind_of(body.substr(0, keep));
+    EXPECT_TRUE(kind == FormatErrorKind::kTruncated ||
+                kind == FormatErrorKind::kBadSectionLength ||
+                kind == FormatErrorKind::kChecksumMismatch ||
+                kind == FormatErrorKind::kMissingSection)
+        << "keep=" << keep << " -> " << to_string(kind);
+  }
+}
+
+TEST(FramingTest, EverySingleByteFlipIsDetected) {
+  // The per-section CRC covers payloads; the file CRC covers everything
+  // else (kind, tags, lengths). No byte is unprotected.
+  const std::string body = framed();
+  for (std::size_t pos = 0; pos < body.size(); ++pos) {
+    std::string damaged = body;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x40);
+    EXPECT_THROW((void)parse_sections(damaged), FormatError) << "flip at byte " << pos;
+  }
+}
+
+TEST(FramingTest, HostileSectionLengthIsBounded) {
+  // A length field rewritten to 2^60 must be rejected without an
+  // allocation attempt of that size.
+  std::string body = framed();
+  const std::size_t len_offset = 4 + 4;  // kind + first tag
+  body[len_offset + 7] = static_cast<char>(0x10);
+  const FormatErrorKind kind = kind_of(body);
+  EXPECT_TRUE(kind == FormatErrorKind::kBadSectionLength ||
+              kind == FormatErrorKind::kTruncated)
+      << to_string(kind);
+}
+
+TEST(FramingTest, UnknownSectionsAreForwardCompatible) {
+  std::ostringstream out(std::ios::binary);
+  SectionWriter writer(out, kKind);
+  writer.add(kTagA, "known");
+  writer.add(fourcc("FUTR"), "from a newer writer");
+  writer.finish();
+  const ParsedFile file = parse_sections(out.str());
+  EXPECT_EQ(file.require(kTagA).payload, "known");
+  EXPECT_EQ(file.require(fourcc("FUTR")).payload, "from a newer writer");
+}
+
+TEST(FramingTest, TrailingGarbageRejected) {
+  EXPECT_THROW((void)parse_sections(framed() + "extra"), FormatError);
+}
+
+}  // namespace
+}  // namespace reghd::util

@@ -4,10 +4,18 @@
 //   reghd train   --csv data.csv --out model.bin [--models 8] [--dim 4096]
 //                 [--alpha 0.15] [--quantized] [--binary-query] [--binary-model]
 //                 [--test-fraction 0.25] [--seed 42] [--target-col -1]
+//                 [--checkpoint-dir DIR --checkpoint-every EPOCHS]
 //   reghd eval    --csv data.csv --model model.bin [--target-col -1]
 //   reghd predict --csv data.csv --model model.bin [--target-col -1]
 //                 (prints one prediction per input row; rows are encoded and
 //                 predicted in parallel via the batched pipeline path)
+//   reghd stream  --csv data.csv [--checkpoint-dir DIR] [--checkpoint-every N]
+//                 [--resume] [--out model.bin]
+//                 (prequential online learning, row by row; with
+//                 --checkpoint-dir the full stream state is checkpointed
+//                 atomically every N updates, and --resume restarts from the
+//                 newest valid checkpoint, replaying only the rows after it —
+//                 the resumed model is bit-identical to an uninterrupted run)
 //   reghd info    --model model.bin
 //   reghd synth   --dataset boston --out boston.csv [--seed 1]
 //                 (writes one of the built-in synthetic workloads as CSV)
@@ -17,14 +25,18 @@
 // else hardware concurrency). Thread count never changes results.
 //
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/reghd.hpp"
 #include "data/csv.hpp"
 #include "data/synthetic.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
 
@@ -37,10 +49,16 @@ int usage(const std::string& program) {
             << "  " << program << " train   --csv FILE --out MODEL [options]\n"
             << "  " << program << " eval    --csv FILE --model MODEL\n"
             << "  " << program << " predict --csv FILE --model MODEL\n"
+            << "  " << program << " stream  --csv FILE [--checkpoint-dir DIR] [--resume]\n"
             << "  " << program << " info    --model MODEL\n"
             << "  " << program << " synth   --dataset NAME --out FILE\n"
             << "train options: --models K --dim D --alpha LR --quantized\n"
             << "  --binary-query --binary-model --test-fraction F --seed S\n"
+            << "  --checkpoint-dir DIR --checkpoint-every EPOCHS (periodic atomic\n"
+            << "  snapshots of the fitting pipeline; newest K kept)\n"
+            << "stream options: --models K --dim D --alpha LR --quantized --seed S\n"
+            << "  --decay D --requantize-every N --checkpoint-dir DIR\n"
+            << "  --checkpoint-every UPDATES --keep-last K --resume --out MODEL\n"
             << "common: --target-col N (negative counts from the end; default -1)\n"
             << "  --threads N (batch encode/predict workers; default REGHD_THREADS\n"
             << "  or hardware concurrency)\n";
@@ -82,7 +100,22 @@ int cmd_train(const util::Args& args) {
   const data::TrainTestSplit split = data::train_test_split(dataset, test_fraction, rng);
 
   core::RegHDPipeline pipeline(cfg);
-  pipeline.fit(split.train);
+  const std::string ckpt_dir = args.get_string("checkpoint-dir", "");
+  if (ckpt_dir.empty()) {
+    pipeline.fit(split.train);
+  } else {
+    core::CheckpointConfig ckpt_cfg;
+    ckpt_cfg.dir = ckpt_dir;
+    ckpt_cfg.keep_last = static_cast<std::size_t>(args.get_int("keep-last", 3));
+    core::CheckpointManager manager(ckpt_cfg);
+    core::TrainingHooks hooks;
+    hooks.checkpoint_every = static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
+    hooks.on_checkpoint = [&](std::size_t epoch) {
+      const std::string path = manager.save(pipeline, epoch + 1);
+      std::cout << "checkpoint: " << path << "\n";
+    };
+    pipeline.fit(split.train, hooks);
+  }
   std::cout << "trained " << pipeline.name() << " on " << split.train.size()
             << " samples: " << pipeline.report().summary() << "\n";
 
@@ -124,6 +157,96 @@ int cmd_predict(const util::Args& args) {
   // One batched call: rows are scaled, encoded, and predicted in parallel.
   for (const double y : pipeline.predict_batch(dataset)) {
     std::cout << y << "\n";
+  }
+  return 0;
+}
+
+int cmd_stream(const util::Args& args) {
+  if (!args.has("csv")) {
+    std::cerr << "stream: --csv is required\n";
+    return 1;
+  }
+  const data::Dataset dataset = load(args);
+  const std::string ckpt_dir = args.get_string("checkpoint-dir", "");
+  if (args.get_bool("resume", false) && ckpt_dir.empty()) {
+    std::cerr << "stream: --resume requires --checkpoint-dir\n";
+    return 1;
+  }
+
+  core::OnlineConfig cfg;
+  cfg.reghd.models = static_cast<std::size_t>(args.get_int("models", 8));
+  cfg.reghd.dim = static_cast<std::size_t>(args.get_int("dim", 4096));
+  cfg.reghd.learning_rate = args.get_double("alpha", 0.15);
+  cfg.reghd.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.reghd.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  if (args.get_bool("quantized", false)) {
+    cfg.reghd.cluster_mode = core::ClusterMode::kQuantized;
+  }
+  cfg.decay = args.get_double("decay", 1.0);
+  cfg.requantize_every = static_cast<std::size_t>(args.get_int("requantize-every", 256));
+
+  std::optional<core::CheckpointManager> manager;
+  if (!ckpt_dir.empty()) {
+    core::CheckpointConfig ckpt_cfg;
+    ckpt_cfg.dir = ckpt_dir;
+    ckpt_cfg.keep_last = static_cast<std::size_t>(args.get_int("keep-last", 3));
+    ckpt_cfg.every = static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+    manager.emplace(ckpt_cfg);
+  }
+
+  std::optional<core::OnlineRegHD> learner;
+  if (args.get_bool("resume", false)) {
+    learner = manager->recover();
+    if (learner) {
+      std::cout << "resumed from checkpoint at step " << learner->samples_seen() << "\n";
+      if (learner->num_features() != dataset.num_features()) {
+        std::cerr << "stream: checkpoint expects " << learner->num_features()
+                  << " features but the CSV has " << dataset.num_features() << "\n";
+        return 2;
+      }
+    } else {
+      std::cout << "no recoverable checkpoint; starting fresh\n";
+    }
+  }
+  if (!learner) {
+    learner.emplace(cfg, dataset.num_features());
+  }
+
+  // Prequential pass: rows before samples_seen were already consumed by the
+  // checkpointed run, so a resume replays only the tail — bit-identical to a
+  // stream that was never interrupted.
+  const std::size_t start = std::min(learner->samples_seen(), dataset.size());
+  double abs_err = 0.0;
+  double sq_err = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t i = start; i < dataset.size(); ++i) {
+    const double y = dataset.target(i);
+    const double pred = learner->update(dataset.row(i), y);
+    abs_err += std::abs(pred - y);
+    sq_err += (pred - y) * (pred - y);
+    ++scored;
+    if (manager) {
+      manager->maybe_save(*learner);
+    }
+  }
+  if (scored > 0) {
+    const double n = static_cast<double>(scored);
+    std::cout << "prequential over " << scored << " updates: mae=" << abs_err / n
+              << " mse=" << sq_err / n << "\n";
+  } else {
+    std::cout << "no new rows to process (stream already at step "
+              << learner->samples_seen() << ")\n";
+  }
+  if (manager) {
+    std::cout << "final checkpoint: " << manager->save(*learner) << "\n";
+  }
+
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ostringstream bytes(std::ios::binary);
+    core::save_online_checkpoint(bytes, *learner);
+    util::atomic_write_file(out_path, bytes.str());
+    std::cout << "stream state written to " << out_path << "\n";
   }
   return 0;
 }
@@ -193,6 +316,9 @@ int main(int argc, char** argv) {
     }
     if (command == "predict") {
       return cmd_predict(args);
+    }
+    if (command == "stream") {
+      return cmd_stream(args);
     }
     if (command == "info") {
       return cmd_info(args);
