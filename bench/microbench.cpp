@@ -296,6 +296,27 @@ int run_kernel_json(const std::string& path) {
     backends.push_back(avx2);
   }
 
+  // Buffers for the GEMM batch kernels: a 16-row feature block against the
+  // F×D feature-major projection (the RFF arena-encode shape) and a query
+  // row against a 2k×D cluster+model bank (the multi-model predict shape).
+  constexpr std::size_t kGemmRows = 16;
+  std::vector<double> gemm_a(kGemmRows * kFeatures);
+  std::vector<double> gemm_b(kFeatures * kDim);
+  std::vector<double> gemm_c(kGemmRows * kDim, 0.0);
+  std::vector<double> bank(2 * kModels * kDim);
+  std::vector<double> bank_scores(2 * kModels);
+  std::vector<std::int8_t> sign_bipolar(kDim);
+  std::vector<std::uint64_t> sign_bits(kWords);
+  for (double& x : gemm_a) {
+    x = rng.normal();
+  }
+  for (double& x : gemm_b) {
+    x = rng.normal();
+  }
+  for (double& x : bank) {
+    x = rng.normal();
+  }
+
   bench::JsonValue root = bench::JsonValue::object();
   root["dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(kDim));
   root["active_backend"] = bench::JsonValue::string(hdc::active_backend().name);
@@ -378,6 +399,29 @@ int run_kernel_json(const std::string& path) {
     ns = time_ns(
         [&] { kb->rff_trig_map(trig_z.data(), trig_phase.data(), trig_sinp.data(), kDim); });
     report_backend(kernels["rff_trig_map"], b.c_str(), 4.0 * kDim * 8, ns);
+
+    // GEMM encode block: 16 rows projected through the F×D weights in one
+    // cache-blocked pass (bytes = all three operands once).
+    ns = time_ns([&] {
+      kb->gemm_accumulate(gemm_a.data(), kFeatures, gemm_b.data(), kDim, gemm_c.data(),
+                          kDim, kGemmRows, kFeatures, kDim);
+    });
+    report_backend(kernels["gemm_encode"], b.c_str(),
+                   (kGemmRows * kFeatures + kFeatures * kDim + 2.0 * kGemmRows * kDim) * 8,
+                   ns);
+
+    // Bank scoring: one query row against the 2k cluster+model bank.
+    ns = time_ns([&] {
+      kb->dot_rows(pra, bank.data(), kDim, 2 * kModels, kDim, bank_scores.data());
+    });
+    report_backend(kernels["gemm_predict_bank"], b.c_str(),
+                   (2.0 * kModels * kDim + kDim) * 8, ns);
+
+    // Fused sign binarization of one encoded row.
+    ns = time_ns(
+        [&] { kb->sign_encode(pra, sign_bipolar.data(), sign_bits.data(), kDim); });
+    report_backend(kernels["sign_encode"], b.c_str(), kDim * 8.0 + kDim + kWords * 8.0,
+                   ns);
   }
 
   kernels["dot_real_binary"]["seed"]["ns_per_op"] = bench::JsonValue::number(seed_drb);

@@ -7,6 +7,7 @@
 
 #include "core/early_stopping.hpp"
 #include "util/check.hpp"
+#include "util/matrix.hpp"
 #include "util/random.hpp"
 
 namespace reghd::baselines {
@@ -57,6 +58,37 @@ double Mlp::forward(std::span<const double> x,
     }
   }
   return current[0];
+}
+
+std::vector<double> Mlp::forward_batch(std::span<const double> rows_flat,
+                                       std::size_t num_rows) const {
+  REGHD_CHECK(!layers_.empty(), "MLP must be initialized before forward_batch");
+  REGHD_CHECK(rows_flat.size() == num_rows * layers_.front().in,
+              "forward_batch: flat block size " << rows_flat.size() << " != "
+                                                << num_rows << " rows of width "
+                                                << layers_.front().in);
+  std::vector<double> current(rows_flat.begin(), rows_flat.end());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const bool is_output = li + 1 == layers_.size();
+    // Bias-initialize, then accumulate the whole batch against the layer's
+    // weight rows. Each output element reduces in the same ascending order
+    // as forward()'s "z = b[o]; z += row[i]·x[i]" loop, so the batch pass is
+    // bit-identical per row.
+    std::vector<double> next(num_rows * layer.out);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      std::copy(layer.b.begin(), layer.b.end(), next.begin() + static_cast<std::ptrdiff_t>(r * layer.out));
+    }
+    util::matmul_nt_accumulate(current.data(), layer.w.data(), next.data(), num_rows,
+                               layer.in, layer.out);
+    if (!is_output) {
+      for (double& z : next) {
+        z = std::max(z, 0.0);  // ReLU
+      }
+    }
+    current = std::move(next);
+  }
+  return current;  // output layer has width 1 → one prediction per row
 }
 
 void Mlp::backward_and_update(std::span<const double> x,
@@ -166,9 +198,11 @@ void Mlp::fit(const data::Dataset& train) {
     }
     ++epochs_run_;
 
+    const std::vector<double> val_pred =
+        forward_batch(split.test.features_flat(), split.test.size());
     double val_sq = 0.0;
     for (std::size_t i = 0; i < split.test.size(); ++i) {
-      const double e = forward(split.test.row(i), nullptr) - split.test.target(i);
+      const double e = val_pred[i] - split.test.target(i);
       val_sq += e * e;
     }
     const double val_mse = val_sq / static_cast<double>(split.test.size());

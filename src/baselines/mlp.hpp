@@ -44,6 +44,13 @@ class Mlp final : public model::Regressor {
   /// Total trainable parameters for the current topology.
   [[nodiscard]] std::size_t parameter_count() const noexcept;
 
+  /// Forward pass over `num_rows` already-scaled feature rows stored
+  /// contiguously row-major, via the blocked util::matmul_nt_accumulate —
+  /// one weight-tile stream per layer instead of per sample. Bit-identical
+  /// to calling forward() per row (used by the fit() validation loop).
+  [[nodiscard]] std::vector<double> forward_batch(std::span<const double> rows_flat,
+                                                  std::size_t num_rows) const;
+
  private:
   struct Layer {
     std::size_t in = 0;

@@ -1,32 +1,68 @@
 #include "core/encoded.hpp"
 
 #include "util/check.hpp"
-#include "util/parallel.hpp"
 
 namespace reghd::core {
+
+EncodedDataset EncodedDataset::build(const hdc::Encoder& encoder,
+                                     std::span<const double> rows_flat,
+                                     std::size_t num_rows, std::vector<double> targets,
+                                     std::size_t threads) {
+  EncodedDataset out;
+  out.dim_ = encoder.dim();
+  out.words_ = (out.dim_ + 63) / 64;
+  out.targets_ = std::move(targets);
+  out.real_.assign(num_rows * out.dim_, 0.0);  // encoders accumulate in place
+  out.bipolar_.assign(num_rows * out.dim_, 0);
+  out.binary_.assign(num_rows * out.words_, 0);
+  out.norm_.assign(num_rows, 0.0);
+  out.norm2_.assign(num_rows, 0.0);
+  const hdc::EncodedArenaRef arena{out.real_.data(), out.bipolar_.data(),
+                                   out.binary_.data(), out.norm_.data(),
+                                   out.norm2_.data(),  out.dim_,
+                                   out.words_};
+  encoder.encode_batch_into(rows_flat, num_rows, arena, threads);
+  return out;
+}
 
 EncodedDataset EncodedDataset::from(const hdc::Encoder& encoder,
                                     const data::Dataset& dataset, std::size_t threads) {
   REGHD_CHECK(dataset.num_features() == encoder.input_dim(),
               "dataset has " << dataset.num_features() << " features, encoder expects "
                              << encoder.input_dim());
-  EncodedDataset out;
-  out.samples_.resize(dataset.size());
-  out.targets_.assign(dataset.targets().begin(), dataset.targets().end());
-  // Encoding is embarrassingly parallel (the encoder is immutable and each
-  // sample writes a disjoint slot); block assignment keeps it deterministic.
-  util::parallel_for(
-      dataset.size(),
-      [&](std::size_t i) { out.samples_[i] = encoder.encode(dataset.row(i)); },
-      threads);
-  return out;
+  return build(encoder, dataset.features_flat(), dataset.size(),
+               {dataset.targets().begin(), dataset.targets().end()}, threads);
 }
 
-void EncodedDataset::add(hdc::EncodedSample sample, double target) {
-  REGHD_CHECK(samples_.empty() || sample.real.dim() == dim(),
+EncodedDataset EncodedDataset::from_rows(const hdc::Encoder& encoder,
+                                         std::span<const double> rows_flat,
+                                         std::size_t num_rows, std::size_t threads) {
+  return build(encoder, rows_flat, num_rows, std::vector<double>(num_rows, 0.0),
+               threads);
+}
+
+void EncodedDataset::add(const hdc::EncodedSample& sample, double target) {
+  REGHD_CHECK(empty() || sample.real.dim() == dim_,
               "encoded sample dimensionality " << sample.real.dim()
-                                               << " does not match dataset dim " << dim());
-  samples_.push_back(std::move(sample));
+                                               << " does not match dataset dim " << dim_);
+  if (empty()) {
+    dim_ = sample.real.dim();
+    words_ = (dim_ + 63) / 64;
+    real_.clear();
+    bipolar_.clear();
+    binary_.clear();
+    norm_.clear();
+    norm2_.clear();
+  }
+  REGHD_CHECK(sample.bipolar.dim() == dim_ && sample.binary.dim() == dim_,
+              "encoded sample representations disagree on dimensionality");
+  real_.insert(real_.end(), sample.real.values().begin(), sample.real.values().end());
+  bipolar_.insert(bipolar_.end(), sample.bipolar.values().begin(),
+                  sample.bipolar.values().end());
+  binary_.insert(binary_.end(), sample.binary.words().begin(),
+                 sample.binary.words().end());
+  norm_.push_back(sample.real_norm);
+  norm2_.push_back(sample.real_norm2);
   targets_.push_back(target);
 }
 

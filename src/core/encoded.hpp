@@ -5,13 +5,23 @@
 // epochs — the same structure a hardware implementation uses (the encoder
 // block streams each input once per pass; iterative epochs replay the
 // encoded buffer).
+//
+// Storage is SoA: one contiguous cache-line-aligned row-major B×D real
+// matrix, one dense B×D bipolar plane, one packed B×⌈D/64⌉ bit-plane, and
+// flat norm/norm²/target arrays. sample(i) hands out an EncodedSampleView
+// over row i, so the per-sample training/prediction code is unchanged, while
+// the flat planes feed the GEMM batch kernels (encode_batch_into,
+// dot_rows-based bank prediction) without any per-sample allocation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "hdc/encoding.hpp"
+#include "util/aligned.hpp"
 
 namespace reghd::core {
 
@@ -26,22 +36,56 @@ class EncodedDataset {
   static EncodedDataset from(const hdc::Encoder& encoder, const data::Dataset& dataset,
                              std::size_t threads = 0);
 
-  void add(hdc::EncodedSample sample, double target);
+  /// Encodes a flat row-major feature block (num_rows · input_dim doubles)
+  /// with all targets zero — the batch prediction path, which has no targets,
+  /// reuses the SoA arena through this.
+  static EncodedDataset from_rows(const hdc::Encoder& encoder,
+                                  std::span<const double> rows_flat,
+                                  std::size_t num_rows, std::size_t threads = 0);
+
+  /// Appends one owning sample (copied into the arena planes).
+  void add(const hdc::EncodedSample& sample, double target);
 
   [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
   [[nodiscard]] bool empty() const noexcept { return targets_.empty(); }
 
   /// Hyperspace dimensionality; 0 when empty.
-  [[nodiscard]] std::size_t dim() const noexcept {
-    return samples_.empty() ? 0 : samples_.front().real.dim();
+  [[nodiscard]] std::size_t dim() const noexcept { return empty() ? 0 : dim_; }
+
+  /// View of encoded row i; valid until the dataset is modified or destroyed.
+  [[nodiscard]] hdc::EncodedSampleView sample(std::size_t i) const noexcept {
+    return {hdc::RealHVView(std::span<const double>(real_.data() + i * dim_, dim_)),
+            hdc::BipolarHVView(
+                std::span<const std::int8_t>(bipolar_.data() + i * dim_, dim_)),
+            hdc::BinaryHVView(
+                dim_, std::span<const std::uint64_t>(binary_.data() + i * words_, words_)),
+            norm_[i], norm2_[i]};
   }
 
-  [[nodiscard]] const hdc::EncodedSample& sample(std::size_t i) const { return samples_[i]; }
   [[nodiscard]] double target(std::size_t i) const { return targets_[i]; }
   [[nodiscard]] std::span<const double> targets() const noexcept { return targets_; }
 
+  // Flat SoA planes for the GEMM batch kernels. Row r of the real plane is
+  // components [r·dim, (r+1)·dim).
+  [[nodiscard]] std::size_t words_per_row() const noexcept { return words_; }
+  [[nodiscard]] std::span<const double> real_plane() const noexcept {
+    return {real_.data(), real_.size()};
+  }
+  [[nodiscard]] std::span<const double> norms() const noexcept { return norm_; }
+  [[nodiscard]] std::span<const double> norms2() const noexcept { return norm2_; }
+
  private:
-  std::vector<hdc::EncodedSample> samples_;
+  static EncodedDataset build(const hdc::Encoder& encoder,
+                              std::span<const double> rows_flat, std::size_t num_rows,
+                              std::vector<double> targets, std::size_t threads);
+
+  std::size_t dim_ = 0;
+  std::size_t words_ = 0;
+  util::AlignedVector<double> real_;
+  util::AlignedVector<std::int8_t> bipolar_;
+  util::AlignedVector<std::uint64_t> binary_;
+  std::vector<double> norm_;
+  std::vector<double> norm2_;
   std::vector<double> targets_;
 };
 

@@ -27,7 +27,7 @@ void HdClassifier::requantize() {
   }
 }
 
-std::vector<double> HdClassifier::scores(const hdc::EncodedSample& sample) const {
+std::vector<double> HdClassifier::scores(const hdc::EncodedSampleView& sample) const {
   REGHD_CHECK(sample.real.dim() == config_.dim,
               "sample dim " << sample.real.dim() << " != classifier dim " << config_.dim);
   std::vector<double> out(config_.classes);
@@ -43,7 +43,7 @@ std::vector<double> HdClassifier::scores(const hdc::EncodedSample& sample) const
   return out;
 }
 
-std::size_t HdClassifier::predict(const hdc::EncodedSample& sample) const {
+std::size_t HdClassifier::predict(const hdc::EncodedSampleView& sample) const {
   const auto s = scores(sample);
   return static_cast<std::size_t>(
       std::distance(s.begin(), std::max_element(s.begin(), s.end())));

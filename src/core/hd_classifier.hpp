@@ -52,10 +52,10 @@ class HdClassifier {
                          const EncodedDataset& val, std::span<const std::size_t> val_labels);
 
   /// Most similar class for one encoded sample.
-  [[nodiscard]] std::size_t predict(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] std::size_t predict(const hdc::EncodedSampleView& sample) const;
 
   /// Similarity of the sample to every class hypervector.
-  [[nodiscard]] std::vector<double> scores(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] std::vector<double> scores(const hdc::EncodedSampleView& sample) const;
 
   /// Fraction of correct predictions on an encoded set.
   [[nodiscard]] double accuracy(const EncodedDataset& data,

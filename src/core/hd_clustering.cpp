@@ -56,7 +56,7 @@ void HdClustering::init_centers(const EncodedDataset& data, std::uint64_t seed) 
   std::vector<double> max_sim(data.size(), -2.0);
   std::vector<double> weight(data.size());
   while (chosen.size() < config_.clusters) {
-    const hdc::BinaryHV& last = data.sample(chosen.back()).binary;
+    const hdc::BinaryHVView last = data.sample(chosen.back()).binary;
     double total = 0.0;
     for (std::size_t i = 0; i < data.size(); ++i) {
       max_sim[i] = std::max(max_sim[i], hdc::hamming_similarity(data.sample(i).binary, last));
@@ -86,7 +86,7 @@ void HdClustering::init_centers(const EncodedDataset& data, std::uint64_t seed) 
   }
 }
 
-std::vector<double> HdClustering::similarities(const hdc::EncodedSample& sample) const {
+std::vector<double> HdClustering::similarities(const hdc::EncodedSampleView& sample) const {
   REGHD_CHECK(!centers_.empty(), "clustering must be fitted (or initialized) first");
   REGHD_CHECK(sample.real.dim() == config_.dim,
               "sample dim " << sample.real.dim() << " != clustering dim " << config_.dim);
@@ -107,7 +107,7 @@ std::vector<double> HdClustering::similarities(const hdc::EncodedSample& sample)
   return sims;
 }
 
-std::size_t HdClustering::assign(const hdc::EncodedSample& sample) const {
+std::size_t HdClustering::assign(const hdc::EncodedSampleView& sample) const {
   const auto sims = similarities(sample);
   return static_cast<std::size_t>(
       std::distance(sims.begin(), std::max_element(sims.begin(), sims.end())));
@@ -144,7 +144,7 @@ HdClusteringReport HdClustering::fit_once(const EncodedDataset& data, std::uint6
   for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
     std::size_t reassigned = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {
-      const hdc::EncodedSample& s = data.sample(i);
+      const hdc::EncodedSampleView s = data.sample(i);
       const auto sims = similarities(s);
       const auto winner = static_cast<std::size_t>(
           std::distance(sims.begin(), std::max_element(sims.begin(), sims.end())));

@@ -53,10 +53,10 @@ class HdClustering {
   HdClusteringReport fit(const EncodedDataset& data);
 
   /// Index of the most similar center. Requires a prior fit().
-  [[nodiscard]] std::size_t assign(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] std::size_t assign(const hdc::EncodedSampleView& sample) const;
 
   /// Similarities of a sample to every center (cosine or Hamming, per mode).
-  [[nodiscard]] std::vector<double> similarities(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] std::vector<double> similarities(const hdc::EncodedSampleView& sample) const;
 
   [[nodiscard]] std::size_t num_clusters() const noexcept { return config_.clusters; }
   [[nodiscard]] const ClusterCenter& center(std::size_t i) const { return centers_[i]; }

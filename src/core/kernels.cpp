@@ -29,7 +29,7 @@ void RegressionModel::requantize() {
   gamma_ternary = kept > 0 ? kept_sum / static_cast<double>(kept) : 0.0;
 }
 
-double predict_dot(const RegressionModel& model, const hdc::EncodedSample& query,
+double predict_dot(const RegressionModel& model, const hdc::EncodedSampleView& query,
                    PredictionMode mode) {
   const auto d = static_cast<double>(model.accumulator.dim());
   REGHD_CHECK(d > 0, "predict_dot on an empty model");
@@ -58,7 +58,7 @@ double predict_dot(const RegressionModel& model, const hdc::EncodedSample& query
   return model.gamma * static_cast<double>(hdc::bipolar_dot(model.binary, query.binary)) / d;
 }
 
-void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSample& sample,
+void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSampleView& sample,
                         double coeff, QueryPrecision precision) {
   if (precision == QueryPrecision::kReal) {
     hdc::add_scaled(accumulator, sample.real, coeff);
@@ -67,7 +67,7 @@ void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSample& samp
   }
 }
 
-double raw_query_dot(const hdc::RealHV& accumulator, const hdc::EncodedSample& query,
+double raw_query_dot(const hdc::RealHV& accumulator, const hdc::EncodedSampleView& query,
                      QueryPrecision precision) {
   if (precision == QueryPrecision::kReal) {
     return hdc::dot(accumulator, query.real);
@@ -75,7 +75,7 @@ double raw_query_dot(const hdc::RealHV& accumulator, const hdc::EncodedSample& q
   return hdc::dot(accumulator, query.binary);
 }
 
-double update_normalizer(const hdc::EncodedSample& sample, QueryPrecision precision) {
+double update_normalizer(const hdc::EncodedSampleView& sample, QueryPrecision precision) {
   if (precision == QueryPrecision::kBinary) {
     return 1.0;
   }
@@ -86,7 +86,7 @@ double update_normalizer(const hdc::EncodedSample& sample, QueryPrecision precis
   return static_cast<double>(sample.real.dim()) / n2;
 }
 
-double query_norm2(const hdc::EncodedSample& query, QueryPrecision precision) {
+double query_norm2(const hdc::EncodedSampleView& query, QueryPrecision precision) {
   if (precision == QueryPrecision::kReal) {
     return query.real_norm2;
   }

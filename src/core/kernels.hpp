@@ -44,12 +44,12 @@ struct RegressionModel {
 
 /// Normalized prediction dot of one model against one encoded query, at the
 /// configured precision (the four §3.2 kernels).
-[[nodiscard]] double predict_dot(const RegressionModel& model, const hdc::EncodedSample& query,
+[[nodiscard]] double predict_dot(const RegressionModel& model, const hdc::EncodedSampleView& query,
                                  PredictionMode mode);
 
 /// Accumulator update M += coeff·S with the sample taken at the given query
 /// precision (real encoder output vs bipolar sign vector).
-void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSample& sample,
+void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSampleView& sample,
                         double coeff, QueryPrecision precision);
 
 /// Normalization factor D/‖S‖² that turns the LMS update into normalized
@@ -57,15 +57,15 @@ void update_accumulator(hdc::RealHV& accumulator, const hdc::EncodedSample& samp
 /// prediction by exactly α·err regardless of encoder output scale. For
 /// bipolar/binary queries ‖S‖² = D and the factor is exactly 1 — i.e. the
 /// paper's literal update rule (Eqs. 2, 7) is recovered.
-[[nodiscard]] double update_normalizer(const hdc::EncodedSample& sample,
+[[nodiscard]] double update_normalizer(const hdc::EncodedSampleView& sample,
                                        QueryPrecision precision);
 
 /// Raw (unnormalized) dot of a real accumulator against the query at the
 /// given precision; used where the caller owns normalization (cosine).
 [[nodiscard]] double raw_query_dot(const hdc::RealHV& accumulator,
-                                   const hdc::EncodedSample& query, QueryPrecision precision);
+                                   const hdc::EncodedSampleView& query, QueryPrecision precision);
 
 /// Squared norm of the query at the given precision (bipolar: exactly D).
-[[nodiscard]] double query_norm2(const hdc::EncodedSample& query, QueryPrecision precision);
+[[nodiscard]] double query_norm2(const hdc::EncodedSampleView& query, QueryPrecision precision);
 
 }  // namespace reghd::core

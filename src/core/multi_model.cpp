@@ -5,8 +5,12 @@
 #include <limits>
 #include <numeric>
 
+#include <cstring>
+
 #include "core/early_stopping.hpp"
+#include "hdc/kernel_backend.hpp"
 #include "hdc/random_hv.hpp"
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/statistics.hpp"
@@ -39,7 +43,7 @@ void MultiModelRegressor::reset() {
 }
 
 std::vector<double> MultiModelRegressor::similarities(
-    const hdc::EncodedSample& sample) const {
+    const hdc::EncodedSampleView& sample) const {
   REGHD_CHECK(sample.real.dim() == config_.dim,
               "sample dim " << sample.real.dim() << " != configured dim " << config_.dim);
   std::vector<double> sims(clusters_.size());
@@ -74,7 +78,7 @@ std::vector<double> MultiModelRegressor::similarities(
   return sims;
 }
 
-std::size_t MultiModelRegressor::assign_cluster(const hdc::EncodedSample& sample) const {
+std::size_t MultiModelRegressor::assign_cluster(const hdc::EncodedSampleView& sample) const {
   const auto sims = similarities(sample);
   return static_cast<std::size_t>(
       std::distance(sims.begin(), std::max_element(sims.begin(), sims.end())));
@@ -101,7 +105,7 @@ std::vector<double> MultiModelRegressor::confidences_from(std::vector<double> si
   return sims;
 }
 
-double MultiModelRegressor::predict(const hdc::EncodedSample& sample) const {
+double MultiModelRegressor::predict(const hdc::EncodedSampleView& sample) const {
   const auto conf = confidences_from(similarities(sample));
   const PredictionMode mode = config_.prediction_mode();
   double y = 0.0;
@@ -111,7 +115,7 @@ double MultiModelRegressor::predict(const hdc::EncodedSample& sample) const {
   return y;
 }
 
-PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSample& sample) const {
+PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSampleView& sample) const {
   PredictionDetail detail;
   detail.similarities = similarities(sample);
   detail.confidences = confidences_from(detail.similarities);
@@ -131,9 +135,66 @@ PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSample& s
 std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dataset,
                                                        std::size_t threads) const {
   std::vector<double> out(dataset.size());
+  const std::size_t use_threads = threads != 0 ? threads : config_.threads;
+  const PredictionMode mode = config_.prediction_mode();
+  if (config_.cluster_mode == ClusterMode::kFullPrecision &&
+      mode.query == QueryPrecision::kReal && mode.model == ModelPrecision::kReal &&
+      !dataset.empty() && dataset.dim() == config_.dim) {
+    // Full-precision fast path: pack all cluster and model accumulators into
+    // one contiguous (k_c + k_m)×D bank so every query row is scored against
+    // the whole bank with a single dot_rows sweep (the bank stays hot in
+    // cache across rows). dot_rows reduces each bank row exactly like the
+    // dot_real_real calls behind raw_query_dot / predict_dot, and the
+    // sims → confidences → Eq. 6 arithmetic below replays predict()'s
+    // operation sequence, so out[i] is bit-identical to predict(sample(i)).
+    const hdc::KernelBackend& kb = hdc::active_backend();
+    const std::size_t d = config_.dim;
+    const double dd = static_cast<double>(d);
+    const std::size_t k_c = clusters_.size();
+    const std::size_t k_m = models_.size();
+    util::AlignedVector<double> bank((k_c + k_m) * d);
+    std::vector<double> cluster_norm(k_c);
+    for (std::size_t c = 0; c < k_c; ++c) {
+      std::memcpy(bank.data() + c * d, clusters_[c].accumulator.values().data(),
+                  d * sizeof(double));
+      cluster_norm[c] = std::sqrt(clusters_[c].norm2);
+    }
+    for (std::size_t m = 0; m < k_m; ++m) {
+      std::memcpy(bank.data() + (k_c + m) * d, models_[m].accumulator.values().data(),
+                  d * sizeof(double));
+    }
+    const double* rows = dataset.real_plane().data();
+    constexpr std::size_t kChunk = 64;
+    const std::size_t chunks = (dataset.size() + kChunk - 1) / kChunk;
+    util::parallel_for(
+        chunks,
+        [&](std::size_t chunk) {
+          const std::size_t r0 = chunk * kChunk;
+          const std::size_t rn = std::min(dataset.size(), r0 + kChunk);
+          std::vector<double> scores(k_c + k_m);
+          std::vector<double> sims(k_c);
+          for (std::size_t i = r0; i < rn; ++i) {
+            kb.dot_rows(rows + i * d, bank.data(), d, k_c + k_m, d, scores.data());
+            const double qn = std::sqrt(dataset.norms2()[i]);
+            for (std::size_t c = 0; c < k_c; ++c) {
+              sims[c] = (cluster_norm[c] == 0.0 || qn == 0.0)
+                            ? 0.0
+                            : scores[c] / (cluster_norm[c] * qn);
+            }
+            const std::vector<double> conf = confidences_from(sims);
+            double y = 0.0;
+            for (std::size_t m = 0; m < k_m; ++m) {
+              y += conf[m] * (scores[k_c + m] / dd);
+            }
+            out[i] = y;
+          }
+        },
+        use_threads);
+    return out;
+  }
   util::parallel_for(
       dataset.size(), [&](std::size_t i) { out[i] = predict(dataset.sample(i)); },
-      threads != 0 ? threads : config_.threads);
+      use_threads);
   return out;
 }
 
@@ -150,7 +211,7 @@ double MultiModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
   return acc / static_cast<double>(dataset.size());
 }
 
-double MultiModelRegressor::train_step(const hdc::EncodedSample& sample, double target) {
+double MultiModelRegressor::train_step(const hdc::EncodedSampleView& sample, double target) {
   const auto sims = similarities(sample);
   const auto conf = confidences_from(sims);
   // The training error is always measured against the integer models being
@@ -274,7 +335,7 @@ void MultiModelRegressor::init_clusters_from_samples(const EncodedDataset& train
 
   std::vector<double> max_sim(n, -2.0);
   while (chosen.size() < config_.models) {
-    const hdc::BinaryHV& last = train.sample(chosen.back()).binary;
+    const hdc::BinaryHVView last = train.sample(chosen.back()).binary;
     for (std::size_t i = 0; i < n; ++i) {
       max_sim[i] = std::max(max_sim[i], hdc::hamming_similarity(train.sample(i).binary, last));
     }
@@ -339,7 +400,7 @@ TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
     double online_sq_err = 0.0;
     std::size_t since_requantize = 0;
     for (const std::size_t i : order) {
-      const hdc::EncodedSample& s = train.sample(i);
+      const hdc::EncodedSampleView s = train.sample(i);
       const double y = train.target(i);
       const double before = train_step(s, y);  // returns the pre-update prediction
       online_sq_err += (y - before) * (y - before);

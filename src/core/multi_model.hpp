@@ -66,16 +66,16 @@ class MultiModelRegressor {
 
   /// One online training step (used by fit and by the streaming example).
   /// Returns the pre-update prediction for the sample.
-  double train_step(const hdc::EncodedSample& sample, double target);
+  double train_step(const hdc::EncodedSampleView& sample, double target);
 
   /// End-of-epoch snapshot refresh; called automatically inside fit().
   void requantize();
 
   /// Eq. 6 prediction with the configured kernels.
-  [[nodiscard]] double predict(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] double predict(const hdc::EncodedSampleView& sample) const;
 
   /// Prediction plus all intermediate quantities.
-  [[nodiscard]] PredictionDetail predict_detail(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] PredictionDetail predict_detail(const hdc::EncodedSampleView& sample) const;
 
   /// Predicts every sample, parallelized over rows with up to `threads`
   /// workers (0 = config.threads, then REGHD_THREADS / hardware
@@ -86,10 +86,10 @@ class MultiModelRegressor {
   [[nodiscard]] double evaluate_mse(const EncodedDataset& dataset) const;
 
   /// δ_i for every cluster (Eq. 5 / Hamming in quantized mode).
-  [[nodiscard]] std::vector<double> similarities(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] std::vector<double> similarities(const hdc::EncodedSampleView& sample) const;
 
   /// Index of the most similar cluster.
-  [[nodiscard]] std::size_t assign_cluster(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] std::size_t assign_cluster(const hdc::EncodedSampleView& sample) const;
 
   [[nodiscard]] const RegHDConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t num_models() const noexcept { return models_.size(); }

@@ -113,21 +113,18 @@ std::vector<double> RegHDPipeline::predict_batch(const data::Dataset& dataset) c
   REGHD_CHECK(n == encoder_->input_dim(),
               "dataset has " << n << " features, encoder expects " << encoder_->input_dim());
 
-  // One flat scaled copy of the feature block feeds the row-parallel batch
-  // encoder.
+  // One flat scaled copy of the feature block feeds the SoA arena batch
+  // encoder (GEMM path for RFF), then the bank batch predictor scores all
+  // rows — no per-sample allocation anywhere on this path.
   std::vector<double> flat(dataset.features_flat().begin(), dataset.features_flat().end());
   if (config_.standardize_features) {
     for (std::size_t i = 0; i < dataset.size(); ++i) {
       feature_scaler_.transform_row_inplace(std::span<double>(flat.data() + i * n, n));
     }
   }
-  const std::vector<hdc::EncodedSample> samples =
-      encoder_->encode_batch(flat, dataset.size(), config_.reghd.threads);
-
-  std::vector<double> out(dataset.size());
-  util::parallel_for(
-      dataset.size(), [&](std::size_t i) { out[i] = regressor_->predict(samples[i]); },
-      config_.reghd.threads);
+  const EncodedDataset enc =
+      EncodedDataset::from_rows(*encoder_, flat, dataset.size(), config_.reghd.threads);
+  std::vector<double> out = regressor_->predict_batch(enc, config_.reghd.threads);
   if (config_.standardize_target) {
     for (double& y : out) {
       y = target_scaler_.inverse_value(y);

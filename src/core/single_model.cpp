@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/early_stopping.hpp"
+#include "hdc/kernel_backend.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -19,7 +20,7 @@ SingleModelRegressor::SingleModelRegressor(const RegHDConfig& config) : config_(
 
 void SingleModelRegressor::reset() { model_ = RegressionModel(config_.dim); }
 
-void SingleModelRegressor::train_step(const hdc::EncodedSample& sample, double target) {
+void SingleModelRegressor::train_step(const hdc::EncodedSampleView& sample, double target) {
   REGHD_CHECK(sample.real.dim() == config_.dim,
               "sample dim " << sample.real.dim() << " != model dim " << config_.dim);
   // The training error is always computed against the integer model being
@@ -38,16 +39,44 @@ void SingleModelRegressor::train_step(const hdc::EncodedSample& sample, double t
                      config_.query_precision);
 }
 
-double SingleModelRegressor::predict(const hdc::EncodedSample& sample) const {
+double SingleModelRegressor::predict(const hdc::EncodedSampleView& sample) const {
   return predict_dot(model_, sample, config_.prediction_mode());
 }
 
 std::vector<double> SingleModelRegressor::predict_batch(const EncodedDataset& dataset,
                                                         std::size_t threads) const {
   std::vector<double> out(dataset.size());
+  const std::size_t use_threads = threads != 0 ? threads : config_.threads;
+  const PredictionMode mode = config_.prediction_mode();
+  if (mode.query == QueryPrecision::kReal && mode.model == ModelPrecision::kReal &&
+      !dataset.empty() && dataset.dim() == config_.dim) {
+    // Full-precision fast path: score the whole SoA real plane against M with
+    // the bank kernel. dot_rows reduces each row exactly like dot_real_real,
+    // and the /D division is the same one predict_dot performs, so out[i] is
+    // bit-identical to predict(sample(i)).
+    const hdc::KernelBackend& kb = hdc::active_backend();
+    const double* rows = dataset.real_plane().data();
+    const double* m = model_.accumulator.values().data();
+    const std::size_t d = config_.dim;
+    const double dd = static_cast<double>(d);
+    constexpr std::size_t kChunk = 64;
+    const std::size_t chunks = (dataset.size() + kChunk - 1) / kChunk;
+    util::parallel_for(
+        chunks,
+        [&](std::size_t chunk) {
+          const std::size_t r0 = chunk * kChunk;
+          const std::size_t rn = std::min(dataset.size(), r0 + kChunk);
+          kb.dot_rows(m, rows + r0 * d, d, rn - r0, d, out.data() + r0);
+          for (std::size_t r = r0; r < rn; ++r) {
+            out[r] /= dd;
+          }
+        },
+        use_threads);
+    return out;
+  }
   util::parallel_for(
       dataset.size(), [&](std::size_t i) { out[i] = predict(dataset.sample(i)); },
-      threads != 0 ? threads : config_.threads);
+      use_threads);
   return out;
 }
 
@@ -87,7 +116,7 @@ TrainingReport SingleModelRegressor::fit(const EncodedDataset& train,
     rng.shuffle(order);
     double online_sq_err = 0.0;
     for (const std::size_t i : order) {
-      const hdc::EncodedSample& s = train.sample(i);
+      const hdc::EncodedSampleView s = train.sample(i);
       const double y = train.target(i);
       const double prediction = predict_dot(model_, s, train_mode);
       double error = y - prediction;

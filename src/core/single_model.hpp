@@ -30,10 +30,10 @@ class SingleModelRegressor {
 
   /// One single-pass online step (encode-train-discard); exposed for the
   /// streaming example and the single-pass-vs-iterative experiment.
-  void train_step(const hdc::EncodedSample& sample, double target);
+  void train_step(const hdc::EncodedSampleView& sample, double target);
 
   /// ŷ = (1/D)·M·S at the configured prediction precision.
-  [[nodiscard]] double predict(const hdc::EncodedSample& sample) const;
+  [[nodiscard]] double predict(const hdc::EncodedSampleView& sample) const;
 
   /// Predicts every sample, parallelized over rows with up to `threads`
   /// workers (0 = config.threads, then REGHD_THREADS / hardware

@@ -54,6 +54,13 @@ void Encoder::check_features(std::span<const double> features) const {
                                << config_.input_dim);
 }
 
+RealHV Encoder::encode_real(std::span<const double> features) const {
+  check_features(features);
+  RealHV out(config_.dim);
+  encode_real_into(features, out.values().data());
+  return out;
+}
+
 EncodedSample Encoder::encode(std::span<const double> features) const {
   EncodedSample out;
   out.real = encode_real(features);
@@ -64,6 +71,48 @@ EncodedSample Encoder::encode(std::span<const double> features) const {
   out.real_norm2 = norm2;
   out.real_norm = std::sqrt(norm2);
   return out;
+}
+
+void Encoder::check_arena(std::span<const double> rows_flat, std::size_t num_rows,
+                          const EncodedArenaRef& out) const {
+  REGHD_CHECK(rows_flat.size() == num_rows * config_.input_dim,
+              "encode_batch_into: flat buffer of "
+                  << rows_flat.size() << " doubles does not hold " << num_rows
+                  << " rows of " << config_.input_dim << " features");
+  REGHD_CHECK(out.dim == config_.dim, "encode_batch_into: arena dim "
+                                          << out.dim << " does not match encoder dim "
+                                          << config_.dim);
+  REGHD_CHECK(out.words_per_row == (config_.dim + 63) / 64,
+              "encode_batch_into: arena words_per_row " << out.words_per_row
+                                                        << " is wrong for dim "
+                                                        << config_.dim);
+  REGHD_CHECK(num_rows == 0 || (out.real != nullptr && out.bipolar != nullptr &&
+                                out.binary != nullptr && out.norm != nullptr &&
+                                out.norm2 != nullptr),
+              "encode_batch_into: arena planes must be non-null");
+}
+
+void Encoder::finalize_encoded_row(const EncodedArenaRef& out, std::size_t row) const {
+  const KernelBackend& kb = active_backend();
+  const std::size_t d = config_.dim;
+  const double* z = out.real + row * d;
+  kb.sign_encode(z, out.bipolar + row * d, out.binary + row * out.words_per_row, d);
+  const double norm2 = kb.dot_real_real(z, z, d);
+  out.norm2[row] = norm2;
+  out.norm[row] = std::sqrt(norm2);
+}
+
+void Encoder::encode_batch_into(std::span<const double> rows_flat, std::size_t num_rows,
+                                const EncodedArenaRef& out, std::size_t threads) const {
+  check_arena(rows_flat, num_rows, out);
+  const std::size_t n = config_.input_dim;
+  util::parallel_for(
+      num_rows,
+      [&](std::size_t i) {
+        encode_real_into(rows_flat.subspan(i * n, n), out.real + i * config_.dim);
+        finalize_encoded_row(out, i);
+      },
+      threads);
 }
 
 std::vector<EncodedSample> Encoder::encode_batch(std::span<const double> rows_flat,
@@ -102,8 +151,8 @@ NonlinearFeatureEncoder::NonlinearFeatureEncoder(EncoderConfig config)
   }
 }
 
-RealHV NonlinearFeatureEncoder::encode_real(std::span<const double> features) const {
-  check_features(features);
+void NonlinearFeatureEncoder::encode_real_into(std::span<const double> features,
+                                               double* out) const {
   const std::size_t d = config_.dim;
   const std::size_t n = config_.input_dim;
 
@@ -122,11 +171,9 @@ RealHV NonlinearFeatureEncoder::encode_real(std::span<const double> features) co
     kb.add_scaled_bipolar(g.data(), bases_[k].values().data(), half_sin2, d);
   }
 
-  RealHV out(d);
   for (std::size_t j = 0; j < d; ++j) {
     out[j] = cos_phase_[j] * g[j] - sin_phase_[j] * s;
   }
-  return out;
 }
 
 RealHV NonlinearFeatureEncoder::encode_reference(std::span<const double> features) const {
@@ -174,12 +221,11 @@ RffProjectionEncoder::RffProjectionEncoder(EncoderConfig config) : Encoder(confi
   }
 }
 
-RealHV RffProjectionEncoder::encode_real(std::span<const double> features) const {
-  check_features(features);
+void RffProjectionEncoder::encode_real_into(std::span<const double> features,
+                                            double* out) const {
   const std::size_t d = config_.dim;
   const std::size_t n = config_.input_dim;
   const KernelBackend& kb = active_backend();
-  RealHV out(d);
   // Projection as n unit-stride axpys over the transposed weights:
   //   z_j = Σ_k x_k · w_{j,k}  ⇔  z += x_k · W_t[k, ·] for each feature k.
   // Each component still accumulates in feature order, so the result is
@@ -188,12 +234,41 @@ RealHV RffProjectionEncoder::encode_real(std::span<const double> features) const
   // the paper's cos(z+b)·sin(z) into ½·(sin(2z+b) − sin(b)) — one sine per
   // component, evaluated with util::fast_sin (see fast_trig.hpp; identical
   // values under every kernel backend).
-  double* z = &out[0];
   for (std::size_t k = 0; k < n; ++k) {
-    kb.add_scaled_real(z, projection_t_.data() + k * d, features[k], d);
+    kb.add_scaled_real(out, projection_t_.data() + k * d, features[k], d);
   }
-  kb.rff_trig_map(z, phase_.data(), sin_phase_.data(), d);
-  return out;
+  kb.rff_trig_map(out, phase_.data(), sin_phase_.data(), d);
+}
+
+void RffProjectionEncoder::encode_batch_into(std::span<const double> rows_flat,
+                                             std::size_t num_rows,
+                                             const EncodedArenaRef& out,
+                                             std::size_t threads) const {
+  check_arena(rows_flat, num_rows, out);
+  const std::size_t d = config_.dim;
+  const std::size_t n = config_.input_dim;
+  // Row blocks share each cache tile of the F×D transposed weight matrix:
+  // the GEMM streams W_t once per block of 16 rows instead of once per row,
+  // cutting projection memory traffic ~16×. gemm_accumulate keeps each
+  // component's feature-order mul-then-add sequence, so the projected rows —
+  // and after the same rff_trig_map and finalize steps, the whole arena —
+  // are bit-identical to the per-row path.
+  constexpr std::size_t kRowBlock = 16;
+  const std::size_t blocks = (num_rows + kRowBlock - 1) / kRowBlock;
+  const KernelBackend& kb = active_backend();
+  util::parallel_for(
+      blocks,
+      [&](std::size_t block) {
+        const std::size_t r0 = block * kRowBlock;
+        const std::size_t rn = std::min(num_rows, r0 + kRowBlock);
+        kb.gemm_accumulate(rows_flat.data() + r0 * n, n, projection_t_.data(), d,
+                           out.real + r0 * d, d, rn - r0, n, d);
+        for (std::size_t r = r0; r < rn; ++r) {
+          kb.rff_trig_map(out.real + r * d, phase_.data(), sin_phase_.data(), d);
+          finalize_encoded_row(out, r);
+        }
+      },
+      threads);
 }
 
 // ---------------------------------------------------------------------------
@@ -242,16 +317,15 @@ std::size_t IdLevelEncoder::level_index(double value) const noexcept {
   return std::min(idx, config_.levels - 1);
 }
 
-RealHV IdLevelEncoder::encode_real(std::span<const double> features) const {
-  check_features(features);
-  RealHV out(config_.dim);
+void IdLevelEncoder::encode_real_into(std::span<const double> features,
+                                      double* out) const {
   BinaryHV bound(config_.dim);  // scratch reused across features — no
                                 // per-feature allocation
+  const KernelBackend& kb = active_backend();
   for (std::size_t k = 0; k < config_.input_dim; ++k) {
     xor_bind_into(bound, feature_ids_[k], level_hvs_[level_index(features[k])]);
-    add_scaled(out, bound, 1.0);
+    kb.add_scaled_binary(out, bound.words().data(), 1.0, config_.dim);
   }
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -294,16 +368,15 @@ std::size_t TemporalEncoder::level_index(double value) const noexcept {
   return std::min(idx, config_.levels - 1);
 }
 
-RealHV TemporalEncoder::encode_real(std::span<const double> features) const {
-  check_features(features);
-  RealHV out(config_.dim);
+void TemporalEncoder::encode_real_into(std::span<const double> features,
+                                       double* out) const {
   BinaryHV rotated(config_.dim);  // scratch reused across window positions
+  const KernelBackend& kb = active_backend();
   for (std::size_t t = 0; t < features.size(); ++t) {
     // ρᵗ binds the element to its window position.
     permute_into(rotated, level_hvs_[level_index(features[t])], t);
-    add_scaled(out, rotated, 1.0);
+    kb.add_scaled_binary(out, rotated.words().data(), 1.0, config_.dim);
   }
-  return out;
 }
 
 std::unique_ptr<Encoder> make_encoder(const EncoderConfig& config) {

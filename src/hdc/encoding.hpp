@@ -48,6 +48,51 @@ struct EncodedSample {
   double real_norm2 = 0.0;  ///< ‖real‖², cached for incremental norm updates.
 };
 
+/// Non-owning view of one encoded data point, with the same member names as
+/// EncodedSample. It can view either an owning EncodedSample (implicit
+/// conversion) or one row of the SoA arena in core/encoded, so train_step /
+/// predict / checkpoint code is written once against this type.
+struct EncodedSampleView {
+  RealHVView real;
+  BipolarHVView bipolar;
+  BinaryHVView binary;
+  double real_norm = 0.0;
+  double real_norm2 = 0.0;
+
+  EncodedSampleView() = default;
+  EncodedSampleView(RealHVView r, BipolarHVView s, BinaryHVView b, double norm,
+                    double norm2)
+      : real(r), bipolar(s), binary(b), real_norm(norm), real_norm2(norm2) {}
+  EncodedSampleView(const EncodedSample& s)  // NOLINT(google-explicit-constructor)
+      : real(s.real),
+        bipolar(s.bipolar),
+        binary(s.binary),
+        real_norm(s.real_norm),
+        real_norm2(s.real_norm2) {}
+
+  /// Deep-copies the viewed row into an owning sample (fault-injection tests
+  /// and other callers that mutate a sample start from this).
+  [[nodiscard]] EncodedSample materialize() const {
+    return {real.to_owning(), bipolar.to_owning(), binary.to_owning(), real_norm,
+            real_norm2};
+  }
+};
+
+/// Destination planes for arena batch encoding (all non-owning; the arena in
+/// core/encoded owns the storage). Row r of the batch occupies real
+/// components [r·dim, (r+1)·dim), packed words [r·words_per_row,
+/// (r+1)·words_per_row), and norm/norm² slot r. The real plane must be
+/// zero-initialized: encoders accumulate into it.
+struct EncodedArenaRef {
+  double* real = nullptr;
+  std::int8_t* bipolar = nullptr;
+  std::uint64_t* binary = nullptr;
+  double* norm = nullptr;
+  double* norm2 = nullptr;
+  std::size_t dim = 0;
+  std::size_t words_per_row = 0;
+};
+
 /// Which encoder implementation to construct.
 enum class EncoderKind : std::uint8_t {
   kNonlinearFeature = 0,  ///< Paper Eq. 1.
@@ -105,7 +150,7 @@ class Encoder {
 
   /// Maps features to the real-valued hypervector. Throws if
   /// features.size() != input_dim().
-  [[nodiscard]] virtual RealHV encode_real(std::span<const double> features) const = 0;
+  [[nodiscard]] RealHV encode_real(std::span<const double> features) const;
 
   /// Maps features to all three coupled representations.
   [[nodiscard]] EncodedSample encode(std::span<const double> features) const;
@@ -119,10 +164,33 @@ class Encoder {
       std::span<const double> rows_flat, std::size_t num_rows,
       std::size_t threads = 0) const;
 
+  /// Encodes `num_rows` rows directly into a SoA arena (see EncodedArenaRef):
+  /// zero per-sample allocations, fused sign/pack, and — for encoders with a
+  /// batched projection stage (RFF) — a cache-blocked GEMM that preserves the
+  /// per-component accumulation order. Row r of the arena is bit-identical to
+  /// encode(row r) for any thread count or kernel backend.
+  virtual void encode_batch_into(std::span<const double> rows_flat,
+                                 std::size_t num_rows, const EncodedArenaRef& out,
+                                 std::size_t threads = 0) const;
+
  protected:
   explicit Encoder(EncoderConfig config);
 
   void check_features(std::span<const double> features) const;
+
+  /// Validates buffer sizes/geometry for encode_batch_into.
+  void check_arena(std::span<const double> rows_flat, std::size_t num_rows,
+                   const EncodedArenaRef& out) const;
+
+  /// Maps one validated feature row into out[0..dim), which is pre-zeroed.
+  /// encode_real() is implemented on top of this, so overrides define both
+  /// the per-row and the arena path at once.
+  virtual void encode_real_into(std::span<const double> features, double* out) const = 0;
+
+  /// Derives the bipolar/binary/norm row of the arena from its (already
+  /// encoded) real row — the fused sign_encode kernel plus the same
+  /// dot_real_real norm encode() computes.
+  void finalize_encoded_row(const EncodedArenaRef& out, std::size_t row) const;
 
   EncoderConfig config_;
 };
@@ -132,11 +200,12 @@ class NonlinearFeatureEncoder final : public Encoder {
  public:
   explicit NonlinearFeatureEncoder(EncoderConfig config);
 
-  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
-
   /// Direct, unfactored evaluation of Eq. 1 — O(n·D) trig calls. Exposed for
   /// the equivalence test and as executable documentation of the formula.
   [[nodiscard]] RealHV encode_reference(std::span<const double> features) const;
+
+ protected:
+  void encode_real_into(std::span<const double> features, double* out) const override;
 
  private:
   std::vector<BipolarHV> bases_;    ///< B_k, one per feature.
@@ -150,7 +219,14 @@ class RffProjectionEncoder final : public Encoder {
  public:
   explicit RffProjectionEncoder(EncoderConfig config);
 
-  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
+  /// GEMM batch path: projects a whole block of rows per cache tile of the
+  /// transposed weights instead of re-streaming all F·D weights per row.
+  void encode_batch_into(std::span<const double> rows_flat, std::size_t num_rows,
+                         const EncodedArenaRef& out,
+                         std::size_t threads = 0) const override;
+
+ protected:
+  void encode_real_into(std::span<const double> features, double* out) const override;
 
  private:
   // Projection stored transposed (feature-major): projection_t_[k*d + j] =
@@ -171,10 +247,11 @@ class IdLevelEncoder final : public Encoder {
  public:
   explicit IdLevelEncoder(EncoderConfig config);
 
-  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
-
   /// Index of the quantization level for a (possibly out-of-range) value.
   [[nodiscard]] std::size_t level_index(double value) const noexcept;
+
+ protected:
+  void encode_real_into(std::span<const double> features, double* out) const override;
 
  private:
   std::vector<BinaryHV> feature_ids_;
@@ -193,10 +270,11 @@ class TemporalEncoder final : public Encoder {
  public:
   explicit TemporalEncoder(EncoderConfig config);
 
-  [[nodiscard]] RealHV encode_real(std::span<const double> features) const override;
-
   /// Index of the quantization level for a (possibly out-of-range) value.
   [[nodiscard]] std::size_t level_index(double value) const noexcept;
+
+ protected:
+  void encode_real_into(std::span<const double> features, double* out) const override;
 
  private:
   std::vector<BinaryHV> level_hvs_;

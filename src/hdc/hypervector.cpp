@@ -61,6 +61,14 @@ RealHV BipolarHV::to_real() const {
   return RealHV(std::move(out));
 }
 
+RealHV BipolarHVView::to_real() const {
+  std::vector<double> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out[i] = static_cast<double>(data_[i]);
+  }
+  return RealHV(std::move(out));
+}
+
 BinaryHV::BinaryHV(std::size_t dim) : dim_(dim), words_((dim + 63) / 64, 0ULL) {}
 
 std::size_t BinaryHV::popcount() const noexcept {
@@ -85,6 +93,12 @@ RealHV BinaryHV::to_real() const {
     out[i] = bit(i) ? 1.0 : -1.0;
   }
   return RealHV(std::move(out));
+}
+
+BinaryHV BinaryHVView::to_owning() const {
+  BinaryHV out(dim_);
+  std::copy(words_.begin(), words_.end(), out.words().begin());
+  return out;
 }
 
 }  // namespace reghd::hdc

@@ -163,4 +163,102 @@ class BinaryHV {
   std::vector<std::uint64_t> words_;
 };
 
+// ---------------------------------------------------------------------------
+// Non-owning views.
+//
+// The SoA encoded arena (core/encoded) stores hypervector components in flat
+// contiguous planes instead of per-sample vectors; these views give that
+// storage the same read interface as the owning types. Owning hypervectors
+// convert implicitly, so every read-only kernel signature that takes a view
+// still accepts a RealHV / BipolarHV / BinaryHV at the call site.
+// ---------------------------------------------------------------------------
+
+/// Read-only view of a dense real hypervector.
+class RealHVView {
+ public:
+  RealHVView() = default;
+  explicit RealHVView(std::span<const double> values) : data_(values) {}
+  RealHVView(const RealHV& hv) : data_(hv.values()) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return data_; }
+
+  /// Copies the viewed components into an owning hypervector.
+  [[nodiscard]] RealHV to_owning() const { return RealHV({data_.begin(), data_.end()}); }
+
+  friend bool operator==(const RealHVView& a, const RealHVView& b) noexcept {
+    return a.data_.size() == b.data_.size() &&
+           std::equal(a.data_.begin(), a.data_.end(), b.data_.begin());
+  }
+
+ private:
+  std::span<const double> data_;
+};
+
+/// Read-only view of a dense ±1 hypervector.
+class BipolarHVView {
+ public:
+  BipolarHVView() = default;
+  explicit BipolarHVView(std::span<const std::int8_t> values) : data_(values) {}
+  BipolarHVView(const BipolarHV& hv) : data_(hv.values()) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::int8_t operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] std::span<const std::int8_t> values() const noexcept { return data_; }
+
+  /// Widens to an owning real hypervector.
+  [[nodiscard]] RealHV to_real() const;
+
+  /// Copies the viewed components into an owning hypervector.
+  [[nodiscard]] BipolarHV to_owning() const {
+    return BipolarHV(std::vector<std::int8_t>{data_.begin(), data_.end()});
+  }
+
+  friend bool operator==(const BipolarHVView& a, const BipolarHVView& b) noexcept {
+    return a.data_.size() == b.data_.size() &&
+           std::equal(a.data_.begin(), a.data_.end(), b.data_.begin());
+  }
+
+ private:
+  std::span<const std::int8_t> data_;
+};
+
+/// Read-only view of a bit-packed binary hypervector. The viewed words obey
+/// the same invariant as BinaryHV: padding bits of the final word are zero.
+class BinaryHVView {
+ public:
+  BinaryHVView() = default;
+  BinaryHVView(std::size_t dim, std::span<const std::uint64_t> words)
+      : dim_(dim), words_(words) {}
+  BinaryHVView(const BinaryHV& hv)  // NOLINT(google-explicit-constructor)
+      : dim_(hv.dim()), words_(hv.words()) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return dim_ == 0; }
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  [[nodiscard]] bool bit(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Bipolar value of component i: +1 for a set bit, −1 otherwise.
+  [[nodiscard]] int bipolar(std::size_t i) const noexcept { return bit(i) ? +1 : -1; }
+
+  /// Copies the viewed words into an owning hypervector.
+  [[nodiscard]] BinaryHV to_owning() const;
+
+  friend bool operator==(const BinaryHVView& a, const BinaryHVView& b) noexcept {
+    return a.dim_ == b.dim_ &&
+           std::equal(a.words_.begin(), a.words_.end(), b.words_.begin());
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::span<const std::uint64_t> words_;
+};
+
 }  // namespace reghd::hdc

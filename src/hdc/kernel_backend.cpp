@@ -1,5 +1,6 @@
 #include "hdc/kernel_backend.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -163,6 +164,54 @@ void scalar_rff_trig_map(double* z, const double* phase, const double* sin_phase
   }
 }
 
+// Column tile of the blocked GEMM: 512 doubles (4 KB) per B-panel row keeps a
+// typical feature-count panel resident in L1 while a block of output rows
+// streams over it. Shared by both backends so the traversal (not the
+// arithmetic order, which is fixed per element) is the only tunable.
+constexpr std::size_t kGemmColTile = 512;
+
+void scalar_gemm_accumulate(const double* a, std::size_t lda, const double* b,
+                            std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                            std::size_t k, std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kGemmColTile) {
+    const std::size_t jn = std::min(n, j0 + kGemmColTile);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* arow = a + r * lda;
+      double* crow = c + r * ldc;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double aik = arow[kk];
+        const double* brow = b + kk * ldb;
+        for (std::size_t j = j0; j < jn; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void scalar_dot_rows(const double* q, const double* rows, std::size_t ld,
+                     std::size_t num_rows, std::size_t n, double* out) {
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = scalar_dot_real_real(rows + r * ld, q, n);
+  }
+}
+
+void scalar_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
+                        std::size_t n) {
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w << 6;
+    const std::size_t limit = std::min<std::size_t>(64, n - base);
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < limit; ++j) {
+      const bool neg = v[base + j] < 0.0;
+      bipolar[base + j] = static_cast<std::int8_t>(1 - 2 * static_cast<int>(neg));
+      word |= static_cast<std::uint64_t>(!neg) << j;
+    }
+    bits[w] = word;
+  }
+}
+
 constexpr KernelBackend kScalarBackend{
     "scalar",
     scalar_dot_real_real,
@@ -177,6 +226,9 @@ constexpr KernelBackend kScalarBackend{
     scalar_add_scaled_binary,
     scalar_scale_real,
     scalar_rff_trig_map,
+    scalar_gemm_accumulate,
+    scalar_dot_rows,
+    scalar_sign_encode,
 };
 
 }  // namespace

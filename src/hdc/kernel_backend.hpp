@@ -69,6 +69,29 @@ struct KernelBackend {
   /// with -ffp-contract=off), so the result is bit-identical to scalar.
   void (*rff_trig_map)(double* z, const double* phase, const double* sin_phase,
                        std::size_t n);
+  /// Cache-blocked matrix multiply-accumulate over row-major operands:
+  ///   c[r·ldc + j] += Σ_k a[r·lda + k] · b[k·ldb + j]   (r < m, j < n)
+  /// Each output element accumulates contributions with k strictly ascending
+  /// and each contribution rounded as a separate multiply then add (no FMA),
+  /// so the per-element rounding sequence is identical to a chain of
+  /// add_scaled_real axpys — bit-identical across backends; only the cache
+  /// blocking differs.
+  void (*gemm_accumulate)(const double* a, std::size_t lda, const double* b,
+                          std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                          std::size_t k, std::size_t n);
+  /// Bank scoring: out[r] = Σ_j q[j] · rows[r·ld + j] for r < num_rows. Each
+  /// output is reduced in exactly the order of this backend's dot_real_real —
+  /// bit-identical to num_rows separate dot_real_real calls — but row pairs
+  /// share the q loads, which is what makes the k-model bank scan cheap.
+  void (*dot_rows)(const double* q, const double* rows, std::size_t ld,
+                   std::size_t num_rows, std::size_t n, double* out);
+  /// Fused sign binarization of one encoded row:
+  ///   bipolar[i] = (v[i] < 0) ? −1 : +1,  bit i of `bits` = !(v[i] < 0)
+  /// (NaN maps to +1 / bit set, matching RealHV::sign() followed by
+  /// BipolarHV::pack()). Padding bits of the final word are written zero.
+  /// Bit-exact across backends.
+  void (*sign_encode)(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
+                      std::size_t n);
 };
 
 /// The portable backend; always available.

@@ -15,6 +15,7 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -72,12 +73,13 @@ inline __m256d group_flips(std::uint64_t inverted_word, std::size_t j) {
   return _mm256_castsi256_pd(flips);
 }
 
-/// All-ones lane mask for mask bits j..j+3 of `mask_word`.
-inline __m256d group_mask(std::uint64_t mask_word, std::size_t j) {
-  const __m256i lane_bits = _mm256_setr_epi64x(1, 2, 4, 8);
+/// Lane vector whose sign bit (bit 63) carries mask bit j+l of `mask_word`.
+/// Only the sign bit is meaningful — which is all BLENDV reads — so no
+/// compare or AND is needed after the per-lane shift.
+inline __m256d group_sign_select(std::uint64_t mask_word, std::size_t j) {
+  const __m256i lane_shifts = _mm256_setr_epi64x(63, 62, 61, 60);
   const __m256i bits = _mm256_set1_epi64x(static_cast<long long>(mask_word >> j));
-  return _mm256_castsi256_pd(
-      _mm256_cmpeq_epi64(_mm256_and_si256(bits, lane_bits), lane_bits));
+  return _mm256_castsi256_pd(_mm256_sllv_epi64(bits, lane_shifts));
 }
 
 double avx2_dot_real_real(const double* a, const double* b, std::size_t n) {
@@ -142,6 +144,10 @@ double avx2_dot_real_binary(const double* a, const std::uint64_t* bits, std::siz
 
 double avx2_masked_dot(const double* a, const std::uint64_t* signs,
                        const std::uint64_t* mask, std::size_t n) {
+  // Masked lanes contribute +0.0 via BLENDV against zero (exact), replacing
+  // the previous cmpeq-built all-ones mask + AND — one shifted vector per
+  // group is enough because BLENDV keys on the sign bit alone.
+  const __m256d zero = _mm256_setzero_pd();
   __m256d acc0 = _mm256_setzero_pd();
   __m256d acc1 = _mm256_setzero_pd();
   std::size_t i = 0;
@@ -155,8 +161,8 @@ double avx2_masked_dot(const double* a, const std::uint64_t* signs,
       const __m256d v0 = _mm256_xor_pd(_mm256_loadu_pd(a + i + j), group_flips(inv, j));
       const __m256d v1 =
           _mm256_xor_pd(_mm256_loadu_pd(a + i + j + 4), group_flips(inv, j + 4));
-      acc0 = _mm256_add_pd(acc0, _mm256_and_pd(v0, group_mask(m, j)));
-      acc1 = _mm256_add_pd(acc1, _mm256_and_pd(v1, group_mask(m, j + 4)));
+      acc0 = _mm256_add_pd(acc0, _mm256_blendv_pd(zero, v0, group_sign_select(m, j)));
+      acc1 = _mm256_add_pd(acc1, _mm256_blendv_pd(zero, v1, group_sign_select(m, j + 4)));
     }
   }
   double acc = hsum(_mm256_add_pd(acc0, acc1));
@@ -223,16 +229,33 @@ std::int64_t avx2_bipolar_dot_dense(const std::int8_t* a, const std::int8_t* b,
 void avx2_add_scaled_real(double* a, const double* b, double c, std::size_t n) {
   // mul + add (no FMA): each slot must round exactly like the scalar
   // backend's `a[i] += c * b[i]` so both tables accumulate bit-identically.
-  // The kernel is memory-bound, so the extra rounding step is free.
+  // The kernel is memory-bound; the win comes from access pattern, not
+  // arithmetic. std::vector storage is only 16-byte aligned, so a plain
+  // unaligned 32-byte loop splits a cache line on every other access of the
+  // read-modify-write destination — peel to 32-byte alignment of `a` first
+  // so all full-width destination accesses are aligned.
   const __m256d cv = _mm256_set1_pd(c);
   std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_pd(
-        a + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
-                             _mm256_mul_pd(cv, _mm256_loadu_pd(b + i))));
-    _mm256_storeu_pd(
-        a + i + 4, _mm256_add_pd(_mm256_loadu_pd(a + i + 4),
-                                 _mm256_mul_pd(cv, _mm256_loadu_pd(b + i + 4))));
+  while (i < n && (reinterpret_cast<std::uintptr_t>(a + i) & 31U) != 0) {
+    a[i] += c * b[i];
+    ++i;
+  }
+  for (; i + 16 <= n; i += 16) {
+    _mm256_store_pd(a + i, _mm256_add_pd(_mm256_load_pd(a + i),
+                                         _mm256_mul_pd(cv, _mm256_loadu_pd(b + i))));
+    _mm256_store_pd(a + i + 4,
+                    _mm256_add_pd(_mm256_load_pd(a + i + 4),
+                                  _mm256_mul_pd(cv, _mm256_loadu_pd(b + i + 4))));
+    _mm256_store_pd(a + i + 8,
+                    _mm256_add_pd(_mm256_load_pd(a + i + 8),
+                                  _mm256_mul_pd(cv, _mm256_loadu_pd(b + i + 8))));
+    _mm256_store_pd(a + i + 12,
+                    _mm256_add_pd(_mm256_load_pd(a + i + 12),
+                                  _mm256_mul_pd(cv, _mm256_loadu_pd(b + i + 12))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_store_pd(a + i, _mm256_add_pd(_mm256_load_pd(a + i),
+                                         _mm256_mul_pd(cv, _mm256_loadu_pd(b + i))));
   }
   for (; i < n; ++i) {
     a[i] += c * b[i];
@@ -273,10 +296,23 @@ void avx2_add_scaled_binary(double* a, const std::uint64_t* bits, double c,
 }
 
 void avx2_scale_real(double* a, double c, std::size_t n) {
+  // Same alignment-peeled pattern as avx2_add_scaled_real: the in-place
+  // destination is the whole working set, so aligned full-width accesses are
+  // the entire optimization.
   const __m256d cv = _mm256_set1_pd(c);
   std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(a + i) & 31U) != 0) {
+    a[i] *= c;
+    ++i;
+  }
+  for (; i + 16 <= n; i += 16) {
+    _mm256_store_pd(a + i, _mm256_mul_pd(cv, _mm256_load_pd(a + i)));
+    _mm256_store_pd(a + i + 4, _mm256_mul_pd(cv, _mm256_load_pd(a + i + 4)));
+    _mm256_store_pd(a + i + 8, _mm256_mul_pd(cv, _mm256_load_pd(a + i + 8)));
+    _mm256_store_pd(a + i + 12, _mm256_mul_pd(cv, _mm256_load_pd(a + i + 12)));
+  }
   for (; i + 4 <= n; i += 4) {
-    _mm256_storeu_pd(a + i, _mm256_mul_pd(cv, _mm256_loadu_pd(a + i)));
+    _mm256_store_pd(a + i, _mm256_mul_pd(cv, _mm256_load_pd(a + i)));
   }
   for (; i < n; ++i) {
     a[i] *= c;
@@ -372,6 +408,135 @@ void avx2_rff_trig_map(double* z, const double* phase, const double* sin_phase,
   }
 }
 
+void avx2_gemm_accumulate(const double* a, std::size_t lda, const double* b,
+                          std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                          std::size_t k, std::size_t n) {
+  // Same traversal as the scalar kernel (column tile = 512 doubles), with C
+  // register-blocked 16 wide: the 4 accumulator vectors stay in registers
+  // across the whole k loop, so each C element is loaded and stored once per
+  // column tile instead of once per k. mul + add (no FMA) and ascending k
+  // keep every element's rounding sequence identical to scalar.
+  constexpr std::size_t kColTile = 512;
+  for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+    const std::size_t jn = std::min(n, j0 + kColTile);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* arow = a + r * lda;
+      double* crow = c + r * ldc;
+      std::size_t j = j0;
+      for (; j + 16 <= jn; j += 16) {
+        __m256d c0 = _mm256_loadu_pd(crow + j);
+        __m256d c1 = _mm256_loadu_pd(crow + j + 4);
+        __m256d c2 = _mm256_loadu_pd(crow + j + 8);
+        __m256d c3 = _mm256_loadu_pd(crow + j + 12);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const __m256d av = _mm256_broadcast_sd(arow + kk);
+          const double* bp = b + kk * ldb + j;
+          c0 = _mm256_add_pd(c0, _mm256_mul_pd(av, _mm256_loadu_pd(bp)));
+          c1 = _mm256_add_pd(c1, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 4)));
+          c2 = _mm256_add_pd(c2, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 8)));
+          c3 = _mm256_add_pd(c3, _mm256_mul_pd(av, _mm256_loadu_pd(bp + 12)));
+        }
+        _mm256_storeu_pd(crow + j, c0);
+        _mm256_storeu_pd(crow + j + 4, c1);
+        _mm256_storeu_pd(crow + j + 8, c2);
+        _mm256_storeu_pd(crow + j + 12, c3);
+      }
+      for (; j < jn; ++j) {
+        double acc = crow[j];
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += arow[kk] * b[kk * ldb + j];
+        }
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+void avx2_dot_rows(const double* q, const double* rows, std::size_t ld,
+                   std::size_t num_rows, std::size_t n, double* out) {
+  // Row pairs share every q load; each row keeps the 4-accumulator structure
+  // of avx2_dot_real_real (16-wide FMA loop, then 4-wide into acc0, then the
+  // (0+1)+(2+3) horizontal sum and scalar tail), so out[r] is bit-identical
+  // to avx2_dot_real_real(rows + r·ld, q, n).
+  std::size_t r = 0;
+  for (; r + 2 <= num_rows; r += 2) {
+    const double* a0 = rows + r * ld;
+    const double* a1 = a0 + ld;
+    __m256d p00 = _mm256_setzero_pd(), p01 = _mm256_setzero_pd();
+    __m256d p02 = _mm256_setzero_pd(), p03 = _mm256_setzero_pd();
+    __m256d p10 = _mm256_setzero_pd(), p11 = _mm256_setzero_pd();
+    __m256d p12 = _mm256_setzero_pd(), p13 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256d q0 = _mm256_loadu_pd(q + i);
+      const __m256d q1 = _mm256_loadu_pd(q + i + 4);
+      const __m256d q2 = _mm256_loadu_pd(q + i + 8);
+      const __m256d q3 = _mm256_loadu_pd(q + i + 12);
+      p00 = _mm256_fmadd_pd(_mm256_loadu_pd(a0 + i), q0, p00);
+      p01 = _mm256_fmadd_pd(_mm256_loadu_pd(a0 + i + 4), q1, p01);
+      p02 = _mm256_fmadd_pd(_mm256_loadu_pd(a0 + i + 8), q2, p02);
+      p03 = _mm256_fmadd_pd(_mm256_loadu_pd(a0 + i + 12), q3, p03);
+      p10 = _mm256_fmadd_pd(_mm256_loadu_pd(a1 + i), q0, p10);
+      p11 = _mm256_fmadd_pd(_mm256_loadu_pd(a1 + i + 4), q1, p11);
+      p12 = _mm256_fmadd_pd(_mm256_loadu_pd(a1 + i + 8), q2, p12);
+      p13 = _mm256_fmadd_pd(_mm256_loadu_pd(a1 + i + 12), q3, p13);
+    }
+    for (; i + 4 <= n; i += 4) {
+      const __m256d qv = _mm256_loadu_pd(q + i);
+      p00 = _mm256_fmadd_pd(_mm256_loadu_pd(a0 + i), qv, p00);
+      p10 = _mm256_fmadd_pd(_mm256_loadu_pd(a1 + i), qv, p10);
+    }
+    double s0 = hsum(_mm256_add_pd(_mm256_add_pd(p00, p01), _mm256_add_pd(p02, p03)));
+    double s1 = hsum(_mm256_add_pd(_mm256_add_pd(p10, p11), _mm256_add_pd(p12, p13)));
+    for (; i < n; ++i) {
+      s0 += a0[i] * q[i];
+      s1 += a1[i] * q[i];
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = avx2_dot_real_real(rows + r * ld, q, n);
+  }
+}
+
+void avx2_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
+                      std::size_t n) {
+  // 4 lanes per compare; the negative-lane movemask nibble both indexes a
+  // 16-entry table of ±1 byte groups and (inverted) lands in the packed word.
+  // CMP_LT_OQ is false for NaN, so NaN maps to +1 / bit set exactly like the
+  // scalar kernel (and RealHV::sign() + BipolarHV::pack()).
+  alignas(64) static constexpr std::uint32_t kNibbleBytes[16] = {
+      0x01010101U, 0x010101FFU, 0x0101FF01U, 0x0101FFFFU,
+      0x01FF0101U, 0x01FF01FFU, 0x01FFFF01U, 0x01FFFFFFU,
+      0xFF010101U, 0xFF0101FFU, 0xFF01FF01U, 0xFF01FFFFU,
+      0xFFFF0101U, 0xFFFF01FFU, 0xFFFFFF01U, 0xFFFFFFFFU,
+  };
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t full_words = n / 64;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < 64; j += 4) {
+      const int neg =
+          _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(v + i + j), zero, _CMP_LT_OQ));
+      std::memcpy(bipolar + i + j, &kNibbleBytes[neg], sizeof(std::uint32_t));
+      word |= static_cast<std::uint64_t>(~neg & 0xF) << j;
+    }
+    bits[w] = word;
+    i += 64;
+  }
+  if (i < n) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; i + j < n; ++j) {
+      const bool negative = v[i + j] < 0.0;
+      bipolar[i + j] = static_cast<std::int8_t>(1 - 2 * static_cast<int>(negative));
+      word |= static_cast<std::uint64_t>(!negative) << j;
+    }
+    bits[i >> 6] = word;
+  }
+}
+
 constexpr KernelBackend kAvx2Backend{
     "avx2",
     avx2_dot_real_real,
@@ -386,6 +551,9 @@ constexpr KernelBackend kAvx2Backend{
     avx2_add_scaled_binary,
     avx2_scale_real,
     avx2_rff_trig_map,
+    avx2_gemm_accumulate,
+    avx2_dot_rows,
+    avx2_sign_encode,
 };
 
 }  // namespace

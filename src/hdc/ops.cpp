@@ -40,62 +40,61 @@ std::uint64_t circular_read64(std::span<const std::uint64_t> w, std::size_t d,
 
 }  // namespace
 
-double dot(const RealHV& a, const RealHV& b) {
+double dot(RealHVView a, RealHVView b) {
   check_dims(a.dim(), b.dim(), "dot(real,real)");
   return active_backend().dot_real_real(a.values().data(), b.values().data(), a.dim());
 }
 
-double dot(const RealHV& a, const BipolarHV& b) {
+double dot(RealHVView a, BipolarHVView b) {
   check_dims(a.dim(), b.dim(), "dot(real,bipolar)");
   return active_backend().dot_real_bipolar(a.values().data(), b.values().data(), a.dim());
 }
 
-double dot(const RealHV& a, const BinaryHV& b) {
+double dot(RealHVView a, BinaryHVView b) {
   check_dims(a.dim(), b.dim(), "dot(real,binary)");
   return active_backend().dot_real_binary(a.values().data(), b.words().data(), a.dim());
 }
 
-std::int64_t bipolar_dot(const BinaryHV& a, const BinaryHV& b) {
+std::int64_t bipolar_dot(BinaryHVView a, BinaryHVView b) {
   check_dims(a.dim(), b.dim(), "bipolar_dot(binary,binary)");
   const std::int64_t h = static_cast<std::int64_t>(hamming_distance(a, b));
   return static_cast<std::int64_t>(a.dim()) - 2 * h;
 }
 
-std::int64_t bipolar_dot(const BipolarHV& a, const BipolarHV& b) {
+std::int64_t bipolar_dot(BipolarHVView a, BipolarHVView b) {
   check_dims(a.dim(), b.dim(), "bipolar_dot(bipolar,bipolar)");
   return active_backend().bipolar_dot_dense(a.values().data(), b.values().data(), a.dim());
 }
 
-std::int64_t masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
-                                const BinaryHV& mask) {
+std::int64_t masked_bipolar_dot(BinaryHVView a, BinaryHVView b, BinaryHVView mask) {
   check_dims(a.dim(), b.dim(), "masked_bipolar_dot");
   check_dims(a.dim(), mask.dim(), "masked_bipolar_dot(mask)");
   return active_backend().masked_bipolar_dot(a.words().data(), b.words().data(),
                                              mask.words().data(), a.word_count());
 }
 
-double masked_dot(const RealHV& a, const BinaryHV& signs, const BinaryHV& mask) {
+double masked_dot(RealHVView a, BinaryHVView signs, BinaryHVView mask) {
   check_dims(a.dim(), signs.dim(), "masked_dot");
   check_dims(a.dim(), mask.dim(), "masked_dot(mask)");
   return active_backend().masked_dot(a.values().data(), signs.words().data(),
                                      mask.words().data(), a.dim());
 }
 
-std::size_t hamming_distance(const BinaryHV& a, const BinaryHV& b) {
+std::size_t hamming_distance(BinaryHVView a, BinaryHVView b) {
   check_dims(a.dim(), b.dim(), "hamming_distance");
   return static_cast<std::size_t>(
       active_backend().hamming(a.words().data(), b.words().data(), a.word_count()));
 }
 
-double hamming_similarity(const BinaryHV& a, const BinaryHV& b) {
+double hamming_similarity(BinaryHVView a, BinaryHVView b) {
   REGHD_CHECK(a.dim() > 0, "hamming_similarity of empty vectors");
   const auto h = static_cast<double>(hamming_distance(a, b));
   return 1.0 - 2.0 * h / static_cast<double>(a.dim());
 }
 
-double norm(const RealHV& a) { return std::sqrt(dot(a, a)); }
+double norm(RealHVView a) { return std::sqrt(dot(a, a)); }
 
-double cosine(const RealHV& a, const RealHV& b) {
+double cosine(RealHVView a, RealHVView b) {
   check_dims(a.dim(), b.dim(), "cosine(real,real)");
   const double na = norm(a);
   const double nb = norm(b);
@@ -105,7 +104,7 @@ double cosine(const RealHV& a, const RealHV& b) {
   return dot(a, b) / (na * nb);
 }
 
-double cosine(const RealHV& a, const BipolarHV& b) {
+double cosine(RealHVView a, BipolarHVView b) {
   check_dims(a.dim(), b.dim(), "cosine(real,bipolar)");
   const double na = norm(a);
   if (na == 0.0 || a.dim() == 0) {
@@ -114,7 +113,7 @@ double cosine(const RealHV& a, const BipolarHV& b) {
   return dot(a, b) / (na * std::sqrt(static_cast<double>(a.dim())));
 }
 
-double cosine(const RealHV& a, const BinaryHV& b) {
+double cosine(RealHVView a, BinaryHVView b) {
   check_dims(a.dim(), b.dim(), "cosine(real,binary)");
   const double na = norm(a);
   if (na == 0.0 || a.dim() == 0) {
@@ -123,17 +122,17 @@ double cosine(const RealHV& a, const BinaryHV& b) {
   return dot(a, b) / (na * std::sqrt(static_cast<double>(a.dim())));
 }
 
-void add_scaled(RealHV& a, const RealHV& b, double c) {
+void add_scaled(RealHV& a, RealHVView b, double c) {
   check_dims(a.dim(), b.dim(), "add_scaled(real,real)");
   active_backend().add_scaled_real(a.values().data(), b.values().data(), c, a.dim());
 }
 
-void add_scaled(RealHV& a, const BipolarHV& b, double c) {
+void add_scaled(RealHV& a, BipolarHVView b, double c) {
   check_dims(a.dim(), b.dim(), "add_scaled(real,bipolar)");
   active_backend().add_scaled_bipolar(a.values().data(), b.values().data(), c, a.dim());
 }
 
-void add_scaled(RealHV& a, const BinaryHV& b, double c) {
+void add_scaled(RealHV& a, BinaryHVView b, double c) {
   check_dims(a.dim(), b.dim(), "add_scaled(real,binary)");
   active_backend().add_scaled_binary(a.values().data(), b.words().data(), c, a.dim());
 }

@@ -21,59 +21,62 @@ namespace reghd::hdc {
 
 // ---------------------------------------------------------------------------
 // Dot products
+//
+// Read-only operands are taken as views (RealHVView & friends); owning
+// hypervectors convert implicitly, and the SoA encoded arena passes its flat
+// planes through the same signatures without copies.
 // ---------------------------------------------------------------------------
 
 /// Full-precision dot product.
-[[nodiscard]] double dot(const RealHV& a, const RealHV& b);
+[[nodiscard]] double dot(RealHVView a, RealHVView b);
 
 /// Dot of a real vector with a dense ±1 vector (model · encoded sample).
-[[nodiscard]] double dot(const RealHV& a, const BipolarHV& b);
+[[nodiscard]] double dot(RealHVView a, BipolarHVView b);
 
 /// Multiply-free dot of a real vector with a packed binary vector under the
 /// bipolar interpretation: Σ_j (bit_j ? +a_j : −a_j). This is the paper's
 /// "binary query – integer model" / "integer query – binary model" kernel.
-[[nodiscard]] double dot(const RealHV& a, const BinaryHV& b);
+[[nodiscard]] double dot(RealHVView a, BinaryHVView b);
 
 /// Bipolar dot of two packed vectors: D − 2·hamming. Integer-exact.
-[[nodiscard]] std::int64_t bipolar_dot(const BinaryHV& a, const BinaryHV& b);
+[[nodiscard]] std::int64_t bipolar_dot(BinaryHVView a, BinaryHVView b);
 
 /// Bipolar dot of two dense ±1 vectors.
-[[nodiscard]] std::int64_t bipolar_dot(const BipolarHV& a, const BipolarHV& b);
+[[nodiscard]] std::int64_t bipolar_dot(BipolarHVView a, BipolarHVView b);
 
 /// Masked bipolar dot: Σ over dims where mask is set of a_j·b_j (bipolar
 /// interpretation). The ternary-model kernel: dead-zone components carry a
 /// zero weight. Computed word-wise: 2·popcount(XNOR(a,b) ∧ mask) − |mask|.
-[[nodiscard]] std::int64_t masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
-                                              const BinaryHV& mask);
+[[nodiscard]] std::int64_t masked_bipolar_dot(BinaryHVView a, BinaryHVView b,
+                                              BinaryHVView mask);
 
 /// Masked signed accumulation: Σ over dims where mask is set of
 /// (signs_j ? +a_j : −a_j). The ternary-model kernel for real queries.
-[[nodiscard]] double masked_dot(const RealHV& a, const BinaryHV& signs,
-                                const BinaryHV& mask);
+[[nodiscard]] double masked_dot(RealHVView a, BinaryHVView signs, BinaryHVView mask);
 
 // ---------------------------------------------------------------------------
 // Distances and similarities
 // ---------------------------------------------------------------------------
 
 /// Number of differing components.
-[[nodiscard]] std::size_t hamming_distance(const BinaryHV& a, const BinaryHV& b);
+[[nodiscard]] std::size_t hamming_distance(BinaryHVView a, BinaryHVView b);
 
 /// Hamming-based similarity in [−1, 1]: 1 − 2·hamming/D. Equals the cosine
 /// similarity of the corresponding bipolar vectors (paper §3.1's efficient
 /// similarity).
-[[nodiscard]] double hamming_similarity(const BinaryHV& a, const BinaryHV& b);
+[[nodiscard]] double hamming_similarity(BinaryHVView a, BinaryHVView b);
 
 /// Euclidean norm.
-[[nodiscard]] double norm(const RealHV& a);
+[[nodiscard]] double norm(RealHVView a);
 
 /// Cosine similarity (Eq. 5). Returns 0 if either vector is all-zero.
-[[nodiscard]] double cosine(const RealHV& a, const RealHV& b);
+[[nodiscard]] double cosine(RealHVView a, RealHVView b);
 
 /// Cosine of a real vector against a dense ±1 vector (‖b‖ = √D).
-[[nodiscard]] double cosine(const RealHV& a, const BipolarHV& b);
+[[nodiscard]] double cosine(RealHVView a, BipolarHVView b);
 
 /// Cosine of a real vector against a packed ±1 vector (‖b‖ = √D).
-[[nodiscard]] double cosine(const RealHV& a, const BinaryHV& b);
+[[nodiscard]] double cosine(RealHVView a, BinaryHVView b);
 
 // ---------------------------------------------------------------------------
 // Accumulation (model updates)
@@ -81,9 +84,9 @@ namespace reghd::hdc {
 
 /// a += c · b for each of the sample representations. These implement the
 /// paper's update rules (Eqs. 2, 7, 8, 9).
-void add_scaled(RealHV& a, const RealHV& b, double c);
-void add_scaled(RealHV& a, const BipolarHV& b, double c);
-void add_scaled(RealHV& a, const BinaryHV& b, double c);
+void add_scaled(RealHV& a, RealHVView b, double c);
+void add_scaled(RealHV& a, BipolarHVView b, double c);
+void add_scaled(RealHV& a, BinaryHVView b, double c);
 
 /// a *= c.
 void scale(RealHV& a, double c);

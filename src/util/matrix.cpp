@@ -1,5 +1,6 @@
 #include "util/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -32,6 +33,56 @@ std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
     y[r] = acc;
   }
   return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  REGHD_CHECK(a.cols() == b.rows(), "matmul: inner dimensions disagree (" << a.cols()
+                                        << " vs " << b.rows() << ")");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t p = b.cols();
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = c.mutable_data().data();
+  // i–k–j with j tiled: the C and B row segments of one tile stay resident
+  // while k streams, and each C(i,j) still accumulates in ascending-k order.
+  constexpr std::size_t kColTile = 256;
+  for (std::size_t j0 = 0; j0 < p; j0 += kColTile) {
+    const std::size_t jn = std::min(p, j0 + kColTile);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = ad + i * k;
+      double* crow = cd + i * p;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double aik = arow[kk];
+        const double* brow = bd + kk * p;
+        for (std::size_t j = j0; j < jn; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void matmul_nt_accumulate(const double* a, const double* b, double* c, std::size_t m,
+                          std::size_t n, std::size_t p) {
+  constexpr std::size_t kRowTile = 64;  // rows of b per tile (~64·n doubles)
+  for (std::size_t o0 = 0; o0 < p; o0 += kRowTile) {
+    const std::size_t on = std::min(p, o0 + kRowTile);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* arow = a + r * n;
+      double* crow = c + r * p;
+      for (std::size_t o = o0; o < on; ++o) {
+        const double* brow = b + o * n;
+        double acc = crow[o];
+        for (std::size_t k = 0; k < n; ++k) {
+          acc += arow[k] * brow[k];
+        }
+        crow[o] = acc;
+      }
+    }
+  }
 }
 
 Matrix gram(const Matrix& a) {

@@ -1,7 +1,8 @@
-// Small dense linear algebra: just enough for the closed-form ridge
-// regression baseline (normal equations via Cholesky) and the binary-model
-// calibration fits. Not a general matrix library — matrices here are tiny
-// (n_features × n_features), so clarity beats blocking.
+// Small dense linear algebra: the closed-form ridge regression baseline
+// (normal equations via Cholesky), the binary-model calibration fits, and a
+// portable cache-blocked matmul used by the batched MLP baseline forward
+// pass. This layer cannot depend on hdc/, so the matmuls here are scalar
+// code; the SIMD GEMM lives in hdc/kernel_backend.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +28,7 @@ class Matrix {
   }
 
   [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> mutable_data() noexcept { return data_; }
 
   /// Identity matrix of size n.
   [[nodiscard]] static Matrix identity(std::size_t n);
@@ -39,6 +41,22 @@ class Matrix {
 
 /// y = A·x. Dimension mismatches throw.
 [[nodiscard]] std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// C = A·B with cache blocking over the output columns. Each C(i,j) is
+/// reduced in ascending-k order with separate multiply and add, so the
+/// result is bit-identical to the naive triple loop (blocking only reorders
+/// independent output elements, never a single reduction).
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += A·Bᵀ on flat row-major buffers: for r < m, o < p,
+///   c[r·p + o] += Σ_{k<n} a[r·n + k] · b[o·n + k]
+/// i.e. every row of `b` is dotted (ascending k, mul-then-add) against every
+/// row of `a`, accumulating onto the existing C — so initializing C with a
+/// bias row makes this bit-identical to the per-row "z = bias; z += w·x"
+/// loop. Blocked over rows of `b` so a weight tile stays cached across the
+/// whole batch.
+void matmul_nt_accumulate(const double* a, const double* b, double* c, std::size_t m,
+                          std::size_t n, std::size_t p);
 
 /// C = Aᵀ·A (Gram matrix), the normal-equations left side.
 [[nodiscard]] Matrix gram(const Matrix& a);

@@ -228,6 +228,121 @@ TEST_P(KernelBackendTest, TrigMapMatchesScalarBitExact) {
   EXPECT_EQ(sc_buf, vx_buf);
 }
 
+TEST_P(KernelBackendTest, GemmAccumulateMatchesAxpyChainBitExact) {
+  // gemm_accumulate is contracted to reproduce the per-row axpy chain of the
+  // RFF encoder (ascending k, separate multiply then add) bit-for-bit, on
+  // every backend — cache blocking may only reorder independent outputs,
+  // never a single reduction.
+  const std::size_t n = GetParam();
+  util::Rng rng(0x63E7 + n);
+  constexpr std::size_t kRows = 3;
+  constexpr std::size_t kInner = 5;
+  std::vector<double> a(kRows * kInner);
+  std::vector<double> b(kInner * n);
+  std::vector<double> c0(kRows * n);
+  for (double& x : a) {
+    x = rng.normal(0.0, 1.0);
+  }
+  for (double& x : b) {
+    x = rng.normal(0.0, 1.0);
+  }
+  for (double& x : c0) {
+    x = rng.normal(0.0, 1.0);
+  }
+
+  const KernelBackend& sc = scalar_backend();
+  std::vector<double> ref = c0;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t k = 0; k < kInner; ++k) {
+      sc.add_scaled_real(ref.data() + r * n, b.data() + k * n, a[r * kInner + k], n);
+    }
+  }
+
+  std::vector<double> out = c0;
+  sc.gemm_accumulate(a.data(), kInner, b.data(), n, out.data(), n, kRows, kInner, n);
+  EXPECT_EQ(out, ref);
+
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+  std::vector<double> vx = c0;
+  avx2->gemm_accumulate(a.data(), kInner, b.data(), n, vx.data(), n, kRows, kInner, n);
+  EXPECT_EQ(vx, ref);
+}
+
+TEST_P(KernelBackendTest, DotRowsMatchesPerRowDotExactly) {
+  // Each dot_rows output must be reduced in exactly its backend's
+  // dot_real_real order (the batch-vs-per-row EXPECT_EQ tests in core/ rely
+  // on this), including the odd trailing row of the paired-row AVX2 kernel.
+  const std::size_t n = GetParam();
+  util::Rng rng(0xD075 + n);
+  constexpr std::size_t kRows = 5;  // odd: exercises the unpaired final row
+  std::vector<double> q(n);
+  std::vector<double> bank(kRows * n);
+  for (double& x : q) {
+    x = rng.normal(0.0, 1.0);
+  }
+  for (double& x : bank) {
+    x = rng.normal(0.0, 1.0);
+  }
+
+  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
+  for (const KernelBackend* kb : backends) {
+    if (kb == nullptr) {
+      continue;
+    }
+    std::vector<double> out(kRows);
+    kb->dot_rows(q.data(), bank.data(), n, kRows, n, out.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_EQ(out[r], kb->dot_real_real(bank.data() + r * n, q.data(), n))
+          << kb->name << " row " << r;
+    }
+  }
+
+  if (avx2_backend() == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+}
+
+TEST_P(KernelBackendTest, SignEncodeMatchesSignThenPackBitExact) {
+  // sign_encode fuses RealHV::sign() + BipolarHV::pack(): bipolar −1 iff
+  // v < 0 (so ±0 and NaN map to +1 / set bit) and zero padding bits. Must be
+  // bit-exact on every backend.
+  const std::size_t dim = GetParam();
+  util::Rng rng(0x5167 + dim);
+  RealHV v = random_gaussian(dim, rng);
+  if (dim >= 4) {
+    v[0] = 0.0;
+    v[1] = -0.0;
+    v[2] = std::nan("");
+  }
+  const BipolarHV expected_bipolar = v.sign();
+  const BinaryHV expected_binary = expected_bipolar.pack();
+
+  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
+  for (const KernelBackend* kb : backends) {
+    if (kb == nullptr) {
+      continue;
+    }
+    std::vector<std::int8_t> bipolar(dim, 0);
+    // Poison the word buffer: sign_encode must fully overwrite every word,
+    // including zeroing the padding bits of the final one.
+    std::vector<std::uint64_t> bits((dim + 63) / 64, ~0ULL);
+    kb->sign_encode(v.values().data(), bipolar.data(), bits.data(), dim);
+    EXPECT_TRUE(std::equal(bipolar.begin(), bipolar.end(),
+                           expected_bipolar.values().begin()))
+        << kb->name;
+    EXPECT_TRUE(
+        std::equal(bits.begin(), bits.end(), expected_binary.words().begin()))
+        << kb->name;
+  }
+
+  if (avx2_backend() == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(PackingEdgeCases, KernelBackendTest, ::testing::ValuesIn(kDims),
                          [](const auto& param_info) {
                            return "dim" + std::to_string(param_info.param);

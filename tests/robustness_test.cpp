@@ -78,7 +78,7 @@ double mse_with_query_noise(const Fixture& fx, double noise_std, util::Rng& rng)
   double acc = 0.0;
   for (std::size_t i = 0; i < fx.test.size(); ++i) {
     const hdc::EncodedSample noisy =
-        resample(hdc::gaussian_noise(fx.test.sample(i).real, noise_std, rng));
+        resample(hdc::gaussian_noise(fx.test.sample(i).real.to_owning(), noise_std, rng));
     const double e = fx.model->predict(noisy) - fx.test.target(i);
     acc += e * e;
   }
@@ -114,7 +114,7 @@ TEST_P(BitFlipSweep, BinaryQueryBitFlipsDegradeGracefully) {
 
   double acc = 0.0;
   for (std::size_t i = 0; i < fx.test.size(); ++i) {
-    hdc::EncodedSample corrupted = fx.test.sample(i);
+    hdc::EncodedSample corrupted = fx.test.sample(i).materialize();
     corrupted.binary = hdc::flip_noise(corrupted.binary, flip_rate, rng);
     corrupted.bipolar = corrupted.binary.unpack();
     const double e = fx.model->predict(corrupted) - fx.test.target(i);
