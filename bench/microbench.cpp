@@ -3,17 +3,27 @@
 // numbers: similarity search (cosine vs Hamming), the §3.2 prediction dots,
 // encoding, and end-to-end train/predict steps.
 //
-// Two modes:
-//  * default           — the google-benchmark suite (BM_* below).
-//  * --json[=PATH]     — hand-rolled kernel timing that emits
-//                        BENCH_kernels.json: ns/op and GB/s for every kernel
-//                        in every available backend (scalar, avx2), the
-//                        seed's pre-SIMD reference loops for speedup
-//                        accounting, and end-to-end batch encode+predict
-//                        throughput.
+// Three modes:
+//  * default             — the google-benchmark suite (BM_* below).
+//  * --json[=PATH]       — hand-rolled kernel timing that emits
+//                          BENCH_kernels.json: ns/op and GB/s for every
+//                          kernel in every available backend (scalar, avx2),
+//                          the seed's pre-SIMD reference loops for speedup
+//                          accounting, end-to-end batch encode+predict
+//                          throughput, and train-epoch throughput
+//                          (sequential vs mini-batch).
+//  * --train-json[=PATH] — emits BENCH_train.json: training samples/sec of
+//                          the sequential online trainer vs deterministic
+//                          mini-batches at B ∈ {1, 32, 256} × threads ∈
+//                          {1, 4} on the standard 256×10-feature, k = 8,
+//                          D = 4096 workload.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <numeric>
+#include <span>
 #include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/encoded.hpp"
@@ -305,6 +315,12 @@ int run_kernel_json(const std::string& path) {
   std::vector<double> gemm_c(kGemmRows * kDim, 0.0);
   std::vector<double> bank(2 * kModels * kDim);
   std::vector<double> bank_scores(2 * kModels);
+  std::vector<std::uint64_t> binary_bank(2 * kModels * kWords);
+  std::vector<std::int64_t> binary_scores(2 * kModels);
+  for (std::size_t r = 0; r < 2 * kModels; ++r) {
+    const hdc::BinaryHV row = hdc::random_binary(kDim, rng);
+    std::memcpy(binary_bank.data() + r * kWords, row.words().data(), kWords * 8);
+  }
   std::vector<std::int8_t> sign_bipolar(kDim);
   std::vector<std::uint64_t> sign_bits(kWords);
   for (double& x : gemm_a) {
@@ -417,6 +433,15 @@ int run_kernel_json(const std::string& path) {
     report_backend(kernels["gemm_predict_bank"], b.c_str(),
                    (2.0 * kModels * kDim + kDim) * 8, ns);
 
+    // Binary bank scoring: one packed query against the 2k-row binary bank
+    // (XNOR + popcount per row — the quantized predict_batch scan).
+    ns = time_ns([&] {
+      kb->dot_rows_binary(pba, binary_bank.data(), kWords, 2 * kModels, kDim,
+                          binary_scores.data());
+    });
+    report_backend(kernels["dot_rows_binary"], b.c_str(),
+                   (2.0 * kModels + 1.0) * kWords * 8, ns);
+
     // Fused sign binarization of one encoded row.
     ns = time_ns(
         [&] { kb->sign_encode(pra, sign_bipolar.data(), sign_bits.data(), kDim); });
@@ -511,6 +536,36 @@ int run_kernel_json(const std::string& path) {
   e2e["batched"]["ns_per_row"] = bench::JsonValue::number(e2e_batched_ns / kRows);
   e2e["batched"]["rows_per_s"] = bench::JsonValue::number(1e9 * kRows / e2e_batched_ns);
 
+  // Train-epoch throughput: one pass over the kRows encoded samples,
+  // sequential train_step vs deterministic mini-batches (B = 32, default
+  // thread count). --train-json expands this across B × threads.
+  const core::EncodedDataset enc_train = core::EncodedDataset::from(*encoder, rows);
+  std::vector<std::size_t> train_order(enc_train.size());
+  std::iota(train_order.begin(), train_order.end(), 0);
+  std::vector<double> train_preds(enc_train.size());
+  const double train_seq_ns = time_ns([&] {
+    for (std::size_t i = 0; i < enc_train.size(); ++i) {
+      benchmark::DoNotOptimize(reg.train_step(enc_train.sample(i), enc_train.target(i)));
+    }
+  });
+  const double train_b32_ns = time_ns([&] {
+    for (std::size_t b0 = 0; b0 < train_order.size(); b0 += 32) {
+      const std::size_t bn = std::min(train_order.size(), b0 + 32);
+      reg.train_batch(enc_train,
+                      std::span<const std::size_t>(train_order.data() + b0, bn - b0),
+                      std::span<double>(train_preds.data(), bn - b0));
+    }
+  });
+  bench::JsonValue& tr = root["train_epoch"];
+  tr["rows"] = bench::JsonValue::integer(static_cast<std::int64_t>(enc_train.size()));
+  tr["models"] = bench::JsonValue::integer(static_cast<std::int64_t>(kModels));
+  tr["sequential"]["ns_per_epoch"] = bench::JsonValue::number(train_seq_ns);
+  tr["sequential"]["samples_per_s"] =
+      bench::JsonValue::number(1e9 * static_cast<double>(enc_train.size()) / train_seq_ns);
+  tr["batch32"]["ns_per_epoch"] = bench::JsonValue::number(train_b32_ns);
+  tr["batch32"]["samples_per_s"] =
+      bench::JsonValue::number(1e9 * static_cast<double>(enc_train.size()) / train_b32_ns);
+
   bench::JsonValue& speedups = root["speedups_vs_seed"];
   const std::string active = hdc::active_backend().name;
   const double active_drb_ns =
@@ -519,7 +574,95 @@ int run_kernel_json(const std::string& path) {
   speedups["rff_encode"] = bench::JsonValue::number(seed_encode_ns / encode_ns);
   speedups["encode_predict_end_to_end"] =
       bench::JsonValue::number(e2e_seed_ns / e2e_batched_ns);
+  speedups["train_epoch_batch32"] = bench::JsonValue::number(train_seq_ns / train_b32_ns);
   speedups["active_backend"] = bench::JsonValue::string(active);
+
+  return bench::write_json_file(path, root) ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --train-json mode: fit throughput, sequential vs mini-batches (B × threads)
+// ---------------------------------------------------------------------------
+
+int run_train_json(const std::string& path) {
+  constexpr std::size_t kDim = 4096;
+  constexpr std::size_t kFeatures = 10;
+  constexpr std::size_t kRows = 256;
+  constexpr std::size_t kModels = 8;
+
+  util::Rng rng(0x7E41B);
+  hdc::EncoderConfig ecfg;
+  ecfg.kind = hdc::EncoderKind::kRffProjection;
+  ecfg.input_dim = kFeatures;
+  ecfg.dim = kDim;
+  const auto encoder = hdc::make_encoder(ecfg);
+
+  std::vector<double> flat(kRows * kFeatures);
+  std::vector<double> targets(kRows);
+  for (double& f : flat) {
+    f = rng.normal();
+  }
+  for (std::size_t i = 0; i < kRows; ++i) {
+    targets[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  const data::Dataset rows("train-bench", kFeatures, std::move(flat), std::move(targets));
+  const core::EncodedDataset enc = core::EncodedDataset::from(*encoder, rows);
+
+  core::RegHDConfig rcfg;
+  rcfg.dim = kDim;
+  rcfg.models = kModels;
+  core::MultiModelRegressor reg(rcfg);
+  // Warm the model so no branch trains on an all-zero state.
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    reg.train_step(enc.sample(i), enc.target(i));
+  }
+  reg.requantize();
+
+  std::vector<std::size_t> order(enc.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> preds(enc.size());
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root["active_backend"] = bench::JsonValue::string(hdc::active_backend().name);
+  // Thread rows above the host's core count cannot speed anything up (the
+  // pool oversubscribes one core); record the ceiling so the T-rows of this
+  // file are read against the hardware that produced them.
+  root["host_hardware_concurrency"] = bench::JsonValue::integer(
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  root["rows"] = bench::JsonValue::integer(static_cast<std::int64_t>(kRows));
+  root["features"] = bench::JsonValue::integer(static_cast<std::int64_t>(kFeatures));
+  root["models"] = bench::JsonValue::integer(static_cast<std::int64_t>(kModels));
+  root["dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(kDim));
+
+  const double seq_ns = time_ns([&] {
+    for (std::size_t i = 0; i < enc.size(); ++i) {
+      benchmark::DoNotOptimize(reg.train_step(enc.sample(i), enc.target(i)));
+    }
+  });
+  root["sequential"]["ns_per_epoch"] = bench::JsonValue::number(seq_ns);
+  root["sequential"]["samples_per_s"] =
+      bench::JsonValue::number(1e9 * static_cast<double>(kRows) / seq_ns);
+
+  bench::JsonValue& batched = root["batched"];
+  for (const std::size_t bsize : {std::size_t{1}, std::size_t{32}, std::size_t{256}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const double ns = time_ns([&] {
+        for (std::size_t b0 = 0; b0 < order.size(); b0 += bsize) {
+          const std::size_t bn = std::min(order.size(), b0 + bsize);
+          reg.train_batch(enc, std::span<const std::size_t>(order.data() + b0, bn - b0),
+                          std::span<double>(preds.data(), bn - b0), threads);
+        }
+      });
+      bench::JsonValue& node =
+          batched["B" + std::to_string(bsize) + "_T" + std::to_string(threads)];
+      node["batch"] = bench::JsonValue::integer(static_cast<std::int64_t>(bsize));
+      node["threads"] = bench::JsonValue::integer(static_cast<std::int64_t>(threads));
+      node["ns_per_epoch"] = bench::JsonValue::number(ns);
+      node["samples_per_s"] =
+          bench::JsonValue::number(1e9 * static_cast<double>(kRows) / ns);
+      node["speedup_vs_sequential"] = bench::JsonValue::number(seq_ns / ns);
+    }
+  }
 
   return bench::write_json_file(path, root) ? 0 : 1;
 }
@@ -529,6 +672,11 @@ int run_kernel_json(const std::string& path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--train-json" || arg.rfind("--train-json=", 0) == 0) {
+      const std::string path =
+          arg.size() > 13 ? arg.substr(13) : std::string("BENCH_train.json");
+      return run_train_json(path);
+    }
     if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       const std::string path =
           arg.size() > 7 ? arg.substr(7) : std::string("BENCH_kernels.json");

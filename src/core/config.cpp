@@ -72,6 +72,7 @@ void RegHDConfig::validate() const {
   REGHD_CHECK(softmax_temperature > 0.0, "softmax temperature must be positive");
   REGHD_CHECK(error_clip >= 0.0, "error_clip must be non-negative (0 disables)");
   // requantize_interval: any value is valid (0 = per-epoch).
+  // batch_size: any value is valid (0 = online, B ≥ 1 = batch-frozen).
 }
 
 }  // namespace reghd::core

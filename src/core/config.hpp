@@ -143,6 +143,17 @@ struct RegHDConfig {
   /// (costed in perf/kernel_costs as cost_binarize per refresh).
   std::size_t requantize_interval = 0;
 
+  /// Mini-batch size for iterative fit(). 0 trains strictly online (the
+  /// paper's sample-by-sample Eqs. 5–8, the historical default); B ≥ 1
+  /// trains in deterministic batch-frozen mini-batches: each epoch splits
+  /// the shuffled order into runs of B samples, the per-sample similarities,
+  /// confidences, predictions and update coefficients are computed in
+  /// parallel against the batch-start state, and the Eq. 7/8 accumulator
+  /// updates are applied serially in sample order. Results depend only on B
+  /// (never on thread count), and B = 1 is bit-identical to 0. Unlike
+  /// `threads`, this is part of the learning semantics.
+  std::size_t batch_size = 0;
+
   std::uint64_t seed = 0x52E6D5EEDULL;
 
   /// Worker threads for the batch encode/predict paths; 0 defers to the

@@ -71,6 +71,16 @@ class EncodedDataset {
   [[nodiscard]] std::span<const double> real_plane() const noexcept {
     return {real_.data(), real_.size()};
   }
+  /// Dense ±1 bipolar plane (dim doubles-worth of int8 per row) for the
+  /// binary-query update slices of the mini-batch trainer.
+  [[nodiscard]] std::span<const std::int8_t> bipolar_plane() const noexcept {
+    return {bipolar_.data(), bipolar_.size()};
+  }
+  /// Packed bit plane (words_per_row() words per row) for the popcount bank
+  /// kernels; padding bits of each row's final word are zero.
+  [[nodiscard]] std::span<const std::uint64_t> binary_plane() const noexcept {
+    return {binary_.data(), binary_.size()};
+  }
   [[nodiscard]] std::span<const double> norms() const noexcept { return norm_; }
   [[nodiscard]] std::span<const double> norms2() const noexcept { return norm2_; }
 

@@ -44,9 +44,15 @@ void MultiModelRegressor::reset() {
 
 std::vector<double> MultiModelRegressor::similarities(
     const hdc::EncodedSampleView& sample) const {
+  std::vector<double> sims(clusters_.size());
+  similarities_into(sample, sims);
+  return sims;
+}
+
+void MultiModelRegressor::similarities_into(const hdc::EncodedSampleView& sample,
+                                            std::span<double> sims) const {
   REGHD_CHECK(sample.real.dim() == config_.dim,
               "sample dim " << sample.real.dim() << " != configured dim " << config_.dim);
-  std::vector<double> sims(clusters_.size());
   switch (config_.cluster_mode) {
     case ClusterMode::kFullPrecision: {
       // Eq. 5 cosine over the integer centers, query at its configured
@@ -75,7 +81,6 @@ std::vector<double> MultiModelRegressor::similarities(
       break;
     }
   }
-  return sims;
 }
 
 std::size_t MultiModelRegressor::assign_cluster(const hdc::EncodedSampleView& sample) const {
@@ -85,6 +90,11 @@ std::size_t MultiModelRegressor::assign_cluster(const hdc::EncodedSampleView& sa
 }
 
 std::vector<double> MultiModelRegressor::confidences_from(std::vector<double> sims) const {
+  confidences_into(sims);
+  return sims;
+}
+
+void MultiModelRegressor::confidences_into(std::span<double> sims) const {
   if (config_.normalize_similarities && sims.size() > 1) {
     double mean = 0.0;
     for (const double s : sims) {
@@ -102,7 +112,6 @@ std::vector<double> MultiModelRegressor::confidences_from(std::vector<double> si
     }
   }
   util::softmax_inplace(sims, config_.softmax_temperature);
-  return sims;
 }
 
 double MultiModelRegressor::predict(const hdc::EncodedSampleView& sample) const {
@@ -192,6 +201,78 @@ std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dat
         use_threads);
     return out;
   }
+  if ((config_.cluster_mode == ClusterMode::kQuantized ||
+       config_.cluster_mode == ClusterMode::kNaiveBinary) &&
+      mode.query == QueryPrecision::kBinary && !dataset.empty() &&
+      dataset.dim() == config_.dim) {
+    // Quantized bank scan (§3.1 + §3.2): the Hamming similarities of every
+    // query against all cluster snapshots come from one dot_rows_binary
+    // popcount sweep over a contiguous packed bank; with a binary model the
+    // k model snapshots ride in the same bank, making the whole Eq. 5/6
+    // pipeline XNOR+popcount. The integer bipolar dots are exact, and the
+    // float arithmetic below replays hamming_similarity / predict_dot /
+    // predict() operation-for-operation, so out[i] is bit-identical to
+    // predict(sample(i)).
+    const hdc::KernelBackend& kb = hdc::active_backend();
+    const std::size_t d = config_.dim;
+    const double dd = static_cast<double>(d);
+    const std::size_t words = dataset.words_per_row();
+    const std::size_t k_c = clusters_.size();
+    const std::size_t k_m = models_.size();
+    const bool bank_models = mode.model == ModelPrecision::kBinary;
+    const std::size_t bank_rows = k_c + (bank_models ? k_m : 0);
+    util::AlignedVector<std::uint64_t> bank(bank_rows * words);
+    for (std::size_t c = 0; c < k_c; ++c) {
+      std::memcpy(bank.data() + c * words, clusters_[c].binary.words().data(),
+                  words * sizeof(std::uint64_t));
+    }
+    if (bank_models) {
+      for (std::size_t m = 0; m < k_m; ++m) {
+        std::memcpy(bank.data() + (k_c + m) * words, models_[m].binary.words().data(),
+                    words * sizeof(std::uint64_t));
+      }
+    }
+    const std::uint64_t* bits = dataset.binary_plane().data();
+    constexpr std::size_t kChunk = 64;
+    const std::size_t chunks = (dataset.size() + kChunk - 1) / kChunk;
+    util::parallel_for(
+        chunks,
+        [&](std::size_t chunk) {
+          const std::size_t r0 = chunk * kChunk;
+          const std::size_t rn = std::min(dataset.size(), r0 + kChunk);
+          std::vector<std::int64_t> scores(bank_rows);
+          std::vector<double> sims(k_c);
+          for (std::size_t i = r0; i < rn; ++i) {
+            kb.dot_rows_binary(bits + i * words, bank.data(), words, bank_rows, d,
+                               scores.data());
+            for (std::size_t c = 0; c < k_c; ++c) {
+              // hamming_similarity replayed from the exact integer distance
+              // h = (d − dot) / 2.
+              const auto h = static_cast<double>(
+                  (static_cast<std::int64_t>(d) - scores[c]) / 2);
+              sims[c] = 1.0 - 2.0 * h / dd;
+            }
+            const std::vector<double> conf = confidences_from(sims);
+            double y = 0.0;
+            if (bank_models) {
+              for (std::size_t m = 0; m < k_m; ++m) {
+                y += conf[m] *
+                     (models_[m].gamma * static_cast<double>(scores[k_c + m]) / dd);
+              }
+            } else {
+              // Integer or ternary model term: not a popcount bank shape;
+              // reuse the per-sample kernel (still banked sims above).
+              const hdc::EncodedSampleView s = dataset.sample(i);
+              for (std::size_t m = 0; m < k_m; ++m) {
+                y += conf[m] * predict_dot(models_[m], s, mode);
+              }
+            }
+            out[i] = y;
+          }
+        },
+        use_threads);
+    return out;
+  }
   util::parallel_for(
       dataset.size(), [&](std::size_t i) { out[i] = predict(dataset.sample(i)); },
       use_threads);
@@ -212,8 +293,14 @@ double MultiModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
 }
 
 double MultiModelRegressor::train_step(const hdc::EncodedSampleView& sample, double target) {
-  const auto sims = similarities(sample);
-  const auto conf = confidences_from(sims);
+  // Member scratch instead of per-call vectors: train_step runs once per
+  // sample per epoch, and the two allocations dominated its fixed cost.
+  step_sims_.resize(clusters_.size());
+  similarities_into(sample, step_sims_);
+  step_conf_.assign(step_sims_.begin(), step_sims_.end());
+  confidences_into(step_conf_);
+  const std::vector<double>& sims = step_sims_;
+  const std::vector<double>& conf = step_conf_;
   // The training error is always measured against the integer models being
   // updated (paper §3.2: binary snapshots are regenerated from the integer
   // model per epoch/batch; computing the error from an epoch-frozen snapshot
@@ -272,6 +359,235 @@ double MultiModelRegressor::train_step(const hdc::EncodedSampleView& sample, dou
     }
   }
   return prediction;
+}
+
+void MultiModelRegressor::train_batch(const EncodedDataset& data,
+                                      std::span<const std::size_t> indices,
+                                      std::span<double> predictions, std::size_t threads) {
+  REGHD_CHECK(predictions.size() == indices.size(),
+              "train_batch needs one prediction slot per index, got "
+                  << predictions.size() << " for " << indices.size());
+  if (indices.empty()) {
+    return;
+  }
+  REGHD_CHECK(data.dim() == config_.dim,
+              "batch data dim " << data.dim() << " != configured dim " << config_.dim);
+  const std::size_t b = indices.size();
+  const std::size_t k = models_.size();
+  const std::size_t use_threads = threads != 0 ? threads : config_.threads;
+  const double dd = static_cast<double>(config_.dim);
+  const bool confidence_weighted = config_.update_rule == UpdateRule::kConfidenceWeighted;
+  const PredictionMode train_mode{config_.query_precision, ModelPrecision::kReal};
+
+  batch_sims_.resize(b * k);
+  batch_conf_.resize(b * k);
+  batch_weight_.resize(b);
+  batch_winner_.resize(b);
+  if (confidence_weighted) {
+    batch_coeff_.resize(b * k);
+  } else {
+    batch_wcoeff_.resize(b);
+  }
+
+  // Finishes one sample's phase-1 work from its filled sims/conf rows and
+  // Eq. 6 prediction: error, winner, Eq. 7 coefficients, Eq. 8 weight. Every
+  // store lands in sample j's own scratch slots, so phase 1 is deterministic
+  // for any thread count. The arithmetic replays train_step's operation
+  // sequence exactly — a one-sample batch is bit-identical to train_step.
+  const auto finish_sample = [&](std::size_t j, double prediction) {
+    const std::size_t row = indices[j];
+    predictions[j] = prediction;
+    double error = data.target(row) - prediction;
+    if (config_.error_clip > 0.0) {
+      error = std::clamp(error, -config_.error_clip, config_.error_clip);
+    }
+    const double* sims = batch_sims_.data() + j * k;
+    const double* conf = batch_conf_.data() + j * k;
+    const auto winner =
+        static_cast<std::size_t>(std::distance(sims, std::max_element(sims, sims + k)));
+    batch_winner_[j] = winner;
+    const double normalizer = update_normalizer(data.sample(row), config_.query_precision);
+    if (confidence_weighted) {
+      double conf_sq = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        conf_sq += conf[i] * conf[i];
+      }
+      const double mix_norm = conf_sq > 0.0 ? 1.0 / conf_sq : 0.0;
+      double* coeff = batch_coeff_.data() + j * k;
+      for (std::size_t i = 0; i < k; ++i) {
+        coeff[i] = config_.learning_rate * error * conf[i] * normalizer * mix_norm;
+      }
+    } else {
+      batch_wcoeff_[j] = config_.learning_rate * error * normalizer;
+    }
+    batch_weight_[j] = 1.0 - sims[winner];
+  };
+
+  // Phase 1 — per-sample Eq. 5/6 quantities against the entry (batch-start)
+  // state, parallel over samples. The bank fast path pays a 2k·D bank copy
+  // per call, which only amortizes once a few samples share it; tiny batches
+  // (B = 1 above all) take the per-sample kernels directly. Both branches
+  // are bit-identical, so the constant threshold only moves cost around.
+  constexpr std::size_t kBankMinBatch = 8;
+  if (config_.cluster_mode == ClusterMode::kFullPrecision &&
+      config_.query_precision == QueryPrecision::kReal && b >= kBankMinBatch) {
+    // Bank fast path (the default training configuration): one dot_rows
+    // sweep of each sample row against a contiguous batch-start bank of the
+    // k cluster + k model accumulators. dot_rows reduces each bank row in
+    // the operand order of raw_query_dot / predict_dot, so the sims and
+    // model dots are bit-identical to the per-sample kernel calls.
+    const hdc::KernelBackend& kb = hdc::active_backend();
+    const std::size_t d = config_.dim;
+    batch_bank_.resize(2 * k * d);
+    batch_cnorm_.resize(k);
+    std::vector<double>& cluster_norm = batch_cnorm_;
+    for (std::size_t c = 0; c < k; ++c) {
+      std::memcpy(batch_bank_.data() + c * d, clusters_[c].accumulator.values().data(),
+                  d * sizeof(double));
+      cluster_norm[c] = std::sqrt(clusters_[c].norm2);
+    }
+    for (std::size_t m = 0; m < k; ++m) {
+      std::memcpy(batch_bank_.data() + (k + m) * d, models_[m].accumulator.values().data(),
+                  d * sizeof(double));
+    }
+    batch_scores_.resize(b * 2 * k);
+    const double* rows = data.real_plane().data();
+    util::parallel_for(
+        b,
+        [&](std::size_t j) {
+          const std::size_t row = indices[j];
+          double* scores = batch_scores_.data() + j * 2 * k;
+          kb.dot_rows(rows + row * d, batch_bank_.data(), d, 2 * k, d, scores);
+          const double qn = std::sqrt(data.norms2()[row]);
+          double* sims = batch_sims_.data() + j * k;
+          for (std::size_t c = 0; c < k; ++c) {
+            sims[c] = (cluster_norm[c] == 0.0 || qn == 0.0)
+                          ? 0.0
+                          : scores[c] / (cluster_norm[c] * qn);
+          }
+          double* conf = batch_conf_.data() + j * k;
+          std::copy(sims, sims + k, conf);
+          confidences_into(std::span<double>(conf, k));
+          double prediction = 0.0;
+          for (std::size_t m = 0; m < k; ++m) {
+            prediction += conf[m] * (scores[k + m] / dd);
+          }
+          finish_sample(j, prediction);
+        },
+        use_threads);
+  } else {
+    // Generic phase 1 (quantized/naive clusters or binary queries): the
+    // per-sample kernels of train_step, parallel over samples.
+    util::parallel_for(
+        b,
+        [&](std::size_t j) {
+          const hdc::EncodedSampleView s = data.sample(indices[j]);
+          double* sims = batch_sims_.data() + j * k;
+          similarities_into(s, std::span<double>(sims, k));
+          double* conf = batch_conf_.data() + j * k;
+          std::copy(sims, sims + k, conf);
+          confidences_into(std::span<double>(conf, k));
+          double prediction = 0.0;
+          for (std::size_t i = 0; i < k; ++i) {
+            prediction += conf[i] * predict_dot(models_[i], s, train_mode);
+          }
+          finish_sample(j, prediction);
+        },
+        use_threads);
+  }
+
+  // Phase 2a — Eq. 7 model updates, dimension-sliced across workers. Per
+  // accumulator component the coefficients chain in ascending list order j,
+  // exactly as a serial sample-order replay, and slicing cannot perturb that:
+  // add_scaled_real rounds every component as an independent mul-then-add and
+  // add_scaled_bipolar adds an exact ±coeff, so a component's value never
+  // depends on which slice (or thread) computed it. Looping j outer / model
+  // inner keeps each sample's row slice hot across the k model updates and
+  // streams the encoded plane exactly once per batch — the per-model-chain
+  // alternative re-reads it k times over, which made the first cut of this
+  // path slower than the sequential trainer it was meant to beat.
+  {
+    const hdc::KernelBackend& kb = hdc::active_backend();
+    const std::size_t d = config_.dim;
+    const bool real_updates = config_.query_precision == QueryPrecision::kReal;
+    const double* real_rows = data.real_plane().data();
+    const std::int8_t* bipolar_rows = data.bipolar_plane().data();
+    const std::size_t workers =
+        use_threads != 0 ? use_threads : util::default_thread_count();
+    // Cache-line-aligned slice boundaries; boundary placement is free to vary
+    // with the worker count because component rounding is position-blind.
+    const std::size_t slices = std::min(std::max<std::size_t>(workers, 1),
+                                        std::max<std::size_t>(d / 8, 1));
+    const std::size_t chunk = (((d + slices - 1) / slices) + 7) & ~std::size_t{7};
+    util::parallel_for(
+        slices,
+        [&](std::size_t s) {
+          const std::size_t d0 = std::min(d, s * chunk);
+          const std::size_t d1 = std::min(d, d0 + chunk);
+          if (d0 >= d1) {
+            return;
+          }
+          const std::size_t len = d1 - d0;
+          for (std::size_t j = 0; j < b; ++j) {
+            const std::size_t row = indices[j];
+            if (confidence_weighted) {
+              const double* coeff = batch_coeff_.data() + j * k;
+              for (std::size_t m = 0; m < k; ++m) {
+                if (coeff[m] == 0.0) {
+                  continue;  // train_step's skip: keep −0 components intact
+                }
+                double* acc = models_[m].accumulator.values().data() + d0;
+                if (real_updates) {
+                  kb.add_scaled_real(acc, real_rows + row * d + d0, coeff[m], len);
+                } else {
+                  kb.add_scaled_bipolar(acc, bipolar_rows + row * d + d0, coeff[m], len);
+                }
+              }
+            } else {
+              double* acc = models_[batch_winner_[j]].accumulator.values().data() + d0;
+              if (real_updates) {
+                kb.add_scaled_real(acc, real_rows + row * d + d0, batch_wcoeff_[j], len);
+              } else {
+                kb.add_scaled_bipolar(acc, bipolar_rows + row * d + d0, batch_wcoeff_[j],
+                                      len);
+              }
+            }
+          }
+        },
+        use_threads);
+  }
+
+  // Phase 2b — Eq. 8 cluster updates as k independent chains (a sample only
+  // updates its winner, so each chain streams just its own samples). The
+  // incremental-norm dot needs the whole accumulator at application time,
+  // which is why this phase cannot dimension-slice like 2a; within a chain
+  // the float accumulation order is the sample order, independent of thread
+  // count.
+  if (config_.cluster_mode != ClusterMode::kNaiveBinary) {
+    util::parallel_for(
+        k,
+        [&](std::size_t c_idx) {
+          ClusterCenter& c = clusters_[c_idx];
+          for (std::size_t j = 0; j < b; ++j) {
+            if (batch_winner_[j] != c_idx) {
+              continue;
+            }
+            const double weight = batch_weight_[j];
+            if (weight == 0.0) {
+              continue;
+            }
+            // Same incremental-norm bookkeeping as train_step; the dot runs
+            // against the accumulator with this cluster's earlier in-batch
+            // updates applied, exactly as a serial sample-order replay would.
+            const hdc::EncodedSampleView s = data.sample(indices[j]);
+            const double dot_cs = hdc::dot(c.accumulator, s.real);
+            hdc::add_scaled(c.accumulator, s.real, weight);
+            c.norm2 += 2.0 * weight * dot_cs + weight * weight * s.real_norm2;
+            c.norm2 = std::max(c.norm2, 0.0);
+          }
+        },
+        use_threads);
+  }
 }
 
 void MultiModelRegressor::sparsify(double fraction) {
@@ -395,19 +711,49 @@ TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
   std::vector<ClusterCenter> best_clusters = clusters_;
   double best_val = std::numeric_limits<double>::infinity();
 
+  std::vector<double> batch_predictions;
   for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
     rng.shuffle(order);
     double online_sq_err = 0.0;
     std::size_t since_requantize = 0;
-    for (const std::size_t i : order) {
-      const hdc::EncodedSampleView s = train.sample(i);
-      const double y = train.target(i);
-      const double before = train_step(s, y);  // returns the pre-update prediction
-      online_sq_err += (y - before) * (y - before);
-      if (config_.requantize_interval > 0 &&
-          ++since_requantize >= config_.requantize_interval) {
-        requantize();
-        since_requantize = 0;
+    if (config_.batch_size == 0) {
+      for (const std::size_t i : order) {
+        const hdc::EncodedSampleView s = train.sample(i);
+        const double y = train.target(i);
+        const double before = train_step(s, y);  // returns the pre-update prediction
+        online_sq_err += (y - before) * (y - before);
+        if (config_.requantize_interval > 0 &&
+            ++since_requantize >= config_.requantize_interval) {
+          requantize();
+          since_requantize = 0;
+        }
+      }
+    } else {
+      // Batch-frozen mini-batches over the same shuffled order. The
+      // per-sample loop above checks the requantize counter after every
+      // sample; here the counter advances a whole batch at a time, which
+      // coincides exactly at B = 1 (the tested bit-identity anchor).
+      const std::size_t bsize = config_.batch_size;
+      batch_predictions.resize(std::min(bsize, order.size()));
+      std::size_t batch = 0;
+      for (std::size_t b0 = 0; b0 < order.size(); b0 += bsize, ++batch) {
+        const std::size_t bn = std::min(order.size(), b0 + bsize);
+        const std::span<const std::size_t> idx(order.data() + b0, bn - b0);
+        train_batch(train, idx, std::span<double>(batch_predictions.data(), idx.size()));
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          const double y = train.target(idx[j]);
+          const double before = batch_predictions[j];
+          online_sq_err += (y - before) * (y - before);
+        }
+        since_requantize += idx.size();
+        if (config_.requantize_interval > 0 &&
+            since_requantize >= config_.requantize_interval) {
+          requantize();
+          since_requantize = 0;
+        }
+        if (hooks != nullptr && hooks->on_batch) {
+          hooks->on_batch(epoch, batch, bn);
+        }
       }
     }
     requantize();

@@ -21,12 +21,14 @@
 // Prediction (Eq. 6) runs steps 1–3 with the configured §3.2 kernel.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/encoded.hpp"
 #include "core/kernels.hpp"
 #include "core/training.hpp"
+#include "util/aligned.hpp"
 #include "util/random.hpp"
 
 namespace reghd::core {
@@ -67,6 +69,19 @@ class MultiModelRegressor {
   /// One online training step (used by fit and by the streaming example).
   /// Returns the pre-update prediction for the sample.
   double train_step(const hdc::EncodedSampleView& sample, double target);
+
+  /// One deterministic batch-frozen mini-batch step (the batch_size ≥ 1
+  /// semantics of fit, also driven directly by OnlineRegHD::update_batch):
+  /// the Eq. 5 similarities, confidences, Eq. 6 predictions, errors and
+  /// update coefficients of every listed sample are computed in parallel
+  /// against the entry state, then the Eq. 7/8 accumulator updates are
+  /// applied serially in ascending list order (per accumulator; distinct
+  /// accumulators are independent). predictions[j] receives the pre-update
+  /// batch-frozen prediction of data.sample(indices[j]). Results depend only
+  /// on the index list, never on `threads` (0 = config.threads); a
+  /// single-index call is bit-identical to train_step.
+  void train_batch(const EncodedDataset& data, std::span<const std::size_t> indices,
+                   std::span<double> predictions, std::size_t threads = 0);
 
   /// End-of-epoch snapshot refresh; called automatically inside fit().
   void requantize();
@@ -121,6 +136,14 @@ class MultiModelRegressor {
   /// Softmax over the similarity vector at the configured temperature.
   [[nodiscard]] std::vector<double> confidences_from(std::vector<double> sims) const;
 
+  /// Eq. 5 similarities written into a caller-owned buffer of size k (the
+  /// allocation-free core of similarities(); thread-safe).
+  void similarities_into(const hdc::EncodedSampleView& sample, std::span<double> sims) const;
+
+  /// In-place similarities → confidences transform (z-score + softmax); the
+  /// allocation-free core of confidences_from(). Thread-safe.
+  void confidences_into(std::span<double> sims) const;
+
   /// Farthest-point cluster seeding from the training data (ClusterInit::
   /// kFarthestPoint).
   void init_clusters_from_samples(const EncodedDataset& train);
@@ -128,6 +151,25 @@ class MultiModelRegressor {
   RegHDConfig config_;
   std::vector<RegressionModel> models_;
   std::vector<ClusterCenter> clusters_;
+
+  // Reusable train_step scratch, hoisted out of the per-sample hot loop
+  // (similarities()/confidences_from() used to allocate per call). predict()
+  // stays allocating: it is const and must remain safe to call concurrently
+  // from predict_batch's per-row fallback.
+  std::vector<double> step_sims_;
+  std::vector<double> step_conf_;
+
+  // train_batch phase-1 scratch, reused across batches of an epoch. Laid out
+  // per batch sample j: sims/conf/coeff rows of k, scalar winner/weight.
+  util::AlignedVector<double> batch_bank_;  ///< batch-start cluster+model bank.
+  std::vector<double> batch_cnorm_;         ///< batch-start cluster norms √‖C‖².
+  std::vector<double> batch_scores_;
+  std::vector<double> batch_sims_;
+  std::vector<double> batch_conf_;
+  std::vector<double> batch_coeff_;   ///< per-model coefficients (confidence-weighted).
+  std::vector<double> batch_wcoeff_;  ///< winner coefficient (winner-only rule).
+  std::vector<double> batch_weight_;  ///< Eq. 8 cluster weight 1 − δ_winner.
+  std::vector<std::size_t> batch_winner_;
 };
 
 }  // namespace reghd::core

@@ -1,6 +1,7 @@
 #include "core/online.hpp"
 
 #include <cmath>
+#include <numeric>
 
 #include "util/check.hpp"
 
@@ -98,6 +99,73 @@ double OnlineRegHD::update(std::span<const double> features, double target) {
     since_requantize_ = 0;
   }
   return prediction;
+}
+
+std::vector<double> OnlineRegHD::update_batch(std::span<const double> features_flat,
+                                              std::span<const double> targets) {
+  const std::size_t nf = feature_stats_.size();
+  REGHD_CHECK(features_flat.size() == targets.size() * nf,
+              "feature block has " << features_flat.size() << " values, expected "
+                                   << targets.size() << " readings x " << nf << " features");
+  const std::size_t n = targets.size();
+  std::vector<double> predictions(n);
+  if (n == 0) {
+    return predictions;
+  }
+
+  // 1) Block-frozen prequential predictions: every reading is scored against
+  //    the model, statistics and warmup state at block entry, before any
+  //    label in the block is consumed.
+  for (std::size_t j = 0; j < n; ++j) {
+    predictions[j] = predict(features_flat.subspan(j * nf, nf));
+  }
+
+  // 2) Consume the labels in reading order: statistics and warmup accounting
+  //    advance exactly as n update() calls would.
+  std::vector<std::size_t> trained;  // readings past warmup, trained below
+  trained.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (config_.adaptive_scaling) {
+      const std::span<const double> f = features_flat.subspan(j * nf, nf);
+      for (std::size_t k = 0; k < nf; ++k) {
+        feature_stats_[k].add(f[k]);
+      }
+      target_stats_.add(targets[j]);
+    }
+    ++seen_;
+    if (config_.adaptive_scaling && seen_ <= config_.warmup) {
+      continue;  // still warming up; no model update for this reading
+    }
+    trained.push_back(j);
+  }
+  if (trained.empty()) {
+    return predictions;
+  }
+
+  // 3) Decay once per trained reading (the same total forgetting as the
+  //    sequential protocol), encode the trained readings with the post-block
+  //    statistics, and train them as one batch-frozen mini-batch.
+  if (config_.decay < 1.0) {
+    for (std::size_t t = 0; t < trained.size(); ++t) {
+      model_->decay_models(config_.decay);
+    }
+  }
+  EncodedDataset block;
+  for (const std::size_t j : trained) {
+    block.add(encode(features_flat.subspan(j * nf, nf)), scale_target(targets[j]));
+  }
+  std::vector<std::size_t> idx(block.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<double> frozen(block.size());
+  model_->train_batch(block, idx, frozen);
+  if (config_.requantize_every > 0) {
+    since_requantize_ += trained.size();
+    if (since_requantize_ >= config_.requantize_every) {
+      model_->requantize();
+      since_requantize_ = 0;
+    }
+  }
+  return predictions;
 }
 
 }  // namespace reghd::core

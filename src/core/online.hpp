@@ -57,6 +57,17 @@ class OnlineRegHD {
   /// protocol.
   double update(std::span<const double> features, double target);
 
+  /// Predict-then-train on a block of labelled readings (row-major
+  /// num_readings × num_features). Block-frozen prequential semantics: every
+  /// returned prediction is made against the model and statistics at block
+  /// entry; the labels are then consumed in reading order (statistics,
+  /// warmup accounting) and the post-warmup readings are trained as one
+  /// deterministic mini-batch (MultiModelRegressor::train_batch) with decay
+  /// applied once per trained reading. Results never depend on thread count,
+  /// and a one-reading block is bit-identical to update().
+  std::vector<double> update_batch(std::span<const double> features_flat,
+                                   std::span<const double> targets);
+
   /// Prediction only (original units).
   [[nodiscard]] double predict(std::span<const double> features) const;
 

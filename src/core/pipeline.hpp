@@ -50,12 +50,15 @@ class RegHDPipeline final : public model::Regressor {
   [[nodiscard]] std::string name() const override;
 
   /// Fits scalers, builds the encoder, encodes, and trains the multi-model
-  /// regressor with an internal train/validation split.
+  /// regressor with an internal train/validation split. With
+  /// config.reghd.batch_size ≥ 1 the regressor trains in deterministic
+  /// batch-frozen mini-batches (parallel across config.reghd.threads
+  /// workers; results depend only on the batch size, never on threads).
   void fit(const data::Dataset& train) override;
 
-  /// fit() with periodic-checkpoint hooks threaded into the epoch loop
-  /// (TrainingHooks). The pipeline is observable (fitted, serializable)
-  /// from inside the callbacks.
+  /// fit() with periodic-checkpoint and per-mini-batch hooks threaded into
+  /// the epoch loop (TrainingHooks). The pipeline is observable (fitted,
+  /// serializable) from inside the callbacks.
   void fit(const data::Dataset& train, const TrainingHooks& hooks);
 
   [[nodiscard]] double predict(std::span<const double> features) const override;

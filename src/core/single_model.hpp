@@ -10,6 +10,8 @@
 // motivates MultiModelRegressor.
 #pragma once
 
+#include <span>
+
 #include "core/config.hpp"
 #include "core/encoded.hpp"
 #include "core/kernels.hpp"
@@ -25,12 +27,25 @@ class SingleModelRegressor {
   explicit SingleModelRegressor(const RegHDConfig& config);
 
   /// Iterative training (paper's "iterative learning") with early stopping
-  /// on `val`. Resets the model first.
-  TrainingReport fit(const EncodedDataset& train, const EncodedDataset& val);
+  /// on `val`. Resets the model first. With config.batch_size ≥ 1 each epoch
+  /// trains in deterministic batch-frozen mini-batches via train_batch and
+  /// `hooks->on_batch` fires after every applied batch.
+  TrainingReport fit(const EncodedDataset& train, const EncodedDataset& val,
+                     const TrainingHooks* hooks = nullptr);
 
   /// One single-pass online step (encode-train-discard); exposed for the
   /// streaming example and the single-pass-vs-iterative experiment.
   void train_step(const hdc::EncodedSampleView& sample, double target);
+
+  /// One deterministic batch-frozen mini-batch step: Eq. 2 predictions of
+  /// every listed sample are computed in parallel against the entry model,
+  /// then the updates are applied serially in ascending list order.
+  /// predictions[j] receives the pre-update prediction of
+  /// data.sample(indices[j]). Results depend only on the index list, never
+  /// on `threads` (0 = config.threads); a single-index call is bit-identical
+  /// to train_step.
+  void train_batch(const EncodedDataset& data, std::span<const std::size_t> indices,
+                   std::span<double> predictions, std::size_t threads = 0);
 
   /// ŷ = (1/D)·M·S at the configured prediction precision.
   [[nodiscard]] double predict(const hdc::EncodedSampleView& sample) const;
@@ -57,6 +72,9 @@ class SingleModelRegressor {
  private:
   RegHDConfig config_;
   RegressionModel model_;
+
+  // train_batch phase-2 coefficient scratch, reused across batches.
+  std::vector<double> batch_coeff_;
 };
 
 }  // namespace reghd::core

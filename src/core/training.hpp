@@ -28,6 +28,13 @@ struct EpochRecord {
 struct TrainingHooks {
   std::size_t checkpoint_every = 0;  ///< In epochs; 0 disables.
   std::function<void(std::size_t epoch)> on_checkpoint;
+
+  /// Fires after each applied mini-batch when fit() runs with
+  /// config.batch_size ≥ 1 (never in the online batch_size = 0 mode):
+  /// zero-based epoch and batch index, plus the number of samples applied so
+  /// far this epoch. The model holds exactly the post-batch state during the
+  /// call, so a checkpoint taken here resumes bit-identically.
+  std::function<void(std::size_t epoch, std::size_t batch, std::size_t samples_done)> on_batch;
 };
 
 /// Result of an iterative fit.

@@ -196,6 +196,16 @@ void scalar_dot_rows(const double* q, const double* rows, std::size_t ld,
   }
 }
 
+void scalar_dot_rows_binary(const std::uint64_t* q, const std::uint64_t* rows,
+                            std::size_t ld, std::size_t num_rows, std::size_t n,
+                            std::int64_t* out) {
+  const std::size_t words = (n + 63) / 64;
+  const auto nn = static_cast<std::int64_t>(n);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = nn - 2 * scalar_hamming(rows + r * ld, q, words);
+  }
+}
+
 void scalar_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
                         std::size_t n) {
   const std::size_t words = (n + 63) / 64;
@@ -228,6 +238,7 @@ constexpr KernelBackend kScalarBackend{
     scalar_rff_trig_map,
     scalar_gemm_accumulate,
     scalar_dot_rows,
+    scalar_dot_rows_binary,
     scalar_sign_encode,
 };
 

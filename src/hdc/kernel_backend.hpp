@@ -85,6 +85,17 @@ struct KernelBackend {
   /// share the q loads, which is what makes the k-model bank scan cheap.
   void (*dot_rows)(const double* q, const double* rows, std::size_t ld,
                    std::size_t num_rows, std::size_t n, double* out);
+  /// Packed-bank bipolar scoring: out[r] = n − 2·popcount(q XOR rows[r·ld…])
+  /// for r < num_rows — the XNOR+popcount bipolar dot of a packed binary
+  /// query against each row of a contiguous bit-packed bank. `ld` counts
+  /// 64-bit words per bank row; the word count per row is ⌈n/64⌉. Padding
+  /// bits are zero on both sides (the BinaryHV invariant), so XOR leaves
+  /// them zero and whole-word popcounts need no masking. Integer-exact and
+  /// therefore bit-identical across backends and to per-row
+  /// hamming/bipolar_dot chains (d = n − 2·h).
+  void (*dot_rows_binary)(const std::uint64_t* q, const std::uint64_t* rows,
+                          std::size_t ld, std::size_t num_rows, std::size_t n,
+                          std::int64_t* out);
   /// Fused sign binarization of one encoded row:
   ///   bipolar[i] = (v[i] < 0) ? −1 : +1,  bit i of `bits` = !(v[i] < 0)
   /// (NaN maps to +1 / bit set, matching RealHV::sign() followed by

@@ -500,6 +500,41 @@ void avx2_dot_rows(const double* q, const double* rows, std::size_t ld,
   }
 }
 
+void avx2_dot_rows_binary(const std::uint64_t* q, const std::uint64_t* rows,
+                          std::size_t ld, std::size_t num_rows, std::size_t n,
+                          std::int64_t* out) {
+  // Row pairs share every q-word load; each row keeps two independent POPCNT
+  // counters (one word per cycle, latency hidden like avx2_hamming). The
+  // result is an integer, so pairing changes nothing about the value —
+  // bit-identical to per-row n − 2·hamming.
+  const std::size_t words = (n + 63) / 64;
+  const auto nn = static_cast<std::int64_t>(n);
+  std::size_t r = 0;
+  for (; r + 2 <= num_rows; r += 2) {
+    const std::uint64_t* a0 = rows + r * ld;
+    const std::uint64_t* a1 = a0 + ld;
+    std::int64_t h00 = 0, h01 = 0, h10 = 0, h11 = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= words; i += 2) {
+      const std::uint64_t q0 = q[i];
+      const std::uint64_t q1 = q[i + 1];
+      h00 += std::popcount(a0[i] ^ q0);
+      h01 += std::popcount(a0[i + 1] ^ q1);
+      h10 += std::popcount(a1[i] ^ q0);
+      h11 += std::popcount(a1[i + 1] ^ q1);
+    }
+    for (; i < words; ++i) {
+      h00 += std::popcount(a0[i] ^ q[i]);
+      h10 += std::popcount(a1[i] ^ q[i]);
+    }
+    out[r] = nn - 2 * (h00 + h01);
+    out[r + 1] = nn - 2 * (h10 + h11);
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = nn - 2 * avx2_hamming(rows + r * ld, q, words);
+  }
+}
+
 void avx2_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
                       std::size_t n) {
   // 4 lanes per compare; the negative-lane movemask nibble both indexes a
@@ -553,6 +588,7 @@ constexpr KernelBackend kAvx2Backend{
     avx2_rff_trig_map,
     avx2_gemm_accumulate,
     avx2_dot_rows,
+    avx2_dot_rows_binary,
     avx2_sign_encode,
 };
 

@@ -305,6 +305,68 @@ TEST_P(KernelBackendTest, DotRowsMatchesPerRowDotExactly) {
   }
 }
 
+TEST_P(KernelBackendTest, DotRowsBinaryMatchesPerRowHammingChainExactly) {
+  // out[r] = n − 2·popcount(q XOR row) — integer-exact, so every backend must
+  // agree bit-for-bit with the per-row hamming/bipolar_dot chain (the
+  // quantized predict_batch bank scan in core/ relies on recovering the exact
+  // Hamming distance as (n − out[r]) / 2). Rows include the query itself
+  // (distance 0) and its complement-within-dim (distance n) as extremes.
+  const std::size_t n = GetParam();
+  util::Rng rng(0xB17B + n);
+  const std::size_t words = (n + 63) / 64;
+  constexpr std::size_t kRows = 5;  // odd: exercises the unpaired final row
+  const BinaryHV q = random_binary(n, rng);
+
+  std::vector<std::vector<std::uint64_t>> rows;
+  rows.emplace_back(q.words().begin(), q.words().end());  // distance 0
+  {
+    // Complement within dim (distance n); padding bits stay zero.
+    std::vector<std::uint64_t> comp(q.words().begin(), q.words().end());
+    for (std::uint64_t& w : comp) {
+      w = ~w;
+    }
+    if (n % 64 != 0) {
+      comp.back() &= ~0ULL >> (64 - n % 64);
+    }
+    rows.push_back(std::move(comp));
+  }
+  while (rows.size() < kRows) {
+    const BinaryHV r = random_binary(n, rng);
+    rows.emplace_back(r.words().begin(), r.words().end());
+  }
+
+  std::vector<std::uint64_t> bank(kRows * words);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::copy(rows[r].begin(), rows[r].end(), bank.begin() + r * words);
+  }
+
+  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
+  for (const KernelBackend* kb : backends) {
+    if (kb == nullptr) {
+      continue;
+    }
+    std::vector<std::int64_t> out(kRows, -12345);
+    kb->dot_rows_binary(q.words().data(), bank.data(), words, kRows, n, out.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      // Per-row chain: backend hamming kernel, then d = n − 2h; and the
+      // library-level bipolar_dot over views of the same words.
+      const std::int64_t h =
+          kb->hamming(bank.data() + r * words, q.words().data(), words);
+      EXPECT_EQ(out[r], static_cast<std::int64_t>(n) - 2 * h) << kb->name << " row " << r;
+      EXPECT_EQ(out[r],
+                bipolar_dot(BinaryHVView(n, {bank.data() + r * words, words}),
+                            BinaryHVView(n, q.words())))
+          << kb->name << " row " << r;
+    }
+    EXPECT_EQ(out[0], static_cast<std::int64_t>(n)) << kb->name << " self-dot";
+    EXPECT_EQ(out[1], -static_cast<std::int64_t>(n)) << kb->name << " complement dot";
+  }
+
+  if (avx2_backend() == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+}
+
 TEST_P(KernelBackendTest, SignEncodeMatchesSignThenPackBitExact) {
   // sign_encode fuses RealHV::sign() + BipolarHV::pack(): bipolar −1 iff
   // v < 0 (so ±0 and NaN map to +1 / set bit) and zero padding bits. Must be

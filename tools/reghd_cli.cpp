@@ -4,7 +4,11 @@
 //   reghd train   --csv data.csv --out model.bin [--models 8] [--dim 4096]
 //                 [--alpha 0.15] [--quantized] [--binary-query] [--binary-model]
 //                 [--test-fraction 0.25] [--seed 42] [--target-col -1]
-//                 [--checkpoint-dir DIR --checkpoint-every EPOCHS]
+//                 [--batch B] [--checkpoint-dir DIR --checkpoint-every EPOCHS]
+//                 (--batch B trains in deterministic batch-frozen mini-batches
+//                 of B samples, parallelized over --threads workers; results
+//                 depend only on B, and B = 1 matches the default online
+//                 sample-by-sample training bit for bit)
 //   reghd eval    --csv data.csv --model model.bin [--target-col -1]
 //   reghd predict --csv data.csv --model model.bin [--target-col -1]
 //                 (prints one prediction per input row; rows are encoded and
@@ -54,6 +58,8 @@ int usage(const std::string& program) {
             << "  " << program << " synth   --dataset NAME --out FILE\n"
             << "train options: --models K --dim D --alpha LR --quantized\n"
             << "  --binary-query --binary-model --test-fraction F --seed S\n"
+            << "  --batch B (deterministic mini-batches of B samples, parallel\n"
+            << "  across --threads workers; 0 = online sample-by-sample, default)\n"
             << "  --checkpoint-dir DIR --checkpoint-every EPOCHS (periodic atomic\n"
             << "  snapshots of the fitting pipeline; newest K kept)\n"
             << "stream options: --models K --dim D --alpha LR --quantized --seed S\n"
@@ -85,6 +91,7 @@ int cmd_train(const util::Args& args) {
   cfg.reghd.learning_rate = args.get_double("alpha", 0.15);
   cfg.reghd.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   cfg.reghd.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  cfg.reghd.batch_size = static_cast<std::size_t>(args.get_int("batch", 0));
   if (args.get_bool("quantized", false)) {
     cfg.reghd.cluster_mode = core::ClusterMode::kQuantized;
   }
