@@ -17,9 +17,16 @@
 //                          mini-batches at B ∈ {1, 32, 256} × threads ∈
 //                          {1, 4} on the standard 256×10-feature, k = 8,
 //                          D = 4096 workload.
+//  * --telemetry-json[=PATH] — runs the standard workload with the obs/
+//                          telemetry layer enabled and dumps the merged
+//                          snapshot as JSON (BENCH_telemetry.json). The
+//                          --json report also carries a telemetry_overhead
+//                          node: the e2e encode+predict loop timed with
+//                          telemetry disabled vs enabled.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
 #include <numeric>
 #include <span>
 #include <string>
@@ -32,6 +39,8 @@
 #include "hdc/kernel_backend.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/random_hv.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "util/fast_trig.hpp"
 #include "util/random.hpp"
 #include "util/statistics.hpp"
@@ -536,6 +545,36 @@ int run_kernel_json(const std::string& path) {
   e2e["batched"]["ns_per_row"] = bench::JsonValue::number(e2e_batched_ns / kRows);
   e2e["batched"]["rows_per_s"] = bench::JsonValue::number(1e9 * kRows / e2e_batched_ns);
 
+  // Telemetry overhead on the e2e encode+predict loop, disabled vs enabled
+  // back to back. Disabled (the default state) is the cost of the compiled-in
+  // instrumentation when off: one well-predicted branch per record point.
+  // Enabled adds the clock reads and relaxed shard increments. Min-of-3 runs
+  // per state trims allocator and frequency-scaling noise, which on shared
+  // machines otherwise dwarfs the effect being measured.
+  {
+    const auto e2e_loop = [&] {
+      const core::EncodedDataset enc = core::EncodedDataset::from(*encoder, rows);
+      benchmark::DoNotOptimize(reg.predict_batch(enc));
+    };
+    const auto best_of3 = [&](const auto& fn) {
+      double best = time_ns(fn);
+      for (int r = 0; r < 2; ++r) {
+        best = std::min(best, time_ns(fn));
+      }
+      return best;
+    };
+    const double tel_off_ns = best_of3(e2e_loop);
+    obs::set_enabled(true);
+    const double tel_on_ns = best_of3(e2e_loop);
+    obs::set_enabled(false);
+    obs::reset();
+    bench::JsonValue& tel = root["telemetry_overhead"];
+    tel["disabled"]["ns_per_row"] = bench::JsonValue::number(tel_off_ns / kRows);
+    tel["enabled"]["ns_per_row"] = bench::JsonValue::number(tel_on_ns / kRows);
+    tel["enabled_overhead_percent"] =
+        bench::JsonValue::number(100.0 * (tel_on_ns - tel_off_ns) / tel_off_ns);
+  }
+
   // Train-epoch throughput: one pass over the kRows encoded samples,
   // sequential train_step vs deterministic mini-batches (B = 32, default
   // thread count). --train-json expands this across B × threads.
@@ -667,11 +706,66 @@ int run_train_json(const std::string& path) {
   return bench::write_json_file(path, root) ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --telemetry-json mode: run the standard workload instrumented and dump the
+// obs/ snapshot — exercises the export path end to end from the bench binary.
+// ---------------------------------------------------------------------------
+
+int run_telemetry_json(const std::string& path) {
+  constexpr std::size_t kDim = 4096;
+  constexpr std::size_t kFeatures = 10;
+  constexpr std::size_t kRows = 256;
+  constexpr std::size_t kModels = 8;
+
+  obs::set_enabled(true);
+  util::Rng rng(0x0B5E);
+  hdc::EncoderConfig ecfg;
+  ecfg.kind = hdc::EncoderKind::kRffProjection;
+  ecfg.input_dim = kFeatures;
+  ecfg.dim = kDim;
+  const auto encoder = hdc::make_encoder(ecfg);
+
+  std::vector<double> flat(kRows * kFeatures);
+  std::vector<double> targets(kRows);
+  for (double& f : flat) {
+    f = rng.normal();
+  }
+  for (std::size_t i = 0; i < kRows; ++i) {
+    targets[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  const data::Dataset rows("telemetry-bench", kFeatures, std::move(flat),
+                           std::move(targets));
+  const core::EncodedDataset enc = core::EncodedDataset::from(*encoder, rows);
+
+  core::RegHDConfig rcfg;
+  rcfg.dim = kDim;
+  rcfg.models = kModels;
+  core::MultiModelRegressor reg(rcfg);
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    reg.train_step(enc.sample(i), enc.target(i));
+  }
+  reg.requantize();
+  benchmark::DoNotOptimize(reg.predict_batch(enc));
+
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  std::ofstream out(path);
+  if (!out) {
+    return 1;
+  }
+  out << obs::to_json(snap);
+  return out.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--telemetry-json" || arg.rfind("--telemetry-json=", 0) == 0) {
+      const std::string path =
+          arg.size() > 17 ? arg.substr(17) : std::string("BENCH_telemetry.json");
+      return run_telemetry_json(path);
+    }
     if (arg == "--train-json" || arg.rfind("--train-json=", 0) == 0) {
       const std::string path =
           arg.size() > 13 ? arg.substr(13) : std::string("BENCH_train.json");

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/framing.hpp"
@@ -302,7 +303,14 @@ std::string CheckpointManager::write_checkpoint(const std::string& prefix, std::
   util::AtomicWriteOptions options;
   options.fsync = config_.fsync;
   options.fault = std::exchange(next_fault_, util::FaultPlan{});
-  util::atomic_write_file(path, bytes, options);
+  const obs::StageTimer timer(obs::Histo::kCkptWriteNs);
+  try {
+    util::atomic_write_file(path, bytes, options);
+  } catch (...) {
+    obs::count(obs::Counter::kCkptSaveFailures);
+    throw;
+  }
+  obs::count(obs::Counter::kCkptSaves);
   prune();
   return path;
 }
@@ -363,11 +371,16 @@ void CheckpointManager::prune() const {
 }
 
 std::optional<OnlineRegHD> CheckpointManager::recover() const {
+  const obs::StageTimer timer(obs::Histo::kCkptRecoverNs);
   for (const CheckpointEntry& entry : list_by_prefix(config_.dir, kOnlinePrefix)) {
+    obs::count(obs::Counter::kCkptRecoverScans);
     try {
       std::istringstream in(util::read_file_bytes(entry.path), std::ios::binary);
-      return load_online_checkpoint(in);
+      auto learner = load_online_checkpoint(in);
+      obs::count(obs::Counter::kCkptRecoveries);
+      return learner;
     } catch (const std::exception&) {
+      obs::count(obs::Counter::kCkptCorruptions);
       continue;  // corrupt or torn — fall back to the previous checkpoint
     }
   }
@@ -375,11 +388,16 @@ std::optional<OnlineRegHD> CheckpointManager::recover() const {
 }
 
 std::optional<RegHDPipeline> CheckpointManager::recover_pipeline() const {
+  const obs::StageTimer timer(obs::Histo::kCkptRecoverNs);
   for (const CheckpointEntry& entry : list_by_prefix(config_.dir, kPipelinePrefix)) {
+    obs::count(obs::Counter::kCkptRecoverScans);
     try {
       std::istringstream in(util::read_file_bytes(entry.path), std::ios::binary);
-      return load_pipeline(in);
+      auto pipeline = load_pipeline(in);
+      obs::count(obs::Counter::kCkptRecoveries);
+      return pipeline;
     } catch (const std::exception&) {
+      obs::count(obs::Counter::kCkptCorruptions);
       continue;
     }
   }

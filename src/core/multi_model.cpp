@@ -10,6 +10,7 @@
 #include "core/early_stopping.hpp"
 #include "hdc/kernel_backend.hpp"
 #include "hdc/random_hv.hpp"
+#include "obs/telemetry.hpp"
 #include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -115,6 +116,8 @@ void MultiModelRegressor::confidences_into(std::span<double> sims) const {
 }
 
 double MultiModelRegressor::predict(const hdc::EncodedSampleView& sample) const {
+  const obs::StageTimer timer(obs::Histo::kPredictNs);
+  obs::count(obs::Counter::kPredicts);
   const auto conf = confidences_from(similarities(sample));
   const PredictionMode mode = config_.prediction_mode();
   double y = 0.0;
@@ -143,6 +146,8 @@ PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSampleVie
 
 std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dataset,
                                                        std::size_t threads) const {
+  const obs::StageTimer timer(obs::Histo::kPredictBatchNs);
+  obs::count(obs::Counter::kPredictBatchRows, dataset.size());
   std::vector<double> out(dataset.size());
   const std::size_t use_threads = threads != 0 ? threads : config_.threads;
   const PredictionMode mode = config_.prediction_mode();
@@ -293,6 +298,8 @@ double MultiModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
 }
 
 double MultiModelRegressor::train_step(const hdc::EncodedSampleView& sample, double target) {
+  const obs::StageTimer timer(obs::Histo::kTrainStepNs);
+  obs::count(obs::Counter::kTrainSteps);
   // Member scratch instead of per-call vectors: train_step runs once per
   // sample per epoch, and the two allocations dominated its fixed cost.
   step_sims_.resize(clusters_.size());
@@ -347,10 +354,12 @@ double MultiModelRegressor::train_step(const hdc::EncodedSampleView& sample, dou
   // accumulator. The paper's Eq. 9 updates the integer copy with the
   // integer-encoded input even when similarity search is binary; frozen in
   // the naive-binarization foil.
+  obs::count_cluster_hit(winner);
   if (config_.cluster_mode != ClusterMode::kNaiveBinary) {
     ClusterCenter& c = clusters_[winner];
     const double weight = 1.0 - sims[winner];
     if (weight != 0.0) {
+      obs::count(obs::Counter::kClusterUpdates);
       // Maintain ‖C‖² incrementally: ‖C + w·S‖² = ‖C‖² + 2w·(C·S) + w²·‖S‖².
       const double dot_cs = hdc::dot(c.accumulator, sample.real);
       hdc::add_scaled(c.accumulator, sample.real, weight);
@@ -372,6 +381,9 @@ void MultiModelRegressor::train_batch(const EncodedDataset& data,
   }
   REGHD_CHECK(data.dim() == config_.dim,
               "batch data dim " << data.dim() << " != configured dim " << config_.dim);
+  const obs::StageTimer timer(obs::Histo::kTrainBatchNs);
+  obs::count(obs::Counter::kTrainBatches);
+  obs::count(obs::Counter::kTrainBatchSamples, indices.size());
   const std::size_t b = indices.size();
   const std::size_t k = models_.size();
   const std::size_t use_threads = threads != 0 ? threads : config_.threads;
@@ -406,6 +418,7 @@ void MultiModelRegressor::train_batch(const EncodedDataset& data,
     const auto winner =
         static_cast<std::size_t>(std::distance(sims, std::max_element(sims, sims + k)));
     batch_winner_[j] = winner;
+    obs::count_cluster_hit(winner);
     const double normalizer = update_normalizer(data.sample(row), config_.query_precision);
     if (confidence_weighted) {
       double conf_sq = 0.0;
@@ -576,6 +589,7 @@ void MultiModelRegressor::train_batch(const EncodedDataset& data,
             if (weight == 0.0) {
               continue;
             }
+            obs::count(obs::Counter::kClusterUpdates);
             // Same incremental-norm bookkeeping as train_step; the dot runs
             // against the accumulator with this cluster's earlier in-batch
             // updates applied, exactly as a serial sample-order replay would.
@@ -675,6 +689,7 @@ void MultiModelRegressor::init_clusters_from_samples(const EncodedDataset& train
 }
 
 void MultiModelRegressor::requantize() {
+  obs::count(obs::Counter::kRequantizes);
   for (auto& m : models_) {
     m.requantize();
   }
@@ -769,6 +784,9 @@ TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
       best_val = record.val_mse;
       best_models = models_;
       best_clusters = clusters_;
+    }
+    if (hooks != nullptr && hooks->on_telemetry) {
+      hooks->on_telemetry(epoch, obs::snapshot());
     }
     if (hooks != nullptr && hooks->checkpoint_every > 0 && hooks->on_checkpoint &&
         (epoch + 1) % hooks->checkpoint_every == 0) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace reghd::core {
@@ -67,14 +68,20 @@ double OnlineRegHD::predict(std::span<const double> features) const {
   REGHD_CHECK(features.size() == feature_stats_.size(),
               "reading has " << features.size() << " features, stream expects "
                              << feature_stats_.size());
-  if (config_.adaptive_scaling && seen_ < config_.warmup) {
-    // Cold start: running statistics are not trustworthy yet.
+  if (config_.adaptive_scaling && seen_ <= config_.warmup) {
+    // Cold start: running statistics are not trustworthy yet. The boundary
+    // matches update()'s training gate (see the warmup convention note in
+    // online.hpp): while no reading has trained the model, fall back to the
+    // running target mean rather than an untrained model's output.
+    obs::count(obs::Counter::kOnlineColdPredicts);
     return target_stats_.count() > 0 ? target_stats_.mean() : 0.0;
   }
   return unscale_target(model_->predict(encode(features)));
 }
 
 double OnlineRegHD::update(std::span<const double> features, double target) {
+  const obs::StageTimer timer(obs::Histo::kOnlineUpdateNs);
+  obs::count(obs::Counter::kOnlineUpdates);
   const double prediction = predict(features);
 
   // Consume the label: update statistics first so the very first readings
@@ -87,10 +94,12 @@ double OnlineRegHD::update(std::span<const double> features, double target) {
   }
   ++seen_;
   if (config_.adaptive_scaling && seen_ <= config_.warmup) {
+    obs::count(obs::Counter::kOnlineWarmupSkips);
     return prediction;  // still warming up; no model update yet
   }
 
   if (config_.decay < 1.0) {
+    obs::count(obs::Counter::kOnlineDecays);
     model_->decay_models(config_.decay);
   }
   model_->train_step(encode(features), scale_target(target));
@@ -112,6 +121,8 @@ std::vector<double> OnlineRegHD::update_batch(std::span<const double> features_f
   if (n == 0) {
     return predictions;
   }
+  const obs::StageTimer timer(obs::Histo::kOnlineBatchNs);
+  obs::count(obs::Counter::kOnlineUpdates, n);
 
   // 1) Block-frozen prequential predictions: every reading is scored against
   //    the model, statistics and warmup state at block entry, before any
@@ -134,6 +145,7 @@ std::vector<double> OnlineRegHD::update_batch(std::span<const double> features_f
     }
     ++seen_;
     if (config_.adaptive_scaling && seen_ <= config_.warmup) {
+      obs::count(obs::Counter::kOnlineWarmupSkips);
       continue;  // still warming up; no model update for this reading
     }
     trained.push_back(j);
@@ -146,6 +158,7 @@ std::vector<double> OnlineRegHD::update_batch(std::span<const double> features_f
   //    sequential protocol), encode the trained readings with the post-block
   //    statistics, and train them as one batch-frozen mini-batch.
   if (config_.decay < 1.0) {
+    obs::count(obs::Counter::kOnlineDecays, trained.size());
     for (std::size_t t = 0; t < trained.size(); ++t) {
       model_->decay_models(config_.decay);
     }
@@ -159,11 +172,18 @@ std::vector<double> OnlineRegHD::update_batch(std::span<const double> features_f
   std::vector<double> frozen(block.size());
   model_->train_batch(block, idx, frozen);
   if (config_.requantize_every > 0) {
-    since_requantize_ += trained.size();
-    if (since_requantize_ >= config_.requantize_every) {
+    // The sequential protocol requantizes after every `requantize_every`-th
+    // trained reading, i.e. ⌊(since + trained)/every⌋ times across this block,
+    // and leaves the counter at (since + trained) mod every. requantize() is a
+    // pure re-derivation of the binary snapshot from the accumulator, so one
+    // call at block end reproduces the final state of all intermediate calls;
+    // the counter must still advance by the modulo, not reset to zero, or
+    // follow-on updates requantize at the wrong step.
+    const std::size_t total = since_requantize_ + trained.size();
+    if (total >= config_.requantize_every) {
       model_->requantize();
-      since_requantize_ = 0;
     }
+    since_requantize_ = total % config_.requantize_every;
   }
   return predictions;
 }

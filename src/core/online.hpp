@@ -42,8 +42,13 @@ struct OnlineConfig {
   /// units flow straight into the encoder.
   bool adaptive_scaling = true;
 
-  /// Updates before scaling statistics are trusted; until then predictions
-  /// are the running target mean (cold-start guard).
+  /// Updates before scaling statistics are trusted. Warmup convention: a
+  /// reading trains the model only once *more than* `warmup` readings have
+  /// been consumed (the first trained reading is number warmup+1), and
+  /// predict() returns the running target mean (cold-start guard) while
+  /// seen ≤ warmup — i.e. until at least one reading has trained the model.
+  /// Both gates use the same boundary, so the first model-backed prediction
+  /// and the first model update happen on the same reading.
   std::size_t warmup = 10;
 };
 

@@ -7,6 +7,7 @@
 
 #include "core/early_stopping.hpp"
 #include "hdc/kernel_backend.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -21,6 +22,8 @@ SingleModelRegressor::SingleModelRegressor(const RegHDConfig& config) : config_(
 void SingleModelRegressor::reset() { model_ = RegressionModel(config_.dim); }
 
 void SingleModelRegressor::train_step(const hdc::EncodedSampleView& sample, double target) {
+  const obs::StageTimer timer(obs::Histo::kTrainStepNs);
+  obs::count(obs::Counter::kTrainSteps);
   REGHD_CHECK(sample.real.dim() == config_.dim,
               "sample dim " << sample.real.dim() << " != model dim " << config_.dim);
   // The training error is always computed against the integer model being
@@ -50,6 +53,9 @@ void SingleModelRegressor::train_batch(const EncodedDataset& data,
   }
   REGHD_CHECK(data.dim() == config_.dim,
               "batch data dim " << data.dim() << " != configured dim " << config_.dim);
+  const obs::StageTimer timer(obs::Histo::kTrainBatchNs);
+  obs::count(obs::Counter::kTrainBatches);
+  obs::count(obs::Counter::kTrainBatchSamples, indices.size());
   const std::size_t use_threads = threads != 0 ? threads : config_.threads;
   const PredictionMode train_mode{config_.query_precision, ModelPrecision::kReal};
   // Phase 1 — batch-frozen Eq. 2 predictions, parallel over samples. Each
@@ -109,11 +115,15 @@ void SingleModelRegressor::train_batch(const EncodedDataset& data,
 }
 
 double SingleModelRegressor::predict(const hdc::EncodedSampleView& sample) const {
+  const obs::StageTimer timer(obs::Histo::kPredictNs);
+  obs::count(obs::Counter::kPredicts);
   return predict_dot(model_, sample, config_.prediction_mode());
 }
 
 std::vector<double> SingleModelRegressor::predict_batch(const EncodedDataset& dataset,
                                                         std::size_t threads) const {
+  const obs::StageTimer timer(obs::Histo::kPredictBatchNs);
+  obs::count(obs::Counter::kPredictBatchRows, dataset.size());
   std::vector<double> out(dataset.size());
   const std::size_t use_threads = threads != 0 ? threads : config_.threads;
   const PredictionMode mode = config_.prediction_mode();
@@ -264,6 +274,9 @@ TrainingReport SingleModelRegressor::fit(const EncodedDataset& train,
     if (record.val_mse < best_val) {
       best_val = record.val_mse;
       best_model = model_;
+    }
+    if (hooks != nullptr && hooks->on_telemetry) {
+      hooks->on_telemetry(epoch, obs::snapshot());
     }
     if (stopper.update(record.val_mse)) {
       report.converged = true;

@@ -64,7 +64,10 @@ class SingleModelRegressor {
 
   /// Re-derives the binary snapshot from the accumulator (done automatically
   /// at each epoch boundary during fit()).
-  void requantize() { model_.requantize(); }
+  void requantize() {
+    obs::count(obs::Counter::kRequantizes);
+    model_.requantize();
+  }
 
   /// Resets M to zero.
   void reset();

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace reghd::core {
 
 /// One epoch of iterative training.
@@ -35,6 +37,14 @@ struct TrainingHooks {
   /// far this epoch. The model holds exactly the post-batch state during the
   /// call, so a checkpoint taken here resumes bit-identically.
   std::function<void(std::size_t epoch, std::size_t batch, std::size_t samples_done)> on_batch;
+
+  /// Fires after every epoch (post-validation, before the checkpoint hook)
+  /// with a merged snapshot of the process-wide obs/ telemetry — per-stage
+  /// counters and latency histograms accumulated so far. The snapshot is
+  /// cumulative, not per-epoch; diff consecutive snapshots for rates. Only
+  /// taken when the hook is set, and all-zero unless obs::set_enabled(true)
+  /// was called (or under REGHD_NO_TELEMETRY).
+  std::function<void(std::size_t epoch, const obs::TelemetrySnapshot&)> on_telemetry;
 };
 
 /// Result of an iterative fit.

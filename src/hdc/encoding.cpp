@@ -6,6 +6,7 @@
 #include "hdc/kernel_backend.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/random_hv.hpp"
+#include "obs/telemetry.hpp"
 #include "util/fast_trig.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -62,6 +63,8 @@ RealHV Encoder::encode_real(std::span<const double> features) const {
 }
 
 EncodedSample Encoder::encode(std::span<const double> features) const {
+  const obs::StageTimer timer(obs::Histo::kEncodeRowNs);
+  obs::count(obs::Counter::kEncodeRows);
   EncodedSample out;
   out.real = encode_real(features);
   out.bipolar = out.real.sign();
@@ -105,6 +108,9 @@ void Encoder::finalize_encoded_row(const EncodedArenaRef& out, std::size_t row) 
 void Encoder::encode_batch_into(std::span<const double> rows_flat, std::size_t num_rows,
                                 const EncodedArenaRef& out, std::size_t threads) const {
   check_arena(rows_flat, num_rows, out);
+  const obs::StageTimer timer(obs::Histo::kEncodeBatchNs);
+  obs::count(obs::Counter::kEncodeBatches);
+  obs::count(obs::Counter::kEncodeRows, num_rows);
   const std::size_t n = config_.input_dim;
   util::parallel_for(
       num_rows,
@@ -245,6 +251,9 @@ void RffProjectionEncoder::encode_batch_into(std::span<const double> rows_flat,
                                              const EncodedArenaRef& out,
                                              std::size_t threads) const {
   check_arena(rows_flat, num_rows, out);
+  const obs::StageTimer timer(obs::Histo::kEncodeBatchNs);
+  obs::count(obs::Counter::kEncodeBatches);
+  obs::count(obs::Counter::kEncodeRows, num_rows);
   const std::size_t d = config_.dim;
   const std::size_t n = config_.input_dim;
   // Row blocks share each cache tile of the F×D transposed weight matrix:

@@ -1,0 +1,175 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace reghd::obs {
+
+namespace {
+
+/// Shortest round-trip-safe formatting for the JSON numbers we emit
+/// (quantiles are doubles; everything else is integral).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Upper edge of histogram bucket b in nanoseconds (+inf for the last).
+double bucket_upper_ns(std::size_t b) {
+  if (b + 1 >= kHistoBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(b));  // 2^b
+}
+
+/// Human-scaled duration: picks ns/µs/ms/s.
+std::string fmt_duration_ns(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const TelemetrySnapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    out << (c == 0 ? "\n" : ",\n") << "    \""
+        << counter_name(static_cast<Counter>(c)) << "\": " << snap.counters[c];
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t h = 0; h < kNumHistos; ++h) {
+    const HistogramSnapshot& hs = snap.histograms[h];
+    out << (h == 0 ? "\n" : ",\n") << "    \"" << histo_name(static_cast<Histo>(h))
+        << "\": {\"count\": " << hs.count << ", \"sum_ns\": " << hs.sum_ns
+        << ", \"mean_ns\": " << fmt_double(hs.mean_ns())
+        << ", \"p50_ns\": " << fmt_double(hs.p50_ns())
+        << ", \"p95_ns\": " << fmt_double(hs.p95_ns())
+        << ", \"p99_ns\": " << fmt_double(hs.p99_ns()) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      out << (b == 0 ? "" : ", ") << hs.buckets[b];
+    }
+    out << "]}";
+  }
+  out << "\n  },\n  \"cluster_hits\": [";
+  for (std::size_t s = 0; s < kClusterHitSlots; ++s) {
+    out << (s == 0 ? "" : ", ") << snap.cluster_hits[s];
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
+std::string to_prometheus(const TelemetrySnapshot& snap) {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    const std::string_view name = counter_name(static_cast<Counter>(c));
+    out << "# TYPE reghd_" << name << "_total counter\n"
+        << "reghd_" << name << "_total " << snap.counters[c] << "\n";
+  }
+  for (std::size_t h = 0; h < kNumHistos; ++h) {
+    const HistogramSnapshot& hs = snap.histograms[h];
+    // Strip the _ns suffix; Prometheus convention is base-unit seconds.
+    std::string name(histo_name(static_cast<Histo>(h)));
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+      name.resize(name.size() - 3);
+    }
+    name += "_seconds";
+    out << "# TYPE reghd_" << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      cumulative += hs.buckets[b];
+      if (hs.buckets[b] == 0 && b + 1 < kHistoBuckets) {
+        continue;  // keep the exposition compact; cumulative still correct
+      }
+      const double upper = bucket_upper_ns(b);
+      out << "reghd_" << name << "_bucket{le=\"";
+      if (std::isinf(upper)) {
+        out << "+Inf";
+      } else {
+        out << fmt_double(upper / 1e9);
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << "reghd_" << name << "_sum " << fmt_double(static_cast<double>(hs.sum_ns) / 1e9)
+        << "\n"
+        << "reghd_" << name << "_count " << hs.count << "\n";
+  }
+  out << "# TYPE reghd_cluster_hits_total counter\n";
+  for (std::size_t s = 0; s < kClusterHitSlots; ++s) {
+    if (snap.cluster_hits[s] == 0) {
+      continue;
+    }
+    out << "reghd_cluster_hits_total{cluster=\"" << s << "\"} " << snap.cluster_hits[s]
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string to_table(const TelemetrySnapshot& snap) {
+  std::ostringstream out;
+  out << "counters:\n";
+  bool any = false;
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    if (snap.counters[c] == 0) {
+      continue;
+    }
+    any = true;
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-22s %12" PRIu64 "\n",
+                  std::string(counter_name(static_cast<Counter>(c))).c_str(),
+                  snap.counters[c]);
+    out << line;
+  }
+  if (!any) {
+    out << "  (none recorded — is telemetry enabled?)\n";
+  }
+  out << "stage latencies:\n";
+  any = false;
+  for (std::size_t h = 0; h < kNumHistos; ++h) {
+    const HistogramSnapshot& hs = snap.histograms[h];
+    if (hs.count == 0) {
+      continue;
+    }
+    any = true;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-18s n=%-10" PRIu64 " mean=%-10s p50=%-10s p95=%-10s p99=%s\n",
+                  std::string(histo_name(static_cast<Histo>(h))).c_str(), hs.count,
+                  fmt_duration_ns(hs.mean_ns()).c_str(),
+                  fmt_duration_ns(hs.p50_ns()).c_str(),
+                  fmt_duration_ns(hs.p95_ns()).c_str(),
+                  fmt_duration_ns(hs.p99_ns()).c_str());
+    out << line;
+  }
+  if (!any) {
+    out << "  (none recorded)\n";
+  }
+  std::uint64_t total_hits = 0;
+  for (const std::uint64_t h : snap.cluster_hits) {
+    total_hits += h;
+  }
+  if (total_hits > 0) {
+    out << "cluster hits:";
+    for (std::size_t s = 0; s < kClusterHitSlots; ++s) {
+      if (snap.cluster_hits[s] > 0) {
+        out << "  [" << s << "]=" << snap.cluster_hits[s];
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace reghd::obs

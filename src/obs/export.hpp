@@ -1,0 +1,29 @@
+// Snapshot exporters: JSON (machine-readable dumps for the CLI's
+// --telemetry-json and the benches) and Prometheus text exposition
+// (version 0.0.4 — ready to serve from a /metrics endpoint or push through
+// the node-exporter textfile collector), plus a human-readable table for
+// the CLI `--stats` view.
+#pragma once
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace reghd::obs {
+
+/// JSON object: {"counters": {...}, "histograms": {name: {count, sum_ns,
+/// mean_ns, p50_ns, p95_ns, p99_ns, buckets: [...]}}, "cluster_hits": [...]}.
+/// Deterministic key order (enum order); no external dependencies.
+[[nodiscard]] std::string to_json(const TelemetrySnapshot& snap);
+
+/// Prometheus text exposition. Counters become `reghd_<name>_total`
+/// counters, histograms become native `reghd_<name>` histograms with
+/// power-of-two `le` edges in seconds, cluster hits a labelled counter
+/// family.
+[[nodiscard]] std::string to_prometheus(const TelemetrySnapshot& snap);
+
+/// Aligned human-readable summary (the CLI `--stats` view): non-zero
+/// counters, then per-stage latency rows (count / mean / p50 / p95 / p99).
+[[nodiscard]] std::string to_table(const TelemetrySnapshot& snap);
+
+}  // namespace reghd::obs

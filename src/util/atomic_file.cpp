@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/telemetry.hpp"
+
 #ifndef _WIN32
 #include <fcntl.h>
 #include <unistd.h>
@@ -37,8 +39,11 @@ void write_fd(int fd, std::string_view bytes, bool do_fsync, const std::string& 
     data += n;
     left -= static_cast<std::size_t>(n);
   }
-  if (do_fsync && ::fsync(fd) != 0) {
-    throw_errno("atomic_write_file: fsync of", path);
+  if (do_fsync) {
+    const obs::StageTimer timer(obs::Histo::kCkptFsyncNs);
+    if (::fsync(fd) != 0) {
+      throw_errno("atomic_write_file: fsync of", path);
+    }
   }
 }
 

@@ -22,8 +22,10 @@ namespace reghd::util {
 [[nodiscard]] double mae(std::span<const double> predictions, std::span<const double> targets);
 
 /// Coefficient of determination R². 1 is perfect; 0 matches predicting the
-/// mean; negative is worse than the mean predictor. Returns 0 when the
-/// targets are constant and predictions match them exactly, −infinity-free.
+/// mean; negative is worse than the mean predictor. Constant targets make
+/// the usual ratio degenerate (ss_tot = 0), so this never divides by zero:
+/// it returns 1 when the predictions match the constant targets exactly
+/// (a perfect fit) and 0 otherwise (no better than the mean predictor).
 [[nodiscard]] double r2(std::span<const double> predictions, std::span<const double> targets);
 
 /// Relative quality loss in percent: 100 · (mse − reference_mse) / reference_mse.

@@ -1,8 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+
+#include "obs/telemetry.hpp"
 
 namespace reghd::util {
 
@@ -64,6 +67,13 @@ void ThreadPool::worker_loop() {
       job = job_;
       blocks = job_blocks_;
     }
+    // Busy-time accounting (worker occupancy) only reads the clock when
+    // telemetry is enabled; the model math inside the blocks is untouched.
+    const bool telemetry = obs::enabled();
+    std::chrono::steady_clock::time_point busy_start;
+    if (telemetry) {
+      busy_start = std::chrono::steady_clock::now();
+    }
     tls_in_pool_job = true;
     for (;;) {
       const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -73,6 +83,13 @@ void ThreadPool::worker_loop() {
       (*job)(b);
     }
     tls_in_pool_job = false;
+    if (telemetry) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - busy_start)
+                          .count();
+      obs::count(obs::Counter::kPoolWorkerBusyNs,
+                 ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
     {
       const std::lock_guard<std::mutex> lk(m_);
       if (--active_ == 0) {
@@ -88,12 +105,19 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
     return;
   }
   if (num_blocks == 1 || workers_.empty() || tls_in_pool_job) {
+    obs::count(obs::Counter::kPoolInlineJobs);
+    obs::count(obs::Counter::kPoolBlocks, num_blocks);
     for (std::size_t b = 0; b < num_blocks; ++b) {
       block(b);
     }
     return;
   }
 
+  obs::count(obs::Counter::kPoolJobs);
+  obs::count(obs::Counter::kPoolBlocks, num_blocks);
+  // Job latency spans queueing behind other run_blocks callers through the
+  // last finished block.
+  const obs::StageTimer job_timer(obs::Histo::kPoolJobNs);
   const std::lock_guard<std::mutex> job_lk(job_mutex_);
   {
     const std::lock_guard<std::mutex> lk(m_);
@@ -108,6 +132,11 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
   // The caller participates instead of idling on the done latch. The TLS
   // guard also covers the caller: a nested parallel_for inside a block runs
   // serially rather than re-entering job_mutex_.
+  const bool telemetry = obs::enabled();
+  std::chrono::steady_clock::time_point busy_start;
+  if (telemetry) {
+    busy_start = std::chrono::steady_clock::now();
+  }
   tls_in_pool_job = true;
   for (;;) {
     const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -117,6 +146,13 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
     block(b);
   }
   tls_in_pool_job = false;
+  if (telemetry) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - busy_start)
+                        .count();
+    obs::count(obs::Counter::kPoolWorkerBusyNs,
+               ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
 
   std::unique_lock<std::mutex> lk(m_);
   cv_done_.wait(lk, [&] { return active_ == 0; });

@@ -1,0 +1,159 @@
+// Regression tests for the online stream's accounting.
+//
+// S1: update_batch must follow the sequential requantize protocol — a block
+// of n readings leaves since_requantize() at (since + trained) mod every,
+// exactly where n update() calls leave it, so follow-on updates requantize
+// at the same step. The drift bug reset the counter to zero after any block
+// that crossed the boundary.
+//
+// S2: the warmup gates of predict() and update() share one boundary —
+// predict() stays on the cold-start running-mean path until a reading has
+// actually trained the model (update() trains only once seen > warmup). The
+// off-by-one let predict() consult a never-trained model at seen == warmup.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/online.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoding.hpp"
+
+namespace reghd::core {
+namespace {
+
+OnlineConfig quantized_config(std::size_t requantize_every) {
+  OnlineConfig cfg;
+  cfg.reghd.dim = 512;
+  cfg.reghd.models = 4;
+  cfg.reghd.seed = 11;
+  cfg.reghd.cluster_mode = ClusterMode::kQuantized;
+  cfg.encoder.seed = 11;
+  cfg.requantize_every = requantize_every;
+  return cfg;
+}
+
+/// Flattens stream rows [begin, end) into the row-major block update_batch
+/// expects.
+std::vector<double> flatten(const data::Dataset& stream, std::size_t begin,
+                            std::size_t end) {
+  std::vector<double> flat;
+  flat.reserve((end - begin) * stream.num_features());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto row = stream.row(i);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return flat;
+}
+
+TEST(OnlineAccountingTest, BatchRequantizeCounterMatchesSequentialProtocol) {
+  const data::Dataset stream = data::make_friedman1(900, 23);
+  const std::size_t nf = stream.num_features();
+  const OnlineConfig cfg = quantized_config(256);
+  OnlineRegHD batch(cfg, nf);
+  OnlineRegHD seq(cfg, nf);
+
+  // One 600-reading block vs 600 sequential updates. With the default
+  // warmup of 10, 590 readings train: the sequential run requantizes at
+  // trained counts 256 and 512 and ends with the counter at 590 mod 256.
+  const std::size_t n = 600;
+  const std::vector<double> flat = flatten(stream, 0, n);
+  const std::vector<double> targets(stream.targets().begin(),
+                                    stream.targets().begin() + n);
+  (void)batch.update_batch(flat, targets);
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)seq.update(stream.row(i), stream.target(i));
+  }
+
+  ASSERT_EQ(seq.since_requantize(), (n - cfg.warmup) % cfg.requantize_every);
+  EXPECT_EQ(batch.since_requantize(), seq.since_requantize());
+  EXPECT_EQ(batch.samples_seen(), seq.samples_seen());
+
+  // Follow-on single updates must hit the next requantize on the same
+  // reading in both protocols.
+  for (std::size_t i = n; i < stream.size(); ++i) {
+    (void)batch.update(stream.row(i), stream.target(i));
+    (void)seq.update(stream.row(i), stream.target(i));
+    ASSERT_EQ(batch.since_requantize(), seq.since_requantize())
+        << "requantize cadence diverged at reading " << i;
+  }
+}
+
+TEST(OnlineAccountingTest, SmallBlocksCarryTheCounterAcrossCalls) {
+  // Blocks below requantize_every must accumulate, not reset: three
+  // 100-reading blocks at every = 256 requantize exactly once (at the 256th
+  // trained reading, inside the third block).
+  const data::Dataset stream = data::make_friedman1(300, 29);
+  const std::size_t nf = stream.num_features();
+  const OnlineConfig cfg = quantized_config(256);
+  OnlineRegHD batch(cfg, nf);
+  OnlineRegHD seq(cfg, nf);
+
+  for (std::size_t b0 = 0; b0 < 300; b0 += 100) {
+    const std::vector<double> flat = flatten(stream, b0, b0 + 100);
+    const std::vector<double> targets(stream.targets().begin() + b0,
+                                      stream.targets().begin() + b0 + 100);
+    (void)batch.update_batch(flat, targets);
+    for (std::size_t i = b0; i < b0 + 100; ++i) {
+      (void)seq.update(stream.row(i), stream.target(i));
+    }
+    EXPECT_EQ(batch.since_requantize(), seq.since_requantize())
+        << "diverged after the block starting at " << b0;
+  }
+  // 290 trained readings, one requantize at 256: counter sits at 34.
+  EXPECT_EQ(seq.since_requantize(), (300 - cfg.warmup) % cfg.requantize_every);
+}
+
+TEST(OnlineAccountingTest, WarmupGatesOfPredictAndUpdateShareOneBoundary) {
+  const data::Dataset stream = data::make_friedman1(50, 31);
+  const std::size_t nf = stream.num_features();
+  OnlineConfig cfg = quantized_config(0);
+  cfg.warmup = 5;
+  OnlineRegHD learner(cfg, nf);
+
+  for (std::size_t i = 0; i < cfg.warmup; ++i) {
+    (void)learner.update(stream.row(i), stream.target(i));
+  }
+  ASSERT_EQ(learner.samples_seen(), cfg.warmup);
+
+  // Force the model away from zero while seen == warmup. No stream reading
+  // has trained it (update() trains only once seen > warmup), so predict()
+  // must still answer with the running target mean, not the model.
+  const auto encoder = hdc::make_encoder(learner.config().encoder);
+  const hdc::EncodedSample tamper = encoder->encode(std::vector<double>(nf, 1.0));
+  for (int r = 0; r < 5; ++r) {
+    learner.mutable_model().train_step(tamper, 100.0);
+  }
+  EXPECT_DOUBLE_EQ(learner.predict(stream.row(5)), learner.target_stats().mean());
+
+  // The next update crosses the boundary: the same reading both trains the
+  // model and unlocks model-backed prediction.
+  (void)learner.update(stream.row(5), stream.target(5));
+  ASSERT_GT(learner.samples_seen(), cfg.warmup);
+  EXPECT_NE(learner.predict(stream.row(6)), learner.target_stats().mean());
+}
+
+TEST(OnlineAccountingTest, BatchAndSequentialAgreeOnWarmupAccounting) {
+  // A block straddling the warmup boundary consumes the same number of
+  // readings into statistics-only warmup in both protocols.
+  const data::Dataset stream = data::make_friedman1(40, 37);
+  const std::size_t nf = stream.num_features();
+  OnlineConfig cfg = quantized_config(0);
+  cfg.warmup = 15;
+  OnlineRegHD batch(cfg, nf);
+  OnlineRegHD seq(cfg, nf);
+
+  const std::vector<double> flat = flatten(stream, 0, 40);
+  (void)batch.update_batch(flat, stream.targets());
+  for (std::size_t i = 0; i < 40; ++i) {
+    (void)seq.update(stream.row(i), stream.target(i));
+  }
+  EXPECT_EQ(batch.samples_seen(), seq.samples_seen());
+  EXPECT_DOUBLE_EQ(batch.target_stats().mean(), seq.target_stats().mean());
+  // Both are past warmup now; both must produce model-backed (non-mean)
+  // predictions for the same input.
+  EXPECT_NE(batch.predict(stream.row(0)), batch.target_stats().mean());
+  EXPECT_NE(seq.predict(stream.row(0)), seq.target_stats().mean());
+}
+
+}  // namespace
+}  // namespace reghd::core

@@ -1,0 +1,222 @@
+// Tests for the obs/ runtime telemetry layer: counters, log-bucketed
+// latency histograms, stage timers, the runtime enable flag, reset, the
+// cluster-hit family, and the JSON / Prometheus / table exports. All tests
+// compile (and pass vacuously where recording is removed) under
+// -DREGHD_NO_TELEMETRY.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+
+namespace reghd::obs {
+namespace {
+
+/// Every test starts from zeroed shards with telemetry armed, and leaves
+/// the process back in the default disabled state.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+#ifndef REGHD_NO_TELEMETRY
+
+TEST_F(TelemetryTest, CountersAccumulateAndSnapshotByEnum) {
+  count(Counter::kTrainSteps);
+  count(Counter::kTrainSteps, 4);
+  count(Counter::kEncodeRows, 7);
+  const TelemetrySnapshot snap = snapshot();
+  EXPECT_EQ(snap.counter(Counter::kTrainSteps), 5u);
+  EXPECT_EQ(snap.counter(Counter::kEncodeRows), 7u);
+  EXPECT_EQ(snap.counter(Counter::kPredicts), 0u);
+}
+
+TEST_F(TelemetryTest, DisabledRecordingIsDropped) {
+  set_enabled(false);
+  count(Counter::kPredicts, 100);
+  observe_ns(Histo::kPredictNs, 1000);
+  count_cluster_hit(0);
+  set_enabled(true);
+  const TelemetrySnapshot snap = snapshot();
+  EXPECT_EQ(snap.counter(Counter::kPredicts), 0u);
+  EXPECT_EQ(snap.histogram(Histo::kPredictNs).count, 0u);
+  EXPECT_EQ(snap.cluster_hits[0], 0u);
+}
+
+TEST_F(TelemetryTest, ResetZeroesEverything) {
+  count(Counter::kRequantizes, 3);
+  observe_ns(Histo::kTrainStepNs, 500);
+  count_cluster_hit(2);
+  reset();
+  const TelemetrySnapshot snap = snapshot();
+  EXPECT_EQ(snap.counter(Counter::kRequantizes), 0u);
+  EXPECT_EQ(snap.histogram(Histo::kTrainStepNs).count, 0u);
+  EXPECT_EQ(snap.cluster_hits[2], 0u);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsFollowBitWidth) {
+  observe_ns(Histo::kPredictNs, 0);     // bucket 0: exact zeros
+  observe_ns(Histo::kPredictNs, 1);     // bucket 1: [1, 2)
+  observe_ns(Histo::kPredictNs, 7);     // bucket 3: [4, 8)
+  observe_ns(Histo::kPredictNs, 1024);  // bucket 11: [1024, 2048)
+  const HistogramSnapshot h = snapshot().histogram(Histo::kPredictNs);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum_ns, 1032u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 1032.0 / 4.0);
+}
+
+TEST_F(TelemetryTest, HugeObservationsClampIntoTheLastBucket) {
+  observe_ns(Histo::kCkptWriteNs, ~std::uint64_t{0});
+  const HistogramSnapshot h = snapshot().histogram(Histo::kCkptWriteNs);
+  EXPECT_EQ(h.buckets[kHistoBuckets - 1], 1u);
+}
+
+TEST_F(TelemetryTest, QuantilesAreMonotoneAndBucketAccurate) {
+  // 100 observations at ~1 µs, 5 at ~1 ms: p50 must sit in the 1 µs bucket
+  // ([1024, 2048) ns) and p99 in the 1 ms bucket ([2^19, 2^20) ns).
+  for (int i = 0; i < 100; ++i) {
+    observe_ns(Histo::kTrainStepNs, 1500);
+  }
+  for (int i = 0; i < 5; ++i) {
+    observe_ns(Histo::kTrainStepNs, 800000);
+  }
+  const HistogramSnapshot h = snapshot().histogram(Histo::kTrainStepNs);
+  EXPECT_GE(h.p50_ns(), 1024.0);
+  EXPECT_LT(h.p50_ns(), 2048.0);
+  EXPECT_GE(h.p99_ns(), 524288.0);
+  EXPECT_LT(h.p99_ns(), 1048576.0);
+  EXPECT_LE(h.p50_ns(), h.p95_ns());
+  EXPECT_LE(h.p95_ns(), h.p99_ns());
+  EXPECT_DOUBLE_EQ(snapshot().histogram(Histo::kPredictNs).p99_ns(), 0.0);  // empty
+}
+
+TEST_F(TelemetryTest, StageTimerRecordsOnlyWhenArmed) {
+  { const StageTimer t(Histo::kEncodeRowNs); }
+  EXPECT_EQ(snapshot().histogram(Histo::kEncodeRowNs).count, 1u);
+  set_enabled(false);
+  { const StageTimer t(Histo::kEncodeRowNs); }
+  set_enabled(true);
+  EXPECT_EQ(snapshot().histogram(Histo::kEncodeRowNs).count, 1u);
+}
+
+TEST_F(TelemetryTest, ClusterHitsSaturateIntoTheLastSlot) {
+  count_cluster_hit(0);
+  count_cluster_hit(3);
+  count_cluster_hit(3);
+  count_cluster_hit(kClusterHitSlots + 40);  // beyond the family cap
+  const TelemetrySnapshot snap = snapshot();
+  EXPECT_EQ(snap.cluster_hits[0], 1u);
+  EXPECT_EQ(snap.cluster_hits[3], 2u);
+  EXPECT_EQ(snap.cluster_hits[kClusterHitSlots - 1], 1u);
+}
+
+TEST_F(TelemetryTest, ShardsFromExitedThreadsSurviveInTheMerge) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        count(Counter::kPoolBlocks);
+      }
+      observe_ns(Histo::kPoolJobNs, 4096);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  // All threads have exited; their shards must still be in the totals.
+  const TelemetrySnapshot snap = snapshot();
+  EXPECT_EQ(snap.counter(Counter::kPoolBlocks), 4000u);
+  EXPECT_EQ(snap.histogram(Histo::kPoolJobNs).count, 4u);
+}
+
+#endif  // REGHD_NO_TELEMETRY
+
+TEST_F(TelemetryTest, MetricNamesAreStableSnakeCase) {
+  EXPECT_EQ(counter_name(Counter::kEncodeRows), "encode_rows");
+  EXPECT_EQ(counter_name(Counter::kCkptRecoveries), "ckpt_recoveries");
+  EXPECT_EQ(histo_name(Histo::kEncodeRowNs), "encode_row_ns");
+  EXPECT_EQ(histo_name(Histo::kCkptRecoverNs), "ckpt_recover_ns");
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const std::string_view name = counter_name(static_cast<Counter>(i));
+    EXPECT_FALSE(name.empty()) << "counter " << i << " has no name";
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << "counter name '" << name << "' is not snake_case";
+    }
+  }
+  for (std::size_t i = 0; i < kNumHistos; ++i) {
+    EXPECT_FALSE(histo_name(static_cast<Histo>(i)).empty()) << "histo " << i;
+  }
+}
+
+TEST_F(TelemetryTest, JsonExportCarriesEveryMetric) {
+  count(Counter::kTrainSteps, 12);
+  observe_ns(Histo::kTrainStepNs, 2000);
+  const std::string json = to_json(snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster_hits\""), std::string::npos);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const std::string key = '"' + std::string(counter_name(static_cast<Counter>(i))) + '"';
+    EXPECT_NE(json.find(key), std::string::npos) << "missing counter key " << key;
+  }
+#ifndef REGHD_NO_TELEMETRY
+  EXPECT_NE(json.find("\"train_steps\": 12"), std::string::npos);
+#endif
+}
+
+TEST_F(TelemetryTest, PrometheusExportFollowsTextExposition) {
+  count(Counter::kPredicts, 3);
+  observe_ns(Histo::kPredictNs, 1000);
+  count_cluster_hit(1);
+  const std::string prom = to_prometheus(snapshot());
+  EXPECT_NE(prom.find("# TYPE reghd_predicts_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE reghd_predict_seconds histogram"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("reghd_predict_seconds_count"), std::string::npos);
+  EXPECT_NE(prom.find("reghd_predict_seconds_sum"), std::string::npos);
+#ifndef REGHD_NO_TELEMETRY
+  EXPECT_NE(prom.find("reghd_predicts_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("reghd_cluster_hits_total{cluster=\"1\"} 1"), std::string::npos);
+#endif
+  // Every line is a comment or a `name[{labels}] value` sample.
+  std::size_t pos = 0;
+  while (pos < prom.size()) {
+    const std::size_t eol = prom.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated final line";
+    const std::string line = prom.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << "malformed sample: " << line;
+      EXPECT_EQ(line.rfind("reghd_", 0), 0u) << "unprefixed sample: " << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST_F(TelemetryTest, TableViewRendersNonEmpty) {
+  count(Counter::kOnlineUpdates, 2);
+  observe_ns(Histo::kOnlineUpdateNs, 123456);
+  const std::string table = to_table(snapshot());
+  EXPECT_NE(table.find("counters"), std::string::npos);
+#ifndef REGHD_NO_TELEMETRY
+  EXPECT_NE(table.find("online_updates"), std::string::npos);
+  EXPECT_NE(table.find("online_update_ns"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace reghd::obs

@@ -50,11 +50,29 @@ TEST(R2Test, OneForPerfectZeroForMeanNegativeForWorse) {
   EXPECT_LT(r2(bad, truth), 0.0);
 }
 
+// Constant targets make ss_tot zero, so the usual 1 − ss_res/ss_tot is
+// undefined; the documented convention (metrics.hpp) is 1 for an exact
+// match and 0 for anything else — never a division by zero.
 TEST(R2Test, ConstantTargetEdgeCases) {
   const std::vector<double> truth = {3.0, 3.0, 3.0};
   EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);  // exact match
   const std::vector<double> off = {3.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(r2(off, truth), 0.0);  // imperfect on constant target
+  const std::vector<double> shifted(3, 2.0);
+  EXPECT_DOUBLE_EQ(r2(shifted, truth), 0.0);  // constant but wrong predictions
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(r2(one, one), 1.0);  // single element is constant + exact
+  EXPECT_DOUBLE_EQ(r2(std::vector<double>{6.0}, one), 0.0);
+}
+
+TEST(R2Test, ConstantTargetsStayFiniteThroughTheBundle) {
+  const std::vector<double> truth(4, -1.5);
+  const std::vector<double> pred = {-1.5, -1.4, -1.6, -1.5};
+  const RegressionMetrics m = evaluate_regression(pred, truth);
+  EXPECT_TRUE(std::isfinite(m.r2));
+  EXPECT_DOUBLE_EQ(m.r2, 0.0);
+  const RegressionMetrics exact = evaluate_regression(truth, truth);
+  EXPECT_DOUBLE_EQ(exact.r2, 1.0);
 }
 
 TEST(QualityLossTest, PaperStyleRelativeLoss) {

@@ -28,6 +28,11 @@
 // batched encode/predict paths (default: REGHD_THREADS environment variable,
 // else hardware concurrency). Thread count never changes results.
 //
+// train and stream accept --stats (print a per-stage counter/latency table),
+// --telemetry-json PATH and --telemetry-prom PATH (write the run's obs/
+// telemetry snapshot as JSON / Prometheus text exposition). Any of the three
+// enables the runtime telemetry layer for the run; it is off by default.
+//
 // Exit status: 0 on success, 1 on usage error, 2 on runtime failure.
 #include <cmath>
 #include <fstream>
@@ -39,6 +44,8 @@
 #include "core/reghd.hpp"
 #include "data/csv.hpp"
 #include "data/synthetic.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "util/args.hpp"
 #include "util/atomic_file.hpp"
 #include "util/metrics.hpp"
@@ -67,7 +74,10 @@ int usage(const std::string& program) {
             << "  --checkpoint-every UPDATES --keep-last K --resume --out MODEL\n"
             << "common: --target-col N (negative counts from the end; default -1)\n"
             << "  --threads N (batch encode/predict workers; default REGHD_THREADS\n"
-            << "  or hardware concurrency)\n";
+            << "  or hardware concurrency)\n"
+            << "telemetry (train/stream): --stats (per-stage counter/latency table)\n"
+            << "  --telemetry-json PATH --telemetry-prom PATH (JSON / Prometheus\n"
+            << "  text exposition of the run's counters and latency histograms)\n";
   return 1;
 }
 
@@ -77,12 +87,44 @@ data::Dataset load(const util::Args& args) {
   return data::load_csv_file(args.get_string("csv", ""), opts);
 }
 
+/// Turns on the obs/ telemetry layer when any telemetry flag is present.
+/// Returns true if emit_telemetry should run at the end of the command.
+bool setup_telemetry(const util::Args& args) {
+  const bool wanted = args.get_bool("stats", false) || args.has("telemetry-json") ||
+                      args.has("telemetry-prom");
+  if (wanted) {
+    obs::set_enabled(true);
+  }
+  return wanted;
+}
+
+/// Emits the merged telemetry snapshot in every requested format: a human
+/// table on stdout (--stats), JSON (--telemetry-json PATH) and Prometheus
+/// text exposition (--telemetry-prom PATH).
+void emit_telemetry(const util::Args& args) {
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  if (args.get_bool("stats", false)) {
+    std::cout << obs::to_table(snap);
+  }
+  const std::string json_path = args.get_string("telemetry-json", "");
+  if (!json_path.empty()) {
+    util::atomic_write_file(json_path, obs::to_json(snap));
+    std::cout << "telemetry written to " << json_path << "\n";
+  }
+  const std::string prom_path = args.get_string("telemetry-prom", "");
+  if (!prom_path.empty()) {
+    util::atomic_write_file(prom_path, obs::to_prometheus(snap));
+    std::cout << "telemetry written to " << prom_path << "\n";
+  }
+}
+
 int cmd_train(const util::Args& args) {
   const std::string out_path = args.get_string("out", "");
   if (!args.has("csv") || out_path.empty()) {
     std::cerr << "train: --csv and --out are required\n";
     return 1;
   }
+  const bool telemetry = setup_telemetry(args);
   data::Dataset dataset = load(args);
 
   core::PipelineConfig cfg;
@@ -134,6 +176,9 @@ int cmd_train(const util::Args& args) {
 
   core::save_pipeline_file(out_path, pipeline);
   std::cout << "model written to " << out_path << "\n";
+  if (telemetry) {
+    emit_telemetry(args);
+  }
   return 0;
 }
 
@@ -173,6 +218,7 @@ int cmd_stream(const util::Args& args) {
     std::cerr << "stream: --csv is required\n";
     return 1;
   }
+  const bool telemetry = setup_telemetry(args);
   const data::Dataset dataset = load(args);
   const std::string ckpt_dir = args.get_string("checkpoint-dir", "");
   if (args.get_bool("resume", false) && ckpt_dir.empty()) {
@@ -254,6 +300,9 @@ int cmd_stream(const util::Args& args) {
     core::save_online_checkpoint(bytes, *learner);
     util::atomic_write_file(out_path, bytes.str());
     std::cout << "stream state written to " << out_path << "\n";
+  }
+  if (telemetry) {
+    emit_telemetry(args);
   }
   return 0;
 }
