@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-notel/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("util")
+subdirs("hdc")
+subdirs("data")
+subdirs("perf")
+subdirs("baselines")
+subdirs("core")
+subdirs("sim")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_hd.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/baseline_hd.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/baseline_hd.cpp.o.d"
+  "/root/repo/src/baselines/decision_tree.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/decision_tree.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/baselines/grid_search.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/grid_search.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/grid_search.cpp.o.d"
+  "/root/repo/src/baselines/knn.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/knn.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/knn.cpp.o.d"
+  "/root/repo/src/baselines/linear.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/linear.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/linear.cpp.o.d"
+  "/root/repo/src/baselines/mlp.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/mlp.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/mlp.cpp.o.d"
+  "/root/repo/src/baselines/svr.cpp" "src/baselines/CMakeFiles/reghd_baselines.dir/svr.cpp.o" "gcc" "src/baselines/CMakeFiles/reghd_baselines.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/hdc/CMakeFiles/reghd_hdc.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/data/CMakeFiles/reghd_data.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/util/CMakeFiles/reghd_util.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/core/CMakeFiles/reghd_core.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/obs/CMakeFiles/reghd_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

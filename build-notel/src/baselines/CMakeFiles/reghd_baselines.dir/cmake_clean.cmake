@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_baselines.dir/baseline_hd.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/baseline_hd.cpp.o.d"
+  "CMakeFiles/reghd_baselines.dir/decision_tree.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/reghd_baselines.dir/grid_search.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/grid_search.cpp.o.d"
+  "CMakeFiles/reghd_baselines.dir/knn.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/knn.cpp.o.d"
+  "CMakeFiles/reghd_baselines.dir/linear.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/linear.cpp.o.d"
+  "CMakeFiles/reghd_baselines.dir/mlp.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/mlp.cpp.o.d"
+  "CMakeFiles/reghd_baselines.dir/svr.cpp.o"
+  "CMakeFiles/reghd_baselines.dir/svr.cpp.o.d"
+  "libreghd_baselines.a"
+  "libreghd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

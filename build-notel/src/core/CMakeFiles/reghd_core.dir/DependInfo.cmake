@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/reghd_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/reghd_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/encoded.cpp" "src/core/CMakeFiles/reghd_core.dir/encoded.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/encoded.cpp.o.d"
+  "/root/repo/src/core/hd_classifier.cpp" "src/core/CMakeFiles/reghd_core.dir/hd_classifier.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/hd_classifier.cpp.o.d"
+  "/root/repo/src/core/hd_clustering.cpp" "src/core/CMakeFiles/reghd_core.dir/hd_clustering.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/hd_clustering.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/reghd_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/reghd_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/multi_model.cpp" "src/core/CMakeFiles/reghd_core.dir/multi_model.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/multi_model.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/reghd_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/reghd_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/single_model.cpp" "src/core/CMakeFiles/reghd_core.dir/single_model.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/single_model.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/reghd_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/reghd_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/hdc/CMakeFiles/reghd_hdc.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/data/CMakeFiles/reghd_data.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/util/CMakeFiles/reghd_util.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/obs/CMakeFiles/reghd_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/reghd_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/config.cpp.o"
+  "CMakeFiles/reghd_core.dir/config.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/encoded.cpp.o"
+  "CMakeFiles/reghd_core.dir/encoded.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/hd_classifier.cpp.o"
+  "CMakeFiles/reghd_core.dir/hd_classifier.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/hd_clustering.cpp.o"
+  "CMakeFiles/reghd_core.dir/hd_clustering.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/kernels.cpp.o"
+  "CMakeFiles/reghd_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/model_io.cpp.o"
+  "CMakeFiles/reghd_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/multi_model.cpp.o"
+  "CMakeFiles/reghd_core.dir/multi_model.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/online.cpp.o"
+  "CMakeFiles/reghd_core.dir/online.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/reghd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/single_model.cpp.o"
+  "CMakeFiles/reghd_core.dir/single_model.cpp.o.d"
+  "CMakeFiles/reghd_core.dir/training.cpp.o"
+  "CMakeFiles/reghd_core.dir/training.cpp.o.d"
+  "libreghd_core.a"
+  "libreghd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

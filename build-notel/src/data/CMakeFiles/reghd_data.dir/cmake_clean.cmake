@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_data.dir/csv.cpp.o"
+  "CMakeFiles/reghd_data.dir/csv.cpp.o.d"
+  "CMakeFiles/reghd_data.dir/dataset.cpp.o"
+  "CMakeFiles/reghd_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/reghd_data.dir/scaler.cpp.o"
+  "CMakeFiles/reghd_data.dir/scaler.cpp.o.d"
+  "CMakeFiles/reghd_data.dir/synthetic.cpp.o"
+  "CMakeFiles/reghd_data.dir/synthetic.cpp.o.d"
+  "libreghd_data.a"
+  "libreghd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdc/capacity.cpp" "src/hdc/CMakeFiles/reghd_hdc.dir/capacity.cpp.o" "gcc" "src/hdc/CMakeFiles/reghd_hdc.dir/capacity.cpp.o.d"
+  "/root/repo/src/hdc/encoding.cpp" "src/hdc/CMakeFiles/reghd_hdc.dir/encoding.cpp.o" "gcc" "src/hdc/CMakeFiles/reghd_hdc.dir/encoding.cpp.o.d"
+  "/root/repo/src/hdc/hypervector.cpp" "src/hdc/CMakeFiles/reghd_hdc.dir/hypervector.cpp.o" "gcc" "src/hdc/CMakeFiles/reghd_hdc.dir/hypervector.cpp.o.d"
+  "/root/repo/src/hdc/kernel_backend.cpp" "src/hdc/CMakeFiles/reghd_hdc.dir/kernel_backend.cpp.o" "gcc" "src/hdc/CMakeFiles/reghd_hdc.dir/kernel_backend.cpp.o.d"
+  "/root/repo/src/hdc/ops.cpp" "src/hdc/CMakeFiles/reghd_hdc.dir/ops.cpp.o" "gcc" "src/hdc/CMakeFiles/reghd_hdc.dir/ops.cpp.o.d"
+  "/root/repo/src/hdc/random_hv.cpp" "src/hdc/CMakeFiles/reghd_hdc.dir/random_hv.cpp.o" "gcc" "src/hdc/CMakeFiles/reghd_hdc.dir/random_hv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/util/CMakeFiles/reghd_util.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/obs/CMakeFiles/reghd_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_hdc.dir/capacity.cpp.o"
+  "CMakeFiles/reghd_hdc.dir/capacity.cpp.o.d"
+  "CMakeFiles/reghd_hdc.dir/encoding.cpp.o"
+  "CMakeFiles/reghd_hdc.dir/encoding.cpp.o.d"
+  "CMakeFiles/reghd_hdc.dir/hypervector.cpp.o"
+  "CMakeFiles/reghd_hdc.dir/hypervector.cpp.o.d"
+  "CMakeFiles/reghd_hdc.dir/kernel_backend.cpp.o"
+  "CMakeFiles/reghd_hdc.dir/kernel_backend.cpp.o.d"
+  "CMakeFiles/reghd_hdc.dir/ops.cpp.o"
+  "CMakeFiles/reghd_hdc.dir/ops.cpp.o.d"
+  "CMakeFiles/reghd_hdc.dir/random_hv.cpp.o"
+  "CMakeFiles/reghd_hdc.dir/random_hv.cpp.o.d"
+  "libreghd_hdc.a"
+  "libreghd_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

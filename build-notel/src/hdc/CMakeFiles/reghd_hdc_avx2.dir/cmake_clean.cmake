@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_hdc_avx2.dir/kernel_backend_avx2.cpp.o"
+  "CMakeFiles/reghd_hdc_avx2.dir/kernel_backend_avx2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_hdc_avx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_obs.dir/export.cpp.o"
+  "CMakeFiles/reghd_obs.dir/export.cpp.o.d"
+  "CMakeFiles/reghd_obs.dir/telemetry.cpp.o"
+  "CMakeFiles/reghd_obs.dir/telemetry.cpp.o.d"
+  "libreghd_obs.a"
+  "libreghd_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

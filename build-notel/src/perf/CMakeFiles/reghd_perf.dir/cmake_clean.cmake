@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_perf.dir/device_profile.cpp.o"
+  "CMakeFiles/reghd_perf.dir/device_profile.cpp.o.d"
+  "CMakeFiles/reghd_perf.dir/kernel_costs.cpp.o"
+  "CMakeFiles/reghd_perf.dir/kernel_costs.cpp.o.d"
+  "CMakeFiles/reghd_perf.dir/op_count.cpp.o"
+  "CMakeFiles/reghd_perf.dir/op_count.cpp.o.d"
+  "libreghd_perf.a"
+  "libreghd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerator.cpp" "src/sim/CMakeFiles/reghd_sim.dir/accelerator.cpp.o" "gcc" "src/sim/CMakeFiles/reghd_sim.dir/accelerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/perf/CMakeFiles/reghd_perf.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/util/CMakeFiles/reghd_util.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/obs/CMakeFiles/reghd_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_sim.dir/accelerator.cpp.o"
+  "CMakeFiles/reghd_sim.dir/accelerator.cpp.o.d"
+  "libreghd_sim.a"
+  "libreghd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

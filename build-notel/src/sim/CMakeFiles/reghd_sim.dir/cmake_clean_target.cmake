@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreghd_sim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/args.cpp" "src/util/CMakeFiles/reghd_util.dir/args.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/args.cpp.o.d"
+  "/root/repo/src/util/atomic_file.cpp" "src/util/CMakeFiles/reghd_util.dir/atomic_file.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/atomic_file.cpp.o.d"
+  "/root/repo/src/util/fault_injection.cpp" "src/util/CMakeFiles/reghd_util.dir/fault_injection.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/util/framing.cpp" "src/util/CMakeFiles/reghd_util.dir/framing.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/framing.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "src/util/CMakeFiles/reghd_util.dir/matrix.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/matrix.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "src/util/CMakeFiles/reghd_util.dir/metrics.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/metrics.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/util/CMakeFiles/reghd_util.dir/statistics.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/reghd_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/reghd_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/reghd_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/obs/CMakeFiles/reghd_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

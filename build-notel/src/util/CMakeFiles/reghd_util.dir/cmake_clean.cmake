@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd_util.dir/args.cpp.o"
+  "CMakeFiles/reghd_util.dir/args.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/atomic_file.cpp.o"
+  "CMakeFiles/reghd_util.dir/atomic_file.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/fault_injection.cpp.o"
+  "CMakeFiles/reghd_util.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/framing.cpp.o"
+  "CMakeFiles/reghd_util.dir/framing.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/matrix.cpp.o"
+  "CMakeFiles/reghd_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/metrics.cpp.o"
+  "CMakeFiles/reghd_util.dir/metrics.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/statistics.cpp.o"
+  "CMakeFiles/reghd_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/table.cpp.o"
+  "CMakeFiles/reghd_util.dir/table.cpp.o.d"
+  "CMakeFiles/reghd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/reghd_util.dir/thread_pool.cpp.o.d"
+  "libreghd_util.a"
+  "libreghd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_grid_search_test.dir/baselines_grid_search_test.cpp.o"
+  "CMakeFiles/baselines_grid_search_test.dir/baselines_grid_search_test.cpp.o.d"
+  "baselines_grid_search_test"
+  "baselines_grid_search_test.pdb"
+  "baselines_grid_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_grid_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

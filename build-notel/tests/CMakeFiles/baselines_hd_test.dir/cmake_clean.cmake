@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_hd_test.dir/baselines_hd_test.cpp.o"
+  "CMakeFiles/baselines_hd_test.dir/baselines_hd_test.cpp.o.d"
+  "baselines_hd_test"
+  "baselines_hd_test.pdb"
+  "baselines_hd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_hd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

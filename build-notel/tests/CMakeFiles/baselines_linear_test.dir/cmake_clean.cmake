@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_linear_test.dir/baselines_linear_test.cpp.o"
+  "CMakeFiles/baselines_linear_test.dir/baselines_linear_test.cpp.o.d"
+  "baselines_linear_test"
+  "baselines_linear_test.pdb"
+  "baselines_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_mlp_test.dir/baselines_mlp_test.cpp.o"
+  "CMakeFiles/baselines_mlp_test.dir/baselines_mlp_test.cpp.o.d"
+  "baselines_mlp_test"
+  "baselines_mlp_test.pdb"
+  "baselines_mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

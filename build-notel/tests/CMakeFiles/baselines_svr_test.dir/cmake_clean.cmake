@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_svr_test.dir/baselines_svr_test.cpp.o"
+  "CMakeFiles/baselines_svr_test.dir/baselines_svr_test.cpp.o.d"
+  "baselines_svr_test"
+  "baselines_svr_test.pdb"
+  "baselines_svr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_svr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tree_test.dir/baselines_tree_test.cpp.o"
+  "CMakeFiles/baselines_tree_test.dir/baselines_tree_test.cpp.o.d"
+  "baselines_tree_test"
+  "baselines_tree_test.pdb"
+  "baselines_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_early_stopping_test.dir/core_early_stopping_test.cpp.o"
+  "CMakeFiles/core_early_stopping_test.dir/core_early_stopping_test.cpp.o.d"
+  "core_early_stopping_test"
+  "core_early_stopping_test.pdb"
+  "core_early_stopping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_early_stopping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_encoded_test.dir/core_encoded_test.cpp.o"
+  "CMakeFiles/core_encoded_test.dir/core_encoded_test.cpp.o.d"
+  "core_encoded_test"
+  "core_encoded_test.pdb"
+  "core_encoded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_encoded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

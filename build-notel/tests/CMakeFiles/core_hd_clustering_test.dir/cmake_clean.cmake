@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hd_clustering_test.dir/core_hd_clustering_test.cpp.o"
+  "CMakeFiles/core_hd_clustering_test.dir/core_hd_clustering_test.cpp.o.d"
+  "core_hd_clustering_test"
+  "core_hd_clustering_test.pdb"
+  "core_hd_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hd_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_kernels_test.dir/core_kernels_test.cpp.o"
+  "CMakeFiles/core_kernels_test.dir/core_kernels_test.cpp.o.d"
+  "core_kernels_test"
+  "core_kernels_test.pdb"
+  "core_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

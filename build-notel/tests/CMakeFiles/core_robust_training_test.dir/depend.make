@@ -1,0 +1,2 @@
+# Empty dependencies file for core_robust_training_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_soa_equivalence_test.dir/core_soa_equivalence_test.cpp.o"
+  "CMakeFiles/core_soa_equivalence_test.dir/core_soa_equivalence_test.cpp.o.d"
+  "core_soa_equivalence_test"
+  "core_soa_equivalence_test.pdb"
+  "core_soa_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_soa_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sparsify_test.dir/core_sparsify_test.cpp.o"
+  "CMakeFiles/core_sparsify_test.dir/core_sparsify_test.cpp.o.d"
+  "core_sparsify_test"
+  "core_sparsify_test.pdb"
+  "core_sparsify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sparsify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

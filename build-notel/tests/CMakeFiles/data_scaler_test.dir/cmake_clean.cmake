@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_scaler_test.dir/data_scaler_test.cpp.o"
+  "CMakeFiles/data_scaler_test.dir/data_scaler_test.cpp.o.d"
+  "data_scaler_test"
+  "data_scaler_test.pdb"
+  "data_scaler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

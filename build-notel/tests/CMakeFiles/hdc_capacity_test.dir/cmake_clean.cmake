@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_capacity_test.dir/hdc_capacity_test.cpp.o"
+  "CMakeFiles/hdc_capacity_test.dir/hdc_capacity_test.cpp.o.d"
+  "hdc_capacity_test"
+  "hdc_capacity_test.pdb"
+  "hdc_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

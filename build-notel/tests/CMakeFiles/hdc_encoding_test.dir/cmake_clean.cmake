@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_encoding_test.dir/hdc_encoding_test.cpp.o"
+  "CMakeFiles/hdc_encoding_test.dir/hdc_encoding_test.cpp.o.d"
+  "hdc_encoding_test"
+  "hdc_encoding_test.pdb"
+  "hdc_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_hypervector_test.dir/hdc_hypervector_test.cpp.o"
+  "CMakeFiles/hdc_hypervector_test.dir/hdc_hypervector_test.cpp.o.d"
+  "hdc_hypervector_test"
+  "hdc_hypervector_test.pdb"
+  "hdc_hypervector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_hypervector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

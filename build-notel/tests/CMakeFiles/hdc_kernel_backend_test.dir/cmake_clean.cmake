@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_kernel_backend_test.dir/hdc_kernel_backend_test.cpp.o"
+  "CMakeFiles/hdc_kernel_backend_test.dir/hdc_kernel_backend_test.cpp.o.d"
+  "hdc_kernel_backend_test"
+  "hdc_kernel_backend_test.pdb"
+  "hdc_kernel_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_kernel_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

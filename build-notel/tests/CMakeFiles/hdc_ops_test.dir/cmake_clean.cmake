@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_ops_test.dir/hdc_ops_test.cpp.o"
+  "CMakeFiles/hdc_ops_test.dir/hdc_ops_test.cpp.o.d"
+  "hdc_ops_test"
+  "hdc_ops_test.pdb"
+  "hdc_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_random_hv_test.dir/hdc_random_hv_test.cpp.o"
+  "CMakeFiles/hdc_random_hv_test.dir/hdc_random_hv_test.cpp.o.d"
+  "hdc_random_hv_test"
+  "hdc_random_hv_test.pdb"
+  "hdc_random_hv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_random_hv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_temporal_encoder_test.dir/hdc_temporal_encoder_test.cpp.o"
+  "CMakeFiles/hdc_temporal_encoder_test.dir/hdc_temporal_encoder_test.cpp.o.d"
+  "hdc_temporal_encoder_test"
+  "hdc_temporal_encoder_test.pdb"
+  "hdc_temporal_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_temporal_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_regressor_test.dir/model_regressor_test.cpp.o"
+  "CMakeFiles/model_regressor_test.dir/model_regressor_test.cpp.o.d"
+  "model_regressor_test"
+  "model_regressor_test.pdb"
+  "model_regressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_regressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

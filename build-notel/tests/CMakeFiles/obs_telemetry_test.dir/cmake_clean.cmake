@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_telemetry_test.dir/obs_telemetry_test.cpp.o"
+  "CMakeFiles/obs_telemetry_test.dir/obs_telemetry_test.cpp.o.d"
+  "obs_telemetry_test"
+  "obs_telemetry_test.pdb"
+  "obs_telemetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_device_test.dir/perf_device_test.cpp.o"
+  "CMakeFiles/perf_device_test.dir/perf_device_test.cpp.o.d"
+  "perf_device_test"
+  "perf_device_test.pdb"
+  "perf_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_kernel_costs_test.dir/perf_kernel_costs_test.cpp.o"
+  "CMakeFiles/perf_kernel_costs_test.dir/perf_kernel_costs_test.cpp.o.d"
+  "perf_kernel_costs_test"
+  "perf_kernel_costs_test.pdb"
+  "perf_kernel_costs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_kernel_costs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_op_count_test.dir/perf_op_count_test.cpp.o"
+  "CMakeFiles/perf_op_count_test.dir/perf_op_count_test.cpp.o.d"
+  "perf_op_count_test"
+  "perf_op_count_test.pdb"
+  "perf_op_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_op_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_accelerator_test.dir/sim_accelerator_test.cpp.o"
+  "CMakeFiles/sim_accelerator_test.dir/sim_accelerator_test.cpp.o.d"
+  "sim_accelerator_test"
+  "sim_accelerator_test.pdb"
+  "sim_accelerator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_accelerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

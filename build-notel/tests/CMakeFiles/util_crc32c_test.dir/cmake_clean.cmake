@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_crc32c_test.dir/util_crc32c_test.cpp.o"
+  "CMakeFiles/util_crc32c_test.dir/util_crc32c_test.cpp.o.d"
+  "util_crc32c_test"
+  "util_crc32c_test.pdb"
+  "util_crc32c_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_crc32c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

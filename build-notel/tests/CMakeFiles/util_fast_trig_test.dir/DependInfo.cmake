@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_fast_trig_test.cpp" "tests/CMakeFiles/util_fast_trig_test.dir/util_fast_trig_test.cpp.o" "gcc" "tests/CMakeFiles/util_fast_trig_test.dir/util_fast_trig_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notel/src/core/CMakeFiles/reghd_core.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/baselines/CMakeFiles/reghd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/perf/CMakeFiles/reghd_perf.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/sim/CMakeFiles/reghd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/data/CMakeFiles/reghd_data.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/hdc/CMakeFiles/reghd_hdc.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/util/CMakeFiles/reghd_util.dir/DependInfo.cmake"
+  "/root/repo/build-notel/src/obs/CMakeFiles/reghd_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

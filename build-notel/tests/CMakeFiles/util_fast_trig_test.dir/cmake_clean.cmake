@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_fast_trig_test.dir/util_fast_trig_test.cpp.o"
+  "CMakeFiles/util_fast_trig_test.dir/util_fast_trig_test.cpp.o.d"
+  "util_fast_trig_test"
+  "util_fast_trig_test.pdb"
+  "util_fast_trig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_fast_trig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_framing_test.dir/util_framing_test.cpp.o"
+  "CMakeFiles/util_framing_test.dir/util_framing_test.cpp.o.d"
+  "util_framing_test"
+  "util_framing_test.pdb"
+  "util_framing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_framing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

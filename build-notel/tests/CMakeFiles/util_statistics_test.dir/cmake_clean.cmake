@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_statistics_test.dir/util_statistics_test.cpp.o"
+  "CMakeFiles/util_statistics_test.dir/util_statistics_test.cpp.o.d"
+  "util_statistics_test"
+  "util_statistics_test.pdb"
+  "util_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_stopwatch_test.dir/util_stopwatch_test.cpp.o"
+  "CMakeFiles/util_stopwatch_test.dir/util_stopwatch_test.cpp.o.d"
+  "util_stopwatch_test"
+  "util_stopwatch_test.pdb"
+  "util_stopwatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_stopwatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_torture.dir/checkpoint_torture.cpp.o"
+  "CMakeFiles/checkpoint_torture.dir/checkpoint_torture.cpp.o.d"
+  "checkpoint_torture"
+  "checkpoint_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_golden.dir/make_golden.cpp.o"
+  "CMakeFiles/make_golden.dir/make_golden.cpp.o.d"
+  "make_golden"
+  "make_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

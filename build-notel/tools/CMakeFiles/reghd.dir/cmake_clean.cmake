@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reghd.dir/reghd_cli.cpp.o"
+  "CMakeFiles/reghd.dir/reghd_cli.cpp.o.d"
+  "reghd"
+  "reghd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reghd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
