@@ -25,6 +25,7 @@
 //                          telemetry disabled vs enabled.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <numeric>
@@ -326,9 +327,12 @@ int run_kernel_json(const std::string& path) {
   std::vector<double> bank_scores(2 * kModels);
   std::vector<std::uint64_t> binary_bank(2 * kModels * kWords);
   std::vector<std::int64_t> binary_scores(2 * kModels);
+  std::vector<std::uint64_t> ternary_masks(2 * kModels * kWords);
   for (std::size_t r = 0; r < 2 * kModels; ++r) {
     const hdc::BinaryHV row = hdc::random_binary(kDim, rng);
     std::memcpy(binary_bank.data() + r * kWords, row.words().data(), kWords * 8);
+    const hdc::BinaryHV mrow = hdc::random_binary(kDim, rng);
+    std::memcpy(ternary_masks.data() + r * kWords, mrow.words().data(), kWords * 8);
   }
   std::vector<std::int8_t> sign_bipolar(kDim);
   std::vector<std::uint64_t> sign_bits(kWords);
@@ -346,6 +350,10 @@ int run_kernel_json(const std::string& path) {
   root["dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(kDim));
   root["active_backend"] = bench::JsonValue::string(hdc::active_backend().name);
   root["cpu_supports_avx2"] = bench::JsonValue::boolean(hdc::cpu_supports_avx2());
+  root["host_hardware_concurrency"] = bench::JsonValue::integer(
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  const char* env_threads = std::getenv("REGHD_THREADS");
+  root["env_reghd_threads"] = bench::JsonValue::string(env_threads ? env_threads : "");
 
   bench::JsonValue& kernels = root["kernels"];
 
@@ -451,6 +459,27 @@ int run_kernel_json(const std::string& path) {
     report_backend(kernels["dot_rows_binary"], b.c_str(),
                    (2.0 * kModels + 1.0) * kWords * 8, ns);
 
+    // Packed ternary bank scan: masked XNOR + popcount per row — the
+    // 2-bit-plane replacement for the f64 gemm_predict_bank sweep.
+    ns = time_ns([&] {
+      kb->dot_rows_ternary(pba, binary_bank.data(), ternary_masks.data(), kWords,
+                           2 * kModels, kDim, binary_scores.data());
+    });
+    report_backend(kernels["dot_rows_ternary"], b.c_str(),
+                   (4.0 * kModels + 1.0) * kWords * 8, ns);
+
+    // Counter-based RFF row rematerialization: one 16-row tile (the encoder's
+    // remat scratch unit) regenerated from the master seed. Pure compute —
+    // the bytes figure is the tile it fills.
+    constexpr std::size_t kRematTile = 16;
+    std::vector<double> remat_tile(kFeatures * kRematTile);
+    ns = time_ns([&] {
+      kb->rff_rematerialize(0x5EED, 0.316, 128, kRematTile, kFeatures,
+                            remat_tile.data(), kRematTile);
+    });
+    report_backend(kernels["rff_rematerialize"], b.c_str(),
+                   kRematTile * kFeatures * 8.0, ns);
+
     // Fused sign binarization of one encoded row.
     ns = time_ns(
         [&] { kb->sign_encode(pra, sign_bipolar.data(), sign_bits.data(), kDim); });
@@ -487,6 +516,27 @@ int run_kernel_json(const std::string& path) {
   kernels["rff_encode"]["seed"]["ns_per_op"] = bench::JsonValue::number(seed_encode_ns);
   report_backend(kernels["rff_encode"], hdc::active_backend().name,
                  kDim * kFeatures * 8.0, encode_ns);
+
+  // Projection storage: resident F×D matrix vs counter-based rematerialized
+  // tiles (bit-identical encodings; the trade is resident bytes for
+  // regeneration compute).
+  hdc::EncoderConfig remat_cfg = ecfg;
+  remat_cfg.projection_storage = hdc::ProjectionStorage::kRematerialized;
+  const auto remat_encoder = hdc::make_encoder(remat_cfg);
+  const double remat_encode_ns =
+      time_ns([&] { benchmark::DoNotOptimize(remat_encoder->encode_real(features)); });
+  {
+    constexpr std::size_t kRematTile = 16;
+    bench::JsonValue& ps = root["projection_storage"];
+    ps["resident"]["encode_ns_per_row"] = bench::JsonValue::number(encode_ns);
+    ps["resident"]["projection_resident_bytes"] =
+        bench::JsonValue::integer(static_cast<std::int64_t>(kDim * kFeatures * 8));
+    ps["rematerialized"]["encode_ns_per_row"] = bench::JsonValue::number(remat_encode_ns);
+    // O(tile) scratch instead of the O(F·D) matrix; nothing else is resident.
+    ps["rematerialized"]["projection_resident_bytes"] = bench::JsonValue::integer(0);
+    ps["rematerialized"]["scratch_bytes"] =
+        bench::JsonValue::integer(static_cast<std::int64_t>(kFeatures * kRematTile * 8));
+  }
 
   // End-to-end: encode kRows rows and predict each with a k-model regressor,
   // batched path vs the seed's per-row loops.
@@ -605,6 +655,24 @@ int run_kernel_json(const std::string& path) {
   tr["batch32"]["samples_per_s"] =
       bench::JsonValue::number(1e9 * static_cast<double>(enc_train.size()) / train_b32_ns);
 
+  // Resident-bytes accounting for the packed scan bank: a quantized k-model
+  // regressor's PackedTernaryBank vs the f64 rows it replaces.
+  {
+    core::RegHDConfig qcfg = rcfg;
+    qcfg.query_precision = core::QueryPrecision::kBinary;
+    qcfg.model_precision = core::ModelPrecision::kTernary;
+    const core::MultiModelRegressor qreg(qcfg);
+    bench::JsonValue& mem = root["resident_bytes"];
+    mem["model_bank_real_per_model"] =
+        bench::JsonValue::integer(static_cast<std::int64_t>(kDim * 8));
+    mem["model_bank_packed_per_model"] =
+        bench::JsonValue::integer(static_cast<std::int64_t>(2 * kWords * 8 + 8));
+    mem["packed_bank_total"] = bench::JsonValue::integer(
+        static_cast<std::int64_t>(qreg.packed_bank().resident_bytes()));
+    mem["packed_bank_rows"] = bench::JsonValue::integer(
+        static_cast<std::int64_t>(qreg.packed_bank().rows));
+  }
+
   bench::JsonValue& speedups = root["speedups_vs_seed"];
   const std::string active = hdc::active_backend().name;
   const double active_drb_ns =
@@ -614,6 +682,20 @@ int run_kernel_json(const std::string& path) {
   speedups["encode_predict_end_to_end"] =
       bench::JsonValue::number(e2e_seed_ns / e2e_batched_ns);
   speedups["train_epoch_batch32"] = bench::JsonValue::number(train_seq_ns / train_b32_ns);
+  {
+    // Effective bank-scan speedup: same 2k logical rows scored per call,
+    // packed ternary planes vs the f64 bank sweep.
+    const hdc::KernelBackend& akb = hdc::active_backend();
+    const double bank_real_ns = time_ns([&] {
+      akb.dot_rows(pra, bank.data(), kDim, 2 * kModels, kDim, bank_scores.data());
+    });
+    const double bank_tern_ns = time_ns([&] {
+      akb.dot_rows_ternary(pba, binary_bank.data(), ternary_masks.data(), kWords,
+                           2 * kModels, kDim, binary_scores.data());
+    });
+    speedups["ternary_bank_scan_vs_real"] =
+        bench::JsonValue::number(bank_real_ns / bank_tern_ns);
+  }
   speedups["active_backend"] = bench::JsonValue::string(active);
 
   return bench::write_json_file(path, root) ? 0 : 1;

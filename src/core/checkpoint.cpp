@@ -25,6 +25,7 @@ constexpr std::uint32_t kSectionOnlineConfig = util::fourcc("OCFG");
 constexpr std::uint32_t kSectionOnlineState = util::fourcc("OSTA");
 constexpr std::uint32_t kSectionModels = util::fourcc("MODL");
 constexpr std::uint32_t kSectionSnapshots = util::fourcc("SNAP");
+constexpr std::uint32_t kSectionPackedBank = util::fourcc("PBNK");
 
 constexpr const char* kOnlinePrefix = "ckpt-";
 constexpr const char* kPipelinePrefix = "epoch-";
@@ -180,6 +181,21 @@ void save_online_checkpoint(std::ostream& out, const OnlineRegHD& learner) {
   }
   writer.add(kSectionSnapshots, snap.str());
 
+  // Packed scan bank, saved verbatim like the snapshots: a resumed process
+  // must score through exactly the bytes the checkpointed one did. Optional
+  // section — readers predating it (and readers of files predating it)
+  // rebuild the bank from the snapshots instead.
+  const PackedTernaryBank& bank = model.packed_bank();
+  if (bank.valid) {
+    std::ostringstream pbnk(std::ios::binary);
+    util::write_scalar<std::uint64_t>(pbnk, bank.rows);
+    util::write_scalar<std::uint64_t>(pbnk, bank.words);
+    util::write_vector<std::uint64_t>(pbnk, {bank.signs.data(), bank.signs.size()});
+    util::write_vector<std::uint64_t>(pbnk, {bank.masks.data(), bank.masks.size()});
+    util::write_vector<double>(pbnk, {bank.scale.data(), bank.scale.size()});
+    writer.add(kSectionPackedBank, pbnk.str());
+  }
+
   writer.finish();
   if (!out.good()) {
     throw std::runtime_error("checkpoint: stream error while saving");
@@ -264,6 +280,31 @@ OnlineRegHD load_online_checkpoint(std::istream& in) {
     }
     return 0;
   });
+
+  // Snapshot restore went through the mutable accessors, so the bank is
+  // stale; reload the saved one verbatim when present, else (files written
+  // before the PBNK section existed) re-pack from the restored snapshots.
+  if (const util::Section* pbnk = file.find(kSectionPackedBank)) {
+    parse_payload(*pbnk, "packed bank", [&](auto& s) {
+      PackedTernaryBank& bank = model.mutable_packed_bank();
+      bank.rows = util::read_scalar<std::uint64_t>(s);
+      bank.words = util::read_scalar<std::uint64_t>(s);
+      const auto signs = util::read_vector<std::uint64_t>(s);
+      const auto masks = util::read_vector<std::uint64_t>(s);
+      const auto scale = util::read_vector<double>(s);
+      if (bank.words != (dim + 63) / 64 || signs.size() != bank.rows * bank.words ||
+          masks.size() != signs.size() || scale.size() != bank.rows) {
+        throw std::runtime_error("packed bank geometry does not match the model");
+      }
+      bank.signs.assign(signs.begin(), signs.end());
+      bank.masks.assign(masks.begin(), masks.end());
+      bank.scale = scale;
+      bank.valid = true;
+      return 0;
+    });
+  } else {
+    model.rebuild_packed_bank();
+  }
 
   parse_payload(file.require(kSectionOnlineState), "state", [&](auto& s) {
     const auto seen = util::read_scalar<std::uint64_t>(s);

@@ -25,6 +25,33 @@
 
 namespace reghd::core {
 
+/// Packed 2-bit-plane quantization of a model/cluster row bank — the §3.2
+/// bank-scan form of MultiModelRegressor's state. Per row: a sign bit-plane,
+/// a mask bit-plane (bit set ⇔ the component participates), and one real
+/// score scale. A binarized row is its sign snapshot under a full mask with
+/// scale γ; a ternary row additionally masks the QuantHD dead zone and
+/// scales by γ_ternary; cluster rows carry a full mask and scale 1 (their
+/// scores feed the exact Hamming-similarity replay directly). Scored against
+/// a packed binary query by KernelBackend::dot_rows_ternary — 2 bits
+/// resident per component instead of the 8-byte f64 bank row it replaces
+/// (32× per plane pair vs the real bank; ≥4× vs any float storage).
+/// Padding bits past `dim` are zero in both planes (the kernel contract).
+struct PackedTernaryBank {
+  std::size_t rows = 0;
+  std::size_t words = 0;  ///< 64-bit words per row in each plane.
+  util::AlignedVector<std::uint64_t> signs;  ///< rows × words sign bits.
+  util::AlignedVector<std::uint64_t> masks;  ///< rows × words mask bits.
+  std::vector<double> scale;                 ///< Per-row score scale.
+  bool valid = false;  ///< False ⇒ stale relative to the owner's snapshots.
+
+  /// Resident bytes of the packed planes + scales (the footprint the bank
+  /// trades against the f64 rows; reported by the microbench).
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return (signs.size() + masks.size()) * sizeof(std::uint64_t) +
+           scale.size() * sizeof(double);
+  }
+};
+
 class EncodedDataset {
  public:
   EncodedDataset() = default;

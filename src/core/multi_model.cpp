@@ -41,6 +41,60 @@ void MultiModelRegressor::reset() {
   for (auto& m : models_) {
     m.requantize();
   }
+  rebuild_packed_bank();
+}
+
+void MultiModelRegressor::build_packed_bank_into(PackedTernaryBank& bank) const {
+  const PredictionMode mode = config_.prediction_mode();
+  const std::size_t d = config_.dim;
+  const std::size_t words = (d + 63) / 64;
+  const std::size_t k_c = clusters_.size();
+  // Model rows ride in the bank whenever the model term is a popcount shape
+  // (binary or ternary snapshots); real-precision models stay out (their
+  // term is a float dot, handled per sample by predict_batch).
+  const bool bank_models = mode.model == ModelPrecision::kBinary ||
+                           mode.model == ModelPrecision::kTernary;
+  const std::size_t rows = k_c + (bank_models ? models_.size() : 0);
+  bank.rows = rows;
+  bank.words = words;
+  bank.signs.resize(rows * words);
+  bank.masks.resize(rows * words);
+  bank.scale.assign(rows, 1.0);
+  // Full-participation mask row: all d bits set, padding bits zero (the
+  // dot_rows_ternary contract) — under it the masked bipolar dot degenerates
+  // to the exact d − 2·Hamming of the binary scan.
+  std::vector<std::uint64_t> full(words, ~0ULL);
+  if (d % 64 != 0 && words > 0) {
+    full[words - 1] = (1ULL << (d % 64)) - 1;
+  }
+  for (std::size_t c = 0; c < k_c; ++c) {
+    std::memcpy(bank.signs.data() + c * words, clusters_[c].binary.words().data(),
+                words * sizeof(std::uint64_t));
+    std::memcpy(bank.masks.data() + c * words, full.data(),
+                words * sizeof(std::uint64_t));
+  }
+  if (bank_models) {
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      const std::size_t r = k_c + m;
+      std::memcpy(bank.signs.data() + r * words, models_[m].binary.words().data(),
+                  words * sizeof(std::uint64_t));
+      if (mode.model == ModelPrecision::kTernary) {
+        std::memcpy(bank.masks.data() + r * words,
+                    models_[m].ternary_mask.words().data(),
+                    words * sizeof(std::uint64_t));
+        bank.scale[r] = models_[m].gamma_ternary;
+      } else {
+        std::memcpy(bank.masks.data() + r * words, full.data(),
+                    words * sizeof(std::uint64_t));
+        bank.scale[r] = models_[m].gamma;
+      }
+    }
+  }
+  bank.valid = true;
+}
+
+void MultiModelRegressor::rebuild_packed_bank() {
+  build_packed_bank_into(packed_bank_);
 }
 
 std::vector<double> MultiModelRegressor::similarities(
@@ -211,32 +265,35 @@ std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dat
       mode.query == QueryPrecision::kBinary && !dataset.empty() &&
       dataset.dim() == config_.dim) {
     // Quantized bank scan (§3.1 + §3.2): the Hamming similarities of every
-    // query against all cluster snapshots come from one dot_rows_binary
-    // popcount sweep over a contiguous packed bank; with a binary model the
-    // k model snapshots ride in the same bank, making the whole Eq. 5/6
-    // pipeline XNOR+popcount. The integer bipolar dots are exact, and the
-    // float arithmetic below replays hamming_similarity / predict_dot /
-    // predict() operation-for-operation, so out[i] is bit-identical to
-    // predict(sample(i)).
+    // query against all cluster snapshots come from one dot_rows_ternary
+    // popcount sweep over the packed 2-bit-plane bank; with a binary or
+    // ternary model the k model snapshot rows ride in the same bank (full
+    // mask + γ, or dead-zone mask + γ_ternary), making the whole Eq. 5/6
+    // pipeline XNOR+popcount. The integer masked bipolar dots are exact —
+    // full-mask rows reduce to the same d − 2·Hamming the binary scan
+    // produced — and the float arithmetic below replays hamming_similarity /
+    // predict_dot / predict() operation-for-operation, so out[i] is
+    // bit-identical to predict(sample(i)).
     const hdc::KernelBackend& kb = hdc::active_backend();
     const std::size_t d = config_.dim;
     const double dd = static_cast<double>(d);
     const std::size_t words = dataset.words_per_row();
     const std::size_t k_c = clusters_.size();
     const std::size_t k_m = models_.size();
-    const bool bank_models = mode.model == ModelPrecision::kBinary;
-    const std::size_t bank_rows = k_c + (bank_models ? k_m : 0);
-    util::AlignedVector<std::uint64_t> bank(bank_rows * words);
-    for (std::size_t c = 0; c < k_c; ++c) {
-      std::memcpy(bank.data() + c * words, clusters_[c].binary.words().data(),
-                  words * sizeof(std::uint64_t));
+    const bool bank_models = mode.model == ModelPrecision::kBinary ||
+                             mode.model == ModelPrecision::kTernary;
+    // The persistent bank tracks the snapshots (rebuilt on requantize);
+    // after raw mutable-state access it is stale, so score through a
+    // per-call bank instead — same bytes, same results.
+    PackedTernaryBank local;
+    if (!packed_bank_.valid) {
+      build_packed_bank_into(local);
     }
-    if (bank_models) {
-      for (std::size_t m = 0; m < k_m; ++m) {
-        std::memcpy(bank.data() + (k_c + m) * words, models_[m].binary.words().data(),
-                    words * sizeof(std::uint64_t));
-      }
-    }
+    const PackedTernaryBank& bank = packed_bank_.valid ? packed_bank_ : local;
+    REGHD_INTERNAL_CHECK(bank.rows == k_c + (bank_models ? k_m : 0) &&
+                             bank.words == words,
+                         "packed bank geometry " << bank.rows << "×" << bank.words
+                                                 << " does not match predict shape");
     const std::uint64_t* bits = dataset.binary_plane().data();
     constexpr std::size_t kChunk = 64;
     const std::size_t chunks = (dataset.size() + kChunk - 1) / kChunk;
@@ -245,11 +302,12 @@ std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dat
         [&](std::size_t chunk) {
           const std::size_t r0 = chunk * kChunk;
           const std::size_t rn = std::min(dataset.size(), r0 + kChunk);
-          std::vector<std::int64_t> scores(bank_rows);
+          std::vector<std::int64_t> scores(bank.rows);
           std::vector<double> sims(k_c);
           for (std::size_t i = r0; i < rn; ++i) {
-            kb.dot_rows_binary(bits + i * words, bank.data(), words, bank_rows, d,
-                               scores.data());
+            kb.dot_rows_ternary(bits + i * words, bank.signs.data(),
+                                bank.masks.data(), words, bank.rows, d,
+                                scores.data());
             for (std::size_t c = 0; c < k_c; ++c) {
               // hamming_similarity replayed from the exact integer distance
               // h = (d − dot) / 2.
@@ -260,12 +318,15 @@ std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dat
             const std::vector<double> conf = confidences_from(sims);
             double y = 0.0;
             if (bank_models) {
+              // γ·score/D (binary) or γ_ternary·score/D (ternary) — the
+              // bank's per-row scale is exactly that γ, so one expression
+              // replays both predict_dot forms.
               for (std::size_t m = 0; m < k_m; ++m) {
-                y += conf[m] *
-                     (models_[m].gamma * static_cast<double>(scores[k_c + m]) / dd);
+                y += conf[m] * (bank.scale[k_c + m] *
+                                static_cast<double>(scores[k_c + m]) / dd);
               }
             } else {
-              // Integer or ternary model term: not a popcount bank shape;
+              // Integer (real-precision) model term: not a popcount shape;
               // reuse the per-sample kernel (still banked sims above).
               const hdc::EncodedSampleView s = dataset.sample(i);
               for (std::size_t m = 0; m < k_m; ++m) {
@@ -629,6 +690,7 @@ void MultiModelRegressor::sparsify(double fraction) {
     }
     m.requantize();
   }
+  rebuild_packed_bank();
 }
 
 double MultiModelRegressor::model_sparsity() const {
@@ -686,6 +748,7 @@ void MultiModelRegressor::init_clusters_from_samples(const EncodedDataset& train
     center.norm2 = static_cast<double>(config_.dim);
     center.requantize();
   }
+  rebuild_packed_bank();
 }
 
 void MultiModelRegressor::requantize() {
@@ -702,6 +765,9 @@ void MultiModelRegressor::requantize() {
     }
     c.norm2 = norm2;
   }
+  // Requantize-on-update policy: every snapshot refresh re-packs the scan
+  // bank, so the online path never scores through stale packed rows.
+  rebuild_packed_bank();
 }
 
 TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
@@ -801,9 +867,12 @@ TrainingReport MultiModelRegressor::fit(const EncodedDataset& train,
   if (!report.converged) {
     report.stop_reason = "reached max_epochs";
   }
-  // Keep the best validation-epoch state, not the last one.
+  // Keep the best validation-epoch state, not the last one. The packed bank
+  // was built from the final epoch's snapshots, so re-pack from the restored
+  // ones.
   models_ = std::move(best_models);
   clusters_ = std::move(best_clusters);
+  rebuild_packed_bank();
   report.best_val_mse = stopper.best();
   return report;
 }

@@ -112,8 +112,37 @@ class MultiModelRegressor {
   [[nodiscard]] const ClusterCenter& cluster(std::size_t i) const { return clusters_[i]; }
 
   /// Mutable access for deserialization (model_io) and white-box tests.
-  [[nodiscard]] std::vector<RegressionModel>& mutable_models() noexcept { return models_; }
-  [[nodiscard]] std::vector<ClusterCenter>& mutable_clusters() noexcept { return clusters_; }
+  /// Handing out mutable state invalidates the packed bank — the caller may
+  /// rewrite the snapshots it was built from (requantize() or
+  /// rebuild_packed_bank() restores it).
+  [[nodiscard]] std::vector<RegressionModel>& mutable_models() noexcept {
+    packed_bank_.valid = false;
+    return models_;
+  }
+  [[nodiscard]] std::vector<ClusterCenter>& mutable_clusters() noexcept {
+    packed_bank_.valid = false;
+    return clusters_;
+  }
+
+  /// The packed ternary/binary scan bank derived from the current snapshots
+  /// (see PackedTernaryBank). Invalid after mutable state access until the
+  /// next requantize()/rebuild; predict_batch then falls back to building a
+  /// per-call bank, so results never depend on validity.
+  [[nodiscard]] const PackedTernaryBank& packed_bank() const noexcept {
+    return packed_bank_;
+  }
+
+  /// Mutable bank access for checkpoint restore (core/checkpoint): a saved
+  /// bank is reloaded verbatim so a resumed process scores through exactly
+  /// the bytes the checkpointed one did.
+  [[nodiscard]] PackedTernaryBank& mutable_packed_bank() noexcept {
+    return packed_bank_;
+  }
+
+  /// Rebuilds the packed bank from the current binary/ternary snapshots (the
+  /// requantize-on-update policy re-packs through this; also the recovery
+  /// path for checkpoints predating the bank section).
+  void rebuild_packed_bank();
 
   /// Re-initializes clusters and models from the configured seed.
   void reset();
@@ -148,9 +177,15 @@ class MultiModelRegressor {
   /// kFarthestPoint).
   void init_clusters_from_samples(const EncodedDataset& train);
 
+  /// Fills `bank` from the current snapshots at the configured model
+  /// precision (the allocation-reusing core of rebuild_packed_bank; also
+  /// builds predict_batch's per-call fallback bank). Thread-safe.
+  void build_packed_bank_into(PackedTernaryBank& bank) const;
+
   RegHDConfig config_;
   std::vector<RegressionModel> models_;
   std::vector<ClusterCenter> clusters_;
+  PackedTernaryBank packed_bank_;
 
   // Reusable train_step scratch, hoisted out of the per-sample hot loop
   // (similarities()/confidences_from() used to allocate per call). predict()

@@ -44,6 +44,28 @@ EncoderKind encoder_kind_from_string(const std::string& name) {
                               "' (expected nonlinear, rff, idlevel, or temporal)");
 }
 
+std::string to_string(ProjectionStorage storage) {
+  switch (storage) {
+    case ProjectionStorage::kResident:
+      return "resident";
+    case ProjectionStorage::kRematerialized:
+      return "rematerialized";
+  }
+  REGHD_INTERNAL_CHECK(false,
+                       "unhandled ProjectionStorage " << static_cast<int>(storage));
+}
+
+ProjectionStorage projection_storage_from_string(const std::string& name) {
+  if (name == "resident") {
+    return ProjectionStorage::kResident;
+  }
+  if (name == "rematerialized") {
+    return ProjectionStorage::kRematerialized;
+  }
+  throw std::invalid_argument("unknown projection storage '" + name +
+                              "' (expected resident or rematerialized)");
+}
+
 Encoder::Encoder(EncoderConfig config) : config_(config) {
   REGHD_CHECK(config_.input_dim > 0, "encoder requires input_dim > 0");
   REGHD_CHECK(config_.dim > 0, "encoder requires dim > 0");
@@ -209,14 +231,17 @@ RffProjectionEncoder::RffProjectionEncoder(EncoderConfig config) : Encoder(confi
   util::Rng rng(config_.seed);
   util::Rng proj_rng = rng.split();
   util::Rng phase_rng = rng.split();
-  // Draw weights in (j, k) order — the same stream a row-major fill would
-  // consume, so the per-component weights are unchanged — but store them
-  // transposed for the axpy formulation of the projection.
-  projection_t_.resize(config_.dim * config_.input_dim);
-  for (std::size_t j = 0; j < config_.dim; ++j) {
-    for (std::size_t k = 0; k < config_.input_dim; ++k) {
-      projection_t_[k * config_.dim + j] = proj_rng.normal(0.0, stddev);
-    }
+  stddev_ = stddev;
+  // The weights are a pure function of (proj_seed_, row, feature) through
+  // the counter-based rff_rematerialize kernel — never of a sequential
+  // generator — so any row tile can be regenerated independently. Resident
+  // mode materializes all D rows once, here; rematerialized mode stores
+  // nothing and regenerates tiles inside the encode loops. Either way the
+  // phase stream below is untouched (phase_rng stays the second split).
+  proj_seed_ = proj_rng.bits();
+  if (config_.projection_storage == ProjectionStorage::kResident) {
+    projection_t_.resize(config_.dim * config_.input_dim);
+    materialize_rows(0, config_.dim, projection_t_.data(), config_.dim);
   }
   phase_.resize(config_.dim);
   sin_phase_.resize(config_.dim);
@@ -227,11 +252,35 @@ RffProjectionEncoder::RffProjectionEncoder(EncoderConfig config) : Encoder(confi
   }
 }
 
+void RffProjectionEncoder::materialize_rows(std::size_t row0, std::size_t rows,
+                                            double* out, std::size_t ld) const {
+  active_backend().rff_rematerialize(proj_seed_, stddev_, row0, rows,
+                                     config_.input_dim, out, ld);
+}
+
 void RffProjectionEncoder::encode_real_into(std::span<const double> features,
                                             double* out) const {
   const std::size_t d = config_.dim;
   const std::size_t n = config_.input_dim;
   const KernelBackend& kb = active_backend();
+  if (config_.projection_storage == ProjectionStorage::kRematerialized) {
+    // Single-row rematerialized projection: regenerate 16-hyperspace-row
+    // tiles of the weights and multiply each in place (a 1×n × n×tile GEMM).
+    // gemm_accumulate adds each output component's contributions with the
+    // feature index ascending, mul-then-add — exactly the rounding sequence
+    // of the resident axpy chain below, so the two storage modes are
+    // bit-identical.
+    constexpr std::size_t kTile = 16;
+    std::vector<double> scratch(n * kTile);
+    for (std::size_t j0 = 0; j0 < d; j0 += kTile) {
+      const std::size_t tile = std::min(kTile, d - j0);
+      kb.rff_rematerialize(proj_seed_, stddev_, j0, tile, n, scratch.data(), tile);
+      kb.gemm_accumulate(features.data(), n, scratch.data(), tile, out + j0, d, 1, n,
+                         tile);
+    }
+    kb.rff_trig_map(out, phase_.data(), sin_phase_.data(), d);
+    return;
+  }
   // Projection as n unit-stride axpys over the transposed weights:
   //   z_j = Σ_k x_k · w_{j,k}  ⇔  z += x_k · W_t[k, ·] for each feature k.
   // Each component still accumulates in feature order, so the result is
@@ -256,22 +305,43 @@ void RffProjectionEncoder::encode_batch_into(std::span<const double> rows_flat,
   obs::count(obs::Counter::kEncodeRows, num_rows);
   const std::size_t d = config_.dim;
   const std::size_t n = config_.input_dim;
-  // Row blocks share each cache tile of the F×D transposed weight matrix:
-  // the GEMM streams W_t once per block of 16 rows instead of once per row,
-  // cutting projection memory traffic ~16×. gemm_accumulate keeps each
-  // component's feature-order mul-then-add sequence, so the projected rows —
-  // and after the same rff_trig_map and finalize steps, the whole arena —
-  // are bit-identical to the per-row path.
-  constexpr std::size_t kRowBlock = 16;
-  const std::size_t blocks = (num_rows + kRowBlock - 1) / kRowBlock;
+  // Resident mode: row blocks share each cache tile of the F×D transposed
+  // weight matrix — the GEMM streams W_t once per block of 16 rows instead
+  // of once per row, cutting projection memory traffic ~16×.
+  const bool remat = config_.projection_storage == ProjectionStorage::kRematerialized;
+  // Rematerialized mode regenerates all F×D weights once per sample block,
+  // so it uses a 4× taller block to amortize that fixed cost — legal because
+  // gemm_accumulate's per-element rounding sequence (feature index
+  // ascending, mul then add) is invariant to both the sample blocking and
+  // the hyperspace tiling; every row stays bit-identical to the per-row
+  // path, and to the resident path, for any thread count.
+  constexpr std::size_t kResidentRowBlock = 16;
+  constexpr std::size_t kRematRowBlock = 64;
+  constexpr std::size_t kRematTile = 16;  // hyperspace rows per scratch tile
+  const std::size_t row_block = remat ? kRematRowBlock : kResidentRowBlock;
+  const std::size_t blocks = (num_rows + row_block - 1) / row_block;
   const KernelBackend& kb = active_backend();
   util::parallel_for(
       blocks,
       [&](std::size_t block) {
-        const std::size_t r0 = block * kRowBlock;
-        const std::size_t rn = std::min(num_rows, r0 + kRowBlock);
-        kb.gemm_accumulate(rows_flat.data() + r0 * n, n, projection_t_.data(), d,
-                           out.real + r0 * d, d, rn - r0, n, d);
+        const std::size_t r0 = block * row_block;
+        const std::size_t rn = std::min(num_rows, r0 + row_block);
+        if (remat) {
+          // F×16 weight tiles live in a worker-local scratch (L1/L2-resident;
+          // e.g. 100 KB at F = 784) that the GEMM consumes in place — the
+          // projection matrix never exists in memory all at once.
+          std::vector<double> scratch(n * kRematTile);
+          for (std::size_t j0 = 0; j0 < d; j0 += kRematTile) {
+            const std::size_t tile = std::min(kRematTile, d - j0);
+            kb.rff_rematerialize(proj_seed_, stddev_, j0, tile, n, scratch.data(),
+                                 tile);
+            kb.gemm_accumulate(rows_flat.data() + r0 * n, n, scratch.data(), tile,
+                               out.real + r0 * d + j0, d, rn - r0, n, tile);
+          }
+        } else {
+          kb.gemm_accumulate(rows_flat.data() + r0 * n, n, projection_t_.data(), d,
+                             out.real + r0 * d, d, rn - r0, n, d);
+        }
         for (std::size_t r = r0; r < rn; ++r) {
           kb.rff_trig_map(out.real + r * d, phase_.data(), sin_phase_.data(), d);
           finalize_encoded_row(out, r);

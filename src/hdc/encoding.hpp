@@ -108,6 +108,23 @@ enum class EncoderKind : std::uint8_t {
 /// Parses the names accepted by to_string(); throws on anything else.
 [[nodiscard]] EncoderKind encoder_kind_from_string(const std::string& name);
 
+/// Where the RFF projection weights live. Both modes derive every weight
+/// from the same counter-based kernel (KernelBackend::rff_rematerialize), so
+/// the encoded output is bit-identical either way — the choice only trades
+/// resident bytes against regeneration compute.
+enum class ProjectionStorage : std::uint8_t {
+  kResident = 0,        ///< Materialized F×D matrix: O(F·D) resident bytes,
+                        ///< the GEMM streams it from memory every batch.
+  kRematerialized = 1,  ///< No resident matrix: 16-row tiles are regenerated
+                        ///< into an O(F·tile) L1/L2 scratch inside the GEMM.
+};
+
+/// Returns a stable lowercase name ("resident", "rematerialized").
+[[nodiscard]] std::string to_string(ProjectionStorage storage);
+
+/// Parses the names accepted by to_string(); throws on anything else.
+[[nodiscard]] ProjectionStorage projection_storage_from_string(const std::string& name);
+
 /// Encoder construction parameters. A config plus nothing else fully
 /// determines the encoder (used for model serialization).
 struct EncoderConfig {
@@ -123,6 +140,12 @@ struct EncoderConfig {
   // sharpen the kernel toward memorization, smaller ones flatten it toward
   // a linear fit.
   double projection_stddev = 0.0;
+
+  // RffProjection only: resident weight matrix vs counter-based tile
+  // regeneration. A runtime/footprint knob, not part of the model identity —
+  // the encoded output is bit-identical in both modes, so (like thread
+  // counts) it is not serialized with the encoder config.
+  ProjectionStorage projection_storage = ProjectionStorage::kResident;
 
   // IdLevel only: number of quantization levels and the feature range the
   // levels span (features are clamped into [level_min, level_max]).
@@ -229,11 +252,22 @@ class RffProjectionEncoder final : public Encoder {
   void encode_real_into(std::span<const double> features, double* out) const override;
 
  private:
+  /// Fills `out` (leading dimension ld, feature-major) with hyperspace rows
+  /// [row0, row0 + rows) of the projection via the rematerialization kernel.
+  void materialize_rows(std::size_t row0, std::size_t rows, double* out,
+                        std::size_t ld) const;
+
   // Projection stored transposed (feature-major): projection_t_[k*d + j] =
   // w_{j,k}. Each feature then contributes one contiguous axpy over the full
   // hyperspace row — unit-stride for the SIMD add_scaled_real kernel —
-  // instead of d strided short dots.
+  // instead of d strided short dots. Empty when projection_storage is
+  // kRematerialized: the weights then only ever exist as O(F×tile) scratch
+  // tiles regenerated by KernelBackend::rff_rematerialize (from proj_seed_),
+  // which is also exactly how this matrix is filled in resident mode — the
+  // two storage modes are bit-identical by construction.
   std::vector<double> projection_t_;
+  std::uint64_t proj_seed_ = 0;  ///< Master seed of the weight streams.
+  double stddev_ = 0.0;          ///< Resolved projection stddev.
   std::vector<double> phase_;
   std::vector<double> sin_phase_;  ///< sin(b_j), precomputed for the
                                    ///< product-to-sum form of cos(z+b)·sin(z).

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "hdc/rff_remat.hpp"
 #include "util/fast_trig.hpp"
 
 namespace reghd::hdc {
@@ -164,6 +166,15 @@ void scalar_rff_trig_map(double* z, const double* phase, const double* sin_phase
   }
 }
 
+void scalar_rff_rematerialize(std::uint64_t seed, double stddev, std::size_t row0,
+                              std::size_t rows, std::size_t n_features, double* out,
+                              std::size_t ld) {
+  // The reference operation sequence of the rematerialization contract lives
+  // in rff_remat.hpp (shared with the AVX2 TU, which replays it four rows
+  // per lane group and reuses it verbatim for row tails).
+  detail::rff_rematerialize_rows(seed, stddev, row0, rows, n_features, out, ld);
+}
+
 // Column tile of the blocked GEMM: 512 doubles (4 KB) per B-panel row keeps a
 // typical feature-count panel resident in L1 while a block of output rows
 // streams over it. Shared by both backends so the traversal (not the
@@ -206,6 +217,20 @@ void scalar_dot_rows_binary(const std::uint64_t* q, const std::uint64_t* rows,
   }
 }
 
+void scalar_dot_rows_ternary(const std::uint64_t* q, const std::uint64_t* signs,
+                             const std::uint64_t* masks, std::size_t ld,
+                             std::size_t num_rows, std::size_t n, std::int64_t* out) {
+  // Per row this is exactly scalar_masked_bipolar_dot — the scalar backend
+  // keeps a single copy of each popcount inner loop (hamming for the binary
+  // bank, masked_bipolar_dot here) and the bank kernels only change the
+  // traversal, mirroring the shared xor/masked popcount helpers on the AVX2
+  // side.
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = scalar_masked_bipolar_dot(signs + r * ld, q, masks + r * ld, words);
+  }
+}
+
 void scalar_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
                         std::size_t n) {
   const std::size_t words = (n + 63) / 64;
@@ -236,9 +261,11 @@ constexpr KernelBackend kScalarBackend{
     scalar_add_scaled_binary,
     scalar_scale_real,
     scalar_rff_trig_map,
+    scalar_rff_rematerialize,
     scalar_gemm_accumulate,
     scalar_dot_rows,
     scalar_dot_rows_binary,
+    scalar_dot_rows_ternary,
     scalar_sign_encode,
 };
 

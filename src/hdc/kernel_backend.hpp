@@ -69,6 +69,28 @@ struct KernelBackend {
   /// with -ffp-contract=off), so the result is bit-identical to scalar.
   void (*rff_trig_map)(double* z, const double* phase, const double* sin_phase,
                        std::size_t n);
+  /// Counter-based regeneration of Gaussian RFF projection rows — the
+  /// memory-elision twin of a resident projection matrix. Writes the weights
+  /// of hyperspace rows [row0, row0 + rows) in feature-major (transposed)
+  /// layout: out[k·ld + r] = w_{row0+r, k} for k < n_features, r < rows —
+  /// exactly the B-operand layout gemm_accumulate streams, so a tile can be
+  /// regenerated into L1/L2 scratch and multiplied in place.
+  ///
+  /// Derivation (the bit-exactness contract; see DESIGN.md): row j's stream
+  /// seed is the (j+1)-th SplitMix64 output of `seed`; weight pair (2p, 2p+1)
+  /// of row j draws two further SplitMix64 outputs from that row seed (a
+  /// pure counter → any tile of any row range regenerates independently),
+  /// converts them to uniforms u₁ ∈ (0,1], u₂ ∈ [0,1), and maps them through
+  /// Box–Muller with util::fast_log / fast_cos / fast_sin:
+  ///   w[2p] = (√(−2·ln u₁)·cos(2π·u₂))·stddev,
+  ///   w[2p+1] = (√(−2·ln u₁)·sin(2π·u₂))·stddev.
+  /// Every operation is branch-free with a fixed order; sqrt is IEEE
+  /// correctly rounded in both backends, so the AVX2 lane-parallel replay is
+  /// bit-identical to scalar — and any tiling of (row0, rows) produces the
+  /// identical weights.
+  void (*rff_rematerialize)(std::uint64_t seed, double stddev, std::size_t row0,
+                            std::size_t rows, std::size_t n_features, double* out,
+                            std::size_t ld);
   /// Cache-blocked matrix multiply-accumulate over row-major operands:
   ///   c[r·ldc + j] += Σ_k a[r·lda + k] · b[k·ldb + j]   (r < m, j < n)
   /// Each output element accumulates contributions with k strictly ascending
@@ -96,6 +118,20 @@ struct KernelBackend {
   void (*dot_rows_binary)(const std::uint64_t* q, const std::uint64_t* rows,
                           std::size_t ld, std::size_t num_rows, std::size_t n,
                           std::int64_t* out);
+  /// Packed-bank ternary scoring: the masked XNOR+popcount bipolar dot of a
+  /// packed binary query against each row of a 2-bit-plane bank —
+  ///   out[r] = 2·popcount(XNOR(q, signs[r·ld…]) ∧ masks[r·ld…])
+  ///            − popcount(masks[r·ld…])
+  /// for r < num_rows, i.e. per row exactly masked_bipolar_dot(signs_r, q,
+  /// mask_r). `ld` counts 64-bit words per bank row in both planes; the word
+  /// count per row is ⌈n/64⌉ and padding/mask bits beyond n are zero (the
+  /// BinaryHV invariant), so whole-word popcounts need no edge masking. A
+  /// full (all-ones up to n) mask row degenerates to dot_rows_binary's
+  /// n − 2·hamming — which is how binarized model rows ride in the same bank
+  /// as ternary ones. Integer-exact, bit-identical across backends.
+  void (*dot_rows_ternary)(const std::uint64_t* q, const std::uint64_t* signs,
+                           const std::uint64_t* masks, std::size_t ld,
+                           std::size_t num_rows, std::size_t n, std::int64_t* out);
   /// Fused sign binarization of one encoded row:
   ///   bipolar[i] = (v[i] < 0) ? −1 : +1,  bit i of `bits` = !(v[i] < 0)
   /// (NaN maps to +1 / bit set, matching RealHV::sign() followed by

@@ -19,7 +19,9 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <numbers>
 
+#include "hdc/rff_remat.hpp"
 #include "util/fast_trig.hpp"
 
 namespace reghd::hdc {
@@ -178,10 +180,12 @@ double avx2_masked_dot(const double* a, const std::uint64_t* signs,
   return acc;
 }
 
-std::int64_t avx2_hamming(const std::uint64_t* a, const std::uint64_t* b,
-                          std::size_t words) {
-  // POPCNT (enabled by -mavx2) at one word per cycle; four independent
-  // counters hide the instruction latency. AVX2 has no vector popcount.
+/// popcount(a XOR b) over whole words — the single copy of the popcount
+/// inner loop shared by hamming and the binary bank scan. POPCNT (enabled by
+/// -mavx2) runs one word per cycle; four independent counters hide the
+/// instruction latency. AVX2 has no vector popcount.
+inline std::int64_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t words) {
   std::int64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
   std::size_t i = 0;
   for (; i + 4 <= words; i += 4) {
@@ -196,16 +200,36 @@ std::int64_t avx2_hamming(const std::uint64_t* a, const std::uint64_t* b,
   return c0 + c1 + c2 + c3;
 }
 
+/// 2·popcount(XNOR(a,b) ∧ mask) − popcount(mask) — the single copy of the
+/// masked popcount inner loop shared by masked_bipolar_dot and the ternary
+/// bank scan. Two interleaved agree/active counter pairs (two POPCNTs per
+/// word) keep the port-bound chain latency-hidden like xor_popcount.
+inline std::int64_t masked_xnor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                         const std::uint64_t* mask, std::size_t words) {
+  std::int64_t agree0 = 0, agree1 = 0;
+  std::int64_t active0 = 0, active1 = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    agree0 += std::popcount(~(a[i] ^ b[i]) & mask[i]);
+    active0 += std::popcount(mask[i]);
+    agree1 += std::popcount(~(a[i + 1] ^ b[i + 1]) & mask[i + 1]);
+    active1 += std::popcount(mask[i + 1]);
+  }
+  for (; i < words; ++i) {
+    agree0 += std::popcount(~(a[i] ^ b[i]) & mask[i]);
+    active0 += std::popcount(mask[i]);
+  }
+  return 2 * (agree0 + agree1) - (active0 + active1);
+}
+
+std::int64_t avx2_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  return xor_popcount(a, b, words);
+}
+
 std::int64_t avx2_masked_bipolar_dot(const std::uint64_t* a, const std::uint64_t* b,
                                      const std::uint64_t* mask, std::size_t words) {
-  std::int64_t agree = 0;
-  std::int64_t active = 0;
-  for (std::size_t i = 0; i < words; ++i) {
-    const std::uint64_t m = mask[i];
-    agree += std::popcount(~(a[i] ^ b[i]) & m);
-    active += std::popcount(m);
-  }
-  return 2 * agree - active;
+  return masked_xnor_popcount(a, b, mask, words);
 }
 
 std::int64_t avx2_bipolar_dot_dense(const std::int8_t* a, const std::int8_t* b,
@@ -408,6 +432,219 @@ void avx2_rff_trig_map(double* z, const double* phase, const double* sin_phase,
   }
 }
 
+/// Low 64 bits of a 64×64 multiply per lane. AVX2 has no VPMULLQ, so the
+/// product is assembled from 32×32→64 pieces:
+///   a·b mod 2⁶⁴ = lo(a)·lo(b) + ((lo(a)·hi(b) + hi(a)·lo(b)) « 32).
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                         _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+/// util::SplitMix64's output mix per lane (the state addition happens in the
+/// caller — detail::splitmix_at seeks by counter, so "state" is just an add).
+inline __m256i splitmix_mix(__m256i z) {
+  z = mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+              _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+              _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Exact uint64 → double conversion for lane values < 2⁵³ (AVX2 has no
+/// u64→f64 cvt). Both 32-bit halves convert exactly via the 2⁵² magic-bias
+/// trick, and hi·2³² + lo recombines exactly (every intermediate is an
+/// integer < 2⁵³), so each lane equals the scalar static_cast<double>.
+inline __m256d u64_to_double_53(__m256i v) {
+  const __m256i magic = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m256d bias = _mm256_set1_pd(0x1.0p52);
+  const __m256i lo = _mm256_and_si256(v, _mm256_set1_epi64x(0xFFFFFFFFLL));
+  const __m256i hi = _mm256_srli_epi64(v, 32);
+  const __m256d lo_d = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(lo, magic)), bias);
+  const __m256d hi_d = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(hi, magic)), bias);
+  return _mm256_add_pd(_mm256_mul_pd(hi_d, _mm256_set1_pd(0x1.0p32)), lo_d);
+}
+
+/// util::fast_log replayed 4 lanes wide — identical operations in identical
+/// order per element (this TU is compiled with -ffp-contract=off), hence
+/// bit-identical on the caller's domain, positive normal lanes (the
+/// Box–Muller uniform u₁ ∈ [2⁻⁵³, 1]; fast_log itself owns no wider domain).
+/// The scalar [√½ fold is two exact candidate values behind a compare — here
+/// one compare mask feeding two blends. DIVPD is correctly rounded, so the
+/// s = f/(2+f) lanes match scalar exactly.
+inline __m256d fast_log4(__m256d x) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256i bits = _mm256_castpd_si256(x);
+  const __m256d m_half = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL)),
+      _mm256_set1_epi64x(0x3FE0000000000000LL)));
+  // biased exponent < 2^11, so the magic-bias conversion is exact and the
+  // merged subtraction (2^52 + 1022 is exactly representable) still yields
+  // the exact integer-valued e of the scalar code.
+  __m256d e = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(_mm256_srli_epi64(bits, 52),
+                                          _mm256_set1_epi64x(0x4330000000000000LL))),
+      _mm256_set1_pd(0x1.0p52 + 1022.0));
+  const __m256d low =
+      _mm256_cmp_pd(m_half, _mm256_set1_pd(7.07106781186547524401e-01), _CMP_LT_OQ);
+  const __m256d m = _mm256_blendv_pd(m_half, _mm256_add_pd(m_half, m_half), low);
+  e = _mm256_blendv_pd(e, _mm256_sub_pd(e, one), low);
+
+  const __m256d f = _mm256_sub_pd(m, one);
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+  const __m256d z = _mm256_mul_pd(s, s);
+  const __m256d w = _mm256_mul_pd(z, z);
+  __m256d t1 = _mm256_add_pd(_mm256_set1_pd(2.222219843214978396e-01),
+                             _mm256_mul_pd(w, _mm256_set1_pd(1.531383769920937332e-01)));
+  t1 = _mm256_mul_pd(w, _mm256_add_pd(_mm256_set1_pd(3.999999999940941908e-01),
+                                      _mm256_mul_pd(w, t1)));
+  __m256d t2 = _mm256_add_pd(_mm256_set1_pd(1.818357216161805012e-01),
+                             _mm256_mul_pd(w, _mm256_set1_pd(1.479819860511658591e-01)));
+  t2 = _mm256_add_pd(_mm256_set1_pd(2.857142874366239149e-01), _mm256_mul_pd(w, t2));
+  t2 = _mm256_mul_pd(z, _mm256_add_pd(_mm256_set1_pd(6.666666666666735130e-01),
+                                      _mm256_mul_pd(w, t2)));
+  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq = _mm256_mul_pd(_mm256_mul_pd(half, f), f);
+  const __m256d ln2lo = _mm256_set1_pd(1.90821492927058770002e-10);
+  const __m256d ln2hi = _mm256_set1_pd(6.93147180369123816490e-01);
+  const __m256d inner = _mm256_add_pd(_mm256_mul_pd(s, _mm256_add_pd(hfsq, r)),
+                                      _mm256_mul_pd(e, ln2lo));
+  return _mm256_sub_pd(_mm256_mul_pd(e, ln2hi),
+                       _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
+}
+
+struct SinCos4 {
+  __m256d sin;
+  __m256d cos;
+};
+
+/// util::fast_sin and util::fast_cos replayed 4 lanes wide for |x| < 2³⁰
+/// (the caller's domain is the Box–Muller angle ∈ [0, 2π), so the scalar
+/// functions' std::sin/std::cos escape is dead code here). Both share one
+/// Cody–Waite reduction and both polynomials — the scalar pair recomputes
+/// identical intermediates, so sharing keeps every lane bit-identical while
+/// halving the work of calling them separately.
+inline SinCos4 fast_sincos4(__m256d x) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d two_over_pi = _mm256_set1_pd(6.36619772367581382433e-01);
+  const __m256d shift = _mm256_set1_pd(6755399441055744.0);
+  const __m256d pio2_hi = _mm256_set1_pd(1.57079632673412561417e+00);
+  const __m256d pio2_lo = _mm256_set1_pd(6.07710050650619224932e-11);
+  const __m256i one64 = _mm256_set1_epi64x(1);
+  const __m256i two64 = _mm256_set1_epi64x(2);
+
+  const __m256d shifted = _mm256_add_pd(_mm256_mul_pd(x, two_over_pi), shift);
+  const __m256i q = _mm256_castpd_si256(shifted);
+  const __m256d k = _mm256_sub_pd(shifted, shift);
+  const __m256d r = _mm256_sub_pd(_mm256_sub_pd(x, _mm256_mul_pd(k, pio2_hi)),
+                                  _mm256_mul_pd(k, pio2_lo));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+
+  __m256d sp = _mm256_set1_pd(1.58969099521155010221e-10);
+  sp = _mm256_add_pd(_mm256_set1_pd(-2.50507602534068634195e-08),
+                     _mm256_mul_pd(r2, sp));
+  sp = _mm256_add_pd(_mm256_set1_pd(2.75573137070700676789e-06),
+                     _mm256_mul_pd(r2, sp));
+  sp = _mm256_add_pd(_mm256_set1_pd(-1.98412698298579493134e-04),
+                     _mm256_mul_pd(r2, sp));
+  sp = _mm256_add_pd(_mm256_set1_pd(8.33333333332248946124e-03),
+                     _mm256_mul_pd(r2, sp));
+  sp = _mm256_add_pd(_mm256_set1_pd(-1.66666666666666324348e-01),
+                     _mm256_mul_pd(r2, sp));
+  const __m256d ps = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(r, r2), sp));
+
+  __m256d cp = _mm256_set1_pd(-1.13596475577881948265e-11);
+  cp = _mm256_add_pd(_mm256_set1_pd(2.08757232129817482790e-09),
+                     _mm256_mul_pd(r2, cp));
+  cp = _mm256_add_pd(_mm256_set1_pd(-2.75573143513906633035e-07),
+                     _mm256_mul_pd(r2, cp));
+  cp = _mm256_add_pd(_mm256_set1_pd(2.48015872894767294178e-05),
+                     _mm256_mul_pd(r2, cp));
+  cp = _mm256_add_pd(_mm256_set1_pd(-1.38888888888741095749e-03),
+                     _mm256_mul_pd(r2, cp));
+  cp = _mm256_add_pd(_mm256_set1_pd(4.16666666666666019037e-02),
+                     _mm256_mul_pd(r2, cp));
+  const __m256d pc =
+      _mm256_add_pd(_mm256_sub_pd(_mm256_set1_pd(1.0), _mm256_mul_pd(half, r2)),
+                    _mm256_mul_pd(_mm256_mul_pd(r2, r2), cp));
+
+  const __m256d odd =
+      _mm256_castsi256_pd(_mm256_cmpeq_epi64(_mm256_and_si256(q, one64), one64));
+  SinCos4 out;
+  // sin: even quadrant → ±sin(r), odd → ±cos(r); sign from bit 1 of q.
+  const __m256i sin_flip = _mm256_slli_epi64(_mm256_and_si256(q, two64), 62);
+  out.sin = _mm256_xor_pd(_mm256_blendv_pd(ps, pc, odd), _mm256_castsi256_pd(sin_flip));
+  // cos: the roles swapped; sign from bit 1 of q + 1.
+  const __m256i cos_flip =
+      _mm256_slli_epi64(_mm256_and_si256(_mm256_add_epi64(q, one64), two64), 62);
+  out.cos = _mm256_xor_pd(_mm256_blendv_pd(pc, ps, odd), _mm256_castsi256_pd(cos_flip));
+  return out;
+}
+
+void avx2_rff_rematerialize(std::uint64_t seed, double stddev, std::size_t row0,
+                            std::size_t rows, std::size_t n_features, double* out,
+                            std::size_t ld) {
+  // Four consecutive rows per lane group, walking the weight index together:
+  // the four lanes of weight pair (k, k+1) land in out[k·ld + r .. r+3] —
+  // unit-stride stores in the kernel's feature-major layout. Every lane
+  // replays the exact operation sequence of detail::rff_rematerialize_rows
+  // (which also handles the rows % 4 tail): counter-seeked SplitMix64 draws
+  // through mullo64/splitmix_mix, exact u64→double, then Box–Muller through
+  // fast_log4/fast_sincos4 and the correctly-rounded VSQRTPD — bit-identical
+  // to scalar.
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  constexpr double kInv53 = 0x1.0p-53;
+  const __m256d stddev_v = _mm256_set1_pd(stddev);
+  const __m256d two_pi = _mm256_set1_pd(kTwoPi);
+  const __m256d inv53 = _mm256_set1_pd(kInv53);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_two = _mm256_set1_pd(-2.0);
+  constexpr std::uint64_t kG = detail::kSmGamma;
+  const __m256i lane_gamma = _mm256_setr_epi64x(
+      0, static_cast<long long>(kG), static_cast<long long>(2 * kG),
+      static_cast<long long>(3 * kG));
+
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    // Lane l's row seed is mix(seed + (row0 + r + l + 1)·γ) — the (row0+r+l)-th
+    // SplitMix64 output of `seed`, exactly detail::splitmix_at.
+    const std::uint64_t base =
+        seed + (static_cast<std::uint64_t>(row0 + r) + 1) * kG;
+    const __m256i row_seed = splitmix_mix(
+        _mm256_add_epi64(_mm256_set1_epi64x(static_cast<long long>(base)), lane_gamma));
+    double* out_r = out + r;
+    for (std::size_t k = 0; k < n_features; k += 2) {
+      const __m256i draw_a = splitmix_mix(_mm256_add_epi64(
+          row_seed, _mm256_set1_epi64x(static_cast<long long>(
+                        (static_cast<std::uint64_t>(k) + 1) * kG))));
+      const __m256i draw_b = splitmix_mix(_mm256_add_epi64(
+          row_seed, _mm256_set1_epi64x(static_cast<long long>(
+                        (static_cast<std::uint64_t>(k) + 2) * kG))));
+      const __m256d a = u64_to_double_53(_mm256_srli_epi64(draw_a, 11));
+      const __m256d b = u64_to_double_53(_mm256_srli_epi64(draw_b, 11));
+      const __m256d u1 = _mm256_mul_pd(_mm256_add_pd(a, one), inv53);
+      const __m256d u2 = _mm256_mul_pd(b, inv53);
+      const __m256d radius = _mm256_sqrt_pd(_mm256_mul_pd(neg_two, fast_log4(u1)));
+      const __m256d angle = _mm256_mul_pd(two_pi, u2);
+      const SinCos4 sc = fast_sincos4(angle);
+      _mm256_storeu_pd(out_r + k * ld,
+                       _mm256_mul_pd(_mm256_mul_pd(radius, sc.cos), stddev_v));
+      if (k + 1 < n_features) {
+        _mm256_storeu_pd(out_r + (k + 1) * ld,
+                         _mm256_mul_pd(_mm256_mul_pd(radius, sc.sin), stddev_v));
+      }
+    }
+  }
+  if (r < rows) {
+    detail::rff_rematerialize_rows(seed, stddev, row0 + r, rows - r, n_features,
+                                   out + r, ld);
+  }
+}
+
 void avx2_gemm_accumulate(const double* a, std::size_t lda, const double* b,
                           std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
                           std::size_t k, std::size_t n) {
@@ -503,35 +740,27 @@ void avx2_dot_rows(const double* q, const double* rows, std::size_t ld,
 void avx2_dot_rows_binary(const std::uint64_t* q, const std::uint64_t* rows,
                           std::size_t ld, std::size_t num_rows, std::size_t n,
                           std::int64_t* out) {
-  // Row pairs share every q-word load; each row keeps two independent POPCNT
-  // counters (one word per cycle, latency hidden like avx2_hamming). The
-  // result is an integer, so pairing changes nothing about the value —
-  // bit-identical to per-row n − 2·hamming.
+  // Per row exactly n − 2·hamming through the shared xor_popcount loop. The
+  // q words are a ⌈n/64⌉-word strip that stays L1-resident across the whole
+  // bank, and the kernel is POPCNT-port bound, so there is nothing left for
+  // a bespoke row-paired loop to win — one inner-loop copy serves hamming
+  // and both bank scans.
   const std::size_t words = (n + 63) / 64;
   const auto nn = static_cast<std::int64_t>(n);
-  std::size_t r = 0;
-  for (; r + 2 <= num_rows; r += 2) {
-    const std::uint64_t* a0 = rows + r * ld;
-    const std::uint64_t* a1 = a0 + ld;
-    std::int64_t h00 = 0, h01 = 0, h10 = 0, h11 = 0;
-    std::size_t i = 0;
-    for (; i + 2 <= words; i += 2) {
-      const std::uint64_t q0 = q[i];
-      const std::uint64_t q1 = q[i + 1];
-      h00 += std::popcount(a0[i] ^ q0);
-      h01 += std::popcount(a0[i + 1] ^ q1);
-      h10 += std::popcount(a1[i] ^ q0);
-      h11 += std::popcount(a1[i + 1] ^ q1);
-    }
-    for (; i < words; ++i) {
-      h00 += std::popcount(a0[i] ^ q[i]);
-      h10 += std::popcount(a1[i] ^ q[i]);
-    }
-    out[r] = nn - 2 * (h00 + h01);
-    out[r + 1] = nn - 2 * (h10 + h11);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = nn - 2 * xor_popcount(rows + r * ld, q, words);
   }
-  for (; r < num_rows; ++r) {
-    out[r] = nn - 2 * avx2_hamming(rows + r * ld, q, words);
+}
+
+void avx2_dot_rows_ternary(const std::uint64_t* q, const std::uint64_t* signs,
+                           const std::uint64_t* masks, std::size_t ld,
+                           std::size_t num_rows, std::size_t n, std::int64_t* out) {
+  // Per row exactly masked_bipolar_dot(signs_r, q, mask_r) through the
+  // shared masked_xnor_popcount loop; see avx2_dot_rows_binary for why the
+  // bank scan does not need its own inner-loop copy.
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = masked_xnor_popcount(signs + r * ld, q, masks + r * ld, words);
   }
 }
 
@@ -586,9 +815,11 @@ constexpr KernelBackend kAvx2Backend{
     avx2_add_scaled_binary,
     avx2_scale_real,
     avx2_rff_trig_map,
+    avx2_rff_rematerialize,
     avx2_gemm_accumulate,
     avx2_dot_rows,
     avx2_dot_rows_binary,
+    avx2_dot_rows_ternary,
     avx2_sign_encode,
 };
 

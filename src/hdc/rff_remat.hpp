@@ -1,0 +1,62 @@
+// Shared scalar core of the RFF projection rematerialization kernel.
+//
+// Both kernel-backend translation units include this header: the scalar
+// table uses it as the whole kernel, the AVX2 table uses it for row tails
+// (rows % 4) around its lane-parallel main loop. Keeping the reference
+// operation sequence in one place is what makes the bit-exactness contract
+// in kernel_backend.hpp auditable — there is exactly one definition of how a
+// weight is derived from (seed, row, feature), and the AVX2 main loop
+// replays it operation for operation.
+//
+// Neither TU may let the compiler contract the arithmetic into FMAs: the
+// scalar TU targets baseline x86-64 (no FMA instructions exist), the AVX2 TU
+// is compiled with -ffp-contract=off. fast_log / fast_cos / fast_sin are
+// branch-free on the domains used here (u₁ ∈ [2⁻⁵³, 1], angle ∈ [0, 2π)).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+
+#include "util/fast_trig.hpp"
+#include "util/random.hpp"
+
+namespace reghd::hdc::detail {
+
+/// SplitMix64's additive constant. The rematerialization kernel seeks the
+/// stream by counter — the i-th output of seed s is mix(s + (i+1)·γ) — so
+/// any row tile regenerates its weights without stepping through the prefix.
+constexpr std::uint64_t kSmGamma = 0x9e3779b97f4a7c15ULL;
+
+/// The i-th (0-indexed) SplitMix64 output of `seed`, by counter seek.
+[[nodiscard]] constexpr std::uint64_t splitmix_at(std::uint64_t seed,
+                                                  std::uint64_t i) noexcept {
+  return util::SplitMix64(seed + i * kSmGamma).next();
+}
+
+/// Reference implementation of KernelBackend::rff_rematerialize (see the
+/// contract there): writes w_{row0+r, k} to out[k·ld + r], feature-major.
+inline void rff_rematerialize_rows(std::uint64_t seed, double stddev, std::size_t row0,
+                                   std::size_t rows, std::size_t n_features, double* out,
+                                   std::size_t ld) {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  constexpr double kInv53 = 0x1.0p-53;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint64_t row_seed = splitmix_at(seed, row0 + r);
+    for (std::size_t k = 0; k < n_features; k += 2) {
+      const double a = static_cast<double>(splitmix_at(row_seed, k) >> 11);
+      const double b = static_cast<double>(splitmix_at(row_seed, k + 1) >> 11);
+      const double u1 = (a + 1.0) * kInv53;  // (0, 1] — inside fast_log's domain
+      const double u2 = b * kInv53;          // [0, 1)
+      const double radius = std::sqrt(-2.0 * util::fast_log(u1));
+      const double angle = kTwoPi * u2;  // < 2π — fast_cos/sin stay branch-free
+      out[k * ld + r] = (radius * util::fast_cos(angle)) * stddev;
+      if (k + 1 < n_features) {
+        out[(k + 1) * ld + r] = (radius * util::fast_sin(angle)) * stddev;
+      }
+    }
+  }
+}
+
+}  // namespace reghd::hdc::detail

@@ -1,4 +1,4 @@
-// Fast, deterministic sine for encoder hot loops.
+// Fast, deterministic transcendentals for encoder hot loops.
 //
 // The RFF encoder evaluates one sine per hyperspace component per sample —
 // D = 4096 calls per encoded row — and libm's sin() dominates the whole
@@ -8,12 +8,20 @@
 // [−π/4, π/4], with a branchless quadrant select. Maximum observed error is
 // ~2 ulp (≈4e-16 absolute) against libm across the reduction range — far
 // below the encoder's quantization granularity and any test tolerance.
+// fast_cos() is the same reduction with the quadrant roles swapped, and
+// fast_log() is the fdlibm natural-log kernel for positive normal inputs —
+// together they supply the Box–Muller pieces (√(−2·ln u), cos/sin(2πu)) the
+// counter-based projection rematerialization kernel evaluates per weight.
 //
 // Determinism: this is plain scalar code shared by every kernel backend, so
 // an encoded hypervector is bit-identical whether REGHD_KERNEL selects the
 // scalar or the AVX2 table — the SIMD dispatch never changes which sine is
 // evaluated. (Different *libm versions* are no longer a reproducibility
-// hazard for the encoder either, since fast_sin is self-contained.)
+// hazard for the encoder either, since fast_sin is self-contained.) The
+// AVX2 rematerialization kernel replays fast_cos/fast_sin/fast_log four
+// lanes at a time with the exact per-element operation sequence, so every
+// function here must stay branch-free on its documented domain — a
+// data-dependent branch would force the SIMD replay to diverge.
 #pragma once
 
 #include <bit>
@@ -67,6 +75,96 @@ namespace reghd::util {
   const double v = (q & 1) != 0 ? pc : ps;
   const std::uint64_t sign = (q & 2) << 62;
   return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^ sign);
+}
+
+/// cos(x) accurate to ~2 ulp for |x| < 2^30; falls back to std::cos beyond
+/// that (and for NaN/Inf). Identical Cody–Waite reduction and polynomials as
+/// fast_sin with the quadrant roles swapped: cos(k·π/2 + r) cycles through
+/// cos(r), −sin(r), −cos(r), sin(r), so the select keys on the same bit 0 of
+/// q with the sign taken from bit 1 of q + 1.
+[[nodiscard]] inline double fast_cos(double x) {
+  constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 · 2^52
+  constexpr double kPio2Hi = 1.57079632673412561417e+00;
+  constexpr double kPio2Lo = 6.07710050650619224932e-11;
+
+  if (!(std::fabs(x) < 1073741824.0)) {  // 2^30; also catches NaN/Inf
+    return std::cos(x);
+  }
+
+  const double shifted = x * kTwoOverPi + kShift;
+  const std::uint64_t q = std::bit_cast<std::uint64_t>(shifted);
+  const double k = shifted - kShift;
+  const double r = (x - k * kPio2Hi) - k * kPio2Lo;
+  const double r2 = r * r;
+
+  const double ps =
+      r + r * r2 *
+              (-1.66666666666666324348e-01 +
+               r2 * (8.33333333332248946124e-03 +
+                     r2 * (-1.98412698298579493134e-04 +
+                           r2 * (2.75573137070700676789e-06 +
+                                 r2 * (-2.50507602534068634195e-08 +
+                                       r2 * 1.58969099521155010221e-10)))));
+  const double pc =
+      1.0 - 0.5 * r2 +
+      r2 * r2 *
+          (4.16666666666666019037e-02 +
+           r2 * (-1.38888888888741095749e-03 +
+                 r2 * (2.48015872894767294178e-05 +
+                       r2 * (-2.75573143513906633035e-07 +
+                             r2 * (2.08757232129817482790e-09 +
+                                   r2 * -1.13596475577881948265e-11)))));
+
+  // Quadrant select: even → ±cos(r), odd → ±sin(r); bit 1 of q+1 flips sign.
+  const double v = (q & 1) != 0 ? ps : pc;
+  const std::uint64_t sign = ((q + 1) & 2) << 62;
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^ sign);
+}
+
+/// ln(x) accurate to ~1 ulp for positive *normal* finite x — the fdlibm
+/// __ieee754_log kernel (mantissa reduced into [√½, √2), atanh-series
+/// remainder, two-part ln 2). The domain deliberately excludes 0, subnormals,
+/// Inf and NaN: the only caller domain is the Box–Muller uniform
+/// u ∈ [2⁻⁵³, 1], and keeping the code branch-free on that domain is what
+/// lets the AVX2 rematerialization kernel replay it lane-parallel
+/// bit-identically (the [√½ scaling "branch" below is an exact ×2 select,
+/// mirrored by a BLENDV in the SIMD replay).
+[[nodiscard]] inline double fast_log(double x) {
+  constexpr double kSqrtHalf = 7.07106781186547524401e-01;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  // fdlibm minimax coefficients for R(z) on the reduced interval.
+  constexpr double kLg1 = 6.666666666666735130e-01;
+  constexpr double kLg2 = 3.999999999940941908e-01;
+  constexpr double kLg3 = 2.857142874366239149e-01;
+  constexpr double kLg4 = 2.222219843214978396e-01;
+  constexpr double kLg5 = 1.818357216161805012e-01;
+  constexpr double kLg6 = 1.531383769920937332e-01;
+  constexpr double kLg7 = 1.479819860511658591e-01;
+
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  // Mantissa rescaled into [0.5, 1); unbiased exponent as an exact small
+  // integer-valued double (|e| ≤ 1074 ≪ 2^52, so the subtraction is exact).
+  const double m_half =
+      std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFULL) | 0x3FE0000000000000ULL);
+  double e = static_cast<double>(bits >> 52) - 1022.0;
+  // Fold into m ∈ [√½, √2): doubling the mantissa is exact, so the select
+  // only chooses between two exactly-computed candidates (SIMD: one compare
+  // mask feeding a blend and a masked subtract).
+  const bool low = m_half < kSqrtHalf;
+  const double m = low ? m_half + m_half : m_half;
+  e = low ? e - 1.0 : e;
+
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  return e * kLn2Hi - ((hfsq - (s * (hfsq + r) + e * kLn2Lo)) - f);
 }
 
 }  // namespace reghd::util

@@ -3,6 +3,7 @@
 // clustering (Fig. 6), prediction modes (Fig. 7), and update-rule ablation.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <memory>
 #include <set>
 
@@ -334,6 +335,83 @@ TEST(MultiModelTest, ClusterNormCacheStaysAccurate) {
     }
     EXPECT_NEAR(model.cluster(c).norm2, exact, 1e-6 * std::max(exact, 1.0));
   }
+}
+
+TEST(PackedBankTest, BuiltAfterFitAndMatchesSnapshotGeometry) {
+  const EncodedTask task = multimodal_task(101);
+  RegHDConfig cfg = config_k(4);
+  cfg.query_precision = QueryPrecision::kBinary;
+  cfg.model_precision = ModelPrecision::kTernary;
+  MultiModelRegressor model(cfg);
+  model.fit(task.train, task.val);
+
+  const PackedTernaryBank& bank = model.packed_bank();
+  ASSERT_TRUE(bank.valid);
+  // k cluster rows + k model rows, one sign/mask word-row and one scale each.
+  EXPECT_EQ(bank.rows, 2 * model.num_models());
+  EXPECT_EQ(bank.words, (cfg.dim + 63) / 64);
+  EXPECT_EQ(bank.signs.size(), bank.rows * bank.words);
+  EXPECT_EQ(bank.masks.size(), bank.rows * bank.words);
+  EXPECT_EQ(bank.scale.size(), bank.rows);
+  // Cluster rows ride under a full mask with unit scale; model rows carry the
+  // ternary mask and its γ_ternary.
+  for (std::size_t c = 0; c < model.num_models(); ++c) {
+    EXPECT_EQ(bank.scale[c], 1.0) << "cluster row " << c;
+    std::size_t mask_bits = 0;
+    for (std::size_t w = 0; w < bank.words; ++w) {
+      mask_bits += static_cast<std::size_t>(
+          std::popcount(bank.masks[c * bank.words + w]));
+    }
+    EXPECT_EQ(mask_bits, cfg.dim) << "cluster row " << c;
+  }
+  for (std::size_t m = 0; m < model.num_models(); ++m) {
+    EXPECT_EQ(bank.scale[model.num_models() + m], model.model(m).gamma_ternary);
+  }
+  // The packed planes are 2 bits per component vs the 8-byte f64 bank row the
+  // scan replaces — the ≥4× resident-bytes target with a wide margin.
+  EXPECT_LE(bank.resident_bytes() * 4,
+            bank.rows * cfg.dim * sizeof(double));
+}
+
+TEST(PackedBankTest, PredictBatchMatchesPerSamplePredictExactly) {
+  // The bank sweep must replay predict()'s per-sample score arithmetic
+  // bit-for-bit, for both quantized model precisions.
+  for (const auto precision : {ModelPrecision::kBinary, ModelPrecision::kTernary}) {
+    const EncodedTask task = multimodal_task(103);
+    RegHDConfig cfg = config_k(4);
+    cfg.query_precision = QueryPrecision::kBinary;
+    cfg.model_precision = precision;
+    MultiModelRegressor model(cfg);
+    model.fit(task.train, task.val);
+
+    const std::vector<double> batched = model.predict_batch(task.test);
+    ASSERT_EQ(batched.size(), task.test.size());
+    for (std::size_t i = 0; i < task.test.size(); ++i) {
+      EXPECT_EQ(batched[i], model.predict(task.test.sample(i)))
+          << to_string(precision) << " sample " << i;
+    }
+  }
+}
+
+TEST(PackedBankTest, MutableAccessInvalidatesAndRebuildRestores) {
+  const EncodedTask task = multimodal_task(107);
+  RegHDConfig cfg = config_k(4);
+  cfg.query_precision = QueryPrecision::kBinary;
+  cfg.model_precision = ModelPrecision::kBinary;
+  MultiModelRegressor model(cfg);
+  model.fit(task.train, task.val);
+  ASSERT_TRUE(model.packed_bank().valid);
+  const std::vector<double> before = model.predict_batch(task.test);
+
+  // Touching mutable state marks the bank stale; predictions must not change
+  // (predict_batch falls back to building a per-call bank) and an explicit
+  // rebuild restores the cached one.
+  (void)model.mutable_models();
+  EXPECT_FALSE(model.packed_bank().valid);
+  EXPECT_EQ(model.predict_batch(task.test), before);
+  model.rebuild_packed_bank();
+  EXPECT_TRUE(model.packed_bank().valid);
+  EXPECT_EQ(model.predict_batch(task.test), before);
 }
 
 }  // namespace

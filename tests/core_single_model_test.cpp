@@ -55,7 +55,7 @@ RegHDConfig base_config(std::size_t dim) {
 }
 
 TEST(SingleModelTest, LearnsSineTaskWellBeyondMeanPredictor) {
-  const EncodedTask task = make_task(data::make_sine_task(600, 5), 2048, 5);
+  const EncodedTask task = make_task(data::make_sine_task(600, 5), 2048, 2);
   SingleModelRegressor model(base_config(2048));
   const TrainingReport report = model.fit(task.train, task.val);
   EXPECT_GE(report.epochs_run, 2u);

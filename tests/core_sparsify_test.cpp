@@ -112,6 +112,65 @@ TEST(SparsifyTest, RefreshesBinarySnapshots) {
   }
 }
 
+TEST(SparsifyTest, TernaryQuantizationExcludesPrunedComponents) {
+  // sparsify → requantize chain: a pruned component has |M_j| = 0, which is
+  // below the ternary threshold 0.6·γ whenever the model is non-trivial, so
+  // it must be masked out of the ternary dot — the masked-dot semantics the
+  // packed bank scan reproduces.
+  auto cfg = base_config();
+  cfg.query_precision = QueryPrecision::kBinary;
+  cfg.model_precision = ModelPrecision::kTernary;
+  Trained t = train_on_friedman(cfg);
+  t.model->sparsify(0.6);
+
+  for (std::size_t i = 0; i < t.model->num_models(); ++i) {
+    const auto& m = t.model->model(i);
+    ASSERT_GT(m.gamma, 0.0) << "model " << i;
+    for (std::size_t j = 0; j < m.accumulator.dim(); ++j) {
+      if (m.accumulator[j] == 0.0) {
+        EXPECT_FALSE(m.ternary_mask.bit(j)) << "model " << i << " component " << j;
+      }
+    }
+  }
+
+  // The rebuilt packed bank (sparsify requantizes and re-packs) must replay
+  // the per-sample masked-dot predictions exactly.
+  ASSERT_TRUE(t.model->packed_bank().valid);
+  const std::vector<double> batched = t.model->predict_batch(t.test);
+  for (std::size_t s = 0; s < t.test.size(); ++s) {
+    EXPECT_EQ(batched[s], t.model->predict(t.test.sample(s))) << "sample " << s;
+  }
+}
+
+TEST(SparsifyTest, AllMaskedEdgeCaseContributesExactlyZero) {
+  // Degenerate quantization: a zero accumulator has γ = 0, so the ternary
+  // threshold is 0, every component passes the ≥ comparison (full mask) and
+  // γ_ternary = 0 — the model term must contribute exactly 0, through both
+  // the per-sample path and the packed bank scan.
+  auto cfg = base_config();
+  cfg.query_precision = QueryPrecision::kBinary;
+  cfg.model_precision = ModelPrecision::kTernary;
+  Trained t = train_on_friedman(cfg);
+  t.model->reset();  // zero model accumulators, fresh random clusters
+
+  for (std::size_t i = 0; i < t.model->num_models(); ++i) {
+    const auto& m = t.model->model(i);
+    EXPECT_EQ(m.gamma, 0.0);
+    EXPECT_EQ(m.gamma_ternary, 0.0);
+  }
+  const PackedTernaryBank& bank = t.model->packed_bank();
+  ASSERT_TRUE(bank.valid);
+  for (std::size_t i = 0; i < t.model->num_models(); ++i) {
+    EXPECT_EQ(bank.scale[t.model->num_models() + i], 0.0) << "model row " << i;
+  }
+
+  const std::vector<double> batched = t.model->predict_batch(t.test);
+  for (std::size_t s = 0; s < t.test.size(); ++s) {
+    EXPECT_EQ(batched[s], 0.0) << "sample " << s;
+    EXPECT_EQ(t.model->predict(t.test.sample(s)), 0.0) << "sample " << s;
+  }
+}
+
 TEST(DecayTest, ScalesAllModelAccumulators) {
   Trained t = train_on_friedman(base_config());
   const double before = t.model->model(0).accumulator[0];

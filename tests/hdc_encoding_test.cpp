@@ -226,5 +226,89 @@ TEST(RffEncoderTest, ExplicitBandwidthOverridesAuto) {
   EXPECT_GT(sim_auto, sim_sharp);
 }
 
+TEST(RffEncoderTest, StorageModeNameRoundTrip) {
+  for (const auto storage :
+       {ProjectionStorage::kResident, ProjectionStorage::kRematerialized}) {
+    EXPECT_EQ(projection_storage_from_string(to_string(storage)), storage);
+  }
+  EXPECT_THROW((void)projection_storage_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(RffEncoderTest, RematerializedEncodingIsBitIdenticalToResident) {
+  // The tentpole contract: rematerialized storage regenerates the projection
+  // rows from the seed inside the encode loop, yet every encoded component
+  // must equal the resident-matrix path bit for bit — single-row and batch
+  // paths, across odd/even feature counts and non-word-multiple dims.
+  for (const std::size_t input_dim : {1u, 5u, 10u}) {
+    for (const std::size_t dim : {65u, 1000u, 2048u}) {
+      auto cfg = base_config(EncoderKind::kRffProjection, input_dim, dim);
+      const auto resident = make_encoder(cfg);
+      cfg.projection_storage = ProjectionStorage::kRematerialized;
+      const auto remat = make_encoder(cfg);
+
+      util::Rng rng(0xAB + dim);
+      for (int trial = 0; trial < 3; ++trial) {
+        const std::vector<double> f = random_features(input_dim, rng);
+        const RealHV a = resident->encode_real(f);
+        const RealHV b = remat->encode_real(f);
+        ASSERT_EQ(a.dim(), b.dim());
+        for (std::size_t j = 0; j < dim; ++j) {
+          ASSERT_EQ(a[j], b[j]) << "dim " << dim << " j " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(RffEncoderTest, RematerializedBatchEncodeIsBitIdenticalAcrossThreads) {
+  // The batch GEMM path tiles the hyperspace axis and regenerates each tile
+  // per row block; neither the tiling nor the worker count may perturb a
+  // single bit relative to the resident path.
+  constexpr std::size_t kInput = 7;
+  constexpr std::size_t kDim = 1000;
+  constexpr std::size_t kRows = 33;
+  auto cfg = base_config(EncoderKind::kRffProjection, kInput, kDim);
+  const auto resident = make_encoder(cfg);
+  cfg.projection_storage = ProjectionStorage::kRematerialized;
+  const auto remat = make_encoder(cfg);
+
+  util::Rng rng(0xBA7C);
+  std::vector<double> rows(kRows * kInput);
+  for (double& v : rows) {
+    v = rng.normal();
+  }
+
+  constexpr std::size_t kWords = (kDim + 63) / 64;
+  std::vector<double> want_real(kRows * kDim);
+  std::vector<std::int8_t> want_bipolar(kRows * kDim);
+  std::vector<std::uint64_t> want_bits(kRows * kWords);
+  std::vector<double> want_norm(kRows);
+  std::vector<double> want_norm2(kRows);
+  resident->encode_batch_into(
+      rows, kRows,
+      {want_real.data(), want_bipolar.data(), want_bits.data(), want_norm.data(),
+       want_norm2.data(), kDim, kWords},
+      1);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    // The arena contract: the real plane is zero-initialized (encoders
+    // accumulate into it); the bit plane may hold garbage (fully overwritten).
+    std::vector<double> got_real(kRows * kDim, 0.0);
+    std::vector<std::int8_t> got_bipolar(kRows * kDim, 0);
+    std::vector<std::uint64_t> got_bits(kRows * kWords, ~0ULL);
+    std::vector<double> got_norm(kRows);
+    std::vector<double> got_norm2(kRows);
+    remat->encode_batch_into(
+        rows, kRows,
+        {got_real.data(), got_bipolar.data(), got_bits.data(), got_norm.data(),
+         got_norm2.data(), kDim, kWords},
+        threads);
+    EXPECT_EQ(got_real, want_real) << "threads " << threads;
+    EXPECT_EQ(got_bipolar, want_bipolar) << "threads " << threads;
+    EXPECT_EQ(got_bits, want_bits) << "threads " << threads;
+    EXPECT_EQ(got_norm, want_norm) << "threads " << threads;
+    EXPECT_EQ(got_norm2, want_norm2) << "threads " << threads;
+  }
+}
+
 }  // namespace
 }  // namespace reghd::hdc

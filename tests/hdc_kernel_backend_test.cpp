@@ -405,6 +405,167 @@ TEST_P(KernelBackendTest, SignEncodeMatchesSignThenPackBitExact) {
   }
 }
 
+TEST_P(KernelBackendTest, DotRowsTernaryMatchesMaskedBipolarDotExactly) {
+  // out[r] = Σ_{mask bit j set} signs_r[j]·q[j] over ±1 values — the packed
+  // ternary bank scan. Integer-exact on every backend, and a full-mask row
+  // must degenerate to the dot_rows_binary score of the same sign plane.
+  const std::size_t n = GetParam();
+  util::Rng rng(0x7E12 + n);
+  const std::size_t words = (n + 63) / 64;
+  constexpr std::size_t kRows = 5;  // odd: exercises any row pairing/tail
+  const BinaryHV q = random_binary(n, rng);
+
+  std::vector<BinaryHV> signs;
+  std::vector<BinaryHV> masks;
+  // Row 0: the query under a full mask (score n). Row 1: its
+  // complement-within-dim under a full mask (score −n). Row 2: an all-zero
+  // mask (score 0 no matter the signs). Rest: random signs and masks.
+  signs.push_back(q);
+  {
+    BinaryHV full(n);
+    for (std::uint64_t& w : full.words()) {
+      w = ~0ULL;
+    }
+    if (n % 64 != 0) {
+      full.words().back() &= ~0ULL >> (64 - n % 64);
+    }
+    masks.push_back(std::move(full));
+  }
+  {
+    std::vector<std::uint64_t> comp(q.words().begin(), q.words().end());
+    for (std::uint64_t& w : comp) {
+      w = ~w;
+    }
+    if (n % 64 != 0) {
+      comp.back() &= ~0ULL >> (64 - n % 64);
+    }
+    BinaryHV c(n);
+    std::copy(comp.begin(), comp.end(), c.words().begin());
+    signs.push_back(std::move(c));
+    masks.push_back(masks[0]);
+  }
+  signs.push_back(random_binary(n, rng));
+  masks.emplace_back(n);  // all-zero mask
+  while (signs.size() < kRows) {
+    signs.push_back(random_binary(n, rng));
+    masks.push_back(random_binary(n, rng));
+  }
+
+  std::vector<std::uint64_t> sign_bank(kRows * words);
+  std::vector<std::uint64_t> mask_bank(kRows * words);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::copy(signs[r].words().begin(), signs[r].words().end(),
+              sign_bank.begin() + r * words);
+    std::copy(masks[r].words().begin(), masks[r].words().end(),
+              mask_bank.begin() + r * words);
+  }
+
+  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
+  std::vector<std::int64_t> scalar_out;
+  for (const KernelBackend* kb : backends) {
+    if (kb == nullptr) {
+      continue;
+    }
+    std::vector<std::int64_t> out(kRows, -12345);
+    kb->dot_rows_ternary(q.words().data(), sign_bank.data(), mask_bank.data(), words,
+                         kRows, n, out.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_EQ(out[r], ref_masked_bipolar_dot(signs[r], q, masks[r]))
+          << kb->name << " row " << r;
+      EXPECT_EQ(out[r], kb->masked_bipolar_dot(sign_bank.data() + r * words,
+                                               q.words().data(),
+                                               mask_bank.data() + r * words, words))
+          << kb->name << " row " << r;
+    }
+    EXPECT_EQ(out[0], static_cast<std::int64_t>(n)) << kb->name << " self-dot";
+    EXPECT_EQ(out[1], -static_cast<std::int64_t>(n)) << kb->name << " complement";
+    EXPECT_EQ(out[2], 0) << kb->name << " all-masked row";
+    if (kb == &scalar_backend()) {
+      scalar_out = out;
+    } else {
+      EXPECT_EQ(out, scalar_out) << "cross-backend mismatch";
+    }
+  }
+
+  if (avx2_backend() == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+}
+
+TEST_P(KernelBackendTest, RffRematerializeAvx2MatchesScalarBitExact) {
+  // Counter-based projection regeneration must be bit-identical across
+  // backends — the encoder's bit-exactness contract (resident and
+  // rematerialized storage produce the same encodings on any backend) rests
+  // on this. Odd feature counts exercise the unpaired Box–Muller draw.
+  const KernelBackend* avx2 = avx2_backend();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  }
+  const std::size_t rows = std::min<std::size_t>(GetParam(), 200);
+  for (const std::size_t n_features : {1u, 2u, 7u, 10u}) {
+    std::vector<double> want(n_features * rows, -7.0);
+    std::vector<double> got(n_features * rows, 7.0);
+    scalar_backend().rff_rematerialize(0x5EED, 0.316, 3, rows, n_features,
+                                       want.data(), rows);
+    avx2->rff_rematerialize(0x5EED, 0.316, 3, rows, n_features, got.data(), rows);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got[i]) << "n_features " << n_features << " elem " << i;
+    }
+  }
+}
+
+TEST(RffRematerializeTest, TilingIsInvariant) {
+  // Any (row0, rows) tiling must reproduce the exact bytes of one full-range
+  // call — each row's stream is derived from (seed, absolute row index), so
+  // the encoder may regenerate in whatever tile size fits its cache budget.
+  constexpr std::size_t kRows = 97;
+  constexpr std::size_t kFeatures = 9;
+  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
+  for (const KernelBackend* kb : backends) {
+    if (kb == nullptr) {
+      continue;
+    }
+    std::vector<double> full(kFeatures * kRows);
+    kb->rff_rematerialize(42, 1.5, 0, kRows, kFeatures, full.data(), kRows);
+    for (const std::size_t tile : {1, 5, 16, 64}) {
+      for (std::size_t r0 = 0; r0 < kRows; r0 += tile) {
+        const std::size_t rn = std::min(kRows, r0 + tile);
+        std::vector<double> part(kFeatures * (rn - r0));
+        kb->rff_rematerialize(42, 1.5, r0, rn - r0, kFeatures, part.data(), rn - r0);
+        for (std::size_t k = 0; k < kFeatures; ++k) {
+          for (std::size_t r = r0; r < rn; ++r) {
+            ASSERT_EQ(part[k * (rn - r0) + (r - r0)], full[k * kRows + r])
+                << kb->name << " tile " << tile << " row " << r << " feature " << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RffRematerializeTest, ScalesLinearlyWithStddevAndLooksGaussian) {
+  // Weights are draws·stddev, so stddev only rescales the stream; and over
+  // many rows the draws must look like the N(0, 1) Box–Muller output.
+  constexpr std::size_t kRows = 4096;
+  constexpr std::size_t kFeatures = 4;
+  std::vector<double> unit(kFeatures * kRows);
+  std::vector<double> half(kFeatures * kRows);
+  scalar_backend().rff_rematerialize(7, 1.0, 0, kRows, kFeatures, unit.data(), kRows);
+  scalar_backend().rff_rematerialize(7, 0.5, 0, kRows, kFeatures, half.data(), kRows);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    ASSERT_EQ(half[i], unit[i] * 0.5) << "elem " << i;
+    sum += unit[i];
+    sum2 += unit[i] * unit[i];
+  }
+  const double count = static_cast<double>(unit.size());
+  const double mean = sum / count;
+  const double var = sum2 / count - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
 INSTANTIATE_TEST_SUITE_P(PackingEdgeCases, KernelBackendTest, ::testing::ValuesIn(kDims),
                          [](const auto& param_info) {
                            return "dim" + std::to_string(param_info.param);

@@ -58,5 +58,83 @@ TEST(FastSinTest, FallsBackBeyondReductionRange) {
   EXPECT_TRUE(std::isnan(fast_sin(std::numeric_limits<double>::infinity())));
 }
 
+TEST(FastCosTest, MatchesLibmOnEncoderRange) {
+  // Box–Muller evaluates cos(2πu), u ∈ [0, 1) — sweep well past [0, 2π).
+  for (int i = -300000; i <= 300000; ++i) {
+    const double x = static_cast<double>(i) * 1e-4;
+    ASSERT_NEAR(fast_cos(x), std::cos(x), kTol) << "x = " << x;
+  }
+}
+
+TEST(FastCosTest, MatchesLibmOnRandomWideArguments) {
+  Rng rng(0xC05);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.normal(0.0, 1e4);
+    ASSERT_NEAR(fast_cos(x), std::cos(x), kTol) << "x = " << x;
+  }
+}
+
+TEST(FastCosTest, ExactAtZeroAndEven) {
+  EXPECT_EQ(fast_cos(0.0), 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(0.0, 10.0);
+    EXPECT_EQ(fast_cos(-x), fast_cos(x)) << "x = " << x;
+  }
+}
+
+TEST(FastCosTest, QuadrantBoundaries) {
+  const double pi = std::acos(-1.0);
+  for (int k = -16; k <= 16; ++k) {
+    for (const double eps : {-1e-9, 0.0, 1e-9}) {
+      const double x = static_cast<double>(k) * pi / 2.0 + eps;
+      EXPECT_NEAR(fast_cos(x), std::cos(x), kTol) << "x = " << x;
+    }
+  }
+}
+
+TEST(FastCosTest, FallsBackBeyondReductionRange) {
+  for (const double x : {1e10, -3e12, 1e300}) {
+    EXPECT_EQ(fast_cos(x), std::cos(x)) << "x = " << x;
+  }
+  EXPECT_TRUE(std::isnan(fast_cos(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(fast_cos(std::numeric_limits<double>::infinity())));
+}
+
+TEST(FastLogTest, MatchesLibmOnBoxMullerDomain) {
+  // Rematerialization evaluates ln(u1), u1 ∈ (2⁻⁵³, 1] — relative accuracy is
+  // the meaningful scale because √(−2·ln u1) amplifies nothing below ~1 ulp.
+  Rng rng(0x106);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = std::ldexp(static_cast<double>((rng.bits() >> 11) + 1), -53);
+    const double want = std::log(u);
+    ASSERT_NEAR(fast_log(u), want, 5e-16 * std::max(1.0, std::fabs(want)))
+        << "u = " << u;
+  }
+}
+
+TEST(FastLogTest, MatchesLibmOnWidePositiveRange) {
+  Rng rng(0x107);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = std::exp(rng.normal(0.0, 100.0));
+    if (!std::isnormal(x)) {
+      continue;  // the kernel's documented domain is positive normals
+    }
+    const double want = std::log(x);
+    ASSERT_NEAR(fast_log(x), want, 5e-16 * std::max(1.0, std::fabs(want)))
+        << "x = " << x;
+  }
+}
+
+TEST(FastLogTest, ExactAtOneAndPowersOfTwo) {
+  EXPECT_EQ(fast_log(1.0), 0.0);
+  // log(2^k) = k·ln2 — the pure-exponent path of the kernel.
+  for (int k = -100; k <= 100; ++k) {
+    const double x = std::ldexp(1.0, k);
+    EXPECT_NEAR(fast_log(x), std::log(x), 5e-16 * std::max(1.0, std::fabs(std::log(x))))
+        << "k = " << k;
+  }
+}
+
 }  // namespace
 }  // namespace reghd::util

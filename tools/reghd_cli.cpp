@@ -72,6 +72,10 @@ int usage(const std::string& program) {
             << "stream options: --models K --dim D --alpha LR --quantized --seed S\n"
             << "  --decay D --requantize-every N --checkpoint-dir DIR\n"
             << "  --checkpoint-every UPDATES --keep-last K --resume --out MODEL\n"
+            << "common (train/stream): --projection-storage resident|rematerialized\n"
+            << "  (rematerialized regenerates RFF projection rows on the fly —\n"
+            << "  O(tile) scratch instead of the resident F×D matrix; encodings\n"
+            << "  are bit-identical either way)\n"
             << "common: --target-col N (negative counts from the end; default -1)\n"
             << "  --threads N (batch encode/predict workers; default REGHD_THREADS\n"
             << "  or hardware concurrency)\n"
@@ -143,6 +147,8 @@ int cmd_train(const util::Args& args) {
   if (args.get_bool("binary-model", false)) {
     cfg.reghd.model_precision = core::ModelPrecision::kBinary;
   }
+  cfg.encoder.projection_storage =
+      hdc::projection_storage_from_string(args.get_string("projection-storage", "resident"));
 
   const double test_fraction = args.get_double("test-fraction", 0.25);
   util::Rng rng(cfg.reghd.seed);
@@ -237,6 +243,8 @@ int cmd_stream(const util::Args& args) {
   }
   cfg.decay = args.get_double("decay", 1.0);
   cfg.requantize_every = static_cast<std::size_t>(args.get_int("requantize-every", 256));
+  cfg.encoder.projection_storage =
+      hdc::projection_storage_from_string(args.get_string("projection-storage", "resident"));
 
   std::optional<core::CheckpointManager> manager;
   if (!ckpt_dir.empty()) {
