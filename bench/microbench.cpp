@@ -785,6 +785,55 @@ int run_train_json(const std::string& path) {
     }
   }
 
+  // Sharded data-parallel fits (core/sharded_training): each sample is one
+  // complete shard-train → merge run over the same encoded rows, S × T grid.
+  // Validation rows are drawn after the training block from the same rng
+  // stream, so the sections above see exactly the draws they always did.
+  constexpr std::size_t kValRows = 64;
+  std::vector<double> val_flat(kValRows * kFeatures);
+  std::vector<double> val_targets(kValRows);
+  for (double& f : val_flat) {
+    f = rng.normal();
+  }
+  for (std::size_t i = 0; i < kValRows; ++i) {
+    val_targets[i] = std::sin(0.1 * static_cast<double>(kRows + i));
+  }
+  const data::Dataset val_rows("train-bench-val", kFeatures, std::move(val_flat),
+                               std::move(val_targets));
+  const core::EncodedDataset val_enc = core::EncodedDataset::from(*encoder, val_rows);
+
+  core::RegHDConfig shard_rcfg = rcfg;
+  shard_rcfg.max_epochs = 4;  // bounded, identical work per timed call
+  shard_rcfg.patience = 4;
+
+  bench::JsonValue& sharded = root["sharded"];
+  double s1t1_ns = 0.0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      core::ShardedTrainConfig scfg;
+      scfg.shards = shards;
+      scfg.threads = threads;
+      core::ShardedTrainReport last;
+      const double ns = time_ns([&] {
+        core::ShardedTrainer trainer(shard_rcfg);
+        last = trainer.fit(enc, val_enc, scfg);
+      });
+      if (shards == 1 && threads == 1) {
+        s1t1_ns = ns;
+      }
+      bench::JsonValue& node =
+          sharded["S" + std::to_string(shards) + "_T" + std::to_string(threads)];
+      node["shards"] = bench::JsonValue::integer(static_cast<std::int64_t>(shards));
+      node["threads"] = bench::JsonValue::integer(static_cast<std::int64_t>(threads));
+      node["ns_per_fit"] = bench::JsonValue::number(ns);
+      node["samples_per_s"] =
+          bench::JsonValue::number(1e9 * static_cast<double>(kRows) / ns);
+      node["speedup_vs_S1_T1"] = bench::JsonValue::number(s1t1_ns / ns);
+      node["merged_val_mse"] = bench::JsonValue::number(last.merged_val_mse);
+      node["final_val_mse"] = bench::JsonValue::number(last.final_val_mse);
+    }
+  }
+
   return bench::write_json_file(path, root) ? 0 : 1;
 }
 

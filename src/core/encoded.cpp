@@ -41,6 +41,32 @@ EncodedDataset EncodedDataset::from_rows(const hdc::Encoder& encoder,
                threads);
 }
 
+EncodedDataset EncodedDataset::subset(std::span<const std::size_t> rows) const {
+  EncodedDataset out;
+  out.dim_ = dim_;
+  out.words_ = words_;
+  out.real_.reserve(rows.size() * dim_);
+  out.bipolar_.reserve(rows.size() * dim_);
+  out.binary_.reserve(rows.size() * words_);
+  out.norm_.reserve(rows.size());
+  out.norm2_.reserve(rows.size());
+  out.targets_.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    REGHD_CHECK(r < size(), "subset row " << r << " out of range for " << size()
+                                          << " samples");
+    out.real_.insert(out.real_.end(), real_.data() + r * dim_,
+                     real_.data() + (r + 1) * dim_);
+    out.bipolar_.insert(out.bipolar_.end(), bipolar_.data() + r * dim_,
+                        bipolar_.data() + (r + 1) * dim_);
+    out.binary_.insert(out.binary_.end(), binary_.data() + r * words_,
+                       binary_.data() + (r + 1) * words_);
+    out.norm_.push_back(norm_[r]);
+    out.norm2_.push_back(norm2_[r]);
+    out.targets_.push_back(targets_[r]);
+  }
+  return out;
+}
+
 void EncodedDataset::add(const hdc::EncodedSample& sample, double target) {
   REGHD_CHECK(empty() || sample.real.dim() == dim_,
               "encoded sample dimensionality " << sample.real.dim()

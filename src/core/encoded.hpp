@@ -73,6 +73,12 @@ class EncodedDataset {
   /// Appends one owning sample (copied into the arena planes).
   void add(const hdc::EncodedSample& sample, double target);
 
+  /// New arena holding the listed rows, in list order (plane rows are copied
+  /// verbatim, so subset(i).sample(j) views the exact bytes of sample(rows[j])).
+  /// The shard partitioner materializes each shard's training set through
+  /// this. Throws if any index is out of range.
+  [[nodiscard]] EncodedDataset subset(std::span<const std::size_t> rows) const;
+
   [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
   [[nodiscard]] bool empty() const noexcept { return targets_.empty(); }
 

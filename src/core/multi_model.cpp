@@ -751,6 +751,42 @@ void MultiModelRegressor::init_clusters_from_samples(const EncodedDataset& train
   rebuild_packed_bank();
 }
 
+void MultiModelRegressor::init_clusters(const EncodedDataset& train) {
+  REGHD_CHECK(!train.empty(), "cluster initialization requires training samples");
+  REGHD_CHECK(train.dim() == config_.dim,
+              "training data dim " << train.dim() << " != configured dim " << config_.dim);
+  if (config_.cluster_init == ClusterInit::kFarthestPoint && config_.models > 1) {
+    init_clusters_from_samples(train);
+  }
+}
+
+void MultiModelRegressor::merge_accumulate_delta(const MultiModelRegressor& replica,
+                                                 const MultiModelRegressor& base) {
+  REGHD_CHECK(replica.config_.dim == config_.dim && base.config_.dim == config_.dim,
+              "shard merge requires matching dimensionality, got "
+                  << replica.config_.dim << "/" << base.config_.dim << " vs "
+                  << config_.dim);
+  REGHD_CHECK(replica.models_.size() == models_.size() &&
+                  base.models_.size() == models_.size(),
+              "shard merge requires matching model counts, got "
+                  << replica.models_.size() << "/" << base.models_.size() << " vs "
+                  << models_.size());
+  const hdc::KernelBackend& kb = hdc::active_backend();
+  const std::size_t d = config_.dim;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    kb.merge_accumulate(models_[i].accumulator.values().data(),
+                        replica.models_[i].accumulator.values().data(),
+                        base.models_[i].accumulator.values().data(), d);
+    kb.merge_accumulate(clusters_[i].accumulator.values().data(),
+                        replica.clusters_[i].accumulator.values().data(),
+                        base.clusters_[i].accumulator.values().data(), d);
+  }
+  // Snapshots, ‖C‖² and the packed bank are now stale relative to the merged
+  // accumulators; requantize() (the caller's finalization step) recomputes
+  // all three exactly.
+  packed_bank_.valid = false;
+}
+
 void MultiModelRegressor::requantize() {
   obs::count(obs::Counter::kRequantizes);
   for (auto& m : models_) {

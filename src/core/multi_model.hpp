@@ -147,6 +147,30 @@ class MultiModelRegressor {
   /// Re-initializes clusters and models from the configured seed.
   void reset();
 
+  /// Replays fit()'s cluster seeding rule on `train`: farthest-point
+  /// initialization when the config asks for it (ClusterInit::kFarthestPoint
+  /// with k > 1), a no-op otherwise. The shard-merge path uses this twice —
+  /// to re-derive each replica's deterministic post-initialization base, and
+  /// to seed the merged model from the full training set.
+  void init_clusters(const EncodedDataset& train);
+
+  /// Shard-merge accumulation (see core/sharded_training): adds one trained
+  /// replica's training delta into this model. For every cluster and model
+  /// accumulator component,
+  ///   this += (replica − base)
+  /// with each component rounded as one subtract then one add
+  /// (KernelBackend::merge_accumulate — bit-identical across backends).
+  /// `base` must be the replica's reproducible post-initialization state
+  /// (models zero, clusters as seeded from the replica's own shard), so the
+  /// delta is exactly what the shard's training added. HD training is
+  /// bundling — commutative, associative addition — which is why summed
+  /// deltas recover the joint model. Snapshots, cluster norms and the packed
+  /// bank are NOT refreshed here; the caller finalizes with requantize()
+  /// after the last replica (the exact ‖C‖² recompute and ternary-bank
+  /// rebuild).
+  void merge_accumulate_delta(const MultiModelRegressor& replica,
+                              const MultiModelRegressor& base);
+
   /// Magnitude pruning of the regression models (SparseHD/QuantHD-style,
   /// the orthogonal optimization the paper cites in §5): zeroes the
   /// `fraction` smallest-|M_j| components of every model accumulator and

@@ -1,5 +1,6 @@
 #include "core/online.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -18,6 +19,87 @@ OnlineRegHD::OnlineRegHD(OnlineConfig config, std::size_t num_features)
   config_.encoder.dim = config_.reghd.dim;
   encoder_ = hdc::make_encoder(config_.encoder);
   model_ = std::make_unique<MultiModelRegressor>(config_.reghd);
+}
+
+OnlineRegHD OnlineRegHD::merge_replicas(std::span<const OnlineShardReplica> replicas) {
+  REGHD_CHECK(!replicas.empty(), "online merge requires at least one replica");
+  const obs::StageTimer timer(obs::Histo::kShardMergeNs);
+  obs::count(obs::Counter::kShardMerges);
+
+  // Canonical reduction order: ascending shard id, regardless of span order.
+  // Float accumulation then happens in exactly one sequence for every
+  // permutation of the input, making the merge order-invariant bit for bit.
+  std::vector<const OnlineShardReplica*> ordered;
+  ordered.reserve(replicas.size());
+  for (const OnlineShardReplica& r : replicas) {
+    REGHD_CHECK(r.learner != nullptr, "online merge given a null replica");
+    ordered.push_back(&r);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const OnlineShardReplica* a, const OnlineShardReplica* b) {
+              return a->shard < b->shard;
+            });
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    REGHD_CHECK(ordered[i - 1]->shard != ordered[i]->shard,
+                "online merge given duplicate shard id " << ordered[i]->shard);
+  }
+  const OnlineRegHD& first = *ordered.front()->learner;
+  const std::size_t nf = first.num_features();
+  const std::size_t k = first.model().num_models();
+  for (const OnlineShardReplica* r : ordered) {
+    REGHD_CHECK(r->learner->num_features() == nf &&
+                    r->learner->model().num_models() == k &&
+                    r->learner->config().reghd.dim == first.config().reghd.dim &&
+                    r->learner->config().reghd.seed == first.config().reghd.seed,
+                "online merge requires replicas of one stream configuration");
+  }
+
+  OnlineRegHD out(first.config(), nf);
+  if (ordered.size() == 1) {
+    // Verbatim adoption: copying the replica's exact state (including
+    // snapshots that may be stale mid-requantize-interval) keeps S = 1
+    // bit-identical to an unsharded stream. Re-deriving anything here would
+    // not.
+    const OnlineRegHD& rep = first;
+    std::vector<RegressionModel>& models = out.model_->mutable_models();
+    std::vector<ClusterCenter>& clusters = out.model_->mutable_clusters();
+    for (std::size_t i = 0; i < k; ++i) {
+      models[i] = rep.model().model(i);
+      clusters[i] = rep.model().cluster(i);
+    }
+    out.model_->mutable_packed_bank() = rep.model().packed_bank();
+    out.restore_state(rep.feature_stats(), rep.target_stats(), rep.samples_seen(),
+                      rep.since_requantize());
+    return out;
+  }
+
+  // Every replica was constructed from the same config, so they share one
+  // post-construction base state (zero models, seeded random clusters) —
+  // which `out` is still in. Summing per-replica deltas against that base
+  // bundles what each shard's training added.
+  const MultiModelRegressor base(first.config().reghd);
+  for (const OnlineShardReplica* r : ordered) {
+    out.model_->merge_accumulate_delta(r->learner->model(), base);
+  }
+  out.model_->requantize();
+
+  std::vector<util::RunningStats> feature_stats(nf);
+  util::RunningStats target_stats;
+  std::size_t seen = 0;
+  std::size_t since = 0;
+  for (const OnlineShardReplica* r : ordered) {
+    for (std::size_t f = 0; f < nf; ++f) {
+      feature_stats[f].merge(r->learner->feature_stats()[f]);
+    }
+    target_stats.merge(r->learner->target_stats());
+    seen += r->learner->samples_seen();
+    since += r->learner->since_requantize();
+  }
+  if (out.config_.requantize_every > 0) {
+    since %= out.config_.requantize_every;
+  }
+  out.restore_state(std::move(feature_stats), target_stats, seen, since);
+  return out;
 }
 
 void OnlineRegHD::restore_state(std::vector<util::RunningStats> feature_stats,

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 
 #include "core/config.hpp"
 #include "core/multi_model.hpp"
@@ -52,10 +53,39 @@ struct OnlineConfig {
   std::size_t warmup = 10;
 };
 
+class OnlineRegHD;
+
+/// One trained shard replica of a stream, keyed by its shard id. The id is
+/// the canonical merge key: merge_replicas reduces in ascending shard order
+/// no matter how the span is arranged, which is what makes the merge
+/// order-invariant bit for bit.
+struct OnlineShardReplica {
+  std::size_t shard = 0;
+  const OnlineRegHD* learner = nullptr;
+};
+
 class OnlineRegHD {
  public:
   /// `num_features` fixes the stream's input width.
   OnlineRegHD(OnlineConfig config, std::size_t num_features);
+
+  /// Merges independently trained replicas of one stream (identical configs
+  /// and feature counts, distinct shard ids) into a single learner:
+  ///
+  ///  * model/cluster accumulators — summed training deltas against the
+  ///    shared post-construction base (HD bundling; exact because every
+  ///    replica starts from the same seeded state), reduced in ascending
+  ///    shard order, finalized with one requantize() (fresh snapshots, exact
+  ///    ‖C‖², rebuilt packed bank);
+  ///  * feature/target statistics — parallel Welford merge, ascending shard
+  ///    order;
+  ///  * accounting — samples_seen sums; since_requantize becomes the summed
+  ///    counters modulo requantize_every (the merge itself requantized).
+  ///
+  /// A single replica is adopted verbatim (stale snapshots and all), so S = 1
+  /// is bit-identical to the replica — and therefore to an unsharded stream.
+  [[nodiscard]] static OnlineRegHD merge_replicas(
+      std::span<const OnlineShardReplica> replicas);
 
   /// Predict-then-train on one labelled reading. Returns the prediction
   /// made *before* the label was used (original units) — the prequential

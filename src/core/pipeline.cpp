@@ -77,6 +77,66 @@ void RegHDPipeline::fit(const data::Dataset& train, const TrainingHooks& hooks) 
 
   regressor_ = std::make_unique<MultiModelRegressor>(config_.reghd);
   report_ = regressor_->fit(train_enc, val_enc, &hooks);
+  sharded_report_.reset();
+}
+
+ShardedTrainReport RegHDPipeline::fit_sharded(const data::Dataset& train,
+                                              const ShardedTrainConfig& cfg) {
+  REGHD_CHECK(train.size() >= 8, "pipeline fit requires at least 8 samples, got "
+                                     << train.size());
+
+  // Identical preamble to fit() — scalers, encoder, split, encode — so the
+  // S = 1 degenerate case reduces to exactly the same regressor fit on
+  // exactly the same encoded data.
+  data::Dataset scaled = train;
+  if (config_.standardize_features) {
+    feature_scaler_.fit(scaled);
+    feature_scaler_.transform(scaled);
+  }
+  if (config_.standardize_target) {
+    target_scaler_.fit(scaled);
+    target_scaler_.transform(scaled);
+  }
+
+  config_.encoder.input_dim = scaled.num_features();
+  config_.encoder.dim = config_.reghd.dim;
+  encoder_ = hdc::make_encoder(config_.encoder);
+
+  util::Rng split_rng(config_.reghd.seed ^ 0x53504C4954ULL);  // "SPLIT"
+  const data::TrainTestSplit split =
+      data::train_test_split(scaled, config_.validation_fraction, split_rng);
+
+  const EncodedDataset train_enc =
+      EncodedDataset::from(*encoder_, split.train, config_.reghd.threads);
+  const EncodedDataset val_enc =
+      EncodedDataset::from(*encoder_, split.test, config_.reghd.threads);
+
+  ShardedTrainer trainer(config_.reghd);
+  ShardedTrainReport sharded = trainer.fit(train_enc, val_enc, cfg);
+  regressor_ = trainer.take_regressor();
+
+  // Synthesize a TrainingReport so report()-based callers (examples, grid
+  // search) keep working: one shard's fit report is the whole story at
+  // S = 1; otherwise summarize merge + refine.
+  if (sharded.shards == 1 && cfg.refine_epochs == 0) {
+    report_ = sharded.shard_reports.front().report;
+  } else {
+    TrainingReport synthesized;
+    synthesized.history = sharded.refine_history;
+    synthesized.epochs_run = sharded.refine_history.size();
+    synthesized.converged = false;
+    synthesized.best_val_mse = sharded.final_val_mse;
+    synthesized.stop_reason = "sharded merge";
+    report_ = std::move(synthesized);
+  }
+  sharded_report_ = sharded;
+  return sharded;
+}
+
+const ShardedTrainReport& RegHDPipeline::sharded_report() const {
+  REGHD_CHECK(sharded_report_.has_value(),
+              "pipeline has no sharded report before fit_sharded()");
+  return *sharded_report_;
 }
 
 hdc::EncodedSample RegHDPipeline::encode_row(std::span<const double> features) const {
@@ -171,6 +231,7 @@ void RegHDPipeline::restore(hdc::EncoderConfig encoder_config,
   encoder_ = hdc::make_encoder(config_.encoder);
   regressor_ = std::move(regressor);
   report_.reset();
+  sharded_report_.reset();
 }
 
 }  // namespace reghd::core

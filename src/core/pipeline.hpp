@@ -18,6 +18,7 @@
 
 #include "core/config.hpp"
 #include "core/multi_model.hpp"
+#include "core/sharded_training.hpp"
 #include "core/training.hpp"
 #include "data/scaler.hpp"
 #include "hdc/encoding.hpp"
@@ -60,6 +61,19 @@ class RegHDPipeline final : public model::Regressor {
   /// the epoch loop (TrainingHooks). The pipeline is observable (fitted,
   /// serializable) from inside the callbacks.
   void fit(const data::Dataset& train, const TrainingHooks& hooks);
+
+  /// Sharded data-parallel fit (see core/sharded_training.hpp): same
+  /// scaler/encoder/split preamble as fit(), then cfg.shards independent
+  /// replicas trained in parallel, merged by HD bundling, optionally refined
+  /// for cfg.refine_epochs sequential epochs. cfg.shards = 1 (with no
+  /// refine) is bit-identical to fit(). The detailed per-shard telemetry is
+  /// in sharded_report(); report() is synthesized for interface parity.
+  ShardedTrainReport fit_sharded(const data::Dataset& train,
+                                 const ShardedTrainConfig& cfg);
+
+  /// Telemetry of the last fit_sharded(). Throws if fit_sharded was not the
+  /// last fit.
+  [[nodiscard]] const ShardedTrainReport& sharded_report() const;
 
   [[nodiscard]] double predict(std::span<const double> features) const override;
 
@@ -116,6 +130,7 @@ class RegHDPipeline final : public model::Regressor {
   std::unique_ptr<hdc::Encoder> encoder_;
   std::unique_ptr<MultiModelRegressor> regressor_;
   std::optional<TrainingReport> report_;
+  std::optional<ShardedTrainReport> sharded_report_;
 };
 
 }  // namespace reghd::core

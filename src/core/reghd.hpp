@@ -21,6 +21,7 @@
 #include "core/model_io.hpp"       // IWYU pragma: export
 #include "core/multi_model.hpp"    // IWYU pragma: export
 #include "core/online.hpp"         // IWYU pragma: export
-#include "core/pipeline.hpp"       // IWYU pragma: export
-#include "core/single_model.hpp"   // IWYU pragma: export
+#include "core/pipeline.hpp"          // IWYU pragma: export
+#include "core/sharded_training.hpp"  // IWYU pragma: export
+#include "core/single_model.hpp"      // IWYU pragma: export
 #include "core/training.hpp"       // IWYU pragma: export

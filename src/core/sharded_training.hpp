@@ -1,0 +1,154 @@
+// Sharded data-parallel RegHD training with an associative HD merge.
+//
+// HD training is bundling: every update in Eqs. 7–8 *adds* a scaled sample
+// hypervector into an accumulator, and addition commutes and associates. So
+// S replicas trained independently on disjoint shards can be combined by
+// summing what each shard's training added — the merged accumulators equal
+// a joint model that saw every shard's updates, with no gradient averaging
+// or parameter-server round-trips.
+//
+// Two exactness guarantees make the merge testable bit for bit:
+//
+//  * Order invariance. Floating-point addition does NOT associate, so a
+//    naive "merge in arrival order" changes bits under permutation. A
+//    ShardMergeSet therefore never adds numbers when it combines — ⊕ is a
+//    multiset union keyed by shard id — and the numeric reduction happens
+//    exactly once, in ascending shard order, when the set is applied. Every
+//    permutation and every grouping ((a⊕b)⊕c vs a⊕(b⊕c)) reduces through
+//    the same float sequence and yields identical bits.
+//
+//  * S = 1 identity. One shard holds the whole training set, so the merged
+//    model must equal a plain fit() — and it does, bit-identically, because
+//    the single-shard path adopts the replica verbatim instead of routing it
+//    through base-subtraction (fl(base + fl(rep − base)) ≠ rep in general).
+//
+// After the merge an optional short *refine* pass — a few sequential epochs
+// over the full training set, seed-derived like fit()'s epoch stream —
+// recovers the cross-shard cluster interactions that independent training
+// cannot see. The pre-refine merged state competes in the keep-best rule, so
+// refining never ships a worse model than the merge produced.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/encoded.hpp"
+#include "core/multi_model.hpp"
+#include "core/online.hpp"
+#include "core/training.hpp"
+
+namespace reghd::core {
+
+struct ShardedTrainConfig {
+  /// Number of data-parallel shards. Clamped to the training-set size; 1
+  /// degenerates to a plain fit() (bit-identical).
+  std::size_t shards = 1;
+
+  /// Sequential full-data epochs after the merge (0 disables). The refine
+  /// epoch stream is seeded from config.seed ^ "RFNE", so it is independent
+  /// of fit()'s "EPOCH" stream and reproducible.
+  std::size_t refine_epochs = 0;
+
+  /// Workers for the shard fan-out (0 = REGHD_THREADS / hardware
+  /// concurrency). Never affects results, only wall-clock: each shard's fit
+  /// is internally deterministic and shards touch disjoint state.
+  std::size_t threads = 0;
+};
+
+/// Telemetry of one shard replica's fit.
+struct ShardReport {
+  std::size_t shard = 0;
+  std::size_t rows = 0;       ///< Training rows assigned to the shard.
+  TrainingReport report;      ///< The replica's own fit() report.
+};
+
+/// Result of ShardedTrainer::fit.
+struct ShardedTrainReport {
+  std::size_t shards = 0;     ///< Effective shard count after clamping.
+  std::vector<ShardReport> shard_reports;
+  double merged_val_mse = 0.0;  ///< Validation MSE of the merged model, pre-refine.
+  std::vector<EpochRecord> refine_history;
+  double final_val_mse = 0.0;   ///< Validation MSE of the shipped model.
+};
+
+/// A multiset of trained shard replicas awaiting reduction.
+///
+/// ⊕ (combine) is pure bookkeeping — union of the entries, no arithmetic —
+/// which is what makes it exactly commutative and associative. The numbers
+/// are only reduced by apply_into(), which sorts entries by shard id and
+/// folds each replica's training delta (replica − base, per component) into
+/// the destination in ascending order, then finalizes with one requantize().
+class ShardMergeSet {
+ public:
+  /// Registers one trained replica with the reproducible post-initialization
+  /// base its training started from. Shard ids must be unique per set.
+  void add(std::size_t shard, MultiModelRegressor replica, MultiModelRegressor base);
+
+  /// Multiset union. Throws if the operands share a shard id.
+  [[nodiscard]] ShardMergeSet combine(const ShardMergeSet& other) const;
+
+  /// Reduces every entry into `out` in ascending shard order and finalizes
+  /// with requantize() (fresh snapshots, exact ‖C‖², rebuilt packed bank).
+  /// `out` must hold the merged model's base state — typically a fresh
+  /// regressor seeded with init_clusters() on the full training set.
+  void apply_into(MultiModelRegressor& out) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::size_t shard;
+    MultiModelRegressor replica;
+    MultiModelRegressor base;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Shard-train → merge → optional refine over one encoded training set.
+class ShardedTrainer {
+ public:
+  explicit ShardedTrainer(const RegHDConfig& config);
+
+  /// Deterministic round-robin partition: row i goes to shard i mod S.
+  /// Every shard receives ⌈rows/S⌉ or ⌊rows/S⌋ rows; the assignment depends
+  /// only on (rows, shards), never on threads or scheduling.
+  [[nodiscard]] static std::vector<std::vector<std::size_t>> partition(
+      std::size_t rows, std::size_t shards);
+
+  /// Trains cfg.shards independent replicas in parallel (one per shard, each
+  /// a full fit() with early stopping against `val`), merges them through a
+  /// ShardMergeSet, and optionally refines. The trained model is available
+  /// through regressor()/take_regressor() afterwards.
+  ShardedTrainReport fit(const EncodedDataset& train, const EncodedDataset& val,
+                         const ShardedTrainConfig& cfg);
+
+  [[nodiscard]] const MultiModelRegressor& regressor() const;
+
+  /// Transfers ownership of the trained model (for RegHDPipeline adoption).
+  [[nodiscard]] std::unique_ptr<MultiModelRegressor> take_regressor();
+
+ private:
+  /// The post-merge sequential refine pass (see file comment).
+  void refine(const EncodedDataset& train, const EncodedDataset& val,
+              std::size_t epochs, ShardedTrainReport& report);
+
+  RegHDConfig config_;
+  std::unique_ptr<MultiModelRegressor> regressor_;
+};
+
+/// Streaming analogue: trains one OnlineRegHD replica per shard over the
+/// round-robin partition of a labelled block (row-major rows × num_features,
+/// each replica consuming its shard sequentially through update()), then
+/// merges them with OnlineRegHD::merge_replicas. cfg.refine_epochs is
+/// ignored — a stream has no epochs; keep feeding the merged learner instead.
+[[nodiscard]] OnlineRegHD train_online_sharded(const OnlineConfig& config,
+                                               std::span<const double> features_flat,
+                                               std::span<const double> targets,
+                                               std::size_t num_features,
+                                               const ShardedTrainConfig& cfg);
+
+}  // namespace reghd::core

@@ -153,6 +153,13 @@ void scalar_add_scaled_binary(double* a, const std::uint64_t* bits, double c,
   }
 }
 
+void scalar_merge_accumulate(double* acc, const double* rep, const double* base,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] += rep[i] - base[i];
+  }
+}
+
 void scalar_scale_real(double* a, double c, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     a[i] *= c;
@@ -259,6 +266,7 @@ constexpr KernelBackend kScalarBackend{
     scalar_add_scaled_real,
     scalar_add_scaled_bipolar,
     scalar_add_scaled_binary,
+    scalar_merge_accumulate,
     scalar_scale_real,
     scalar_rff_trig_map,
     scalar_rff_rematerialize,

@@ -61,6 +61,14 @@ struct KernelBackend {
   /// a[i] += ±c, signs from packed bits.
   void (*add_scaled_binary)(double* a, const std::uint64_t* bits, double c,
                             std::size_t n);
+  /// Shard-merge accumulation over accumulator banks:
+  ///   acc[i] += rep[i] − base[i]
+  /// with each component rounded as one subtract then one add. Every
+  /// component is independent (no cross-lane accumulation, no multiply), so
+  /// the AVX2 lane-parallel replay is bit-identical to scalar — the
+  /// shard-merge order-invariance proofs rely on that.
+  void (*merge_accumulate)(double* acc, const double* rep, const double* base,
+                           std::size_t n);
   /// a[i] *= c.
   void (*scale_real)(double* a, double c, std::size_t n);
   /// In-place RFF trig map: z[i] ← ½·(sin(2·z[i] + phase[i]) − sin_phase[i]),

@@ -319,6 +319,46 @@ void avx2_add_scaled_binary(double* a, const std::uint64_t* bits, double c,
   }
 }
 
+void avx2_merge_accumulate(double* acc, const double* rep, const double* base,
+                           std::size_t n) {
+  // sub then add per lane (no FMA, no cross-lane work): each slot rounds
+  // exactly like the scalar backend's `acc[i] += rep[i] - base[i]`, so both
+  // tables produce bit-identical merged accumulators. Alignment-peeled on the
+  // read-modify-write destination like avx2_add_scaled_real.
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(acc + i) & 31U) != 0) {
+    acc[i] += rep[i] - base[i];
+    ++i;
+  }
+  for (; i + 16 <= n; i += 16) {
+    _mm256_store_pd(acc + i,
+                    _mm256_add_pd(_mm256_load_pd(acc + i),
+                                  _mm256_sub_pd(_mm256_loadu_pd(rep + i),
+                                                _mm256_loadu_pd(base + i))));
+    _mm256_store_pd(acc + i + 4,
+                    _mm256_add_pd(_mm256_load_pd(acc + i + 4),
+                                  _mm256_sub_pd(_mm256_loadu_pd(rep + i + 4),
+                                                _mm256_loadu_pd(base + i + 4))));
+    _mm256_store_pd(acc + i + 8,
+                    _mm256_add_pd(_mm256_load_pd(acc + i + 8),
+                                  _mm256_sub_pd(_mm256_loadu_pd(rep + i + 8),
+                                                _mm256_loadu_pd(base + i + 8))));
+    _mm256_store_pd(acc + i + 12,
+                    _mm256_add_pd(_mm256_load_pd(acc + i + 12),
+                                  _mm256_sub_pd(_mm256_loadu_pd(rep + i + 12),
+                                                _mm256_loadu_pd(base + i + 12))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_store_pd(acc + i,
+                    _mm256_add_pd(_mm256_load_pd(acc + i),
+                                  _mm256_sub_pd(_mm256_loadu_pd(rep + i),
+                                                _mm256_loadu_pd(base + i))));
+  }
+  for (; i < n; ++i) {
+    acc[i] += rep[i] - base[i];
+  }
+}
+
 void avx2_scale_real(double* a, double c, std::size_t n) {
   // Same alignment-peeled pattern as avx2_add_scaled_real: the in-place
   // destination is the whole working set, so aligned full-width accesses are
@@ -813,6 +853,7 @@ constexpr KernelBackend kAvx2Backend{
     avx2_add_scaled_real,
     avx2_add_scaled_bipolar,
     avx2_add_scaled_binary,
+    avx2_merge_accumulate,
     avx2_scale_real,
     avx2_rff_trig_map,
     avx2_rff_rematerialize,

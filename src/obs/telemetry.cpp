@@ -31,6 +31,9 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "ckpt_recover_scans",
     "ckpt_corruptions",
     "ckpt_recoveries",
+    "shard_fits",
+    "shard_merges",
+    "shard_refine_epochs",
 };
 
 constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
@@ -46,6 +49,9 @@ constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
     "ckpt_write_ns",
     "ckpt_fsync_ns",
     "ckpt_recover_ns",
+    "shard_fit_ns",
+    "shard_merge_ns",
+    "shard_refine_ns",
 };
 
 }  // namespace

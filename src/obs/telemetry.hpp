@@ -68,6 +68,9 @@ enum class Counter : std::size_t {
   kCkptRecoverScans,      ///< Candidate files examined during recovery.
   kCkptCorruptions,       ///< Candidates rejected as corrupt/torn (CRC or parse).
   kCkptRecoveries,        ///< Successful recoveries.
+  kShardFits,             ///< Shard replica fits completed (sharded training).
+  kShardMerges,           ///< Shard-merge reductions applied (one per merged model).
+  kShardRefineEpochs,     ///< Sequential refine epochs run after a shard merge.
   kCount
 };
 
@@ -86,6 +89,9 @@ enum class Histo : std::size_t {
   kCkptWriteNs,       ///< One checkpoint serialization + atomic write.
   kCkptFsyncNs,       ///< One fsync barrier inside an atomic write.
   kCkptRecoverNs,     ///< One recover() walk.
+  kShardFitNs,        ///< One shard replica fit (train + re-derived base).
+  kShardMergeNs,      ///< One full merge reduction (deltas + requantize).
+  kShardRefineNs,     ///< One refine pass (all refine epochs).
   kCount
 };
 

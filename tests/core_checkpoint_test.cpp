@@ -9,6 +9,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/model_io.hpp"
+#include "core/sharded_training.hpp"
 #include "data/synthetic.hpp"
 #include "util/atomic_file.hpp"
 #include "util/framing.hpp"
@@ -252,6 +253,95 @@ TEST_F(CheckpointManagerTest, ForeignFilesAndTmpDebrisAreIgnored) {
   EXPECT_EQ(manager.checkpoints().size(), 1u);
   // prune() cleared the crash debris during the save.
   EXPECT_FALSE(fs::exists(dir_ + "/ckpt-00000000000000000009.reghd.tmp"));
+}
+
+TEST_F(CheckpointManagerTest, ShardedMergedStreamRoundTripsAndRefinesBitIdentically) {
+  // Cross-feature stress: shard-train a stream, merge, checkpoint the merged
+  // learner through the v2 container, resume, then keep refining BOTH copies
+  // with identical updates. The byte streams must stay identical at every
+  // step — the checkpoint captured the complete merged state (accumulators,
+  // snapshots, packed bank, Welford statistics, requantize accounting).
+  OnlineConfig cfg = small_config();
+  cfg.reghd.query_precision = QueryPrecision::kBinary;
+  cfg.reghd.model_precision = ModelPrecision::kTernary;
+  const data::Dataset d = data::make_friedman1(512, 9);
+
+  ShardedTrainConfig scfg;
+  scfg.shards = 4;
+  OnlineRegHD merged = train_online_sharded(
+      cfg, d.features_flat().subspan(0, 400 * d.num_features()),
+      std::span<const double>(d.targets().data(), 400), d.num_features(), scfg);
+
+  std::istringstream in(serialize(merged), std::ios::binary);
+  OnlineRegHD resumed = load_online_checkpoint(in);
+  EXPECT_EQ(serialize(resumed), serialize(merged));
+
+  // Refine: both learners consume the tail of the stream.
+  for (std::size_t i = 400; i < d.size(); ++i) {
+    EXPECT_EQ(resumed.update(d.row(i), d.target(i)), merged.update(d.row(i), d.target(i)));
+  }
+  EXPECT_EQ(serialize(resumed), serialize(merged));
+}
+
+TEST_F(CheckpointManagerTest, ShardedMergedCheckpointWithoutPackedBankStillLoads) {
+  // The merge finalizes with requantize(), so the saved bank is derivable
+  // from the saved snapshots; a PBNK-stripped container (the pre-bank format)
+  // must re-pack to the identical state.
+  OnlineConfig cfg = small_config();
+  cfg.reghd.query_precision = QueryPrecision::kBinary;
+  cfg.reghd.model_precision = ModelPrecision::kTernary;
+  const data::Dataset d = data::make_friedman1(400, 9);
+
+  ShardedTrainConfig scfg;
+  scfg.shards = 3;
+  const OnlineRegHD merged = train_online_sharded(cfg, d.features_flat(), d.targets(),
+                                                  d.num_features(), scfg);
+  ASSERT_TRUE(merged.model().packed_bank().valid);
+
+  const std::string bytes = serialize(merged);
+  const util::ParsedFile file = util::parse_sections(bytes.substr(8));
+  std::ostringstream stripped(std::ios::binary);
+  util::write_scalar<std::uint32_t>(stripped, kModelMagic);
+  util::write_scalar<std::uint32_t>(stripped, kModelVersionLatest);
+  util::SectionWriter writer(stripped, file.kind);
+  bool dropped = false;
+  for (const util::Section& s : file.sections) {
+    if (s.tag == util::fourcc("PBNK")) {
+      dropped = true;
+      continue;
+    }
+    writer.add(s.tag, s.payload);
+  }
+  writer.finish();
+  ASSERT_TRUE(dropped) << "expected the merged checkpoint to carry a PBNK section";
+
+  std::istringstream in(stripped.str(), std::ios::binary);
+  const OnlineRegHD restored = load_online_checkpoint(in);
+  ASSERT_TRUE(restored.model().packed_bank().valid);
+  EXPECT_EQ(serialize(restored), bytes);
+}
+
+TEST_F(CheckpointManagerTest, ShardedPipelineModelRoundTripsThroughModelFile) {
+  PipelineConfig pcfg;
+  pcfg.reghd.dim = 128;
+  pcfg.reghd.models = 2;
+  pcfg.reghd.max_epochs = 3;
+  pcfg.reghd.cluster_mode = ClusterMode::kQuantized;
+  RegHDPipeline pipeline(pcfg);
+  ShardedTrainConfig scfg;
+  scfg.shards = 3;
+  scfg.refine_epochs = 1;
+  pipeline.fit_sharded(data::make_friedman1(160, 5), scfg);
+
+  std::ostringstream out(std::ios::binary);
+  save_pipeline(out, pipeline);
+  std::istringstream in(out.str(), std::ios::binary);
+  const RegHDPipeline loaded = load_pipeline(in);
+
+  const data::Dataset queries = data::make_friedman1(16, 77);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(loaded.predict(queries.row(i)), pipeline.predict(queries.row(i)));
+  }
 }
 
 TEST_F(CheckpointManagerTest, PipelineCheckpointsRoundTrip) {

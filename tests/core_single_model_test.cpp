@@ -55,14 +55,23 @@ RegHDConfig base_config(std::size_t dim) {
 }
 
 TEST(SingleModelTest, LearnsSineTaskWellBeyondMeanPredictor) {
-  const EncodedTask task = make_task(data::make_sine_task(600, 5), 2048, 2);
-  SingleModelRegressor model(base_config(2048));
-  const TrainingReport report = model.fit(task.train, task.val);
-  EXPECT_GE(report.epochs_run, 2u);
-  // Standardized targets: the mean predictor has MSE ≈ 1. The auto RFF
-  // bandwidth (tuned for multi-feature data) slightly underfits the
-  // frequency-4 sine; see the tuned-bandwidth test below for the tight fit.
-  EXPECT_LT(model.evaluate_mse(task.test), 0.4);
+  // Flake guard: the bound must hold across a split/encoder seed sweep, not
+  // at one lucky seed (an earlier bound of 0.4 held only for specific seeds
+  // and a failing seed was once swapped for a passing one instead of fixing
+  // the bound). Standardized targets put the mean predictor at MSE ≈ 1; the
+  // auto RFF bandwidth (tuned for multi-feature data) underfits the
+  // frequency-4 sine — see the tuned-bandwidth test below for the tight fit.
+  // Measured test MSEs for seeds 1..5: 0.469, 0.227, 0.391, 0.290, 0.440
+  // (max 0.469) → bound 0.55 with headroom, still far below the mean
+  // predictor.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const EncodedTask task = make_task(data::make_sine_task(600, 5), 2048, seed);
+    SingleModelRegressor model(base_config(2048));
+    const TrainingReport report = model.fit(task.train, task.val);
+    EXPECT_GE(report.epochs_run, 2u);
+    EXPECT_LT(model.evaluate_mse(task.test), 0.55);
+  }
 }
 
 TEST(SingleModelTest, TunedBandwidthFitsSineTightly) {

@@ -186,6 +186,12 @@ TEST_P(KernelBackendTest, Avx2AccumulationMatchesScalar) {
   avx2->add_scaled_binary(vx_buf.data(), v.ba.words().data(), c, dim);
   EXPECT_EQ(sc_buf, vx_buf);
 
+  // merge_accumulate (acc += rep − base) is likewise per-component — the
+  // shard-merge order-invariance proofs rely on it being bit-identical.
+  sc.merge_accumulate(sc_buf.data(), v.rb.values().data(), v.ra.values().data(), dim);
+  avx2->merge_accumulate(vx_buf.data(), v.rb.values().data(), v.ra.values().data(), dim);
+  EXPECT_EQ(sc_buf, vx_buf);
+
   sc.scale_real(sc_buf.data(), 0.91, dim);
   avx2->scale_real(vx_buf.data(), 0.91, dim);
   EXPECT_EQ(sc_buf, vx_buf);

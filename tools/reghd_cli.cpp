@@ -5,10 +5,15 @@
 //                 [--alpha 0.15] [--quantized] [--binary-query] [--binary-model]
 //                 [--test-fraction 0.25] [--seed 42] [--target-col -1]
 //                 [--batch B] [--checkpoint-dir DIR --checkpoint-every EPOCHS]
+//                 [--shards S] [--refine-epochs R]
 //                 (--batch B trains in deterministic batch-frozen mini-batches
 //                 of B samples, parallelized over --threads workers; results
 //                 depend only on B, and B = 1 matches the default online
-//                 sample-by-sample training bit for bit)
+//                 sample-by-sample training bit for bit; --shards S trains S
+//                 independent replicas on disjoint shards in parallel and
+//                 merges them by HD bundling, --refine-epochs R adds R
+//                 sequential full-data epochs after the merge — see
+//                 core/sharded_training.hpp)
 //   reghd eval    --csv data.csv --model model.bin [--target-col -1]
 //   reghd predict --csv data.csv --model model.bin [--target-col -1]
 //                 (prints one prediction per input row; rows are encoded and
@@ -69,6 +74,9 @@ int usage(const std::string& program) {
             << "  across --threads workers; 0 = online sample-by-sample, default)\n"
             << "  --checkpoint-dir DIR --checkpoint-every EPOCHS (periodic atomic\n"
             << "  snapshots of the fitting pipeline; newest K kept)\n"
+            << "  --shards S (data-parallel: S replicas on disjoint shards, merged\n"
+            << "  by HD bundling; 1 = plain fit, default) --refine-epochs R\n"
+            << "  (sequential full-data epochs after the merge; default 0)\n"
             << "stream options: --models K --dim D --alpha LR --quantized --seed S\n"
             << "  --decay D --requantize-every N --checkpoint-dir DIR\n"
             << "  --checkpoint-every UPDATES --keep-last K --resume --out MODEL\n"
@@ -155,8 +163,32 @@ int cmd_train(const util::Args& args) {
   const data::TrainTestSplit split = data::train_test_split(dataset, test_fraction, rng);
 
   core::RegHDPipeline pipeline(cfg);
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  const auto refine_epochs = static_cast<std::size_t>(args.get_int("refine-epochs", 0));
   const std::string ckpt_dir = args.get_string("checkpoint-dir", "");
-  if (ckpt_dir.empty()) {
+  if (shards > 1 || refine_epochs > 0) {
+    if (!ckpt_dir.empty()) {
+      std::cerr << "train: --checkpoint-dir is not supported with --shards / "
+                   "--refine-epochs (shard fits have no global epoch stream)\n";
+      return 1;
+    }
+    core::ShardedTrainConfig sharded_cfg;
+    sharded_cfg.shards = shards;
+    sharded_cfg.refine_epochs = refine_epochs;
+    sharded_cfg.threads = cfg.reghd.threads;
+    const core::ShardedTrainReport sharded = pipeline.fit_sharded(split.train, sharded_cfg);
+    std::cout << "sharded fit: " << sharded.shards << " shards";
+    for (const core::ShardReport& sr : sharded.shard_reports) {
+      std::cout << " [" << sr.shard << ": " << sr.rows << " rows, "
+                << sr.report.epochs_run << " epochs]";
+    }
+    std::cout << "\nmerged val mse=" << sharded.merged_val_mse;
+    if (refine_epochs > 0) {
+      std::cout << ", refined (" << sharded.refine_history.size()
+                << " epochs) val mse=" << sharded.final_val_mse;
+    }
+    std::cout << "\n";
+  } else if (ckpt_dir.empty()) {
     pipeline.fit(split.train);
   } else {
     core::CheckpointConfig ckpt_cfg;
