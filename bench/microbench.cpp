@@ -7,11 +7,13 @@
 //  * default             — the google-benchmark suite (BM_* below).
 //  * --json[=PATH]       — hand-rolled kernel timing that emits
 //                          BENCH_kernels.json: ns/op and GB/s for every
-//                          kernel in every available backend (scalar, avx2),
-//                          the seed's pre-SIMD reference loops for speedup
-//                          accounting, end-to-end batch encode+predict
-//                          throughput, and train-epoch throughput
-//                          (sequential vs mini-batch).
+//                          kernel in every runtime-available backend
+//                          (scalar, avx2, avx512, neon), the seed's pre-SIMD
+//                          reference loops for speedup accounting, fused
+//                          single-query predict_one latency (p50/p99 vs the
+//                          materializing path), end-to-end batch
+//                          encode+predict throughput, and train-epoch
+//                          throughput (sequential vs mini-batch).
 //  * --train-json[=PATH] — emits BENCH_train.json: training samples/sec of
 //                          the sequential online trainer vs deterministic
 //                          mini-batches at B ∈ {1, 32, 256} × threads ∈
@@ -25,6 +27,7 @@
 //                          telemetry disabled vs enabled.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -311,9 +314,13 @@ int run_kernel_json(const std::string& path) {
   const hdc::BinaryHV mask = hdc::random_binary(kDim, rng);
   hdc::RealHV accum = hdc::random_gaussian(kDim, rng);
 
-  std::vector<const hdc::KernelBackend*> backends{&hdc::scalar_backend()};
-  if (const hdc::KernelBackend* avx2 = hdc::avx2_backend()) {
-    backends.push_back(avx2);
+  // Every backend the dispatch layer would accept on this host, scalar
+  // first — the per-kernel nodes below get one entry per table, so a run on
+  // AVX-512 silicon (or an aarch64 build) reports those columns too.
+  std::vector<const hdc::KernelBackend*> backends;
+  const hdc::BackendList tables = hdc::available_backends();
+  for (std::size_t t = 0; t < tables.count; ++t) {
+    backends.push_back(tables.tables[t]);
   }
 
   // Buffers for the GEMM batch kernels: a 16-row feature block against the
@@ -350,6 +357,9 @@ int run_kernel_json(const std::string& path) {
   root["dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(kDim));
   root["active_backend"] = bench::JsonValue::string(hdc::active_backend().name);
   root["cpu_supports_avx2"] = bench::JsonValue::boolean(hdc::cpu_supports_avx2());
+  root["cpu_supports_avx512"] = bench::JsonValue::boolean(hdc::cpu_supports_avx512());
+  root["cpu_supports_avx512_vpopcntdq"] =
+      bench::JsonValue::boolean(hdc::cpu_supports_avx512_vpopcntdq());
   root["host_hardware_concurrency"] = bench::JsonValue::integer(
       static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   const char* env_threads = std::getenv("REGHD_THREADS");
@@ -450,6 +460,30 @@ int run_kernel_json(const std::string& path) {
     report_backend(kernels["gemm_predict_bank"], b.c_str(),
                    (2.0 * kModels * kDim + kDim) * 8, ns);
 
+    // Carried-state D-block bank scan: the same 2k-row f64 sweep as
+    // gemm_predict_bank, fed through dot_rows_block in 1024-column blocks —
+    // the fused predict_one dataflow, where each block of the query is
+    // scored against every row while still L1-resident.
+    {
+      constexpr std::size_t kBlock = 1024;
+      std::vector<const double*> row_ptrs(2 * kModels);
+      std::vector<double> block_state(2 * kModels * hdc::kDotRowsBlockState);
+      ns = time_ns([&] {
+        std::fill(block_state.begin(), block_state.end(), 0.0);
+        for (std::size_t j0 = 0; j0 < kDim; j0 += kBlock) {
+          const std::size_t len = std::min(kBlock, kDim - j0);
+          for (std::size_t r = 0; r < 2 * kModels; ++r) {
+            row_ptrs[r] = bank.data() + r * kDim + j0;
+          }
+          kb->dot_rows_block(pra + j0, row_ptrs.data(), 2 * kModels, len,
+                             j0 + len == kDim, block_state.data(),
+                             bank_scores.data());
+        }
+      });
+      report_backend(kernels["dot_rows_block"], b.c_str(),
+                     (2.0 * kModels * kDim + kDim) * 8, ns);
+    }
+
     // Binary bank scoring: one packed query against the 2k-row binary bank
     // (XNOR + popcount per row — the quantized predict_batch scan).
     ns = time_ns([&] {
@@ -536,6 +570,66 @@ int run_kernel_json(const std::string& path) {
     ps["rematerialized"]["projection_resident_bytes"] = bench::JsonValue::integer(0);
     ps["rematerialized"]["scratch_bytes"] =
         bench::JsonValue::integer(static_cast<std::int64_t>(kFeatures * kRematTile * 8));
+  }
+
+  // Fused single-query latency: predict_one (encode→search→predict through
+  // one L1-resident D-block loop, no EncodedSample materialization) vs the
+  // materializing predict(encode(q)), both driving the rematerialized
+  // projection at D = 4096, F = 10, k = 8. Single-query serving is a
+  // tail-latency story, so the report carries per-call p50/p99 rather than
+  // a mean over a hot loop.
+  {
+    core::RegHDConfig fcfg;
+    fcfg.dim = kDim;
+    fcfg.models = kModels;
+    core::MultiModelRegressor freg(fcfg);
+    util::Rng frng(0xF05E);
+    std::vector<double> query(kFeatures);
+    for (double& x : query) {
+      x = frng.normal();
+    }
+    for (std::size_t i = 0; i < 64; ++i) {
+      std::vector<double> f(kFeatures);
+      for (double& x : f) {
+        x = frng.normal();
+      }
+      freg.train_step(remat_encoder->encode(f), std::sin(0.1 * static_cast<double>(i)));
+    }
+    freg.requantize();
+
+    constexpr std::size_t kLatencySamples = 512;
+    const auto sample_ns = [&](auto&& fn) {
+      std::vector<double> samples;
+      samples.reserve(kLatencySamples);
+      fn();  // warmup: thread-local scratch, page-in, backend resolution
+      util::Stopwatch sw;
+      for (std::size_t i = 0; i < kLatencySamples; ++i) {
+        sw.restart();
+        fn();
+        samples.push_back(sw.elapsed_milliseconds() * 1e6);
+      }
+      std::sort(samples.begin(), samples.end());
+      return samples;
+    };
+    const std::vector<double> fused_ns = sample_ns(
+        [&] { benchmark::DoNotOptimize(freg.predict_one(*remat_encoder, query)); });
+    const std::vector<double> mat_ns = sample_ns(
+        [&] { benchmark::DoNotOptimize(freg.predict(remat_encoder->encode(query))); });
+    const auto p50 = [](const std::vector<double>& s) { return s[s.size() / 2]; };
+    const auto p99 = [](const std::vector<double>& s) { return s[(s.size() * 99) / 100]; };
+
+    bench::JsonValue& po = root["predict_one_fused"];
+    po["dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(kDim));
+    po["features"] = bench::JsonValue::integer(static_cast<std::int64_t>(kFeatures));
+    po["models"] = bench::JsonValue::integer(static_cast<std::int64_t>(kModels));
+    po["projection_storage"] = bench::JsonValue::string("rematerialized");
+    po["samples"] = bench::JsonValue::integer(static_cast<std::int64_t>(kLatencySamples));
+    po["fused"]["p50_ns"] = bench::JsonValue::number(p50(fused_ns));
+    po["fused"]["p99_ns"] = bench::JsonValue::number(p99(fused_ns));
+    po["materializing"]["p50_ns"] = bench::JsonValue::number(p50(mat_ns));
+    po["materializing"]["p99_ns"] = bench::JsonValue::number(p99(mat_ns));
+    po["speedup_p50"] = bench::JsonValue::number(p50(mat_ns) / p50(fused_ns));
+    po["speedup_p99"] = bench::JsonValue::number(p99(mat_ns) / p99(fused_ns));
   }
 
   // End-to-end: encode kRows rows and predict each with a k-model regressor,

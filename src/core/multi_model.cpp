@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "core/early_stopping.hpp"
+#include "hdc/encoding.hpp"
 #include "hdc/kernel_backend.hpp"
 #include "hdc/random_hv.hpp"
 #include "obs/telemetry.hpp"
@@ -196,6 +197,150 @@ PredictionDetail MultiModelRegressor::predict_detail(const hdc::EncodedSampleVie
     detail.prediction += detail.confidences[i] * detail.model_outputs[i];
   }
   return detail;
+}
+
+double MultiModelRegressor::predict_one(const hdc::Encoder& encoder,
+                                        std::span<const double> features) const {
+  const obs::StageTimer timer(obs::Histo::kPredictOneNs);
+  REGHD_CHECK(encoder.dim() == config_.dim,
+              "encoder dim " << encoder.dim() << " != configured dim " << config_.dim);
+  const PredictionMode mode = config_.prediction_mode();
+  const bool real_fusable = config_.cluster_mode == ClusterMode::kFullPrecision &&
+                            mode.query == QueryPrecision::kReal &&
+                            mode.model == ModelPrecision::kReal;
+  const bool quantized_fusable =
+      (config_.cluster_mode == ClusterMode::kQuantized ||
+       config_.cluster_mode == ClusterMode::kNaiveBinary) &&
+      mode.query == QueryPrecision::kBinary &&
+      (mode.model == ModelPrecision::kBinary ||
+       mode.model == ModelPrecision::kTernary);
+  if (!config_.fused_predict || !encoder.supports_block_encode() ||
+      !(real_fusable || quantized_fusable)) {
+    // Materializing path: full encode, then the ordinary Eq. 5/6 predict.
+    // Covers encoders without block support, fused_predict = false, and the
+    // mode combinations whose model term is not fusable (e.g. ternary model
+    // with a real query — a sparse masked float dot that wants the whole
+    // query anyway).
+    obs::count(obs::Counter::kPredictFusedFallbacks);
+    return predict(encoder.encode(features));
+  }
+
+  // One L1-resident slice of the hyperspace per iteration: the 8 KB block
+  // plus the bank rows' slices stay in cache from the encode stage through
+  // the bank scan — the software mirror of sim/accelerator.hpp's
+  // encode → similarity-search → confidence → predict stage pipeline, with
+  // blocks in place of its streamed beats. 1024 is a multiple of 64 (the
+  // dot_rows_block / word-packing granularity), so only the final block may
+  // be ragged.
+  constexpr std::size_t kFusedBlock = 1024;
+  const hdc::KernelBackend& kb = hdc::active_backend();
+  const std::size_t d = config_.dim;
+  const double dd = static_cast<double>(d);
+  const std::size_t k_c = clusters_.size();
+  const std::size_t k_m = models_.size();
+  obs::count(obs::Counter::kPredicts);
+  obs::count(obs::Counter::kPredictFused);
+
+  // thread_local scratch: predict_one is const and must stay safe to call
+  // concurrently, without paying per-call allocations on the latency path.
+  thread_local std::vector<double> block;
+  thread_local std::vector<double> sims;
+  block.resize(kFusedBlock);
+  sims.resize(k_c);
+
+  if (real_fusable) {
+    // Replays predict_batch's full-precision bank scan, one block at a time:
+    // dot_rows_block carries each row's lane-accumulator state across blocks
+    // and finishes bit-identical to its backend's dot_real_real, so the
+    // scores equal raw_query_dot / predict_dot exactly. The query's own
+    // norm² rides as one extra bank row (q·q through the same kernel —
+    // exactly how encode() computes real_norm2).
+    const std::size_t rows = k_c + k_m + 1;
+    thread_local std::vector<double> state;
+    thread_local std::vector<const double*> row_ptrs;
+    thread_local std::vector<double> scores;
+    state.assign(rows * hdc::kDotRowsBlockState, 0.0);
+    row_ptrs.resize(rows);
+    scores.resize(rows);
+    for (std::size_t j0 = 0; j0 < d; j0 += kFusedBlock) {
+      const std::size_t len = std::min(kFusedBlock, d - j0);
+      const bool last = j0 + len == d;
+      encoder.encode_real_block(features, j0, len, block.data());
+      for (std::size_t c = 0; c < k_c; ++c) {
+        row_ptrs[c] = clusters_[c].accumulator.values().data() + j0;
+      }
+      for (std::size_t m = 0; m < k_m; ++m) {
+        row_ptrs[k_c + m] = models_[m].accumulator.values().data() + j0;
+      }
+      row_ptrs[k_c + k_m] = block.data();
+      kb.dot_rows_block(block.data(), row_ptrs.data(), rows, len, last,
+                        state.data(), scores.data());
+    }
+    // Replay of similarities_into (full-precision branch) + confidences +
+    // Eq. 6, operation for operation.
+    const double qn = std::sqrt(scores[k_c + k_m]);
+    for (std::size_t c = 0; c < k_c; ++c) {
+      const double cn = std::sqrt(clusters_[c].norm2);
+      sims[c] = (cn == 0.0 || qn == 0.0) ? 0.0 : scores[c] / (cn * qn);
+    }
+    confidences_into(sims);
+    double y = 0.0;
+    for (std::size_t m = 0; m < k_m; ++m) {
+      y += sims[m] * (scores[k_c + m] / dd);
+    }
+    return y;
+  }
+
+  // Quantized bank scan (§3.1 + §3.2), blocked: each encoded block is
+  // sign-packed (bit-identical to the slice of encode()'s sign/pack — word
+  // boundaries align because non-final blocks are 64-multiples) and scored
+  // against the word-offset slice of the packed 2-bit-plane bank; the
+  // per-block masked popcount scores are integers, so summing them across
+  // blocks is exact and the totals equal the unblocked dot_rows_ternary.
+  const std::size_t words = (d + 63) / 64;
+  PackedTernaryBank local;
+  if (!packed_bank_.valid) {
+    build_packed_bank_into(local);
+  }
+  const PackedTernaryBank& bank = packed_bank_.valid ? packed_bank_ : local;
+  REGHD_INTERNAL_CHECK(bank.rows == k_c + k_m && bank.words == words,
+                       "packed bank geometry " << bank.rows << "×" << bank.words
+                                               << " does not match predict shape");
+  thread_local std::vector<std::int8_t> bipolar;
+  thread_local std::vector<std::uint64_t> qwords;
+  thread_local std::vector<std::int64_t> block_scores;
+  thread_local std::vector<std::int64_t> totals;
+  bipolar.resize(kFusedBlock);
+  qwords.resize(kFusedBlock / 64);
+  block_scores.resize(bank.rows);
+  totals.assign(bank.rows, 0);
+  for (std::size_t j0 = 0; j0 < d; j0 += kFusedBlock) {
+    const std::size_t len = std::min(kFusedBlock, d - j0);
+    encoder.encode_real_block(features, j0, len, block.data());
+    kb.sign_encode(block.data(), bipolar.data(), qwords.data(), len);
+    const std::size_t w0 = j0 / 64;
+    kb.dot_rows_ternary(qwords.data(), bank.signs.data() + w0,
+                        bank.masks.data() + w0, bank.words, bank.rows, len,
+                        block_scores.data());
+    for (std::size_t r = 0; r < bank.rows; ++r) {
+      totals[r] += block_scores[r];
+    }
+  }
+  // Replay of predict_batch's quantized replay of hamming_similarity /
+  // predict_dot / predict(): exact integer distance, then the same float
+  // expressions.
+  for (std::size_t c = 0; c < k_c; ++c) {
+    const auto h =
+        static_cast<double>((static_cast<std::int64_t>(d) - totals[c]) / 2);
+    sims[c] = 1.0 - 2.0 * h / dd;
+  }
+  confidences_into(sims);
+  double y = 0.0;
+  for (std::size_t m = 0; m < k_m; ++m) {
+    y += sims[m] *
+         (bank.scale[k_c + m] * static_cast<double>(totals[k_c + m]) / dd);
+  }
+  return y;
 }
 
 std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dataset,

@@ -31,6 +31,10 @@
 #include "util/aligned.hpp"
 #include "util/random.hpp"
 
+namespace reghd::hdc {
+class Encoder;
+}
+
 namespace reghd::core {
 
 /// State of one cluster center: the integer accumulator C, its binary
@@ -91,6 +95,25 @@ class MultiModelRegressor {
 
   /// Prediction plus all intermediate quantities.
   [[nodiscard]] PredictionDetail predict_detail(const hdc::EncodedSampleView& sample) const;
+
+  /// Fused single-query (B = 1) prediction: encode → similarity search →
+  /// confidence → predict in one pass over L1-resident blocks of the
+  /// hyperspace, the software mirror of the sim/accelerator.hpp stage
+  /// pipeline. Instead of materializing the full D-dimensional encoding and
+  /// then re-streaming it against every cluster/model row, each 1024-
+  /// component block is encoded (encoder.encode_real_block) and immediately
+  /// scored against the (k_c + k_m)-row bank while it is still in cache —
+  /// dot_rows_block carries per-row reduction state across blocks in the
+  /// real/real mode, and the quantized modes sign-encode the block and
+  /// accumulate exact integer popcount scores. Bit-identical to
+  /// predict(encoder.encode(features)) in every mode: the supported
+  /// cluster/query/model combinations fuse (same kernels, same rounding
+  /// sequence — see the predict_batch fast paths this replays), all others
+  /// fall back to exactly that materializing expression. config().
+  /// fused_predict = false forces the fallback. Thread-safe (thread_local
+  /// scratch).
+  [[nodiscard]] double predict_one(const hdc::Encoder& encoder,
+                                   std::span<const double> features) const;
 
   /// Predicts every sample, parallelized over rows with up to `threads`
   /// workers (0 = config.threads, then REGHD_THREADS / hardware

@@ -158,7 +158,18 @@ double OnlineRegHD::predict(std::span<const double> features) const {
     obs::count(obs::Counter::kOnlineColdPredicts);
     return target_stats_.count() > 0 ? target_stats_.mean() : 0.0;
   }
-  return unscale_target(model_->predict(encode(features)));
+  if (!config_.adaptive_scaling) {
+    return unscale_target(model_->predict_one(*encoder_, features));
+  }
+  // Standardize exactly like encode(), then hand the scaled reading to the
+  // fused single-query path (bit-identical to predict(encode(features)),
+  // falling back internally when the mode combination is not fusable).
+  std::vector<double> scaled(features.size());
+  for (std::size_t k = 0; k < features.size(); ++k) {
+    const double sd = feature_stats_[k].stddev();
+    scaled[k] = sd > 0.0 ? (features[k] - feature_stats_[k].mean()) / sd : 0.0;
+  }
+  return unscale_target(model_->predict_one(*encoder_, scaled));
 }
 
 double OnlineRegHD::update(std::span<const double> features, double target) {

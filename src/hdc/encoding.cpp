@@ -84,6 +84,16 @@ RealHV Encoder::encode_real(std::span<const double> features) const {
   return out;
 }
 
+void Encoder::encode_real_block(std::span<const double> features, std::size_t j0,
+                                std::size_t len, double* out) const {
+  (void)features;
+  (void)j0;
+  (void)len;
+  (void)out;
+  REGHD_INTERNAL_CHECK(false, "encode_real_block called on an encoder without block "
+                              "support (check supports_block_encode() first)");
+}
+
 EncodedSample Encoder::encode(std::span<const double> features) const {
   const obs::StageTimer timer(obs::Histo::kEncodeRowNs);
   obs::count(obs::Counter::kEncodeRows);
@@ -293,6 +303,39 @@ void RffProjectionEncoder::encode_real_into(std::span<const double> features,
     kb.add_scaled_real(out, projection_t_.data() + k * d, features[k], d);
   }
   kb.rff_trig_map(out, phase_.data(), sin_phase_.data(), d);
+}
+
+void RffProjectionEncoder::encode_real_block(std::span<const double> features,
+                                             std::size_t j0, std::size_t len,
+                                             double* out) const {
+  check_features(features);
+  const std::size_t d = config_.dim;
+  REGHD_CHECK(j0 <= d && len <= d - j0, "encode_real_block: slice ["
+                                            << j0 << ", " << j0 + len
+                                            << ") exceeds dim " << d);
+  if (len == 0) {
+    return;
+  }
+  const std::size_t n = config_.input_dim;
+  const KernelBackend& kb = active_backend();
+  if (config_.projection_storage == ProjectionStorage::kRematerialized) {
+    // Fused regenerate-and-project: a single query gets nothing back for
+    // storing a weight tile (the batch arena amortizes the tile over its
+    // rows; B = 1 cannot), so the block's pre-activation values come out of
+    // rff_remat_dot with the weights consumed in registers. The kernel's
+    // contract pins each component to the exact rematerialize + gemm chain,
+    // and each row's draw stream is keyed on its absolute index, so this
+    // block equals the same slice of the full encoding bit-for-bit.
+    kb.rff_remat_dot(proj_seed_, stddev_, j0, len, features.data(), n, out);
+  } else {
+    // The axpy chain over the [j0, j0+len) slice of each transposed weight
+    // row — identical per-component accumulation order to the full encode.
+    std::fill(out, out + len, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      kb.add_scaled_real(out, projection_t_.data() + k * d + j0, features[k], len);
+    }
+  }
+  kb.rff_trig_map(out, phase_.data() + j0, sin_phase_.data() + j0, len);
 }
 
 void RffProjectionEncoder::encode_batch_into(std::span<const double> rows_flat,

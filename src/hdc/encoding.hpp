@@ -196,6 +196,19 @@ class Encoder {
                                  std::size_t num_rows, const EncodedArenaRef& out,
                                  std::size_t threads = 0) const;
 
+  /// True when this encoder can produce an arbitrary component slice of the
+  /// real encoding via encode_real_block() — the contract the fused
+  /// single-query predict path (MultiModelRegressor::predict_one) needs to
+  /// stream encode → bank-scan through one L1-resident block at a time.
+  [[nodiscard]] virtual bool supports_block_encode() const noexcept { return false; }
+
+  /// Writes components [j0, j0 + len) of encode_real(features) into
+  /// out[0..len), bit-identical to that slice of the full encoding for any
+  /// block split (component j depends only on features and j, never on other
+  /// components). Throws std::logic_error unless supports_block_encode().
+  virtual void encode_real_block(std::span<const double> features, std::size_t j0,
+                                 std::size_t len, double* out) const;
+
  protected:
   explicit Encoder(EncoderConfig config);
 
@@ -247,6 +260,17 @@ class RffProjectionEncoder final : public Encoder {
   void encode_batch_into(std::span<const double> rows_flat, std::size_t num_rows,
                          const EncodedArenaRef& out,
                          std::size_t threads = 0) const override;
+
+  /// RFF components are independent per j (axpy chain + trig map), so any
+  /// slice can be produced in isolation: resident mode runs the axpy chain
+  /// over the slice of each weight row, rematerialized mode replays rows
+  /// [j0, j0+len) of the projection through the fused rff_remat_dot kernel —
+  /// weights consumed in registers, no scratch tile (the B = 1 latency
+  /// kernel; bit-identical to rematerialize + gemm by its contract). Both
+  /// are bit-identical to the same slice of encode_real().
+  [[nodiscard]] bool supports_block_encode() const noexcept override { return true; }
+  void encode_real_block(std::span<const double> features, std::size_t j0,
+                         std::size_t len, double* out) const override;
 
  protected:
   void encode_real_into(std::span<const double> features, double* out) const override;

@@ -6,6 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#endif
 
 #include "hdc/rff_remat.hpp"
 #include "util/fast_trig.hpp"
@@ -182,6 +187,12 @@ void scalar_rff_rematerialize(std::uint64_t seed, double stddev, std::size_t row
   detail::rff_rematerialize_rows(seed, stddev, row0, rows, n_features, out, ld);
 }
 
+void scalar_rff_remat_dot(std::uint64_t seed, double stddev, std::size_t row0,
+                          std::size_t rows, const double* x, std::size_t n_features,
+                          double* out) {
+  detail::rff_remat_dot_rows(seed, stddev, row0, rows, x, n_features, out);
+}
+
 // Column tile of the blocked GEMM: 512 doubles (4 KB) per B-panel row keeps a
 // typical feature-count panel resident in L1 while a block of output rows
 // streams over it. Shared by both backends so the traversal (not the
@@ -211,6 +222,27 @@ void scalar_dot_rows(const double* q, const double* rows, std::size_t ld,
                      std::size_t num_rows, std::size_t n, double* out) {
   for (std::size_t r = 0; r < num_rows; ++r) {
     out[r] = scalar_dot_real_real(rows + r * ld, q, n);
+  }
+}
+
+void scalar_dot_rows_block(const double* q, const double* const* rows,
+                           std::size_t num_rows, std::size_t len, bool last,
+                           double* state, double* out) {
+  // The scalar reduction is one running sum, so the carried state per row is
+  // just that sum in slot 0 of its kDotRowsBlockState stride. Accumulating
+  // block by block adds the same values in the same order as
+  // scalar_dot_real_real over the concatenated query — bit-identical.
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    double acc = state[r * kDotRowsBlockState];
+    const double* a = rows[r];
+    for (std::size_t i = 0; i < len; ++i) {
+      acc += a[i] * q[i];
+    }
+    if (last) {
+      out[r] = acc;
+    } else {
+      state[r * kDotRowsBlockState] = acc;
+    }
   }
 }
 
@@ -256,6 +288,7 @@ void scalar_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bi
 
 constexpr KernelBackend kScalarBackend{
     "scalar",
+    1,
     scalar_dot_real_real,
     scalar_dot_real_bipolar,
     scalar_dot_real_binary,
@@ -270,8 +303,10 @@ constexpr KernelBackend kScalarBackend{
     scalar_scale_real,
     scalar_rff_trig_map,
     scalar_rff_rematerialize,
+    scalar_rff_remat_dot,
     scalar_gemm_accumulate,
     scalar_dot_rows,
+    scalar_dot_rows_block,
     scalar_dot_rows_binary,
     scalar_dot_rows_ternary,
     scalar_sign_encode,
@@ -289,9 +324,76 @@ bool cpu_supports_avx2() noexcept {
 #endif
 }
 
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#define REGHD_X86_CPUID 1
+#endif
+
+namespace {
+
+#ifdef REGHD_X86_CPUID
+/// Leaf-7 subleaf-0 feature words, or all-zero when the leaf (or the OS
+/// XSAVE state AVX-512 needs) is unsupported. AVX-512 requires both the CPU
+/// feature bits and the OS to have enabled the ZMM/opmask register state:
+/// CPUID alone lies on kernels that mask XCR0, so xgetbv is checked first.
+struct Leaf7 {
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+};
+
+Leaf7 avx512_leaf7() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    return {};
+  }
+  if ((ecx & (1U << 27)) == 0) {  // OSXSAVE: xgetbv is executable
+    return {};
+  }
+  std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+  __asm__("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  // XMM (bit 1), YMM (bit 2), opmask/ZMM_hi256/hi16_ZMM (bits 5–7).
+  constexpr std::uint32_t kAvx512State = 0xE6;
+  if ((xcr0_lo & kAvx512State) != kAvx512State) {
+    return {};
+  }
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    return {};
+  }
+  return {ebx, ecx};
+}
+#endif  // REGHD_X86_CPUID
+
+}  // namespace
+
+bool cpu_supports_avx512() noexcept {
+#ifdef REGHD_X86_CPUID
+  const Leaf7 leaf = avx512_leaf7();
+  // AVX512F (EBX bit 16) + AVX512BW (EBX bit 30) — the table's baseline ISA.
+  return (leaf.ebx & (1U << 16)) != 0 && (leaf.ebx & (1U << 30)) != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512_vpopcntdq() noexcept {
+#ifdef REGHD_X86_CPUID
+  // VPOPCNTDQ is ECX bit 14 of leaf 7.0.
+  return cpu_supports_avx512() && (avx512_leaf7().ecx & (1U << 14)) != 0;
+#else
+  return false;
+#endif
+}
+
 #ifdef REGHD_HAVE_AVX2
 // Defined in kernel_backend_avx2.cpp (compiled with -mavx2 -mfma).
 const KernelBackend* avx2_backend_table() noexcept;
+#endif
+#ifdef REGHD_HAVE_AVX512
+// Defined in kernel_backend_avx512.cpp (compiled with -mavx512f -mavx512bw).
+const KernelBackend* avx512_backend_table(bool vpopcntdq) noexcept;
+#endif
+#ifdef REGHD_HAVE_NEON
+// Defined in kernel_backend_neon.cpp (aarch64 only).
+const KernelBackend* neon_backend_table() noexcept;
 #endif
 
 const KernelBackend* avx2_backend() noexcept {
@@ -301,6 +403,23 @@ const KernelBackend* avx2_backend() noexcept {
   }
 #endif
   return nullptr;
+}
+
+const KernelBackend* avx512_backend() noexcept {
+#ifdef REGHD_HAVE_AVX512
+  if (cpu_supports_avx512()) {
+    return avx512_backend_table(cpu_supports_avx512_vpopcntdq());
+  }
+#endif
+  return nullptr;
+}
+
+const KernelBackend* neon_backend() noexcept {
+#ifdef REGHD_HAVE_NEON
+  return neon_backend_table();
+#else
+  return nullptr;
+#endif
 }
 
 const KernelBackend* backend_by_name(const char* name) noexcept {
@@ -313,6 +432,50 @@ const KernelBackend* backend_by_name(const char* name) noexcept {
   if (std::strcmp(name, "avx2") == 0) {
     return avx2_backend();
   }
+  if (std::strcmp(name, "avx512") == 0) {
+    return avx512_backend();
+  }
+  if (std::strcmp(name, "neon") == 0) {
+    return neon_backend();
+  }
+  return nullptr;
+}
+
+BackendList available_backends() noexcept {
+  BackendList list;
+  list.tables[list.count++] = &kScalarBackend;
+  if (const KernelBackend* avx2 = avx2_backend()) {
+    list.tables[list.count++] = avx2;
+  }
+  if (const KernelBackend* avx512 = avx512_backend()) {
+    list.tables[list.count++] = avx512;
+  }
+  if (const KernelBackend* neon = neon_backend()) {
+    list.tables[list.count++] = neon;
+  }
+  return list;
+}
+
+const KernelBackend* resolve_backend_request(const char* request,
+                                             std::string* message) {
+  if (const KernelBackend* chosen = backend_by_name(request)) {
+    return chosen;
+  }
+  if (message != nullptr) {
+    std::string names;
+    const BackendList list = available_backends();
+    for (std::size_t i = 0; i < list.count; ++i) {
+      if (i != 0) {
+        names += ", ";
+      }
+      names += list.tables[i]->name;
+    }
+    *message = "reghd: REGHD_KERNEL=";
+    *message += request != nullptr ? request : "";
+    *message += " is unknown or unavailable on this host (available: ";
+    *message += names;
+    *message += "); falling back to the scalar backend";
+  }
   return nullptr;
 }
 
@@ -320,17 +483,21 @@ namespace {
 
 const KernelBackend& resolve_active_backend() noexcept {
   if (const char* request = std::getenv("REGHD_KERNEL")) {
-    if (const KernelBackend* chosen = backend_by_name(request)) {
+    std::string message;
+    if (const KernelBackend* chosen = resolve_backend_request(request, &message)) {
       return *chosen;
     }
-    std::fprintf(stderr,
-                 "reghd: REGHD_KERNEL=%s is unknown or unavailable on this host; "
-                 "falling back to the scalar backend\n",
-                 request);
+    std::fprintf(stderr, "%s\n", message.c_str());
     return kScalarBackend;
+  }
+  if (const KernelBackend* avx512 = avx512_backend()) {
+    return *avx512;
   }
   if (const KernelBackend* avx2 = avx2_backend()) {
     return *avx2;
+  }
+  if (const KernelBackend* neon = neon_backend()) {
+    return *neon;
   }
   return kScalarBackend;
 }

@@ -2,7 +2,7 @@
 //
 // Every hot hypervector kernel (the §3.2 prediction dots, Hamming popcounts,
 // masked ternary kernels, and the add_scaled accumulation family) exists in
-// two implementations:
+// several implementations:
 //
 //  * scalar — portable C++, branchless where the seed code branched per bit
 //             (sign application via IEEE-754 sign-bit XOR instead of a
@@ -13,28 +13,52 @@
 //             Integer kernels are bit-exact with scalar; real kernels use
 //             multiple accumulators and therefore differ only by summation
 //             order (≤ a few ULP).
+//  * avx512 — AVX-512F/BW widening of the avx2 table (512-bit reductions and
+//             per-component kernels; VPOPCNTDQ-vectorized popcount family
+//             when the CPU reports avx512_vpopcntdq). Kernels the wider ISA
+//             does not improve are inherited from the avx2 table.
+//  * neon   — aarch64 NEON (baseline on that architecture); the x86 tables
+//             are compiled out there and vice versa.
 //
 // The active backend is resolved exactly once, on first use:
-//   1. REGHD_KERNEL=scalar|avx2 environment override (an unavailable request
-//      falls back to scalar with a warning on stderr);
-//   2. otherwise AVX2 when both the binary carries the code and the CPU
-//      reports the avx2+fma features, else scalar.
+//   1. REGHD_KERNEL=scalar|avx2|avx512|neon environment override (an
+//      unavailable request falls back to scalar with a warning on stderr
+//      that enumerates the backends actually available on this host);
+//   2. otherwise the widest table the binary carries whose ISA the CPU
+//      reports: avx512 (F+BW, with OS XSAVE state for ZMM/opmask), then
+//      avx2 (+fma), then neon, else scalar.
 //
 // ops.cpp and encoding.cpp route through active_backend(); tests and the
-// microbench harness grab specific tables via scalar_backend() /
-// avx2_backend() to pin backend-equivalence properties.
+// microbench harness iterate available_backends() to pin the
+// backend-equivalence properties over every table the host can run.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace reghd::hdc {
+
+/// Per-row carried-state stride (in doubles) of dot_rows_block. Sized for
+/// the widest backend: 4 × 8 f64 lanes (AVX-512's four 512-bit accumulator
+/// registers); narrower backends use a prefix of each row's slot.
+inline constexpr std::size_t kDotRowsBlockState = 32;
+
+/// NEON f64 lane width. A compile-time constant (not read from the table) so
+/// x86 builds — where the NEON table is compiled out — can still reason
+/// about the embedded target's SIMD width (see perf/device_profile.cpp).
+inline constexpr unsigned kNeonF64Lanes = 2;
 
 /// Table of raw-pointer kernels. `n` counts components; `words` counts
 /// 64-bit storage words of bit-packed operands (padding bits are zero, an
 /// invariant BinaryHV maintains).
 struct KernelBackend {
   const char* name;
+
+  /// f64 SIMD lanes this table's real kernels process per vector op (1 for
+  /// scalar, 4 for avx2, 8 for avx512, 2 for neon). Informational — used by
+  /// perf/device_profile's per-lane cost estimates and the bench report.
+  unsigned f64_lanes;
 
   /// Σ a[i]·b[i].
   double (*dot_real_real)(const double* a, const double* b, std::size_t n);
@@ -99,6 +123,20 @@ struct KernelBackend {
   void (*rff_rematerialize)(std::uint64_t seed, double stddev, std::size_t row0,
                             std::size_t rows, std::size_t n_features, double* out,
                             std::size_t ld);
+  /// Fused single-query projection: out[r] = Σ_k x[k] · w_{row0+r, k} for
+  /// r < rows, with the weights derived exactly as rff_rematerialize above
+  /// (same seed/counter scheme, same Box–Muller operation sequence) but
+  /// consumed in registers — the weight tile is never stored. Each out[r]
+  /// accumulates with k strictly ascending from 0.0, each contribution
+  /// rounded as a separate multiply then add (no FMA), so the result is
+  /// bit-identical to rff_rematerialize into a scratch tile followed by a
+  /// gemm_accumulate/add_scaled_real chain — and bit-identical across
+  /// backends (per-component: each out[r] has one fixed scalar operation
+  /// sequence). This is the B = 1 latency kernel: a batch amortizes the
+  /// tile store over its rows, a single query gets nothing back for it.
+  void (*rff_remat_dot)(std::uint64_t seed, double stddev, std::size_t row0,
+                        std::size_t rows, const double* x, std::size_t n_features,
+                        double* out);
   /// Cache-blocked matrix multiply-accumulate over row-major operands:
   ///   c[r·ldc + j] += Σ_k a[r·lda + k] · b[k·ldb + j]   (r < m, j < n)
   /// Each output element accumulates contributions with k strictly ascending
@@ -115,6 +153,27 @@ struct KernelBackend {
   /// share the q loads, which is what makes the k-model bank scan cheap.
   void (*dot_rows)(const double* q, const double* rows, std::size_t ld,
                    std::size_t num_rows, std::size_t n, double* out);
+  /// Blocked bank scoring with carried per-row reduction state — the fused
+  /// single-query fast path scores D-block slices of the bank as they are
+  /// encoded, without ever materializing the full query. The caller streams
+  /// the query in consecutive blocks: `q` points at the current block,
+  /// `rows[r]` at row r's slice for the same block (pre-offset by the
+  /// caller), `len` is the block's component count, and `state` is
+  /// num_rows × kDotRowsBlockState doubles, zero-initialized before the
+  /// first block and carried untouched between calls. Every non-final block
+  /// length must be a multiple of 64; `last` is true exactly on the final
+  /// call, which writes out[r].
+  ///
+  /// Contract: out[r] is bit-identical to this backend's
+  /// dot_real_real(row_r, q, total_n) over the concatenated blocks. The
+  /// scalar table carries its single running sum; SIMD tables carry their
+  /// vector accumulators in `state` (64-multiple boundaries keep the lane
+  /// phase of the main loop intact) and run their horizontal-reduction and
+  /// tail phases only on the final call — replaying dot_real_real's exact
+  /// operation sequence.
+  void (*dot_rows_block)(const double* q, const double* const* rows,
+                         std::size_t num_rows, std::size_t len, bool last,
+                         double* state, double* out);
   /// Packed-bank bipolar scoring: out[r] = n − 2·popcount(q XOR rows[r·ld…])
   /// for r < num_rows — the XNOR+popcount bipolar dot of a packed binary
   /// query against each row of a contiguous bit-packed bank. `ld` counts
@@ -156,12 +215,46 @@ struct KernelBackend {
 /// support or the CPU lacks avx2/fma.
 [[nodiscard]] const KernelBackend* avx2_backend() noexcept;
 
+/// The AVX-512 backend, or nullptr when the binary was built without it or
+/// the CPU/OS lacks avx512f+avx512bw with ZMM/opmask state enabled. The
+/// returned table uses VPOPCNTDQ popcount kernels when the CPU reports
+/// avx512_vpopcntdq, scalar-POPCNT ones otherwise — same name, same results.
+[[nodiscard]] const KernelBackend* avx512_backend() noexcept;
+
+/// The aarch64 NEON backend, or nullptr on other architectures. NEON is
+/// baseline on aarch64, so no runtime CPU check is needed.
+[[nodiscard]] const KernelBackend* neon_backend() noexcept;
+
 /// True when the running CPU reports avx2 and fma.
 [[nodiscard]] bool cpu_supports_avx2() noexcept;
 
-/// Resolves a backend by name ("scalar" or "avx2"); returns nullptr for an
-/// unknown name or an unavailable backend. Exposed for tests and benches.
+/// True when the CPU reports avx512f+avx512bw and the OS has enabled the
+/// ZMM/opmask register state (XCR0 via xgetbv).
+[[nodiscard]] bool cpu_supports_avx512() noexcept;
+
+/// True when cpu_supports_avx512() and the CPU also reports the VPOPCNTDQ
+/// extension (vectorized 64-bit popcount).
+[[nodiscard]] bool cpu_supports_avx512_vpopcntdq() noexcept;
+
+/// Resolves a backend by name ("scalar", "avx2", "avx512" or "neon");
+/// returns nullptr for an unknown name or an unavailable backend. Exposed
+/// for tests and benches.
 [[nodiscard]] const KernelBackend* backend_by_name(const char* name) noexcept;
+
+/// Every backend available at runtime, in resolution-preference order
+/// scalar, avx2, avx512, neon (scalar is always present, so count ≥ 1).
+struct BackendList {
+  const KernelBackend* tables[4] = {nullptr, nullptr, nullptr, nullptr};
+  std::size_t count = 0;
+};
+[[nodiscard]] BackendList available_backends() noexcept;
+
+/// Resolves a REGHD_KERNEL request string. Returns the chosen table on
+/// success; otherwise returns nullptr and, when `message` is non-null,
+/// fills it with the fallback warning — which enumerates the backends
+/// actually available on this host. Exposed so tests can pin the message.
+[[nodiscard]] const KernelBackend* resolve_backend_request(const char* request,
+                                                           std::string* message);
 
 /// The backend every hdc:: kernel routes through. Resolved once, on first
 /// call (REGHD_KERNEL override, then CPU detection); stable thereafter.

@@ -685,6 +685,62 @@ void avx2_rff_rematerialize(std::uint64_t seed, double stddev, std::size_t row0,
   }
 }
 
+void avx2_rff_remat_dot(std::uint64_t seed, double stddev, std::size_t row0,
+                        std::size_t rows, const double* x, std::size_t n_features,
+                        double* out) {
+  // The same lane walk (and therefore the same bit-identical weight draws) as
+  // avx2_rff_rematerialize, but the weight pair is consumed in registers the
+  // moment it exists: z ← z + x_k·w, mul then add with k ascending — the
+  // gemm_accumulate per-element chain — so the single-query path never
+  // stores a weight tile. Row tails replay the scalar reference.
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  constexpr double kInv53 = 0x1.0p-53;
+  const __m256d stddev_v = _mm256_set1_pd(stddev);
+  const __m256d two_pi = _mm256_set1_pd(kTwoPi);
+  const __m256d inv53 = _mm256_set1_pd(kInv53);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_two = _mm256_set1_pd(-2.0);
+  constexpr std::uint64_t kG = detail::kSmGamma;
+  const __m256i lane_gamma = _mm256_setr_epi64x(
+      0, static_cast<long long>(kG), static_cast<long long>(2 * kG),
+      static_cast<long long>(3 * kG));
+
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const std::uint64_t base =
+        seed + (static_cast<std::uint64_t>(row0 + r) + 1) * kG;
+    const __m256i row_seed = splitmix_mix(
+        _mm256_add_epi64(_mm256_set1_epi64x(static_cast<long long>(base)), lane_gamma));
+    __m256d z = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < n_features; k += 2) {
+      const __m256i draw_a = splitmix_mix(_mm256_add_epi64(
+          row_seed, _mm256_set1_epi64x(static_cast<long long>(
+                        (static_cast<std::uint64_t>(k) + 1) * kG))));
+      const __m256i draw_b = splitmix_mix(_mm256_add_epi64(
+          row_seed, _mm256_set1_epi64x(static_cast<long long>(
+                        (static_cast<std::uint64_t>(k) + 2) * kG))));
+      const __m256d a = u64_to_double_53(_mm256_srli_epi64(draw_a, 11));
+      const __m256d b = u64_to_double_53(_mm256_srli_epi64(draw_b, 11));
+      const __m256d u1 = _mm256_mul_pd(_mm256_add_pd(a, one), inv53);
+      const __m256d u2 = _mm256_mul_pd(b, inv53);
+      const __m256d radius = _mm256_sqrt_pd(_mm256_mul_pd(neg_two, fast_log4(u1)));
+      const __m256d angle = _mm256_mul_pd(two_pi, u2);
+      const SinCos4 sc = fast_sincos4(angle);
+      const __m256d w_cos = _mm256_mul_pd(_mm256_mul_pd(radius, sc.cos), stddev_v);
+      z = _mm256_add_pd(z, _mm256_mul_pd(_mm256_set1_pd(x[k]), w_cos));
+      if (k + 1 < n_features) {
+        const __m256d w_sin = _mm256_mul_pd(_mm256_mul_pd(radius, sc.sin), stddev_v);
+        z = _mm256_add_pd(z, _mm256_mul_pd(_mm256_set1_pd(x[k + 1]), w_sin));
+      }
+    }
+    _mm256_storeu_pd(out + r, z);
+  }
+  if (r < rows) {
+    detail::rff_remat_dot_rows(seed, stddev, row0 + r, rows - r, x, n_features,
+                               out + r);
+  }
+}
+
 void avx2_gemm_accumulate(const double* a, std::size_t lda, const double* b,
                           std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
                           std::size_t k, std::size_t n) {
@@ -777,6 +833,51 @@ void avx2_dot_rows(const double* q, const double* rows, std::size_t ld,
   }
 }
 
+void avx2_dot_rows_block(const double* q, const double* const* rows,
+                         std::size_t num_rows, std::size_t len, bool last,
+                         double* state, double* out) {
+  // Carries avx2_dot_real_real's four vector accumulators per row (16
+  // doubles of each row's kDotRowsBlockState slot). Non-final block lengths
+  // are multiples of 64, so the 16-wide main loop consumes every non-final
+  // block exactly and the lane phase — which 4-group of a 16-stride
+  // iteration each element feeds — is a function of i mod 16 and survives
+  // the block boundary. The 4-wide spill into acc0, the (0+1)+(2+3)
+  // horizontal sum and the scalar tail run only on the final call, exactly
+  // once — so out[r] replays avx2_dot_real_real(row_r, q, total_n)
+  // operation for operation.
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    double* st = state + r * kDotRowsBlockState;
+    __m256d acc0 = _mm256_loadu_pd(st);
+    __m256d acc1 = _mm256_loadu_pd(st + 4);
+    __m256d acc2 = _mm256_loadu_pd(st + 8);
+    __m256d acc3 = _mm256_loadu_pd(st + 12);
+    const double* a = rows[r];
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(q + i), acc0);
+      acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(q + i + 4), acc1);
+      acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8), _mm256_loadu_pd(q + i + 8), acc2);
+      acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12), _mm256_loadu_pd(q + i + 12),
+                             acc3);
+    }
+    if (!last) {
+      _mm256_storeu_pd(st, acc0);
+      _mm256_storeu_pd(st + 4, acc1);
+      _mm256_storeu_pd(st + 8, acc2);
+      _mm256_storeu_pd(st + 12, acc3);
+      continue;
+    }
+    for (; i + 4 <= len; i += 4) {
+      acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(q + i), acc0);
+    }
+    double acc = hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+    for (; i < len; ++i) {
+      acc += a[i] * q[i];
+    }
+    out[r] = acc;
+  }
+}
+
 void avx2_dot_rows_binary(const std::uint64_t* q, const std::uint64_t* rows,
                           std::size_t ld, std::size_t num_rows, std::size_t n,
                           std::int64_t* out) {
@@ -843,6 +944,7 @@ void avx2_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits
 
 constexpr KernelBackend kAvx2Backend{
     "avx2",
+    4,
     avx2_dot_real_real,
     avx2_dot_real_bipolar,
     avx2_dot_real_binary,
@@ -857,8 +959,10 @@ constexpr KernelBackend kAvx2Backend{
     avx2_scale_real,
     avx2_rff_trig_map,
     avx2_rff_rematerialize,
+    avx2_rff_remat_dot,
     avx2_gemm_accumulate,
     avx2_dot_rows,
+    avx2_dot_rows_block,
     avx2_dot_rows_binary,
     avx2_dot_rows_ternary,
     avx2_sign_encode,

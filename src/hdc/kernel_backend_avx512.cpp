@@ -1,0 +1,641 @@
+// AVX-512 implementations of the kernel backend. This translation unit is
+// the only one compiled with -mavx512f -mavx512bw (see src/hdc/
+// CMakeLists.txt); it is entered only after runtime cpuid+xgetbv dispatch
+// confirms the CPU reports avx512f+avx512bw and the OS has enabled the
+// ZMM/opmask register state, so the rest of the build stays portable.
+//
+// The table is composed at first use as a copy of the AVX2 table with the
+// kernels the wider ISA actually improves overridden: the 512-bit real
+// reductions (dot_real_real / dot_rows / dot_rows_block share one exact
+// operation sequence), the per-component streaming kernels
+// (add_scaled_real / merge_accumulate / scale_real / gemm_accumulate,
+// mul-then-add so each slot rounds exactly like scalar), the mask-register
+// sign_encode, and — when the CPU additionally reports avx512_vpopcntdq —
+// VPOPCNTDQ-vectorized popcount kernels for the packed bank scans (AVX2 has
+// no vector popcount; these are the popcount-throughput-bound kernels the
+// quantized path lives on), and the 8-lane fused rff_remat_dot — the
+// Box–Muller pipeline is the whole cost of a rematerialized single query,
+// so doubling its lane count is what moves predict_one's latency.
+// Everything else (the bit-sign dot family, the tile-writing RFF
+// rematerializer) is inherited from the AVX2 table unchanged: those kernels
+// are bound by shifts/blends, not by vector width.
+#include "hdc/kernel_backend.hpp"
+
+#ifdef REGHD_HAVE_AVX512
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <numbers>
+
+#include "hdc/rff_remat.hpp"
+
+namespace reghd::hdc {
+
+// Defined in kernel_backend_avx2.cpp; the base table this one patches.
+const KernelBackend* avx2_backend_table() noexcept;
+
+namespace {
+
+inline double hsum512(__m512d v) {
+  __m256d lo = _mm512_castpd512_pd256(v);
+  const __m256d hi = _mm512_extractf64x4_pd(v, 1);
+  lo = _mm256_add_pd(lo, hi);
+  __m128d l = _mm256_castpd256_pd128(lo);
+  const __m128d h = _mm256_extractf128_pd(lo, 1);
+  l = _mm_add_pd(l, h);
+  const __m128d shuf = _mm_unpackhi_pd(l, l);
+  return _mm_cvtsd_f64(_mm_add_sd(l, shuf));
+}
+
+double avx512_dot_real_real(const double* a, const double* b, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  __m512d acc2 = _mm512_setzero_pd();
+  __m512d acc3 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8), _mm512_loadu_pd(b + i + 8), acc1);
+    acc2 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 16), _mm512_loadu_pd(b + i + 16), acc2);
+    acc3 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 24), _mm512_loadu_pd(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), acc0);
+  }
+  double acc =
+      hsum512(_mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3)));
+  for (; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+void avx512_dot_rows(const double* q, const double* rows, std::size_t ld,
+                     std::size_t num_rows, std::size_t n, double* out) {
+  // Row pairs share every q load; each row keeps the 4-accumulator structure
+  // of avx512_dot_real_real (32-wide FMA loop, 8-wide spill into acc0,
+  // (0+1)+(2+3) horizontal sum, scalar tail), so out[r] is bit-identical to
+  // avx512_dot_real_real(rows + r·ld, q, n).
+  std::size_t r = 0;
+  for (; r + 2 <= num_rows; r += 2) {
+    const double* a0 = rows + r * ld;
+    const double* a1 = a0 + ld;
+    __m512d p00 = _mm512_setzero_pd(), p01 = _mm512_setzero_pd();
+    __m512d p02 = _mm512_setzero_pd(), p03 = _mm512_setzero_pd();
+    __m512d p10 = _mm512_setzero_pd(), p11 = _mm512_setzero_pd();
+    __m512d p12 = _mm512_setzero_pd(), p13 = _mm512_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      const __m512d q0 = _mm512_loadu_pd(q + i);
+      const __m512d q1 = _mm512_loadu_pd(q + i + 8);
+      const __m512d q2 = _mm512_loadu_pd(q + i + 16);
+      const __m512d q3 = _mm512_loadu_pd(q + i + 24);
+      p00 = _mm512_fmadd_pd(_mm512_loadu_pd(a0 + i), q0, p00);
+      p01 = _mm512_fmadd_pd(_mm512_loadu_pd(a0 + i + 8), q1, p01);
+      p02 = _mm512_fmadd_pd(_mm512_loadu_pd(a0 + i + 16), q2, p02);
+      p03 = _mm512_fmadd_pd(_mm512_loadu_pd(a0 + i + 24), q3, p03);
+      p10 = _mm512_fmadd_pd(_mm512_loadu_pd(a1 + i), q0, p10);
+      p11 = _mm512_fmadd_pd(_mm512_loadu_pd(a1 + i + 8), q1, p11);
+      p12 = _mm512_fmadd_pd(_mm512_loadu_pd(a1 + i + 16), q2, p12);
+      p13 = _mm512_fmadd_pd(_mm512_loadu_pd(a1 + i + 24), q3, p13);
+    }
+    for (; i + 8 <= n; i += 8) {
+      const __m512d qv = _mm512_loadu_pd(q + i);
+      p00 = _mm512_fmadd_pd(_mm512_loadu_pd(a0 + i), qv, p00);
+      p10 = _mm512_fmadd_pd(_mm512_loadu_pd(a1 + i), qv, p10);
+    }
+    double s0 = hsum512(_mm512_add_pd(_mm512_add_pd(p00, p01), _mm512_add_pd(p02, p03)));
+    double s1 = hsum512(_mm512_add_pd(_mm512_add_pd(p10, p11), _mm512_add_pd(p12, p13)));
+    for (; i < n; ++i) {
+      s0 += a0[i] * q[i];
+      s1 += a1[i] * q[i];
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+  }
+  for (; r < num_rows; ++r) {
+    out[r] = avx512_dot_real_real(rows + r * ld, q, n);
+  }
+}
+
+void avx512_dot_rows_block(const double* q, const double* const* rows,
+                           std::size_t num_rows, std::size_t len, bool last,
+                           double* state, double* out) {
+  // Carries avx512_dot_real_real's four 512-bit accumulators per row (the
+  // full 32-double kDotRowsBlockState slot). Non-final block lengths are
+  // multiples of 64, so the 32-wide main loop consumes them exactly and the
+  // lane phase survives the boundary; the 8-wide spill, horizontal sum and
+  // scalar tail run only on the final call.
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    double* st = state + r * kDotRowsBlockState;
+    __m512d acc0 = _mm512_loadu_pd(st);
+    __m512d acc1 = _mm512_loadu_pd(st + 8);
+    __m512d acc2 = _mm512_loadu_pd(st + 16);
+    __m512d acc3 = _mm512_loadu_pd(st + 24);
+    const double* a = rows[r];
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+      acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(q + i), acc0);
+      acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8), _mm512_loadu_pd(q + i + 8), acc1);
+      acc2 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 16), _mm512_loadu_pd(q + i + 16),
+                             acc2);
+      acc3 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 24), _mm512_loadu_pd(q + i + 24),
+                             acc3);
+    }
+    if (!last) {
+      _mm512_storeu_pd(st, acc0);
+      _mm512_storeu_pd(st + 8, acc1);
+      _mm512_storeu_pd(st + 16, acc2);
+      _mm512_storeu_pd(st + 24, acc3);
+      continue;
+    }
+    for (; i + 8 <= len; i += 8) {
+      acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(q + i), acc0);
+    }
+    double acc =
+        hsum512(_mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3)));
+    for (; i < len; ++i) {
+      acc += a[i] * q[i];
+    }
+    out[r] = acc;
+  }
+}
+
+void avx512_add_scaled_real(double* a, const double* b, double c, std::size_t n) {
+  // mul + add (no FMA): each slot must round exactly like the scalar
+  // backend's `a[i] += c * b[i]`. Alignment-peeled to 64-byte destination
+  // accesses like the AVX2 kernel (std::vector storage is only 16-byte
+  // aligned).
+  const __m512d cv = _mm512_set1_pd(c);
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(a + i) & 63U) != 0) {
+    a[i] += c * b[i];
+    ++i;
+  }
+  for (; i + 32 <= n; i += 32) {
+    _mm512_store_pd(a + i, _mm512_add_pd(_mm512_load_pd(a + i),
+                                         _mm512_mul_pd(cv, _mm512_loadu_pd(b + i))));
+    _mm512_store_pd(a + i + 8,
+                    _mm512_add_pd(_mm512_load_pd(a + i + 8),
+                                  _mm512_mul_pd(cv, _mm512_loadu_pd(b + i + 8))));
+    _mm512_store_pd(a + i + 16,
+                    _mm512_add_pd(_mm512_load_pd(a + i + 16),
+                                  _mm512_mul_pd(cv, _mm512_loadu_pd(b + i + 16))));
+    _mm512_store_pd(a + i + 24,
+                    _mm512_add_pd(_mm512_load_pd(a + i + 24),
+                                  _mm512_mul_pd(cv, _mm512_loadu_pd(b + i + 24))));
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_store_pd(a + i, _mm512_add_pd(_mm512_load_pd(a + i),
+                                         _mm512_mul_pd(cv, _mm512_loadu_pd(b + i))));
+  }
+  for (; i < n; ++i) {
+    a[i] += c * b[i];
+  }
+}
+
+void avx512_merge_accumulate(double* acc, const double* rep, const double* base,
+                             std::size_t n) {
+  // sub then add per lane: each slot rounds exactly like the scalar
+  // backend's `acc[i] += rep[i] - base[i]` (the shard-merge proofs rely on
+  // bit-identity across tables).
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(acc + i) & 63U) != 0) {
+    acc[i] += rep[i] - base[i];
+    ++i;
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_store_pd(acc + i,
+                    _mm512_add_pd(_mm512_load_pd(acc + i),
+                                  _mm512_sub_pd(_mm512_loadu_pd(rep + i),
+                                                _mm512_loadu_pd(base + i))));
+  }
+  for (; i < n; ++i) {
+    acc[i] += rep[i] - base[i];
+  }
+}
+
+void avx512_scale_real(double* a, double c, std::size_t n) {
+  const __m512d cv = _mm512_set1_pd(c);
+  std::size_t i = 0;
+  while (i < n && (reinterpret_cast<std::uintptr_t>(a + i) & 63U) != 0) {
+    a[i] *= c;
+    ++i;
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm512_store_pd(a + i, _mm512_mul_pd(cv, _mm512_load_pd(a + i)));
+  }
+  for (; i < n; ++i) {
+    a[i] *= c;
+  }
+}
+
+void avx512_gemm_accumulate(const double* a, std::size_t lda, const double* b,
+                            std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                            std::size_t k, std::size_t n) {
+  // Same traversal as the scalar kernel (column tile = 512 doubles), C
+  // register-blocked 32 wide. mul + add (no FMA) and ascending k keep every
+  // element's rounding sequence identical to scalar.
+  constexpr std::size_t kColTile = 512;
+  for (std::size_t j0 = 0; j0 < n; j0 += kColTile) {
+    const std::size_t jn = std::min(n, j0 + kColTile);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* arow = a + r * lda;
+      double* crow = c + r * ldc;
+      std::size_t j = j0;
+      for (; j + 32 <= jn; j += 32) {
+        __m512d c0 = _mm512_loadu_pd(crow + j);
+        __m512d c1 = _mm512_loadu_pd(crow + j + 8);
+        __m512d c2 = _mm512_loadu_pd(crow + j + 16);
+        __m512d c3 = _mm512_loadu_pd(crow + j + 24);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const __m512d av = _mm512_set1_pd(arow[kk]);
+          const double* bp = b + kk * ldb + j;
+          c0 = _mm512_add_pd(c0, _mm512_mul_pd(av, _mm512_loadu_pd(bp)));
+          c1 = _mm512_add_pd(c1, _mm512_mul_pd(av, _mm512_loadu_pd(bp + 8)));
+          c2 = _mm512_add_pd(c2, _mm512_mul_pd(av, _mm512_loadu_pd(bp + 16)));
+          c3 = _mm512_add_pd(c3, _mm512_mul_pd(av, _mm512_loadu_pd(bp + 24)));
+        }
+        _mm512_storeu_pd(crow + j, c0);
+        _mm512_storeu_pd(crow + j + 8, c1);
+        _mm512_storeu_pd(crow + j + 16, c2);
+        _mm512_storeu_pd(crow + j + 24, c3);
+      }
+      for (; j < jn; ++j) {
+        double acc = crow[j];
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += arow[kk] * b[kk * ldb + j];
+        }
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+/// ±1 byte groups for an 8-bit negative-lane mask: byte l is 0xFF (−1) when
+/// mask bit l is set, 0x01 (+1) otherwise.
+constexpr std::array<std::uint64_t, 256> kMaskBytes = [] {
+  std::array<std::uint64_t, 256> table{};
+  for (unsigned m = 0; m < 256; ++m) {
+    std::uint64_t v = 0;
+    for (unsigned l = 0; l < 8; ++l) {
+      const std::uint64_t byte = ((m >> l) & 1U) != 0 ? 0xFFULL : 0x01ULL;
+      v |= byte << (8 * l);
+    }
+    table[m] = v;
+  }
+  return table;
+}();
+
+void avx512_sign_encode(const double* v, std::int8_t* bipolar, std::uint64_t* bits,
+                        std::size_t n) {
+  // One VCMPPD per 8 lanes straight into a mask register; the mask byte both
+  // indexes the ±1 byte-group table and (inverted) lands in the packed word.
+  // _CMP_LT_OQ is false for NaN, so NaN maps to +1 / bit set exactly like
+  // the scalar kernel.
+  const __m512d zero = _mm512_setzero_pd();
+  std::size_t i = 0;
+  const std::size_t full_words = n / 64;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < 64; j += 8) {
+      const auto neg = static_cast<unsigned>(
+          _mm512_cmp_pd_mask(_mm512_loadu_pd(v + i + j), zero, _CMP_LT_OQ));
+      std::memcpy(bipolar + i + j, &kMaskBytes[neg], sizeof(std::uint64_t));
+      word |= static_cast<std::uint64_t>(~neg & 0xFFU) << j;
+    }
+    bits[w] = word;
+    i += 64;
+  }
+  if (i < n) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; i + j < n; ++j) {
+      const bool negative = v[i + j] < 0.0;
+      bipolar[i + j] = static_cast<std::int8_t>(1 - 2 * static_cast<int>(negative));
+      word |= static_cast<std::uint64_t>(!negative) << j;
+    }
+    bits[i >> 6] = word;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VPOPCNTDQ popcount family. The TU baseline is avx512f+avx512bw; these
+// functions opt into the vpopcntdq extension with a target attribute and are
+// only installed in the table when cpuid reports the feature. Integer-exact,
+// so they are bit-identical to the scalar/AVX2 POPCNT loops by construction.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq"))) std::int64_t
+vpop_xor_popcount(const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  std::int64_t total = _mm512_reduce_add_epi64(acc);
+  for (; i < words; ++i) {
+    total += std::popcount(a[i] ^ b[i]);
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq"))) std::int64_t
+vpop_masked_xnor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          const std::uint64_t* mask, std::size_t words) {
+  __m512i agree = _mm512_setzero_si512();
+  __m512i active = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i m = _mm512_loadu_si512(mask + i);
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    // ~(a ^ b) & m in one ANDNOT.
+    agree = _mm512_add_epi64(agree, _mm512_popcnt_epi64(_mm512_andnot_si512(x, m)));
+    active = _mm512_add_epi64(active, _mm512_popcnt_epi64(m));
+  }
+  std::int64_t agree_total = _mm512_reduce_add_epi64(agree);
+  std::int64_t active_total = _mm512_reduce_add_epi64(active);
+  for (; i < words; ++i) {
+    agree_total += std::popcount(~(a[i] ^ b[i]) & mask[i]);
+    active_total += std::popcount(mask[i]);
+  }
+  return 2 * agree_total - active_total;
+}
+
+std::int64_t vpop_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  return vpop_xor_popcount(a, b, words);
+}
+
+std::int64_t vpop_masked_bipolar_dot(const std::uint64_t* a, const std::uint64_t* b,
+                                     const std::uint64_t* mask, std::size_t words) {
+  return vpop_masked_xnor_popcount(a, b, mask, words);
+}
+
+void vpop_dot_rows_binary(const std::uint64_t* q, const std::uint64_t* rows,
+                          std::size_t ld, std::size_t num_rows, std::size_t n,
+                          std::int64_t* out) {
+  const std::size_t words = (n + 63) / 64;
+  const auto nn = static_cast<std::int64_t>(n);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = nn - 2 * vpop_xor_popcount(rows + r * ld, q, words);
+  }
+}
+
+void vpop_dot_rows_ternary(const std::uint64_t* q, const std::uint64_t* signs,
+                           const std::uint64_t* masks, std::size_t ld,
+                           std::size_t num_rows, std::size_t n, std::int64_t* out) {
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out[r] = vpop_masked_xnor_popcount(signs + r * ld, q, masks + r * ld, words);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 8-lane Box–Muller replay for the fused single-query projection. These are
+// the AVX2 TU's mullo64 / splitmix_mix / u64_to_double_53 / fast_log4 /
+// fast_sincos4 helpers widened to 512 bits: identical operations in identical
+// per-lane order (blendv becomes a mask blend, xor_pd goes through the
+// integer domain — both AVX-512F-only and bit-transparent), VSQRTPD and
+// VDIVPD are correctly rounded at any width, so every lane stays
+// bit-identical to the scalar reference in rff_remat.hpp.
+// ---------------------------------------------------------------------------
+
+inline __m512i mullo64_512(__m512i a, __m512i b) {
+  // Low 64 bits of a 64×64 multiply per lane without AVX-512DQ's VPMULLQ:
+  //   a·b mod 2⁶⁴ = lo(a)·lo(b) + ((lo(a)·hi(b) + hi(a)·lo(b)) « 32).
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i lolo = _mm512_mul_epu32(a, b);
+  const __m512i cross = _mm512_add_epi64(_mm512_mul_epu32(a, b_hi),
+                                         _mm512_mul_epu32(a_hi, b));
+  return _mm512_add_epi64(lolo, _mm512_slli_epi64(cross, 32));
+}
+
+inline __m512i splitmix_mix8(__m512i z) {
+  z = mullo64_512(_mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+                  _mm512_set1_epi64(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mullo64_512(_mm512_xor_si512(z, _mm512_srli_epi64(z, 27)),
+                  _mm512_set1_epi64(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+inline __m512d u64_to_double_53_512(__m512i v) {
+  // Exact uint64 → double for lane values < 2⁵³ via the 2⁵² magic-bias trick
+  // (AVX-512F has no u64→f64 cvt; that is a DQ instruction).
+  const __m512i magic = _mm512_set1_epi64(0x4330000000000000LL);
+  const __m512d bias = _mm512_set1_pd(0x1.0p52);
+  const __m512i lo = _mm512_and_si512(v, _mm512_set1_epi64(0xFFFFFFFFLL));
+  const __m512i hi = _mm512_srli_epi64(v, 32);
+  const __m512d lo_d =
+      _mm512_sub_pd(_mm512_castsi512_pd(_mm512_or_si512(lo, magic)), bias);
+  const __m512d hi_d =
+      _mm512_sub_pd(_mm512_castsi512_pd(_mm512_or_si512(hi, magic)), bias);
+  return _mm512_add_pd(_mm512_mul_pd(hi_d, _mm512_set1_pd(0x1.0p32)), lo_d);
+}
+
+inline __m512d fast_log8(__m512d x) {
+  const __m512d half = _mm512_set1_pd(0.5);
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512i bits = _mm512_castpd_si512(x);
+  const __m512d m_half = _mm512_castsi512_pd(_mm512_or_si512(
+      _mm512_and_si512(bits, _mm512_set1_epi64(0x000FFFFFFFFFFFFFLL)),
+      _mm512_set1_epi64(0x3FE0000000000000LL)));
+  __m512d e = _mm512_sub_pd(
+      _mm512_castsi512_pd(_mm512_or_si512(_mm512_srli_epi64(bits, 52),
+                                          _mm512_set1_epi64(0x4330000000000000LL))),
+      _mm512_set1_pd(0x1.0p52 + 1022.0));
+  const __mmask8 low =
+      _mm512_cmp_pd_mask(m_half, _mm512_set1_pd(7.07106781186547524401e-01), _CMP_LT_OQ);
+  const __m512d m = _mm512_mask_blend_pd(low, m_half, _mm512_add_pd(m_half, m_half));
+  e = _mm512_mask_blend_pd(low, e, _mm512_sub_pd(e, one));
+
+  const __m512d f = _mm512_sub_pd(m, one);
+  const __m512d s = _mm512_div_pd(f, _mm512_add_pd(_mm512_set1_pd(2.0), f));
+  const __m512d z = _mm512_mul_pd(s, s);
+  const __m512d w = _mm512_mul_pd(z, z);
+  __m512d t1 = _mm512_add_pd(_mm512_set1_pd(2.222219843214978396e-01),
+                             _mm512_mul_pd(w, _mm512_set1_pd(1.531383769920937332e-01)));
+  t1 = _mm512_mul_pd(w, _mm512_add_pd(_mm512_set1_pd(3.999999999940941908e-01),
+                                      _mm512_mul_pd(w, t1)));
+  __m512d t2 = _mm512_add_pd(_mm512_set1_pd(1.818357216161805012e-01),
+                             _mm512_mul_pd(w, _mm512_set1_pd(1.479819860511658591e-01)));
+  t2 = _mm512_add_pd(_mm512_set1_pd(2.857142874366239149e-01), _mm512_mul_pd(w, t2));
+  t2 = _mm512_mul_pd(z, _mm512_add_pd(_mm512_set1_pd(6.666666666666735130e-01),
+                                      _mm512_mul_pd(w, t2)));
+  const __m512d r = _mm512_add_pd(t2, t1);
+  const __m512d hfsq = _mm512_mul_pd(_mm512_mul_pd(half, f), f);
+  const __m512d ln2lo = _mm512_set1_pd(1.90821492927058770002e-10);
+  const __m512d ln2hi = _mm512_set1_pd(6.93147180369123816490e-01);
+  const __m512d inner = _mm512_add_pd(_mm512_mul_pd(s, _mm512_add_pd(hfsq, r)),
+                                      _mm512_mul_pd(e, ln2lo));
+  return _mm512_sub_pd(_mm512_mul_pd(e, ln2hi),
+                       _mm512_sub_pd(_mm512_sub_pd(hfsq, inner), f));
+}
+
+struct SinCos8 {
+  __m512d sin;
+  __m512d cos;
+};
+
+inline SinCos8 fast_sincos8(__m512d x) {
+  const __m512d half = _mm512_set1_pd(0.5);
+  const __m512d two_over_pi = _mm512_set1_pd(6.36619772367581382433e-01);
+  const __m512d shift = _mm512_set1_pd(6755399441055744.0);
+  const __m512d pio2_hi = _mm512_set1_pd(1.57079632673412561417e+00);
+  const __m512d pio2_lo = _mm512_set1_pd(6.07710050650619224932e-11);
+  const __m512i one64 = _mm512_set1_epi64(1);
+  const __m512i two64 = _mm512_set1_epi64(2);
+
+  const __m512d shifted = _mm512_add_pd(_mm512_mul_pd(x, two_over_pi), shift);
+  const __m512i q = _mm512_castpd_si512(shifted);
+  const __m512d k = _mm512_sub_pd(shifted, shift);
+  const __m512d r = _mm512_sub_pd(_mm512_sub_pd(x, _mm512_mul_pd(k, pio2_hi)),
+                                  _mm512_mul_pd(k, pio2_lo));
+  const __m512d r2 = _mm512_mul_pd(r, r);
+
+  __m512d sp = _mm512_set1_pd(1.58969099521155010221e-10);
+  sp = _mm512_add_pd(_mm512_set1_pd(-2.50507602534068634195e-08),
+                     _mm512_mul_pd(r2, sp));
+  sp = _mm512_add_pd(_mm512_set1_pd(2.75573137070700676789e-06),
+                     _mm512_mul_pd(r2, sp));
+  sp = _mm512_add_pd(_mm512_set1_pd(-1.98412698298579493134e-04),
+                     _mm512_mul_pd(r2, sp));
+  sp = _mm512_add_pd(_mm512_set1_pd(8.33333333332248946124e-03),
+                     _mm512_mul_pd(r2, sp));
+  sp = _mm512_add_pd(_mm512_set1_pd(-1.66666666666666324348e-01),
+                     _mm512_mul_pd(r2, sp));
+  const __m512d ps = _mm512_add_pd(r, _mm512_mul_pd(_mm512_mul_pd(r, r2), sp));
+
+  __m512d cp = _mm512_set1_pd(-1.13596475577881948265e-11);
+  cp = _mm512_add_pd(_mm512_set1_pd(2.08757232129817482790e-09),
+                     _mm512_mul_pd(r2, cp));
+  cp = _mm512_add_pd(_mm512_set1_pd(-2.75573143513906633035e-07),
+                     _mm512_mul_pd(r2, cp));
+  cp = _mm512_add_pd(_mm512_set1_pd(2.48015872894767294178e-05),
+                     _mm512_mul_pd(r2, cp));
+  cp = _mm512_add_pd(_mm512_set1_pd(-1.38888888888741095749e-03),
+                     _mm512_mul_pd(r2, cp));
+  cp = _mm512_add_pd(_mm512_set1_pd(4.16666666666666019037e-02),
+                     _mm512_mul_pd(r2, cp));
+  const __m512d pc =
+      _mm512_add_pd(_mm512_sub_pd(_mm512_set1_pd(1.0), _mm512_mul_pd(half, r2)),
+                    _mm512_mul_pd(_mm512_mul_pd(r2, r2), cp));
+
+  const __mmask8 odd = _mm512_test_epi64_mask(q, one64);
+  SinCos8 out;
+  // sin: even quadrant → ±sin(r), odd → ±cos(r); sign from bit 1 of q.
+  const __m512i sin_flip = _mm512_slli_epi64(_mm512_and_si512(q, two64), 62);
+  out.sin = _mm512_castsi512_pd(_mm512_xor_si512(
+      _mm512_castpd_si512(_mm512_mask_blend_pd(odd, ps, pc)), sin_flip));
+  // cos: the roles swapped; sign from bit 1 of q + 1.
+  const __m512i cos_flip =
+      _mm512_slli_epi64(_mm512_and_si512(_mm512_add_epi64(q, one64), two64), 62);
+  out.cos = _mm512_castsi512_pd(_mm512_xor_si512(
+      _mm512_castpd_si512(_mm512_mask_blend_pd(odd, pc, ps)), cos_flip));
+  return out;
+}
+
+void avx512_rff_remat_dot(std::uint64_t seed, double stddev, std::size_t row0,
+                          std::size_t rows, const double* x, std::size_t n_features,
+                          double* out) {
+  // Eight consecutive rows per vector, weights consumed in registers the
+  // moment they exist: z ← z + x_k·w with k ascending, mul then add — the
+  // gemm_accumulate per-element chain — so the single-query path neither
+  // stores nor reloads a weight tile. Every lane replays the scalar
+  // reference operation for operation; row tails fall back to it directly.
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  constexpr double kInv53 = 0x1.0p-53;
+  const __m512d stddev_v = _mm512_set1_pd(stddev);
+  const __m512d two_pi = _mm512_set1_pd(kTwoPi);
+  const __m512d inv53 = _mm512_set1_pd(kInv53);
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d neg_two = _mm512_set1_pd(-2.0);
+  constexpr std::uint64_t kG = detail::kSmGamma;
+  const __m512i lane_gamma = _mm512_setr_epi64(
+      0, static_cast<long long>(kG), static_cast<long long>(2 * kG),
+      static_cast<long long>(3 * kG), static_cast<long long>(4 * kG),
+      static_cast<long long>(5 * kG), static_cast<long long>(6 * kG),
+      static_cast<long long>(7 * kG));
+
+  std::size_t r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    // Lane l's row seed is mix(seed + (row0 + r + l + 1)·γ) — exactly
+    // detail::splitmix_at.
+    const std::uint64_t base =
+        seed + (static_cast<std::uint64_t>(row0 + r) + 1) * kG;
+    const __m512i row_seed = splitmix_mix8(
+        _mm512_add_epi64(_mm512_set1_epi64(static_cast<long long>(base)), lane_gamma));
+    __m512d z = _mm512_setzero_pd();
+    for (std::size_t k = 0; k < n_features; k += 2) {
+      const __m512i draw_a = splitmix_mix8(_mm512_add_epi64(
+          row_seed, _mm512_set1_epi64(static_cast<long long>(
+                        (static_cast<std::uint64_t>(k) + 1) * kG))));
+      const __m512i draw_b = splitmix_mix8(_mm512_add_epi64(
+          row_seed, _mm512_set1_epi64(static_cast<long long>(
+                        (static_cast<std::uint64_t>(k) + 2) * kG))));
+      const __m512d a = u64_to_double_53_512(_mm512_srli_epi64(draw_a, 11));
+      const __m512d b = u64_to_double_53_512(_mm512_srli_epi64(draw_b, 11));
+      const __m512d u1 = _mm512_mul_pd(_mm512_add_pd(a, one), inv53);
+      const __m512d u2 = _mm512_mul_pd(b, inv53);
+      const __m512d radius = _mm512_sqrt_pd(_mm512_mul_pd(neg_two, fast_log8(u1)));
+      const __m512d angle = _mm512_mul_pd(two_pi, u2);
+      const SinCos8 sc = fast_sincos8(angle);
+      const __m512d w_cos = _mm512_mul_pd(_mm512_mul_pd(radius, sc.cos), stddev_v);
+      z = _mm512_add_pd(z, _mm512_mul_pd(_mm512_set1_pd(x[k]), w_cos));
+      if (k + 1 < n_features) {
+        const __m512d w_sin = _mm512_mul_pd(_mm512_mul_pd(radius, sc.sin), stddev_v);
+        z = _mm512_add_pd(z, _mm512_mul_pd(_mm512_set1_pd(x[k + 1]), w_sin));
+      }
+    }
+    _mm512_storeu_pd(out + r, z);
+  }
+  if (r < rows) {
+    detail::rff_remat_dot_rows(seed, stddev, row0 + r, rows - r, x, n_features,
+                               out + r);
+  }
+}
+
+KernelBackend make_avx512_table(bool vpopcntdq) {
+  KernelBackend table = *avx2_backend_table();
+  table.name = "avx512";
+  table.f64_lanes = 8;
+  table.dot_real_real = avx512_dot_real_real;
+  table.add_scaled_real = avx512_add_scaled_real;
+  table.merge_accumulate = avx512_merge_accumulate;
+  table.scale_real = avx512_scale_real;
+  table.gemm_accumulate = avx512_gemm_accumulate;
+  table.rff_remat_dot = avx512_rff_remat_dot;
+  table.dot_rows = avx512_dot_rows;
+  table.dot_rows_block = avx512_dot_rows_block;
+  table.sign_encode = avx512_sign_encode;
+  if (vpopcntdq) {
+    table.hamming = vpop_hamming;
+    table.masked_bipolar_dot = vpop_masked_bipolar_dot;
+    table.dot_rows_binary = vpop_dot_rows_binary;
+    table.dot_rows_ternary = vpop_dot_rows_ternary;
+  }
+  return table;
+}
+
+}  // namespace
+
+const KernelBackend* avx512_backend_table(bool vpopcntdq) noexcept {
+  // Two fixed variants behind function-local statics: the table is composed
+  // on first call (always after runtime dispatch has confirmed AVX-512), and
+  // both variants report the same name — VPOPCNTDQ is a sub-dispatch, not a
+  // user-visible backend.
+  static const KernelBackend base = make_avx512_table(false);
+  static const KernelBackend vpop = make_avx512_table(true);
+  return vpopcntdq ? &vpop : &base;
+}
+
+}  // namespace reghd::hdc
+
+#endif  // REGHD_HAVE_AVX512

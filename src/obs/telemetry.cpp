@@ -16,6 +16,8 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "train_batch_samples",
     "predicts",
     "predict_batch_rows",
+    "predict_fused",
+    "predict_fused_fallbacks",
     "requantizes",
     "cluster_updates",
     "online_updates",
@@ -43,6 +45,7 @@ constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
     "train_batch_ns",
     "predict_ns",
     "predict_batch_ns",
+    "predict_one_ns",
     "online_update_ns",
     "online_batch_ns",
     "pool_job_ns",

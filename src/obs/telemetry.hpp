@@ -52,6 +52,8 @@ enum class Counter : std::size_t {
   kTrainBatchSamples,     ///< Samples applied through train_batch.
   kPredicts,              ///< Per-sample predict calls (incl. batch fallback rows).
   kPredictBatchRows,      ///< Rows predicted through predict_batch.
+  kPredictFused,          ///< predict_one calls served by the fused fast path.
+  kPredictFusedFallbacks, ///< predict_one calls that fell back to encode+predict.
   kRequantizes,           ///< Binary-snapshot refreshes (requantize()).
   kClusterUpdates,        ///< Eq. 8 winning-cluster updates applied.
   kOnlineUpdates,         ///< OnlineRegHD readings consumed (update/update_batch).
@@ -83,6 +85,7 @@ enum class Histo : std::size_t {
   kTrainBatchNs,      ///< One train_batch (whole mini-batch).
   kPredictNs,         ///< One predict.
   kPredictBatchNs,    ///< One predict_batch (whole block).
+  kPredictOneNs,      ///< One predict_one (fused or fallback, encode included).
   kOnlineUpdateNs,    ///< One prequential update (predict + consume label).
   kOnlineBatchNs,     ///< One update_batch block.
   kPoolJobNs,         ///< One dispatched pool job, dispatch to last block done.

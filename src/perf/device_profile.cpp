@@ -1,5 +1,7 @@
 #include "perf/device_profile.hpp"
 
+#include "hdc/kernel_backend.hpp"
+
 namespace reghd::perf {
 
 double DeviceProfile::energy_uj(const OpCount& ops) const noexcept {
@@ -57,11 +59,17 @@ const DeviceProfile& embedded_cpu() {
   static const DeviceProfile profile = [] {
     DeviceProfile p;
     p.name = "cortex-a53";
-    // A 1.4 GHz in-order quad core with NEON: ~0.18 ns per SIMD-amortized
-    // float op, less headroom between op classes than an FPGA, costlier
-    // memory per word.
-    p.ns_float_mul = 0.2;
-    p.ns_float_add = 0.18;
+    // A 1.4 GHz in-order quad core with NEON: per-f64-op cost is one issue
+    // slot amortized over the NEON table's reported double lanes (2×64-bit
+    // per 128-bit vector — hdc::kNeonF64Lanes, the same constant the real
+    // aarch64 backend reports in its f64_lanes field), so the estimate
+    // tracks the kernel layer instead of hardcoding an x86-era number.
+    // Less headroom between op classes than an FPGA, costlier memory per
+    // word. Multiplies price a small in-order forwarding penalty over adds.
+    constexpr double kCycleNs = 1.0 / 1.4;
+    const double lane_ns = kCycleNs / static_cast<double>(hdc::kNeonF64Lanes);
+    p.ns_float_mul = lane_ns * 1.1;
+    p.ns_float_add = lane_ns;
     p.ns_float_div = 2.5;
     p.ns_float_trig = 8.0;
     p.ns_float_exp = 10.0;

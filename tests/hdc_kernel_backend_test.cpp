@@ -1,9 +1,12 @@
 // Backend-equivalence properties for the SIMD kernel dispatch layer.
 //
 // Every kernel in the scalar table is compared against (a) a naive reference
-// loop written independently here, and (b) the AVX2 table when the host can
-// run it. Integer kernels must agree bit-for-bit across backends; real
-// kernels may differ by summation order only, pinned to a 1e-9 relative
+// loop written independently here, and (b) every other table the host can
+// run, discovered through available_backends() — scalar, AVX2, AVX-512 and
+// NEON all pass through the same assertions, so adding a backend
+// automatically enrolls it here. Integer kernels must agree bit-for-bit
+// across backends; per-component real kernels must be bit-identical; real
+// reductions may differ by summation order only, pinned to a 1e-9 relative
 // tolerance. Dimensions cover the packing edge cases: a single component,
 // one bit short of a word, exactly one word, one bit past a word, a
 // non-multiple of 64, and the default D = 4096.
@@ -91,6 +94,22 @@ std::int64_t ref_masked_bipolar_dot(const BinaryHV& a, const BinaryHV& b,
   return acc;
 }
 
+/// Every table the host can actually run, scalar first. Cross-backend loops
+/// below iterate this so a host without SIMD still exercises scalar
+/// self-consistency and a host with AVX-512 (or an aarch64 runner with NEON)
+/// gets the full matrix without the test naming any backend explicitly.
+std::vector<const KernelBackend*> all_available() {
+  const BackendList list = available_backends();
+  return {list.tables, list.tables + list.count};
+}
+
+/// The non-scalar tables, each paired with scalar by the calling test.
+std::vector<const KernelBackend*> simd_backends() {
+  std::vector<const KernelBackend*> out = all_available();
+  std::erase(out, &scalar_backend());
+  return out;
+}
+
 class KernelBackendTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(KernelBackendTest, ScalarMatchesNaiveReference) {
@@ -126,75 +145,81 @@ TEST_P(KernelBackendTest, ScalarMatchesNaiveReference) {
   EXPECT_EQ(kb.bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim), ref_pp);
 }
 
-TEST_P(KernelBackendTest, Avx2MatchesScalar) {
-  const KernelBackend* avx2 = avx2_backend();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+TEST_P(KernelBackendTest, SimdBackendsMatchScalar) {
+  if (simd_backends().empty()) {
+    GTEST_SKIP() << "no SIMD backend available on this host/build";
   }
   const std::size_t dim = GetParam();
   const TestVectors v = make_vectors(dim, 0xA0B2 + dim);
   const KernelBackend& sc = scalar_backend();
 
-  // Integer kernels: bit-exact across backends.
-  EXPECT_EQ(avx2->hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()),
-            sc.hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()));
-  EXPECT_EQ(avx2->masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
+  for (const KernelBackend* kb : simd_backends()) {
+    // Integer kernels: bit-exact across backends.
+    EXPECT_EQ(kb->hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()),
+              sc.hamming(v.ba.words().data(), v.bb.words().data(), v.ba.word_count()))
+        << kb->name;
+    EXPECT_EQ(kb->masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
                                      v.mask.words().data(), v.ba.word_count()),
-            sc.masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
-                                  v.mask.words().data(), v.ba.word_count()));
-  EXPECT_EQ(avx2->bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim),
-            sc.bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim));
+              sc.masked_bipolar_dot(v.ba.words().data(), v.bb.words().data(),
+                                    v.mask.words().data(), v.ba.word_count()))
+        << kb->name;
+    EXPECT_EQ(kb->bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim),
+              sc.bipolar_dot_dense(v.pa.values().data(), v.pb.values().data(), dim))
+        << kb->name;
 
-  // Real kernels: summation order may differ; values must agree to 1e-9
-  // relative.
-  expect_close(avx2->dot_real_real(v.ra.values().data(), v.rb.values().data(), dim),
-               sc.dot_real_real(v.ra.values().data(), v.rb.values().data(), dim));
-  expect_close(avx2->dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim),
-               sc.dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim));
-  expect_close(avx2->dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim),
-               sc.dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim));
-  expect_close(avx2->masked_dot(v.ra.values().data(), v.ba.words().data(),
+    // Real kernels: summation order may differ; values must agree to 1e-9
+    // relative.
+    expect_close(kb->dot_real_real(v.ra.values().data(), v.rb.values().data(), dim),
+                 sc.dot_real_real(v.ra.values().data(), v.rb.values().data(), dim));
+    expect_close(kb->dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim),
+                 sc.dot_real_bipolar(v.ra.values().data(), v.pa.values().data(), dim));
+    expect_close(kb->dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim),
+                 sc.dot_real_binary(v.ra.values().data(), v.ba.words().data(), dim));
+    expect_close(kb->masked_dot(v.ra.values().data(), v.ba.words().data(),
                                 v.mask.words().data(), dim),
-               sc.masked_dot(v.ra.values().data(), v.ba.words().data(),
-                             v.mask.words().data(), dim));
+                 sc.masked_dot(v.ra.values().data(), v.ba.words().data(),
+                               v.mask.words().data(), dim));
+  }
 }
 
-TEST_P(KernelBackendTest, Avx2AccumulationMatchesScalar) {
-  const KernelBackend* avx2 = avx2_backend();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+TEST_P(KernelBackendTest, AccumulationMatchesScalarBitExact) {
+  if (simd_backends().empty()) {
+    GTEST_SKIP() << "no SIMD backend available on this host/build";
   }
   const std::size_t dim = GetParam();
   const TestVectors v = make_vectors(dim, 0xACC + dim);
   const double c = 0.37;
-
-  // add_scaled touches each slot independently (no cross-lane accumulation),
-  // so both backends must produce bit-identical results. scale_real likewise.
-  std::vector<double> sc_buf(v.ra.values().begin(), v.ra.values().end());
-  std::vector<double> vx_buf = sc_buf;
   const KernelBackend& sc = scalar_backend();
 
-  sc.add_scaled_real(sc_buf.data(), v.rb.values().data(), c, dim);
-  avx2->add_scaled_real(vx_buf.data(), v.rb.values().data(), c, dim);
-  EXPECT_EQ(sc_buf, vx_buf);
+  for (const KernelBackend* kb : simd_backends()) {
+    // add_scaled touches each slot independently (no cross-lane
+    // accumulation), so every backend must produce bit-identical results.
+    // scale_real likewise.
+    std::vector<double> sc_buf(v.ra.values().begin(), v.ra.values().end());
+    std::vector<double> vx_buf = sc_buf;
 
-  sc.add_scaled_bipolar(sc_buf.data(), v.pa.values().data(), c, dim);
-  avx2->add_scaled_bipolar(vx_buf.data(), v.pa.values().data(), c, dim);
-  EXPECT_EQ(sc_buf, vx_buf);
+    sc.add_scaled_real(sc_buf.data(), v.rb.values().data(), c, dim);
+    kb->add_scaled_real(vx_buf.data(), v.rb.values().data(), c, dim);
+    EXPECT_EQ(sc_buf, vx_buf) << kb->name;
 
-  sc.add_scaled_binary(sc_buf.data(), v.ba.words().data(), c, dim);
-  avx2->add_scaled_binary(vx_buf.data(), v.ba.words().data(), c, dim);
-  EXPECT_EQ(sc_buf, vx_buf);
+    sc.add_scaled_bipolar(sc_buf.data(), v.pa.values().data(), c, dim);
+    kb->add_scaled_bipolar(vx_buf.data(), v.pa.values().data(), c, dim);
+    EXPECT_EQ(sc_buf, vx_buf) << kb->name;
 
-  // merge_accumulate (acc += rep − base) is likewise per-component — the
-  // shard-merge order-invariance proofs rely on it being bit-identical.
-  sc.merge_accumulate(sc_buf.data(), v.rb.values().data(), v.ra.values().data(), dim);
-  avx2->merge_accumulate(vx_buf.data(), v.rb.values().data(), v.ra.values().data(), dim);
-  EXPECT_EQ(sc_buf, vx_buf);
+    sc.add_scaled_binary(sc_buf.data(), v.ba.words().data(), c, dim);
+    kb->add_scaled_binary(vx_buf.data(), v.ba.words().data(), c, dim);
+    EXPECT_EQ(sc_buf, vx_buf) << kb->name;
 
-  sc.scale_real(sc_buf.data(), 0.91, dim);
-  avx2->scale_real(vx_buf.data(), 0.91, dim);
-  EXPECT_EQ(sc_buf, vx_buf);
+    // merge_accumulate (acc += rep − base) is likewise per-component — the
+    // shard-merge order-invariance proofs rely on it being bit-identical.
+    sc.merge_accumulate(sc_buf.data(), v.rb.values().data(), v.ra.values().data(), dim);
+    kb->merge_accumulate(vx_buf.data(), v.rb.values().data(), v.ra.values().data(), dim);
+    EXPECT_EQ(sc_buf, vx_buf) << kb->name;
+
+    sc.scale_real(sc_buf.data(), 0.91, dim);
+    kb->scale_real(vx_buf.data(), 0.91, dim);
+    EXPECT_EQ(sc_buf, vx_buf) << kb->name;
+  }
 }
 
 TEST_P(KernelBackendTest, TrigMapMatchesScalarBitExact) {
@@ -225,13 +250,11 @@ TEST_P(KernelBackendTest, TrigMapMatchesScalarBitExact) {
         << "j = " << j;
   }
 
-  const KernelBackend* avx2 = avx2_backend();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  for (const KernelBackend* kb : simd_backends()) {
+    std::vector<double> vx_buf = z;
+    kb->rff_trig_map(vx_buf.data(), phase.data(), sin_phase.data(), dim);
+    EXPECT_EQ(sc_buf, vx_buf) << kb->name;
   }
-  std::vector<double> vx_buf = z;
-  avx2->rff_trig_map(vx_buf.data(), phase.data(), sin_phase.data(), dim);
-  EXPECT_EQ(sc_buf, vx_buf);
 }
 
 TEST_P(KernelBackendTest, GemmAccumulateMatchesAxpyChainBitExact) {
@@ -268,13 +291,11 @@ TEST_P(KernelBackendTest, GemmAccumulateMatchesAxpyChainBitExact) {
   sc.gemm_accumulate(a.data(), kInner, b.data(), n, out.data(), n, kRows, kInner, n);
   EXPECT_EQ(out, ref);
 
-  const KernelBackend* avx2 = avx2_backend();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  for (const KernelBackend* kb : simd_backends()) {
+    std::vector<double> vx = c0;
+    kb->gemm_accumulate(a.data(), kInner, b.data(), n, vx.data(), n, kRows, kInner, n);
+    EXPECT_EQ(vx, ref) << kb->name;
   }
-  std::vector<double> vx = c0;
-  avx2->gemm_accumulate(a.data(), kInner, b.data(), n, vx.data(), n, kRows, kInner, n);
-  EXPECT_EQ(vx, ref);
 }
 
 TEST_P(KernelBackendTest, DotRowsMatchesPerRowDotExactly) {
@@ -293,11 +314,7 @@ TEST_P(KernelBackendTest, DotRowsMatchesPerRowDotExactly) {
     x = rng.normal(0.0, 1.0);
   }
 
-  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
-  for (const KernelBackend* kb : backends) {
-    if (kb == nullptr) {
-      continue;
-    }
+  for (const KernelBackend* kb : all_available()) {
     std::vector<double> out(kRows);
     kb->dot_rows(q.data(), bank.data(), n, kRows, n, out.data());
     for (std::size_t r = 0; r < kRows; ++r) {
@@ -305,9 +322,72 @@ TEST_P(KernelBackendTest, DotRowsMatchesPerRowDotExactly) {
           << kb->name << " row " << r;
     }
   }
+}
 
-  if (avx2_backend() == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+TEST_P(KernelBackendTest, DotRowsBlockMatchesDotRowsExactly) {
+  // The fused single-query path feeds dot_rows_block one L1-sized slice of
+  // the query at a time; the contract is that any split into 64-multiple
+  // blocks reproduces the backend's own dot_rows output bit-for-bit, because
+  // the carried state preserves each row's lane-accumulator phase across
+  // block boundaries.
+  const std::size_t n = GetParam();
+  util::Rng rng(0xB10C + n);
+  constexpr std::size_t kRows = 5;
+  std::vector<double> q(n);
+  std::vector<double> bank(kRows * n);
+  for (double& x : q) {
+    x = rng.normal(0.0, 1.0);
+  }
+  for (double& x : bank) {
+    x = rng.normal(0.0, 1.0);
+  }
+
+  for (const KernelBackend* kb : all_available()) {
+    std::vector<double> want(kRows);
+    kb->dot_rows(q.data(), bank.data(), n, kRows, n, want.data());
+
+    for (const std::size_t block : {std::size_t{64}, std::size_t{128},
+                                    std::size_t{1024}, n}) {
+      if (block == 0) {
+        continue;
+      }
+      std::vector<double> state(kRows * kDotRowsBlockState, 0.0);
+      std::vector<double> out(kRows, -12345.0);
+      std::vector<const double*> rows(kRows);
+      std::size_t j0 = 0;
+      while (true) {
+        const std::size_t len = std::min(block, n - j0);
+        const bool last = j0 + len == n;
+        for (std::size_t r = 0; r < kRows; ++r) {
+          rows[r] = bank.data() + r * n + j0;
+        }
+        kb->dot_rows_block(q.data() + j0, rows.data(), kRows, len, last,
+                           state.data(), out.data());
+        j0 += len;
+        if (last) {
+          break;
+        }
+      }
+      for (std::size_t r = 0; r < kRows; ++r) {
+        EXPECT_EQ(out[r], want[r])
+            << kb->name << " block " << block << " row " << r;
+      }
+    }
+
+    // A single last=true call is the degenerate one-block split: exactly
+    // dot_real_real per row.
+    std::vector<double> state(kRows * kDotRowsBlockState, 0.0);
+    std::vector<double> out(kRows, -12345.0);
+    std::vector<const double*> rows(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      rows[r] = bank.data() + r * n;
+    }
+    kb->dot_rows_block(q.data(), rows.data(), kRows, n, true, state.data(),
+                       out.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_EQ(out[r], kb->dot_real_real(bank.data() + r * n, q.data(), n))
+          << kb->name << " row " << r;
+    }
   }
 }
 
@@ -346,11 +426,7 @@ TEST_P(KernelBackendTest, DotRowsBinaryMatchesPerRowHammingChainExactly) {
     std::copy(rows[r].begin(), rows[r].end(), bank.begin() + r * words);
   }
 
-  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
-  for (const KernelBackend* kb : backends) {
-    if (kb == nullptr) {
-      continue;
-    }
+  for (const KernelBackend* kb : all_available()) {
     std::vector<std::int64_t> out(kRows, -12345);
     kb->dot_rows_binary(q.words().data(), bank.data(), words, kRows, n, out.data());
     for (std::size_t r = 0; r < kRows; ++r) {
@@ -366,10 +442,6 @@ TEST_P(KernelBackendTest, DotRowsBinaryMatchesPerRowHammingChainExactly) {
     }
     EXPECT_EQ(out[0], static_cast<std::int64_t>(n)) << kb->name << " self-dot";
     EXPECT_EQ(out[1], -static_cast<std::int64_t>(n)) << kb->name << " complement dot";
-  }
-
-  if (avx2_backend() == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
   }
 }
 
@@ -388,11 +460,7 @@ TEST_P(KernelBackendTest, SignEncodeMatchesSignThenPackBitExact) {
   const BipolarHV expected_bipolar = v.sign();
   const BinaryHV expected_binary = expected_bipolar.pack();
 
-  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
-  for (const KernelBackend* kb : backends) {
-    if (kb == nullptr) {
-      continue;
-    }
+  for (const KernelBackend* kb : all_available()) {
     std::vector<std::int8_t> bipolar(dim, 0);
     // Poison the word buffer: sign_encode must fully overwrite every word,
     // including zeroing the padding bits of the final one.
@@ -404,10 +472,6 @@ TEST_P(KernelBackendTest, SignEncodeMatchesSignThenPackBitExact) {
     EXPECT_TRUE(
         std::equal(bits.begin(), bits.end(), expected_binary.words().begin()))
         << kb->name;
-  }
-
-  if (avx2_backend() == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
   }
 }
 
@@ -466,12 +530,8 @@ TEST_P(KernelBackendTest, DotRowsTernaryMatchesMaskedBipolarDotExactly) {
               mask_bank.begin() + r * words);
   }
 
-  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
   std::vector<std::int64_t> scalar_out;
-  for (const KernelBackend* kb : backends) {
-    if (kb == nullptr) {
-      continue;
-    }
+  for (const KernelBackend* kb : all_available()) {
     std::vector<std::int64_t> out(kRows, -12345);
     kb->dot_rows_ternary(q.words().data(), sign_bank.data(), mask_bank.data(), words,
                          kRows, n, out.data());
@@ -489,33 +549,74 @@ TEST_P(KernelBackendTest, DotRowsTernaryMatchesMaskedBipolarDotExactly) {
     if (kb == &scalar_backend()) {
       scalar_out = out;
     } else {
-      EXPECT_EQ(out, scalar_out) << "cross-backend mismatch";
+      EXPECT_EQ(out, scalar_out) << kb->name << " cross-backend mismatch";
     }
-  }
-
-  if (avx2_backend() == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
   }
 }
 
-TEST_P(KernelBackendTest, RffRematerializeAvx2MatchesScalarBitExact) {
+TEST_P(KernelBackendTest, RffRematerializeMatchesScalarBitExact) {
   // Counter-based projection regeneration must be bit-identical across
   // backends — the encoder's bit-exactness contract (resident and
   // rematerialized storage produce the same encodings on any backend) rests
   // on this. Odd feature counts exercise the unpaired Box–Muller draw.
-  const KernelBackend* avx2 = avx2_backend();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 backend not available on this host/build";
+  if (simd_backends().empty()) {
+    GTEST_SKIP() << "no SIMD backend available on this host/build";
   }
   const std::size_t rows = std::min<std::size_t>(GetParam(), 200);
+  for (const KernelBackend* kb : simd_backends()) {
+    for (const std::size_t n_features : {1u, 2u, 7u, 10u}) {
+      std::vector<double> want(n_features * rows, -7.0);
+      std::vector<double> got(n_features * rows, 7.0);
+      scalar_backend().rff_rematerialize(0x5EED, 0.316, 3, rows, n_features,
+                                         want.data(), rows);
+      kb->rff_rematerialize(0x5EED, 0.316, 3, rows, n_features, got.data(), rows);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << kb->name << " n_features " << n_features << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(RffRematDotTest, MatchesRematerializePlusDotBitExact) {
+  // The fused single-query kernel must produce the exact doubles of the
+  // unfused pair: rematerialize the weight tile, then reduce each row with an
+  // ascending-k mul-then-add chain from 0.0. That chain is the accumulation
+  // order encode_real_block's materializing path uses, so bit-equality here is
+  // what lets the encoder swap in the fused kernel without changing a single
+  // output bit. Row counts straddle the 4- and 8-lane vector tails, feature
+  // counts include the odd (unpaired Box–Muller) case, and row0 offsets prove
+  // the counter-seeking is absolute, not tile-relative.
+  constexpr std::uint64_t kSeed = 0xFACE5EED;
+  constexpr double kStddev = 0.479;
   for (const std::size_t n_features : {1u, 2u, 7u, 10u}) {
-    std::vector<double> want(n_features * rows, -7.0);
-    std::vector<double> got(n_features * rows, 7.0);
-    scalar_backend().rff_rematerialize(0x5EED, 0.316, 3, rows, n_features,
-                                       want.data(), rows);
-    avx2->rff_rematerialize(0x5EED, 0.316, 3, rows, n_features, got.data(), rows);
-    for (std::size_t i = 0; i < want.size(); ++i) {
-      ASSERT_EQ(want[i], got[i]) << "n_features " << n_features << " elem " << i;
+    std::vector<double> x(n_features);
+    for (std::size_t k = 0; k < n_features; ++k) {
+      x[k] = 0.25 * static_cast<double>(k + 1) - 1.0;
+    }
+    for (const std::size_t row0 : {0u, 3u, 128u}) {
+      for (const std::size_t rows : {1u, 5u, 8u, 16u, 37u, 64u}) {
+        // Reference: scalar tile + plain mul-then-add reduction.
+        std::vector<double> tile(n_features * rows);
+        scalar_backend().rff_rematerialize(kSeed, kStddev, row0, rows,
+                                           n_features, tile.data(), rows);
+        std::vector<double> want(rows, 0.0);
+        for (std::size_t k = 0; k < n_features; ++k) {
+          for (std::size_t r = 0; r < rows; ++r) {
+            want[r] += x[k] * tile[k * rows + r];
+          }
+        }
+        for (const KernelBackend* kb : all_available()) {
+          std::vector<double> got(rows, -99.0);
+          kb->rff_remat_dot(kSeed, kStddev, row0, rows, x.data(), n_features,
+                            got.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            ASSERT_EQ(want[r], got[r])
+                << kb->name << " n_features " << n_features << " row0 " << row0
+                << " rows " << rows << " row " << r;
+          }
+        }
+      }
     }
   }
 }
@@ -526,11 +627,7 @@ TEST(RffRematerializeTest, TilingIsInvariant) {
   // the encoder may regenerate in whatever tile size fits its cache budget.
   constexpr std::size_t kRows = 97;
   constexpr std::size_t kFeatures = 9;
-  const KernelBackend* backends[] = {&scalar_backend(), avx2_backend()};
-  for (const KernelBackend* kb : backends) {
-    if (kb == nullptr) {
-      continue;
-    }
+  for (const KernelBackend* kb : all_available()) {
     std::vector<double> full(kFeatures * kRows);
     kb->rff_rematerialize(42, 1.5, 0, kRows, kFeatures, full.data(), kRows);
     for (const std::size_t tile : {1, 5, 16, 64}) {
@@ -590,13 +687,58 @@ TEST(KernelDispatchTest, BackendByNameResolvesKnownNames) {
     EXPECT_EQ(avx2, nullptr);
   }
 
+  const KernelBackend* avx512 = backend_by_name("avx512");
+  if (avx512_backend() != nullptr) {
+    ASSERT_NE(avx512, nullptr);
+    EXPECT_STREQ(avx512->name, "avx512");
+  } else {
+    EXPECT_EQ(avx512, nullptr);
+  }
+
+  const KernelBackend* neon = backend_by_name("neon");
+  if (neon_backend() != nullptr) {
+    ASSERT_NE(neon, nullptr);
+    EXPECT_STREQ(neon->name, "neon");
+  } else {
+    EXPECT_EQ(neon, nullptr);
+  }
+
   EXPECT_EQ(backend_by_name("sse9"), nullptr);
   EXPECT_EQ(backend_by_name(""), nullptr);
 }
 
+TEST(KernelDispatchTest, AvailableBackendsListsScalarFirstAndRunnableTablesOnly) {
+  const BackendList list = available_backends();
+  ASSERT_GE(list.count, 1u);
+  EXPECT_EQ(list.tables[0], &scalar_backend());
+  for (std::size_t i = 0; i < list.count; ++i) {
+    ASSERT_NE(list.tables[i], nullptr) << "slot " << i;
+    // Every listed table must be reachable by name and report sane lanes.
+    EXPECT_EQ(backend_by_name(list.tables[i]->name), list.tables[i])
+        << list.tables[i]->name;
+    EXPECT_GE(list.tables[i]->f64_lanes, 1u) << list.tables[i]->name;
+  }
+  // The optional tables appear iff their accessor says they are runnable.
+  const bool has_avx2 =
+      std::find(list.tables, list.tables + list.count, avx2_backend()) !=
+      list.tables + list.count;
+  EXPECT_EQ(has_avx2, avx2_backend() != nullptr);
+  const bool has_avx512 =
+      std::find(list.tables, list.tables + list.count, avx512_backend()) !=
+      list.tables + list.count;
+  EXPECT_EQ(has_avx512, avx512_backend() != nullptr);
+}
+
 TEST(KernelDispatchTest, ActiveBackendIsOneOfTheTables) {
   const std::string name = active_backend().name;
-  EXPECT_TRUE(name == "scalar" || name == "avx2") << "unexpected backend " << name;
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "avx512" ||
+              name == "neon")
+      << "unexpected backend " << name;
+  // Whatever won dispatch must be one of the runtime-available tables.
+  const BackendList list = available_backends();
+  EXPECT_NE(std::find(list.tables, list.tables + list.count, &active_backend()),
+            list.tables + list.count)
+      << "active backend " << name << " not in available_backends()";
   // REGHD_KERNEL=scalar must force the portable table (the CI scalar job
   // runs the whole suite this way).
   if (const char* env = std::getenv("REGHD_KERNEL")) {
@@ -604,6 +746,49 @@ TEST(KernelDispatchTest, ActiveBackendIsOneOfTheTables) {
       EXPECT_EQ(&active_backend(), &scalar_backend());
     }
   }
+}
+
+TEST(KernelDispatchTest, ResolveBackendRequestEnumeratesAvailableBackends) {
+  // A known, runnable name resolves without a message.
+  std::string message = "unset";
+  EXPECT_EQ(resolve_backend_request("scalar", &message), &scalar_backend());
+  EXPECT_EQ(message, "unset");
+
+  // An unknown name fails with a diagnostic that names the request and
+  // enumerates exactly the backends this host can actually run, in dispatch
+  // listing order — so an operator who typos REGHD_KERNEL sees what their
+  // machine supports, not a generic error.
+  EXPECT_EQ(resolve_backend_request("sse9", &message), nullptr);
+  EXPECT_NE(message.find("REGHD_KERNEL=sse9"), std::string::npos) << message;
+  std::string expected_list;
+  const BackendList list = available_backends();
+  for (std::size_t i = 0; i < list.count; ++i) {
+    if (i > 0) {
+      expected_list += ", ";
+    }
+    expected_list += list.tables[i]->name;
+  }
+  EXPECT_NE(message.find("available: " + expected_list), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("falling back to the scalar backend"), std::string::npos)
+      << message;
+
+  // A known-but-unavailable name gets the same enumerating diagnostic (e.g.
+  // "neon" on x86, "avx512" on an older core).
+  const char* unavailable =
+      neon_backend() == nullptr ? "neon"
+      : avx512_backend() == nullptr ? "avx512"
+                                    : nullptr;
+  if (unavailable != nullptr) {
+    message.clear();
+    EXPECT_EQ(resolve_backend_request(unavailable, &message), nullptr);
+    EXPECT_NE(message.find("available: " + expected_list), std::string::npos)
+        << message;
+  }
+
+  // A null message sink must be tolerated (the dispatcher's stderr path owns
+  // the formatting).
+  EXPECT_EQ(resolve_backend_request("sse9", nullptr), nullptr);
 }
 
 TEST(KernelDispatchTest, OpsRouteThroughActiveBackend) {
