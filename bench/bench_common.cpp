@@ -1,10 +1,15 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <numeric>
+#include <random>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "data/synthetic.hpp"
 #include "util/metrics.hpp"
@@ -178,6 +183,121 @@ bool write_json_file(const std::string& path, const JsonValue& value) {
   out << value.str() << "\n";
   std::cout << "wrote " << path << "\n";
   return true;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, std::uint64_t seed)
+    : rng_(seed) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfSampler: empty domain");
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+std::size_t ZipfSampler::next() {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double u = uni(rng_);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+OpenLoopPacer::OpenLoopPacer(double rate_per_sec, std::uint64_t start_ns)
+    : interval_ns_(1e9 / rate_per_sec), start_ns_(start_ns) {
+  if (!(rate_per_sec > 0.0)) {
+    throw std::invalid_argument("OpenLoopPacer: rate must be positive");
+  }
+}
+
+std::uint64_t OpenLoopPacer::scheduled_ns(std::uint64_t index) const noexcept {
+  return start_ns_ +
+         static_cast<std::uint64_t>(interval_ns_ * static_cast<double>(index));
+}
+
+std::uint64_t OpenLoopPacer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void OpenLoopPacer::wait_until(std::uint64_t scheduled) {
+  // Coarse sleep down to ~200 µs out, then spin: sleep_for alone overshoots
+  // by a scheduler quantum, which at high rates smears the whole schedule.
+  constexpr std::uint64_t kSpinWindowNs = 200'000;
+  std::uint64_t now = now_ns();
+  while (now + kSpinWindowNs < scheduled) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(scheduled - now - kSpinWindowNs));
+    now = now_ns();
+  }
+  while (now_ns() < scheduled) {
+    // Yielding spin: at high rates the inter-arrival gap is inside the spin
+    // window, so this loop is where the load generator lives. A hard spin
+    // would monopolize a core the server under test may need (the bench
+    // co-locates client and server); yield cedes the slice whenever another
+    // thread is runnable and returns immediately when none is.
+    std::this_thread::yield();
+  }
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t reserve) {
+  samples_.reserve(reserve);
+}
+
+void LatencyRecorder::record_ns(std::uint64_t ns) {
+  samples_.push_back(ns);
+  sorted_ = false;
+}
+
+double LatencyRecorder::mean_ns() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const std::uint64_t s : samples_) {
+    total += static_cast<double>(s);
+  }
+  return total / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::percentile_ns(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return static_cast<double>(samples_[std::min(index, samples_.size() - 1)]);
+}
+
+double LatencyRecorder::max_ns() const {
+  return samples_.empty()
+             ? 0.0
+             : static_cast<double>(*std::max_element(samples_.begin(), samples_.end()));
+}
+
+JsonValue LatencyRecorder::summary() const {
+  JsonValue j = JsonValue::object();
+  j["count"] = JsonValue::integer(static_cast<std::int64_t>(count()));
+  j["mean_ns"] = JsonValue::number(mean_ns());
+  j["p50_ns"] = JsonValue::number(percentile_ns(50.0));
+  j["p95_ns"] = JsonValue::number(percentile_ns(95.0));
+  j["p99_ns"] = JsonValue::number(percentile_ns(99.0));
+  j["max_ns"] = JsonValue::number(max_ns());
+  return j;
 }
 
 }  // namespace reghd::bench

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -100,5 +101,73 @@ class JsonValue {
 /// to stdout. Returns false and prints to stderr when the file cannot be
 /// opened.
 bool write_json_file(const std::string& path, const JsonValue& value);
+
+// ---------------------------------------------------------------------------
+// Serving-load harness, shared by bench/serving and tools/load_generator.
+// ---------------------------------------------------------------------------
+
+/// Zipf(s) sampler over {0, …, n−1}: P(k) ∝ 1/(k+1)^s. s = 0 is uniform;
+/// s ≈ 1 is the classic web/tenant skew where a few hot keys dominate.
+/// Deterministic for a fixed (n, s, seed). Inverse-CDF lookup on a
+/// precomputed table — O(log n) per draw, no allocation after construction.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed);
+  [[nodiscard]] std::size_t next();
+  [[nodiscard]] std::size_t domain() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative P(0..k), cdf_.back() == 1.
+  std::mt19937_64 rng_;
+};
+
+/// Open-loop arrival schedule: request i is due at start + i/rate, anchored
+/// to absolute time. The pacer never re-anchors when the system falls
+/// behind — a stalled server makes wait_until return immediately and the
+/// backlog of due arrivals lands as fast as the driver can submit, exactly
+/// the pressure a real open-loop client applies. Measuring each latency
+/// from scheduled_ns (not from the submit instant) is what makes the
+/// recorded tail coordinated-omission-safe.
+class OpenLoopPacer {
+ public:
+  OpenLoopPacer(double rate_per_sec, std::uint64_t start_ns);
+
+  [[nodiscard]] std::uint64_t scheduled_ns(std::uint64_t index) const noexcept;
+
+  /// Blocks until `scheduled` (coarse sleep, then a short spin for sub-ms
+  /// accuracy); returns immediately when already past due.
+  static void wait_until(std::uint64_t scheduled);
+
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+ private:
+  double interval_ns_;
+  std::uint64_t start_ns_;
+};
+
+/// Exact-sample latency recorder: stores every observation (no bucketing
+/// error in the tail) and answers nearest-rank percentiles. Feed it
+/// completion − *scheduled* time from an OpenLoopPacer schedule and the
+/// percentiles are coordinated-omission-safe: queries that waited behind a
+/// stall carry their full due-time wait.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t reserve = 1 << 16);
+
+  void record_ns(std::uint64_t ns);
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean_ns() const;
+  /// Nearest-rank percentile, p in [0, 100]. 0 with no samples.
+  [[nodiscard]] double percentile_ns(double p) const;
+  [[nodiscard]] double max_ns() const;
+
+  /// {count, mean_ns, p50_ns, p95_ns, p99_ns, max_ns} — the standard block
+  /// the serving artifacts embed per load point.
+  [[nodiscard]] JsonValue summary() const;
+
+ private:
+  mutable std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = true;
+};
 
 }  // namespace reghd::bench

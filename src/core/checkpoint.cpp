@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -202,7 +203,8 @@ void save_online_checkpoint(std::ostream& out, const OnlineRegHD& learner) {
   }
 }
 
-OnlineRegHD load_online_checkpoint(std::istream& in) {
+OnlineRegHD load_online_checkpoint(std::istream& in,
+                                   std::optional<hdc::ProjectionStorage> encoder_storage) {
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   try {
@@ -257,7 +259,13 @@ OnlineRegHD load_online_checkpoint(std::istream& in) {
         return h;
       });
 
-  OnlineRegHD learner(header.config, header.num_features);
+  OnlineConfig config = header.config;
+  if (encoder_storage.has_value()) {
+    // Applied before construction so a rematerialized deployment never pays
+    // for (or holds) the resident F×D matrix the serialized config implies.
+    config.encoder.projection_storage = *encoder_storage;
+  }
+  OnlineRegHD learner(config, header.num_features);
   MultiModelRegressor& model = learner.mutable_model();
   const std::size_t dim = model.config().dim;
 

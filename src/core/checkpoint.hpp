@@ -45,7 +45,16 @@ void save_online_checkpoint(std::ostream& out, const OnlineRegHD& learner);
 /// Restores a learner saved by save_online_checkpoint; the result is
 /// bit-identical to the saved one. Throws util::FormatError (typed) on any
 /// corruption; never returns a partially-initialized learner.
-[[nodiscard]] OnlineRegHD load_online_checkpoint(std::istream& in);
+///
+/// `encoder_storage` re-applies a projection-storage deployment choice at
+/// construction time. The knob is deliberately not serialized (it is a
+/// runtime/footprint setting, not model identity), so a plain load always
+/// comes back resident; a rematerialized deployment passes its mode here and
+/// the loaded encoder never materializes the F×D matrix at all — cheaper
+/// than loading resident and rebuilding, and bit-identical either way.
+[[nodiscard]] OnlineRegHD load_online_checkpoint(
+    std::istream& in,
+    std::optional<hdc::ProjectionStorage> encoder_storage = std::nullopt);
 
 struct CheckpointConfig {
   std::string dir;           ///< Checkpoint directory; created if absent.

@@ -4,24 +4,33 @@
 
 namespace reghd::core {
 
+void EncodedDataset::assign_rows(const hdc::Encoder& encoder,
+                                 std::span<const double> rows_flat,
+                                 std::size_t num_rows, std::size_t threads) {
+  dim_ = encoder.dim();
+  words_ = (dim_ + 63) / 64;
+  // assign() reuses existing plane capacity: steady-state re-encoding of
+  // admission batches (num_rows bounded by the batcher's cap) never touches
+  // the allocator after the first full-size batch.
+  targets_.assign(num_rows, 0.0);
+  real_.assign(num_rows * dim_, 0.0);  // encoders accumulate in place
+  bipolar_.assign(num_rows * dim_, 0);
+  binary_.assign(num_rows * words_, 0);
+  norm_.assign(num_rows, 0.0);
+  norm2_.assign(num_rows, 0.0);
+  const hdc::EncodedArenaRef arena{real_.data(), bipolar_.data(), binary_.data(),
+                                   norm_.data(), norm2_.data(),   dim_,
+                                   words_};
+  encoder.encode_batch_into(rows_flat, num_rows, arena, threads);
+}
+
 EncodedDataset EncodedDataset::build(const hdc::Encoder& encoder,
                                      std::span<const double> rows_flat,
                                      std::size_t num_rows, std::vector<double> targets,
                                      std::size_t threads) {
   EncodedDataset out;
-  out.dim_ = encoder.dim();
-  out.words_ = (out.dim_ + 63) / 64;
+  out.assign_rows(encoder, rows_flat, num_rows, threads);
   out.targets_ = std::move(targets);
-  out.real_.assign(num_rows * out.dim_, 0.0);  // encoders accumulate in place
-  out.bipolar_.assign(num_rows * out.dim_, 0);
-  out.binary_.assign(num_rows * out.words_, 0);
-  out.norm_.assign(num_rows, 0.0);
-  out.norm2_.assign(num_rows, 0.0);
-  const hdc::EncodedArenaRef arena{out.real_.data(), out.bipolar_.data(),
-                                   out.binary_.data(), out.norm_.data(),
-                                   out.norm2_.data(),  out.dim_,
-                                   out.words_};
-  encoder.encode_batch_into(rows_flat, num_rows, arena, threads);
   return out;
 }
 

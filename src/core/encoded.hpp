@@ -73,6 +73,16 @@ class EncodedDataset {
   /// Appends one owning sample (copied into the arena planes).
   void add(const hdc::EncodedSample& sample, double target);
 
+  /// Re-encodes a flat row-major feature block (num_rows · input_dim doubles)
+  /// into this arena in place, replacing its previous contents. Plane storage
+  /// is reused — once capacity covers the largest batch seen, re-encoding
+  /// allocates nothing, which is what lets the serving runtime's admission
+  /// batcher run one arena per shard on an allocation-free predict path.
+  /// Targets are zeroed; geometry follows `encoder`. Contents are identical
+  /// to from_rows(encoder, rows_flat, num_rows, threads).
+  void assign_rows(const hdc::Encoder& encoder, std::span<const double> rows_flat,
+                   std::size_t num_rows, std::size_t threads = 0);
+
   /// New arena holding the listed rows, in list order (plane rows are copied
   /// verbatim, so subset(i).sample(j) views the exact bytes of sample(rows[j])).
   /// The shard partitioner materializes each shard's training set through

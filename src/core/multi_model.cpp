@@ -490,6 +490,137 @@ std::vector<double> MultiModelRegressor::predict_batch(const EncodedDataset& dat
   return out;
 }
 
+void MultiModelRegressor::prepare_predict_scratch(PredictScratch& scratch) const {
+  const PredictionMode mode = config_.prediction_mode();
+  const std::size_t d = config_.dim;
+  const std::size_t k_c = clusters_.size();
+  const std::size_t k_m = models_.size();
+  scratch.sims.assign(k_c, 0.0);
+  if (config_.cluster_mode == ClusterMode::kFullPrecision &&
+      mode.query == QueryPrecision::kReal && mode.model == ModelPrecision::kReal) {
+    // Same bank layout predict_batch builds per call: clusters then models,
+    // one contiguous (k_c + k_m)×D block, with the √‖C‖² cache alongside.
+    scratch.bank.assign((k_c + k_m) * d, 0.0);
+    scratch.cluster_norm.assign(k_c, 0.0);
+    for (std::size_t c = 0; c < k_c; ++c) {
+      std::memcpy(scratch.bank.data() + c * d,
+                  clusters_[c].accumulator.values().data(), d * sizeof(double));
+      scratch.cluster_norm[c] = std::sqrt(clusters_[c].norm2);
+    }
+    for (std::size_t m = 0; m < k_m; ++m) {
+      std::memcpy(scratch.bank.data() + (k_c + m) * d,
+                  models_[m].accumulator.values().data(), d * sizeof(double));
+    }
+    scratch.scores.assign(k_c + k_m, 0.0);
+  } else if ((config_.cluster_mode == ClusterMode::kQuantized ||
+              config_.cluster_mode == ClusterMode::kNaiveBinary) &&
+             mode.query == QueryPrecision::kBinary) {
+    // Build the fallback packed bank only when the persistent one is stale —
+    // predict time picks whichever is current, exactly like predict_batch.
+    if (!packed_bank_.valid) {
+      build_packed_bank_into(scratch.packed);
+    }
+    const std::size_t bank_rows =
+        packed_bank_.valid ? packed_bank_.rows : scratch.packed.rows;
+    scratch.qscores.assign(bank_rows, 0);
+  }
+  scratch.prepared = true;
+}
+
+void MultiModelRegressor::predict_batch_into(const EncodedDataset& dataset,
+                                             std::span<double> out,
+                                             PredictScratch& scratch) const {
+  REGHD_CHECK(out.size() >= dataset.size(),
+              "predict_batch_into output span holds " << out.size()
+                                                      << " slots for "
+                                                      << dataset.size() << " rows");
+  REGHD_CHECK(scratch.prepared, "predict scratch was never prepared");
+  const obs::StageTimer timer(obs::Histo::kPredictBatchNs);
+  obs::count(obs::Counter::kPredictBatchRows, dataset.size());
+  if (dataset.empty()) {
+    return;
+  }
+  const PredictionMode mode = config_.prediction_mode();
+  const hdc::KernelBackend& kb = hdc::active_backend();
+  const std::size_t d = config_.dim;
+  const double dd = static_cast<double>(d);
+  const std::size_t k_c = clusters_.size();
+  const std::size_t k_m = models_.size();
+  if (config_.cluster_mode == ClusterMode::kFullPrecision &&
+      mode.query == QueryPrecision::kReal && mode.model == ModelPrecision::kReal &&
+      dataset.dim() == config_.dim) {
+    // Serial replay of predict_batch's full-precision bank sweep. The
+    // parallel form is row-independent, so running rows in order through the
+    // prepared bank produces the identical bit pattern — only the thread
+    // fan-out and the per-call bank/score allocations are gone.
+    const double* rows = dataset.real_plane().data();
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      kb.dot_rows(rows + i * d, scratch.bank.data(), d, k_c + k_m, d,
+                  scratch.scores.data());
+      const double qn = std::sqrt(dataset.norms2()[i]);
+      for (std::size_t c = 0; c < k_c; ++c) {
+        scratch.sims[c] = (scratch.cluster_norm[c] == 0.0 || qn == 0.0)
+                              ? 0.0
+                              : scratch.scores[c] / (scratch.cluster_norm[c] * qn);
+      }
+      confidences_into(scratch.sims);
+      double y = 0.0;
+      for (std::size_t m = 0; m < k_m; ++m) {
+        y += scratch.sims[m] * (scratch.scores[k_c + m] / dd);
+      }
+      out[i] = y;
+    }
+    return;
+  }
+  if ((config_.cluster_mode == ClusterMode::kQuantized ||
+       config_.cluster_mode == ClusterMode::kNaiveBinary) &&
+      mode.query == QueryPrecision::kBinary && dataset.dim() == config_.dim) {
+    // Serial replay of the quantized popcount sweep, scoring through the
+    // persistent bank when current and the prepared fallback otherwise.
+    const std::size_t words = dataset.words_per_row();
+    const bool bank_models = mode.model == ModelPrecision::kBinary ||
+                             mode.model == ModelPrecision::kTernary;
+    const PackedTernaryBank& bank =
+        packed_bank_.valid ? packed_bank_ : scratch.packed;
+    REGHD_INTERNAL_CHECK(bank.rows == k_c + (bank_models ? k_m : 0) &&
+                             bank.words == words &&
+                             scratch.qscores.size() >= bank.rows,
+                         "packed bank geometry " << bank.rows << "×" << bank.words
+                                                 << " does not match predict shape");
+    const std::uint64_t* bits = dataset.binary_plane().data();
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      kb.dot_rows_ternary(bits + i * words, bank.signs.data(), bank.masks.data(),
+                          words, bank.rows, d, scratch.qscores.data());
+      for (std::size_t c = 0; c < k_c; ++c) {
+        const auto h = static_cast<double>(
+            (static_cast<std::int64_t>(d) - scratch.qscores[c]) / 2);
+        scratch.sims[c] = 1.0 - 2.0 * h / dd;
+      }
+      confidences_into(scratch.sims);
+      double y = 0.0;
+      if (bank_models) {
+        for (std::size_t m = 0; m < k_m; ++m) {
+          y += scratch.sims[m] * (bank.scale[k_c + m] *
+                                  static_cast<double>(scratch.qscores[k_c + m]) / dd);
+        }
+      } else {
+        const hdc::EncodedSampleView s = dataset.sample(i);
+        for (std::size_t m = 0; m < k_m; ++m) {
+          y += scratch.sims[m] * predict_dot(models_[m], s, mode);
+        }
+      }
+      out[i] = y;
+    }
+    return;
+  }
+  // Generic modes: per-row predict(), same as predict_batch's last resort
+  // (this path allocates; the serving no-alloc guarantee covers the two bank
+  // fast paths above).
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out[i] = predict(dataset.sample(i));
+  }
+}
+
 double MultiModelRegressor::evaluate_mse(const EncodedDataset& dataset) const {
   REGHD_CHECK(!dataset.empty(), "cannot evaluate on an empty dataset");
   const std::vector<double> pred = predict_batch(dataset);

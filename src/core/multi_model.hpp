@@ -121,6 +121,40 @@ class MultiModelRegressor {
   [[nodiscard]] std::vector<double> predict_batch(const EncodedDataset& dataset,
                                                   std::size_t threads = 0) const;
 
+  /// Caller-owned scratch for predict_batch_into: the contiguous
+  /// (k_c + k_m)×D bank (or its packed 2-bit-plane form in quantized modes)
+  /// plus the per-row score/similarity buffers. prepare_predict_scratch
+  /// sizes everything once; after that, predict_batch_into touches no
+  /// allocator — the invariant the serving runtime's admission batcher
+  /// asserts on its predict path. Reusable across calls and across
+  /// re-preparations (storage capacity is retained).
+  struct PredictScratch {
+    util::AlignedVector<double> bank;  ///< Full-precision cluster+model rows.
+    std::vector<double> cluster_norm;  ///< √‖C‖² per cluster.
+    PackedTernaryBank packed;          ///< Quantized-mode fallback bank.
+    std::vector<double> scores;        ///< Per-row real dot scores.
+    std::vector<std::int64_t> qscores; ///< Per-row popcount scores.
+    std::vector<double> sims;          ///< δ_i scratch (k_c).
+    bool prepared = false;
+  };
+
+  /// Builds `scratch` from the current model state (bank copy / packed-bank
+  /// build, norm cache, buffer sizing). Must be re-run whenever the model
+  /// state changes — the serving worker re-prepares once per snapshot swap,
+  /// off the per-query path.
+  void prepare_predict_scratch(PredictScratch& scratch) const;
+
+  /// Serial, allocation-free predict_batch: writes predict(sample(i)) into
+  /// out[i] for every row, scoring through `scratch`'s bank. Bit-identical
+  /// to predict_batch(dataset) in every mode (same kernels, same float
+  /// expression sequence; the parallel form is row-independent, so the
+  /// serial order changes nothing). `scratch` must have been prepared
+  /// against this exact model state. The one caveat: mode combinations
+  /// outside the two bank fast paths fall back to per-row predict(), which
+  /// allocates — same as predict_batch's own generic path.
+  void predict_batch_into(const EncodedDataset& dataset, std::span<double> out,
+                          PredictScratch& scratch) const;
+
   [[nodiscard]] double evaluate_mse(const EncodedDataset& dataset) const;
 
   /// δ_i for every cluster (Eq. 5 / Hamming in quantized mode).

@@ -21,6 +21,16 @@ OnlineRegHD::OnlineRegHD(OnlineConfig config, std::size_t num_features)
   model_ = std::make_unique<MultiModelRegressor>(config_.reghd);
 }
 
+void OnlineRegHD::set_projection_storage(hdc::ProjectionStorage storage) {
+  if (config_.encoder.projection_storage == storage) {
+    return;
+  }
+  config_.encoder.projection_storage = storage;
+  // Rebuilding from the (updated) config reproduces the identical encoder —
+  // every weight derives from the counter-based kernel either way.
+  encoder_ = hdc::make_encoder(config_.encoder);
+}
+
 OnlineRegHD OnlineRegHD::merge_replicas(std::span<const OnlineShardReplica> replicas) {
   REGHD_CHECK(!replicas.empty(), "online merge requires at least one replica");
   const obs::StageTimer timer(obs::Histo::kShardMergeNs);
@@ -147,16 +157,22 @@ double OnlineRegHD::unscale_target(double y_scaled) const {
 }
 
 double OnlineRegHD::predict(std::span<const double> features) const {
+  std::vector<double> scaled;
+  return predict_reusing(features, scaled);
+}
+
+double OnlineRegHD::predict_reusing(std::span<const double> features,
+                                    std::vector<double>& scaled_scratch) const {
   REGHD_CHECK(features.size() == feature_stats_.size(),
               "reading has " << features.size() << " features, stream expects "
                              << feature_stats_.size());
-  if (config_.adaptive_scaling && seen_ <= config_.warmup) {
+  if (cold()) {
     // Cold start: running statistics are not trustworthy yet. The boundary
     // matches update()'s training gate (see the warmup convention note in
     // online.hpp): while no reading has trained the model, fall back to the
     // running target mean rather than an untrained model's output.
     obs::count(obs::Counter::kOnlineColdPredicts);
-    return target_stats_.count() > 0 ? target_stats_.mean() : 0.0;
+    return cold_prediction();
   }
   if (!config_.adaptive_scaling) {
     return unscale_target(model_->predict_one(*encoder_, features));
@@ -164,12 +180,37 @@ double OnlineRegHD::predict(std::span<const double> features) const {
   // Standardize exactly like encode(), then hand the scaled reading to the
   // fused single-query path (bit-identical to predict(encode(features)),
   // falling back internally when the mode combination is not fusable).
-  std::vector<double> scaled(features.size());
+  scaled_scratch.resize(features.size());
   for (std::size_t k = 0; k < features.size(); ++k) {
     const double sd = feature_stats_[k].stddev();
-    scaled[k] = sd > 0.0 ? (features[k] - feature_stats_[k].mean()) / sd : 0.0;
+    scaled_scratch[k] = sd > 0.0 ? (features[k] - feature_stats_[k].mean()) / sd : 0.0;
   }
-  return unscale_target(model_->predict_one(*encoder_, scaled));
+  return unscale_target(model_->predict_one(*encoder_, scaled_scratch));
+}
+
+void OnlineRegHD::standardize_rows_into(std::span<const double> rows_flat,
+                                        std::size_t num_rows,
+                                        std::span<double> out) const {
+  const std::size_t nf = feature_stats_.size();
+  REGHD_CHECK(rows_flat.size() == num_rows * nf,
+              "feature block has " << rows_flat.size() << " values, expected "
+                                   << num_rows << " readings x " << nf << " features");
+  REGHD_CHECK(out.size() >= num_rows * nf,
+              "standardize output span holds " << out.size() << " values for "
+                                              << num_rows * nf);
+  if (!config_.adaptive_scaling) {
+    std::copy(rows_flat.begin(), rows_flat.end(), out.begin());
+    return;
+  }
+  // Element transform identical to predict_reusing's; loop order is
+  // irrelevant to the values.
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t k = 0; k < nf; ++k) {
+      const double sd = feature_stats_[k].stddev();
+      out[r * nf + k] =
+          sd > 0.0 ? (rows_flat[r * nf + k] - feature_stats_[k].mean()) / sd : 0.0;
+    }
+  }
 }
 
 double OnlineRegHD::update(std::span<const double> features, double target) {

@@ -106,6 +106,51 @@ class OnlineRegHD {
   /// Prediction only (original units).
   [[nodiscard]] double predict(std::span<const double> features) const;
 
+  /// predict() with a caller-owned standardization buffer: identical math,
+  /// counters and results, but the scaled-reading scratch lives with the
+  /// caller, so steady-state calls touch no allocator once the buffer has
+  /// grown to the feature count. The serving runtime's low-load fused path
+  /// keeps one such buffer per shard worker. predict() itself delegates here.
+  [[nodiscard]] double predict_reusing(std::span<const double> features,
+                                       std::vector<double>& scaled_scratch) const;
+
+  /// True while predict() is in the cold-start regime (adaptive scaling on
+  /// and no reading has trained the model yet — see the warmup convention).
+  [[nodiscard]] bool cold() const noexcept {
+    return config_.adaptive_scaling && seen_ <= config_.warmup;
+  }
+
+  /// The fallback value predict() returns while cold(): the running target
+  /// mean, or 0 before any label has been consumed.
+  [[nodiscard]] double cold_prediction() const {
+    return target_stats_.count() > 0 ? target_stats_.mean() : 0.0;
+  }
+
+  /// Standardizes a row-major block of readings (num_rows × num_features)
+  /// into `out` with exactly predict()'s per-feature transform — identity
+  /// copy when adaptive scaling is off. Allocation-free; the serving batch
+  /// path standardizes the admission batch through this before encoding it
+  /// into the shard's arena.
+  void standardize_rows_into(std::span<const double> rows_flat, std::size_t num_rows,
+                             std::span<double> out) const;
+
+  /// Maps a model-space prediction back to original target units (the public
+  /// form of the internal unscale transform — the serving batch path
+  /// composes MultiModelRegressor::predict_batch_into with this).
+  [[nodiscard]] double unscale(double y_scaled) const { return unscale_target(y_scaled); }
+
+  /// Encoder access for callers that drive the regressor's batch/fused
+  /// kernels directly on standardized readings (serving runtime, benches).
+  [[nodiscard]] const hdc::Encoder& encoder() const noexcept { return *encoder_; }
+
+  /// Re-applies a projection-storage deployment choice by rebuilding the
+  /// encoder from its own config. Storage is a runtime/footprint knob, not
+  /// model identity — it is deliberately not serialized, so every checkpoint
+  /// loads kResident; callers running rematerialized (the serving runtime
+  /// re-applies its configured mode to each snapshot roundtrip) switch back
+  /// here. Encodings are bit-identical in both modes.
+  void set_projection_storage(hdc::ProjectionStorage storage);
+
   [[nodiscard]] std::size_t samples_seen() const noexcept { return seen_; }
 
   [[nodiscard]] const MultiModelRegressor& model() const noexcept { return *model_; }

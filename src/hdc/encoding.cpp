@@ -281,7 +281,10 @@ void RffProjectionEncoder::encode_real_into(std::span<const double> features,
     // of the resident axpy chain below, so the two storage modes are
     // bit-identical.
     constexpr std::size_t kTile = 16;
-    std::vector<double> scratch(n * kTile);
+    // Reused across calls (resize never shrinks capacity): the serving
+    // runtime's steady-state predict path must not touch the allocator.
+    thread_local std::vector<double> scratch;
+    scratch.resize(n * kTile);
     for (std::size_t j0 = 0; j0 < d; j0 += kTile) {
       const std::size_t tile = std::min(kTile, d - j0);
       kb.rff_rematerialize(proj_seed_, stddev_, j0, tile, n, scratch.data(), tile);
@@ -372,8 +375,11 @@ void RffProjectionEncoder::encode_batch_into(std::span<const double> rows_flat,
         if (remat) {
           // F×16 weight tiles live in a worker-local scratch (L1/L2-resident;
           // e.g. 100 KB at F = 784) that the GEMM consumes in place — the
-          // projection matrix never exists in memory all at once.
-          std::vector<double> scratch(n * kRematTile);
+          // projection matrix never exists in memory all at once. The scratch
+          // persists per thread so steady-state batches (the serving
+          // runtime's admission path) never touch the allocator.
+          thread_local std::vector<double> scratch;
+          scratch.resize(n * kRematTile);
           for (std::size_t j0 = 0; j0 < d; j0 += kRematTile) {
             const std::size_t tile = std::min(kRematTile, d - j0);
             kb.rff_rematerialize(proj_seed_, stddev_, j0, tile, n, scratch.data(),

@@ -80,12 +80,17 @@ std::string to_prometheus(const TelemetrySnapshot& snap) {
   }
   for (std::size_t h = 0; h < kNumHistos; ++h) {
     const HistogramSnapshot& hs = snap.histograms[h];
-    // Strip the _ns suffix; Prometheus convention is base-unit seconds.
+    // Nanosecond histograms convert to the Prometheus base unit (strip _ns,
+    // append _seconds, divide edges/sum by 1e9). Unitless histograms (e.g.
+    // serve_batch_fill, whose observations are batch sizes) export verbatim —
+    // forcing a _seconds suffix on them would mislabel the unit.
     std::string name(histo_name(static_cast<Histo>(h)));
-    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    const bool ns_unit =
+        name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+    if (ns_unit) {
       name.resize(name.size() - 3);
+      name += "_seconds";
     }
-    name += "_seconds";
     out << "# TYPE reghd_" << name << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < kHistoBuckets; ++b) {
@@ -98,11 +103,13 @@ std::string to_prometheus(const TelemetrySnapshot& snap) {
       if (std::isinf(upper)) {
         out << "+Inf";
       } else {
-        out << fmt_double(upper / 1e9);
+        out << fmt_double(ns_unit ? upper / 1e9 : upper);
       }
       out << "\"} " << cumulative << "\n";
     }
-    out << "reghd_" << name << "_sum " << fmt_double(static_cast<double>(hs.sum_ns) / 1e9)
+    out << "reghd_" << name << "_sum "
+        << fmt_double(ns_unit ? static_cast<double>(hs.sum_ns) / 1e9
+                              : static_cast<double>(hs.sum_ns))
         << "\n"
         << "reghd_" << name << "_count " << hs.count << "\n";
   }
@@ -143,14 +150,23 @@ std::string to_table(const TelemetrySnapshot& snap) {
       continue;
     }
     any = true;
+    const std::string hname(histo_name(static_cast<Histo>(h)));
+    const bool ns_unit = hname.size() > 3 &&
+                         hname.compare(hname.size() - 3, 3, "_ns") == 0;
+    const auto fmt = [&](double v) -> std::string {
+      if (ns_unit) {
+        return fmt_duration_ns(v);
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return buf;
+    };
     char line[160];
     std::snprintf(line, sizeof(line),
                   "  %-18s n=%-10" PRIu64 " mean=%-10s p50=%-10s p95=%-10s p99=%s\n",
-                  std::string(histo_name(static_cast<Histo>(h))).c_str(), hs.count,
-                  fmt_duration_ns(hs.mean_ns()).c_str(),
-                  fmt_duration_ns(hs.p50_ns()).c_str(),
-                  fmt_duration_ns(hs.p95_ns()).c_str(),
-                  fmt_duration_ns(hs.p99_ns()).c_str());
+                  hname.c_str(), hs.count, fmt(hs.mean_ns()).c_str(),
+                  fmt(hs.p50_ns()).c_str(), fmt(hs.p95_ns()).c_str(),
+                  fmt(hs.p99_ns()).c_str());
     out << line;
   }
   if (!any) {

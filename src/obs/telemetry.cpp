@@ -36,6 +36,15 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "shard_fits",
     "shard_merges",
     "shard_refine_epochs",
+    "serve_requests",
+    "serve_batches",
+    "serve_batch_rows",
+    "serve_single_rows",
+    "serve_queue_rejects",
+    "serve_train_applied",
+    "serve_train_rejects",
+    "serve_snapshot_publishes",
+    "serve_snapshot_swaps",
 };
 
 constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
@@ -55,6 +64,14 @@ constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
     "shard_fit_ns",
     "shard_merge_ns",
     "shard_refine_ns",
+    "serve_queue_wait_ns",
+    "serve_assemble_ns",
+    "serve_encode_ns",
+    "serve_scan_ns",
+    "serve_predict_ns",
+    "serve_batch_fill",
+    "serve_publish_ns",
+    "serve_staleness_ns",
 };
 
 }  // namespace

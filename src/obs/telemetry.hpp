@@ -65,6 +65,9 @@ enum class Counter : std::size_t {
   kPoolBlocks,            ///< Blocks executed across all jobs.
   kPoolWorkerBusyNs,      ///< Nanoseconds participants spent executing blocks
                           ///< (occupancy = busy_ns / (job_ns · thread_count)).
+                          ///< Only a thread's outermost participation frame
+                          ///< records, so nested run_blocks never double-count
+                          ///< and busy_ns ≤ wall · thread_count always holds.
   kCkptSaves,             ///< Checkpoints written successfully.
   kCkptSaveFailures,      ///< Checkpoint writes that threw (incl. injected faults).
   kCkptRecoverScans,      ///< Candidate files examined during recovery.
@@ -73,6 +76,15 @@ enum class Counter : std::size_t {
   kShardFits,             ///< Shard replica fits completed (sharded training).
   kShardMerges,           ///< Shard-merge reductions applied (one per merged model).
   kShardRefineEpochs,     ///< Sequential refine epochs run after a shard merge.
+  kServeRequests,         ///< Predict requests admitted by the serving runtime.
+  kServeBatches,          ///< Admission batches scored through the bank scan.
+  kServeBatchRows,        ///< Requests served through the batched bank-scan path.
+  kServeSingleRows,       ///< Requests served through the fused single-query path.
+  kServeQueueRejects,     ///< Predict submissions rejected (ingest ring full).
+  kServeTrainApplied,     ///< Online updates applied by shard trainers.
+  kServeTrainRejects,     ///< Train submissions rejected (train ring full).
+  kServeSnapshotPublishes,///< Immutable model snapshots published by trainers.
+  kServeSnapshotSwaps,    ///< Predict-worker hot-swaps to a newer snapshot.
   kCount
 };
 
@@ -95,6 +107,14 @@ enum class Histo : std::size_t {
   kShardFitNs,        ///< One shard replica fit (train + re-derived base).
   kShardMergeNs,      ///< One full merge reduction (deltas + requantize).
   kShardRefineNs,     ///< One refine pass (all refine epochs).
+  kServeQueueWaitNs,  ///< Per request: ingest-ring enqueue → worker drain.
+  kServeAssembleNs,   ///< Per admission batch: drain + staging assembly.
+  kServeEncodeNs,     ///< Per admission batch: standardize + arena encode.
+  kServeScanNs,       ///< Per admission batch: bank scan + unscale.
+  kServePredictNs,    ///< Per request: enqueue → completion store (e2e).
+  kServeBatchFill,    ///< Admission batch sizes (a count, not nanoseconds).
+  kServePublishNs,    ///< One snapshot publish (checkpoint round-trip + flip).
+  kServeStalenessNs,  ///< Snapshot publish instant → worker swap instant.
   kCount
 };
 

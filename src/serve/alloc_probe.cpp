@@ -1,0 +1,19 @@
+#include "serve/alloc_probe.hpp"
+
+#include <atomic>
+
+namespace reghd::serve {
+
+namespace {
+std::atomic<PredictPathProbe> g_probe{nullptr};
+}  // namespace
+
+void set_predict_path_probe(PredictPathProbe probe) noexcept {
+  g_probe.store(probe, std::memory_order_release);
+}
+
+PredictPathProbe predict_path_probe() noexcept {
+  return g_probe.load(std::memory_order_acquire);
+}
+
+}  // namespace reghd::serve

@@ -1,0 +1,123 @@
+// Bounded MPSC ingest ring with an inline feature-row plane.
+//
+// Each serving shard owns two of these (predict and train ingest). The
+// design is the classic bounded MPMC queue with per-cell sequence numbers
+// (Vyukov), specialised to a single consumer: producers claim cells by CAS
+// on the tail and hand off with one release store of the cell's sequence;
+// the consumer owns the head without any atomics of its own beyond the
+// per-cell acquire loads. Nothing blocks — a full ring rejects the push and
+// the caller decides (the admission policy lives above the ring).
+//
+// The payload of every cell is a fixed-width feature row. Rows live in one
+// flat capacity×width plane allocated at construction, so a push is a
+// header write plus a row memcpy into preallocated storage and the
+// steady-state queue never touches the allocator — part of the serving
+// runtime's allocation-free predict-path invariant.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace reghd::serve {
+
+template <typename Header>
+class IngestRing {
+ public:
+  /// `capacity` rounds up to a power of two (≥ 2); `row_width` is the fixed
+  /// doubles-per-entry payload width (the stream's feature count).
+  IngestRing(std::size_t capacity, std::size_t row_width)
+      : capacity_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+        mask_(capacity_ - 1),
+        width_(row_width),
+        cells_(std::make_unique<Cell[]>(capacity_)),
+        rows_(capacity_ * row_width) {
+    REGHD_CHECK(row_width > 0, "ingest ring requires a nonzero row width");
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  IngestRing(const IngestRing&) = delete;
+  IngestRing& operator=(const IngestRing&) = delete;
+
+  /// Multi-producer push. Copies `row` (must be row_width doubles) and the
+  /// header into the claimed cell. Returns false when the ring is full;
+  /// never blocks, never allocates.
+  bool try_push(const Header& header, std::span<const double> row) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;  // cell claimed
+        }
+      } else if (dif < 0) {
+        return false;  // cell still holds an unconsumed entry: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->header = header;
+    std::memcpy(rows_.data() + (pos & mask_) * width_, row.data(),
+                width_ * sizeof(double));
+    cell->seq.store(pos + 1, std::memory_order_release);  // hand off
+    return true;
+  }
+
+  /// Single-consumer pop into caller storage (`row_out` must hold row_width
+  /// doubles). Returns false when empty.
+  bool try_pop(Header& header, double* row_out) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(head_ + 1) < 0) {
+      return false;  // producer has not finished (or not started) this cell
+    }
+    header = cell.header;
+    std::memcpy(row_out, rows_.data() + (head_ & mask_) * width_,
+                width_ * sizeof(double));
+    cell.seq.store(head_ + capacity_, std::memory_order_release);  // recycle
+    ++head_;
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (racy for producers by nature: a false
+  /// return only means "empty at the probe instant").
+  [[nodiscard]] bool can_pop() const {
+    const Cell& cell = cells_[head_ & mask_];
+    return static_cast<std::int64_t>(cell.seq.load(std::memory_order_acquire)) -
+               static_cast<std::int64_t>(head_ + 1) >=
+           0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t row_width() const noexcept { return width_; }
+
+ private:
+  struct alignas(util::kCacheLineAlignment) Cell {
+    std::atomic<std::uint64_t> seq;
+    Header header;
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::size_t width_;
+  std::unique_ptr<Cell[]> cells_;
+  util::AlignedVector<double> rows_;  ///< capacity × width inline row plane.
+
+  alignas(util::kCacheLineAlignment) std::atomic<std::uint64_t> tail_{0};
+  alignas(util::kCacheLineAlignment) std::uint64_t head_ = 0;  ///< consumer-owned.
+};
+
+}  // namespace reghd::serve

@@ -1,0 +1,457 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/alloc_probe.hpp"
+#include "util/check.hpp"
+
+namespace reghd::serve {
+
+namespace {
+
+[[nodiscard]] std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// splitmix64 finalizer: full-avalanche key → shard mixing, so sequential
+/// tenant/key ids spread evenly instead of striping.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Server::Shard::Shard(const ServeConfig& cfg, const core::OnlineConfig& online,
+                     std::size_t num_features)
+    : predict_ring(cfg.queue_capacity, num_features),
+      train_ring(cfg.queue_capacity, num_features),
+      learner(std::make_unique<core::OnlineRegHD>(online, num_features)) {}
+
+Server::Server(ServeConfig config, core::OnlineConfig online, std::size_t num_features)
+    : config_(std::move(config)), online_config_(std::move(online)), nf_(num_features) {
+  REGHD_CHECK(config_.shards > 0, "server requires at least one shard");
+  REGHD_CHECK(config_.max_batch > 0, "max_batch must be at least 1");
+  REGHD_CHECK(config_.batch_threshold > 0, "batch_threshold must be at least 1");
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_, online_config_, nf_));
+  }
+}
+
+Server::~Server() { stop(); }
+
+std::string Server::shard_checkpoint_dir(std::size_t shard) const {
+  return config_.checkpoint_dir + "/shard_" + std::to_string(shard);
+}
+
+void Server::bootstrap(std::size_t shard, const core::OnlineRegHD& learner) {
+  REGHD_CHECK(!started_, "bootstrap must happen before start()");
+  REGHD_CHECK(shard < shards_.size(), "bootstrap shard " << shard << " out of range");
+  REGHD_CHECK(learner.num_features() == nf_,
+              "bootstrap learner has " << learner.num_features()
+                                       << " features, server expects " << nf_);
+  // Checkpoint roundtrip = the snapshot copy mechanism: the shard adopts a
+  // bit-identical copy without sharing any mutable state with the caller.
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_online_checkpoint(buf, learner);
+  // Projection storage is a deployment knob the container deliberately does
+  // not carry; the load applies the server's configured mode at construction.
+  shards_[shard]->learner = std::make_unique<core::OnlineRegHD>(
+      core::load_online_checkpoint(buf, online_config_.encoder.projection_storage));
+}
+
+void Server::start() {
+  REGHD_CHECK(!started_, "server already started");
+  if (!config_.checkpoint_dir.empty()) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      core::CheckpointConfig ck;
+      ck.dir = shard_checkpoint_dir(i);
+      ck.keep_last = config_.checkpoint_keep_last;
+      const core::CheckpointManager mgr(ck);
+      if (std::optional<core::OnlineRegHD> recovered = mgr.recover()) {
+        REGHD_CHECK(recovered->num_features() == nf_,
+                    "recovered checkpoint has " << recovered->num_features()
+                                                << " features, server expects " << nf_);
+        shards_[i]->learner =
+            std::make_unique<core::OnlineRegHD>(std::move(*recovered));
+        shards_[i]->learner->set_projection_storage(
+            online_config_.encoder.projection_storage);
+      }
+    }
+  }
+  draining_.store(false, std::memory_order_seq_cst);
+  // Initial publication happens on this thread, before any worker exists:
+  // every worker observes a snapshot from its very first query.
+  for (auto& shard : shards_) {
+    publish_snapshot(*shard);
+  }
+  accepting_.store(true, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { worker_loop(*s); });
+    s->trainer = std::thread([this, s] { trainer_loop(*s); });
+  }
+  started_ = true;
+}
+
+void Server::stop() {
+  if (!started_) {
+    return;
+  }
+  // 1) Close admission and wait out every submitter that had already passed
+  //    the accepting_ gate — after this, ring contents are final.
+  accepting_.store(false, std::memory_order_seq_cst);
+  while (in_flight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  // 2) Raise draining and wake sleepers; consumers drain to empty and exit.
+  draining_.store(true, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    ring_doorbell(*shard);
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+    if (shard->trainer.joinable()) {
+      shard->trainer.join();
+    }
+  }
+  started_ = false;
+  if (!config_.checkpoint_dir.empty()) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      core::CheckpointConfig ck;
+      ck.dir = shard_checkpoint_dir(i);
+      ck.keep_last = config_.checkpoint_keep_last;
+      core::CheckpointManager mgr(ck);
+      mgr.save(*shards_[i]->learner);
+    }
+  }
+}
+
+std::size_t Server::shard_of(std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(mix64(key) % shards_.size());
+}
+
+void Server::ring_doorbell(Shard& shard) {
+  // Release so a sleeper that reads the new ticket count (acquire) also sees
+  // the pushed entry; seq_cst load pairs with the sleeper's seq_cst announce
+  // to close the lost-wakeup window.
+  shard.tickets.fetch_add(1, std::memory_order_release);
+  if (shard.sleeping.load(std::memory_order_seq_cst)) {
+    shard.tickets.notify_all();
+  }
+}
+
+bool Server::try_predict(std::uint64_t key, std::span<const double> features,
+                         RequestSlot* slot) {
+  REGHD_CHECK(slot != nullptr, "try_predict requires a completion slot");
+  REGHD_CHECK(features.size() == nf_,
+              "query has " << features.size() << " features, server expects " << nf_);
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  bool ok = false;
+  if (accepting_.load(std::memory_order_seq_cst)) {
+    Shard& shard = *shards_[shard_of(key)];
+    slot->reset();
+    const PredictHeader header{steady_ns(), slot};
+    ok = shard.predict_ring.try_push(header, features);
+    if (ok) {
+      obs::count(obs::Counter::kServeRequests);
+      ring_doorbell(shard);
+    } else {
+      obs::count(obs::Counter::kServeQueueRejects);
+    }
+  }
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  return ok;
+}
+
+double Server::predict(std::uint64_t key, std::span<const double> features) {
+  RequestSlot slot;
+  while (!try_predict(key, features, &slot)) {
+    REGHD_CHECK(running(), "server is not accepting requests");
+    std::this_thread::yield();  // ring full: wait for the worker to drain
+  }
+  slot.wait();
+  REGHD_CHECK(slot.error == 0, "serve predict failed (worker error " << slot.error << ")");
+  return slot.result;
+}
+
+bool Server::try_train(std::uint64_t key, std::span<const double> features,
+                       double target) {
+  REGHD_CHECK(features.size() == nf_,
+              "sample has " << features.size() << " features, server expects " << nf_);
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  bool ok = false;
+  if (accepting_.load(std::memory_order_seq_cst)) {
+    Shard& shard = *shards_[shard_of(key)];
+    const TrainHeader header{steady_ns(), target};
+    ok = shard.train_ring.try_push(header, features);
+    if (!ok) {
+      obs::count(obs::Counter::kServeTrainRejects);
+    }
+  }
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  return ok;
+}
+
+std::uint64_t Server::snapshot_epoch(std::size_t shard) const {
+  REGHD_CHECK(shard < shards_.size(), "shard " << shard << " out of range");
+  return shards_[shard]->cell.epoch_hint();
+}
+
+std::uint64_t Server::train_applied(std::size_t shard) const {
+  REGHD_CHECK(shard < shards_.size(), "shard " << shard << " out of range");
+  return shards_[shard]->train_applied.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ModelSnapshot> Server::snapshot(std::size_t shard) const {
+  REGHD_CHECK(shard < shards_.size(), "shard " << shard << " out of range");
+  return shards_[shard]->cell.acquire();
+}
+
+void Server::publish_snapshot(Shard& shard) {
+  const obs::StageTimer timer(obs::Histo::kServePublishNs);
+  // Serialize → deserialize through the checkpoint container: the snapshot
+  // is bit-identical to the trainer's state (the checkpoint suite's
+  // roundtrip guarantee) and shares nothing with it.
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_online_checkpoint(buf, *shard.learner);
+  // Load directly in the deployment's projection-storage mode: a plain load
+  // comes back resident, which would both re-materialize the F×D matrix in
+  // every published snapshot and burn milliseconds of trainer-thread time
+  // regenerating a matrix the rematerialized deployment throws away.
+  auto snap = std::make_shared<ModelSnapshot>(
+      core::load_online_checkpoint(buf, online_config_.encoder.projection_storage));
+  const std::uint64_t epoch = ++shard.epoch_counter;
+  snap->epoch = epoch;
+  snap->epoch_check = epoch;
+  snap->published_ns = steady_ns();
+  snap->trained_updates = shard.learner->samples_seen();
+  shard.cell.publish(std::move(snap));
+  obs::count(obs::Counter::kServeSnapshotPublishes);
+}
+
+void Server::worker_loop(Shard& shard) {
+  const std::size_t nf = nf_;
+  const std::size_t cap = config_.max_batch;
+
+  // All worker state is preallocated here, before the first query (and
+  // before any no-alloc probe can be armed around real traffic): admission
+  // staging, the per-shard encode arena, the snapshot's prepared bank
+  // scratch, and the single-path standardization buffer.
+  std::vector<PredictHeader> headers(cap);
+  util::AlignedVector<double> raw(cap * nf, 0.0);
+  util::AlignedVector<double> scaled(cap * nf, 0.0);
+  std::vector<double> out(cap, 0.0);
+  std::vector<double> single_scratch(nf, 0.0);
+  core::EncodedDataset arena;
+  core::MultiModelRegressor::PredictScratch scratch;
+  std::shared_ptr<const ModelSnapshot> snap;
+  std::uint64_t seen_epoch = 0;
+
+  const auto maybe_swap = [&] {
+    if (snap && shard.cell.epoch_hint() == seen_epoch) {
+      return;  // steady state: one relaxed load, nothing else
+    }
+    std::shared_ptr<const ModelSnapshot> fresh = shard.cell.acquire();
+    if (!fresh || (snap && fresh->epoch == seen_epoch)) {
+      return;
+    }
+    snap = std::move(fresh);
+    seen_epoch = snap->epoch;
+    // Bank copy / packed-bank build against the new state, off the per-query
+    // path. Buffer capacities are retained across swaps, so steady-state
+    // re-preparation allocates nothing either.
+    snap->learner.model().prepare_predict_scratch(scratch);
+    obs::count(obs::Counter::kServeSnapshotSwaps);
+    const std::uint64_t now = steady_ns();
+    obs::observe_ns(obs::Histo::kServeStalenessNs,
+                    now > snap->published_ns ? now - snap->published_ns : 0);
+  };
+
+  const auto idle_wait = [&] {
+    if (config_.idle_spin_us > 0) {
+      const std::uint64_t deadline = steady_ns() + config_.idle_spin_us * 1000;
+      while (steady_ns() < deadline) {
+        if (shard.predict_ring.can_pop() ||
+            draining_.load(std::memory_order_acquire)) {
+          return;
+        }
+        std::this_thread::yield();
+      }
+    }
+    // Eventcount sleep: announce, re-check the ring, then wait on the ticket
+    // counter. A producer that missed the announcement raised the ticket
+    // first, so wait(seen) returns immediately; one that saw it notifies.
+    const std::uint64_t seen = shard.tickets.load(std::memory_order_acquire);
+    shard.sleeping.store(true, std::memory_order_seq_cst);
+    if (shard.predict_ring.can_pop() || draining_.load(std::memory_order_seq_cst)) {
+      shard.sleeping.store(false, std::memory_order_relaxed);
+      return;
+    }
+    shard.tickets.wait(seen, std::memory_order_acquire);
+    shard.sleeping.store(false, std::memory_order_relaxed);
+  };
+
+  maybe_swap();  // the initial snapshot was published before this thread ran
+  obs::count(obs::Counter::kServeRequests, 0);  // register this thread's shard
+  if (config_.prewarm && snap) {
+    // Grow every lazily-sized buffer to steady-state capacity: one full-size
+    // batch through the encode + bank-scan path and one fused single query
+    // (predict_one's thread_local scratch) on an all-zero reading.
+    snap->learner.standardize_rows_into({raw.data(), cap * nf}, cap,
+                                        {scaled.data(), cap * nf});
+    arena.assign_rows(snap->learner.encoder(), {scaled.data(), cap * nf}, cap, 1);
+    snap->learner.model().predict_batch_into(arena, {out.data(), cap}, scratch);
+    (void)snap->learner.model().predict_one(snap->learner.encoder(),
+                                            {scaled.data(), nf});
+    (void)snap->learner.predict_reusing({raw.data(), nf}, single_scratch);
+  }
+
+  for (;;) {
+    maybe_swap();
+    const std::uint64_t drain_start = steady_ns();
+    std::size_t n = 0;
+    while (n < cap && shard.predict_ring.try_pop(headers[n], raw.data() + n * nf)) {
+      ++n;
+    }
+    if (n == 0) {
+      if (draining_.load(std::memory_order_acquire) && !shard.predict_ring.can_pop()) {
+        return;  // admission closed, producers gone, ring verified empty
+      }
+      idle_wait();
+      continue;
+    }
+
+    const std::uint64_t assembled = steady_ns();
+    obs::observe_ns(obs::Histo::kServeAssembleNs, assembled - drain_start);
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::observe_ns(obs::Histo::kServeQueueWaitNs,
+                      assembled > headers[i].enqueue_ns
+                          ? assembled - headers[i].enqueue_ns
+                          : 0);
+    }
+    obs::observe_ns(obs::Histo::kServeBatchFill, n);  // admission occupancy
+
+    const PredictPathProbe probe = predict_path_probe();
+    if (probe != nullptr) {
+      probe(true);
+    }
+    bool failed = false;
+    try {
+      if (n < config_.batch_threshold) {
+        // Low load: fused single-query path per entry (identical semantics
+        // to OnlineRegHD::predict, scratch reused).
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = snap->learner.predict_reusing(
+              {raw.data() + i * nf, nf}, single_scratch);
+        }
+        obs::count(obs::Counter::kServeSingleRows, n);
+      } else {
+        obs::count(obs::Counter::kServeBatches);
+        obs::count(obs::Counter::kServeBatchRows, n);
+        if (snap->learner.cold()) {
+          // Cold-start gate, batch form: same fallback predict() takes.
+          const double y = snap->learner.cold_prediction();
+          std::fill_n(out.begin(), n, y);
+          obs::count(obs::Counter::kOnlineColdPredicts, n);
+        } else {
+          {
+            const obs::StageTimer encode_timer(obs::Histo::kServeEncodeNs);
+            snap->learner.standardize_rows_into({raw.data(), n * nf}, n,
+                                                {scaled.data(), n * nf});
+            arena.assign_rows(snap->learner.encoder(), {scaled.data(), n * nf}, n,
+                              1);
+          }
+          {
+            const obs::StageTimer scan_timer(obs::Histo::kServeScanNs);
+            snap->learner.model().predict_batch_into(arena, {out.data(), n},
+                                                     scratch);
+            for (std::size_t i = 0; i < n; ++i) {
+              out[i] = snap->learner.unscale(out[i]);
+            }
+          }
+        }
+      }
+    } catch (...) {
+      failed = true;  // complete the group with an error instead of dying
+    }
+    if (probe != nullptr) {
+      probe(false);
+    }
+
+    const std::uint64_t done = steady_ns();
+    for (std::size_t i = 0; i < n; ++i) {
+      RequestSlot* slot = headers[i].slot;
+      slot->result = failed ? 0.0 : out[i];
+      slot->error = failed ? 1U : 0U;
+      obs::observe_ns(obs::Histo::kServePredictNs,
+                      done > headers[i].enqueue_ns ? done - headers[i].enqueue_ns
+                                                   : 0);
+      slot->done_ns.store(done, std::memory_order_seq_cst);
+      if (slot->waited.load(std::memory_order_seq_cst)) {
+        slot->done_ns.notify_all();  // someone is (or is about to be) parked
+      }
+    }
+  }
+}
+
+void Server::trainer_loop(Shard& shard) {
+  core::OnlineRegHD& learner = *shard.learner;
+  std::vector<double> row(nf_, 0.0);
+  TrainHeader header;
+  std::size_t dirty = 0;
+  std::uint64_t last_publish = steady_ns();
+  const auto interval_ns = static_cast<std::uint64_t>(
+      std::max(0.0, config_.publish_interval_ms) * 1e6);
+  constexpr std::size_t kDrainQuantum = 256;
+
+  for (;;) {
+    std::size_t applied = 0;
+    while (applied < kDrainQuantum && shard.train_ring.try_pop(header, row.data())) {
+      learner.update({row.data(), nf_}, header.target);
+      ++applied;
+    }
+    if (applied > 0) {
+      obs::count(obs::Counter::kServeTrainApplied, applied);
+      shard.train_applied.fetch_add(applied, std::memory_order_release);
+      dirty += applied;
+    }
+    const std::uint64_t now = steady_ns();
+    const bool count_due =
+        config_.publish_every_updates > 0 && dirty >= config_.publish_every_updates;
+    const bool time_due =
+        interval_ns > 0 && dirty > 0 && now - last_publish >= interval_ns;
+    if (count_due || time_due) {
+      publish_snapshot(shard);
+      dirty = 0;
+      last_publish = now;
+    }
+    if (applied == 0) {
+      if (draining_.load(std::memory_order_acquire) && !shard.train_ring.can_pop()) {
+        break;
+      }
+      // The trainer needs timed wakeups for the publish interval anyway, so
+      // it polls instead of sleeping on a doorbell.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  if (dirty > 0) {
+    publish_snapshot(shard);  // final state visible to late readers
+  }
+}
+
+}  // namespace reghd::serve

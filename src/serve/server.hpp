@@ -1,0 +1,232 @@
+// Shard-per-core serving runtime for OnlineRegHD streams.
+//
+// Shared-nothing layout: each shard owns its ingest rings, its snapshot
+// cell, its trainer-owned learner and two threads —
+//
+//   predict worker   drains the predict ring in admission groups. When the
+//                    queued depth reaches batch_threshold the group runs
+//                    through the contiguous bank scan (standardize →
+//                    encode_batch_into arena → predict_batch_into), which
+//                    amortizes the RFF projection GEMM and the (k_c+k_m)×D
+//                    bank traffic across the whole group; below the
+//                    threshold each query takes the fused single-query path
+//                    (predict_reusing → predict_one). Both paths produce
+//                    bit-identical results. Steady state the worker holds no
+//                    lock and touches no allocator (see alloc_probe.hpp).
+//
+//   trainer          drains the train ring, applies OnlineRegHD::update on
+//                    the shard's only mutable learner, and periodically
+//                    publishes an immutable snapshot (checkpoint-container
+//                    roundtrip) through the shard's SnapshotCell. Workers
+//                    hot-swap by polling the cell's epoch hint — one relaxed
+//                    load per drain group, an acquire only when it moved.
+//
+// Keys route to shards by a splitmix64 hash, so one tenant/key always lands
+// on the same shard (its updates and reads are totally ordered by that
+// shard's rings). Completion is per-request: the caller owns a RequestSlot
+// and blocks (or polls) on its done_ns word; the worker never blocks on the
+// caller.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online.hpp"
+#include "serve/ring.hpp"
+#include "serve/snapshot.hpp"
+
+namespace reghd::serve {
+
+struct ServeConfig {
+  std::size_t shards = 1;           ///< shard (≈ core) count.
+  std::size_t queue_capacity = 4096;  ///< per-ring entries (rounded to 2^n).
+
+  /// Admission batching: a drain group of at least this many queued queries
+  /// runs the contiguous bank-scan batch path; smaller groups fall through
+  /// to the fused single-query path. 1 forces always-batch, SIZE_MAX forces
+  /// always-single (the bench uses both to isolate the batching win).
+  std::size_t batch_threshold = 4;
+  std::size_t max_batch = 64;  ///< drain-group cap (arena/staging size).
+
+  /// Snapshot publication cadence: after this many applied updates…
+  std::size_t publish_every_updates = 256;
+  /// …or this many milliseconds with at least one update pending, whichever
+  /// comes first. 0 disables the timer.
+  double publish_interval_ms = 100.0;
+
+  /// Worker idle policy: spin-yield this long before sleeping on the
+  /// doorbell (0 = sleep immediately).
+  std::size_t idle_spin_us = 50;
+
+  /// Run one full-size batch + one fused query through the worker at
+  /// startup, so every buffer reaches steady-state capacity before the
+  /// first real query (and before the no-alloc probe arms).
+  bool prewarm = true;
+
+  /// When nonempty: recover each shard from `<dir>/shard_<i>` at start()
+  /// and persist its final state there at stop() — the snapshot format and
+  /// the persistence format are the same checkpoint container.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_keep_last = 2;
+};
+
+/// Caller-owned completion slot for one in-flight predict. Reusable after
+/// each completion. done_ns doubles as the ready flag (0 = pending) and the
+/// steady-clock completion timestamp — the coordinated-omission-safe
+/// latency recorders subtract their own scheduled time from it.
+struct RequestSlot {
+  std::atomic<std::uint64_t> done_ns{0};
+  /// Set by a client entering wait(); the worker only pays the futex-wake
+  /// syscall for slots someone is actually blocked on. Clients that poll
+  /// ready() (the common closed-loop harvest pattern) never set it, so
+  /// their completions cost one relaxed load instead of a syscall each.
+  std::atomic<bool> waited{false};
+  double result = 0.0;
+  std::uint32_t error = 0;  ///< 0 = ok; nonzero = worker-side failure.
+
+  void reset() noexcept {
+    result = 0.0;
+    error = 0;
+    waited.store(false, std::memory_order_relaxed);
+    done_ns.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool ready() const noexcept {
+    return done_ns.load(std::memory_order_acquire) != 0;
+  }
+  /// Blocks until completion (futex wait on done_ns).
+  void wait() noexcept {
+    if (ready()) {
+      return;
+    }
+    // seq_cst on both sides closes the flag/completion race: after this
+    // store, either the worker's done_ns store is visible to the re-check
+    // below, or the worker sees waited == true and notifies.
+    waited.store(true, std::memory_order_seq_cst);
+    std::uint64_t v = done_ns.load(std::memory_order_seq_cst);
+    while (v == 0) {
+      done_ns.wait(0, std::memory_order_acquire);
+      v = done_ns.load(std::memory_order_acquire);
+    }
+  }
+};
+
+class Server {
+ public:
+  /// Every shard starts with a fresh OnlineRegHD(online, num_features)
+  /// (identical seeds — shards are partitions of one stream configuration).
+  Server(ServeConfig config, core::OnlineConfig online, std::size_t num_features);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Replaces shard `shard`'s learner with a checkpoint-roundtrip copy of
+  /// `learner` (e.g. one pre-trained offline). Only before start().
+  void bootstrap(std::size_t shard, const core::OnlineRegHD& learner);
+
+  /// Recovers checkpoints (if configured), publishes every shard's initial
+  /// snapshot synchronously, then spawns the per-shard worker+trainer
+  /// threads and opens admission.
+  void start();
+
+  /// Closes admission, waits out in-flight submitters, drains both rings of
+  /// every shard, publishes/persists final state and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Shard owning `key` (splitmix64 mix, stable for the server's lifetime).
+  [[nodiscard]] std::size_t shard_of(std::uint64_t key) const noexcept;
+
+  /// Enqueues one predict. Returns false (without touching `slot`'s
+  /// pending state machinery beyond reset) when the ring is full or the
+  /// server is not accepting — the caller retries or sheds. On true, the
+  /// worker will complete `slot` exactly once; `slot` and `features` must
+  /// stay valid until then (features are copied at enqueue, the slot is
+  /// written at completion). Wait-free for producers, no allocation.
+  bool try_predict(std::uint64_t key, std::span<const double> features,
+                   RequestSlot* slot);
+
+  /// Blocking convenience wrapper: submit (retrying on a full ring), wait,
+  /// return the prediction. Throws if the server stops first or the worker
+  /// reports an error.
+  double predict(std::uint64_t key, std::span<const double> features);
+
+  /// Fire-and-forget online training sample. False when the train ring is
+  /// full (the sample is dropped and counted) or admission is closed.
+  bool try_train(std::uint64_t key, std::span<const double> features, double target);
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_features() const noexcept { return nf_; }
+
+  /// Latest published epoch of a shard (0 before start()).
+  [[nodiscard]] std::uint64_t snapshot_epoch(std::size_t shard) const;
+  /// Updates applied by a shard's trainer so far (tests poll this to await
+  /// training quiescence).
+  [[nodiscard]] std::uint64_t train_applied(std::size_t shard) const;
+  /// The shard's current snapshot (what its worker is serving from).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> snapshot(std::size_t shard) const;
+
+ private:
+  struct PredictHeader {
+    std::uint64_t enqueue_ns = 0;
+    RequestSlot* slot = nullptr;
+  };
+  struct TrainHeader {
+    std::uint64_t enqueue_ns = 0;
+    double target = 0.0;
+  };
+
+  struct Shard {
+    Shard(const ServeConfig& cfg, const core::OnlineConfig& online,
+          std::size_t num_features);
+
+    IngestRing<PredictHeader> predict_ring;
+    IngestRing<TrainHeader> train_ring;
+    SnapshotCell cell;
+    std::unique_ptr<core::OnlineRegHD> learner;  ///< trainer-owned after start.
+    std::uint64_t epoch_counter = 0;             ///< trainer-only.
+    std::atomic<std::uint64_t> train_applied{0};
+
+    // Predict-ring doorbell (eventcount): producers bump tickets and wake
+    // the worker only when it announced it sleeps; the worker re-checks the
+    // ring between announcing and waiting, closing the lost-wakeup race.
+    std::atomic<std::uint64_t> tickets{0};
+    std::atomic<bool> sleeping{false};
+
+    std::thread worker;
+    std::thread trainer;
+  };
+
+  void worker_loop(Shard& shard);
+  void trainer_loop(Shard& shard);
+  void publish_snapshot(Shard& shard);
+  void ring_doorbell(Shard& shard);
+  [[nodiscard]] std::string shard_checkpoint_dir(std::size_t shard) const;
+
+  ServeConfig config_;
+  core::OnlineConfig online_config_;
+  std::size_t nf_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Admission / shutdown protocol: submitters increment in_flight_ before
+  // checking accepting_ and decrement after the push; stop() clears
+  // accepting_, spins until in_flight_ hits zero (no producer can still be
+  // mid-push), then raises draining_ — from that point ring contents are
+  // final and the consumers drain to empty and exit.
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> in_flight_{0};
+  bool started_ = false;
+};
+
+}  // namespace reghd::serve

@@ -1,0 +1,87 @@
+// Immutable model snapshots and the lock-free publication cell.
+//
+// The serving split: the trainer owns the only mutable OnlineRegHD and
+// periodically publishes an immutable copy; predict workers score every
+// query against the snapshot they last acquired and pick up new epochs by
+// polling a relaxed epoch hint — the steady-state predict path takes no
+// lock and copies no model state. Publication is one release store of a
+// shared_ptr (plus the hint bump); retirement is automatic when the last
+// worker drops its reference.
+//
+// The copy itself rides the PR 2 checkpoint container: a snapshot is a
+// save_online_checkpoint → load_online_checkpoint roundtrip, which is
+// bit-identical to the trainer's state by the checkpoint suite's own
+// guarantee and doubles as the on-disk persistence format (Server::stop
+// writes the same bytes through CheckpointManager).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <version>
+
+#include "core/online.hpp"
+
+namespace reghd::serve {
+
+/// One published model state. Immutable after publish; workers hold it via
+/// shared_ptr<const ModelSnapshot> and the trainer never touches it again.
+struct ModelSnapshot {
+  std::uint64_t epoch = 0;
+  /// Mirrors `epoch`. A reader that ever observes epoch != epoch_check got a
+  /// torn snapshot — the TSan hot-swap suite asserts the pair on every
+  /// acquire, turning "no torn reads" into a checkable property.
+  std::uint64_t epoch_check = 0;
+  std::uint64_t published_ns = 0;     ///< steady-clock ns at publish.
+  std::uint64_t trained_updates = 0;  ///< learner.samples_seen() at publish.
+  core::OnlineRegHD learner;
+
+  explicit ModelSnapshot(core::OnlineRegHD l) : learner(std::move(l)) {}
+};
+
+/// Single-writer / multi-reader publication slot.
+///
+/// publish() stores the pointer (release) and then bumps the epoch hint
+/// (release), so a reader that sees the new hint and acquires is guaranteed
+/// the fully constructed snapshot. Readers poll epoch_hint() — one relaxed
+/// load — per query and only pay the acquire (a reference-count bump) when
+/// the hint moved. Epochs are published in increasing order by the single
+/// trainer, so every reader observes a non-decreasing epoch sequence.
+class SnapshotCell {
+ public:
+  void publish(std::shared_ptr<const ModelSnapshot> snap) {
+    const std::uint64_t epoch = snap->epoch;
+#if defined(__cpp_lib_atomic_shared_ptr)
+    slot_.store(std::move(snap), std::memory_order_release);
+#else
+    std::atomic_store_explicit(&slot_, std::shared_ptr<const ModelSnapshot>(std::move(snap)),
+                               std::memory_order_release);
+#endif
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> acquire() const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    return slot_.load(std::memory_order_acquire);
+#else
+    return std::atomic_load_explicit(&slot_, std::memory_order_acquire);
+#endif
+  }
+
+  /// Latest published epoch (0 before the first publish). Relaxed: the cheap
+  /// per-query poll; acquire() synchronizes when the hint moved.
+  [[nodiscard]] std::uint64_t epoch_hint() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+#if defined(__cpp_lib_atomic_shared_ptr)
+  std::atomic<std::shared_ptr<const ModelSnapshot>> slot_;
+#else
+  std::shared_ptr<const ModelSnapshot> slot_;  // std::atomic_load/store free functions
+#endif
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace reghd::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -14,6 +15,45 @@ namespace {
 // Set while a thread is executing pool work; nested run_blocks calls from
 // inside a block run serially instead of deadlocking on job_mutex_.
 thread_local bool tls_in_pool_job = false;
+
+// Participation frames currently on this thread's stack (worker claim loop,
+// caller claim loop, or inline execution). Busy-ns occupancy must count each
+// thread's wall time at most once, so only the outermost frame records —
+// a nested run_blocks (e.g. the inline-nested loops of the sharded trainer)
+// is already inside its enclosing frame's clock window, and recording it
+// again would double-count the nanoseconds and push occupancy past 100%.
+thread_local std::uint32_t tls_busy_frames = 0;
+
+// RAII busy-ns frame: times the enclosed block execution and records it into
+// kPoolWorkerBusyNs iff this is the thread's outermost frame. The depth
+// counter makes single-counting a structural invariant rather than a
+// property of which call paths happen to be instrumented.
+class BusyFrame {
+ public:
+  BusyFrame() noexcept
+      : outermost_(tls_busy_frames++ == 0), armed_(outermost_ && obs::enabled()) {
+    if (armed_) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  BusyFrame(const BusyFrame&) = delete;
+  BusyFrame& operator=(const BusyFrame&) = delete;
+  ~BusyFrame() {
+    --tls_busy_frames;
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      obs::count(obs::Counter::kPoolWorkerBusyNs,
+                 ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+
+ private:
+  bool outermost_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 std::size_t resolve_default_thread_count() {
   if (const char* env = std::getenv("REGHD_THREADS")) {
@@ -69,26 +109,17 @@ void ThreadPool::worker_loop() {
     }
     // Busy-time accounting (worker occupancy) only reads the clock when
     // telemetry is enabled; the model math inside the blocks is untouched.
-    const bool telemetry = obs::enabled();
-    std::chrono::steady_clock::time_point busy_start;
-    if (telemetry) {
-      busy_start = std::chrono::steady_clock::now();
-    }
-    tls_in_pool_job = true;
-    for (;;) {
-      const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
-      if (b >= blocks) {
-        break;
+    {
+      const BusyFrame busy;
+      tls_in_pool_job = true;
+      for (;;) {
+        const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) {
+          break;
+        }
+        (*job)(b);
       }
-      (*job)(b);
-    }
-    tls_in_pool_job = false;
-    if (telemetry) {
-      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - busy_start)
-                          .count();
-      obs::count(obs::Counter::kPoolWorkerBusyNs,
-                 ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+      tls_in_pool_job = false;
     }
     {
       const std::lock_guard<std::mutex> lk(m_);
@@ -107,6 +138,11 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
   if (num_blocks == 1 || workers_.empty() || tls_in_pool_job) {
     obs::count(obs::Counter::kPoolInlineJobs);
     obs::count(obs::Counter::kPoolBlocks, num_blocks);
+    // The inline frame participates in occupancy too, but only at the root:
+    // when this call is nested inside a worker or caller frame (the sharded
+    // trainer's inline-nested path), the depth guard keeps it silent — the
+    // enclosing frame's window already covers this time.
+    const BusyFrame busy;
     for (std::size_t b = 0; b < num_blocks; ++b) {
       block(b);
     }
@@ -132,26 +168,17 @@ void ThreadPool::run_blocks(std::size_t num_blocks,
   // The caller participates instead of idling on the done latch. The TLS
   // guard also covers the caller: a nested parallel_for inside a block runs
   // serially rather than re-entering job_mutex_.
-  const bool telemetry = obs::enabled();
-  std::chrono::steady_clock::time_point busy_start;
-  if (telemetry) {
-    busy_start = std::chrono::steady_clock::now();
-  }
-  tls_in_pool_job = true;
-  for (;;) {
-    const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
-    if (b >= num_blocks) {
-      break;
+  {
+    const BusyFrame busy;
+    tls_in_pool_job = true;
+    for (;;) {
+      const std::size_t b = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_blocks) {
+        break;
+      }
+      block(b);
     }
-    block(b);
-  }
-  tls_in_pool_job = false;
-  if (telemetry) {
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - busy_start)
-                        .count();
-    obs::count(obs::Counter::kPoolWorkerBusyNs,
-               ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    tls_in_pool_job = false;
   }
 
   std::unique_lock<std::mutex> lk(m_);

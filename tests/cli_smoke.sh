@@ -28,6 +28,17 @@ MODEL="$WORKDIR/model.bin"
 LINES="$("$REGHD" predict --csv "$CSV" --model "$MODEL" | wc -l)"
 [ "$LINES" -eq 442 ] || { echo "FAIL: expected 442 predictions, got $LINES"; exit 1; }
 
+# serve: replay the CSV through the serving runtime — predictions flow
+# through the shard workers, every other row trains, snapshots publish.
+SERVE_OUT="$WORKDIR/serve.out"
+"$REGHD" serve --csv "$CSV" --shards 2 --dim 512 --models 4 --train-every 2 \
+  --publish-interval-ms 10 --projection-storage rematerialized > "$SERVE_OUT" \
+  || { echo "FAIL: serve exited nonzero"; exit 1; }
+grep -q "served 442 rows across 2 shard(s)" "$SERVE_OUT" \
+  || { echo "FAIL: serve banner missing"; cat "$SERVE_OUT"; exit 1; }
+grep -q "221 submitted, 221 applied" "$SERVE_OUT" \
+  || { echo "FAIL: serve did not apply every training row"; cat "$SERVE_OUT"; exit 1; }
+
 # Error paths: bad command exits 1, missing file exits 2.
 if "$REGHD" bogus >/dev/null 2>&1; then
   echo "FAIL: bogus command did not fail"; exit 1

@@ -107,6 +107,101 @@ TEST(RegressorBatchTest, MultiModelBatchMatchesPerSamplePredict) {
   }
 }
 
+// The serving runtime's serial, scratch-reusing batch path must be an exact
+// replay of predict_batch in every mode combination it can be configured
+// with — including after further training invalidates the packed bank (the
+// per-call fallback bank) and across scratch reuse/re-preparation.
+TEST(RegressorBatchTest, PredictBatchIntoMatchesPredictBatchAcrossModes) {
+  struct ModeCase {
+    ClusterMode cluster;
+    QueryPrecision query;
+    ModelPrecision model;
+  };
+  const ModeCase cases[] = {
+      {ClusterMode::kFullPrecision, QueryPrecision::kReal, ModelPrecision::kReal},
+      {ClusterMode::kQuantized, QueryPrecision::kBinary, ModelPrecision::kTernary},
+      {ClusterMode::kQuantized, QueryPrecision::kBinary, ModelPrecision::kBinary},
+      {ClusterMode::kQuantized, QueryPrecision::kBinary, ModelPrecision::kReal},
+      {ClusterMode::kNaiveBinary, QueryPrecision::kBinary, ModelPrecision::kBinary},
+      // Generic fallback path (no bank fast path for a real query on
+      // quantized clusters).
+      {ClusterMode::kQuantized, QueryPrecision::kReal, ModelPrecision::kReal},
+  };
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  const EncodedDataset enc = EncodedDataset::from(*encoder, data);
+
+  for (const ModeCase& mc : cases) {
+    RegHDConfig cfg = small_reghd_config();
+    cfg.cluster_mode = mc.cluster;
+    cfg.query_precision = mc.query;
+    cfg.model_precision = mc.model;
+    MultiModelRegressor reg(cfg);
+    for (std::size_t i = 0; i < enc.size(); ++i) {
+      reg.train_step(enc.sample(i), enc.target(i));
+    }
+    reg.requantize();
+
+    MultiModelRegressor::PredictScratch scratch;
+    reg.prepare_predict_scratch(scratch);
+    const std::vector<double> want = reg.predict_batch(enc);
+    std::vector<double> got(enc.size(), -1.0);
+    reg.predict_batch_into(enc, got, scratch);
+    EXPECT_EQ(got, want) << "fresh scratch, cluster mode "
+                         << static_cast<int>(mc.cluster);
+
+    // Scratch reuse on a second call must not change anything.
+    std::fill(got.begin(), got.end(), -1.0);
+    reg.predict_batch_into(enc, got, scratch);
+    EXPECT_EQ(got, want) << "reused scratch";
+
+    // Train further without requantizing: the packed bank goes stale, so the
+    // re-prepared scratch must carry the fallback bank and still match the
+    // (equally fallback-scoring) predict_batch.
+    for (std::size_t i = 0; i < 16; ++i) {
+      reg.train_step(enc.sample(i), enc.target(i));
+    }
+    reg.prepare_predict_scratch(scratch);
+    const std::vector<double> want2 = reg.predict_batch(enc);
+    std::vector<double> got2(enc.size(), -1.0);
+    reg.predict_batch_into(enc, got2, scratch);
+    EXPECT_EQ(got2, want2) << "stale-bank fallback";
+  }
+}
+
+TEST(RegressorBatchTest, PredictBatchIntoRejectsShortSpanAndUnpreparedScratch) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+  const EncodedDataset enc = EncodedDataset::from(*encoder, data);
+  const MultiModelRegressor reg(small_reghd_config());
+  MultiModelRegressor::PredictScratch scratch;
+  std::vector<double> out(enc.size());
+  EXPECT_THROW(reg.predict_batch_into(enc, out, scratch), std::exception);
+  reg.prepare_predict_scratch(scratch);
+  std::vector<double> tiny(enc.size() - 1);
+  EXPECT_THROW(reg.predict_batch_into(enc, tiny, scratch), std::exception);
+}
+
+TEST(EncodedDatasetTest, AssignRowsMatchesFromRowsAndReusesStorage) {
+  const data::Dataset data = small_task();
+  const auto encoder = hdc::make_encoder(small_encoder_config(data.num_features()));
+
+  EncodedDataset arena;
+  // Largest batch first grows capacity; smaller re-assignments then reuse it.
+  for (const std::size_t rows : {data.size(), std::size_t{5}, std::size_t{17}}) {
+    const auto flat = data.features_flat().subspan(0, rows * data.num_features());
+    arena.assign_rows(*encoder, flat, rows, 1);
+    const EncodedDataset want = EncodedDataset::from_rows(*encoder, flat, rows, 1);
+    ASSERT_EQ(arena.size(), want.size());
+    ASSERT_EQ(arena.dim(), want.dim());
+    for (std::size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(arena.sample(i).real, want.sample(i).real) << "row " << i;
+      EXPECT_EQ(arena.sample(i).real_norm2, want.sample(i).real_norm2);
+      EXPECT_EQ(arena.target(i), 0.0);
+    }
+  }
+}
+
 TEST(PipelineBatchTest, PredictBatchMatchesPerRowPredict) {
   const data::Dataset data = small_task();
   PipelineConfig cfg;

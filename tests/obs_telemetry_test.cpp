@@ -207,6 +207,42 @@ TEST_F(TelemetryTest, PrometheusExportFollowsTextExposition) {
   }
 }
 
+TEST_F(TelemetryTest, PrometheusExportsPredictFusedFallbackCounter) {
+  // Regression pin: the fused-fallback counter must ride the exporter like
+  // every other counter — dashboards alert on a rising fallback rate (the
+  // fused predict path silently degrading to the materializing path).
+  count(Counter::kPredictFusedFallbacks, 3);
+  const std::string prom = to_prometheus(snapshot());
+  EXPECT_NE(prom.find("# TYPE reghd_predict_fused_fallbacks_total counter"),
+            std::string::npos);
+#ifndef REGHD_NO_TELEMETRY
+  EXPECT_NE(prom.find("reghd_predict_fused_fallbacks_total 3"), std::string::npos);
+#endif
+}
+
+TEST_F(TelemetryTest, PrometheusKeepsUnitlessHistogramsUnconverted) {
+  // Only *_ns histograms convert to the Prometheus base unit. A unitless
+  // histogram (serve_batch_fill observes batch sizes) must export verbatim —
+  // a forced _seconds suffix would mislabel the unit and divide the bucket
+  // edges of a size distribution by 1e9.
+  observe_ns(Histo::kServeBatchFill, 8);
+  observe_ns(Histo::kServeQueueWaitNs, 1000);
+  const std::string prom = to_prometheus(snapshot());
+  EXPECT_NE(prom.find("# TYPE reghd_serve_batch_fill histogram"), std::string::npos);
+  EXPECT_EQ(prom.find("serve_batch_fill_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE reghd_serve_queue_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("serve_queue_wait_ns"), std::string::npos);
+#ifndef REGHD_NO_TELEMETRY
+  EXPECT_NE(prom.find("reghd_serve_batch_fill_sum 8"), std::string::npos);
+  EXPECT_NE(prom.find("reghd_serve_batch_fill_count 1"), std::string::npos);
+  // Raw le edge (bucket_of(8) = bit_width(8) = 4 → upper edge 2^4 = 16) —
+  // not divided by 1e9.
+  EXPECT_NE(prom.find("reghd_serve_batch_fill_bucket{le=\"16\"} 1"),
+            std::string::npos);
+#endif
+}
+
 TEST_F(TelemetryTest, TableViewRendersNonEmpty) {
   count(Counter::kOnlineUpdates, 2);
   observe_ns(Histo::kOnlineUpdateNs, 123456);

@@ -2,11 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace reghd::util {
@@ -152,6 +155,42 @@ TEST(ThreadPoolTest, ThreadCountMatchesConstruction) {
     EXPECT_EQ(v.load(), 1);
   }
 }
+
+#ifndef REGHD_NO_TELEMETRY
+TEST(ThreadPoolTest, NestedRunBlocksBusyTimeCountsEachThreadOnce) {
+  // Occupancy regression guard: pool_worker_busy_ns must count each thread's
+  // wall time at most once. A nested run_blocks executes inline inside an
+  // enclosing participation frame whose clock window already covers it — if
+  // the nested frame recorded too, busy time would double and occupancy
+  // (busy / (wall × threads)) would read past 100%.
+  obs::reset();
+  obs::set_enabled(true);
+  ThreadPool pool(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.run_blocks(8, [&](std::size_t) {
+    // Nested dispatch: runs inline on whichever participant claimed the
+    // outer block (worker threads and the calling thread alike).
+    pool.run_blocks(8, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+  });
+  const auto wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  const auto busy_ns =
+      static_cast<double>(snap.counter(obs::Counter::kPoolWorkerBusyNs));
+  obs::set_enabled(false);
+  obs::reset();
+  EXPECT_GT(busy_ns, 0.0);
+  // 4 participants (3 workers + the caller), each busy for at most the whole
+  // call window; 10% slack for clock-read jitter. Double-counting the nested
+  // frames would land near 2× the single-count value and trip this bound.
+  EXPECT_LE(busy_ns, wall_ns * 4.0 * 1.10)
+      << "busy " << busy_ns << " ns vs wall " << wall_ns << " ns × 4 threads";
+}
+#endif
 
 TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
   ThreadPool pool(1);

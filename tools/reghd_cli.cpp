@@ -25,6 +25,15 @@
 //                 atomically every N updates, and --resume restarts from the
 //                 newest valid checkpoint, replaying only the rows after it —
 //                 the resumed model is bit-identical to an uninterrupted run)
+//   reghd serve   --csv data.csv [--shards S] [--batch-threshold N]
+//                 [--max-batch N] [--train-every N] [--publish-interval-ms M]
+//                 [--checkpoint-dir DIR]
+//                 (replays the CSV through the shard-per-core serving runtime:
+//                 every row is a predict request routed by key to a shard
+//                 worker — admission-batched onto the bank-scan path when the
+//                 queue is deep, fused single-query otherwise — and every Nth
+//                 row also feeds the shard's online trainer, which publishes
+//                 immutable model snapshots the workers hot-swap lock-free)
 //   reghd info    --model model.bin
 //   reghd synth   --dataset boston --out boston.csv [--seed 1]
 //                 (writes one of the built-in synthetic workloads as CSV)
@@ -42,11 +51,14 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/reghd.hpp"
+#include "serve/server.hpp"
 #include "data/csv.hpp"
 #include "data/synthetic.hpp"
 #include "obs/export.hpp"
@@ -66,6 +78,7 @@ int usage(const std::string& program) {
             << "  " << program << " eval    --csv FILE --model MODEL\n"
             << "  " << program << " predict --csv FILE --model MODEL\n"
             << "  " << program << " stream  --csv FILE [--checkpoint-dir DIR] [--resume]\n"
+            << "  " << program << " serve   --csv FILE [--shards S] [--train-every N]\n"
             << "  " << program << " info    --model MODEL\n"
             << "  " << program << " synth   --dataset NAME --out FILE\n"
             << "train options: --models K --dim D --alpha LR --quantized\n"
@@ -80,7 +93,14 @@ int usage(const std::string& program) {
             << "stream options: --models K --dim D --alpha LR --quantized --seed S\n"
             << "  --decay D --requantize-every N --checkpoint-dir DIR\n"
             << "  --checkpoint-every UPDATES --keep-last K --resume --out MODEL\n"
-            << "common (train/stream): --projection-storage resident|rematerialized\n"
+            << "serve options: --shards S (worker/trainer thread pairs; default 1)\n"
+            << "  --batch-threshold N (queued depth that flips admission onto the\n"
+            << "  batched bank-scan path; default 4) --max-batch N (default 64)\n"
+            << "  --train-every N (every Nth row also trains; 0 = serve only,\n"
+            << "  default 1) --publish-interval-ms M (snapshot publish cadence,\n"
+            << "  default 50) --checkpoint-dir DIR (per-shard persistence; shards\n"
+            << "  recover from it on start) plus the stream model options above\n"
+            << "common (train/stream/serve): --projection-storage resident|rematerialized\n"
             << "  (rematerialized regenerates RFF projection rows on the fly —\n"
             << "  O(tile) scratch instead of the resident F×D matrix; encodings\n"
             << "  are bit-identical either way)\n"
@@ -347,6 +367,78 @@ int cmd_stream(const util::Args& args) {
   return 0;
 }
 
+int cmd_serve(const util::Args& args) {
+  if (!args.has("csv")) {
+    std::cerr << "serve: --csv is required\n";
+    return 1;
+  }
+  const bool telemetry = setup_telemetry(args);
+  const data::Dataset dataset = load(args);
+
+  core::OnlineConfig cfg;
+  cfg.reghd.models = static_cast<std::size_t>(args.get_int("models", 8));
+  cfg.reghd.dim = static_cast<std::size_t>(args.get_int("dim", 4096));
+  cfg.reghd.learning_rate = args.get_double("alpha", 0.15);
+  cfg.reghd.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.reghd.threads = 1;  // the shard worker is the parallelism unit
+  if (args.get_bool("quantized", false)) {
+    cfg.reghd.cluster_mode = core::ClusterMode::kQuantized;
+  }
+  cfg.decay = args.get_double("decay", 1.0);
+  cfg.requantize_every = static_cast<std::size_t>(args.get_int("requantize-every", 256));
+  cfg.encoder.projection_storage =
+      hdc::projection_storage_from_string(args.get_string("projection-storage", "resident"));
+
+  serve::ServeConfig sc;
+  sc.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  sc.batch_threshold = static_cast<std::size_t>(args.get_int("batch-threshold", 4));
+  sc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 64));
+  sc.publish_interval_ms = args.get_double("publish-interval-ms", 50.0);
+  sc.checkpoint_dir = args.get_string("checkpoint-dir", "");
+
+  const auto train_every = static_cast<std::size_t>(args.get_int("train-every", 1));
+  serve::Server server(sc, cfg, dataset.num_features());
+  server.start();
+
+  // CSV replay: row i is a predict request keyed by its index (so multi-shard
+  // runs spread rows across workers), and every train-every-th row also feeds
+  // the shard trainer. Prequential flavor: the prediction is scored against
+  // the label before that label can possibly train the row's shard.
+  double abs_err = 0.0;
+  double sq_err = 0.0;
+  std::uint64_t trained = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double y = dataset.target(i);
+    const double pred = server.predict(i, dataset.row(i));
+    abs_err += std::abs(pred - y);
+    sq_err += (pred - y) * (pred - y);
+    if (train_every > 0 && i % train_every == 0) {
+      while (!server.try_train(i, dataset.row(i), y)) {
+        std::this_thread::yield();  // train ring full: let the trainer drain
+      }
+      ++trained;
+    }
+  }
+  server.stop();  // drains both rings; with --checkpoint-dir, persists shards
+
+  const double n = static_cast<double>(dataset.size());
+  std::cout << "served " << dataset.size() << " rows across " << sc.shards
+            << " shard(s): prequential mae=" << abs_err / n << " mse=" << sq_err / n
+            << "\n";
+  std::uint64_t applied = 0;
+  for (std::size_t s = 0; s < sc.shards; ++s) {
+    applied += server.train_applied(s);
+    const std::shared_ptr<const serve::ModelSnapshot> snap = server.snapshot(s);
+    std::cout << "shard " << s << ": snapshot epoch " << (snap ? snap->epoch : 0)
+              << ", trained updates " << (snap ? snap->trained_updates : 0) << "\n";
+  }
+  std::cout << "train: " << trained << " submitted, " << applied << " applied\n";
+  if (telemetry) {
+    emit_telemetry(args);
+  }
+  return 0;
+}
+
 int cmd_info(const util::Args& args) {
   if (!args.has("model")) {
     std::cerr << "info: --model is required\n";
@@ -415,6 +507,9 @@ int main(int argc, char** argv) {
     }
     if (command == "stream") {
       return cmd_stream(args);
+    }
+    if (command == "serve") {
+      return cmd_serve(args);
     }
     if (command == "info") {
       return cmd_info(args);
