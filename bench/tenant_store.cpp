@@ -1,0 +1,255 @@
+// Tenant-store scale bench: drives serve::TenantStore through ≥1M distinct
+// tenant keys under a bounded resident budget and Zipf-skewed traffic, and
+// writes BENCH_tenants.json.
+//
+// Two phases, both single-threaded (the store's deployment shape — one
+// owner thread per shard):
+//
+//   sweep  — one update per key over every tenant id in sequence. Guarantees
+//            the distinct-tenant floor, and is the worst case for the LRU:
+//            every access past the budget is a miss that evicts the tail
+//            (serialize → spill) and activates a cold learner.
+//   zipf   — mixed predict/update traffic with Zipf(s)-distributed keys, the
+//            classic multi-tenant skew. Hot tenants pin themselves resident;
+//            the tail churns through eviction/reactivation.
+//
+// Reported per phase: ops/s, hit/miss counts; overall: resident bytes per
+// tenant, eviction and activation latency p50/p99 (obs histograms), spill
+// pressure (bytes, budget discards). Flags: --tenants N --ops N --zipf-s S
+// --budget N --quick --json PATH --seed N.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/online.hpp"
+#include "hdc/encoding.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/tenant_store.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace reghd {
+namespace {
+
+[[nodiscard]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Fixed pool of feature rows; key → row is a cheap deterministic map so the
+/// driver adds no per-op noise to what the store costs.
+struct RowPool {
+  RowPool(std::size_t rows, std::size_t nf, std::uint64_t seed) : width(nf) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> dist(0.0, 1.0);
+    flat.resize(rows * nf);
+    for (double& v : flat) {
+      v = dist(rng);
+    }
+    targets.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < nf; ++k) {
+        s += flat[r * nf + k] * (k % 3 == 0 ? 1.5 : -0.5);
+      }
+      targets[r] = s;
+    }
+  }
+  [[nodiscard]] std::span<const double> row(std::uint64_t key) const {
+    const std::size_t r = key % targets.size();
+    return {flat.data() + r * width, width};
+  }
+  [[nodiscard]] double target(std::uint64_t key) const {
+    return targets[key % targets.size()];
+  }
+  std::size_t width;
+  std::vector<double> flat;
+  std::vector<double> targets;
+};
+
+bench::JsonValue histo_block(const obs::HistogramSnapshot& h) {
+  bench::JsonValue b = bench::JsonValue::object();
+  b["count"] = bench::JsonValue::integer(static_cast<std::int64_t>(h.count));
+  b["mean_ns"] = bench::JsonValue::number(h.mean_ns());
+  b["p50_ns"] = bench::JsonValue::number(h.p50_ns());
+  b["p99_ns"] = bench::JsonValue::number(h.p99_ns());
+  return b;
+}
+
+int run(const util::Args& args) {
+  const bool quick = args.get_bool("quick", false);
+  const std::size_t tenants = static_cast<std::size_t>(
+      args.get_int("tenants", quick ? 50'000 : 1'000'000));
+  const std::size_t ops =
+      static_cast<std::size_t>(args.get_int("ops", quick ? 200'000 : 2'000'000));
+  const double zipf_s = args.get_double("zipf-s", 0.9);
+  const std::size_t budget =
+      static_cast<std::size_t>(args.get_int("budget", 4096));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string json_path = args.get_string("json", "BENCH_tenants.json");
+
+  bench::print_header("tenant_store",
+                      "per-tenant model bank under LRU budget + Zipf traffic");
+  std::cout << "tenants=" << tenants << " ops=" << ops << " zipf_s=" << zipf_s
+            << " budget=" << budget << (quick ? " (quick)" : "") << "\n";
+
+  constexpr std::size_t kFeatures = 16;
+  core::OnlineConfig online;
+  online.reghd.dim = 512;
+  online.reghd.models = 2;
+  online.reghd.seed = seed;
+  // Rematerialized projections: per-tenant state must not carry a D×F matrix.
+  online.encoder.projection_storage = hdc::ProjectionStorage::kRematerialized;
+  online.requantize_every = 64;
+
+  serve::TenantStoreConfig tc;
+  tc.resident_budget = budget;
+  tc.tiered_dims = true;  // most tenants stay in the cheap low-update tiers
+  tc.tier_updates = {64, 512};
+  tc.spill_budget_bytes = 256ull << 20;  // cap in-memory spill at 256 MiB
+
+  obs::set_enabled(true);
+  obs::reset();
+  serve::TenantStore store(tc, online, kFeatures);
+  const RowPool pool(512, kFeatures, seed ^ 0x9E3779B97F4A7C15ull);
+
+  // Phase 1: sequential sweep — every key exactly once, one update each.
+  const std::uint64_t sweep_start = now_ns();
+  for (std::uint64_t key = 0; key < tenants; ++key) {
+    store.update(key, pool.row(key), pool.target(key));
+  }
+  const double sweep_s = static_cast<double>(now_ns() - sweep_start) * 1e-9;
+  const serve::TenantStoreStats after_sweep = store.stats();
+
+  // Phase 2: Zipf-skewed steady state — 3 predicts per update, hot keys
+  // dominating. Re-uses the same key space, so reactivation paths run too.
+  bench::ZipfSampler zipf(tenants, zipf_s, seed);
+  std::uint64_t predicts = 0;
+  std::uint64_t updates = 0;
+  double sink = 0.0;
+  const std::uint64_t zipf_start = now_ns();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto key = static_cast<std::uint64_t>(zipf.next());
+    if ((i & 3U) == 0) {
+      sink += store.update(key, pool.row(key), pool.target(key));
+      ++updates;
+    } else {
+      sink += store.predict(key, pool.row(key));
+      ++predicts;
+    }
+  }
+  const double zipf_sec = static_cast<double>(now_ns() - zipf_start) * 1e-9;
+  const serve::TenantStoreStats final_stats = store.stats();
+  const obs::TelemetrySnapshot tel = obs::snapshot();
+
+  const std::uint64_t zipf_hits = final_stats.hits - after_sweep.hits;
+  const std::uint64_t zipf_misses = final_stats.misses - after_sweep.misses;
+  const double bytes_per_tenant =
+      final_stats.resident > 0
+          ? static_cast<double>(final_stats.resident_bytes) /
+                static_cast<double>(final_stats.resident)
+          : 0.0;
+
+  util::Table table({"metric", "value"});
+  table.add_row({"sweep ops/s",
+                 std::to_string(static_cast<double>(tenants) / sweep_s)});
+  table.add_row({"zipf ops/s",
+                 std::to_string(static_cast<double>(ops) / zipf_sec)});
+  table.add_row({"zipf hit rate",
+                 std::to_string(static_cast<double>(zipf_hits) /
+                                static_cast<double>(zipf_hits + zipf_misses))});
+  table.add_row({"resident tenants", std::to_string(final_stats.resident)});
+  table.add_row({"resident bytes/tenant", std::to_string(bytes_per_tenant)});
+  table.add_row({"evictions", std::to_string(final_stats.evictions)});
+  table.add_row({"reactivations", std::to_string(final_stats.reactivations)});
+  table.add_row({"promotions", std::to_string(final_stats.promotions)});
+  table.add_row({"spill discards", std::to_string(final_stats.spill_discards)});
+  table.add_row(
+      {"evict p99 us",
+       std::to_string(tel.histogram(obs::Histo::kTenantEvictNs).p99_ns() / 1e3)});
+  std::cout << table;
+  std::cout << "(checksum " << sink << ")\n";
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root["bench"] = bench::JsonValue::string("tenant_store");
+  root["quick"] = bench::JsonValue::boolean(quick);
+  bench::JsonValue& cfg = root["config"] = bench::JsonValue::object();
+  cfg["tenants"] = bench::JsonValue::integer(static_cast<std::int64_t>(tenants));
+  cfg["ops"] = bench::JsonValue::integer(static_cast<std::int64_t>(ops));
+  cfg["zipf_s"] = bench::JsonValue::number(zipf_s);
+  cfg["resident_budget"] = bench::JsonValue::integer(static_cast<std::int64_t>(budget));
+  cfg["base_dim"] = bench::JsonValue::integer(static_cast<std::int64_t>(online.reghd.dim));
+  cfg["models"] = bench::JsonValue::integer(static_cast<std::int64_t>(online.reghd.models));
+  cfg["features"] = bench::JsonValue::integer(static_cast<std::int64_t>(kFeatures));
+  cfg["spill_budget_bytes"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(tc.spill_budget_bytes));
+
+  bench::JsonValue& sweep = root["sweep"] = bench::JsonValue::object();
+  sweep["distinct_tenants"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(tenants));
+  sweep["seconds"] = bench::JsonValue::number(sweep_s);
+  sweep["ops_per_sec"] =
+      bench::JsonValue::number(static_cast<double>(tenants) / sweep_s);
+  sweep["hits"] = bench::JsonValue::integer(static_cast<std::int64_t>(after_sweep.hits));
+  sweep["misses"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(after_sweep.misses));
+
+  bench::JsonValue& zp = root["zipf"] = bench::JsonValue::object();
+  zp["ops"] = bench::JsonValue::integer(static_cast<std::int64_t>(ops));
+  zp["predicts"] = bench::JsonValue::integer(static_cast<std::int64_t>(predicts));
+  zp["updates"] = bench::JsonValue::integer(static_cast<std::int64_t>(updates));
+  zp["seconds"] = bench::JsonValue::number(zipf_sec);
+  zp["ops_per_sec"] = bench::JsonValue::number(static_cast<double>(ops) / zipf_sec);
+  zp["hits"] = bench::JsonValue::integer(static_cast<std::int64_t>(zipf_hits));
+  zp["misses"] = bench::JsonValue::integer(static_cast<std::int64_t>(zipf_misses));
+  zp["hit_rate"] =
+      bench::JsonValue::number(static_cast<double>(zipf_hits) /
+                               static_cast<double>(zipf_hits + zipf_misses));
+
+  bench::JsonValue& st = root["store"] = bench::JsonValue::object();
+  st["resident"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(final_stats.resident));
+  st["resident_bytes"] = bench::JsonValue::integer(
+      static_cast<std::int64_t>(final_stats.resident_bytes));
+  st["resident_bytes_per_tenant"] = bench::JsonValue::number(bytes_per_tenant);
+  st["spilled"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(final_stats.spilled));
+  st["spill_bytes"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(final_stats.spill_bytes));
+  st["activations"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(final_stats.activations));
+  st["reactivations"] = bench::JsonValue::integer(
+      static_cast<std::int64_t>(final_stats.reactivations));
+  st["evictions"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(final_stats.evictions));
+  st["promotions"] =
+      bench::JsonValue::integer(static_cast<std::int64_t>(final_stats.promotions));
+  st["spill_discards"] = bench::JsonValue::integer(
+      static_cast<std::int64_t>(final_stats.spill_discards));
+
+  bench::JsonValue& lat = root["latency"] = bench::JsonValue::object();
+  lat["evict"] = histo_block(tel.histogram(obs::Histo::kTenantEvictNs));
+  lat["activate"] = histo_block(tel.histogram(obs::Histo::kTenantActivateNs));
+
+  obs::set_enabled(false);
+  return bench::write_json_file(json_path, root) ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace reghd
+
+int main(int argc, char** argv) {
+  try {
+    const reghd::util::Args args(argc, argv);
+    return reghd::run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "tenant_store bench error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -216,7 +216,10 @@ void OnlineRegHD::standardize_rows_into(std::span<const double> rows_flat,
 double OnlineRegHD::update(std::span<const double> features, double target) {
   const obs::StageTimer timer(obs::Histo::kOnlineUpdateNs);
   obs::count(obs::Counter::kOnlineUpdates);
-  const double prediction = predict(features);
+  // Member scratch, not predict(): identical math, but steady-state updates
+  // never construct a standardization vector (this is the serving trainer's
+  // per-sample path).
+  const double prediction = predict_reusing(features, update_scratch_);
 
   // Consume the label: update statistics first so the very first readings
   // produce usable scales, then train.
@@ -236,7 +239,14 @@ double OnlineRegHD::update(std::span<const double> features, double target) {
     obs::count(obs::Counter::kOnlineDecays);
     model_->decay_models(config_.decay);
   }
-  model_->train_step(encode(features), scale_target(target));
+  // Standardize with the post-consumption statistics (the transform encode()
+  // applies) into the member scratch, then re-encode through the one-reading
+  // arena: assign_rows is bit-identical to encode(row) and reuses its plane
+  // storage, so the train side of the update is allocation-free too.
+  update_scratch_.resize(features.size());
+  standardize_rows_into(features, 1, update_scratch_);
+  update_arena_.assign_rows(*encoder_, {update_scratch_.data(), features.size()}, 1, 1);
+  model_->train_step(update_arena_.sample(0), scale_target(target));
   if (config_.requantize_every > 0 && ++since_requantize_ >= config_.requantize_every) {
     model_->requantize();
     since_requantize_ = 0;

@@ -21,6 +21,7 @@
 #include <span>
 
 #include "core/config.hpp"
+#include "core/encoded.hpp"
 #include "core/multi_model.hpp"
 #include "hdc/encoding.hpp"
 #include "util/statistics.hpp"
@@ -188,6 +189,14 @@ class OnlineRegHD {
   util::RunningStats target_stats_;
   std::size_t seen_ = 0;
   std::size_t since_requantize_ = 0;
+
+  // update() scratch: the standardization buffer and a one-reading encode
+  // arena. Both reach steady-state capacity on the first update, after which
+  // the per-sample train path touches no allocator — update() runs once per
+  // sample on the serving trainer thread, where a fresh std::vector per call
+  // is real jitter. Pure scratch: never serialized, never compared.
+  std::vector<double> update_scratch_;
+  EncodedDataset update_arena_;
 };
 
 }  // namespace reghd::core

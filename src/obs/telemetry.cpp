@@ -45,6 +45,13 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "serve_train_rejects",
     "serve_snapshot_publishes",
     "serve_snapshot_swaps",
+    "tenant_hits",
+    "tenant_misses",
+    "tenant_activations",
+    "tenant_reactivations",
+    "tenant_evictions",
+    "tenant_promotions",
+    "tenant_spill_discards",
 };
 
 constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
@@ -72,6 +79,9 @@ constexpr std::array<std::string_view, kNumHistos> kHistoNames = {
     "serve_batch_fill",
     "serve_publish_ns",
     "serve_staleness_ns",
+    "tenant_evict_ns",
+    "tenant_activate_ns",
+    "tenant_resident_bytes",
 };
 
 }  // namespace

@@ -85,6 +85,13 @@ enum class Counter : std::size_t {
   kServeTrainRejects,     ///< Train submissions rejected (train ring full).
   kServeSnapshotPublishes,///< Immutable model snapshots published by trainers.
   kServeSnapshotSwaps,    ///< Predict-worker hot-swaps to a newer snapshot.
+  kTenantHits,            ///< Tenant lookups answered by a resident learner.
+  kTenantMisses,          ///< Tenant lookups that had to activate state.
+  kTenantActivations,     ///< Fresh tenant learners created (first contact).
+  kTenantReactivations,   ///< Evicted tenants restored from their checkpoint.
+  kTenantEvictions,       ///< Resident tenants serialized out under budget pressure.
+  kTenantPromotions,      ///< Tenants re-sized to a larger-D tier.
+  kTenantSpillDiscards,   ///< Evicted checkpoints dropped by the spill budget.
   kCount
 };
 
@@ -115,6 +122,10 @@ enum class Histo : std::size_t {
   kServeBatchFill,    ///< Admission batch sizes (a count, not nanoseconds).
   kServePublishNs,    ///< One snapshot publish (checkpoint round-trip + flip).
   kServeStalenessNs,  ///< Snapshot publish instant → worker swap instant.
+  kTenantEvictNs,     ///< One eviction (serialize + spill store).
+  kTenantActivateNs,  ///< One activation (fresh construct or checkpoint load).
+  kTenantResidentBytes, ///< Resident-model footprint, observed at each eviction
+                        ///< (a byte count, not nanoseconds).
   kCount
 };
 

@@ -36,10 +36,9 @@ class IngestRing {
   IngestRing(std::size_t capacity, std::size_t row_width)
       : capacity_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
         mask_(capacity_ - 1),
-        width_(row_width),
+        width_(checked_row_width(row_width)),
         cells_(std::make_unique<Cell[]>(capacity_)),
         rows_(capacity_ * row_width) {
-    REGHD_CHECK(row_width > 0, "ingest ring requires a nonzero row width");
     for (std::size_t i = 0; i < capacity_; ++i) {
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
@@ -105,6 +104,14 @@ class IngestRing {
   [[nodiscard]] std::size_t row_width() const noexcept { return width_; }
 
  private:
+  /// Validates the row width *before* the member allocations run (width_
+  /// precedes cells_/rows_ in declaration order), so a zero width rejects
+  /// cleanly instead of first allocating an empty row plane.
+  [[nodiscard]] static std::size_t checked_row_width(std::size_t row_width) {
+    REGHD_CHECK(row_width > 0, "ingest ring requires a nonzero row width");
+    return row_width;
+  }
+
   struct alignas(util::kCacheLineAlignment) Cell {
     std::atomic<std::uint64_t> seq;
     Header header;

@@ -9,6 +9,7 @@
 #include "core/checkpoint.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/alloc_probe.hpp"
+#include "serve/cadence.hpp"
 #include "util/check.hpp"
 
 namespace reghd::serve {
@@ -47,6 +48,16 @@ Server::Server(ServeConfig config, core::OnlineConfig online, std::size_t num_fe
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_, online_config_, nf_));
+    if (config_.tenant) {
+      TenantStoreConfig tc = *config_.tenant;
+      if (!tc.spill_dir.empty()) {
+        // Spill state is per shard: one tenant only ever hashes to one
+        // shard, so per-shard directories keep the stores fully disjoint.
+        tc.spill_dir += "/shard_" + std::to_string(i);
+      }
+      shards_.back()->tenants =
+          std::make_unique<TenantStore>(std::move(tc), online_config_, nf_);
+    }
   }
 }
 
@@ -74,6 +85,18 @@ void Server::bootstrap(std::size_t shard, const core::OnlineRegHD& learner) {
 
 void Server::start() {
   REGHD_CHECK(!started_, "server already started");
+  if (tenant_mode()) {
+    // Tenant mode: no per-shard learner, no snapshots to publish — one
+    // combined thread per shard owns its TenantStore and both rings.
+    draining_.store(false, std::memory_order_seq_cst);
+    accepting_.store(true, std::memory_order_seq_cst);
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      s->worker = std::thread([this, s] { tenant_loop(*s); });
+    }
+    started_ = true;
+    return;
+  }
   if (!config_.checkpoint_dir.empty()) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       core::CheckpointConfig ck;
@@ -130,13 +153,43 @@ void Server::stop() {
     }
   }
   started_ = false;
+  // Final persistence. stop() also runs from ~Server(), so nothing below may
+  // throw — a full disk or a bad directory during the last save would
+  // otherwise fly out of a destructor straight into std::terminate. Each
+  // catch counts ckpt_save_failures (write-layer failures also count
+  // themselves inside write_checkpoint, so one failed save may register
+  // twice — acceptable for a failure signal) and teardown continues: losing
+  // the final checkpoint falls back to the previous one, exactly the
+  // recovery model.
+  const util::FaultPlan fault = persist_fault_;
+  persist_fault_ = {};
+  if (tenant_mode()) {
+    for (auto& shard : shards_) {
+      if (shard->tenants->config().spill_dir.empty()) {
+        continue;  // in-memory spill: nothing outlives the store
+      }
+      try {
+        shard->tenants->flush();  // every tenant lands on disk, atomically
+      } catch (...) {
+        obs::count(obs::Counter::kCkptSaveFailures);
+      }
+    }
+    return;
+  }
   if (!config_.checkpoint_dir.empty()) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       core::CheckpointConfig ck;
       ck.dir = shard_checkpoint_dir(i);
       ck.keep_last = config_.checkpoint_keep_last;
-      core::CheckpointManager mgr(ck);
-      mgr.save(*shards_[i]->learner);
+      try {
+        core::CheckpointManager mgr(ck);
+        if (fault.mode != util::FaultMode::kNone) {
+          mgr.set_fault_plan(fault);
+        }
+        mgr.save(*shards_[i]->learner);
+      } catch (...) {
+        obs::count(obs::Counter::kCkptSaveFailures);
+      }
     }
   }
 }
@@ -165,7 +218,7 @@ bool Server::try_predict(std::uint64_t key, std::span<const double> features,
   if (accepting_.load(std::memory_order_seq_cst)) {
     Shard& shard = *shards_[shard_of(key)];
     slot->reset();
-    const PredictHeader header{steady_ns(), slot};
+    const PredictHeader header{steady_ns(), key, slot};
     ok = shard.predict_ring.try_push(header, features);
     if (ok) {
       obs::count(obs::Counter::kServeRequests);
@@ -197,9 +250,15 @@ bool Server::try_train(std::uint64_t key, std::span<const double> features,
   bool ok = false;
   if (accepting_.load(std::memory_order_seq_cst)) {
     Shard& shard = *shards_[shard_of(key)];
-    const TrainHeader header{steady_ns(), target};
+    const TrainHeader header{steady_ns(), key, target};
     ok = shard.train_ring.try_push(header, features);
-    if (!ok) {
+    if (ok) {
+      if (tenant_mode()) {
+        // The combined tenant thread sleeps on the predict doorbell; train
+        // arrivals must ring it too (the classic trainer polls instead).
+        ring_doorbell(shard);
+      }
+    } else {
       obs::count(obs::Counter::kServeTrainRejects);
     }
   }
@@ -220,6 +279,18 @@ std::uint64_t Server::train_applied(std::size_t shard) const {
 std::shared_ptr<const ModelSnapshot> Server::snapshot(std::size_t shard) const {
   REGHD_CHECK(shard < shards_.size(), "shard " << shard << " out of range");
   return shards_[shard]->cell.acquire();
+}
+
+TenantStoreStats Server::tenant_stats(std::size_t shard) const {
+  REGHD_CHECK(shard < shards_.size(), "shard " << shard << " out of range");
+  REGHD_CHECK(shards_[shard]->tenants != nullptr, "server is not in tenant mode");
+  return shards_[shard]->tenants->stats();
+}
+
+TenantStore& Server::tenant_store(std::size_t shard) const {
+  REGHD_CHECK(shard < shards_.size(), "shard " << shard << " out of range");
+  REGHD_CHECK(shards_[shard]->tenants != nullptr, "server is not in tenant mode");
+  return *shards_[shard]->tenants;
 }
 
 void Server::publish_snapshot(Shard& shard) {
@@ -413,32 +484,41 @@ void Server::trainer_loop(Shard& shard) {
   core::OnlineRegHD& learner = *shard.learner;
   std::vector<double> row(nf_, 0.0);
   TrainHeader header;
-  std::size_t dirty = 0;
-  std::uint64_t last_publish = steady_ns();
-  const auto interval_ns = static_cast<std::uint64_t>(
+  PublishCadence cadence;
+  cadence.every = config_.publish_every_updates;
+  cadence.interval_ns = static_cast<std::uint64_t>(
       std::max(0.0, config_.publish_interval_ms) * 1e6);
+  cadence.last_ns = steady_ns();
   constexpr std::size_t kDrainQuantum = 256;
 
   for (;;) {
+    // The drain is bracketed by the no-alloc probe: update() runs once per
+    // sample right here, so its steady state must stay off the allocator
+    // just like the predict paths (publishes happen outside the brackets —
+    // the checkpoint roundtrip allocates by design).
+    const PredictPathProbe probe = predict_path_probe();
+    if (probe != nullptr) {
+      probe(true);
+    }
     std::size_t applied = 0;
     while (applied < kDrainQuantum && shard.train_ring.try_pop(header, row.data())) {
       learner.update({row.data(), nf_}, header.target);
       ++applied;
     }
+    if (probe != nullptr) {
+      probe(false);
+    }
     if (applied > 0) {
       obs::count(obs::Counter::kServeTrainApplied, applied);
       shard.train_applied.fetch_add(applied, std::memory_order_release);
-      dirty += applied;
+      cadence.applied(applied);
     }
-    const std::uint64_t now = steady_ns();
-    const bool count_due =
-        config_.publish_every_updates > 0 && dirty >= config_.publish_every_updates;
-    const bool time_due =
-        interval_ns > 0 && dirty > 0 && now - last_publish >= interval_ns;
-    if (count_due || time_due) {
+    if (cadence.due(steady_ns())) {
       publish_snapshot(shard);
-      dirty = 0;
-      last_publish = now;
+      // Re-stamp from the clock AFTER the publish returned: a publish costs
+      // milliseconds, and anchoring the interval at the pre-publish reading
+      // made the timer fire systematically early under load (see cadence.hpp).
+      cadence.published(steady_ns());
     }
     if (applied == 0) {
       if (draining_.load(std::memory_order_acquire) && !shard.train_ring.can_pop()) {
@@ -449,8 +529,124 @@ void Server::trainer_loop(Shard& shard) {
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
-  if (dirty > 0) {
+  if (cadence.dirty > 0) {
     publish_snapshot(shard);  // final state visible to late readers
+  }
+}
+
+void Server::tenant_loop(Shard& shard) {
+  TenantStore& store = *shard.tenants;
+  const std::size_t nf = nf_;
+  const std::size_t cap = config_.max_batch;
+
+  std::vector<PredictHeader> headers(cap);
+  util::AlignedVector<double> raw(cap * nf, 0.0);
+  std::vector<double> train_row(nf, 0.0);
+  TrainHeader train_header;
+  constexpr std::size_t kTrainQuantum = 256;
+
+  obs::count(obs::Counter::kServeRequests, 0);  // register this thread's shard
+  if (config_.prewarm) {
+    // Grow the fused path's thread_local scratch to the *base* (largest)
+    // dimension before any probe can arm: tiered tenants step D upward, and
+    // the first full-D tenant on this thread would otherwise regrow it.
+    (void)shard.learner->model().predict_one(shard.learner->encoder(),
+                                             {train_row.data(), nf});
+  }
+
+  const auto idle_wait = [&] {
+    if (config_.idle_spin_us > 0) {
+      const std::uint64_t deadline = steady_ns() + config_.idle_spin_us * 1000;
+      while (steady_ns() < deadline) {
+        if (shard.predict_ring.can_pop() || shard.train_ring.can_pop() ||
+            draining_.load(std::memory_order_acquire)) {
+          return;
+        }
+        std::this_thread::yield();
+      }
+    }
+    const std::uint64_t seen = shard.tickets.load(std::memory_order_acquire);
+    shard.sleeping.store(true, std::memory_order_seq_cst);
+    if (shard.predict_ring.can_pop() || shard.train_ring.can_pop() ||
+        draining_.load(std::memory_order_seq_cst)) {
+      shard.sleeping.store(false, std::memory_order_relaxed);
+      return;
+    }
+    shard.tickets.wait(seen, std::memory_order_acquire);
+    shard.sleeping.store(false, std::memory_order_relaxed);
+  };
+
+  for (;;) {
+    // Predicts first — they are latency-sensitive; training is deferrable.
+    const std::uint64_t drain_start = steady_ns();
+    std::size_t n = 0;
+    while (n < cap && shard.predict_ring.try_pop(headers[n], raw.data() + n * nf)) {
+      ++n;
+    }
+    if (n > 0) {
+      const std::uint64_t assembled = steady_ns();
+      obs::observe_ns(obs::Histo::kServeAssembleNs, assembled - drain_start);
+      obs::observe_ns(obs::Histo::kServeBatchFill, n);
+      const PredictPathProbe probe = predict_path_probe();
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::observe_ns(obs::Histo::kServeQueueWaitNs,
+                        assembled > headers[i].enqueue_ns
+                            ? assembled - headers[i].enqueue_ns
+                            : 0);
+        bool failed = false;
+        double result = 0.0;
+        try {
+          // Activation (hash probe, LRU splice; construct/reactivate on a
+          // miss) runs outside the probe bracket — the miss path allocates
+          // by design. The resident predict inside the bracket must not.
+          core::OnlineRegHD& learner = store.activate(headers[i].key);
+          if (probe != nullptr) {
+            probe(true);
+          }
+          result = store.predict_activated(learner, {raw.data() + i * nf, nf});
+          if (probe != nullptr) {
+            probe(false);
+          }
+        } catch (...) {
+          if (probe != nullptr) {
+            probe(false);  // idempotent: re-asserts the not-in-path state
+          }
+          failed = true;
+        }
+        RequestSlot* slot = headers[i].slot;
+        const std::uint64_t done = steady_ns();
+        slot->result = failed ? 0.0 : result;
+        slot->error = failed ? 1U : 0U;
+        obs::observe_ns(obs::Histo::kServePredictNs,
+                        done > headers[i].enqueue_ns ? done - headers[i].enqueue_ns
+                                                     : 0);
+        slot->done_ns.store(done, std::memory_order_seq_cst);
+        if (slot->waited.load(std::memory_order_seq_cst)) {
+          slot->done_ns.notify_all();
+        }
+      }
+      obs::count(obs::Counter::kServeSingleRows, n);
+    }
+
+    std::size_t applied = 0;
+    while (applied < kTrainQuantum &&
+           shard.train_ring.try_pop(train_header, train_row.data())) {
+      (void)store.update(train_header.key, {train_row.data(), nf},
+                         train_header.target);
+      ++applied;
+    }
+    if (applied > 0) {
+      obs::count(obs::Counter::kServeTrainApplied, applied);
+      shard.train_applied.fetch_add(applied, std::memory_order_release);
+    }
+
+    if (n == 0 && applied == 0) {
+      if (draining_.load(std::memory_order_acquire) && !shard.predict_ring.can_pop() &&
+          !shard.train_ring.can_pop()) {
+        return;  // admission closed, producers gone, both rings verified empty
+      }
+      idle_wait();
+    }
   }
 }
 

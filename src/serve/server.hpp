@@ -26,12 +26,22 @@
 // shard's rings). Completion is per-request: the caller owns a RequestSlot
 // and blocks (or polls) on its done_ns word; the worker never blocks on the
 // caller.
+//
+// Tenant mode (ServeConfig::tenant engaged): instead of one learner per
+// shard, each shard owns a TenantStore — a budgeted LRU table of per-tenant
+// models keyed by the request key — and runs ONE combined thread that
+// drains both rings. The single-thread-per-shard shape is what lets the
+// store hold millions of lock-free tenant states: the key→shard hash
+// already totally orders each tenant's traffic. Snapshot cells stay empty
+// in this mode (there is no one model to publish); resident-tenant
+// predictions remain allocation-free.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -40,12 +50,17 @@
 #include "core/online.hpp"
 #include "serve/ring.hpp"
 #include "serve/snapshot.hpp"
+#include "serve/tenant_store.hpp"
+#include "util/fault_injection.hpp"
 
 namespace reghd::serve {
 
 struct ServeConfig {
   std::size_t shards = 1;           ///< shard (≈ core) count.
-  std::size_t queue_capacity = 4096;  ///< per-ring entries (rounded to 2^n).
+  /// Per-ring entries. Rounded up to a power of two AND clamped to a
+  /// minimum of 2 (a capacity of 0 or 1 silently becomes 2 — the ring's
+  /// sequence protocol needs at least two cells).
+  std::size_t queue_capacity = 4096;
 
   /// Admission batching: a drain group of at least this many queued queries
   /// runs the contiguous bank-scan batch path; smaller groups fall through
@@ -71,9 +86,15 @@ struct ServeConfig {
 
   /// When nonempty: recover each shard from `<dir>/shard_<i>` at start()
   /// and persist its final state there at stop() — the snapshot format and
-  /// the persistence format are the same checkpoint container.
+  /// the persistence format are the same checkpoint container. (Ignored in
+  /// tenant mode, whose persistence is the store's spill_dir.)
   std::string checkpoint_dir;
   std::size_t checkpoint_keep_last = 2;
+
+  /// Engages per-tenant model-bank mode (see the header comment and
+  /// tenant_store.hpp): every request key is a tenant id with its own
+  /// budgeted, LRU-activated model.
+  std::optional<TenantStoreConfig> tenant;
 };
 
 /// Caller-owned completion slot for one in-flight predict. Reusable after
@@ -168,21 +189,39 @@ class Server {
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t num_features() const noexcept { return nf_; }
 
-  /// Latest published epoch of a shard (0 before start()).
+  /// Latest published epoch of a shard (0 before start(); always 0 in
+  /// tenant mode, which publishes no snapshots).
   [[nodiscard]] std::uint64_t snapshot_epoch(std::size_t shard) const;
   /// Updates applied by a shard's trainer so far (tests poll this to await
   /// training quiescence).
   [[nodiscard]] std::uint64_t train_applied(std::size_t shard) const;
-  /// The shard's current snapshot (what its worker is serving from).
+  /// The shard's current snapshot (what its worker is serving from; null in
+  /// tenant mode).
   [[nodiscard]] std::shared_ptr<const ModelSnapshot> snapshot(std::size_t shard) const;
+
+  [[nodiscard]] bool tenant_mode() const noexcept { return config_.tenant.has_value(); }
+  /// Tenant-mode stats readout for a shard (see TenantStoreStats for which
+  /// fields are safe to read while the shard thread runs).
+  [[nodiscard]] TenantStoreStats tenant_stats(std::size_t shard) const;
+  /// The shard's store, for post-stop inspection (tests, benches). Do not
+  /// mutate while the server runs — the shard thread is the owner.
+  [[nodiscard]] TenantStore& tenant_store(std::size_t shard) const;
+
+  /// Fault-injection seam for the crash-safety tests: arms `plan` on every
+  /// per-shard CheckpointManager the NEXT stop()-time persistence pass
+  /// constructs, then disarms. A failed final save must never escape
+  /// ~Server (stop() catches, counts ckpt_save_failures, finishes teardown).
+  void set_persist_fault_plan(util::FaultPlan plan) noexcept { persist_fault_ = plan; }
 
  private:
   struct PredictHeader {
     std::uint64_t enqueue_ns = 0;
+    std::uint64_t key = 0;  ///< tenant id in tenant mode.
     RequestSlot* slot = nullptr;
   };
   struct TrainHeader {
     std::uint64_t enqueue_ns = 0;
+    std::uint64_t key = 0;  ///< tenant id in tenant mode.
     double target = 0.0;
   };
 
@@ -194,6 +233,7 @@ class Server {
     IngestRing<TrainHeader> train_ring;
     SnapshotCell cell;
     std::unique_ptr<core::OnlineRegHD> learner;  ///< trainer-owned after start.
+    std::unique_ptr<TenantStore> tenants;        ///< tenant mode only; shard-thread-owned.
     std::uint64_t epoch_counter = 0;             ///< trainer-only.
     std::atomic<std::uint64_t> train_applied{0};
 
@@ -209,6 +249,7 @@ class Server {
 
   void worker_loop(Shard& shard);
   void trainer_loop(Shard& shard);
+  void tenant_loop(Shard& shard);  ///< combined drain loop, tenant mode.
   void publish_snapshot(Shard& shard);
   void ring_doorbell(Shard& shard);
   [[nodiscard]] std::string shard_checkpoint_dir(std::size_t shard) const;
@@ -227,6 +268,7 @@ class Server {
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> in_flight_{0};
   bool started_ = false;
+  util::FaultPlan persist_fault_{};  ///< armed for the next stop()-time persistence.
 };
 
 }  // namespace reghd::serve

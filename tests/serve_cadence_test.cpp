@@ -1,0 +1,76 @@
+// PublishCadence: the trainer's snapshot-publication policy, driven with
+// synthetic clocks so the interval anchoring is asserted deterministically.
+// The regression this pins: the interval must restart from the instant a
+// publish *returned*, not the instant it was decided — anchoring at the
+// pre-publish reading silently shortened every cycle by the publish's own
+// cost, firing the timer early under load.
+#include "serve/cadence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reghd::serve {
+namespace {
+
+TEST(ServeCadenceTest, CountTriggerFiresAtThreshold) {
+  PublishCadence c;
+  c.every = 10;
+  c.interval_ns = 0;  // timer off
+  c.applied(9);
+  EXPECT_FALSE(c.due(1'000));
+  c.applied(1);
+  EXPECT_TRUE(c.due(1'000));
+  c.published(2'000);
+  EXPECT_FALSE(c.due(999'999));  // reset
+}
+
+TEST(ServeCadenceTest, TimeTriggerNeedsPendingUpdates) {
+  PublishCadence c;
+  c.every = 0;  // count trigger off
+  c.interval_ns = 1'000;
+  c.last_ns = 0;
+  EXPECT_FALSE(c.due(5'000));  // interval long past, but nothing dirty
+  c.applied(1);
+  EXPECT_FALSE(c.due(999));
+  EXPECT_TRUE(c.due(1'000));
+}
+
+TEST(ServeCadenceTest, IntervalAnchorsAtPublishReturnNotDecision) {
+  PublishCadence c;
+  c.every = 0;
+  c.interval_ns = 1'000;
+  c.last_ns = 0;
+  c.applied(1);
+  ASSERT_TRUE(c.due(1'000));  // decided at t=1000…
+
+  // …but the publish itself took 700 ns. Re-stamping with the post-publish
+  // clock gives the next cycle its full 1000 ns budget:
+  c.published(1'700);
+  c.applied(1);
+  EXPECT_FALSE(c.due(2'000));  // the buggy pre-publish stamp would fire here
+  EXPECT_FALSE(c.due(2'699));
+  EXPECT_TRUE(c.due(2'700));  // exactly one full interval after the publish ended
+}
+
+TEST(ServeCadenceTest, EitherTriggerAloneSuffices) {
+  PublishCadence c;
+  c.every = 5;
+  c.interval_ns = 1'000;
+  c.last_ns = 0;
+  c.applied(5);
+  EXPECT_TRUE(c.due(1));  // count fires long before the timer
+  c.published(1);
+  c.applied(1);
+  EXPECT_FALSE(c.due(500));
+  EXPECT_TRUE(c.due(1'001));  // timer fires long before the count
+}
+
+TEST(ServeCadenceTest, DisabledTriggersNeverFire) {
+  PublishCadence c;
+  c.every = 0;
+  c.interval_ns = 0;
+  c.applied(1'000'000);
+  EXPECT_FALSE(c.due(~0ULL));
+}
+
+}  // namespace
+}  // namespace reghd::serve

@@ -6,8 +6,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "serve/server.hpp"
 
 namespace reghd::serve {
 namespace {
@@ -57,6 +60,12 @@ TEST(ServeRingTest, FifoOrderAndPayloadIntegrity) {
   EXPECT_FALSE(ring.can_pop());
 }
 
+TEST(ServeRingTest, ZeroRowWidthRejectedBeforeAllocation) {
+  // The width check must fire before the cell/row planes are sized from it —
+  // constructing with width 0 throws instead of allocating a zero-row plane.
+  EXPECT_THROW(IngestRing<TestHeader>(8, 0), std::invalid_argument);
+}
+
 TEST(ServeRingTest, WrapsAroundManyTimes) {
   constexpr std::size_t kWidth = 2;
   IngestRing<TestHeader> ring(4, kWidth);
@@ -69,6 +78,124 @@ TEST(ServeRingTest, WrapsAroundManyTimes) {
     ASSERT_EQ(h.id, i);
     ASSERT_EQ(row[0], payload[0]);
     ASSERT_EQ(row[1], payload[1]);
+  }
+}
+
+TEST(ServeRingTest, WrapsWhileStayingNearlyFull) {
+  // WrapsAroundManyTimes keeps the ring at depth 1; this variant keeps it at
+  // capacity-1 so head and tail both travel past the index space several
+  // times while almost every slot is occupied — the regime where a masked
+  // index or sequence-number bug would cross-wire slots.
+  constexpr std::size_t kWidth = 2;
+  IngestRing<TestHeader> ring(4, kWidth);  // capacity 4
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  // Prefill to capacity - 1.
+  for (; pushed < 3; ++pushed) {
+    const double row[kWidth] = {static_cast<double>(pushed), 0.5};
+    ASSERT_TRUE(ring.try_push(TestHeader{pushed}, row));
+  }
+  // 40 full trips of the index space at constant depth 3.
+  for (std::uint64_t i = 0; i < 160; ++i) {
+    const double row[kWidth] = {static_cast<double>(pushed), 0.5};
+    ASSERT_TRUE(ring.try_push(TestHeader{pushed}, row));
+    ++pushed;
+    TestHeader h;
+    double out[kWidth];
+    ASSERT_TRUE(ring.try_pop(h, out));
+    ASSERT_EQ(h.id, popped);
+    ASSERT_EQ(out[0], static_cast<double>(popped));
+    ++popped;
+  }
+  // Drain the residual occupancy in FIFO order.
+  TestHeader h;
+  double out[kWidth];
+  while (ring.try_pop(h, out)) {
+    ASSERT_EQ(h.id, popped);
+    ++popped;
+  }
+  EXPECT_EQ(popped, pushed);
+}
+
+TEST(ServeRingTest, FullRingRejectsThenRecoversUnderConcurrentProducers) {
+  // Producers outpace a deliberately stalled consumer against a tiny ring:
+  // pushes must fail cleanly while full (no overwrite, no lost slot) and the
+  // ring must keep making progress once draining resumes. Every accepted row
+  // is accounted for exactly once.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 2000;
+  constexpr std::size_t kWidth = 2;
+  IngestRing<TestHeader> ring(4, kWidth);  // tiny: rejection is the norm
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t id = p * kPerProducer + i;
+        const double row[kWidth] = {static_cast<double>(id),
+                                    static_cast<double>(id) * 3.0};
+        while (!ring.try_push(TestHeader{id}, row)) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::uint8_t> seen(kProducers * kPerProducer, 0);
+  std::uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    TestHeader h;
+    double row[kWidth];
+    if (!ring.try_pop(h, row)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LT(h.id, seen.size());
+    ASSERT_EQ(seen[h.id], 0) << "row " << h.id << " delivered twice";
+    seen[h.id] = 1;
+    ASSERT_EQ(row[0], static_cast<double>(h.id));
+    ASSERT_EQ(row[1], static_cast<double>(h.id) * 3.0);
+    ++received;
+    if ((received & 63U) == 0) {
+      std::this_thread::yield();  // periodically let the ring refill to full
+    }
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_GT(rejected.load(), 0U) << "ring never filled; shrink it or add producers";
+  EXPECT_FALSE(ring.can_pop());
+}
+
+TEST(ServeRingTest, RequestSlotReusesCleanlyAcrossCompletions) {
+  // One slot, many lifecycles: reset() must clear completion state so a
+  // recycled slot blocks until *its* completion, not a stale one.
+  RequestSlot slot;
+  for (std::uint64_t round = 1; round <= 100; ++round) {
+    slot.reset();
+    EXPECT_FALSE(slot.ready());
+    EXPECT_EQ(slot.error, 0U);
+    EXPECT_EQ(slot.result, 0.0);
+
+    std::thread completer([&slot, round] {
+      slot.result = static_cast<double>(round) * 1.25;
+      slot.error = static_cast<std::uint32_t>(round % 2);
+      slot.done_ns.store(round, std::memory_order_release);
+      slot.done_ns.notify_all();
+    });
+    slot.wait();
+    EXPECT_TRUE(slot.ready());
+    EXPECT_EQ(slot.result, static_cast<double>(round) * 1.25);
+    EXPECT_EQ(slot.error, static_cast<std::uint32_t>(round % 2));
+    completer.join();
+    // wait() after completion returns immediately for the same lifecycle.
+    slot.wait();
   }
 }
 

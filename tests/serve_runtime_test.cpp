@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/online.hpp"
 #include "data/synthetic.hpp"
+#include "obs/telemetry.hpp"
+#include "util/fault_injection.hpp"
 
 namespace reghd::serve {
 namespace {
@@ -301,6 +305,89 @@ TEST(ServeRuntimeTest, CheckpointDirPersistsAndRecoversShardState) {
     EXPECT_EQ(revived.predict(0, d.row(i)), offline.predict(d.row(i)));
   }
   revived.stop();
+  fs::remove_all(dir);
+}
+
+TEST(ServeRuntimeTest, FailedFinalCheckpointSaveIsCountedNotThrown) {
+  // stop() runs the final persistence pass and is also called from ~Server.
+  // A save failure escaping stop() would therefore throw out of a destructor
+  // → std::terminate. This pins the fix: arm a write fault on the final
+  // save, let the Server go out of scope, and require that the process is
+  // still here with the failure visible on the checkpoint-failure counter.
+  namespace fs = std::filesystem;
+  const data::Dataset d = data::make_friedman1(64, 9);
+  const fs::path dir =
+      fs::temp_directory_path() / "reghd_serve_runtime_fault_test";
+  fs::remove_all(dir);
+
+  obs::set_enabled(true);
+  obs::reset();
+  ServeConfig sc;
+  sc.shards = 1;
+  sc.checkpoint_dir = dir.string();
+  {
+    Server server(sc, online_config(), d.num_features());
+    server.set_persist_fault_plan(
+        util::FaultPlan{util::FaultMode::kFailAt, 0, 1});
+    server.start();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      while (!server.try_train(0, d.row(i), d.target(i))) {
+        std::this_thread::yield();
+      }
+    }
+    while (server.train_applied(0) < d.size()) {
+      std::this_thread::yield();
+    }
+  }  // ~Server → stop() → failing save; must NOT std::terminate
+
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  // ≥ 1, not == 1: the write layer counts the failure it detects and stop()'s
+  // catch counts the escaped exception — one fault may register twice.
+  EXPECT_GE(snap.counter(obs::Counter::kCkptSaveFailures), 1U);
+  obs::set_enabled(false);
+  fs::remove_all(dir);
+}
+
+TEST(ServeRuntimeTest, UnusableCheckpointDirAtStopIsCountedNotThrown) {
+  // Same invariant, different failure stage: the CheckpointManager
+  // *constructor* throws inside stop() (the checkpoint path has become a
+  // regular file, so the shard directory cannot be created). The directory
+  // is valid at start() and sabotaged while the server runs — the shape of
+  // a real operational failure (volume yanked, path clobbered).
+  namespace fs = std::filesystem;
+  const data::Dataset d = data::make_friedman1(64, 9);
+  const fs::path dir =
+      fs::temp_directory_path() / "reghd_serve_runtime_baddir_test";
+  fs::remove_all(dir);
+
+  obs::set_enabled(true);
+  obs::reset();
+  ServeConfig sc;
+  sc.shards = 1;
+  sc.checkpoint_dir = dir.string();
+  {
+    Server server(sc, online_config(), d.num_features());
+    server.start();
+    for (std::size_t i = 0; i < 8; ++i) {
+      while (!server.try_train(0, d.row(i), d.target(i))) {
+        std::this_thread::yield();
+      }
+    }
+    while (server.train_applied(0) < 8) {
+      std::this_thread::yield();
+    }
+    // Clobber the checkpoint path: now a FILE, so stop() cannot create
+    // <dir>/shard_0 and the manager constructor throws.
+    fs::remove_all(dir);
+    {
+      std::ofstream blocker(dir);
+      blocker << "x";
+    }
+  }  // ~Server: directory setup fails inside stop(); must not escape
+
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  EXPECT_GE(snap.counter(obs::Counter::kCkptSaveFailures), 1U);
+  obs::set_enabled(false);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,339 @@
+// TenantStore semantics: residency budget + LRU order, checkpoint-backed
+// eviction with bit-identical reactivation (the PR 2 guarantee applied per
+// tenant), capacity-model tier sizing and promotion, spill budgets, disk
+// spill, and the Server tenant-mode integration.
+#include "serve/tenant_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/online.hpp"
+#include "data/synthetic.hpp"
+#include "serve/server.hpp"
+
+namespace reghd::serve {
+namespace {
+
+core::OnlineConfig base_online(std::size_t dim = 256) {
+  core::OnlineConfig cfg;
+  cfg.reghd.dim = dim;
+  cfg.reghd.models = 2;
+  cfg.requantize_every = 32;
+  return cfg;
+}
+
+/// Flat-dim store config (strict lifetime bit-identity: no tier rebuilds).
+TenantStoreConfig flat_config(std::size_t budget) {
+  TenantStoreConfig tc;
+  tc.resident_budget = budget;
+  tc.tiered_dims = false;
+  return tc;
+}
+
+TEST(ServeTenantStoreTest, ResidentBudgetHoldsAndLruTailEvictsFirst) {
+  const data::Dataset d = data::make_friedman1(32, 6);
+  TenantStore store(flat_config(4), base_online(), d.num_features());
+
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    (void)store.update(t, d.row(t), d.target(t));
+  }
+  EXPECT_EQ(store.resident_count(), 4U);
+  EXPECT_EQ(store.stats().evictions, 0U);
+
+  // Re-touch tenant 0 so tenant 1 is the LRU tail, then overflow the budget.
+  (void)store.predict(0, d.row(0));
+  (void)store.update(4, d.row(4), d.target(4));
+  EXPECT_EQ(store.resident_count(), 4U);
+  EXPECT_EQ(store.stats().evictions, 1U);
+  EXPECT_FALSE(store.is_resident(1));  // the least recently used went first
+  EXPECT_TRUE(store.is_resident(0));
+  EXPECT_TRUE(store.is_resident(4));
+
+  const TenantStoreStats s = store.stats();
+  EXPECT_EQ(s.activations, 5U);
+  EXPECT_EQ(s.spilled, 1U);
+  EXPECT_GT(s.spill_bytes, 0U);
+  EXPECT_GT(s.resident_bytes, 0U);
+}
+
+TEST(ServeTenantStoreTest, EvictedTenantResumesBitIdentically) {
+  const data::Dataset d = data::make_friedman1(128, 6);
+  const core::OnlineConfig cfg = base_online();
+  TenantStore store(flat_config(2), cfg, d.num_features());
+
+  // Control: an identical never-evicted learner driven with the same
+  // sequence as tenant 7.
+  core::OnlineRegHD control(cfg, d.num_features());
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double via_store = store.update(7, d.row(i), d.target(i));
+    const double via_control = control.update(d.row(i), d.target(i));
+    ASSERT_EQ(via_store, via_control) << "pre-eviction step " << i;
+  }
+
+  // Force tenant 7 out through the checkpoint container…
+  (void)store.predict(100, d.row(0));
+  (void)store.predict(101, d.row(1));
+  ASSERT_FALSE(store.is_resident(7));
+  ASSERT_GE(store.stats().evictions, 1U);
+
+  // …and back. Every prediction and every continued training step must be
+  // bit-identical to the control — residency is invisible to the math.
+  for (std::size_t i = 40; i < 80; ++i) {
+    ASSERT_EQ(store.predict(7, d.row(i)), control.predict(d.row(i)))
+        << "post-reactivation predict " << i;
+    ASSERT_EQ(store.update(7, d.row(i), d.target(i)),
+              control.update(d.row(i), d.target(i)))
+        << "post-reactivation update " << i;
+  }
+  EXPECT_GE(store.stats().reactivations, 1U);
+}
+
+TEST(ServeTenantStoreTest, RepeatedEvictReactivateCyclesStayBitIdentical) {
+  const data::Dataset d = data::make_friedman1(96, 6);
+  const core::OnlineConfig cfg = base_online();
+  TenantStore store(flat_config(1), cfg, d.num_features());  // every switch evicts
+  core::OnlineRegHD control(cfg, d.num_features());
+
+  // Alternating tenants with a budget of one: tenant 5 round-trips through
+  // the container on every single appearance.
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(store.update(5, d.row(i), d.target(i)),
+              control.update(d.row(i), d.target(i)))
+        << "cycle " << i;
+    (void)store.update(6, d.row(i), 0.0);  // displaces tenant 5
+  }
+  EXPECT_GE(store.stats().evictions, 64U);
+  EXPECT_GE(store.stats().reactivations, 63U);
+}
+
+TEST(ServeTenantStoreTest, TierDimsAscendFromCapacityModelAndClampToBase) {
+  TenantStoreConfig tc;
+  tc.resident_budget = 8;
+  tc.tiered_dims = true;
+  tc.tier_updates = {64, 512};
+  TenantStore store(tc, base_online(2048), 6);
+
+  const std::vector<std::size_t>& dims = store.tier_dims();
+  ASSERT_EQ(dims.size(), 3U);
+  EXPECT_LT(dims[0], 2048U);       // cold tier genuinely smaller
+  EXPECT_EQ(dims[0] % 64, 0U);     // word-aligned
+  EXPECT_GE(dims[0], 64U);
+  EXPECT_LE(dims[0], dims[1]);     // monotone
+  EXPECT_EQ(dims.back(), 2048U);   // hot tier = base configuration
+
+  EXPECT_EQ(store.tier_of(0), 0U);
+  EXPECT_EQ(store.tier_of(63), 0U);
+  EXPECT_EQ(store.tier_of(64), 1U);
+  EXPECT_EQ(store.tier_of(100000), 2U);
+}
+
+TEST(ServeTenantStoreTest, PromotionGrowsDimAndCarriesStatistics) {
+  const data::Dataset d = data::make_friedman1(128, 6);
+  TenantStoreConfig tc;
+  tc.resident_budget = 4;
+  tc.tiered_dims = true;
+  tc.tier_updates = {64};
+  TenantStore store(tc, base_online(512), d.num_features());
+  ASSERT_LT(store.tier_dims()[0], 512U);
+
+  for (std::size_t i = 0; i < 63; ++i) {
+    (void)store.update(9, d.row(i % d.size()), d.target(i % d.size()));
+  }
+  EXPECT_EQ(store.activate(9).config().reghd.dim, store.tier_dims()[0]);
+  EXPECT_EQ(store.stats().promotions, 0U);
+
+  (void)store.update(9, d.row(63), d.target(63));  // crosses the boundary
+  const core::OnlineRegHD& hot = store.activate(9);
+  EXPECT_EQ(hot.config().reghd.dim, 512U);
+  EXPECT_EQ(store.stats().promotions, 1U);
+  // The running statistics and sample count carried verbatim.
+  EXPECT_EQ(hot.samples_seen(), 64U);
+  EXPECT_EQ(hot.target_stats().count(), 64U);
+  EXPECT_EQ(hot.feature_stats()[0].count(), 64U);
+}
+
+TEST(ServeTenantStoreTest, SpillBudgetDiscardsOldestEvictions) {
+  const data::Dataset d = data::make_friedman1(32, 6);
+  TenantStoreConfig tc = flat_config(1);
+  tc.spill_budget_bytes = 1;  // nothing survives spilling
+  TenantStore store(tc, base_online(64), d.num_features());
+
+  (void)store.update(1, d.row(0), d.target(0));
+  (void)store.update(2, d.row(1), d.target(1));  // evicts 1 → discarded
+  (void)store.update(3, d.row(2), d.target(2));  // evicts 2 → discarded
+  const TenantStoreStats s = store.stats();
+  EXPECT_GE(s.spill_discards, 2U);
+  EXPECT_EQ(s.spilled, 0U);
+  EXPECT_EQ(s.spill_bytes, 0U);
+
+  // A discarded tenant restarts cold — loudly counted, never wrong.
+  EXPECT_EQ(store.activate(1).samples_seen(), 0U);
+}
+
+TEST(ServeTenantStoreTest, DiskSpillPersistsAndReactivatesBitIdentically) {
+  namespace fs = std::filesystem;
+  const data::Dataset d = data::make_friedman1(64, 6);
+  const core::OnlineConfig cfg = base_online();
+  const fs::path dir = fs::temp_directory_path() / "reghd_tenant_spill_test";
+  fs::remove_all(dir);
+
+  TenantStoreConfig tc = flat_config(1);
+  tc.spill_dir = dir.string();
+  TenantStore store(tc, cfg, d.num_features());
+  core::OnlineRegHD control(cfg, d.num_features());
+
+  for (std::size_t i = 0; i < 30; ++i) {
+    (void)store.update(42, d.row(i), d.target(i));
+    (void)control.update(d.row(i), d.target(i));
+  }
+  (void)store.predict(43, d.row(0));  // evicts 42 to disk
+  EXPECT_TRUE(fs::exists(dir / "tenant_42.reghd"));
+
+  for (std::size_t i = 30; i < 50; ++i) {
+    ASSERT_EQ(store.predict(42, d.row(i)), control.predict(d.row(i)));
+    ASSERT_EQ(store.update(42, d.row(i), d.target(i)),
+              control.update(d.row(i), d.target(i)));
+  }
+
+  // flush() is the persistence pass: everything resident lands on disk.
+  store.flush();
+  EXPECT_EQ(store.resident_count(), 0U);
+  EXPECT_TRUE(fs::exists(dir / "tenant_42.reghd"));
+  EXPECT_TRUE(fs::exists(dir / "tenant_43.reghd"));
+  fs::remove_all(dir);
+}
+
+TEST(ServeTenantStoreTest, ServerTenantModeLearnsPerTenantModels) {
+  const std::size_t nf = 6;
+  ServeConfig sc;
+  sc.shards = 2;
+  sc.tenant = flat_config(64);
+  core::OnlineConfig cfg = base_online(128);
+  cfg.warmup = 4;
+  Server server(sc, cfg, nf);
+  server.start();
+
+  // Two tenants with opposite target functions on the same features: only
+  // per-tenant models can satisfy both.
+  std::vector<double> row(nf, 0.0);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t f = 0; f < nf; ++f) {
+      row[f] = std::sin(static_cast<double>(i * (f + 1)));
+    }
+    const double y = row[0] + 0.5 * row[1];
+    while (!server.try_train(100, row, y)) {
+      std::this_thread::yield();
+    }
+    while (!server.try_train(200, row, -y)) {
+      std::this_thread::yield();
+    }
+  }
+  const std::size_t s100 = server.shard_of(100);
+  const std::size_t s200 = server.shard_of(200);
+  std::uint64_t applied = 0;
+  while (applied < 800) {
+    applied = server.train_applied(s100);
+    if (s200 != s100) {
+      applied += server.train_applied(s200);
+    }
+    std::this_thread::yield();
+  }
+
+  for (std::size_t f = 0; f < nf; ++f) {
+    row[f] = std::sin(static_cast<double>(7 * (f + 1)));
+  }
+  const double p_pos = server.predict(100, row);
+  const double p_neg = server.predict(200, row);
+  // Per-tenant models must reproduce each tenant's sign, not a blend (the
+  // query point was in both training streams; want ≈ ±1.15).
+  EXPECT_GT(p_pos, 0.0);
+  EXPECT_LT(p_neg, 0.0);
+  EXPECT_GT(p_pos - p_neg, 1.0);
+
+  server.stop();
+  std::uint64_t activations = 0;
+  for (std::size_t s = 0; s < sc.shards; ++s) {
+    activations += server.tenant_stats(s).activations;
+  }
+  EXPECT_EQ(activations, 2U);
+  EXPECT_EQ(server.snapshot(s100), nullptr);  // tenant mode publishes none
+}
+
+TEST(ServeTenantStoreTest, ServerTenantModeMatchesStandaloneStoreBitForBit) {
+  const data::Dataset d = data::make_friedman1(128, 6);
+  const core::OnlineConfig cfg = base_online(128);
+
+  ServeConfig sc;
+  sc.shards = 1;
+  sc.tenant = flat_config(2);  // small budget: servers evict mid-run too
+  Server server(sc, cfg, d.num_features());
+  server.start();
+  TenantStore reference(flat_config(2), cfg, d.num_features());
+
+  // Same single-producer sequence into both: the server's combined drain
+  // thread applies it in FIFO order, so state must match bit for bit.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const std::uint64_t key = 1 + (i % 3);
+    while (!server.try_train(key, d.row(i), d.target(i))) {
+      std::this_thread::yield();
+    }
+    (void)reference.update(key, d.row(i), d.target(i));
+  }
+  while (server.train_applied(0) < d.size()) {
+    std::this_thread::yield();
+  }
+  for (std::uint64_t key = 1; key <= 3; ++key) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(server.predict(key, d.row(i)), reference.predict(key, d.row(i)))
+          << "tenant " << key << " row " << i;
+    }
+  }
+  server.stop();
+}
+
+TEST(ServeTenantStoreTest, StopFlushesTenantsToSpillDirAndTheyRecover) {
+  namespace fs = std::filesystem;
+  const data::Dataset d = data::make_friedman1(64, 6);
+  const core::OnlineConfig cfg = base_online(128);
+  const fs::path dir = fs::temp_directory_path() / "reghd_tenant_server_spill";
+  fs::remove_all(dir);
+
+  TenantStoreConfig tc = flat_config(16);
+  tc.spill_dir = dir.string();
+  ServeConfig sc;
+  sc.shards = 1;
+  sc.tenant = tc;
+
+  core::OnlineRegHD control(cfg, d.num_features());
+  {
+    Server server(sc, cfg, d.num_features());
+    server.start();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      while (!server.try_train(77, d.row(i), d.target(i))) {
+        std::this_thread::yield();
+      }
+      (void)control.update(d.row(i), d.target(i));
+    }
+    while (server.train_applied(0) < d.size()) {
+      std::this_thread::yield();
+    }
+    server.stop();  // flush: tenant 77 lands under <dir>/shard_0
+  }
+  EXPECT_TRUE(fs::exists(dir / "shard_0" / "tenant_77.reghd"));
+
+  Server revived(sc, cfg, d.num_features());
+  revived.start();
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(revived.predict(77, d.row(i)), control.predict(d.row(i)))
+        << "revived tenant prediction " << i;
+  }
+  revived.stop();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace reghd::serve

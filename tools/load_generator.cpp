@@ -5,6 +5,7 @@
 //                  [--duration-s S] [--features F] [--dim D] [--models K]
 //                  [--keys N] [--zipf-s S] [--train-every N] [--pretrain N]
 //                  [--batch-threshold N] [--quantized] [--seed S]
+//                  [--tenants N] [--resident-budget N] [--tenant-spill-dir P]
 //                  [--json PATH] [--assert-p99-ms X] [--assert-zero-errors]
 //
 // Two driver modes:
@@ -19,6 +20,13 @@
 // every N requests, exercising the trainer + snapshot-publish pipeline under
 // the same load. The workload is the synthetic friedman1 stream (keys map to
 // rows); the server is pre-trained with --pretrain updates before traffic.
+//
+// --tenants N switches the server into tenant mode: every key is a tenant id
+// drawn Zipf-skewed from {0..N-1}, each owning its own model in a per-shard
+// TenantStore bounded to --resident-budget resident tenants (LRU eviction
+// through the checkpoint spiller). There is no pretrained bootstrap in this
+// mode — tenants learn from the interleaved --train-every traffic — and the
+// run reports activation/eviction/hit-rate stats alongside latency.
 //
 // --assert-p99-ms / --assert-zero-errors turn the run into a pass/fail gate
 // (CI serving smoke): exit 1 when violated, 0 otherwise.
@@ -182,6 +190,7 @@ int run(const util::Args& args) {
   const auto train_every = static_cast<std::uint64_t>(args.get_int("train-every", 0));
   const auto pretrain = static_cast<std::size_t>(args.get_int("pretrain", 512));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto tenants = static_cast<std::size_t>(args.get_int("tenants", 0));
 
   core::OnlineConfig online;
   online.reghd.dim = dim;
@@ -201,6 +210,13 @@ int run(const util::Args& args) {
   sc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 64));
   sc.publish_interval_ms = args.get_double("publish-interval-ms", 100.0);
   sc.checkpoint_dir = args.get_string("checkpoint-dir", "");
+  if (tenants > 0) {
+    serve::TenantStoreConfig tc;
+    tc.resident_budget =
+        static_cast<std::size_t>(args.get_int("resident-budget", 1024));
+    tc.spill_dir = args.get_string("tenant-spill-dir", "");
+    sc.tenant = tc;
+  }
 
   const data::Dataset pool = data::make_friedman1(2048, features);
   core::OnlineRegHD learner(online, pool.num_features());
@@ -211,22 +227,42 @@ int run(const util::Args& args) {
 
   obs::set_enabled(true);
   serve::Server server(sc, online, pool.num_features());
-  for (std::size_t s = 0; s < shards; ++s) {
-    server.bootstrap(s, learner);
+  if (tenants == 0) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      server.bootstrap(s, learner);
+    }
   }
   server.start();
 
-  bench::ZipfSampler keys(num_keys, zipf_s, seed);
+  bench::ZipfSampler keys(tenants > 0 ? tenants : num_keys, zipf_s, seed);
   std::cout << "load_generator: " << shards << " shard(s), "
             << (rate > 0.0 ? "open loop @ " + std::to_string(rate) + " qps"
                            : "closed loop x" + std::to_string(concurrency))
             << ", " << duration_s << " s, zipf(" << zipf_s << ") over "
-            << num_keys << " keys\n";
+            << (tenants > 0 ? tenants : num_keys)
+            << (tenants > 0 ? " tenants\n" : " keys\n");
   const RunResult r =
       rate > 0.0
           ? drive_open(server, pool, keys, rate, concurrency, duration_s, train_every)
           : drive_closed(server, pool, keys, concurrency, duration_s, train_every);
   server.stop();
+  serve::TenantStoreStats tstats;
+  if (tenants > 0) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const serve::TenantStoreStats ss = server.tenant_stats(s);
+      tstats.hits += ss.hits;
+      tstats.misses += ss.misses;
+      tstats.activations += ss.activations;
+      tstats.reactivations += ss.reactivations;
+      tstats.evictions += ss.evictions;
+      tstats.promotions += ss.promotions;
+      tstats.spill_discards += ss.spill_discards;
+      tstats.resident += ss.resident;
+      tstats.spilled += ss.spilled;
+      tstats.resident_bytes += ss.resident_bytes;
+      tstats.spill_bytes += ss.spill_bytes;
+    }
+  }
   const obs::TelemetrySnapshot snap = obs::snapshot();
   obs::set_enabled(false);
 
@@ -252,6 +288,19 @@ int run(const util::Args& args) {
                  std::to_string(snap.counter(obs::Counter::kServeSnapshotPublishes))});
   table.add_row({"snapshot swaps",
                  std::to_string(snap.counter(obs::Counter::kServeSnapshotSwaps))});
+  if (tenants > 0) {
+    const double lookups = static_cast<double>(tstats.hits + tstats.misses);
+    table.add_row({"tenant hit rate",
+                   util::Table::cell(lookups > 0.0
+                                         ? static_cast<double>(tstats.hits) / lookups
+                                         : 0.0,
+                                     4)});
+    table.add_row({"tenant activations", std::to_string(tstats.activations)});
+    table.add_row({"tenant reactivations", std::to_string(tstats.reactivations)});
+    table.add_row({"tenant evictions", std::to_string(tstats.evictions)});
+    table.add_row({"tenant resident", std::to_string(tstats.resident)});
+    table.add_row({"tenant resident bytes", std::to_string(tstats.resident_bytes)});
+  }
   std::cout << table;
 
   const std::string json_path = args.get_string("json", "");
@@ -284,6 +333,30 @@ int run(const util::Args& args) {
     counters["snapshot_swaps"] = bench::JsonValue::integer(
         static_cast<std::int64_t>(snap.counter(obs::Counter::kServeSnapshotSwaps)));
     root["serve_counters"] = counters;
+    if (tenants > 0) {
+      bench::JsonValue tb = bench::JsonValue::object();
+      tb["tenants"] = bench::JsonValue::integer(static_cast<std::int64_t>(tenants));
+      tb["resident_budget"] = bench::JsonValue::integer(
+          static_cast<std::int64_t>(sc.tenant->resident_budget));
+      tb["hits"] = bench::JsonValue::integer(static_cast<std::int64_t>(tstats.hits));
+      tb["misses"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.misses));
+      tb["activations"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.activations));
+      tb["reactivations"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.reactivations));
+      tb["evictions"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.evictions));
+      tb["promotions"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.promotions));
+      tb["spill_discards"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.spill_discards));
+      tb["resident"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.resident));
+      tb["resident_bytes"] =
+          bench::JsonValue::integer(static_cast<std::int64_t>(tstats.resident_bytes));
+      root["tenant"] = tb;
+    }
     if (!bench::write_json_file(json_path, root)) {
       return 2;
     }

@@ -100,6 +100,10 @@ int usage(const std::string& program) {
             << "  default 1) --publish-interval-ms M (snapshot publish cadence,\n"
             << "  default 50) --checkpoint-dir DIR (per-shard persistence; shards\n"
             << "  recover from it on start) plus the stream model options above\n"
+            << "  --tenant-budget N (N > 0 switches to per-tenant models: rows are\n"
+            << "  tenants keyed i mod --tenants, at most N resident per shard, LRU\n"
+            << "  spill beyond) --tenants T (tenant id space; default 64)\n"
+            << "  --tenant-spill-dir DIR (evicted tenants persist here)\n"
             << "common (train/stream/serve): --projection-storage resident|rematerialized\n"
             << "  (rematerialized regenerates RFF projection rows on the fly —\n"
             << "  O(tile) scratch instead of the resident F×D matrix; encodings\n"
@@ -395,6 +399,16 @@ int cmd_serve(const util::Args& args) {
   sc.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 64));
   sc.publish_interval_ms = args.get_double("publish-interval-ms", 50.0);
   sc.checkpoint_dir = args.get_string("checkpoint-dir", "");
+  const auto tenant_budget =
+      static_cast<std::size_t>(args.get_int("tenant-budget", 0));
+  const auto tenant_space =
+      static_cast<std::uint64_t>(args.get_int("tenants", 64));
+  if (tenant_budget > 0) {
+    serve::TenantStoreConfig tc;
+    tc.resident_budget = tenant_budget;
+    tc.spill_dir = args.get_string("tenant-spill-dir", "");
+    sc.tenant = tc;
+  }
 
   const auto train_every = static_cast<std::size_t>(args.get_int("train-every", 1));
   serve::Server server(sc, cfg, dataset.num_features());
@@ -408,12 +422,15 @@ int cmd_serve(const util::Args& args) {
   double sq_err = 0.0;
   std::uint64_t trained = 0;
   for (std::size_t i = 0; i < dataset.size(); ++i) {
+    // In tenant mode the key names a tenant (i mod --tenants) and routes to
+    // that tenant's own model; otherwise it is just the load-spreading hash.
+    const std::uint64_t key = tenant_budget > 0 ? i % tenant_space : i;
     const double y = dataset.target(i);
-    const double pred = server.predict(i, dataset.row(i));
+    const double pred = server.predict(key, dataset.row(i));
     abs_err += std::abs(pred - y);
     sq_err += (pred - y) * (pred - y);
     if (train_every > 0 && i % train_every == 0) {
-      while (!server.try_train(i, dataset.row(i), y)) {
+      while (!server.try_train(key, dataset.row(i), y)) {
         std::this_thread::yield();  // train ring full: let the trainer drain
       }
       ++trained;
@@ -428,9 +445,16 @@ int cmd_serve(const util::Args& args) {
   std::uint64_t applied = 0;
   for (std::size_t s = 0; s < sc.shards; ++s) {
     applied += server.train_applied(s);
-    const std::shared_ptr<const serve::ModelSnapshot> snap = server.snapshot(s);
-    std::cout << "shard " << s << ": snapshot epoch " << (snap ? snap->epoch : 0)
-              << ", trained updates " << (snap ? snap->trained_updates : 0) << "\n";
+    if (tenant_budget > 0) {
+      const serve::TenantStoreStats ts = server.tenant_stats(s);
+      std::cout << "shard " << s << ": " << ts.resident << " resident tenants, "
+                << ts.activations << " activations, " << ts.evictions
+                << " evictions, " << ts.reactivations << " reactivations\n";
+    } else {
+      const std::shared_ptr<const serve::ModelSnapshot> snap = server.snapshot(s);
+      std::cout << "shard " << s << ": snapshot epoch " << (snap ? snap->epoch : 0)
+                << ", trained updates " << (snap ? snap->trained_updates : 0) << "\n";
+    }
   }
   std::cout << "train: " << trained << " submitted, " << applied << " applied\n";
   if (telemetry) {
